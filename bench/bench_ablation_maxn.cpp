@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation (Section VI-c): the customized-gate width cap maxN. The
+ * evaluation fixes maxN = 3; this sweep shows what wider or narrower
+ * caps buy: maxN = 2 forbids widening merges entirely, maxN = 4
+ * admits slower four-qubit pulses that rarely pay off (Observation 2).
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "paqoc/compiler.h"
+#include "qoc/pulse_generator.h"
+#include "transpile/topology.h"
+#include "workloads/benchmarks.h"
+
+namespace paqoc {
+namespace {
+
+int
+run()
+{
+    std::printf("=== Ablation: customized-gate qubit cap maxN ===\n");
+    const Topology grid = Topology::grid(5, 5);
+    Table t({"benchmark", "maxN", "latency (dt)", "ESP",
+             "final gates"});
+    for (const char *name : {"rd32", "qaoa", "supre"}) {
+        const Circuit physical = workloads::makePhysical(name, grid);
+        for (int maxn : {2, 3, 4}) {
+            SpectralPulseGenerator gen;
+            PaqocOptions opts;
+            opts.apaM = 0;
+            opts.merge.maxN = maxn;
+            opts.miner.maxQubits = maxn;
+            const CompileReport r =
+                compilePaqoc(physical, gen, opts);
+            t.addRow({maxn == 2 ? name : "", std::to_string(maxn),
+                      Table::num(r.latency, 0), Table::num(r.esp, 4),
+                      std::to_string(r.finalGateCount)});
+        }
+    }
+    std::printf("%s", t.toText().c_str());
+    std::printf("\nexpectation: maxN = 3 at or near the best latency; "
+                "wider caps give diminishing or negative returns.\n\n");
+    return 0;
+}
+
+} // namespace
+} // namespace paqoc
+
+int
+main()
+{
+    return paqoc::run();
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 10 reproduction: whole-circuit pulse latency of accqoc_n3d5,
+ * paqoc(M=0), paqoc(M=tuned) and paqoc(M=inf), normalized to the
+ * accqoc_n3d3 baseline, across all seventeen benchmarks. The paper
+ * reports an average 54% latency reduction for paqoc(M=0) and 40%
+ * for paqoc(M=inf).
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness.h"
+
+namespace paqoc {
+namespace {
+
+int
+run()
+{
+    using bench::geomean;
+    std::printf("=== Fig. 10: circuit latency normalized to "
+                "accqoc_n3d3 (lower is better) ===\n");
+    const bench::SweepResult sweep = bench::runEvalSweep();
+
+    Table t({"benchmark", "accqoc_n3d3 (dt)", "accqoc_n3d5",
+             "paqoc(M=0)", "paqoc(M=tuned)", "paqoc(M=inf)"});
+    std::map<std::string, std::vector<double>> normalized;
+    for (const std::string &name : sweep.benchmarks) {
+        const auto &row = sweep.reports.at(name);
+        const double base = row.at("accqoc_n3d3").latency;
+        std::vector<std::string> cells{name, Table::num(base, 0)};
+        for (const char *m :
+             {"accqoc_n3d5", "paqoc(M=0)", "paqoc(M=tuned)",
+              "paqoc(M=inf)"}) {
+            const double norm = row.at(m).latency / base;
+            normalized[m].push_back(norm);
+            cells.push_back(Table::num(norm, 3));
+        }
+        t.addRow(std::move(cells));
+    }
+    std::printf("%s", t.toText().c_str());
+
+    std::printf("\ngeomean normalized latency (paper avg reduction: "
+                "M=0 54%%, M=inf 40%%):\n");
+    double best_reduction = 0.0;
+    for (const auto &[m, values] : normalized) {
+        const double g = geomean(values);
+        std::printf("  %-15s %.3f  (reduction %.1f%%)\n", m.c_str(), g,
+                    (1.0 - g) * 100.0);
+        if (m == "paqoc(M=0)")
+            best_reduction = 1.0 - g;
+    }
+    const double max_speedup = [&] {
+        double best = 0.0;
+        for (double v : normalized["paqoc(M=0)"])
+            best = std::max(best, 1.0 / v);
+        return best;
+    }();
+    std::printf("max paqoc(M=0) speedup: %.2fx (paper: up to 2.17x)\n",
+                max_speedup);
+    std::printf("claim 'paqoc reduces latency vs accqoc_n3d3': %s\n\n",
+                best_reduction > 0.0 ? "REPRODUCED" : "NOT reproduced");
+    return best_reduction > 0.0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace paqoc
+
+int
+main()
+{
+    return paqoc::run();
+}

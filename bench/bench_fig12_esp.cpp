@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 12 reproduction: estimated success probability (Eq. 2) of each
+ * method normalized to accqoc_n3d3. The paper reports paqoc(M=0)
+ * achieving the best ESP with an average 27% improvement.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "harness.h"
+
+namespace paqoc {
+namespace {
+
+int
+run()
+{
+    using bench::geomean;
+    std::printf("=== Fig. 12: ESP improvement normalized to "
+                "accqoc_n3d3 (higher is better) ===\n");
+    const bench::SweepResult sweep = bench::runEvalSweep();
+
+    Table t({"benchmark", "n3d3 ESP", "accqoc_n3d5", "paqoc(M=0)",
+             "paqoc(M=tuned)", "paqoc(M=inf)"});
+    std::map<std::string, std::vector<double>> normalized;
+    for (const std::string &name : sweep.benchmarks) {
+        const auto &row = sweep.reports.at(name);
+        const double base = row.at("accqoc_n3d3").esp;
+        std::vector<std::string> cells{name, Table::num(base, 4)};
+        for (const char *m :
+             {"accqoc_n3d5", "paqoc(M=0)", "paqoc(M=tuned)",
+              "paqoc(M=inf)"}) {
+            const double norm = row.at(m).esp / std::max(base, 1e-12);
+            normalized[m].push_back(norm);
+            cells.push_back(Table::num(norm, 3));
+        }
+        t.addRow(std::move(cells));
+    }
+    std::printf("%s", t.toText().c_str());
+
+    std::printf("\ngeomean normalized ESP (paper: paqoc(M=0) avg "
+                "+27%%, 1.27x):\n");
+    for (const auto &[m, values] : normalized) {
+        const double g = geomean(values);
+        std::printf("  %-15s %.3f\n", m.c_str(), g);
+    }
+    const double m0 = geomean(normalized["paqoc(M=0)"]);
+    std::printf("claim 'paqoc(M=0) improves ESP over the baseline': "
+                "%s\n\n",
+                m0 > 1.0 ? "REPRODUCED" : "NOT reproduced");
+    return m0 > 1.0 ? 0 : 1;
+}
+
+} // namespace
+} // namespace paqoc
+
+int
+main()
+{
+    return paqoc::run();
+}

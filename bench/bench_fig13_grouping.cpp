@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fig. 13 reproduction: on a qaoa fragment, the depth-3 AccQOC limit
+ * happens to align with the CPHASE pattern (cx, rz, cx) while depth-5
+ * groups straddle CPHASE boundaries; PAQOC's miner discovers CPHASE
+ * automatically with no depth parameter.
+ */
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "mining/miner.h"
+#include "paqoc/accqoc.h"
+#include "qoc/pulse_generator.h"
+#include "workloads/benchmarks.h"
+
+namespace paqoc {
+namespace {
+
+/** Count grouped gates that exactly absorb one CPHASE (3 gates). */
+int
+countCphaseAlignedGroups(const Circuit &grouped)
+{
+    int aligned = 0;
+    for (const Gate &g : grouped.gates())
+        aligned += (g.isCustom() && g.absorbedCount() == 3
+                    && g.arity() == 2);
+    return aligned;
+}
+
+int
+run()
+{
+    std::printf("=== Fig. 13: fixed-depth grouping vs mined CPHASE "
+                "patterns on a qaoa fragment ===\n");
+
+    // A clean qaoa cost-layer fragment: four CPHASEs over four pairs.
+    Circuit fragment(8);
+    for (int i = 0; i < 4; ++i) {
+        const int a = 2 * i, b = 2 * i + 1;
+        fragment.cx(a, b);
+        fragment.rz(b, 0.47, "gamma");
+        fragment.cx(a, b);
+        fragment.h(a);
+        fragment.h(a);
+    }
+
+    const Circuit d3 = accqocPartition(fragment, AccqocOptions{3, 3});
+    const Circuit d5 = accqocPartition(fragment, AccqocOptions{3, 5});
+    const auto patterns = mineFrequentSubcircuits(fragment);
+    const MinedPattern *cphase = nullptr;
+    for (const auto &p : patterns) {
+        if (p.numGates == 3 && p.support >= 4) {
+            cphase = &p;
+            break;
+        }
+    }
+
+    Table t({"method", "groups", "CPHASE-aligned groups"});
+    t.addRow({"accqoc depth=3", std::to_string(d3.size()),
+              std::to_string(countCphaseAlignedGroups(d3))});
+    t.addRow({"accqoc depth=5", std::to_string(d5.size()),
+              std::to_string(countCphaseAlignedGroups(d5))});
+    t.addRow({"paqoc miner",
+              cphase ? std::to_string(cphase->support) + " occurrences"
+                     : "none",
+              cphase ? "4 (pattern: " + cphase->description + ")"
+                     : "0"});
+    std::printf("%s", t.toText().c_str());
+
+    const bool reproduced = cphase != nullptr
+        && countCphaseAlignedGroups(d3) > countCphaseAlignedGroups(d5);
+    std::printf("\nclaim 'depth-3 aligns with CPHASE, depth-5 does "
+                "not, and the miner finds CPHASE without a depth "
+                "knob': %s\n\n",
+                reproduced ? "REPRODUCED" : "NOT reproduced");
+    return reproduced ? 0 : 1;
+}
+
+} // namespace
+} // namespace paqoc
+
+int
+main()
+{
+    return paqoc::run();
+}

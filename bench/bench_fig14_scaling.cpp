@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 14 reproduction: paqoc(M=inf) compilation time as a function of
+ * circuit size across the seventeen benchmarks, with a least-squares
+ * linear fit -- the paper's claim is near-linear scaling.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/table.h"
+#include "harness.h"
+
+namespace paqoc {
+namespace {
+
+int
+run()
+{
+    std::printf("=== Fig. 14: paqoc(M=inf) compilation time vs "
+                "circuit size ===\n");
+
+    const Topology grid = Topology::grid(5, 5);
+    Table t({"benchmark", "physical gates", "compile seconds",
+             "cost units"});
+    std::vector<double> xs, ys;
+    for (const auto &spec : workloads::allBenchmarks()) {
+        const Circuit physical =
+            workloads::makePhysical(spec.name, grid);
+        const Stopwatch watch;
+        const CompileReport r =
+            bench::compileWith("paqoc(M=inf)", physical);
+        const double seconds = watch.seconds();
+        xs.push_back(static_cast<double>(physical.size()));
+        ys.push_back(seconds);
+        t.addRow({spec.name, std::to_string(physical.size()),
+                  Table::num(seconds, 2),
+                  Table::num(r.costUnits / 1e9, 2) + "e9"});
+    }
+    std::printf("%s", t.toText().c_str());
+
+    // Least-squares fit seconds ~ a * gates + b and its correlation.
+    const std::size_t n = xs.size();
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    const double a = (n * sxy - sx * sy) / denom;
+    const double b = (sy - a * sx) / n;
+    const double r_num = n * sxy - sx * sy;
+    const double r_den = std::sqrt((n * sxx - sx * sx)
+                                   * (n * syy - sy * sy));
+    const double corr = r_den > 0 ? r_num / r_den : 0.0;
+
+    std::printf("\nlinear fit: seconds = %.3g * gates + %.3g, "
+                "correlation r = %.3f\n", a, b, corr);
+    std::printf("claim 'compile time scales near-linearly with gate "
+                "count' (paper: <25 min at ~1200 gates): %s\n\n",
+                corr > 0.8 ? "REPRODUCED" : "NOT reproduced");
+    return corr > 0.8 ? 0 : 1;
+}
+
+} // namespace
+} // namespace paqoc
+
+int
+main()
+{
+    return paqoc::run();
+}

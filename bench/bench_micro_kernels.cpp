@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the hot kernels: the Pade
+ * matrix exponential, the Hermitian Jacobi eigensolver, the
+ * Pauli-split latency model, one GRAPE iteration, SABRE routing, the
+ * frequent-subcircuit miner, and one full compile.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "linalg/eig.h"
+#include "linalg/expm.h"
+#include "linalg/unitary_util.h"
+#include "mining/miner.h"
+#include "paqoc/compiler.h"
+#include "qoc/grape.h"
+#include "qoc/latency_model.h"
+#include "transpile/decompose.h"
+#include "transpile/sabre.h"
+#include "workloads/benchmarks.h"
+
+namespace paqoc {
+namespace {
+
+Matrix
+randomHermitian(std::size_t n, Rng &rng)
+{
+    Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            m(r, c) = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    Matrix h = m + m.adjoint();
+    h *= Complex(0.5, 0.0);
+    return h;
+}
+
+void
+BM_Expm8x8(benchmark::State &state)
+{
+    Rng rng(1);
+    const Matrix h = randomHermitian(8, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(expmPropagator(h, 1.0));
+}
+BENCHMARK(BM_Expm8x8);
+
+void
+BM_HermitianEigen8x8(benchmark::State &state)
+{
+    Rng rng(2);
+    const Matrix h = randomHermitian(8, rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hermitianEigen(h));
+}
+BENCHMARK(BM_HermitianEigen8x8);
+
+void
+BM_LatencyModel3q(benchmark::State &state)
+{
+    Rng rng(3);
+    const Matrix u = expmPropagator(randomHermitian(8, rng), 1.0);
+    const SpectralLatencyModel model;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.latency(u, 3));
+}
+BENCHMARK(BM_LatencyModel3q);
+
+void
+BM_GrapeIteration2q(benchmark::State &state)
+{
+    const DeviceModel device(2);
+    const Matrix cx = Gate(Op::CX, {0, 1}).unitary();
+    GrapeOptions opts;
+    opts.maxIterations = 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(grapeOptimize(device, cx, 90, opts));
+}
+BENCHMARK(BM_GrapeIteration2q);
+
+void
+BM_SabreRouteQaoa(benchmark::State &state)
+{
+    const Circuit logical =
+        decomposeToCx(workloads::makeLogical("qaoa"));
+    const Topology grid = Topology::grid(5, 5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sabreRoute(logical, grid));
+}
+BENCHMARK(BM_SabreRouteQaoa);
+
+void
+BM_MineQaoa(benchmark::State &state)
+{
+    const Circuit physical = workloads::makePhysicalDefault("qaoa");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mineFrequentSubcircuits(physical));
+}
+BENCHMARK(BM_MineQaoa);
+
+void
+BM_CompileRd32(benchmark::State &state)
+{
+    const Circuit physical = workloads::makePhysicalDefault("rd32");
+    for (auto _ : state) {
+        SpectralPulseGenerator gen;
+        PaqocOptions opts;
+        benchmark::DoNotOptimize(compilePaqoc(physical, gen, opts));
+    }
+}
+BENCHMARK(BM_CompileRd32);
+
+} // namespace
+} // namespace paqoc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table II reproduction: whole-circuit pulse-simulated quality of
+ * execution for the six small benchmarks, across all five methods.
+ * Circuits are routed on compact topologies so the full register fits
+ * the simulator (the paper likewise only simulates small benchmarks).
+ * Claim under reproduction: paqoc variants achieve the best quality,
+ * through shorter schedules (less decoherence).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "common/table.h"
+#include "harness.h"
+#include "sim/pulse_simulator.h"
+
+namespace paqoc {
+namespace {
+
+int
+run()
+{
+    std::printf("=== Table II: pulse-simulated quality of execution "
+                "(larger is better) ===\n");
+
+    const char *small_benchmarks[] = {"4gt10", "decod24", "hwb4",
+                                      "rd32", "bb84", "simon"};
+    SimOptions sim;
+    sim.coherenceTimeDt = 2.0e4;
+
+    Table t({"benchmark", "accqoc_n3d3", "accqoc_n3d5", "paqoc(M=0)",
+             "paqoc(M=tuned)", "paqoc(M=inf)", "best"});
+    int paqoc_best = 0, rows = 0;
+    for (const char *name : small_benchmarks) {
+        const auto &spec = workloads::benchmarkSpec(name);
+        const Topology topo = workloads::compactTopology(spec.qubits);
+        const Circuit physical = workloads::makePhysical(name, topo);
+
+        std::vector<std::string> cells{name};
+        double best_q = -1.0;
+        std::map<std::string, double> quality;
+        for (const std::string &m : bench::methodNames()) {
+            const CompileReport r = bench::compileWith(m, physical);
+            SpectralPulseGenerator sim_gen;
+            const SimResult s =
+                simulateCircuitPulses(r.circuit, sim_gen, sim);
+            cells.push_back(Table::percent(s.quality, 2));
+            quality[m] = s.quality;
+            best_q = std::max(best_q, s.quality);
+        }
+        // A paqoc variant "wins" when it reaches the best quality
+        // (ties count: on 1q-only circuits all methods emit identical
+        // pulses).
+        std::string best_m = "-";
+        for (const std::string &m : bench::methodNames())
+            if (quality[m] >= best_q - 1e-9
+                && m.rfind("paqoc", 0) == 0) {
+                best_m = m;
+                break;
+            }
+        if (best_m == "-") {
+            for (const std::string &m : bench::methodNames())
+                if (quality[m] >= best_q - 1e-9) {
+                    best_m = m;
+                    break;
+                }
+        }
+        cells.push_back(best_m);
+        t.addRow(std::move(cells));
+        ++rows;
+        paqoc_best += (best_m.rfind("paqoc", 0) == 0);
+    }
+    std::printf("%s", t.toText().c_str());
+    std::printf("\npaqoc variant is best or tied on %d / %d "
+                "benchmarks (paper: all; mechanism: shorter pulses "
+                "decohere less)\n", paqoc_best, rows);
+    std::printf("claim 'paqoc runs with the best fidelity': %s\n\n",
+                paqoc_best == rows ? "REPRODUCED"
+                                   : (paqoc_best > rows / 2
+                                          ? "MOSTLY reproduced"
+                                          : "NOT reproduced"));
+    return paqoc_best > rows / 2 ? 0 : 1;
+}
+
+} // namespace
+} // namespace paqoc
+
+int
+main()
+{
+    return paqoc::run();
+}

@@ -1,0 +1,92 @@
+#ifndef PAQOC_BENCH_HARNESS_H_
+#define PAQOC_BENCH_HARNESS_H_
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "paqoc/compiler.h"
+#include "qoc/pulse_generator.h"
+#include "transpile/topology.h"
+#include "workloads/benchmarks.h"
+
+namespace paqoc::bench {
+
+/** The five evaluation configurations of Section VI. */
+inline const std::vector<std::string> &
+methodNames()
+{
+    static const std::vector<std::string> names = {
+        "accqoc_n3d3", "accqoc_n3d5", "paqoc(M=0)", "paqoc(M=tuned)",
+        "paqoc(M=inf)",
+    };
+    return names;
+}
+
+/** Compile one physical circuit under a named method. */
+inline CompileReport
+compileWith(const std::string &method, const Circuit &physical)
+{
+    SpectralPulseGenerator generator;
+    if (method == "accqoc_n3d3")
+        return compileAccqoc(physical, generator, AccqocOptions{3, 3});
+    if (method == "accqoc_n3d5")
+        return compileAccqoc(physical, generator, AccqocOptions{3, 5});
+    PaqocOptions options;
+    if (method == "paqoc(M=0)")
+        options.apaM = 0;
+    else if (method == "paqoc(M=tuned)")
+        options.tuned = true;
+    else
+        options.apaM = -1;
+    return compilePaqoc(physical, generator, options);
+}
+
+/** Results of the full 17-benchmark x 5-method sweep. */
+struct SweepResult
+{
+    std::vector<std::string> benchmarks;
+    // reports[benchmark][method]
+    std::map<std::string, std::map<std::string, CompileReport>> reports;
+};
+
+/**
+ * Run the Section VI evaluation sweep: route every benchmark on the
+ * 5x5 grid and compile it under all five methods. Deterministic.
+ */
+inline SweepResult
+runEvalSweep(bool verbose = true)
+{
+    SweepResult sweep;
+    const Topology grid = Topology::grid(5, 5);
+    for (const auto &spec : workloads::allBenchmarks()) {
+        if (verbose)
+            std::fprintf(stderr, "[sweep] %s ...\n", spec.name.c_str());
+        const Circuit physical =
+            workloads::makePhysical(spec.name, grid);
+        sweep.benchmarks.push_back(spec.name);
+        for (const std::string &method : methodNames()) {
+            sweep.reports[spec.name][method] =
+                compileWith(method, physical);
+        }
+    }
+    return sweep;
+}
+
+/** Geometric mean helper for normalized summaries. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace paqoc::bench
+
+#endif // PAQOC_BENCH_HARNESS_H_

@@ -1,0 +1,167 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+Circuit::Circuit(int num_qubits) : num_qubits_(num_qubits)
+{
+    PAQOC_FATAL_IF(num_qubits <= 0, "circuit needs at least one qubit");
+}
+
+void
+Circuit::add(Gate gate)
+{
+    for (int q : gate.qubits())
+        PAQOC_FATAL_IF(q >= num_qubits_, "gate qubit ", q,
+                       " outside register of size ", num_qubits_);
+    gates_.push_back(std::move(gate));
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    PAQOC_FATAL_IF(other.numQubits() > num_qubits_,
+                   "appended circuit uses more qubits");
+    for (const Gate &g : other.gates())
+        add(g);
+}
+
+int
+Circuit::countOneQubitGates() const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        n += (g.arity() == 1);
+    return n;
+}
+
+int
+Circuit::countMultiQubitGates() const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        n += (g.arity() >= 2);
+    return n;
+}
+
+int
+Circuit::absorbedTotal() const
+{
+    int n = 0;
+    for (const Gate &g : gates_)
+        n += g.absorbedCount();
+    return n;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream oss;
+    for (const Gate &g : gates_) {
+        oss << g.label() << " ";
+        for (std::size_t i = 0; i < g.qubits().size(); ++i)
+            oss << (i ? "," : "q") << g.qubits()[i];
+        oss << '\n';
+    }
+    return oss.str();
+}
+
+Matrix
+embedUnitary(const Matrix &gate, const std::vector<int> &qubits,
+             int num_qubits)
+{
+    const int k = static_cast<int>(qubits.size());
+    PAQOC_ASSERT(gate.rows() == (std::size_t{1} << k),
+                 "gate matrix size does not match qubit list");
+    PAQOC_ASSERT(num_qubits >= k && num_qubits < 26,
+                 "embedUnitary register out of supported range");
+    const std::size_t dim = std::size_t{1} << num_qubits;
+    Matrix out(dim, dim);
+
+    // qubits[0] is the most significant local bit.
+    std::vector<int> bitpos(k);
+    for (int i = 0; i < k; ++i)
+        bitpos[i] = qubits[static_cast<std::size_t>(k - 1 - i)];
+
+    for (std::size_t col = 0; col < dim; ++col) {
+        std::size_t local_in = 0;
+        for (int i = 0; i < k; ++i)
+            local_in |= ((col >> bitpos[i]) & 1u) << i;
+        std::size_t cleared = col;
+        for (int i = 0; i < k; ++i)
+            cleared &= ~(std::size_t{1} << bitpos[i]);
+        for (std::size_t local_out = 0;
+             local_out < (std::size_t{1} << k); ++local_out) {
+            const Complex v = gate(local_out, local_in);
+            if (v == Complex(0.0, 0.0))
+                continue;
+            std::size_t row = cleared;
+            for (int i = 0; i < k; ++i)
+                row |= ((local_out >> i) & 1u) << bitpos[i];
+            out(row, col) = v;
+        }
+    }
+    return out;
+}
+
+Matrix
+circuitUnitary(const Circuit &circuit)
+{
+    PAQOC_FATAL_IF(circuit.numQubits() > 12,
+                   "circuitUnitary limited to 12 qubits (got ",
+                   circuit.numQubits(), ")");
+    const std::size_t dim = std::size_t{1} << circuit.numQubits();
+    Matrix u = Matrix::identity(dim);
+    for (const Gate &g : circuit.gates()) {
+        const Matrix e =
+            embedUnitary(g.unitary(), g.qubits(), circuit.numQubits());
+        u = e * u;
+    }
+    return u;
+}
+
+SubcircuitUnitary
+subcircuitUnitary(const std::vector<Gate> &gates)
+{
+    PAQOC_FATAL_IF(gates.empty(), "empty subcircuit");
+    std::set<int> support;
+    for (const Gate &g : gates)
+        support.insert(g.qubits().begin(), g.qubits().end());
+    PAQOC_FATAL_IF(support.size() > 10, "subcircuit support too large");
+
+    // Local bit i holds the i-th smallest support qubit; the returned
+    // qubit list is most-significant-first per Gate::custom convention.
+    std::vector<int> ascending(support.begin(), support.end());
+    const int k = static_cast<int>(ascending.size());
+
+    Circuit local(k);
+    for (const Gate &g : gates) {
+        std::vector<int> mapped;
+        mapped.reserve(g.qubits().size());
+        for (int q : g.qubits()) {
+            const auto it = std::lower_bound(ascending.begin(),
+                                             ascending.end(), q);
+            mapped.push_back(static_cast<int>(it - ascending.begin()));
+        }
+        if (g.isCustom()) {
+            local.add(Gate::custom(g.label(), std::move(mapped),
+                                   g.customUnitary(), g.absorbedCount(),
+                                   g.latencyCap()));
+        } else {
+            local.add(Gate(g.op(), std::move(mapped), g.angle(),
+                           g.symbol()));
+        }
+    }
+
+    SubcircuitUnitary result;
+    result.matrix = circuitUnitary(local);
+    result.qubits.assign(ascending.rbegin(), ascending.rend());
+    return result;
+}
+
+} // namespace paqoc

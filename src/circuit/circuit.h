@@ -1,0 +1,107 @@
+#ifndef PAQOC_CIRCUIT_CIRCUIT_H_
+#define PAQOC_CIRCUIT_CIRCUIT_H_
+
+#include <string>
+#include <vector>
+
+#include "circuit/gate.h"
+
+namespace paqoc {
+
+/**
+ * A quantum circuit: an ordered list of gates over a fixed register.
+ *
+ * Gate order is program order; the dependence DAG (dag.h) recovers the
+ * partial order induced by shared qubits. Convenience constructors for
+ * the common gates keep workload generators readable.
+ */
+class Circuit
+{
+  public:
+    explicit Circuit(int num_qubits);
+
+    int numQubits() const { return num_qubits_; }
+    std::size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+
+    const Gate &gate(std::size_t i) const { return gates_[i]; }
+    const std::vector<Gate> &gates() const { return gates_; }
+
+    /** Append a gate; its qubits must fit the register. */
+    void add(Gate gate);
+
+    /** Append all gates of another circuit over the same register. */
+    void append(const Circuit &other);
+
+    // Readable builders for generators and tests.
+    void x(int q) { add(Gate(Op::X, {q})); }
+    void y(int q) { add(Gate(Op::Y, {q})); }
+    void z(int q) { add(Gate(Op::Z, {q})); }
+    void h(int q) { add(Gate(Op::H, {q})); }
+    void sx(int q) { add(Gate(Op::SX, {q})); }
+    void s(int q) { add(Gate(Op::S, {q})); }
+    void sdg(int q) { add(Gate(Op::Sdg, {q})); }
+    void t(int q) { add(Gate(Op::T, {q})); }
+    void tdg(int q) { add(Gate(Op::Tdg, {q})); }
+    void rx(int q, double a, std::string sym = "")
+    { add(Gate(Op::RX, {q}, a, std::move(sym))); }
+    void ry(int q, double a, std::string sym = "")
+    { add(Gate(Op::RY, {q}, a, std::move(sym))); }
+    void rz(int q, double a, std::string sym = "")
+    { add(Gate(Op::RZ, {q}, a, std::move(sym))); }
+    void p(int q, double a, std::string sym = "")
+    { add(Gate(Op::P, {q}, a, std::move(sym))); }
+    void cx(int c, int t) { add(Gate(Op::CX, {c, t})); }
+    void cz(int a, int b) { add(Gate(Op::CZ, {a, b})); }
+    void cp(int a, int b, double ang, std::string sym = "")
+    { add(Gate(Op::CP, {a, b}, ang, std::move(sym))); }
+    void swap(int a, int b) { add(Gate(Op::SWAP, {a, b})); }
+    void ccx(int a, int b, int t) { add(Gate(Op::CCX, {a, b, t})); }
+
+    /** Count of gates acting on exactly one qubit. */
+    int countOneQubitGates() const;
+
+    /** Count of gates acting on two or more qubits. */
+    int countMultiQubitGates() const;
+
+    /** Sum of absorbedCount() over all gates (original gate total). */
+    int absorbedTotal() const;
+
+    /** One gate per line, for diagnostics and golden tests. */
+    std::string toString() const;
+
+  private:
+    int num_qubits_;
+    std::vector<Gate> gates_;
+};
+
+/**
+ * Embed a k-qubit gate matrix into the full 2^n space of an n-qubit
+ * register. qubits[0] addresses the most significant bit of the local
+ * matrix index; globally, qubit i is bit i of the basis-state integer.
+ */
+Matrix embedUnitary(const Matrix &gate, const std::vector<int> &qubits,
+                    int num_qubits);
+
+/**
+ * Full unitary of a circuit (product of embedded gate unitaries in
+ * program order). Exponential in qubit count; intended for <= ~10
+ * qubits in tests and pulse verification.
+ */
+Matrix circuitUnitary(const Circuit &circuit);
+
+/**
+ * Unitary of a gate subsequence on its own joint qubit support.
+ * Returns the matrix and the sorted support qubits (most significant
+ * first to match Gate::custom conventions).
+ */
+struct SubcircuitUnitary
+{
+    Matrix matrix;
+    std::vector<int> qubits;
+};
+SubcircuitUnitary subcircuitUnitary(const std::vector<Gate> &gates);
+
+} // namespace paqoc
+
+#endif // PAQOC_CIRCUIT_CIRCUIT_H_

@@ -1,0 +1,154 @@
+#include "circuit/commute.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+namespace {
+
+/** Per-qubit action basis of a gate. */
+enum class Basis
+{
+    ZDiag,  // diagonal in the computational basis on this qubit
+    XDiag,  // diagonal in the X basis on this qubit
+    Opaque, // unknown / entangling in both bases
+};
+
+Basis
+basisOn(const Gate &g, int qubit)
+{
+    switch (g.op()) {
+      case Op::I:
+      case Op::Z:
+      case Op::S:
+      case Op::Sdg:
+      case Op::T:
+      case Op::Tdg:
+      case Op::RZ:
+      case Op::P:
+      case Op::CZ:
+      case Op::CP:
+        return Basis::ZDiag;
+      case Op::X:
+      case Op::SX:
+      case Op::RX:
+        return Basis::XDiag;
+      case Op::CX:
+        // Control acts diagonally in Z; target diagonally in X.
+        return g.qubits()[0] == qubit ? Basis::ZDiag : Basis::XDiag;
+      default:
+        return Basis::Opaque;
+    }
+}
+
+} // namespace
+
+bool
+gatesCommute(const Gate &a, const Gate &b)
+{
+    for (int q : a.qubits()) {
+        if (!b.actsOn(q))
+            continue;
+        const Basis ba = basisOn(a, q);
+        const Basis bb = basisOn(b, q);
+        if (ba == Basis::Opaque || bb == Basis::Opaque || ba != bb)
+            return false;
+    }
+    return true;
+}
+
+Dag
+buildCommutationDag(const Circuit &circuit)
+{
+    // Per qubit, gates form maximal runs of equal basis (opaque gates
+    // are singleton runs). Gates within a run mutually commute on the
+    // qubit and stay unordered; every gate depends on every member of
+    // the run preceding its own, which transitively orders it after
+    // all older different-basis gates. This is the sound version of
+    // "slide commuting gates past each other".
+    Dag dag;
+    dag.preds.resize(circuit.size());
+    dag.succs.resize(circuit.size());
+
+    struct QubitRuns
+    {
+        Basis currentBasis = Basis::Opaque;
+        std::vector<int> current;
+        std::vector<int> previous;
+        bool any = false;
+    };
+    std::vector<QubitRuns> runs(
+        static_cast<std::size_t>(circuit.numQubits()));
+
+    auto add_edge = [&](int u, int v) {
+        if (!dag.hasEdge(u, v)) {
+            dag.succs[static_cast<std::size_t>(u)].push_back(v);
+            dag.preds[static_cast<std::size_t>(v)].push_back(u);
+        }
+    };
+
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &v = circuit.gate(i);
+        for (int q : v.qubits()) {
+            QubitRuns &r = runs[static_cast<std::size_t>(q)];
+            const Basis basis = basisOn(v, q);
+            const bool joins_run = r.any && basis != Basis::Opaque
+                && basis == r.currentBasis;
+            if (joins_run) {
+                for (int u : r.previous)
+                    add_edge(u, static_cast<int>(i));
+            } else {
+                for (int u : r.current)
+                    add_edge(u, static_cast<int>(i));
+                r.previous = std::move(r.current);
+                r.current.clear();
+                r.currentBasis = basis;
+            }
+            r.current.push_back(static_cast<int>(i));
+            r.any = true;
+        }
+    }
+    return dag;
+}
+
+std::vector<std::pair<int, int>>
+commutingAdjacentPairs(const Circuit &circuit)
+{
+    std::vector<std::pair<int, int>> pairs;
+    std::set<std::pair<int, int>> seen;
+    struct RunState
+    {
+        Basis basis = Basis::Opaque;
+        int last = -1;
+        bool open = false;
+    };
+    std::vector<RunState> runs(
+        static_cast<std::size_t>(circuit.numQubits()));
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &v = circuit.gate(i);
+        for (int q : v.qubits()) {
+            RunState &r = runs[static_cast<std::size_t>(q)];
+            const Basis basis = basisOn(v, q);
+            if (r.open && basis != Basis::Opaque && basis == r.basis) {
+                // Same run: consecutive members may merge if they
+                // commute outright (all shared qubits compatible).
+                const Gate &u = circuit.gate(
+                    static_cast<std::size_t>(r.last));
+                if (gatesCommute(u, v)
+                    && seen.emplace(r.last, static_cast<int>(i))
+                           .second)
+                    pairs.emplace_back(r.last, static_cast<int>(i));
+            } else {
+                r.basis = basis;
+                r.open = true;
+            }
+            r.last = static_cast<int>(i);
+        }
+    }
+    return pairs;
+}
+
+} // namespace paqoc

@@ -1,0 +1,38 @@
+#ifndef PAQOC_CIRCUIT_COMMUTE_H_
+#define PAQOC_CIRCUIT_COMMUTE_H_
+
+#include "circuit/circuit.h"
+#include "circuit/dag.h"
+
+namespace paqoc {
+
+/**
+ * Conservative gate commutation test based on per-qubit basis types:
+ * two gates commute when, on every shared qubit, both act diagonally
+ * in the Z basis (rz/z/s/t/p, cx controls, cz/cp) or both act
+ * diagonally in the X basis (x/sx/rx, cx targets). Gates it cannot
+ * classify (h, y, swap, ccx, custom) never commute with a sharer.
+ */
+bool gatesCommute(const Gate &a, const Gate &b);
+
+/**
+ * Commutation-relaxed dependence DAG: an edge u -> v exists only when
+ * v's backward scan over each shared qubit meets u as the first
+ * non-commuting gate. Scheduling and merging against this DAG realizes
+ * the commutativity-aware instruction aggregation of Shi et al. [43],
+ * which the paper lists as future work for PAQOC.
+ */
+Dag buildCommutationDag(const Circuit &circuit);
+
+/**
+ * Pairs of mutually commuting gates that share a qubit and sit in the
+ * same commutation run (so they can be slid adjacent and merged even
+ * though no dependence edge connects them) -- e.g., the two CXs of a
+ * cx/rz(control)/cx echo. Consecutive-in-run pairs only.
+ */
+std::vector<std::pair<int, int>> commutingAdjacentPairs(
+    const Circuit &circuit);
+
+} // namespace paqoc
+
+#endif // PAQOC_CIRCUIT_COMMUTE_H_

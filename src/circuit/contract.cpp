@@ -1,0 +1,160 @@
+#include "circuit/contract.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+GroupContraction::GroupContraction(const Circuit &circuit, const Dag &dag)
+    : circuit_(circuit), dag_(dag), group_of_(circuit.size())
+{
+    PAQOC_ASSERT(dag.size() == circuit.size(), "DAG/circuit mismatch");
+    for (std::size_t i = 0; i < circuit.size(); ++i)
+        group_of_[i] = static_cast<int>(i);
+    n_groups_ = static_cast<int>(circuit.size());
+}
+
+bool
+GroupContraction::tryMerge(const std::vector<int> &gates)
+{
+    PAQOC_ASSERT(!gates.empty(), "empty merge set");
+    const std::vector<int> snapshot = group_of_;
+    std::set<int> fused;
+    for (int g : gates)
+        fused.insert(group_of_[static_cast<std::size_t>(g)]);
+    const int gid = n_groups_++;
+    for (std::size_t i = 0; i < group_of_.size(); ++i) {
+        if (fused.count(group_of_[i]))
+            group_of_[i] = gid;
+    }
+    if (acyclic())
+        return true;
+    group_of_ = snapshot;
+    --n_groups_;
+    return false;
+}
+
+std::vector<std::vector<int>>
+GroupContraction::groups() const
+{
+    std::vector<std::vector<int>> members(
+        static_cast<std::size_t>(n_groups_));
+    for (std::size_t i = 0; i < circuit_.size(); ++i)
+        members[static_cast<std::size_t>(group_of_[i])].push_back(
+            static_cast<int>(i));
+    members.erase(std::remove_if(members.begin(), members.end(),
+                                 [](const std::vector<int> &m)
+                                 { return m.empty(); }),
+                  members.end());
+    return members;
+}
+
+std::vector<std::vector<int>>
+GroupContraction::membersById() const
+{
+    std::vector<std::vector<int>> members(
+        static_cast<std::size_t>(n_groups_));
+    for (std::size_t i = 0; i < circuit_.size(); ++i)
+        members[static_cast<std::size_t>(group_of_[i])].push_back(
+            static_cast<int>(i));
+    return members;
+}
+
+std::vector<int>
+GroupContraction::topologicalOrder() const
+{
+    std::vector<int> order = topoOrder();
+    PAQOC_ASSERT(!order.empty() || circuit_.size() == 0,
+                 "contracted graph is cyclic");
+    return order;
+}
+
+std::vector<int>
+GroupContraction::topoOrder() const
+{
+    const auto ng = static_cast<std::size_t>(n_groups_);
+    std::vector<std::set<int>> succ(ng);
+    std::vector<int> indeg(ng, 0);
+    std::vector<char> present(ng, 0);
+    for (std::size_t u = 0; u < circuit_.size(); ++u) {
+        present[static_cast<std::size_t>(group_of_[u])] = 1;
+        for (int v : dag_.succs[u]) {
+            const int gu = group_of_[u];
+            const int gv = group_of_[static_cast<std::size_t>(v)];
+            if (gu != gv
+                && succ[static_cast<std::size_t>(gu)].insert(gv).second)
+                ++indeg[static_cast<std::size_t>(gv)];
+        }
+    }
+    std::vector<int> first_member(ng, 1 << 30);
+    for (std::size_t i = 0; i < circuit_.size(); ++i) {
+        auto &fm = first_member[static_cast<std::size_t>(group_of_[i])];
+        fm = std::min(fm, static_cast<int>(i));
+    }
+    auto cmp = [&](int a, int b) {
+        return first_member[static_cast<std::size_t>(a)]
+            > first_member[static_cast<std::size_t>(b)];
+    };
+    std::vector<int> heap;
+    std::size_t total = 0;
+    for (std::size_t g = 0; g < ng; ++g) {
+        if (!present[g])
+            continue;
+        ++total;
+        if (indeg[g] == 0) {
+            heap.push_back(static_cast<int>(g));
+            std::push_heap(heap.begin(), heap.end(), cmp);
+        }
+    }
+    std::vector<int> order;
+    order.reserve(total);
+    while (!heap.empty()) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        const int g = heap.back();
+        heap.pop_back();
+        order.push_back(g);
+        for (int s : succ[static_cast<std::size_t>(g)]) {
+            if (--indeg[static_cast<std::size_t>(s)] == 0) {
+                heap.push_back(s);
+                std::push_heap(heap.begin(), heap.end(), cmp);
+            }
+        }
+    }
+    if (order.size() != total)
+        order.clear();
+    return order;
+}
+
+bool
+GroupContraction::acyclic() const
+{
+    return !topoOrder().empty() || circuit_.size() == 0;
+}
+
+Circuit
+GroupContraction::emit(
+    const std::function<Gate(const std::vector<int> &)> &merged_emitter)
+    const
+{
+    std::vector<std::vector<int>> members(
+        static_cast<std::size_t>(n_groups_));
+    for (std::size_t i = 0; i < circuit_.size(); ++i)
+        members[static_cast<std::size_t>(group_of_[i])].push_back(
+            static_cast<int>(i));
+    const std::vector<int> order = topoOrder();
+    PAQOC_ASSERT(!order.empty() || circuit_.size() == 0,
+                 "contracted graph is cyclic at emit time");
+    Circuit out(circuit_.numQubits());
+    for (int gid : order) {
+        const auto &m = members[static_cast<std::size_t>(gid)];
+        if (m.size() == 1)
+            out.add(circuit_.gate(static_cast<std::size_t>(m[0])));
+        else
+            out.add(merged_emitter(m));
+    }
+    return out;
+}
+
+} // namespace paqoc

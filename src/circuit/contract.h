@@ -1,0 +1,88 @@
+#ifndef PAQOC_CIRCUIT_CONTRACT_H_
+#define PAQOC_CIRCUIT_CONTRACT_H_
+
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/dag.h"
+
+namespace paqoc {
+
+/**
+ * Incrementally contracts groups of gates into single nodes of a
+ * circuit's dependence DAG, rejecting contractions that would create a
+ * cycle, and finally emits a dependence-respecting circuit in which
+ * each multi-gate group is replaced by one gate.
+ *
+ * Used by the APA-basis rewriter, the customized-gates merge engine,
+ * and the AccQOC baseline's fixed-depth grouping.
+ */
+class GroupContraction
+{
+  public:
+    GroupContraction(const Circuit &circuit, const Dag &dag);
+
+    /**
+     * Try to merge the given gate indices (which may already belong to
+     * merged groups; all their groups fuse) into one group. Returns
+     * false and leaves the state unchanged if the contraction would
+     * create a dependence cycle.
+     */
+    bool tryMerge(const std::vector<int> &gates);
+
+    /** Group id currently containing a gate. */
+    int groupOf(int gate) const
+    { return group_of_[static_cast<std::size_t>(gate)]; }
+
+    /** Opaque state for rollback across tryMerge calls. */
+    struct State
+    {
+        std::vector<int> groupOf;
+        int numGroups = 0;
+    };
+
+    /** Capture the current grouping. */
+    State snapshot() const { return {group_of_, n_groups_}; }
+
+    /** Restore a previously captured grouping. */
+    void
+    restore(const State &state)
+    {
+        group_of_ = state.groupOf;
+        n_groups_ = state.numGroups;
+    }
+
+    /** Members (gate indices, ascending) of every live group. */
+    std::vector<std::vector<int>> groups() const;
+
+    /**
+     * Member gate indices indexed by group id (dead ids map to empty
+     * vectors). Pairs with topologicalOrder() for group-level passes.
+     */
+    std::vector<std::vector<int>> membersById() const;
+
+    /** Live group ids in dependence order; throws if cyclic. */
+    std::vector<int> topologicalOrder() const;
+
+    /**
+     * Emit the contracted circuit. merged_emitter receives the member
+     * gate indices (ascending) of each multi-gate group and returns
+     * the replacement gate; single-gate groups pass through.
+     */
+    Circuit emit(const std::function<Gate(const std::vector<int> &)>
+                     &merged_emitter) const;
+
+  private:
+    std::vector<int> topoOrder() const; // empty when cyclic
+    bool acyclic() const;
+
+    const Circuit &circuit_;
+    const Dag &dag_;
+    std::vector<int> group_of_;
+    int n_groups_;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_CIRCUIT_CONTRACT_H_

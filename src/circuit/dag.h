@@ -1,0 +1,37 @@
+#ifndef PAQOC_CIRCUIT_DAG_H_
+#define PAQOC_CIRCUIT_DAG_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace paqoc {
+
+/**
+ * Dependence DAG of a circuit. Node i is gate i of the circuit; there
+ * is an edge u -> v when v is the next gate after u on some shared
+ * qubit. Program order is a topological order by construction.
+ */
+struct Dag
+{
+    std::vector<std::vector<int>> preds;
+    std::vector<std::vector<int>> succs;
+
+    std::size_t size() const { return preds.size(); }
+
+    /** True if v directly depends on u. */
+    bool hasEdge(int u, int v) const;
+
+    /**
+     * True if v is reachable from u through directed edges (u != v).
+     * Used to detect the false dependences gate merging could create.
+     */
+    bool reaches(int u, int v) const;
+};
+
+/** Build the shared-qubit dependence DAG of a circuit. */
+Dag buildDag(const Circuit &circuit);
+
+} // namespace paqoc
+
+#endif // PAQOC_CIRCUIT_DAG_H_

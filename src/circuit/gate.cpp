@@ -1,0 +1,240 @@
+#include "circuit/gate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+const Complex kI(0.0, 1.0);
+
+Matrix
+primitiveUnitary(Op op, double angle)
+{
+    const double c = std::cos(angle / 2.0), s = std::sin(angle / 2.0);
+    switch (op) {
+      case Op::I:
+        return Matrix::identity(2);
+      case Op::X:
+        return Matrix{{0.0, 1.0}, {1.0, 0.0}};
+      case Op::Y:
+        return Matrix{{0.0, -kI}, {kI, 0.0}};
+      case Op::Z:
+        return Matrix{{1.0, 0.0}, {0.0, -1.0}};
+      case Op::H: {
+        const double r = 1.0 / std::sqrt(2.0);
+        return Matrix{{r, r}, {r, -r}};
+      }
+      case Op::SX: {
+        // sqrt(X): ((1+i, 1-i), (1-i, 1+i)) / 2.
+        const Complex p(0.5, 0.5), m(0.5, -0.5);
+        return Matrix{{p, m}, {m, p}};
+      }
+      case Op::S:
+        return Matrix{{1.0, 0.0}, {0.0, kI}};
+      case Op::Sdg:
+        return Matrix{{1.0, 0.0}, {0.0, -kI}};
+      case Op::T:
+        return Matrix{{1.0, 0.0}, {0.0, std::exp(kI * (kPi / 4.0))}};
+      case Op::Tdg:
+        return Matrix{{1.0, 0.0}, {0.0, std::exp(-kI * (kPi / 4.0))}};
+      case Op::RX:
+        return Matrix{{c, -kI * s}, {-kI * s, c}};
+      case Op::RY:
+        return Matrix{{c, -s}, {s, c}};
+      case Op::RZ:
+        return Matrix{{std::exp(-kI * (angle / 2.0)), 0.0},
+                      {0.0, std::exp(kI * (angle / 2.0))}};
+      case Op::P:
+        return Matrix{{1.0, 0.0}, {0.0, std::exp(kI * angle)}};
+      case Op::CX:
+        return Matrix{{1, 0, 0, 0},
+                      {0, 1, 0, 0},
+                      {0, 0, 0, 1},
+                      {0, 0, 1, 0}};
+      case Op::CZ:
+        return Matrix{{1, 0, 0, 0},
+                      {0, 1, 0, 0},
+                      {0, 0, 1, 0},
+                      {0, 0, 0, -1}};
+      case Op::CP: {
+        Matrix m = Matrix::identity(4);
+        m(3, 3) = std::exp(kI * angle);
+        return m;
+      }
+      case Op::SWAP:
+        return Matrix{{1, 0, 0, 0},
+                      {0, 0, 1, 0},
+                      {0, 1, 0, 0},
+                      {0, 0, 0, 1}};
+      case Op::CCX: {
+        Matrix m = Matrix::identity(8);
+        m(6, 6) = 0.0;
+        m(7, 7) = 0.0;
+        m(6, 7) = 1.0;
+        m(7, 6) = 1.0;
+        return m;
+      }
+      case Op::Custom:
+        break;
+    }
+    throw InternalError("primitiveUnitary: not a primitive op");
+}
+
+} // namespace
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::I: return "id";
+      case Op::X: return "x";
+      case Op::Y: return "y";
+      case Op::Z: return "z";
+      case Op::H: return "h";
+      case Op::SX: return "sx";
+      case Op::S: return "s";
+      case Op::Sdg: return "sdg";
+      case Op::T: return "t";
+      case Op::Tdg: return "tdg";
+      case Op::RX: return "rx";
+      case Op::RY: return "ry";
+      case Op::RZ: return "rz";
+      case Op::P: return "p";
+      case Op::CX: return "cx";
+      case Op::CZ: return "cz";
+      case Op::CP: return "cp";
+      case Op::SWAP: return "swap";
+      case Op::CCX: return "ccx";
+      case Op::Custom: return "custom";
+    }
+    return "?";
+}
+
+int
+opArity(Op op)
+{
+    switch (op) {
+      case Op::CX:
+      case Op::CZ:
+      case Op::CP:
+      case Op::SWAP:
+        return 2;
+      case Op::CCX:
+        return 3;
+      case Op::Custom:
+        return 0;
+      default:
+        return 1;
+    }
+}
+
+bool
+opHasAngle(Op op)
+{
+    return op == Op::RX || op == Op::RY || op == Op::RZ || op == Op::P
+        || op == Op::CP;
+}
+
+Gate::Gate(Op op, std::vector<int> qubits, double angle, std::string symbol)
+    : op_(op), qubits_(std::move(qubits)), angle_(angle),
+      symbol_(std::move(symbol))
+{
+    PAQOC_FATAL_IF(op == Op::Custom,
+                   "use Gate::custom() to build custom gates");
+    PAQOC_FATAL_IF(static_cast<int>(qubits_.size()) != opArity(op),
+                   "gate ", opName(op), " expects ", opArity(op),
+                   " qubits, got ", qubits_.size());
+    for (std::size_t i = 0; i < qubits_.size(); ++i) {
+        PAQOC_FATAL_IF(qubits_[i] < 0, "negative qubit index");
+        for (std::size_t j = i + 1; j < qubits_.size(); ++j)
+            PAQOC_FATAL_IF(qubits_[i] == qubits_[j],
+                           "duplicate qubit in gate ", opName(op));
+    }
+}
+
+Gate
+Gate::custom(std::string label, std::vector<int> qubits, Matrix unitary,
+             int absorbed, double latency_cap)
+{
+    PAQOC_FATAL_IF(qubits.empty(), "custom gate needs at least one qubit");
+    const std::size_t dim = std::size_t{1} << qubits.size();
+    PAQOC_FATAL_IF(unitary.rows() != dim || unitary.cols() != dim,
+                   "custom gate unitary dimension ", unitary.rows(),
+                   " does not match qubit count ", qubits.size());
+    PAQOC_FATAL_IF(!unitary.isUnitary(1e-6),
+                   "custom gate matrix is not unitary: ", label);
+    Gate g;
+    g.op_ = Op::Custom;
+    g.qubits_ = std::move(qubits);
+    g.custom_label_ = std::move(label);
+    g.custom_unitary_ = std::make_shared<const Matrix>(std::move(unitary));
+    g.absorbed_ = absorbed;
+    PAQOC_FATAL_IF(latency_cap <= 0.0, "latency cap must be positive");
+    g.latency_cap_ = latency_cap;
+    return g;
+}
+
+const Matrix &
+Gate::customUnitary() const
+{
+    PAQOC_ASSERT(custom_unitary_ != nullptr,
+                 "customUnitary() on a primitive gate");
+    return *custom_unitary_;
+}
+
+std::string
+Gate::label() const
+{
+    if (isCustom())
+        return custom_label_;
+    std::ostringstream oss;
+    oss << opName(op_);
+    if (opHasAngle(op_)) {
+        if (!symbol_.empty()) {
+            oss << "(" << symbol_ << ")";
+        } else {
+            oss.precision(4);
+            oss << "(" << angle_ << ")";
+        }
+    }
+    return oss.str();
+}
+
+std::string
+Gate::miningLabel() const
+{
+    return label();
+}
+
+bool
+Gate::actsOn(int qubit) const
+{
+    return std::find(qubits_.begin(), qubits_.end(), qubit)
+        != qubits_.end();
+}
+
+bool
+Gate::sharesQubit(const Gate &other) const
+{
+    for (int q : qubits_) {
+        if (other.actsOn(q))
+            return true;
+    }
+    return false;
+}
+
+Matrix
+Gate::unitary() const
+{
+    if (isCustom())
+        return *custom_unitary_;
+    return primitiveUnitary(op_, angle_);
+}
+
+} // namespace paqoc

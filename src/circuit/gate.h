@@ -1,0 +1,122 @@
+#ifndef PAQOC_CIRCUIT_GATE_H_
+#define PAQOC_CIRCUIT_GATE_H_
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace paqoc {
+
+/**
+ * Primitive operations known to the gate library, plus Custom for
+ * APA-basis gates and merged customized gates, whose unitary is stored
+ * explicitly on the gate.
+ */
+enum class Op
+{
+    I, X, Y, Z, H, SX, S, Sdg, T, Tdg,  // fixed one-qubit
+    RX, RY, RZ, P,                      // parameterized one-qubit
+    CX, CZ, CP, SWAP,                   // two-qubit (CP = CPHASE/CU1)
+    CCX,                                // three-qubit Toffoli
+    Custom,                             // stored-unitary gate
+};
+
+/** Short lowercase mnemonic such as "cx" for an op. */
+const char *opName(Op op);
+
+/** Number of qubits an op acts on (Custom reports 0; ask the gate). */
+int opArity(Op op);
+
+/** True for RX/RY/RZ/CP/P, which carry one angle parameter. */
+bool opHasAngle(Op op);
+
+/**
+ * One quantum gate application: an operation, the qubits it acts on,
+ * an optional angle, and an optional symbolic angle name used by the
+ * frequent-subcircuit miner to handle parameterized circuits.
+ *
+ * Custom gates (APA-basis gates and merged customized gates) carry
+ * their unitary and remember how many primitive gates they absorbed,
+ * which the evaluation uses for coverage statistics.
+ */
+class Gate
+{
+  public:
+    /** A primitive gate; arity of op must match qubits.size(). */
+    Gate(Op op, std::vector<int> qubits, double angle = 0.0,
+         std::string symbol = "");
+
+    /**
+     * A custom gate with an explicit unitary over the listed qubits
+     * (qubits[0] is the most significant index into the matrix).
+     *
+     * @param label Display label, e.g. "apa3" or "merge(cx,rz)".
+     * @param absorbed Number of primitive gates this gate replaces.
+     * @param latency_cap Upper bound on the gate's pulse latency in
+     *        dt, normally the summed latency of the gates it absorbs:
+     *        a merged pulse can always fall back to the stitched
+     *        per-gate pulses, so analytical estimates are clamped to
+     *        this value (Observation 1). Defaults to unbounded.
+     */
+    static Gate custom(std::string label, std::vector<int> qubits,
+                       Matrix unitary, int absorbed,
+                       double latency_cap
+                           = std::numeric_limits<double>::infinity());
+
+    /** Upper bound on this gate's pulse latency (dt); may be +inf. */
+    double latencyCap() const { return latency_cap_; }
+
+    Op op() const { return op_; }
+    const std::vector<int> &qubits() const { return qubits_; }
+    int arity() const { return static_cast<int>(qubits_.size()); }
+    double angle() const { return angle_; }
+    const std::string &symbol() const { return symbol_; }
+    bool isCustom() const { return op_ == Op::Custom; }
+
+    /** Primitive gates absorbed (1 for primitives themselves). */
+    int absorbedCount() const { return absorbed_; }
+
+    /** Stored unitary; only valid for custom gates. */
+    const Matrix &customUnitary() const;
+
+    /** Display label, e.g. "rz(0.5)", "cx", or a custom label. */
+    std::string label() const;
+
+    /**
+     * Structural label used by the miner: op name plus the symbolic
+     * angle if present (so rz(theta) instances unify), else the
+     * numeric angle rendered at fixed precision.
+     */
+    std::string miningLabel() const;
+
+    /** True if the gate acts on the given qubit. */
+    bool actsOn(int qubit) const;
+
+    /** True if the two gates share at least one qubit. */
+    bool sharesQubit(const Gate &other) const;
+
+    /**
+     * The gate's unitary on its own qubits (2^arity square), from the
+     * gate library for primitives or the stored matrix for customs.
+     */
+    Matrix unitary() const;
+
+  private:
+    Gate() = default;
+
+    Op op_ = Op::I;
+    std::vector<int> qubits_;
+    double angle_ = 0.0;
+    std::string symbol_;
+    std::string custom_label_;
+    std::shared_ptr<const Matrix> custom_unitary_;
+    int absorbed_ = 1;
+    double latency_cap_ = std::numeric_limits<double>::infinity();
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_CIRCUIT_GATE_H_

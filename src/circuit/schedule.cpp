@@ -1,0 +1,66 @@
+#include "circuit/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+Schedule
+computeSchedule(const Circuit &circuit, const Dag &dag,
+                const LatencyFn &latency)
+{
+    const std::size_t n = circuit.size();
+    PAQOC_ASSERT(dag.size() == n, "DAG does not match circuit");
+
+    Schedule s;
+    s.latency.resize(n);
+    s.start.assign(n, 0.0);
+    s.finish.resize(n);
+    s.cpAfter.assign(n, 0.0);
+    s.onCriticalPath.assign(n, false);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const double lat = latency(circuit.gate(i));
+        PAQOC_ASSERT(lat >= 0.0, "negative gate latency");
+        s.latency[i] = lat;
+    }
+
+    // Forward pass in program order (a topological order of the DAG).
+    for (std::size_t i = 0; i < n; ++i) {
+        double start = 0.0;
+        for (int p : dag.preds[i])
+            start = std::max(start, s.finish[static_cast<std::size_t>(p)]);
+        s.start[i] = start;
+        s.finish[i] = start + s.latency[i];
+        s.makespan = std::max(s.makespan, s.finish[i]);
+    }
+
+    // Backward pass for CP(X): longest path strictly after X.
+    for (std::size_t ri = n; ri-- > 0;) {
+        double cp = 0.0;
+        for (int succ : dag.succs[ri]) {
+            const auto si = static_cast<std::size_t>(succ);
+            cp = std::max(cp, s.latency[si] + s.cpAfter[si]);
+        }
+        s.cpAfter[ri] = cp;
+    }
+
+    // A gate is critical when the longest path through it spans the
+    // makespan; start[] is the longest path strictly before the gate.
+    const double tol = 1e-9 * std::max(s.makespan, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double through = s.start[i] + s.latency[i] + s.cpAfter[i];
+        s.onCriticalPath[i] = through >= s.makespan - tol;
+    }
+    return s;
+}
+
+Schedule
+computeSchedule(const Circuit &circuit, const LatencyFn &latency)
+{
+    return computeSchedule(circuit, buildDag(circuit), latency);
+}
+
+} // namespace paqoc

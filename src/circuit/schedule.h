@@ -1,0 +1,45 @@
+#ifndef PAQOC_CIRCUIT_SCHEDULE_H_
+#define PAQOC_CIRCUIT_SCHEDULE_H_
+
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/dag.h"
+
+namespace paqoc {
+
+/** Maps a gate to its pulse latency in dt units. */
+using LatencyFn = std::function<double(const Gate &)>;
+
+/**
+ * ASAP schedule of a circuit under a latency function, with the
+ * criticality information Section V-A of the paper consumes:
+ *
+ *  - start/finish times per gate,
+ *  - makespan (whole-circuit latency),
+ *  - cpAfter(X): longest latency path strictly after X (the paper's
+ *    CP(X)),
+ *  - onCriticalPath flags (a gate is critical if some longest path
+ *    runs through it).
+ */
+struct Schedule
+{
+    std::vector<double> latency;
+    std::vector<double> start;
+    std::vector<double> finish;
+    std::vector<double> cpAfter;
+    std::vector<bool> onCriticalPath;
+    double makespan = 0.0;
+};
+
+/** Compute the ASAP schedule and criticality data for a circuit. */
+Schedule computeSchedule(const Circuit &circuit, const Dag &dag,
+                         const LatencyFn &latency);
+
+/** Convenience overload that builds the DAG internally. */
+Schedule computeSchedule(const Circuit &circuit, const LatencyFn &latency);
+
+} // namespace paqoc
+
+#endif // PAQOC_CIRCUIT_SCHEDULE_H_

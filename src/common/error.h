@@ -1,0 +1,65 @@
+#ifndef PAQOC_COMMON_ERROR_H_
+#define PAQOC_COMMON_ERROR_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace paqoc {
+
+/**
+ * Exception thrown for user-facing errors: malformed circuits, invalid
+ * parameters, unsatisfiable requests. Analogous to gem5's fatal().
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Exception thrown for internal invariant violations: states that should
+ * never be reachable regardless of input. Analogous to gem5's panic().
+ */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+template <typename Err, typename... Args>
+[[noreturn]] void
+throwFormatted(const char *file, int line, Args &&...args)
+{
+    std::ostringstream oss;
+    oss << file << ":" << line << ": ";
+    (oss << ... << args);
+    throw Err(oss.str());
+}
+
+} // namespace detail
+
+} // namespace paqoc
+
+/** Raise a FatalError when a user-level precondition fails. */
+#define PAQOC_FATAL_IF(cond, ...)                                           \
+    do {                                                                    \
+        if (cond) {                                                         \
+            ::paqoc::detail::throwFormatted<::paqoc::FatalError>(           \
+                __FILE__, __LINE__, __VA_ARGS__);                           \
+        }                                                                   \
+    } while (false)
+
+/** Raise an InternalError when an internal invariant is violated. */
+#define PAQOC_ASSERT(cond, ...)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::paqoc::detail::throwFormatted<::paqoc::InternalError>(        \
+                __FILE__, __LINE__, "assertion failed: " #cond " ",        \
+                __VA_ARGS__);                                               \
+        }                                                                   \
+    } while (false)
+
+#endif // PAQOC_COMMON_ERROR_H_

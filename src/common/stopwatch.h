@@ -1,0 +1,34 @@
+#ifndef PAQOC_COMMON_STOPWATCH_H_
+#define PAQOC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace paqoc {
+
+/** Wall-clock stopwatch used to report compilation-time figures. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed milliseconds since construction or last reset(). */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_COMMON_STOPWATCH_H_

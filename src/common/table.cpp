@@ -1,0 +1,85 @@
+#include "common/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    PAQOC_FATAL_IF(headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    PAQOC_FATAL_IF(cells.size() != headers_.size(),
+                   "row has ", cells.size(), " cells, expected ",
+                   headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+std::string
+Table::percent(double fraction, int precision)
+{
+    return num(fraction * 100.0, precision) + "%";
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            oss << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+                << cells[c];
+        }
+        oss << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    oss << rule << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return oss.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c) oss << ',';
+            oss << cells[c];
+        }
+        oss << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return oss.str();
+}
+
+} // namespace paqoc

@@ -1,0 +1,46 @@
+#ifndef PAQOC_COMMON_TABLE_H_
+#define PAQOC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace paqoc {
+
+/**
+ * Fixed-column text table used by the benchmark harnesses to print
+ * paper-style rows (Table I/II/III, Fig. 10-14 series).
+ *
+ * The table right-pads every cell to its column's widest entry so the
+ * output lines up in a terminal, and can also emit CSV for plotting.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision (helper for callers). */
+    static std::string num(double value, int precision = 3);
+
+    /** Format a percentage such as "54.2%". */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render as an aligned text table. */
+    std::string toText() const;
+
+    /** Render as CSV (RFC-4180-ish, commas in cells are not escaped). */
+    std::string toCsv() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_COMMON_TABLE_H_

@@ -1,0 +1,106 @@
+#include "linalg/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+namespace {
+
+/** Sum of squared magnitudes of strictly-off-diagonal entries. */
+double
+offDiagonalNorm(const Matrix &a)
+{
+    double s = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            if (r != c)
+                s += std::norm(a(r, c));
+    return std::sqrt(s);
+}
+
+} // namespace
+
+EigenResult
+hermitianEigen(const Matrix &a_in, double tol, int max_sweeps)
+{
+    PAQOC_ASSERT(a_in.isSquare(), "eigendecomposition of non-square matrix");
+    PAQOC_FATAL_IF(!a_in.isHermitian(1e-8),
+                   "hermitianEigen requires a Hermitian matrix");
+    const std::size_t n = a_in.rows();
+    Matrix a = a_in;
+    Matrix v = Matrix::identity(n);
+
+    const double scale = std::max(a.maxAbs(), 1.0);
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (offDiagonalNorm(a) < tol * scale * static_cast<double>(n))
+            break;
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const Complex apq = a(p, q);
+                const double mag = std::abs(apq);
+                if (mag < 1e-300)
+                    continue;
+                // Complex Jacobi rotation annihilating a(p, q):
+                // phase e^{i phi} = apq / |apq|, angle from the real
+                // symmetric subproblem on (app, |apq|, aqq).
+                const Complex phase = apq / mag;
+                const double app = a(p, p).real();
+                const double aqq = a(q, q).real();
+                const double tau = (aqq - app) / (2.0 * mag);
+                const double t = (tau >= 0.0)
+                    ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                    : -1.0 / (-tau + std::sqrt(1.0 + tau * tau));
+                const double c = 1.0 / std::sqrt(1.0 + t * t);
+                const double s = t * c;
+
+                // Column update A <- A G with
+                // G[p][p]=c, G[p][q]=s*phase, G[q][p]=-s*conj(phase),
+                // G[q][q]=c; then row update A <- G^dagger A.
+                const Complex gpq = Complex(s, 0.0) * phase;
+                const Complex gqp = -Complex(s, 0.0) * std::conj(phase);
+                for (std::size_t r = 0; r < n; ++r) {
+                    const Complex arp = a(r, p);
+                    const Complex arq = a(r, q);
+                    a(r, p) = arp * c + arq * gqp;
+                    a(r, q) = arp * gpq + arq * c;
+                    const Complex vrp = v(r, p);
+                    const Complex vrq = v(r, q);
+                    v(r, p) = vrp * c + vrq * gqp;
+                    v(r, q) = vrp * gpq + vrq * c;
+                }
+                for (std::size_t col = 0; col < n; ++col) {
+                    const Complex apc = a(p, col);
+                    const Complex aqc = a(q, col);
+                    a(p, col) = c * apc + std::conj(gqp) * aqc;
+                    a(q, col) = std::conj(gpq) * apc + c * aqc;
+                }
+            }
+        }
+    }
+
+    // Extract and sort ascending, permuting eigenvector columns to match.
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i)
+        values[i] = a(i, i).real();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y)
+              { return values[x] < values[y]; });
+
+    EigenResult result;
+    result.values.resize(n);
+    result.vectors = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        result.values[i] = values[order[i]];
+        for (std::size_t r = 0; r < n; ++r)
+            result.vectors(r, i) = v(r, order[i]);
+    }
+    return result;
+}
+
+} // namespace paqoc

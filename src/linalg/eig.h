@@ -1,0 +1,29 @@
+#ifndef PAQOC_LINALG_EIG_H_
+#define PAQOC_LINALG_EIG_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace paqoc {
+
+/** Result of a Hermitian eigendecomposition A = V diag(values) V^dagger. */
+struct EigenResult
+{
+    /** Real eigenvalues in ascending order. */
+    std::vector<double> values;
+    /** Unitary matrix whose columns are the matching eigenvectors. */
+    Matrix vectors;
+};
+
+/**
+ * Eigendecomposition of a complex Hermitian matrix via cyclic Jacobi
+ * rotations. Robust and accurate for the small (<= 64x64) operators
+ * this project manipulates.
+ */
+EigenResult hermitianEigen(const Matrix &a, double tol = 1e-12,
+                           int max_sweeps = 100);
+
+} // namespace paqoc
+
+#endif // PAQOC_LINALG_EIG_H_

@@ -1,0 +1,67 @@
+#include "linalg/expm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/solve.h"
+
+namespace paqoc {
+
+namespace {
+
+// Coefficients of the [6/6] Pade approximant to exp(x).
+constexpr double kPade6[] = {
+    1.0, 0.5, 5.0 / 44.0, 1.0 / 66.0, 1.0 / 792.0, 1.0 / 15840.0,
+    1.0 / 665280.0,
+};
+
+} // namespace
+
+Matrix
+expm(const Matrix &a)
+{
+    PAQOC_ASSERT(a.isSquare(), "expm of non-square matrix");
+    const std::size_t n = a.rows();
+
+    // Scale so the argument norm is small enough for the Pade kernel.
+    const double norm = a.infinityNorm();
+    int squarings = 0;
+    if (norm > 0.5) {
+        squarings = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+        squarings = std::min(squarings, 40);
+    }
+    const double scale = std::pow(2.0, -squarings);
+    Matrix as = a;
+    as *= Complex(scale, 0.0);
+
+    // Horner-style evaluation of even/odd parts: p = U + V, q = -U + V
+    // with U odd powers, V even powers, exp(A) ~ q^{-1} p.
+    Matrix a2 = as * as;
+    Matrix even = Matrix::identity(n) * Complex(kPade6[0], 0.0);
+    Matrix odd_coeff = Matrix::identity(n) * Complex(kPade6[1], 0.0);
+    Matrix pow = Matrix::identity(n); // a2^k
+    for (int k = 1; k <= 3; ++k) {
+        pow = pow * a2;
+        even += pow * Complex(kPade6[2 * k], 0.0);
+        if (2 * k + 1 <= 6)
+            odd_coeff += pow * Complex(kPade6[2 * k + 1], 0.0);
+    }
+    Matrix u = as * odd_coeff;
+    Matrix p = even + u;
+    Matrix q = even - u;
+    Matrix r = solveLinear(std::move(q), std::move(p));
+
+    for (int s = 0; s < squarings; ++s)
+        r = r * r;
+    return r;
+}
+
+Matrix
+expmPropagator(const Matrix &h, double dt)
+{
+    Matrix a = h;
+    a *= Complex(0.0, -dt);
+    return expm(a);
+}
+
+} // namespace paqoc

@@ -1,0 +1,23 @@
+#ifndef PAQOC_LINALG_EXPM_H_
+#define PAQOC_LINALG_EXPM_H_
+
+#include "linalg/matrix.h"
+
+namespace paqoc {
+
+/**
+ * Matrix exponential exp(A) via [6/6] Pade approximation with scaling
+ * and squaring. A must be square. Accurate to near machine precision
+ * for the well-conditioned (anti-Hermitian) arguments QOC produces.
+ */
+Matrix expm(const Matrix &a);
+
+/**
+ * Propagator exp(-i * H * dt) for a Hermitian H. This is the hot path
+ * of GRAPE: each time slice of each fidelity evaluation calls it once.
+ */
+Matrix expmPropagator(const Matrix &h, double dt);
+
+} // namespace paqoc
+
+#endif // PAQOC_LINALG_EXPM_H_

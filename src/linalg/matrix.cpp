@@ -1,0 +1,237 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Complex(0.0, 0.0))
+{}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Complex>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto &row : rows) {
+        PAQOC_FATAL_IF(row.size() != cols_, "ragged initializer list");
+        data_.insert(data_.end(), row.begin(), row.end());
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = Complex(1.0, 0.0);
+    return m;
+}
+
+Matrix
+Matrix::zero(std::size_t n)
+{
+    return Matrix(n, n);
+}
+
+Matrix &
+Matrix::operator+=(const Matrix &other)
+{
+    PAQOC_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                 "shape mismatch in +=");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += other.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator-=(const Matrix &other)
+{
+    PAQOC_ASSERT(rows_ == other.rows_ && cols_ == other.cols_,
+                 "shape mismatch in -=");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= other.data_[i];
+    return *this;
+}
+
+Matrix &
+Matrix::operator*=(Complex scalar)
+{
+    for (auto &v : data_)
+        v *= scalar;
+    return *this;
+}
+
+Matrix
+operator*(const Matrix &a, const Matrix &b)
+{
+    Matrix out(a.rows(), b.cols());
+    matmulInto(a, b, out);
+    return out;
+}
+
+void
+matmulInto(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    PAQOC_ASSERT(a.cols() == b.rows(), "shape mismatch in matmul");
+    PAQOC_ASSERT(out.rows() == a.rows() && out.cols() == b.cols(),
+                 "output shape mismatch in matmul");
+    const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+    Complex *o = out.data();
+    const Complex *pa = a.data();
+    const Complex *pb = b.data();
+    std::fill(o, o + n * m, Complex(0.0, 0.0));
+    // i-k-j loop order keeps the inner loop streaming over contiguous
+    // rows of b and out.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const Complex aik = pa[i * k + kk];
+            if (aik == Complex(0.0, 0.0))
+                continue;
+            const Complex *brow = pb + kk * m;
+            Complex *orow = o + i * m;
+            for (std::size_t j = 0; j < m; ++j)
+                orow[j] += aik * brow[j];
+        }
+    }
+}
+
+Matrix
+Matrix::adjoint() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = std::conj((*this)(r, c));
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+Matrix
+Matrix::conjugate() const
+{
+    Matrix out(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] = std::conj(data_[i]);
+    return out;
+}
+
+Complex
+Matrix::trace() const
+{
+    PAQOC_ASSERT(isSquare(), "trace of non-square matrix");
+    Complex t(0.0, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i)
+        t += (*this)(i, i);
+    return t;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double s = 0.0;
+    for (const auto &v : data_)
+        s += std::norm(v);
+    return std::sqrt(s);
+}
+
+double
+Matrix::infinityNorm() const
+{
+    double best = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double row_sum = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            row_sum += std::abs((*this)(r, c));
+        best = std::max(best, row_sum);
+    }
+    return best;
+}
+
+double
+Matrix::maxAbs() const
+{
+    double best = 0.0;
+    for (const auto &v : data_)
+        best = std::max(best, std::abs(v));
+    return best;
+}
+
+bool
+Matrix::approxEqual(const Matrix &other, double tol) const
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        if (std::abs(data_[i] - other.data_[i]) > tol)
+            return false;
+    }
+    return true;
+}
+
+bool
+Matrix::isUnitary(double tol) const
+{
+    if (!isSquare())
+        return false;
+    return ((*this) * adjoint()).approxEqual(identity(rows_), tol);
+}
+
+bool
+Matrix::isHermitian(double tol) const
+{
+    if (!isSquare())
+        return false;
+    return approxEqual(adjoint(), tol);
+}
+
+std::string
+Matrix::toString(int precision) const
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        oss << "[ ";
+        for (std::size_t c = 0; c < cols_; ++c) {
+            const Complex v = (*this)(r, c);
+            oss << v.real() << (v.imag() < 0 ? "-" : "+")
+                << std::abs(v.imag()) << "i ";
+        }
+        oss << "]\n";
+    }
+    return oss.str();
+}
+
+Matrix
+kron(const Matrix &a, const Matrix &b)
+{
+    Matrix out(a.rows() * b.rows(), a.cols() * b.cols());
+    for (std::size_t ar = 0; ar < a.rows(); ++ar) {
+        for (std::size_t ac = 0; ac < a.cols(); ++ac) {
+            const Complex av = a(ar, ac);
+            if (av == Complex(0.0, 0.0))
+                continue;
+            for (std::size_t br = 0; br < b.rows(); ++br)
+                for (std::size_t bc = 0; bc < b.cols(); ++bc)
+                    out(ar * b.rows() + br, ac * b.cols() + bc)
+                        = av * b(br, bc);
+        }
+    }
+    return out;
+}
+
+} // namespace paqoc

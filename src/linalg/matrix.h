@@ -1,0 +1,115 @@
+#ifndef PAQOC_LINALG_MATRIX_H_
+#define PAQOC_LINALG_MATRIX_H_
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace paqoc {
+
+using Complex = std::complex<double>;
+
+/**
+ * Dense row-major complex matrix.
+ *
+ * This is the workhorse type for the QOC numerics: Hamiltonians, unitary
+ * propagators and gate matrices are all small (at most 2^n x 2^n for
+ * n <= ~6 qubits), so a simple dense representation with tight loops is
+ * both sufficient and cache-friendly.
+ */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** Build from a nested initializer list (row major). */
+    Matrix(std::initializer_list<std::initializer_list<Complex>> rows);
+
+    /** The n x n identity. */
+    static Matrix identity(std::size_t n);
+
+    /** The n x n all-zero matrix. */
+    static Matrix zero(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool isSquare() const { return rows_ == cols_; }
+
+    Complex &operator()(std::size_t r, std::size_t c)
+    { return data_[r * cols_ + c]; }
+    const Complex &operator()(std::size_t r, std::size_t c) const
+    { return data_[r * cols_ + c]; }
+
+    /** Raw storage access for tight inner loops. */
+    Complex *data() { return data_.data(); }
+    const Complex *data() const { return data_.data(); }
+
+    Matrix &operator+=(const Matrix &other);
+    Matrix &operator-=(const Matrix &other);
+    Matrix &operator*=(Complex scalar);
+
+    friend Matrix operator+(Matrix a, const Matrix &b) { return a += b; }
+    friend Matrix operator-(Matrix a, const Matrix &b) { return a -= b; }
+    friend Matrix operator*(Matrix a, Complex s) { return a *= s; }
+    friend Matrix operator*(Complex s, Matrix a) { return a *= s; }
+
+    /** Matrix product; dimensions must agree. */
+    friend Matrix operator*(const Matrix &a, const Matrix &b);
+
+    /** Conjugate transpose. */
+    Matrix adjoint() const;
+
+    /** Plain transpose (no conjugation). */
+    Matrix transpose() const;
+
+    /** Elementwise complex conjugate. */
+    Matrix conjugate() const;
+
+    /** Sum of diagonal entries; requires a square matrix. */
+    Complex trace() const;
+
+    /** Frobenius norm. */
+    double frobeniusNorm() const;
+
+    /** Largest absolute row sum (induced infinity norm). */
+    double infinityNorm() const;
+
+    /** Largest |a_ij|. */
+    double maxAbs() const;
+
+    /** True if this matrix equals other entrywise within tol. */
+    bool approxEqual(const Matrix &other, double tol = 1e-9) const;
+
+    /** True if U * U^dagger ~= I within tol. */
+    bool isUnitary(double tol = 1e-8) const;
+
+    /** True if A ~= A^dagger within tol. */
+    bool isHermitian(double tol = 1e-9) const;
+
+    /** Human-readable rendering for diagnostics. */
+    std::string toString(int precision = 4) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<Complex> data_;
+};
+
+/** Kronecker (tensor) product a (x) b. */
+Matrix kron(const Matrix &a, const Matrix &b);
+
+/**
+ * Multiply accumulating into an existing buffer: out = a * b.
+ * out must not alias a or b and must be pre-sized.
+ */
+void matmulInto(const Matrix &a, const Matrix &b, Matrix &out);
+
+} // namespace paqoc
+
+#endif // PAQOC_LINALG_MATRIX_H_

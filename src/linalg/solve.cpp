@@ -1,0 +1,66 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+Matrix
+solveLinear(Matrix a, Matrix b)
+{
+    PAQOC_ASSERT(a.isSquare(), "solveLinear needs a square matrix");
+    PAQOC_ASSERT(a.rows() == b.rows(), "shape mismatch in solveLinear");
+    const std::size_t n = a.rows();
+    const std::size_t m = b.cols();
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting: pick the largest remaining entry in column.
+        std::size_t pivot = col;
+        double best = std::abs(a(col, col));
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double v = std::abs(a(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        PAQOC_FATAL_IF(best < 1e-14, "singular matrix in solveLinear");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a(col, c), a(pivot, c));
+            for (std::size_t c = 0; c < m; ++c)
+                std::swap(b(col, c), b(pivot, c));
+        }
+        const Complex inv_p = Complex(1.0, 0.0) / a(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const Complex f = a(r, col) * inv_p;
+            if (f == Complex(0.0, 0.0))
+                continue;
+            for (std::size_t c = col; c < n; ++c)
+                a(r, c) -= f * a(col, c);
+            for (std::size_t c = 0; c < m; ++c)
+                b(r, c) -= f * b(col, c);
+        }
+    }
+
+    // Back substitution.
+    Matrix x(n, m);
+    for (std::size_t ri = n; ri-- > 0;) {
+        for (std::size_t c = 0; c < m; ++c) {
+            Complex s = b(ri, c);
+            for (std::size_t k = ri + 1; k < n; ++k)
+                s -= a(ri, k) * x(k, c);
+            x(ri, c) = s / a(ri, ri);
+        }
+    }
+    return x;
+}
+
+Matrix
+inverse(const Matrix &a)
+{
+    return solveLinear(a, Matrix::identity(a.rows()));
+}
+
+} // namespace paqoc

@@ -1,0 +1,19 @@
+#ifndef PAQOC_LINALG_SOLVE_H_
+#define PAQOC_LINALG_SOLVE_H_
+
+#include "linalg/matrix.h"
+
+namespace paqoc {
+
+/**
+ * Solve A X = B for X using Gaussian elimination with partial pivoting.
+ * A must be square and nonsingular; B may have any number of columns.
+ */
+Matrix solveLinear(Matrix a, Matrix b);
+
+/** Invert a square nonsingular matrix. */
+Matrix inverse(const Matrix &a);
+
+} // namespace paqoc
+
+#endif // PAQOC_LINALG_SOLVE_H_

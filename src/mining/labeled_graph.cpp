@@ -1,0 +1,55 @@
+#include "mining/labeled_graph.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+std::string
+edgeRoleLabel(const Gate &from, const Gate &to)
+{
+    std::ostringstream oss;
+    bool first = true;
+    for (std::size_t i = 0; i < from.qubits().size(); ++i) {
+        for (std::size_t j = 0; j < to.qubits().size(); ++j) {
+            if (from.qubits()[i] != to.qubits()[j])
+                continue;
+            if (!first)
+                oss << ',';
+            oss << (i + 1) << '-' << (j + 1);
+            first = false;
+        }
+    }
+    PAQOC_ASSERT(!first, "edge between gates with no shared qubit");
+    return oss.str();
+}
+
+LabeledGraph
+buildLabeledGraph(const Circuit &circuit, const Dag &dag)
+{
+    LabeledGraph g;
+    g.nodeLabels.reserve(circuit.size());
+    for (const Gate &gate : circuit.gates())
+        g.nodeLabels.push_back(gate.miningLabel());
+    g.out.resize(circuit.size());
+    g.in.resize(circuit.size());
+
+    for (std::size_t u = 0; u < circuit.size(); ++u) {
+        for (int v : dag.succs[u]) {
+            LabeledGraph::Edge e;
+            e.from = static_cast<int>(u);
+            e.to = v;
+            e.label = edgeRoleLabel(circuit.gate(u),
+                                    circuit.gate(
+                                        static_cast<std::size_t>(v)));
+            g.out[u].push_back(static_cast<int>(g.edges.size()));
+            g.in[static_cast<std::size_t>(v)].push_back(
+                static_cast<int>(g.edges.size()));
+            g.edges.push_back(std::move(e));
+        }
+    }
+    return g;
+}
+
+} // namespace paqoc

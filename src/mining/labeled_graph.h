@@ -1,0 +1,50 @@
+#ifndef PAQOC_MINING_LABELED_GRAPH_H_
+#define PAQOC_MINING_LABELED_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/dag.h"
+
+namespace paqoc {
+
+/**
+ * The labeled directed graph of Section III-A: one node per gate
+ * (label = operation name plus symbolic rotation angle), one edge per
+ * direct dependence between two gates, labeled with the role each
+ * shared qubit plays on both sides ("2-1" means the source gate's 2nd
+ * qubit is the target gate's 1st). The role labels are what let the
+ * miner distinguish the look-alike blocks of the paper's Fig. 5.
+ */
+struct LabeledGraph
+{
+    struct Edge
+    {
+        int from = 0;
+        int to = 0;
+        std::string label;
+    };
+
+    std::vector<std::string> nodeLabels;
+    std::vector<Edge> edges;
+    /** Outgoing/incoming edge indices per node. */
+    std::vector<std::vector<int>> out;
+    std::vector<std::vector<int>> in;
+
+    std::size_t size() const { return nodeLabels.size(); }
+};
+
+/** Build the labeled dependence graph of a circuit. */
+LabeledGraph buildLabeledGraph(const Circuit &circuit, const Dag &dag);
+
+/**
+ * Role label of a dependence edge between two gates: comma-joined
+ * "i-j" pairs (1-based positions of each shared qubit in each gate's
+ * qubit list), in ascending i order.
+ */
+std::string edgeRoleLabel(const Gate &from, const Gate &to);
+
+} // namespace paqoc
+
+#endif // PAQOC_MINING_LABELED_GRAPH_H_

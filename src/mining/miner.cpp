@@ -1,0 +1,542 @@
+#include "mining/miner.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "circuit/contract.h"
+#include "common/error.h"
+
+namespace paqoc {
+
+namespace {
+
+/** Sorted-set membership test. */
+bool
+contains(const std::vector<int> &sorted, int v)
+{
+    return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+/** Qubit support size of a gate set. */
+int
+supportSize(const Circuit &circuit, const std::vector<int> &nodes)
+{
+    std::set<int> qubits;
+    for (int n : nodes) {
+        const Gate &g = circuit.gate(static_cast<std::size_t>(n));
+        qubits.insert(g.qubits().begin(), g.qubits().end());
+    }
+    return static_cast<int>(qubits.size());
+}
+
+/**
+ * Convexity: replacing the set by one node must not create a cycle,
+ * i.e. no dependence path leaves the set and re-enters it.
+ */
+bool
+isConvex(const Dag &dag, const std::vector<int> &nodes)
+{
+    const int hi = nodes.back();
+    std::vector<int> stack;
+    std::set<int> seen;
+    for (int n : nodes) {
+        for (int s : dag.succs[static_cast<std::size_t>(n)]) {
+            if (!contains(nodes, s) && s < hi) {
+                if (seen.insert(s).second)
+                    stack.push_back(s);
+            }
+        }
+    }
+    while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (int s : dag.succs[static_cast<std::size_t>(u)]) {
+            if (contains(nodes, s))
+                return false;
+            if (s < hi && seen.insert(s).second)
+                stack.push_back(s);
+        }
+    }
+    return true;
+}
+
+/**
+ * Canonical serialization of the induced labeled subgraph on a node
+ * set: minimize over node orderings, permuting only within blocks of
+ * equal (label, in-degree, out-degree) invariants to keep the search
+ * small.
+ */
+std::string
+canonicalCode(const LabeledGraph &graph, const std::vector<int> &nodes)
+{
+    const int k = static_cast<int>(nodes.size());
+    struct LocalEdge { int from, to; const std::string *label; };
+    std::vector<LocalEdge> edges;
+    std::vector<int> indeg(static_cast<std::size_t>(k), 0);
+    std::vector<int> outdeg(static_cast<std::size_t>(k), 0);
+    auto local_index = [&](int node) {
+        return static_cast<int>(
+            std::lower_bound(nodes.begin(), nodes.end(), node)
+            - nodes.begin());
+    };
+    for (int i = 0; i < k; ++i) {
+        const auto ni = static_cast<std::size_t>(nodes[
+            static_cast<std::size_t>(i)]);
+        for (int ei : graph.out[ni]) {
+            const auto &e = graph.edges[static_cast<std::size_t>(ei)];
+            if (!contains(nodes, e.to))
+                continue;
+            const int j = local_index(e.to);
+            edges.push_back({i, j, &e.label});
+            ++outdeg[static_cast<std::size_t>(i)];
+            ++indeg[static_cast<std::size_t>(j)];
+        }
+    }
+
+    // Invariant-sorted base ordering.
+    std::vector<int> order(static_cast<std::size_t>(k));
+    std::iota(order.begin(), order.end(), 0);
+    auto invariant = [&](int i) {
+        return std::tuple<const std::string &, int, int>(
+            graph.nodeLabels[static_cast<std::size_t>(
+                nodes[static_cast<std::size_t>(i)])],
+            indeg[static_cast<std::size_t>(i)],
+            outdeg[static_cast<std::size_t>(i)]);
+    };
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return invariant(a) < invariant(b); });
+
+    // Identify blocks of equal invariants.
+    std::vector<std::pair<int, int>> blocks;
+    for (int i = 0; i < k;) {
+        int j = i + 1;
+        while (j < k && invariant(order[static_cast<std::size_t>(i)])
+                   == invariant(order[static_cast<std::size_t>(j)]))
+            ++j;
+        blocks.emplace_back(i, j);
+        i = j;
+    }
+
+    auto serialize = [&](const std::vector<int> &perm) {
+        // pos[i] = position of local node i under this ordering.
+        std::vector<int> pos(static_cast<std::size_t>(k));
+        for (int p = 0; p < k; ++p)
+            pos[static_cast<std::size_t>(
+                perm[static_cast<std::size_t>(p)])] = p;
+        std::ostringstream oss;
+        for (int p = 0; p < k; ++p)
+            oss << graph.nodeLabels[static_cast<std::size_t>(
+                       nodes[static_cast<std::size_t>(
+                           perm[static_cast<std::size_t>(p)])])]
+                << '|';
+        std::vector<std::string> es;
+        es.reserve(edges.size());
+        for (const auto &e : edges) {
+            std::ostringstream eo;
+            eo << pos[static_cast<std::size_t>(e.from)] << '>'
+               << pos[static_cast<std::size_t>(e.to)] << '('
+               << *e.label << ')';
+            es.push_back(eo.str());
+        }
+        std::sort(es.begin(), es.end());
+        for (const auto &s : es)
+            oss << s << ';';
+        return oss.str();
+    };
+
+    // Enumerate permutations within blocks (capped for pathological
+    // label multiplicity; the cap only risks splitting one pattern
+    // into a few equivalent codes, never merging distinct ones).
+    std::string best = serialize(order);
+    long budget = 4000;
+    std::vector<int> perm = order;
+    // Recursive enumeration over block permutations.
+    std::function<void(std::size_t)> recurse = [&](std::size_t b) {
+        if (budget <= 0)
+            return;
+        if (b == blocks.size()) {
+            --budget;
+            std::string s = serialize(perm);
+            if (s < best)
+                best = std::move(s);
+            return;
+        }
+        const auto [lo, hi] = blocks[b];
+        std::sort(perm.begin() + lo, perm.begin() + hi);
+        do {
+            recurse(b + 1);
+        } while (budget > 0
+                 && std::next_permutation(perm.begin() + lo,
+                                          perm.begin() + hi));
+    };
+    recurse(0);
+    return best;
+}
+
+/** Human-readable pattern text from one embedding. */
+std::string
+describe(const LabeledGraph &graph, const std::vector<int> &nodes)
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (i)
+            oss << ' ';
+        oss << graph.nodeLabels[static_cast<std::size_t>(nodes[i])];
+    }
+    bool first = true;
+    for (int n : nodes) {
+        for (int ei : graph.out[static_cast<std::size_t>(n)]) {
+            const auto &e = graph.edges[static_cast<std::size_t>(ei)];
+            if (!contains(nodes, e.to))
+                continue;
+            oss << (first ? "  [" : ", ");
+            first = false;
+            const auto it_f =
+                std::lower_bound(nodes.begin(), nodes.end(), e.from);
+            const auto it_t =
+                std::lower_bound(nodes.begin(), nodes.end(), e.to);
+            oss << (it_f - nodes.begin()) << "->"
+                << (it_t - nodes.begin()) << ":" << e.label;
+        }
+    }
+    if (!first)
+        oss << "]";
+    return oss.str();
+}
+
+/** Greedy maximal set of pairwise-disjoint embeddings. */
+std::vector<std::vector<int>>
+disjointEmbeddings(std::vector<std::vector<int>> embeddings)
+{
+    std::sort(embeddings.begin(), embeddings.end(),
+              [](const std::vector<int> &a, const std::vector<int> &b) {
+                  return a.back() < b.back();
+              });
+    std::vector<std::vector<int>> chosen;
+    std::set<int> used;
+    for (auto &e : embeddings) {
+        bool clash = false;
+        for (int n : e) {
+            if (used.count(n)) {
+                clash = true;
+                break;
+            }
+        }
+        if (clash)
+            continue;
+        used.insert(e.begin(), e.end());
+        chosen.push_back(std::move(e));
+    }
+    return chosen;
+}
+
+} // namespace
+
+std::vector<MinedPattern>
+mineFrequentSubcircuits(const Circuit &circuit, const MinerOptions &options)
+{
+    std::vector<MinedPattern> result;
+    if (circuit.size() < 2)
+        return result;
+
+    const Dag dag = buildDag(circuit);
+    const LabeledGraph graph = buildLabeledGraph(circuit, dag);
+
+    // Round 1: every dependence edge seeds a two-gate set.
+    std::set<std::vector<int>> frontier;
+    for (const auto &e : graph.edges) {
+        std::vector<int> s{std::min(e.from, e.to),
+                           std::max(e.from, e.to)};
+        if (supportSize(circuit, s) <= options.maxQubits)
+            frontier.insert(std::move(s));
+    }
+
+    for (int size = 2; size <= options.maxPatternGates && !frontier.empty();
+         ++size) {
+        // Group this round's sets by canonical pattern code.
+        std::map<std::string, std::vector<std::vector<int>>> by_code;
+        for (const auto &nodes : frontier)
+            by_code[canonicalCode(graph, nodes)].push_back(nodes);
+
+        std::set<std::vector<int>> next;
+        for (auto &[code, embeddings] : by_code) {
+            // Only convex embeddings are usable as gates.
+            std::vector<std::vector<int>> convex;
+            for (auto &e : embeddings)
+                if (isConvex(dag, e))
+                    convex.push_back(e);
+            const std::vector<std::vector<int>> disjoint =
+                disjointEmbeddings(convex);
+            if (static_cast<int>(disjoint.size()) < options.minSupport)
+                continue;
+
+            MinedPattern p;
+            p.code = code;
+            p.description = describe(graph, disjoint.front());
+            p.numGates = size;
+            p.support = static_cast<int>(disjoint.size());
+            p.coverage = p.support * size;
+            p.embeddings = disjoint;
+            result.push_back(std::move(p));
+
+            // Grow every disjoint embedding by one adjacent gate.
+            if (size == options.maxPatternGates)
+                continue;
+            for (const auto &nodes : disjoint) {
+                std::set<int> neighbors;
+                for (int n : nodes) {
+                    const auto ns = static_cast<std::size_t>(n);
+                    for (int ei : graph.out[ns])
+                        neighbors.insert(
+                            graph.edges[static_cast<std::size_t>(ei)].to);
+                    for (int ei : graph.in[ns])
+                        neighbors.insert(
+                            graph.edges[static_cast<std::size_t>(ei)]
+                                .from);
+                }
+                for (int w : neighbors) {
+                    if (contains(nodes, w))
+                        continue;
+                    std::vector<int> grown = nodes;
+                    grown.insert(std::upper_bound(grown.begin(),
+                                                  grown.end(), w), w);
+                    if (supportSize(circuit, grown) <= options.maxQubits)
+                        next.insert(std::move(grown));
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+
+    std::sort(result.begin(), result.end(),
+              [](const MinedPattern &a, const MinedPattern &b) {
+                  if (a.coverage != b.coverage)
+                      return a.coverage > b.coverage;
+                  return a.code < b.code;
+              });
+    return result;
+}
+
+namespace {
+
+/**
+ * Makespan of the contracted circuit evaluated directly on the group
+ * DAG -- no circuit emission. Multi-gate group latencies are merged-
+ * unitary estimates clamped by the members' summed latency, memoized
+ * by member set so repeated trials are cheap.
+ */
+class ContractedScheduler
+{
+  public:
+    ContractedScheduler(const Circuit &circuit, const Dag &dag,
+                        const LatencyFn &latency)
+        : circuit_(circuit), dag_(dag), latency_(latency)
+    {}
+
+    double
+    makespan(const GroupContraction &gc)
+    {
+        const std::vector<std::vector<int>> members = gc.membersById();
+        const std::vector<int> order = gc.topologicalOrder();
+        std::vector<double> finish(members.size(), 0.0);
+        double best = 0.0;
+        for (int gid : order) {
+            const auto &m = members[static_cast<std::size_t>(gid)];
+            double start = 0.0;
+            for (int gate : m) {
+                for (int p : dag_.preds[static_cast<std::size_t>(
+                         gate)]) {
+                    const int pg = gc.groupOf(p);
+                    if (pg != gid)
+                        start = std::max(
+                            start,
+                            finish[static_cast<std::size_t>(pg)]);
+                }
+            }
+            finish[static_cast<std::size_t>(gid)] =
+                start + groupLatency(m);
+            best = std::max(best,
+                            finish[static_cast<std::size_t>(gid)]);
+        }
+        return best;
+    }
+
+  private:
+    double
+    groupLatency(const std::vector<int> &members)
+    {
+        if (members.size() == 1) {
+            return latency_(circuit_.gate(
+                static_cast<std::size_t>(members[0])));
+        }
+        const auto it = memo_.find(members);
+        if (it != memo_.end())
+            return it->second;
+        std::vector<Gate> gates;
+        gates.reserve(members.size());
+        double cap = 0.0;
+        for (int m : members) {
+            gates.push_back(circuit_.gate(static_cast<std::size_t>(m)));
+            cap += latency_(gates.back());
+        }
+        const SubcircuitUnitary sub = subcircuitUnitary(gates);
+        const Gate merged = Gate::custom(
+            "trial", sub.qubits, sub.matrix,
+            static_cast<int>(members.size()), cap);
+        const double lat = std::min(latency_(merged), cap);
+        memo_.emplace(members, lat);
+        return lat;
+    }
+
+    const Circuit &circuit_;
+    const Dag &dag_;
+    const LatencyFn &latency_;
+    std::map<std::vector<int>, double> memo_;
+};
+
+} // namespace
+
+ApaRewriteResult
+applyApaBasis(const Circuit &circuit,
+              const std::vector<MinedPattern> &patterns, int max_apa,
+              bool tuned, const LatencyFn *latency)
+{
+    ApaRewriteResult result;
+    if (max_apa == 0 && !tuned) {
+        result.circuit = circuit;
+        return result;
+    }
+
+    const Dag dag = buildDag(circuit);
+    GroupContraction contractor(circuit, dag);
+
+    std::set<int> used_nodes;
+    std::map<std::vector<int>, int> accepted; // nodes -> pattern index
+    int covered = 0;
+    int uses = 0;
+    int kinds = 0;
+
+    const auto emitter = [&](const std::vector<int> &members) {
+        std::vector<Gate> gates;
+        gates.reserve(members.size());
+        int absorbed = 0;
+        double cap = 0.0;
+        for (int m : members) {
+            gates.push_back(circuit.gate(static_cast<std::size_t>(m)));
+            absorbed += gates.back().absorbedCount();
+            if (latency != nullptr)
+                cap += (*latency)(gates.back());
+        }
+        const SubcircuitUnitary sub = subcircuitUnitary(gates);
+        const auto it = accepted.find(members);
+        PAQOC_ASSERT(it != accepted.end(),
+                     "merged group missing from accepted map");
+        return Gate::custom("apa" + std::to_string(it->second),
+                            sub.qubits, sub.matrix, absorbed,
+                            latency != nullptr
+                                ? cap
+                                : std::numeric_limits<
+                                      double>::infinity());
+    };
+
+    // Section V-C acceptance: an APA substitution must never lengthen
+    // the critical path. Same-width substitutions are covered by
+    // Observation 1 (merging gates sharing the same qubits is always
+    // beneficial); substitutions that *widen* the gate fall under
+    // Observation 2's width penalty and are only taken when the
+    // modeled merged latency does not exceed the member latencies run
+    // back to back.
+    const auto locally_beneficial = [&](const std::vector<int> &nodes) {
+        if (latency == nullptr)
+            return true;
+        std::vector<Gate> gates;
+        gates.reserve(nodes.size());
+        double sum = 0.0;
+        int absorbed = 0;
+        int max_member_width = 0;
+        std::set<int> support;
+        for (int n : nodes) {
+            const Gate &g = circuit.gate(static_cast<std::size_t>(n));
+            gates.push_back(g);
+            sum += (*latency)(g);
+            absorbed += g.absorbedCount();
+            max_member_width = std::max(max_member_width, g.arity());
+            support.insert(g.qubits().begin(), g.qubits().end());
+        }
+        if (static_cast<int>(support.size()) <= max_member_width)
+            return true; // same width: Observation 1 applies
+        const SubcircuitUnitary sub = subcircuitUnitary(gates);
+        const Gate merged = Gate::custom("apa?", sub.qubits, sub.matrix,
+                                         absorbed);
+        return (*latency)(merged) <= sum + 1e-9;
+    };
+
+    std::unique_ptr<ContractedScheduler> scheduler;
+    double cur_makespan = 0.0;
+    if (latency != nullptr) {
+        scheduler = std::make_unique<ContractedScheduler>(circuit, dag,
+                                                          *latency);
+        cur_makespan = scheduler->makespan(contractor);
+    }
+
+    for (std::size_t pi = 0; pi < patterns.size(); ++pi) {
+        if (!tuned && max_apa >= 0 && kinds >= max_apa)
+            break;
+        if (tuned
+            && uses > static_cast<int>(circuit.size()) - covered)
+            break; // APA uses already form the majority
+        const MinedPattern &p = patterns[pi];
+        bool used_this = false;
+        for (const auto &nodes : p.embeddings) {
+            bool clash = false;
+            for (int n : nodes) {
+                if (used_nodes.count(n)) {
+                    clash = true;
+                    break;
+                }
+            }
+            if (clash || !locally_beneficial(nodes))
+                continue;
+            const GroupContraction::State state =
+                contractor.snapshot();
+            if (!contractor.tryMerge(nodes))
+                continue;
+            if (scheduler != nullptr) {
+                // Global Section V-C check: the substitution must not
+                // lengthen the critical path (false dependences can
+                // delay sibling gates even when the merged pulse is
+                // locally faster -- the paper's Fig. 4 scenario).
+                const double makespan =
+                    scheduler->makespan(contractor);
+                if (makespan > cur_makespan + 1e-9) {
+                    contractor.restore(state);
+                    continue;
+                }
+                cur_makespan = makespan;
+            }
+            accepted[nodes] = static_cast<int>(pi);
+            used_nodes.insert(nodes.begin(), nodes.end());
+            covered += static_cast<int>(nodes.size());
+            ++uses;
+            used_this = true;
+        }
+        if (used_this) {
+            ++kinds;
+            result.selected.push_back(p);
+        }
+    }
+
+    result.apaGatesUsed = kinds;
+    result.gatesCovered = covered;
+    result.apaUseCount = uses;
+    result.circuit = contractor.emit(emitter);
+    return result;
+}
+
+} // namespace paqoc

@@ -1,0 +1,85 @@
+#ifndef PAQOC_MINING_MINER_H_
+#define PAQOC_MINING_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/schedule.h"
+#include "mining/labeled_graph.h"
+
+namespace paqoc {
+
+/** Tunables of the frequent-subcircuit miner. */
+struct MinerOptions
+{
+    /** Minimum disjoint occurrences for a pattern to be frequent. */
+    int minSupport = 2;
+    /** Maximum number of gates in a pattern. */
+    int maxPatternGates = 6;
+    /** Maximum qubit support of a pattern (the paper's maxN). */
+    int maxQubits = 3;
+};
+
+/** One frequent subcircuit found by the miner. */
+struct MinedPattern
+{
+    /** Canonical structure code (stable identity of the pattern). */
+    std::string code;
+    /** Human-readable rendering, e.g. "cx >(2-1)> rz(a) >(1-1)> cx". */
+    std::string description;
+    int numGates = 0;
+    /** Number of pairwise-disjoint, convex occurrences. */
+    int support = 0;
+    /** support * numGates: how many original gates it can absorb. */
+    int coverage = 0;
+    /** The disjoint occurrences (each a sorted list of gate indices). */
+    std::vector<std::vector<int>> embeddings;
+};
+
+/**
+ * Mine frequent subcircuits of a circuit via pattern growth on the
+ * labeled dependence graph (Section III-A). Returned patterns are
+ * sorted by descending coverage; every embedding is convex (it can be
+ * replaced by a single gate without creating a dependence cycle) and
+ * fits within maxQubits.
+ */
+std::vector<MinedPattern> mineFrequentSubcircuits(
+    const Circuit &circuit, const MinerOptions &options = {});
+
+/** Result of rewriting a circuit with APA-basis gates. */
+struct ApaRewriteResult
+{
+    Circuit circuit{1};
+    /** Number of distinct APA-basis gates actually used (<= M). */
+    int apaGatesUsed = 0;
+    /** Original gates absorbed into APA gates. */
+    int gatesCovered = 0;
+    /** APA gate uses in the rewritten circuit. */
+    int apaUseCount = 0;
+    /** The patterns selected as APA-basis gates. */
+    std::vector<MinedPattern> selected;
+};
+
+/**
+ * Replace occurrences of the top patterns with APA-basis gates.
+ *
+ * @param max_apa Number of APA-basis gate kinds allowed (the paper's
+ *        M knob); pass a negative value for M = inf. M = 0 returns the
+ *        circuit unchanged.
+ * @param tuned When true, ignore max_apa and pick the smallest M such
+ *        that APA gate uses outnumber remaining original gates
+ *        (paqoc(M=tuned) in Section VI).
+ * @param latency Optional gate-latency oracle. When given, an
+ *        occurrence is only replaced if the rewritten circuit's
+ *        critical path does not grow (the Section V-C guarantee that
+ *        APA substitution never increases the critical path).
+ */
+ApaRewriteResult applyApaBasis(const Circuit &circuit,
+                               const std::vector<MinedPattern> &patterns,
+                               int max_apa, bool tuned = false,
+                               const LatencyFn *latency = nullptr);
+
+} // namespace paqoc
+
+#endif // PAQOC_MINING_MINER_H_

@@ -1,0 +1,198 @@
+#include "paqoc/accqoc.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "circuit/contract.h"
+#include "circuit/dag.h"
+#include "common/error.h"
+#include "linalg/unitary_util.h"
+#include "qoc/pulse_cache.h"
+
+namespace paqoc {
+
+namespace {
+
+/** Open group state of the greedy fixed-size partitioner. */
+struct OpenGroup
+{
+    std::vector<int> gates;
+    std::set<int> support;
+    /** Per-qubit chain depth inside the group. */
+    std::map<int, int> depth;
+
+    int
+    maxDepth() const
+    {
+        int d = 0;
+        for (const auto &[q, dq] : depth)
+            d = std::max(d, dq);
+        return d;
+    }
+};
+
+} // namespace
+
+Circuit
+accqocPartition(const Circuit &circuit, const AccqocOptions &options,
+                const LatencyFn *latency)
+{
+    PAQOC_FATAL_IF(options.maxN < 1 || options.depth < 1,
+                   "bad AccQOC options");
+
+    // Greedy program-order sweep. open_of[q] is the open group owning
+    // physical qubit q, or -1. A gate joins a group only if all its
+    // claimed qubits belong to that one group and size/depth limits
+    // hold; otherwise the touched groups close and a fresh one opens.
+    std::vector<OpenGroup> groups;
+    std::vector<int> open_of(static_cast<std::size_t>(
+                                 circuit.numQubits()), -1);
+    std::vector<int> group_id_of_gate(circuit.size(), -1);
+
+    auto close_group = [&](int gid) {
+        for (int q : groups[static_cast<std::size_t>(gid)].support) {
+            if (open_of[static_cast<std::size_t>(q)] == gid)
+                open_of[static_cast<std::size_t>(q)] = -1;
+        }
+    };
+
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gate(i);
+        std::set<int> claimed;
+        for (int q : g.qubits()) {
+            const int gid = open_of[static_cast<std::size_t>(q)];
+            if (gid >= 0)
+                claimed.insert(gid);
+        }
+
+        int target = -1;
+        if (claimed.size() == 1) {
+            const int gid = *claimed.begin();
+            OpenGroup &grp = groups[static_cast<std::size_t>(gid)];
+            std::set<int> new_support = grp.support;
+            new_support.insert(g.qubits().begin(), g.qubits().end());
+            int gate_depth = 0;
+            for (int q : g.qubits()) {
+                const auto it = grp.depth.find(q);
+                gate_depth = std::max(gate_depth,
+                                      it == grp.depth.end() ? 0
+                                                            : it->second);
+            }
+            if (static_cast<int>(new_support.size()) <= options.maxN
+                && gate_depth + 1 <= options.depth) {
+                target = gid;
+            }
+        }
+
+        if (target < 0) {
+            for (int gid : claimed)
+                close_group(gid);
+            target = static_cast<int>(groups.size());
+            groups.emplace_back();
+        }
+
+        OpenGroup &grp = groups[static_cast<std::size_t>(target)];
+        int gate_depth = 0;
+        for (int q : g.qubits()) {
+            const auto it = grp.depth.find(q);
+            gate_depth = std::max(gate_depth,
+                                  it == grp.depth.end() ? 0 : it->second);
+        }
+        grp.gates.push_back(static_cast<int>(i));
+        grp.support.insert(g.qubits().begin(), g.qubits().end());
+        for (int q : g.qubits()) {
+            grp.depth[q] = gate_depth + 1;
+            open_of[static_cast<std::size_t>(q)] = target;
+        }
+        group_id_of_gate[i] = target;
+    }
+
+    // Contract each multi-gate group into one customized gate.
+    const Dag dag = buildDag(circuit);
+    GroupContraction gc(circuit, dag);
+    for (const OpenGroup &grp : groups) {
+        if (grp.gates.size() < 2)
+            continue;
+        const bool ok = gc.tryMerge(grp.gates);
+        PAQOC_ASSERT(ok, "AccQOC greedy group was not contractible");
+    }
+    return gc.emit([&](const std::vector<int> &members) {
+        std::vector<Gate> gates;
+        int absorbed = 0;
+        double cap = 0.0;
+        for (int m : members) {
+            gates.push_back(circuit.gate(static_cast<std::size_t>(m)));
+            absorbed += gates.back().absorbedCount();
+            if (latency != nullptr)
+                cap += (*latency)(gates.back());
+        }
+        const SubcircuitUnitary sub = subcircuitUnitary(gates);
+        return Gate::custom("blk", sub.qubits, sub.matrix, absorbed,
+                            latency != nullptr
+                                ? cap
+                                : std::numeric_limits<
+                                      double>::infinity());
+    });
+}
+
+std::vector<std::size_t>
+similarityMstOrder(const Circuit &circuit)
+{
+    // Representatives: first occurrence of each canonical unitary.
+    std::vector<std::size_t> reps;
+    std::vector<Matrix> unitaries;
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gate(i);
+        const Matrix u = g.unitary();
+        const std::string key = PulseCache::canonicalKey(u, g.arity());
+        if (seen.insert(key).second) {
+            reps.push_back(i);
+            unitaries.push_back(u);
+        }
+    }
+    const std::size_t n = reps.size();
+    if (n <= 2)
+        return reps;
+
+    // Prim's MST over the similarity graph; emit nodes in the order
+    // they join the tree so every pulse generation has a near neighbor
+    // already in the cache. Pairs of unequal dimension are infinitely
+    // far apart.
+    std::vector<char> in_tree(n, 0);
+    std::vector<double> best(n, std::numeric_limits<double>::infinity());
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    std::size_t cur = 0;
+    in_tree[0] = 1;
+    order.push_back(reps[0]);
+    for (std::size_t added = 1; added < n; ++added) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (in_tree[j])
+                continue;
+            const double d =
+                unitaries[cur].rows() == unitaries[j].rows()
+                    ? phaseInvariantDistance(unitaries[cur],
+                                             unitaries[j])
+                    : std::numeric_limits<double>::infinity();
+            best[j] = std::min(best[j], d);
+        }
+        std::size_t pick = 0;
+        double pick_d = std::numeric_limits<double>::infinity();
+        for (std::size_t j = 0; j < n; ++j) {
+            if (!in_tree[j] && best[j] <= pick_d) {
+                pick_d = best[j];
+                pick = j;
+            }
+        }
+        in_tree[pick] = 1;
+        order.push_back(reps[pick]);
+        cur = pick;
+    }
+    return order;
+}
+
+} // namespace paqoc

@@ -1,0 +1,47 @@
+#ifndef PAQOC_PAQOC_ACCQOC_H_
+#define PAQOC_PAQOC_ACCQOC_H_
+
+#include "circuit/circuit.h"
+#include "circuit/schedule.h"
+#include "qoc/pulse_generator.h"
+
+namespace paqoc {
+
+/** Knobs of the AccQOC baseline [Cheng, Deng, Qian ISCA'20]. */
+struct AccqocOptions
+{
+    /** Maximum qubits per fixed-size subcircuit (extended to 3). */
+    int maxN = 3;
+    /** Maximum depth of each subcircuit (the paper uses 3 and 5). */
+    int depth = 3;
+};
+
+/**
+ * The AccQOC baseline: greedily partition the physical circuit into
+ * fixed-size subcircuits of at most maxN qubits and bounded depth,
+ * then generate a pulse per subcircuit, ordering generation along a
+ * minimum-spanning tree of the pairwise unitary-similarity graph so
+ * that each GRAPE run can warm-start from its MST parent.
+ *
+ * accqoc_n3d3 / accqoc_n3d5 of the evaluation are this with depth
+ * 3 / 5.
+ *
+ * @param latency Optional latency oracle; when given, merged blocks
+ *        carry the stitched-pulse latency cap, same as PAQOC's merged
+ *        gates, so the two compilers are compared fairly.
+ */
+Circuit accqocPartition(const Circuit &circuit,
+                        const AccqocOptions &options = {},
+                        const LatencyFn *latency = nullptr);
+
+/**
+ * MST-based generation order over the distinct unitaries of a
+ * partitioned circuit (indices into `circuit.gates()`, covering one
+ * representative per distinct unitary first, cache-served repeats
+ * excluded). Exposed for tests; compileAccqoc uses it internally.
+ */
+std::vector<std::size_t> similarityMstOrder(const Circuit &circuit);
+
+} // namespace paqoc
+
+#endif // PAQOC_PAQOC_ACCQOC_H_

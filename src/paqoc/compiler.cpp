@@ -1,0 +1,104 @@
+#include "paqoc/compiler.h"
+
+#include "common/stopwatch.h"
+#include "paqoc/esp.h"
+#include "paqoc/latency_oracle.h"
+
+namespace paqoc {
+
+namespace {
+
+/** Fill the generator-delta and pulse-pass fields of a report. */
+void
+finishReport(CompileReport &report, const Circuit &final_circuit,
+             PulseGenerator &generator, const Stopwatch &watch,
+             double cost_before, std::size_t calls_before,
+             std::size_t hits_before)
+{
+    const CircuitPulses pulses =
+        generateCircuitPulses(final_circuit, generator);
+    report.circuit = final_circuit;
+    report.latency = pulses.makespan;
+    report.esp = pulses.esp;
+    report.finalGateCount = static_cast<int>(final_circuit.size());
+    report.wallSeconds = watch.seconds();
+    report.costUnits = generator.totalCostUnits() - cost_before;
+    report.pulseCalls = generator.generateCalls() - calls_before;
+    report.cacheHits = generator.cacheHits() - hits_before;
+}
+
+} // namespace
+
+CompileReport
+compilePaqoc(const Circuit &physical, PulseGenerator &generator,
+             const PaqocOptions &options)
+{
+    CompileReport report;
+    const Stopwatch watch;
+    const double cost0 = generator.totalCostUnits();
+    const std::size_t calls0 = generator.generateCalls();
+    const std::size_t hits0 = generator.cacheHits();
+
+    Circuit working = physical;
+
+    // Stage 1: frequent subcircuits miner + APA-basis rewriting, with
+    // the Section V-C guarantee that substitution never lengthens the
+    // critical path under the generator's latency estimates.
+    if (options.apaM != 0 || options.tuned) {
+        report.patterns =
+            mineFrequentSubcircuits(physical, options.miner);
+        LatencyOracle oracle(generator);
+        const LatencyFn lat_fn = [&](const Gate &g) {
+            return oracle(g);
+        };
+        ApaRewriteResult apa = applyApaBasis(
+            physical, report.patterns, options.apaM, options.tuned,
+            &lat_fn);
+        report.apaKinds = apa.apaGatesUsed;
+        report.apaUses = apa.apaUseCount;
+        report.gatesCovered = apa.gatesCovered;
+        working = std::move(apa.circuit);
+    }
+
+    // Stage 2: criticality-aware customized gates generator.
+    if (options.enableMerger) {
+        MergeResult merged =
+            mergeCustomizedGates(working, generator, options.merge);
+        report.merges = merged.stats.mergesApplied;
+        working = std::move(merged.circuit);
+    }
+
+    // Stage 3: control pulses generator + ESP.
+    finishReport(report, working, generator, watch, cost0, calls0,
+                 hits0);
+    return report;
+}
+
+CompileReport
+compileAccqoc(const Circuit &physical, PulseGenerator &generator,
+              const AccqocOptions &options)
+{
+    CompileReport report;
+    const Stopwatch watch;
+    const double cost0 = generator.totalCostUnits();
+    const std::size_t calls0 = generator.generateCalls();
+    const std::size_t hits0 = generator.cacheHits();
+
+    LatencyOracle oracle(generator);
+    const LatencyFn lat_fn = [&](const Gate &g) { return oracle(g); };
+    const Circuit partitioned =
+        accqocPartition(physical, options, &lat_fn);
+
+    // Generate pulses for distinct subcircuits in MST-similarity
+    // order so each GRAPE run warm-starts from a close neighbor.
+    for (std::size_t idx : similarityMstOrder(partitioned)) {
+        const Gate &g = partitioned.gate(idx);
+        generator.generate(g.unitary(), g.arity());
+    }
+
+    finishReport(report, partitioned, generator, watch, cost0, calls0,
+                 hits0);
+    return report;
+}
+
+} // namespace paqoc

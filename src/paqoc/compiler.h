@@ -1,0 +1,75 @@
+#ifndef PAQOC_PAQOC_COMPILER_H_
+#define PAQOC_PAQOC_COMPILER_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "mining/miner.h"
+#include "paqoc/accqoc.h"
+#include "paqoc/merge_engine.h"
+#include "qoc/pulse_generator.h"
+
+namespace paqoc {
+
+/** Configuration of one PAQOC compilation (Fig. 7). */
+struct PaqocOptions
+{
+    /**
+     * Number of APA-basis gate kinds (the paper's M): 0 disables the
+     * miner (paqoc(M=0)), a negative value means M = inf, positive
+     * values cap the APA set size.
+     */
+    int apaM = 0;
+    /** paqoc(M=tuned): smallest M making APA uses the majority. */
+    bool tuned = false;
+    /** Enable the criticality-aware customized gates generator. */
+    bool enableMerger = true;
+    MinerOptions miner;
+    MergeOptions merge;
+};
+
+/** Everything the evaluation harnesses need from one compilation. */
+struct CompileReport
+{
+    /** The final customized-gate circuit. */
+    Circuit circuit{1};
+    /** Whole-circuit pulse latency in dt (ASAP makespan). */
+    double latency = 0.0;
+    /** Estimated success probability, Eq. (2). */
+    double esp = 1.0;
+    /** Wall-clock compilation seconds. */
+    double wallSeconds = 0.0;
+    /** Modeled compilation cost in GRAPE-work units. */
+    double costUnits = 0.0;
+    /** Pulse-generation calls / cache hits during this compile. */
+    std::size_t pulseCalls = 0;
+    std::size_t cacheHits = 0;
+    /** APA statistics (zero when the miner is disabled). */
+    int apaKinds = 0;
+    int apaUses = 0;
+    int gatesCovered = 0;
+    /** Customized-gate merges applied by the merge engine. */
+    int merges = 0;
+    /** Gate count of the final circuit. */
+    int finalGateCount = 0;
+    /** Patterns mined (empty when the miner is disabled). */
+    std::vector<MinedPattern> patterns;
+};
+
+/**
+ * Full PAQOC pipeline: frequent-subcircuit mining + APA rewriting
+ * (subject to the M knob), criticality-aware customized gate
+ * generation, and the final pulse pass with ESP evaluation.
+ */
+CompileReport compilePaqoc(const Circuit &physical,
+                           PulseGenerator &generator,
+                           const PaqocOptions &options = {});
+
+/** The AccQOC baseline pipeline at a given depth limit. */
+CompileReport compileAccqoc(const Circuit &physical,
+                            PulseGenerator &generator,
+                            const AccqocOptions &options = {});
+
+} // namespace paqoc
+
+#endif // PAQOC_PAQOC_COMPILER_H_

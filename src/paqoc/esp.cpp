@@ -1,0 +1,37 @@
+#include "paqoc/esp.h"
+
+#include <algorithm>
+
+#include "circuit/schedule.h"
+#include "common/error.h"
+
+namespace paqoc {
+
+CircuitPulses
+generateCircuitPulses(const Circuit &circuit, PulseGenerator &generator)
+{
+    CircuitPulses out;
+    out.gateLatency.reserve(circuit.size());
+    out.gateError.reserve(circuit.size());
+    out.esp = 1.0;
+
+    for (const Gate &g : circuit.gates()) {
+        const PulseGenResult r = generator.generate(g.unitary(),
+                                                    g.arity());
+        // A merged pulse can always fall back to the stitched form, so
+        // analytical latencies are clamped to the gate's cap.
+        out.gateLatency.push_back(std::min(r.latency, g.latencyCap()));
+        out.gateError.push_back(r.error);
+        out.esp *= (1.0 - r.error);
+    }
+
+    std::size_t index = 0;
+    const Schedule sched = computeSchedule(
+        circuit, [&](const Gate &) { return out.gateLatency[index++]; });
+    // computeSchedule visits gates exactly once in program order.
+    PAQOC_ASSERT(index == circuit.size(), "latency walk out of sync");
+    out.makespan = sched.makespan;
+    return out;
+}
+
+} // namespace paqoc

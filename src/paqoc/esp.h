@@ -1,0 +1,34 @@
+#ifndef PAQOC_PAQOC_ESP_H_
+#define PAQOC_PAQOC_ESP_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "qoc/pulse_generator.h"
+
+namespace paqoc {
+
+/** Final pulse pass over a compiled circuit. */
+struct CircuitPulses
+{
+    /** Committed pulse latency per gate, in dt. */
+    std::vector<double> gateLatency;
+    /** Committed pulse error per gate. */
+    std::vector<double> gateError;
+    /** Whole-circuit latency (ASAP makespan) under those latencies. */
+    double makespan = 0.0;
+    /** Estimated success probability, Eq. (2). */
+    double esp = 0.0;
+};
+
+/**
+ * Generate (or fetch from the cache) the control pulse of every gate
+ * in a compiled circuit, schedule the circuit under the committed
+ * latencies, and evaluate the ESP product of Eq. (2).
+ */
+CircuitPulses generateCircuitPulses(const Circuit &circuit,
+                                    PulseGenerator &generator);
+
+} // namespace paqoc
+
+#endif // PAQOC_PAQOC_ESP_H_

@@ -1,0 +1,62 @@
+#ifndef PAQOC_PAQOC_LATENCY_ORACLE_H_
+#define PAQOC_PAQOC_LATENCY_ORACLE_H_
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "circuit/gate.h"
+#include "qoc/pulse_generator.h"
+
+namespace paqoc {
+
+/**
+ * Memoized gate-latency lookup used by the compiler passes. Primitive
+ * gates key on (op, angle); custom gates key on the address of their
+ * shared unitary, which is stable across circuit copies, so the memo
+ * survives the rebuild-after-merge cycle of Algorithm 1.
+ */
+class LatencyOracle
+{
+  public:
+    explicit LatencyOracle(PulseGenerator &generator)
+        : generator_(generator)
+    {}
+
+    double
+    operator()(const Gate &g)
+    {
+        if (g.isCustom()) {
+            const void *key = &g.customUnitary();
+            const auto it = custom_.find(key);
+            if (it != custom_.end())
+                return it->second;
+            // Clamp to the stitched-pulse fallback (Observation 1).
+            const double lat = std::min(
+                generator_.estimateLatency(g.customUnitary(),
+                                           g.arity()),
+                g.latencyCap());
+            custom_.emplace(key, lat);
+            return lat;
+        }
+        const auto key = std::make_pair(static_cast<int>(g.op()),
+                                        g.angle());
+        const auto it = primitive_.find(key);
+        if (it != primitive_.end())
+            return it->second;
+        const double lat =
+            generator_.estimateLatency(g.unitary(), g.arity());
+        primitive_.emplace(key, lat);
+        return lat;
+    }
+
+  private:
+    PulseGenerator &generator_;
+    std::unordered_map<const void *, double> custom_;
+    std::map<std::pair<int, double>, double> primitive_;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_PAQOC_LATENCY_ORACLE_H_

@@ -1,0 +1,29 @@
+#ifndef PAQOC_PAQOC_PREPROCESS_H_
+#define PAQOC_PAQOC_PREPROCESS_H_
+
+#include "circuit/circuit.h"
+#include "circuit/schedule.h"
+
+namespace paqoc {
+
+/**
+ * Observation-1 preprocessing (paper Section V-A, Fig. 8b->c): merge
+ * dependence-adjacent gates whose qubit support is nested (one set
+ * contains the other), since merging gates that share the same
+ * qubit(s) never increases latency. Runs to a fixpoint; merged gates
+ * become Custom gates carrying their joint unitary.
+ *
+ * @param max_qubits Upper bound on a merged gate's qubit support
+ *        (the paper's maxN).
+ * @param latency Optional latency oracle; when given, merged gates
+ *        carry a latency cap equal to their members' summed latency
+ *        (the stitched-pulse fallback), keeping Observation 1 exact
+ *        under the analytical model.
+ */
+Circuit preprocessMergeNestedSupport(const Circuit &circuit,
+                                     int max_qubits,
+                                     const LatencyFn *latency = nullptr);
+
+} // namespace paqoc
+
+#endif // PAQOC_PAQOC_PREPROCESS_H_

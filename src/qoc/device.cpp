@@ -1,0 +1,81 @@
+#include "qoc/device.h"
+
+#include <sstream>
+
+#include "circuit/circuit.h"
+#include "common/error.h"
+
+namespace paqoc {
+
+namespace {
+
+Matrix
+pauliX()
+{
+    return Matrix{{0.0, 1.0}, {1.0, 0.0}};
+}
+
+Matrix
+pauliY()
+{
+    return Matrix{{Complex(0, 0), Complex(0, -1)},
+                  {Complex(0, 1), Complex(0, 0)}};
+}
+
+} // namespace
+
+DeviceModel::DeviceModel(int num_qubits,
+                         std::vector<std::pair<int, int>> couplings)
+    : num_qubits_(num_qubits)
+{
+    PAQOC_FATAL_IF(num_qubits < 1 || num_qubits > 6,
+                   "DeviceModel supports 1..6 qubits, got ", num_qubits);
+    if (couplings.empty()) {
+        for (int i = 0; i + 1 < num_qubits; ++i)
+            couplings.emplace_back(i, i + 1);
+    }
+
+    // Single-qubit sigma_x / sigma_y drives.
+    for (int q = 0; q < num_qubits_; ++q) {
+        controls_.push_back(embedUnitary(pauliX(), {q}, num_qubits_));
+        bounds_.push_back(kOneQubitBound);
+        names_.push_back("x" + std::to_string(q));
+        controls_.push_back(embedUnitary(pauliY(), {q}, num_qubits_));
+        bounds_.push_back(kOneQubitBound);
+        names_.push_back("y" + std::to_string(q));
+    }
+
+    // XY exchange control per coupled pair: (XX + YY) / 2.
+    for (const auto &[a, b] : couplings) {
+        PAQOC_FATAL_IF(a < 0 || b < 0 || a >= num_qubits_
+                           || b >= num_qubits_ || a == b,
+                       "bad coupling edge (", a, ",", b, ")");
+        Matrix xy = embedUnitary(kron(pauliX(), pauliX()), {a, b},
+                                 num_qubits_)
+            + embedUnitary(kron(pauliY(), pauliY()), {a, b}, num_qubits_);
+        xy *= Complex(0.5, 0.0);
+        controls_.push_back(std::move(xy));
+        bounds_.push_back(kTwoQubitBound);
+        std::ostringstream name;
+        name << "xy" << a << b;
+        names_.push_back(name.str());
+    }
+}
+
+Matrix
+DeviceModel::sliceHamiltonian(const std::vector<double> &amplitudes) const
+{
+    PAQOC_ASSERT(amplitudes.size() == controls_.size(),
+                 "amplitude count mismatch");
+    Matrix h(dim(), dim());
+    for (std::size_t k = 0; k < controls_.size(); ++k) {
+        if (amplitudes[k] == 0.0)
+            continue;
+        Matrix term = controls_[k];
+        term *= Complex(amplitudes[k], 0.0);
+        h += term;
+    }
+    return h;
+}
+
+} // namespace paqoc

@@ -1,0 +1,247 @@
+#include "qoc/grape.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/expm.h"
+#include "linalg/unitary_util.h"
+
+namespace paqoc {
+
+namespace {
+
+/** Trace of a * b without forming the product matrix. */
+Complex
+traceOfProduct(const Matrix &a, const Matrix &b)
+{
+    const std::size_t n = a.rows();
+    Complex t(0.0, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t k = 0; k < n; ++k)
+            t += a(i, k) * b(k, i);
+    return t;
+}
+
+/** One ADAM-optimized GRAPE state. */
+class GrapeRun
+{
+  public:
+    GrapeRun(const DeviceModel &device, const Matrix &target,
+             int num_slices, const GrapeOptions &opts)
+        : device_(device), target_(target), opts_(opts),
+          n_slices_(num_slices),
+          n_controls_(device.numControls()),
+          dim_(device.dim())
+    {
+        u_.assign(static_cast<std::size_t>(n_slices_),
+                  std::vector<double>(n_controls_, 0.0));
+        m_.assign(u_.size(), std::vector<double>(n_controls_, 0.0));
+        v_.assign(u_.size(), std::vector<double>(n_controls_, 0.0));
+    }
+
+    void
+    seedRandom(Rng &rng)
+    {
+        for (auto &slice : u_)
+            for (std::size_t k = 0; k < n_controls_; ++k)
+                slice[k] = 0.5 * device_.bound(k)
+                    * rng.uniform(-1.0, 1.0);
+    }
+
+    void
+    seedFrom(const PulseSchedule &guess)
+    {
+        // Stretch or shrink the guess to the new slice count by
+        // nearest-neighbor resampling, then clip to bounds.
+        const int src = guess.numSlices();
+        if (src == 0)
+            return;
+        for (int t = 0; t < n_slices_; ++t) {
+            const int s = std::min(src - 1, t * src / n_slices_);
+            for (std::size_t k = 0; k < n_controls_; ++k) {
+                const double amp =
+                    k < guess.amplitudes[static_cast<std::size_t>(s)]
+                            .size()
+                        ? guess.amplitudes[static_cast<std::size_t>(s)][k]
+                        : 0.0;
+                u_[static_cast<std::size_t>(t)][k] = std::clamp(
+                    amp, -device_.bound(k), device_.bound(k));
+            }
+        }
+    }
+
+    GrapeResult optimize();
+
+  private:
+    double fidelityAndGradient(std::vector<std::vector<double>> &grad);
+
+    const DeviceModel &device_;
+    const Matrix &target_;
+    const GrapeOptions &opts_;
+    int n_slices_;
+    std::size_t n_controls_;
+    std::size_t dim_;
+
+    std::vector<std::vector<double>> u_; // amplitudes [slice][control]
+    std::vector<std::vector<double>> m_; // ADAM first moment
+    std::vector<std::vector<double>> v_; // ADAM second moment
+};
+
+double
+GrapeRun::fidelityAndGradient(std::vector<std::vector<double>> &grad)
+{
+    const double d = static_cast<double>(dim_);
+
+    // Forward pass: slice propagators and prefix products F_t.
+    std::vector<Matrix> props(static_cast<std::size_t>(n_slices_));
+    std::vector<Matrix> prefix(static_cast<std::size_t>(n_slices_));
+    Matrix acc = Matrix::identity(dim_);
+    for (int t = 0; t < n_slices_; ++t) {
+        const Matrix h = device_.sliceHamiltonian(
+            u_[static_cast<std::size_t>(t)]);
+        props[static_cast<std::size_t>(t)] = expmPropagator(h, 1.0);
+        acc = props[static_cast<std::size_t>(t)] * acc;
+        prefix[static_cast<std::size_t>(t)] = acc;
+    }
+    const Complex g = traceOfProduct(target_.adjoint(), acc);
+    const double fidelity = std::norm(g) / (d * d);
+
+    // Backward pass: R_t = target^dag * U_N ... U_{t+1}; the gradient
+    // of |g|^2/d^2 w.r.t. amplitude u_{t,k} with the first-order
+    // propagator derivative -i dt H_k U_t is
+    //   (2/d^2) * Re( conj(g) * Tr(R_t * (-i) * H_k * F_t) ).
+    Matrix r = target_.adjoint();
+    for (int t = n_slices_ - 1; t >= 0; --t) {
+        const Matrix hf_base = prefix[static_cast<std::size_t>(t)];
+        for (std::size_t k = 0; k < n_controls_; ++k) {
+            const Matrix hk_f = device_.control(k) * hf_base;
+            const Complex tr = traceOfProduct(r, hk_f);
+            const Complex dgrad = std::conj(g) * (Complex(0, -1) * tr);
+            grad[static_cast<std::size_t>(t)][k] =
+                2.0 * dgrad.real() / (d * d);
+        }
+        r = r * props[static_cast<std::size_t>(t)];
+    }
+    return fidelity;
+}
+
+GrapeResult
+GrapeRun::optimize()
+{
+    constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+    std::vector<std::vector<double>> grad(
+        static_cast<std::size_t>(n_slices_),
+        std::vector<double>(n_controls_, 0.0));
+
+    GrapeResult result;
+    double best_fidelity = 0.0;
+    std::vector<std::vector<double>> best_u = u_;
+
+    for (int iter = 1; iter <= opts_.maxIterations; ++iter) {
+        const double fidelity = fidelityAndGradient(grad);
+        if (fidelity > best_fidelity) {
+            best_fidelity = fidelity;
+            best_u = u_;
+        }
+        result.iterations = iter;
+        if (1.0 - fidelity <= opts_.targetInfidelity) {
+            result.converged = true;
+            break;
+        }
+
+        const double b1t = 1.0 - std::pow(kBeta1, iter);
+        const double b2t = 1.0 - std::pow(kBeta2, iter);
+        for (int t = 0; t < n_slices_; ++t) {
+            const auto ts = static_cast<std::size_t>(t);
+            for (std::size_t k = 0; k < n_controls_; ++k) {
+                const double gkt = grad[ts][k];
+                m_[ts][k] = kBeta1 * m_[ts][k] + (1.0 - kBeta1) * gkt;
+                v_[ts][k] = kBeta2 * v_[ts][k]
+                    + (1.0 - kBeta2) * gkt * gkt;
+                const double mhat = m_[ts][k] / b1t;
+                const double vhat = v_[ts][k] / b2t;
+                const double step = opts_.learningRate * device_.bound(k)
+                    * mhat / (std::sqrt(vhat) + kEps);
+                u_[ts][k] = std::clamp(u_[ts][k] + step,
+                                       -device_.bound(k),
+                                       device_.bound(k));
+            }
+        }
+    }
+
+    result.schedule.amplitudes = std::move(best_u);
+    result.schedule.fidelity = best_fidelity;
+    return result;
+}
+
+} // namespace
+
+GrapeResult
+grapeOptimize(const DeviceModel &device, const Matrix &target,
+              int num_slices, const GrapeOptions &options,
+              const PulseSchedule *initial_guess)
+{
+    PAQOC_FATAL_IF(num_slices <= 0, "pulse needs at least one slice");
+    PAQOC_FATAL_IF(target.rows() != device.dim(),
+                   "target dimension ", target.rows(),
+                   " does not match device dimension ", device.dim());
+    GrapeRun run(device, target, num_slices, options);
+    Rng rng(options.seed + static_cast<std::uint64_t>(num_slices));
+    if (initial_guess != nullptr && initial_guess->numSlices() > 0)
+        run.seedFrom(*initial_guess);
+    else
+        run.seedRandom(rng);
+    return run.optimize();
+}
+
+MinDurationResult
+findMinimumDuration(const DeviceModel &device, const Matrix &target,
+                    const GrapeOptions &options, int latency_hint,
+                    const PulseSchedule *initial_guess)
+{
+    MinDurationResult out;
+
+    auto trial = [&](int slices) {
+        GrapeResult r = grapeOptimize(device, target, slices, options,
+                                      initial_guess);
+        out.totalIterations += r.iterations;
+        ++out.trials;
+        return r;
+    };
+
+    // Exponential bracketing upward from the hint until convergence.
+    int lo = 1;
+    int hi = std::max(latency_hint, 4);
+    GrapeResult at_hi = trial(hi);
+    const int kMaxSlices = 4096;
+    while (!at_hi.converged && hi < kMaxSlices) {
+        lo = hi + 1;
+        hi *= 2;
+        at_hi = trial(hi);
+    }
+    PAQOC_FATAL_IF(!at_hi.converged,
+                   "GRAPE could not reach the target fidelity within ",
+                   kMaxSlices, " slices");
+
+    // Binary search for the shortest converging duration in [lo, hi].
+    GrapeResult best = at_hi;
+    int best_slices = hi;
+    while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        GrapeResult r = trial(mid);
+        if (r.converged) {
+            best = r;
+            best_slices = mid;
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    (void)best_slices;
+    out.schedule = std::move(best.schedule);
+    return out;
+}
+
+} // namespace paqoc

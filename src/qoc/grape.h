@@ -1,0 +1,69 @@
+#ifndef PAQOC_QOC_GRAPE_H_
+#define PAQOC_QOC_GRAPE_H_
+
+#include <optional>
+
+#include "qoc/device.h"
+#include "qoc/pulse.h"
+
+namespace paqoc {
+
+/** Knobs of the GRAPE optimizer (gradient ascent + ADAM). */
+struct GrapeOptions
+{
+    /** Stop when 1 - fidelity drops below this. */
+    double targetInfidelity = 1e-3;
+    /** Maximum ADAM iterations per duration trial. */
+    int maxIterations = 300;
+    /** ADAM learning rate (in units of the control bound). */
+    double learningRate = 0.05;
+    /** Seed for the random initial pulse. */
+    std::uint64_t seed = 7;
+};
+
+/** Outcome of one fixed-duration GRAPE run. */
+struct GrapeResult
+{
+    PulseSchedule schedule;
+    bool converged = false;
+    int iterations = 0;
+};
+
+/**
+ * Optimize a piecewise-constant pulse of num_slices slices to realize
+ * the target unitary on the device, via GRAPE with first-order
+ * gradients and ADAM updates; amplitudes are clipped to the per-control
+ * bounds each step. An optional initial guess (e.g., a similar cached
+ * pulse, per AccQOC) warm-starts the optimization; it is resized to
+ * num_slices if needed.
+ */
+GrapeResult grapeOptimize(const DeviceModel &device, const Matrix &target,
+                          int num_slices, const GrapeOptions &options = {},
+                          const PulseSchedule *initial_guess = nullptr);
+
+/** Result of the minimum-duration search. */
+struct MinDurationResult
+{
+    PulseSchedule schedule;
+    /** Total GRAPE iterations spent across all duration trials. */
+    int totalIterations = 0;
+    /** Number of duration trials evaluated. */
+    int trials = 0;
+};
+
+/**
+ * Find (by exponential bracketing + binary search, Section V-B) the
+ * minimum pulse duration at which GRAPE reaches the target fidelity,
+ * and return the pulse at that duration.
+ *
+ * @param latency_hint Optional starting point for the bracket (e.g.,
+ *        the analytical model's estimate); 0 means unknown.
+ */
+MinDurationResult findMinimumDuration(
+    const DeviceModel &device, const Matrix &target,
+    const GrapeOptions &options = {}, int latency_hint = 0,
+    const PulseSchedule *initial_guess = nullptr);
+
+} // namespace paqoc
+
+#endif // PAQOC_QOC_GRAPE_H_

@@ -1,0 +1,83 @@
+#include "qoc/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/unitary_util.h"
+#include "qoc/device.h"
+
+namespace paqoc {
+
+double
+SpectralLatencyModel::effectiveRate(int num_qubits)
+{
+    switch (num_qubits) {
+      case 1:
+        // Both sigma_x and sigma_y drives available at 5 * u_max.
+        return DeviceModel::kOneQubitBound;
+      default:
+        // Entangling content is bottlenecked by the XY exchange at
+        // u_max; the factor is calibrated so the modeled CX duration
+        // matches GRAPE's measured minimum (~86 dt).
+        return DeviceModel::kTwoQubitBound * 0.45;
+    }
+}
+
+double
+SpectralLatencyModel::latency(const Matrix &unitary, int num_qubits) const
+{
+    PAQOC_FATAL_IF(num_qubits < 1, "bad qubit count");
+    PAQOC_ASSERT(unitary.rows() == (std::size_t{1} << num_qubits),
+                 "unitary does not match qubit count");
+    // Split quantum-speed-limit model: local generator content runs on
+    // the strong single-qubit drives concurrently with the entangling
+    // content on the weak exchange couplings. Adjacent-pair content
+    // uses separate exchange channels concurrently (so the slowest
+    // channel bounds the time); weight->=3 and non-adjacent content
+    // (largely BCH residue of composing different channels) adds on
+    // top at the exchange rate.
+    const PauliSplitNorms norms = pauliSplitNorms(unitary, num_qubits);
+    const double local_slices =
+        std::ceil(norms.localNorm / effectiveRate(1));
+    const double ent_slices = num_qubits >= 2
+        ? std::ceil((norms.adjacentPairNorm + norms.hardNorm)
+                    / effectiveRate(2))
+        : 0.0;
+    return std::max({kFloor, local_slices, ent_slices});
+}
+
+double
+SpectralLatencyModel::averageLatency(int num_qubits) const
+{
+    // Typical entangling content of a Haar-ish random target is
+    // O(pi/2); local content rides along on the fast drives.
+    constexpr double kTypicalPhase = 1.57;
+    if (num_qubits == 1) {
+        return std::max(kFloor,
+                        std::ceil(kTypicalPhase / effectiveRate(1)));
+    }
+    return std::max(kFloor,
+                    std::ceil(0.5 * kTypicalPhase
+                              / effectiveRate(num_qubits)));
+}
+
+double
+SpectralLatencyModel::pulseError(int num_qubits, double latency) const
+{
+    const double err = 1.5e-3 * num_qubits + 2.0e-5 * latency;
+    return std::min(err, 0.5);
+}
+
+double
+SpectralLatencyModel::compileCost(int num_qubits, double latency) const
+{
+    // GRAPE work model: iterations grow mildly with width; per
+    // iteration cost is slices x dim^3 (propagators dominate).
+    const double dim = std::pow(2.0, num_qubits);
+    const double iterations = 60.0 * num_qubits;
+    const double trials = 8.0; // duration binary-search probes
+    return trials * iterations * latency * dim * dim * dim;
+}
+
+} // namespace paqoc

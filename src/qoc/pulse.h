@@ -1,0 +1,32 @@
+#ifndef PAQOC_QOC_PULSE_H_
+#define PAQOC_QOC_PULSE_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace paqoc {
+
+/**
+ * A piecewise-constant control pulse schedule: amplitudes[t][k] is the
+ * amplitude of control k during time slice t (each slice lasts one dt).
+ * Latency in dt units is simply the number of slices.
+ */
+struct PulseSchedule
+{
+    /** Per-slice, per-control amplitudes in rad/dt. */
+    std::vector<std::vector<double>> amplitudes;
+    /** Trace fidelity |Tr(U_target^dag U(T))|^2 / d^2 achieved. */
+    double fidelity = 0.0;
+
+    int numSlices() const
+    { return static_cast<int>(amplitudes.size()); }
+
+    /** Latency in dt units (one slice per dt). */
+    double latency() const
+    { return static_cast<double>(amplitudes.size()); }
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_QOC_PULSE_H_

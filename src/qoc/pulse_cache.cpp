@@ -1,0 +1,201 @@
+#include "qoc/pulse_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "linalg/unitary_util.h"
+
+namespace paqoc {
+
+namespace {
+
+/** Normalize global phase: largest-magnitude entry made real positive. */
+Matrix
+phaseNormalized(const Matrix &u)
+{
+    std::size_t best_r = 0, best_c = 0;
+    double best = -1.0;
+    for (std::size_t r = 0; r < u.rows(); ++r) {
+        for (std::size_t c = 0; c < u.cols(); ++c) {
+            const double m = std::abs(u(r, c));
+            if (m > best + 1e-12) {
+                best = m;
+                best_r = r;
+                best_c = c;
+            }
+        }
+    }
+    const Complex pivot = u(best_r, best_c);
+    Matrix out = u;
+    if (std::abs(pivot) > 1e-12)
+        out *= std::conj(pivot) / std::abs(pivot);
+    return out;
+}
+
+/** Relabel qubits by reversing their order (path symmetry). */
+Matrix
+bitReversed(const Matrix &u, int num_qubits)
+{
+    const std::size_t dim = u.rows();
+    auto rev = [num_qubits](std::size_t x) {
+        std::size_t y = 0;
+        for (int b = 0; b < num_qubits; ++b)
+            y |= ((x >> b) & 1u) << (num_qubits - 1 - b);
+        return y;
+    };
+    Matrix out(dim, dim);
+    for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+            out(rev(r), rev(c)) = u(r, c);
+    return out;
+}
+
+std::string
+quantized(const Matrix &u)
+{
+    std::string s;
+    s.reserve(u.rows() * u.cols() * 20);
+    char buf[48];
+    for (std::size_t r = 0; r < u.rows(); ++r) {
+        for (std::size_t c = 0; c < u.cols(); ++c) {
+            // Round at 1e-4 so GRAPE noise maps to a stable key; the
+            // +0.0 folds negative zero.
+            const double re =
+                std::round(u(r, c).real() * 1e4) / 1e4 + 0.0;
+            const double im =
+                std::round(u(r, c).imag() * 1e4) / 1e4 + 0.0;
+            std::snprintf(buf, sizeof buf, "%.4f,%.4f;", re, im);
+            s += buf;
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+std::string
+PulseCache::canonicalKey(const Matrix &unitary, int num_qubits)
+{
+    PAQOC_ASSERT(unitary.rows() == (std::size_t{1} << num_qubits),
+                 "unitary does not match qubit count");
+    std::string key = quantized(phaseNormalized(unitary));
+    if (num_qubits > 1) {
+        std::string alt = quantized(
+            phaseNormalized(bitReversed(unitary, num_qubits)));
+        if (alt < key)
+            key = std::move(alt);
+    }
+    return std::to_string(num_qubits) + ":" + key;
+}
+
+const CachedPulse *
+PulseCache::lookup(const Matrix &unitary, int num_qubits) const
+{
+    const auto it = entries_.find(canonicalKey(unitary, num_qubits));
+    if (it == entries_.end())
+        return nullptr;
+    ++hits_;
+    return &it->second;
+}
+
+void
+PulseCache::insert(const Matrix &unitary, int num_qubits,
+                   CachedPulse entry)
+{
+    entry.unitary = unitary;
+    entry.numQubits = num_qubits;
+    entries_[canonicalKey(unitary, num_qubits)] = std::move(entry);
+}
+
+void
+PulseCache::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    PAQOC_FATAL_IF(!out, "cannot write pulse database '", path, "'");
+    out << "paqoc-pulse-db 1\n";
+    out.precision(17);
+    for (const auto &[key, e] : entries_) {
+        const std::size_t dim = e.unitary.rows();
+        out << "entry " << e.numQubits << ' ' << e.latency << ' '
+            << e.error << ' ' << dim << ' '
+            << e.schedule.numSlices() << ' '
+            << (e.schedule.numSlices() > 0
+                    ? e.schedule.amplitudes[0].size()
+                    : 0)
+            << ' ' << e.schedule.fidelity << '\n';
+        for (std::size_t r = 0; r < dim; ++r) {
+            for (std::size_t c = 0; c < dim; ++c)
+                out << e.unitary(r, c).real() << ' '
+                    << e.unitary(r, c).imag() << ' ';
+            out << '\n';
+        }
+        for (const auto &slice : e.schedule.amplitudes) {
+            for (double a : slice)
+                out << a << ' ';
+            out << '\n';
+        }
+    }
+}
+
+void
+PulseCache::load(const std::string &path)
+{
+    std::ifstream in(path);
+    PAQOC_FATAL_IF(!in, "cannot read pulse database '", path, "'");
+    std::string magic;
+    int version = 0;
+    in >> magic >> version;
+    PAQOC_FATAL_IF(magic != "paqoc-pulse-db" || version != 1,
+                   "'", path, "' is not a version-1 pulse database");
+    std::string tag;
+    while (in >> tag) {
+        PAQOC_FATAL_IF(tag != "entry", "corrupt pulse database '",
+                       path, "'");
+        CachedPulse e;
+        std::size_t dim = 0, slices = 0, channels = 0;
+        in >> e.numQubits >> e.latency >> e.error >> dim >> slices
+            >> channels >> e.schedule.fidelity;
+        PAQOC_FATAL_IF(!in || dim == 0 || dim > 256,
+                       "corrupt pulse database '", path, "'");
+        e.unitary = Matrix(dim, dim);
+        for (std::size_t r = 0; r < dim; ++r) {
+            for (std::size_t c = 0; c < dim; ++c) {
+                double re = 0.0, im = 0.0;
+                in >> re >> im;
+                e.unitary(r, c) = Complex(re, im);
+            }
+        }
+        e.schedule.amplitudes.assign(slices,
+                                     std::vector<double>(channels));
+        for (auto &slice : e.schedule.amplitudes)
+            for (double &a : slice)
+                in >> a;
+        PAQOC_FATAL_IF(!in, "corrupt pulse database '", path, "'");
+        const Matrix u = e.unitary;
+        const int nq = e.numQubits;
+        insert(u, nq, std::move(e));
+    }
+}
+
+const CachedPulse *
+PulseCache::nearest(const Matrix &unitary, int num_qubits,
+                    double max_distance) const
+{
+    const CachedPulse *best = nullptr;
+    double best_dist = max_distance;
+    for (const auto &[key, entry] : entries_) {
+        if (entry.numQubits != num_qubits)
+            continue;
+        const double d = phaseInvariantDistance(entry.unitary, unitary);
+        if (d <= best_dist) {
+            best_dist = d;
+            best = &entry;
+        }
+    }
+    return best;
+}
+
+} // namespace paqoc

@@ -1,0 +1,76 @@
+#ifndef PAQOC_QOC_PULSE_CACHE_H_
+#define PAQOC_QOC_PULSE_CACHE_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "qoc/pulse.h"
+
+namespace paqoc {
+
+/** One cached pulse-generation outcome. */
+struct CachedPulse
+{
+    double latency = 0.0;
+    double error = 0.0;
+    PulseSchedule schedule; // empty for model-generated entries
+    Matrix unitary;         // canonical-form target, for similarity
+    int numQubits = 0;
+};
+
+/**
+ * Lookup table of previously generated pulses (paper Section V-B).
+ *
+ * Keys are canonical forms of the target unitary: global phase is
+ * normalized away and, because a <=3-qubit connected region of the
+ * grid couples as a path, the qubit order may be reversed without
+ * changing the control problem -- both orientations map to one key.
+ * The cache also serves nearest-neighbor queries so a similar cached
+ * pulse can seed GRAPE (the AccQOC-style warm start PAQOC adopts).
+ */
+class PulseCache
+{
+  public:
+    PulseCache() = default;
+
+    /** Exact canonical lookup. */
+    const CachedPulse *lookup(const Matrix &unitary, int num_qubits) const;
+
+    /** Insert (or overwrite) the entry for a unitary. */
+    void insert(const Matrix &unitary, int num_qubits, CachedPulse entry);
+
+    /**
+     * Closest cached entry of the same width within max_distance
+     * (global-phase-invariant Frobenius distance), or nullptr.
+     */
+    const CachedPulse *nearest(const Matrix &unitary, int num_qubits,
+                               double max_distance) const;
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t hits() const { return hits_; }
+
+    /**
+     * Persist the database to disk (the paper's offline/online split,
+     * contribution 5: pulses generated offline -- e.g. for APA-basis
+     * gates mined from a parameterized circuit -- are reloaded by the
+     * online compilation and served as cache hits).
+     */
+    void save(const std::string &path) const;
+
+    /** Merge a previously saved database into this one. */
+    void load(const std::string &path);
+
+    /** Canonical string key (exposed for tests). */
+    static std::string canonicalKey(const Matrix &unitary, int num_qubits);
+
+  private:
+    std::unordered_map<std::string, CachedPulse> entries_;
+    mutable std::size_t hits_ = 0;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_QOC_PULSE_CACHE_H_

@@ -1,0 +1,107 @@
+#include "qoc/pulse_generator.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+PulseGenResult
+SpectralPulseGenerator::generate(const Matrix &unitary, int num_qubits)
+{
+    PulseGenResult result;
+    const CachedPulse *hit =
+        cache_enabled_ ? cache_.lookup(unitary, num_qubits) : nullptr;
+    if (hit != nullptr) {
+        result.latency = hit->latency;
+        result.error = hit->error;
+        result.cacheHit = true;
+        result.costUnits = 0.0;
+        record(result);
+        return result;
+    }
+    result.latency = model_.latency(unitary, num_qubits);
+    result.error = model_.pulseError(num_qubits, result.latency);
+    result.costUnits = model_.compileCost(num_qubits, result.latency);
+
+    CachedPulse entry;
+    entry.latency = result.latency;
+    entry.error = result.error;
+    cache_.insert(unitary, num_qubits, std::move(entry));
+    record(result);
+    return result;
+}
+
+double
+SpectralPulseGenerator::estimateLatency(const Matrix &unitary,
+                                        int num_qubits)
+{
+    if (const CachedPulse *hit = cache_.lookup(unitary, num_qubits))
+        return hit->latency;
+    return model_.latency(unitary, num_qubits);
+}
+
+double
+SpectralPulseGenerator::averageLatency(int num_qubits)
+{
+    return model_.averageLatency(num_qubits);
+}
+
+GrapePulseGenerator::GrapePulseGenerator(GrapeOptions options)
+    : options_(options)
+{}
+
+PulseGenResult
+GrapePulseGenerator::generate(const Matrix &unitary, int num_qubits)
+{
+    PulseGenResult result;
+    if (const CachedPulse *hit = cache_.lookup(unitary, num_qubits)) {
+        result.latency = hit->latency;
+        result.error = hit->error;
+        result.schedule = hit->schedule;
+        result.cacheHit = true;
+        record(result);
+        return result;
+    }
+
+    // Warm-start from the nearest cached pulse if one is close; use
+    // the analytical estimate to start the duration bracket.
+    const CachedPulse *seed =
+        cache_.nearest(unitary, num_qubits, seed_distance_);
+    const int hint =
+        static_cast<int>(model_.latency(unitary, num_qubits));
+    const MinDurationResult min_dur = findMinimumDuration(
+        DeviceModel(num_qubits), unitary, options_, hint,
+        seed != nullptr ? &seed->schedule : nullptr);
+
+    result.latency = min_dur.schedule.latency();
+    result.error = 1.0 - min_dur.schedule.fidelity;
+    result.schedule = min_dur.schedule;
+    const double dim = std::pow(2.0, num_qubits);
+    result.costUnits = static_cast<double>(min_dur.totalIterations)
+        * result.latency * dim * dim * dim;
+
+    CachedPulse entry;
+    entry.latency = result.latency;
+    entry.error = result.error;
+    entry.schedule = min_dur.schedule;
+    cache_.insert(unitary, num_qubits, std::move(entry));
+    record(result);
+    return result;
+}
+
+double
+GrapePulseGenerator::estimateLatency(const Matrix &unitary, int num_qubits)
+{
+    if (const CachedPulse *hit = cache_.lookup(unitary, num_qubits))
+        return hit->latency;
+    return model_.latency(unitary, num_qubits);
+}
+
+double
+GrapePulseGenerator::averageLatency(int num_qubits)
+{
+    return model_.averageLatency(num_qubits);
+}
+
+} // namespace paqoc

@@ -1,0 +1,38 @@
+#ifndef PAQOC_QOC_PULSE_IO_H_
+#define PAQOC_QOC_PULSE_IO_H_
+
+#include <string>
+
+#include "qoc/device.h"
+#include "qoc/pulse.h"
+
+namespace paqoc {
+
+/**
+ * Render a pulse schedule as CSV: one row per dt slice, one column per
+ * control channel (named after the device's channels, e.g. x0, y0,
+ * xy01), preceded by a "t" column. This is the hand-off format for
+ * driving external waveform tooling.
+ */
+std::string pulseToCsv(const PulseSchedule &schedule,
+                       const DeviceModel &device);
+
+/**
+ * Parse a pulse CSV produced by pulseToCsv (the header row is
+ * validated against the device's channel names). Fidelity metadata is
+ * not stored in the CSV; the returned schedule has fidelity 0.
+ */
+PulseSchedule pulseFromCsv(const std::string &csv,
+                           const DeviceModel &device);
+
+/**
+ * Compact ASCII rendering of a schedule (one line per control, time
+ * running left to right, amplitude bucketed into -#=. levels). For
+ * logs and quick inspection.
+ */
+std::string pulseToAscii(const PulseSchedule &schedule,
+                         const DeviceModel &device, int max_columns = 72);
+
+} // namespace paqoc
+
+#endif // PAQOC_QOC_PULSE_IO_H_

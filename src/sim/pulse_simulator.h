@@ -1,0 +1,53 @@
+#ifndef PAQOC_SIM_PULSE_SIMULATOR_H_
+#define PAQOC_SIM_PULSE_SIMULATOR_H_
+
+#include "circuit/circuit.h"
+#include "qoc/pulse_generator.h"
+
+namespace paqoc {
+
+/** Knobs of the whole-circuit pulse simulation (QuTiP substitute). */
+struct SimOptions
+{
+    /**
+     * Qubit coherence time in dt units. The execution quality decays
+     * as exp(-active_qubit_dt / coherenceTimeDt), a first-order
+     * T1/T2 model; the value is chosen so the Table II qualities land
+     * in the paper's range.
+     */
+    double coherenceTimeDt = 5.0e4;
+    /** Upper bound on register width for full propagation. */
+    int maxQubits = 10;
+};
+
+/** Outcome of simulating a compiled circuit's pulses. */
+struct SimResult
+{
+    /**
+     * Process fidelity of the realized whole-circuit unitary against
+     * the ideal one (pulse imperfection only, no decoherence). With a
+     * GRAPE backend this propagates the actual pulse schedules; with
+     * the analytical backend it folds the modeled per-gate errors.
+     */
+    double processFidelity = 0.0;
+    /** exp(-makespan * active_qubits / T) decoherence factor. */
+    double coherenceFactor = 0.0;
+    /** Quality of execution = processFidelity * coherenceFactor. */
+    double quality = 0.0;
+    /** Whole-circuit latency used for the decay, in dt. */
+    double makespan = 0.0;
+};
+
+/**
+ * Simulate the control pulses of a compiled circuit end to end: fetch
+ * or generate every gate's pulse, propagate realized gates on the full
+ * register (when schedules exist), and fold in coherence decay over
+ * the schedule's makespan. This is the Table II metric.
+ */
+SimResult simulateCircuitPulses(const Circuit &circuit,
+                                PulseGenerator &generator,
+                                const SimOptions &options = {});
+
+} // namespace paqoc
+
+#endif // PAQOC_SIM_PULSE_SIMULATOR_H_

@@ -1,0 +1,168 @@
+#include "sim/statevector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+Statevector::Statevector(int num_qubits, std::size_t basis_state)
+    : num_qubits_(num_qubits)
+{
+    PAQOC_FATAL_IF(num_qubits < 1 || num_qubits > 28,
+                   "statevector supports 1..28 qubits");
+    amplitudes_.assign(std::size_t{1} << num_qubits,
+                       Complex(0.0, 0.0));
+    PAQOC_FATAL_IF(basis_state >= amplitudes_.size(),
+                   "basis state out of range");
+    amplitudes_[basis_state] = Complex(1.0, 0.0);
+}
+
+void
+Statevector::apply(const Gate &gate)
+{
+    const int k = gate.arity();
+    for (int q : gate.qubits())
+        PAQOC_FATAL_IF(q >= num_qubits_, "gate qubit ", q,
+                       " outside register");
+    const Matrix u = gate.unitary();
+    const std::size_t sub = std::size_t{1} << k;
+
+    // bitpos[i] = global bit of local bit i (qubits[0] is the most
+    // significant local bit, matching embedUnitary()).
+    std::vector<int> bitpos(static_cast<std::size_t>(k));
+    for (int i = 0; i < k; ++i)
+        bitpos[static_cast<std::size_t>(i)] =
+            gate.qubits()[static_cast<std::size_t>(k - 1 - i)];
+
+    // Enumerate all base indices whose gate bits are zero.
+    std::size_t gate_mask = 0;
+    for (int b : bitpos)
+        gate_mask |= std::size_t{1} << b;
+
+    std::vector<Complex> in(sub), out(sub);
+    const std::size_t dim = amplitudes_.size();
+    for (std::size_t base = 0; base < dim; ++base) {
+        if ((base & gate_mask) != 0)
+            continue;
+        for (std::size_t l = 0; l < sub; ++l) {
+            std::size_t idx = base;
+            for (int i = 0; i < k; ++i)
+                idx |= ((l >> i) & 1u)
+                    << bitpos[static_cast<std::size_t>(i)];
+            in[l] = amplitudes_[idx];
+        }
+        for (std::size_t r = 0; r < sub; ++r) {
+            Complex acc(0.0, 0.0);
+            for (std::size_t c = 0; c < sub; ++c)
+                acc += u(r, c) * in[c];
+            out[r] = acc;
+        }
+        for (std::size_t l = 0; l < sub; ++l) {
+            std::size_t idx = base;
+            for (int i = 0; i < k; ++i)
+                idx |= ((l >> i) & 1u)
+                    << bitpos[static_cast<std::size_t>(i)];
+            amplitudes_[idx] = out[l];
+        }
+    }
+}
+
+void
+Statevector::apply(const Circuit &circuit)
+{
+    PAQOC_FATAL_IF(circuit.numQubits() > num_qubits_,
+                   "circuit wider than statevector");
+    for (const Gate &g : circuit.gates())
+        apply(g);
+}
+
+double
+Statevector::fidelityWith(const Statevector &other) const
+{
+    PAQOC_FATAL_IF(dim() != other.dim(), "dimension mismatch");
+    Complex inner(0.0, 0.0);
+    for (std::size_t i = 0; i < dim(); ++i)
+        inner += std::conj(amplitudes_[i]) * other.amplitudes_[i];
+    return std::norm(inner);
+}
+
+double
+Statevector::probabilityOfOne(int qubit) const
+{
+    PAQOC_FATAL_IF(qubit < 0 || qubit >= num_qubits_, "bad qubit");
+    const std::size_t mask = std::size_t{1} << qubit;
+    double p = 0.0;
+    for (std::size_t i = 0; i < dim(); ++i)
+        if (i & mask)
+            p += std::norm(amplitudes_[i]);
+    return p;
+}
+
+double
+Statevector::norm() const
+{
+    double s = 0.0;
+    for (const Complex &a : amplitudes_)
+        s += std::norm(a);
+    return s;
+}
+
+std::size_t
+Statevector::mostLikelyBasisState() const
+{
+    std::size_t best = 0;
+    double best_p = -1.0;
+    for (std::size_t i = 0; i < dim(); ++i) {
+        const double p = std::norm(amplitudes_[i]);
+        if (p > best_p + 1e-15) {
+            best_p = p;
+            best = i;
+        }
+    }
+    return best;
+}
+
+double
+routedFidelity(const Circuit &logical, const Circuit &physical,
+               const std::vector<int> &initial_layout,
+               const std::vector<int> &final_layout,
+               const std::vector<std::size_t> &probe_states)
+{
+    PAQOC_FATAL_IF(initial_layout.size()
+                       != static_cast<std::size_t>(logical.numQubits())
+                   || final_layout.size() != initial_layout.size(),
+                   "layout size mismatch");
+    const int nl = logical.numQubits();
+    double worst = 1.0;
+    for (std::size_t probe : probe_states) {
+        PAQOC_FATAL_IF(probe >= (std::size_t{1} << nl),
+                       "probe state out of range");
+        Statevector sv_logical(nl, probe);
+        sv_logical.apply(logical);
+
+        std::size_t embedded = 0;
+        for (int i = 0; i < nl; ++i)
+            embedded |= ((probe >> i) & 1u)
+                << initial_layout[static_cast<std::size_t>(i)];
+        Statevector sv_physical(physical.numQubits(), embedded);
+        sv_physical.apply(physical);
+
+        // Overlap of the physical state with the logical state
+        // embedded through the final layout.
+        Complex inner(0.0, 0.0);
+        for (std::size_t z = 0; z < (std::size_t{1} << nl); ++z) {
+            std::size_t y = 0;
+            for (int i = 0; i < nl; ++i)
+                y |= ((z >> i) & 1u)
+                    << final_layout[static_cast<std::size_t>(i)];
+            inner += std::conj(sv_logical.amplitude(z))
+                * sv_physical.amplitude(y);
+        }
+        worst = std::min(worst, std::norm(inner));
+    }
+    return worst;
+}
+
+} // namespace paqoc

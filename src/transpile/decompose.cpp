@@ -1,0 +1,159 @@
+#include "transpile/decompose.h"
+
+#include "common/error.h"
+
+namespace paqoc {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+void
+lowerToCx(const Gate &g, Circuit &out)
+{
+    const auto &q = g.qubits();
+    switch (g.op()) {
+      case Op::CZ:
+        out.h(q[1]);
+        out.cx(q[0], q[1]);
+        out.h(q[1]);
+        return;
+      case Op::CP: {
+        // cp(theta) = p(c, theta/2) cx p(t, -theta/2) cx p(t, theta/2).
+        const double th = g.angle();
+        out.p(q[0], th / 2.0, g.symbol());
+        out.cx(q[0], q[1]);
+        out.p(q[1], -th / 2.0, g.symbol());
+        out.cx(q[0], q[1]);
+        out.p(q[1], th / 2.0, g.symbol());
+        return;
+      }
+      case Op::SWAP:
+        out.cx(q[0], q[1]);
+        out.cx(q[1], q[0]);
+        out.cx(q[0], q[1]);
+        return;
+      case Op::CCX: {
+        // Standard 6-CX Toffoli network.
+        const int a = q[0], b = q[1], c = q[2];
+        out.h(c);
+        out.cx(b, c);
+        out.tdg(c);
+        out.cx(a, c);
+        out.t(c);
+        out.cx(b, c);
+        out.tdg(c);
+        out.cx(a, c);
+        out.t(b);
+        out.t(c);
+        out.h(c);
+        out.cx(a, b);
+        out.t(a);
+        out.tdg(b);
+        out.cx(a, b);
+        return;
+      }
+      default:
+        out.add(g);
+        return;
+    }
+}
+
+void
+lowerToBasis(const Gate &g, Circuit &out)
+{
+    const auto &q = g.qubits();
+    switch (g.op()) {
+      case Op::I:
+        return;
+      case Op::H:
+      case Op::X:
+      case Op::SX:
+      case Op::CX:
+      case Op::RZ:
+      case Op::Custom:
+        out.add(g);
+        return;
+      case Op::Z:
+        out.rz(q[0], kPi);
+        return;
+      case Op::S:
+        out.rz(q[0], kPi / 2.0);
+        return;
+      case Op::Sdg:
+        out.rz(q[0], -kPi / 2.0);
+        return;
+      case Op::T:
+        out.rz(q[0], kPi / 4.0);
+        return;
+      case Op::Tdg:
+        out.rz(q[0], -kPi / 4.0);
+        return;
+      case Op::P:
+        out.rz(q[0], g.angle(), g.symbol());
+        return;
+      case Op::Y:
+        // Y = i X Z: apply Z then X (global phase dropped).
+        out.rz(q[0], kPi);
+        out.x(q[0]);
+        return;
+      case Op::RX:
+        // rx(theta) = h rz(theta) h.
+        out.h(q[0]);
+        out.rz(q[0], g.angle(), g.symbol());
+        out.h(q[0]);
+        return;
+      case Op::RY:
+        // ry(theta) = rz(pi/2) rx(theta) rz(-pi/2): conjugating the X
+        // axis a quarter turn about Z yields the Y axis.
+        out.rz(q[0], -kPi / 2.0);
+        out.h(q[0]);
+        out.rz(q[0], g.angle(), g.symbol());
+        out.h(q[0]);
+        out.rz(q[0], kPi / 2.0);
+        return;
+      default:
+        throw InternalError("lowerToBasis: unexpected multi-qubit gate");
+    }
+}
+
+} // namespace
+
+Circuit
+decomposeToCx(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits());
+    for (const Gate &g : circuit.gates())
+        lowerToCx(g, out);
+    return out;
+}
+
+Circuit
+decomposeToBasis(const Circuit &circuit)
+{
+    const Circuit cx_level = decomposeToCx(circuit);
+    Circuit out(circuit.numQubits());
+    for (const Gate &g : cx_level.gates())
+        lowerToBasis(g, out);
+    return out;
+}
+
+bool
+isPhysicalBasis(const Circuit &circuit)
+{
+    for (const Gate &g : circuit.gates()) {
+        switch (g.op()) {
+          case Op::H:
+          case Op::RZ:
+          case Op::SX:
+          case Op::X:
+          case Op::CX:
+            break;
+          default:
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace paqoc

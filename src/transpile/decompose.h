@@ -1,0 +1,30 @@
+#ifndef PAQOC_TRANSPILE_DECOMPOSE_H_
+#define PAQOC_TRANSPILE_DECOMPOSE_H_
+
+#include "circuit/circuit.h"
+
+namespace paqoc {
+
+/**
+ * Lower every multi-qubit gate to CX plus one-qubit gates:
+ * CCX -> 6-CX Toffoli network, SWAP -> 3 CX, CZ -> H-conjugated CX,
+ * CP -> CX + phase rotations. One-qubit gates pass through unchanged.
+ * Preserves the circuit unitary up to global phase.
+ */
+Circuit decomposeToCx(const Circuit &circuit);
+
+/**
+ * Lower to the hardware basis gate set {h, rz, sx, x, cx} used for
+ * physical circuits throughout the evaluation (IBM-style basis; we keep
+ * h explicit as in the paper's physical-circuit figures so the mined
+ * patterns stay recognizable). Implies decomposeToCx. Preserves the
+ * circuit unitary up to global phase.
+ */
+Circuit decomposeToBasis(const Circuit &circuit);
+
+/** True if every gate is in the {h, rz, sx, x, cx} basis. */
+bool isPhysicalBasis(const Circuit &circuit);
+
+} // namespace paqoc
+
+#endif // PAQOC_TRANSPILE_DECOMPOSE_H_

@@ -1,0 +1,310 @@
+#include "transpile/sabre.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "circuit/dag.h"
+#include "common/error.h"
+
+namespace paqoc {
+
+namespace {
+
+/** State of one forward routing pass. */
+class RoutingPass
+{
+  public:
+    RoutingPass(const Circuit &circuit, const Topology &topology,
+                const SabreOptions &options, std::vector<int> layout)
+        : circuit_(circuit), topo_(topology), opts_(options),
+          l2p_(std::move(layout)), physical_(topology.numQubits())
+    {
+        p2l_.assign(static_cast<std::size_t>(topo_.numQubits()), -1);
+        for (std::size_t l = 0; l < l2p_.size(); ++l)
+            p2l_[static_cast<std::size_t>(l2p_[l])] = static_cast<int>(l);
+        decay_.assign(static_cast<std::size_t>(topo_.numQubits()), 1.0);
+    }
+
+    /** Run the pass; returns the emitted physical circuit. */
+    void run();
+
+    const std::vector<int> &layout() const { return l2p_; }
+    Circuit takePhysical() { return std::move(physical_); }
+    int swapCount() const { return swaps_; }
+
+  private:
+    bool executable(const Gate &g) const;
+    void emitMapped(const Gate &g);
+    void applySwap(int pa, int pb);
+    std::vector<int> extendedSet() const;
+    double swapScore(int pa, int pb,
+                     const std::vector<int> &extended) const;
+
+    const Circuit &circuit_;
+    const Topology &topo_;
+    const SabreOptions &opts_;
+
+    std::vector<int> l2p_;
+    std::vector<int> p2l_;
+    std::vector<double> decay_;
+
+    Dag dag_;
+    std::vector<int> unresolved_; // remaining pred count per gate
+    std::vector<int> front_;
+
+    Circuit physical_;
+    int swaps_ = 0;
+};
+
+bool
+RoutingPass::executable(const Gate &g) const
+{
+    if (g.arity() == 1)
+        return true;
+    const int pa = l2p_[static_cast<std::size_t>(g.qubits()[0])];
+    const int pb = l2p_[static_cast<std::size_t>(g.qubits()[1])];
+    return topo_.connected(pa, pb);
+}
+
+void
+RoutingPass::emitMapped(const Gate &g)
+{
+    std::vector<int> mapped;
+    mapped.reserve(g.qubits().size());
+    for (int q : g.qubits())
+        mapped.push_back(l2p_[static_cast<std::size_t>(q)]);
+    if (g.isCustom()) {
+        physical_.add(Gate::custom(g.label(), std::move(mapped),
+                                   g.customUnitary(), g.absorbedCount(),
+                                   g.latencyCap()));
+    } else {
+        physical_.add(Gate(g.op(), std::move(mapped), g.angle(),
+                           g.symbol()));
+    }
+}
+
+void
+RoutingPass::applySwap(int pa, int pb)
+{
+    physical_.swap(pa, pb);
+    ++swaps_;
+    const int la = p2l_[static_cast<std::size_t>(pa)];
+    const int lb = p2l_[static_cast<std::size_t>(pb)];
+    if (la >= 0)
+        l2p_[static_cast<std::size_t>(la)] = pb;
+    if (lb >= 0)
+        l2p_[static_cast<std::size_t>(lb)] = pa;
+    std::swap(p2l_[static_cast<std::size_t>(pa)],
+              p2l_[static_cast<std::size_t>(pb)]);
+    decay_[static_cast<std::size_t>(pa)] += opts_.decayFactor;
+    decay_[static_cast<std::size_t>(pb)] += opts_.decayFactor;
+    if (opts_.decayResetInterval > 0
+        && swaps_ % opts_.decayResetInterval == 0) {
+        std::fill(decay_.begin(), decay_.end(), 1.0);
+    }
+}
+
+std::vector<int>
+RoutingPass::extendedSet() const
+{
+    // Collect the next few two-qubit gates reachable from the front to
+    // bias swap choices toward upcoming communication.
+    std::vector<int> extended;
+    std::deque<int> queue(front_.begin(), front_.end());
+    std::vector<char> seen(circuit_.size(), 0);
+    while (!queue.empty()
+           && static_cast<int>(extended.size()) < opts_.extendedSetSize) {
+        const int n = queue.front();
+        queue.pop_front();
+        for (int s : dag_.succs[static_cast<std::size_t>(n)]) {
+            if (seen[static_cast<std::size_t>(s)])
+                continue;
+            seen[static_cast<std::size_t>(s)] = 1;
+            if (circuit_.gate(static_cast<std::size_t>(s)).arity() == 2)
+                extended.push_back(s);
+            queue.push_back(s);
+        }
+    }
+    return extended;
+}
+
+double
+RoutingPass::swapScore(int pa, int pb,
+                       const std::vector<int> &extended) const
+{
+    // Score the layout as if (pa, pb) were swapped: mean front-layer
+    // distance plus weighted mean lookahead distance, scaled by decay.
+    auto mapped = [&](int logical) {
+        const int p = l2p_[static_cast<std::size_t>(logical)];
+        if (p == pa)
+            return pb;
+        if (p == pb)
+            return pa;
+        return p;
+    };
+    double front_cost = 0.0;
+    int front_n = 0;
+    for (int g : front_) {
+        const Gate &gate = circuit_.gate(static_cast<std::size_t>(g));
+        if (gate.arity() != 2)
+            continue;
+        front_cost += topo_.distance(mapped(gate.qubits()[0]),
+                                     mapped(gate.qubits()[1]));
+        ++front_n;
+    }
+    if (front_n > 0)
+        front_cost /= front_n;
+    double ext_cost = 0.0;
+    if (!extended.empty()) {
+        for (int g : extended) {
+            const Gate &gate = circuit_.gate(static_cast<std::size_t>(g));
+            ext_cost += topo_.distance(mapped(gate.qubits()[0]),
+                                       mapped(gate.qubits()[1]));
+        }
+        ext_cost = opts_.extendedSetWeight * ext_cost
+            / static_cast<double>(extended.size());
+    }
+    const double decay = std::max(decay_[static_cast<std::size_t>(pa)],
+                                  decay_[static_cast<std::size_t>(pb)]);
+    return decay * (front_cost + ext_cost);
+}
+
+void
+RoutingPass::run()
+{
+    dag_ = buildDag(circuit_);
+    unresolved_.resize(circuit_.size());
+    for (std::size_t i = 0; i < circuit_.size(); ++i) {
+        unresolved_[i] = static_cast<int>(dag_.preds[i].size());
+        if (unresolved_[i] == 0)
+            front_.push_back(static_cast<int>(i));
+    }
+
+    // Safety valve: routing must terminate well within this bound.
+    const std::size_t max_steps = 1000 + circuit_.size() * 200;
+    std::size_t steps = 0;
+
+    while (!front_.empty()) {
+        PAQOC_ASSERT(++steps < max_steps, "SABRE routing did not converge");
+
+        // Emit every currently executable front gate.
+        std::vector<int> blocked;
+        bool progressed = false;
+        for (int g : front_) {
+            const Gate &gate = circuit_.gate(static_cast<std::size_t>(g));
+            if (!executable(gate)) {
+                blocked.push_back(g);
+                continue;
+            }
+            emitMapped(gate);
+            progressed = true;
+            for (int s : dag_.succs[static_cast<std::size_t>(g)]) {
+                if (--unresolved_[static_cast<std::size_t>(s)] == 0)
+                    blocked.push_back(s);
+            }
+        }
+        front_ = std::move(blocked);
+        if (progressed || front_.empty())
+            continue;
+
+        // All front gates blocked: insert the best-scoring SWAP on an
+        // edge touching a blocked gate's qubits.
+        const std::vector<int> extended = extendedSet();
+        double best = std::numeric_limits<double>::infinity();
+        int best_a = -1, best_b = -1;
+        for (int g : front_) {
+            const Gate &gate = circuit_.gate(static_cast<std::size_t>(g));
+            for (int lq : gate.qubits()) {
+                const int p = l2p_[static_cast<std::size_t>(lq)];
+                for (int nb : topo_.neighbors(p)) {
+                    const int a = std::min(p, nb), b = std::max(p, nb);
+                    const double score = swapScore(a, b, extended);
+                    if (score < best) {
+                        best = score;
+                        best_a = a;
+                        best_b = b;
+                    }
+                }
+            }
+        }
+        PAQOC_ASSERT(best_a >= 0, "no SWAP candidate found");
+        applySwap(best_a, best_b);
+    }
+}
+
+/** Reverse a circuit's gate order (used for SABRE layout refinement). */
+Circuit
+reversed(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits());
+    for (std::size_t i = circuit.size(); i-- > 0;)
+        out.add(circuit.gate(i));
+    return out;
+}
+
+} // namespace
+
+RoutingResult
+sabreRoute(const Circuit &circuit, const Topology &topology,
+           const SabreOptions &options)
+{
+    PAQOC_FATAL_IF(circuit.numQubits() > topology.numQubits(),
+                   "circuit needs ", circuit.numQubits(),
+                   " qubits but device has ", topology.numQubits());
+    for (const Gate &g : circuit.gates())
+        PAQOC_FATAL_IF(g.arity() > 2,
+                       "route after decomposeToCx: gate ", g.label(),
+                       " has arity ", g.arity());
+
+    // Initial layout: random permutation refined by forward/backward
+    // passes over the circuit (the SABRE bidirectional trick).
+    Rng rng(options.seed);
+    std::vector<int> layout(static_cast<std::size_t>(circuit.numQubits()));
+    {
+        std::vector<int> physical(
+            static_cast<std::size_t>(topology.numQubits()));
+        for (std::size_t i = 0; i < physical.size(); ++i)
+            physical[i] = static_cast<int>(i);
+        for (std::size_t i = physical.size() - 1; i > 0; --i)
+            std::swap(physical[i], physical[rng.below(i + 1)]);
+        for (std::size_t l = 0; l < layout.size(); ++l)
+            layout[l] = physical[l];
+    }
+
+    const Circuit rev = reversed(circuit);
+    for (int pass = 0; pass < options.layoutPasses; ++pass) {
+        RoutingPass fwd(circuit, topology, options, layout);
+        fwd.run();
+        layout = fwd.layout();
+        RoutingPass bwd(rev, topology, options, layout);
+        bwd.run();
+        layout = bwd.layout();
+    }
+
+    RoutingResult result;
+    result.initialLayout = layout;
+    RoutingPass final_pass(circuit, topology, options, std::move(layout));
+    final_pass.run();
+    result.finalLayout = final_pass.layout();
+    result.swapCount = final_pass.swapCount();
+    result.physical = final_pass.takePhysical();
+    return result;
+}
+
+bool
+respectsTopology(const Circuit &circuit, const Topology &topology)
+{
+    for (const Gate &g : circuit.gates()) {
+        if (g.arity() == 1)
+            continue;
+        if (g.arity() != 2)
+            return false;
+        if (!topology.connected(g.qubits()[0], g.qubits()[1]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace paqoc

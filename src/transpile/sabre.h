@@ -1,0 +1,57 @@
+#ifndef PAQOC_TRANSPILE_SABRE_H_
+#define PAQOC_TRANSPILE_SABRE_H_
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "transpile/topology.h"
+
+namespace paqoc {
+
+/** Output of qubit routing: a hardware-respecting physical circuit. */
+struct RoutingResult
+{
+    /** Circuit over *physical* qubits; every 2q gate is on an edge. */
+    Circuit physical{1};
+    /** initialLayout[logical] = physical qubit holding it at start. */
+    std::vector<int> initialLayout;
+    /** finalLayout[logical] = physical qubit holding it at the end. */
+    std::vector<int> finalLayout;
+    /** Number of SWAP gates inserted. */
+    int swapCount = 0;
+};
+
+/** Tunables of the SABRE heuristic [Li, Ding, Xie ASPLOS'19]. */
+struct SabreOptions
+{
+    /** Size of the lookahead (extended) set. */
+    int extendedSetSize = 20;
+    /** Weight of the extended set in the score. */
+    double extendedSetWeight = 0.5;
+    /** Multiplicative decay applied to recently swapped qubits. */
+    double decayFactor = 0.001;
+    /** Reset the decay table every this many swaps. */
+    int decayResetInterval = 5;
+    /** Forward/backward/forward passes to refine the initial layout. */
+    int layoutPasses = 3;
+    /** Seed for the random initial layout of the first pass. */
+    std::uint64_t seed = 1;
+};
+
+/**
+ * SABRE qubit mapping and routing. The input circuit may contain gates
+ * of at most two qubits (run decomposeToCx first); SWAPs are inserted
+ * so that every two-qubit gate executes on connected physical qubits.
+ * SWAPs carry absorbedCount matching their 3-CX expansion cost only
+ * after basis lowering; here they stay explicit swap gates.
+ */
+RoutingResult sabreRoute(const Circuit &circuit, const Topology &topology,
+                         const SabreOptions &options = {});
+
+/** True if all multi-qubit gates of the circuit respect the topology. */
+bool respectsTopology(const Circuit &circuit, const Topology &topology);
+
+} // namespace paqoc
+
+#endif // PAQOC_TRANSPILE_SABRE_H_

@@ -1,0 +1,121 @@
+#include "transpile/topology.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+Topology::Topology(int n) : num_qubits_(n)
+{
+    PAQOC_FATAL_IF(n <= 0, "topology needs at least one qubit");
+    adj_.resize(static_cast<std::size_t>(n));
+}
+
+void
+Topology::addEdge(int a, int b)
+{
+    PAQOC_ASSERT(a != b && a >= 0 && b >= 0 && a < num_qubits_
+                     && b < num_qubits_, "bad edge");
+    if (connected(a, b))
+        return;
+    adj_[static_cast<std::size_t>(a)].push_back(b);
+    adj_[static_cast<std::size_t>(b)].push_back(a);
+    edges_.emplace_back(std::min(a, b), std::max(a, b));
+}
+
+Topology
+Topology::grid(int width, int height)
+{
+    PAQOC_FATAL_IF(width <= 0 || height <= 0, "bad grid dimensions");
+    Topology t(width * height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const int q = y * width + x;
+            if (x + 1 < width)
+                t.addEdge(q, q + 1);
+            if (y + 1 < height)
+                t.addEdge(q, q + width);
+        }
+    }
+    t.computeDistances();
+    return t;
+}
+
+Topology
+Topology::line(int n)
+{
+    Topology t(n);
+    for (int i = 0; i + 1 < n; ++i)
+        t.addEdge(i, i + 1);
+    t.computeDistances();
+    return t;
+}
+
+Topology
+Topology::ring(int n)
+{
+    PAQOC_FATAL_IF(n < 3, "ring needs at least 3 qubits");
+    Topology t = line(n);
+    t.addEdge(n - 1, 0);
+    t.computeDistances();
+    return t;
+}
+
+Topology
+Topology::fullyConnected(int n)
+{
+    Topology t(n);
+    for (int i = 0; i < n; ++i)
+        for (int j = i + 1; j < n; ++j)
+            t.addEdge(i, j);
+    t.computeDistances();
+    return t;
+}
+
+bool
+Topology::connected(int a, int b) const
+{
+    const auto &nbrs = adj_[static_cast<std::size_t>(a)];
+    return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+int
+Topology::distance(int a, int b) const
+{
+    return dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+const std::vector<int> &
+Topology::neighbors(int q) const
+{
+    return adj_[static_cast<std::size_t>(q)];
+}
+
+void
+Topology::computeDistances()
+{
+    const auto n = static_cast<std::size_t>(num_qubits_);
+    dist_.assign(n, std::vector<int>(n, -1));
+    for (std::size_t src = 0; src < n; ++src) {
+        auto &d = dist_[src];
+        d[src] = 0;
+        std::deque<int> queue{static_cast<int>(src)};
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop_front();
+            for (int v : adj_[static_cast<std::size_t>(u)]) {
+                if (d[static_cast<std::size_t>(v)] < 0) {
+                    d[static_cast<std::size_t>(v)] =
+                        d[static_cast<std::size_t>(u)] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for (std::size_t v = 0; v < n; ++v)
+            PAQOC_FATAL_IF(d[v] < 0, "disconnected topology");
+    }
+}
+
+} // namespace paqoc

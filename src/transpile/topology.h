@@ -1,0 +1,58 @@
+#ifndef PAQOC_TRANSPILE_TOPOLOGY_H_
+#define PAQOC_TRANSPILE_TOPOLOGY_H_
+
+#include <vector>
+
+namespace paqoc {
+
+/**
+ * Hardware qubit connectivity graph with precomputed all-pairs
+ * shortest-path distances (BFS; all edges unit length).
+ *
+ * The paper's evaluation platform is a 5x5 grid of superconducting
+ * qubits with XY interactions; grid() reproduces it, and line()/ring()
+ * support smaller test devices.
+ */
+class Topology
+{
+  public:
+    /** w x h grid with nearest-neighbor edges. */
+    static Topology grid(int width, int height);
+
+    /** Linear chain of n qubits. */
+    static Topology line(int n);
+
+    /** Cycle of n qubits. */
+    static Topology ring(int n);
+
+    /** Fully-connected device (distance 1 everywhere). */
+    static Topology fullyConnected(int n);
+
+    int numQubits() const { return num_qubits_; }
+
+    /** True if a and b share an edge. */
+    bool connected(int a, int b) const;
+
+    /** Hop distance between two physical qubits. */
+    int distance(int a, int b) const;
+
+    const std::vector<int> &neighbors(int q) const;
+
+    /** All edges as (a, b) with a < b. */
+    const std::vector<std::pair<int, int>> &edges() const
+    { return edges_; }
+
+  private:
+    explicit Topology(int n);
+    void addEdge(int a, int b);
+    void computeDistances();
+
+    int num_qubits_;
+    std::vector<std::vector<int>> adj_;
+    std::vector<std::pair<int, int>> edges_;
+    std::vector<std::vector<int>> dist_;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_TRANSPILE_TOPOLOGY_H_

@@ -1,0 +1,62 @@
+#ifndef PAQOC_WORKLOADS_BENCHMARKS_H_
+#define PAQOC_WORKLOADS_BENCHMARKS_H_
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "transpile/topology.h"
+
+namespace paqoc::workloads {
+
+/** Metadata of one application benchmark (paper Table I). */
+struct BenchmarkSpec
+{
+    std::string name;
+    std::string description;
+    int qubits = 0;
+};
+
+/** The seventeen Table I benchmarks, in the paper's order. */
+const std::vector<BenchmarkSpec> &allBenchmarks();
+
+/** Spec lookup by name; throws FatalError if unknown. */
+const BenchmarkSpec &benchmarkSpec(const std::string &name);
+
+/**
+ * Logical circuit of a named benchmark, built from the universal gate
+ * set. RevLib/ScaffCC circuit files are not redistributable here, so
+ * the reversible-logic benchmarks are synthesized Toffoli networks
+ * with Table I's approximate gate counts, and the algorithmic
+ * benchmarks (bv, adder, qft, qaoa, supre, simon, qpe, dnn, bb84) use
+ * their textbook constructions. Deterministic for a given name.
+ */
+Circuit makeLogical(const std::string &name);
+
+/**
+ * Physical circuit: decompose to CX level, SABRE-route on the given
+ * topology, then lower to the {h, rz, sx, x, cx} hardware basis.
+ */
+Circuit makePhysical(const std::string &name, const Topology &topology,
+                     std::uint64_t seed = 1);
+
+/** makePhysical on the evaluation platform (5x5 grid). */
+Circuit makePhysicalDefault(const std::string &name);
+
+/**
+ * Smallest line/grid topology with at least `qubits` qubits, used to
+ * keep Table II pulse simulations within reach of full propagation.
+ */
+Topology compactTopology(int qubits);
+
+/**
+ * Corpus of random 1-3 qubit basis-gate subcircuits standing in for
+ * the paper's 150-benchmark subcircuit extraction (Fig. 6): maximal
+ * consecutive sequences of gates sharing qubits.
+ */
+std::vector<Circuit> randomSubcircuitCorpus(int count,
+                                            std::uint64_t seed);
+
+} // namespace paqoc::workloads
+
+#endif // PAQOC_WORKLOADS_BENCHMARKS_H_

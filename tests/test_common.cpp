@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the common utilities: error macros, RNG determinism,
+ * table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table.h"
+
+namespace paqoc {
+namespace {
+
+TEST(Error, FatalIfThrowsWithMessage)
+{
+    try {
+        PAQOC_FATAL_IF(true, "value was ", 42);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 42"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, FatalIfFalseDoesNotThrow)
+{
+    EXPECT_NO_THROW(PAQOC_FATAL_IF(false, "never"));
+}
+
+TEST(Error, AssertThrowsInternalError)
+{
+    EXPECT_THROW(PAQOC_ASSERT(1 == 2, "broken"), InternalError);
+    EXPECT_NO_THROW(PAQOC_ASSERT(1 == 1, "fine"));
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double lo = 1.0, hi = 0.0, sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        lo = std::min(lo, u);
+        hi = std::max(hi, u);
+        sum += u;
+    }
+    EXPECT_GE(lo, 0.0);
+    EXPECT_LT(hi, 1.0);
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const int v = rng.range(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 6);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeTime)
+{
+    Stopwatch sw;
+    volatile double x = 0.0;
+    for (int i = 0; i < 10000; ++i)
+        x = x + 1.0;
+    EXPECT_GE(sw.seconds(), 0.0);
+    sw.reset();
+    EXPECT_LT(sw.seconds(), 1.0);
+}
+
+TEST(Table, AlignsColumnsAndCountsRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22222"});
+    EXPECT_EQ(t.rowCount(), 2u);
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("22222"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), FatalError);
+}
+
+TEST(Table, CsvRoundtripShape)
+{
+    Table t({"x", "y"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv(), "x,y\n1,2\n");
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::percent(0.54, 1), "54.0%");
+}
+
+} // namespace
+} // namespace paqoc

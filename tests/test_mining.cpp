@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Tests for the frequent-subcircuit miner: the labeled graph encoding
+ * of Section III-A (including the Fig. 5 edge-role disambiguation),
+ * pattern discovery on planted circuits, convexity, and the APA-basis
+ * rewriter (M knob, semantics preservation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "circuit/dag.h"
+#include "common/rng.h"
+#include "linalg/unitary_util.h"
+#include "mining/labeled_graph.h"
+#include "mining/miner.h"
+
+namespace paqoc {
+namespace {
+
+/** Find a pattern with the given gate count and support, if any. */
+const MinedPattern *
+findPattern(const std::vector<MinedPattern> &patterns, int num_gates,
+            int min_support)
+{
+    for (const auto &p : patterns) {
+        if (p.numGates == num_gates && p.support >= min_support)
+            return &p;
+    }
+    return nullptr;
+}
+
+TEST(LabeledGraph, EdgeRoleLabels)
+{
+    // CX(0,1) followed by RZ on qubit 1: CX's 2nd qubit is RZ's 1st.
+    const Gate cx(Op::CX, {0, 1});
+    const Gate rz(Op::RZ, {1}, 0.5);
+    EXPECT_EQ(edgeRoleLabel(cx, rz), "2-1");
+    // CX(0,1) then CX(0,1): both qubits shared in like positions.
+    EXPECT_EQ(edgeRoleLabel(cx, cx), "1-1,2-2");
+    // CX(0,1) then CX(1,0): positions cross.
+    const Gate cx_rev(Op::CX, {1, 0});
+    EXPECT_EQ(edgeRoleLabel(cx, cx_rev), "1-2,2-1");
+}
+
+TEST(LabeledGraph, BuildsNodePerGate)
+{
+    Circuit c(2);
+    c.h(0);
+    c.cx(0, 1);
+    c.rz(1, 0.3, "theta");
+    const LabeledGraph g = buildLabeledGraph(c, buildDag(c));
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_EQ(g.nodeLabels[0], "h");
+    EXPECT_EQ(g.nodeLabels[1], "cx");
+    EXPECT_EQ(g.nodeLabels[2], "rz(theta)");
+    ASSERT_EQ(g.edges.size(), 2u);
+    EXPECT_EQ(g.edges[0].label, "1-1"); // h's qubit is cx's control
+    EXPECT_EQ(g.edges[1].label, "2-1");
+}
+
+TEST(Miner, FindsRepeatedCxRzCxBlock)
+{
+    // The paper's CPHASE fragment: cx, rz on target, cx -- repeated on
+    // several qubit pairs.
+    Circuit c(6);
+    for (int i = 0; i < 3; ++i) {
+        const int a = 2 * i, b = 2 * i + 1;
+        c.cx(a, b);
+        c.rz(b, 0.7, "g");
+        c.cx(a, b);
+    }
+    const std::vector<MinedPattern> patterns =
+        mineFrequentSubcircuits(c);
+    const MinedPattern *p3 = findPattern(patterns, 3, 3);
+    ASSERT_NE(p3, nullptr) << "3-gate cphase pattern not found";
+    EXPECT_EQ(p3->support, 3);
+    EXPECT_EQ(p3->coverage, 9);
+}
+
+TEST(Miner, Fig5DisambiguationByEdgeRoles)
+{
+    // Two look-alike blocks: cx(0,1); rz(1); cx(0,1) versus
+    // cx(0,1); rz(0); cx(0,1). Node labels match; only the edge role
+    // labels differ, so they must NOT be pooled into one pattern.
+    Circuit c(2);
+    c.cx(0, 1);
+    c.rz(1, 0.5, "a");
+    c.cx(0, 1);
+    c.cx(0, 1);
+    c.rz(0, 0.5, "a");
+    c.cx(0, 1);
+    const std::vector<MinedPattern> patterns =
+        mineFrequentSubcircuits(c);
+    // No 3-gate pattern with support 2 may exist: the two blocks are
+    // structurally different.
+    EXPECT_EQ(findPattern(patterns, 3, 2), nullptr);
+}
+
+TEST(Miner, SwapPatternInCxChains)
+{
+    // Routed circuits contain SWAPs as three alternating CXs; the
+    // miner must find the 3-CX block.
+    Circuit c(4);
+    for (int i = 0; i < 3; ++i) {
+        const int a = i, b = i + 1;
+        c.cx(a, b);
+        c.cx(b, a);
+        c.cx(a, b);
+    }
+    const std::vector<MinedPattern> patterns =
+        mineFrequentSubcircuits(c);
+    const MinedPattern *swap3 = findPattern(patterns, 3, 3);
+    ASSERT_NE(swap3, nullptr);
+    EXPECT_GE(swap3->coverage, 9);
+}
+
+TEST(Miner, RespectsMaxQubits)
+{
+    Circuit c(6);
+    // Two occurrences of a 4-qubit wide chain.
+    for (int rep = 0; rep < 2; ++rep) {
+        c.cx(0, 1);
+        c.cx(1, 2);
+        c.cx(2, 3);
+    }
+    MinerOptions opts;
+    opts.maxQubits = 3;
+    for (const auto &p : mineFrequentSubcircuits(c, opts)) {
+        for (const auto &e : p.embeddings) {
+            std::set<int> support;
+            for (int n : e) {
+                const Gate &g = c.gate(static_cast<std::size_t>(n));
+                support.insert(g.qubits().begin(), g.qubits().end());
+            }
+            EXPECT_LE(support.size(), 3u);
+        }
+    }
+}
+
+TEST(Miner, RespectsMaxPatternGates)
+{
+    Circuit c(2);
+    for (int i = 0; i < 20; ++i)
+        c.cx(0, 1);
+    MinerOptions opts;
+    opts.maxPatternGates = 4;
+    for (const auto &p : mineFrequentSubcircuits(c, opts))
+        EXPECT_LE(p.numGates, 4);
+}
+
+TEST(Miner, EmbeddingsAreDisjoint)
+{
+    Circuit c(2);
+    for (int i = 0; i < 9; ++i)
+        c.cx(0, 1);
+    for (const auto &p : mineFrequentSubcircuits(c)) {
+        std::set<int> seen;
+        for (const auto &e : p.embeddings) {
+            for (int n : e)
+                EXPECT_TRUE(seen.insert(n).second)
+                    << "overlapping embeddings in " << p.description;
+        }
+    }
+}
+
+TEST(Miner, ParameterizedCircuitUnifiesSymbolicAngles)
+{
+    // Same symbolic angle name but different numeric values must be
+    // one pattern (offline mining of parameterized circuits).
+    Circuit c(4);
+    c.rz(0, 0.1, "theta");
+    c.cx(0, 1);
+    c.rz(2, 0.9, "theta");
+    c.cx(2, 3);
+    const std::vector<MinedPattern> patterns =
+        mineFrequentSubcircuits(c);
+    EXPECT_NE(findPattern(patterns, 2, 2), nullptr);
+}
+
+TEST(Miner, NumericAnglesDoNotUnify)
+{
+    Circuit c(4);
+    c.rz(0, 0.1);
+    c.cx(0, 1);
+    c.rz(2, 0.9);
+    c.cx(2, 3);
+    const std::vector<MinedPattern> patterns =
+        mineFrequentSubcircuits(c);
+    EXPECT_EQ(findPattern(patterns, 2, 2), nullptr);
+}
+
+TEST(ApaRewrite, MZeroKeepsCircuit)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.cx(0, 1);
+    const auto patterns = mineFrequentSubcircuits(c);
+    const ApaRewriteResult r = applyApaBasis(c, patterns, 0);
+    EXPECT_EQ(r.circuit.size(), c.size());
+    EXPECT_EQ(r.apaGatesUsed, 0);
+}
+
+TEST(ApaRewrite, ReplacesPatternsAndPreservesUnitary)
+{
+    Circuit c(4);
+    for (int i = 0; i < 2; ++i) {
+        const int a = 2 * i, b = 2 * i + 1;
+        c.cx(a, b);
+        c.rz(b, 0.7);
+        c.cx(a, b);
+    }
+    c.h(0);
+    const auto patterns = mineFrequentSubcircuits(c);
+    ASSERT_FALSE(patterns.empty());
+    const ApaRewriteResult r = applyApaBasis(c, patterns, -1);
+    EXPECT_GT(r.apaUseCount, 0);
+    EXPECT_LT(r.circuit.size(), c.size());
+    EXPECT_TRUE(equalUpToGlobalPhase(circuitUnitary(c),
+                                     circuitUnitary(r.circuit)));
+    // Absorbed-gate bookkeeping is preserved.
+    EXPECT_EQ(r.circuit.absorbedTotal(), static_cast<int>(c.size()));
+}
+
+TEST(ApaRewrite, MOneUsesSinglePatternKind)
+{
+    Circuit c(4);
+    // Two distinct frequent patterns: cx-rz-cx blocks and h-h pairs.
+    for (int i = 0; i < 2; ++i) {
+        const int a = 2 * i, b = 2 * i + 1;
+        c.cx(a, b);
+        c.rz(b, 0.7);
+        c.cx(a, b);
+        c.h(a);
+        c.h(a);
+    }
+    const auto patterns = mineFrequentSubcircuits(c);
+    const ApaRewriteResult r = applyApaBasis(c, patterns, 1);
+    EXPECT_EQ(r.apaGatesUsed, 1);
+    EXPECT_TRUE(equalUpToGlobalPhase(circuitUnitary(c),
+                                     circuitUnitary(r.circuit)));
+}
+
+TEST(ApaRewrite, TunedStopsAtMajority)
+{
+    Circuit c(4);
+    for (int i = 0; i < 4; ++i) {
+        c.cx(0, 1);
+        c.rz(1, 0.7);
+        c.cx(0, 1);
+    }
+    for (int i = 0; i < 3; ++i)
+        c.h(3);
+    const auto patterns = mineFrequentSubcircuits(c);
+    const ApaRewriteResult r = applyApaBasis(c, patterns, -1, true);
+    // APA uses must outnumber the remaining original gates.
+    const int remaining =
+        static_cast<int>(c.size()) - r.gatesCovered;
+    EXPECT_GT(r.apaUseCount, 0);
+    EXPECT_GE(r.apaUseCount, std::min(remaining, r.apaUseCount));
+    EXPECT_TRUE(equalUpToGlobalPhase(circuitUnitary(c),
+                                     circuitUnitary(r.circuit)));
+}
+
+class ApaRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ApaRandomProperty, RewritePreservesSemantics)
+{
+    Rng rng(9000 + static_cast<std::uint64_t>(GetParam()));
+    const int nq = rng.range(3, 6);
+    Circuit c(nq);
+    const int blocks = rng.range(3, 8);
+    for (int i = 0; i < blocks; ++i) {
+        const int a = rng.range(0, nq - 2);
+        switch (rng.range(0, 2)) {
+          case 0:
+            c.cx(a, a + 1);
+            c.rz(a + 1, 0.4, "t");
+            c.cx(a, a + 1);
+            break;
+          case 1:
+            c.h(a);
+            c.cx(a, a + 1);
+            break;
+          default:
+            c.cx(a, a + 1);
+            c.cx(a + 1, a);
+            c.cx(a, a + 1);
+            break;
+        }
+    }
+    const auto patterns = mineFrequentSubcircuits(c);
+    for (int m : {1, 2, -1}) {
+        const ApaRewriteResult r = applyApaBasis(c, patterns, m);
+        EXPECT_TRUE(equalUpToGlobalPhase(circuitUnitary(c),
+                                         circuitUnitary(r.circuit)))
+            << "M=" << m << " broke semantics";
+        EXPECT_EQ(r.circuit.absorbedTotal(),
+                  static_cast<int>(c.size()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, ApaRandomProperty,
+                         ::testing::Range(0, 10));
+
+TEST(Miner, CoverageSortedDescending)
+{
+    Circuit c(4);
+    for (int i = 0; i < 5; ++i) {
+        c.cx(0, 1);
+        c.rz(1, 0.3, "a");
+        c.cx(0, 1);
+    }
+    c.h(2);
+    c.h(2);
+    const auto patterns = mineFrequentSubcircuits(c);
+    for (std::size_t i = 1; i < patterns.size(); ++i)
+        EXPECT_GE(patterns[i - 1].coverage, patterns[i].coverage);
+}
+
+} // namespace
+} // namespace paqoc

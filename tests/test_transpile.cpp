@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the transpiler substrate: topology distances, basis
+ * decomposition equivalence, and SABRE routing correctness (physical
+ * circuits respect the coupling map and preserve semantics up to the
+ * qubit permutation implied by the final layout).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/unitary_util.h"
+#include "transpile/decompose.h"
+#include "transpile/sabre.h"
+#include "transpile/topology.h"
+
+namespace paqoc {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/**
+ * Permutation unitary P with P|x> = |y> where bit layout[i] of y equals
+ * bit i of x. Used to compare routed circuits with their logical
+ * source: U_phys * P_initial == P_final * U_logical (up to phase).
+ */
+Matrix
+layoutPermutation(const std::vector<int> &layout, int num_qubits)
+{
+    const std::size_t dim = std::size_t{1} << num_qubits;
+    Matrix p(dim, dim);
+    for (std::size_t x = 0; x < dim; ++x) {
+        std::size_t y = 0;
+        for (std::size_t i = 0; i < layout.size(); ++i)
+            y |= ((x >> i) & 1u) << layout[i];
+        p(y, x) = Complex(1.0, 0.0);
+    }
+    return p;
+}
+
+void
+expectRoutingPreservesSemantics(const Circuit &logical,
+                                const Topology &topo,
+                                std::uint64_t seed = 1)
+{
+    ASSERT_EQ(logical.numQubits(), topo.numQubits())
+        << "test helper assumes a full register";
+    SabreOptions opts;
+    opts.seed = seed;
+    const RoutingResult r = sabreRoute(logical, topo, opts);
+    EXPECT_TRUE(respectsTopology(r.physical, topo));
+
+    const Matrix u_log = circuitUnitary(logical);
+    const Matrix u_phys = circuitUnitary(r.physical);
+    const Matrix p_in = layoutPermutation(r.initialLayout,
+                                          topo.numQubits());
+    const Matrix p_out = layoutPermutation(r.finalLayout,
+                                           topo.numQubits());
+    EXPECT_TRUE(equalUpToGlobalPhase(u_phys * p_in, p_out * u_log))
+        << "routing changed circuit semantics";
+}
+
+TEST(Topology, GridDistances)
+{
+    const Topology g = Topology::grid(5, 5);
+    EXPECT_EQ(g.numQubits(), 25);
+    EXPECT_TRUE(g.connected(0, 1));
+    EXPECT_TRUE(g.connected(0, 5));
+    EXPECT_FALSE(g.connected(0, 6));
+    EXPECT_EQ(g.distance(0, 24), 8); // corner to corner Manhattan
+    EXPECT_EQ(g.distance(7, 7), 0);
+    EXPECT_EQ(g.edges().size(), 40u); // 2 * 5 * 4
+}
+
+TEST(Topology, LineAndRing)
+{
+    const Topology l = Topology::line(5);
+    EXPECT_EQ(l.distance(0, 4), 4);
+    const Topology r = Topology::ring(5);
+    EXPECT_EQ(r.distance(0, 4), 1);
+    EXPECT_EQ(r.distance(0, 2), 2);
+}
+
+TEST(Topology, FullyConnected)
+{
+    const Topology f = Topology::fullyConnected(4);
+    for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+            if (a != b) {
+                EXPECT_EQ(f.distance(a, b), 1);
+            }
+        }
+    }
+}
+
+TEST(Decompose, SwapLowersToThreeCx)
+{
+    Circuit c(2);
+    c.swap(0, 1);
+    const Circuit d = decomposeToCx(c);
+    EXPECT_EQ(d.size(), 3u);
+    EXPECT_TRUE(equalUpToGlobalPhase(circuitUnitary(c),
+                                     circuitUnitary(d)));
+}
+
+TEST(Decompose, ToffoliLowersToSixCx)
+{
+    Circuit c(3);
+    c.ccx(0, 1, 2);
+    const Circuit d = decomposeToCx(c);
+    int cx_count = 0;
+    for (const Gate &g : d.gates())
+        cx_count += (g.op() == Op::CX);
+    EXPECT_EQ(cx_count, 6);
+    EXPECT_TRUE(equalUpToGlobalPhase(circuitUnitary(c),
+                                     circuitUnitary(d)));
+}
+
+TEST(Decompose, CzAndCpEquivalence)
+{
+    Circuit c(2);
+    c.cz(0, 1);
+    c.cp(1, 0, 0.8);
+    const Circuit d = decomposeToCx(c);
+    EXPECT_TRUE(equalUpToGlobalPhase(circuitUnitary(c),
+                                     circuitUnitary(d)));
+}
+
+class BasisLowering : public ::testing::TestWithParam<int> {};
+
+TEST_P(BasisLowering, OneQubitGatesPreserved)
+{
+    // Every supported one-qubit gate must lower to {h, rz, sx, x}
+    // preserving its unitary up to global phase.
+    const Op ops[] = {Op::I, Op::X, Op::Y, Op::Z, Op::H, Op::SX, Op::S,
+                      Op::Sdg, Op::T, Op::Tdg, Op::RX, Op::RY, Op::RZ,
+                      Op::P};
+    const Op op = ops[GetParam()];
+    Circuit c(1);
+    c.add(Gate(op, {0}, 0.7321));
+    const Circuit d = decomposeToBasis(c);
+    EXPECT_TRUE(isPhysicalBasis(d)) << opName(op);
+    if (op == Op::I) {
+        EXPECT_EQ(d.size(), 0u);
+        return;
+    }
+    EXPECT_TRUE(equalUpToGlobalPhase(circuitUnitary(c),
+                                     circuitUnitary(d)))
+        << opName(op);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, BasisLowering, ::testing::Range(0, 14));
+
+TEST(Decompose, WholeCircuitToBasis)
+{
+    Circuit c(3);
+    c.h(0);
+    c.ccx(0, 1, 2);
+    c.ry(1, 0.3);
+    c.swap(1, 2);
+    c.cp(0, 2, 1.2);
+    const Circuit d = decomposeToBasis(c);
+    EXPECT_TRUE(isPhysicalBasis(d));
+    EXPECT_TRUE(equalUpToGlobalPhase(circuitUnitary(c),
+                                     circuitUnitary(d)));
+}
+
+TEST(Sabre, AdjacentGatesNeedNoSwaps)
+{
+    Circuit c(4);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    c.cx(2, 3);
+    const Topology line = Topology::line(4);
+    // A sensible layout exists with zero swaps; SABRE should find a
+    // low-swap solution (allow a small slack for heuristic layouts).
+    const RoutingResult r = sabreRoute(c, line);
+    EXPECT_TRUE(respectsTopology(r.physical, line));
+    EXPECT_LE(r.swapCount, 2);
+}
+
+TEST(Sabre, DistantGateForcesSwap)
+{
+    Circuit c(4);
+    // All pairs interact: no layout avoids swaps on a line.
+    c.cx(0, 1);
+    c.cx(2, 3);
+    c.cx(0, 3);
+    c.cx(1, 2);
+    c.cx(0, 2);
+    c.cx(1, 3);
+    const Topology line = Topology::line(4);
+    const RoutingResult r = sabreRoute(c, line);
+    EXPECT_TRUE(respectsTopology(r.physical, line));
+    EXPECT_GE(r.swapCount, 1);
+}
+
+TEST(Sabre, RejectsWideGates)
+{
+    Circuit c(3);
+    c.ccx(0, 1, 2);
+    EXPECT_THROW(sabreRoute(c, Topology::line(3)), FatalError);
+}
+
+TEST(Sabre, RejectsTooManyQubits)
+{
+    Circuit c(5);
+    c.h(4);
+    EXPECT_THROW(sabreRoute(c, Topology::line(4)), FatalError);
+}
+
+TEST(Sabre, SemanticsPreservedOnLine)
+{
+    Circuit c(4);
+    c.h(0);
+    c.cx(0, 3);
+    c.cx(1, 2);
+    c.t(3);
+    c.cx(3, 0);
+    c.cx(2, 0);
+    expectRoutingPreservesSemantics(c, Topology::line(4));
+}
+
+TEST(Sabre, SemanticsPreservedOnGrid)
+{
+    Circuit c(6);
+    c.h(0);
+    c.cx(0, 5);
+    c.cx(1, 4);
+    c.cx(2, 3);
+    c.cx(5, 1);
+    c.rz(4, 0.3);
+    c.cx(4, 0);
+    expectRoutingPreservesSemantics(c, Topology::grid(3, 2));
+}
+
+class SabreProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SabreProperty, RandomCircuitsRouteCorrectly)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 17);
+    const int nq = 6;
+    Circuit c(nq);
+    const int n_gates = rng.range(8, 25);
+    for (int i = 0; i < n_gates; ++i) {
+        if (rng.chance(0.55)) {
+            const int a = rng.range(0, nq - 1);
+            int b = rng.range(0, nq - 2);
+            if (b >= a)
+                ++b;
+            c.cx(a, b);
+        } else {
+            const int q = rng.range(0, nq - 1);
+            if (rng.chance(0.5))
+                c.h(q);
+            else
+                c.rz(q, rng.uniform(0, 2 * kPi));
+        }
+    }
+    expectRoutingPreservesSemantics(c, Topology::grid(3, 2),
+                                    static_cast<std::uint64_t>(
+                                        GetParam() + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SabreProperty, ::testing::Range(0, 8));
+
+TEST(Sabre, BernsteinVaziraniStyleChain)
+{
+    // bv-like circuit: H wall, CX fan-in to the last qubit, H wall.
+    const int nq = 6;
+    Circuit c(nq);
+    for (int q = 0; q < nq; ++q)
+        c.h(q);
+    for (int q = 0; q + 1 < nq; ++q)
+        c.cx(q, nq - 1);
+    for (int q = 0; q < nq; ++q)
+        c.h(q);
+    const Topology grid = Topology::grid(3, 2);
+    const RoutingResult r = sabreRoute(c, grid);
+    EXPECT_TRUE(respectsTopology(r.physical, grid));
+    // Far CXs must have introduced swaps on this sparse device.
+    EXPECT_GE(r.swapCount, 1);
+}
+
+} // namespace
+} // namespace paqoc

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * paqocc -- the PAQOC command-line compiler.
+ *
+ * Reads an OpenQASM 2.0 circuit (file or stdin), routes it onto a
+ * device topology, compiles it with PAQOC or the AccQOC baseline, and
+ * reports latency / ESP / compile statistics. Optionally emits the
+ * pulse CSV of each distinct customized gate.
+ *
+ * Usage:
+ *   paqocc [options] [input.qasm]
+ *     --method paqoc|accqoc      compiler (default paqoc)
+ *     --m N|inf|tuned            APA-basis budget (default 0)
+ *     --depth N                  accqoc subcircuit depth (default 3)
+ *     --maxn N                   customized-gate qubit cap (default 3)
+ *     --topology WxH|line:N      device (default 5x5)
+ *     --grape                    use real GRAPE pulses (slow)
+ *     --commute                  commutativity-aware merging
+ *     --emit-pulses DIR          write per-gate pulse CSVs into DIR
+ *     --benchmark NAME           use a built-in benchmark as input
+ *     --quiet                    only the summary line
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "circuit/qasm.h"
+#include "common/error.h"
+#include "paqoc/compiler.h"
+#include "qoc/pulse_io.h"
+#include "qoc/pulse_generator.h"
+#include "transpile/decompose.h"
+#include "transpile/sabre.h"
+#include "workloads/benchmarks.h"
+
+namespace {
+
+using namespace paqoc;
+
+struct CliOptions
+{
+    std::string method = "paqoc";
+    std::string m = "0";
+    int depth = 3;
+    int maxn = 3;
+    std::string topology = "5x5";
+    bool grape = false;
+    bool commute = false;
+    bool quiet = false;
+    std::string pulseDb;
+    std::string emitPulsesDir;
+    std::string benchmark;
+    std::string inputFile;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: paqocc [options] [input.qasm]\n"
+        "  --method paqoc|accqoc   compiler (default paqoc)\n"
+        "  --m N|inf|tuned         APA-basis budget (default 0)\n"
+        "  --depth N               accqoc depth (default 3)\n"
+        "  --maxn N                customized-gate qubit cap\n"
+        "  --topology WxH|line:N   device (default 5x5)\n"
+        "  --grape                 real GRAPE pulses (slow)\n"
+        "  --commute               commutativity-aware merging\n"
+        "  --emit-pulses DIR       write pulse CSVs into DIR\n"
+        "  --pulse-db FILE         load/save the offline pulse database\n"
+        "  --benchmark NAME        built-in benchmark as input\n"
+        "  --quiet                 only the summary line\n");
+    std::exit(code);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(2);
+            return argv[i];
+        };
+        if (arg == "--method")
+            opts.method = next();
+        else if (arg == "--m")
+            opts.m = next();
+        else if (arg == "--depth")
+            opts.depth = std::stoi(next());
+        else if (arg == "--maxn")
+            opts.maxn = std::stoi(next());
+        else if (arg == "--topology")
+            opts.topology = next();
+        else if (arg == "--grape")
+            opts.grape = true;
+        else if (arg == "--commute")
+            opts.commute = true;
+        else if (arg == "--quiet")
+            opts.quiet = true;
+        else if (arg == "--emit-pulses")
+            opts.emitPulsesDir = next();
+        else if (arg == "--pulse-db")
+            opts.pulseDb = next();
+        else if (arg == "--benchmark")
+            opts.benchmark = next();
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else if (arg == "-" || arg.empty() || arg[0] != '-')
+            opts.inputFile = arg;
+        else
+            usage(2);
+    }
+    return opts;
+}
+
+Topology
+parseTopology(const std::string &spec)
+{
+    if (spec.rfind("line:", 0) == 0)
+        return Topology::line(std::stoi(spec.substr(5)));
+    const std::size_t x = spec.find('x');
+    PAQOC_FATAL_IF(x == std::string::npos, "bad topology spec '", spec,
+                   "' (expected WxH or line:N)");
+    return Topology::grid(std::stoi(spec.substr(0, x)),
+                          std::stoi(spec.substr(x + 1)));
+}
+
+Circuit
+loadInput(const CliOptions &opts, const Topology &topology)
+{
+    if (!opts.benchmark.empty())
+        return workloads::makePhysical(opts.benchmark, topology);
+
+    std::string text;
+    if (opts.inputFile.empty() || opts.inputFile == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+    } else {
+        std::ifstream in(opts.inputFile);
+        PAQOC_FATAL_IF(!in, "cannot open '", opts.inputFile, "'");
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    const Circuit logical = fromQasm(text);
+    const Circuit cx_level = decomposeToCx(logical);
+    const RoutingResult routed = sabreRoute(cx_level, topology);
+    return decomposeToBasis(routed.physical);
+}
+
+int
+run(const CliOptions &opts)
+{
+    const Topology topology = parseTopology(opts.topology);
+    const Circuit physical = loadInput(opts, topology);
+    if (!opts.quiet) {
+        std::printf("input: %zu physical gates on %d qubits\n",
+                    physical.size(), physical.numQubits());
+    }
+
+    SpectralPulseGenerator spectral;
+    GrapePulseGenerator grape;
+    PulseGenerator &generator =
+        opts.grape ? static_cast<PulseGenerator &>(grape)
+                   : static_cast<PulseGenerator &>(spectral);
+
+    // Offline/online split (paper contribution 5): a database saved by
+    // a previous (offline) run answers online pulse requests directly.
+    if (!opts.pulseDb.empty() && std::ifstream(opts.pulseDb).good()) {
+        if (opts.grape)
+            grape.loadDatabase(opts.pulseDb);
+        else
+            spectral.loadDatabase(opts.pulseDb);
+        if (!opts.quiet)
+            std::printf("loaded pulse database '%s'\n",
+                        opts.pulseDb.c_str());
+    }
+
+    CompileReport report;
+    if (opts.method == "accqoc") {
+        AccqocOptions aopts;
+        aopts.maxN = opts.maxn;
+        aopts.depth = opts.depth;
+        report = compileAccqoc(physical, generator, aopts);
+    } else if (opts.method == "paqoc") {
+        PaqocOptions popts;
+        if (opts.m == "inf")
+            popts.apaM = -1;
+        else if (opts.m == "tuned")
+            popts.tuned = true;
+        else
+            popts.apaM = std::stoi(opts.m);
+        popts.merge.maxN = opts.maxn;
+        popts.miner.maxQubits = opts.maxn;
+        popts.merge.commutativityAware = opts.commute;
+        report = compilePaqoc(physical, generator, popts);
+    } else {
+        usage(2);
+    }
+
+    if (!opts.quiet) {
+        std::printf("compiled: %d customized gates "
+                    "(%d merges, %d APA kinds / %d uses)\n",
+                    report.finalGateCount, report.merges,
+                    report.apaKinds, report.apaUses);
+        std::printf("pulse calls: %zu (%zu cache hits), cost %.3g "
+                    "units, %.2f s wall\n",
+                    report.pulseCalls, report.cacheHits,
+                    report.costUnits, report.wallSeconds);
+    }
+    std::printf("latency: %.0f dt   esp: %.6f\n", report.latency,
+                report.esp);
+
+    if (!opts.emitPulsesDir.empty()) {
+        PAQOC_FATAL_IF(!opts.grape,
+                       "--emit-pulses requires --grape (the analytical "
+                       "backend has no waveforms)");
+        int emitted = 0;
+        for (const Gate &g : report.circuit.gates()) {
+            const PulseGenResult r =
+                generator.generate(g.unitary(), g.arity());
+            if (!r.schedule.has_value() || !r.cacheHit)
+                continue;
+            const DeviceModel device(g.arity());
+            const std::string path = opts.emitPulsesDir + "/gate"
+                + std::to_string(emitted) + ".csv";
+            std::ofstream out(path);
+            PAQOC_FATAL_IF(!out, "cannot write '", path, "'");
+            out << pulseToCsv(*r.schedule, device);
+            ++emitted;
+        }
+        if (!opts.quiet)
+            std::printf("wrote %d pulse CSVs to %s\n", emitted,
+                        opts.emitPulsesDir.c_str());
+    }
+    if (!opts.pulseDb.empty()) {
+        if (opts.grape)
+            grape.saveDatabase(opts.pulseDb);
+        else
+            spectral.saveDatabase(opts.pulseDb);
+        if (!opts.quiet)
+            std::printf("saved pulse database '%s'\n",
+                        opts.pulseDb.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parseArgs(argc, argv));
+    } catch (const paqoc::FatalError &e) {
+        std::fprintf(stderr, "paqocc: %s\n", e.what());
+        return 1;
+    }
+}
