@@ -3,12 +3,19 @@
  * Google-benchmark microbenchmarks of the hot kernels: the Pade
  * matrix exponential, the Hermitian Jacobi eigensolver, the
  * Pauli-split latency model, one GRAPE iteration, SABRE routing, the
- * frequent-subcircuit miner, and one full compile.
+ * frequent-subcircuit miner, and one full compile -- plus the
+ * parallel-engine cases (blocked gemm and concurrent pulse
+ * generation), which print one JSON line each with ops/sec and the
+ * measured speedup over the serial path.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "linalg/eig.h"
 #include "linalg/expm.h"
 #include "linalg/unitary_util.h"
@@ -16,6 +23,7 @@
 #include "paqoc/compiler.h"
 #include "qoc/grape.h"
 #include "qoc/latency_model.h"
+#include "qoc/pulse_generator.h"
 #include "transpile/decompose.h"
 #include "transpile/sabre.h"
 #include "workloads/benchmarks.h"
@@ -110,7 +118,114 @@ BM_CompileRd32(benchmark::State &state)
 }
 BENCHMARK(BM_CompileRd32);
 
+void
+BM_MatmulBlocked96(benchmark::State &state)
+{
+    Rng rng(4);
+    const Matrix a = randomHermitian(96, rng);
+    const Matrix b = randomHermitian(96, rng);
+    Matrix out(96, 96);
+    for (auto _ : state) {
+        matmulInto(a, b, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_MatmulBlocked96);
+
+void
+BM_GenerateBatch2q(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<PulseRequest> requests;
+    for (int i = 0; i < 16; ++i)
+        requests.push_back(
+            {expmPropagator(randomHermitian(4, rng), 1.0), 2});
+    for (auto _ : state) {
+        SpectralPulseGenerator gen;
+        benchmark::DoNotOptimize(
+            gen.generateBatch(requests, &ThreadPool::global()));
+    }
+}
+BENCHMARK(BM_GenerateBatch2q);
+
+/**
+ * One JSON line per parallel case: ops/sec of the serial and pooled
+ * paths and the resulting speedup. On a 1-core host the speedup is
+ * honestly ~1x; the engine only helps where cores exist.
+ */
+void
+reportParallelSpeedups()
+{
+    const unsigned threads = ThreadPool::global().size();
+
+    // Case 1: the cache-blocked gemm (96 x 96 is above the blocked
+    // threshold, so matmulInto fans out across the global pool).
+    {
+        Rng rng(11);
+        const Matrix a = randomHermitian(96, rng);
+        const Matrix b = randomHermitian(96, rng);
+        Matrix out(96, 96);
+        constexpr int kReps = 40;
+        auto time_once = [&]() {
+            const Stopwatch watch;
+            for (int i = 0; i < kReps; ++i)
+                matmulInto(a, b, out);
+            return static_cast<double>(kReps) / watch.seconds();
+        };
+        ThreadPool::setGlobalThreads(1);
+        time_once(); // warm-up
+        const double serial_ops = time_once();
+        ThreadPool::setGlobalThreads(threads);
+        time_once(); // warm-up
+        const double parallel_ops = time_once();
+        std::printf("{\"bench\":\"parallel_gemm\",\"dim\":96,"
+                    "\"threads\":%u,\"serial_ops_per_sec\":%.2f,"
+                    "\"parallel_ops_per_sec\":%.2f,\"speedup\":%.3f}\n",
+                    threads, serial_ops, parallel_ops,
+                    parallel_ops / serial_ops);
+    }
+
+    // Case 2: concurrent pulse generation over distinct 2q unitaries.
+    {
+        Rng rng(12);
+        std::vector<PulseRequest> requests;
+        for (int i = 0; i < 24; ++i)
+            requests.push_back(
+                {expmPropagator(randomHermitian(4, rng), 1.0), 2});
+        constexpr int kReps = 20;
+        auto time_once = [&](ThreadPool *pool) {
+            const Stopwatch watch;
+            for (int rep = 0; rep < kReps; ++rep) {
+                SpectralPulseGenerator gen; // fresh cache each rep
+                gen.generateBatch(requests, pool);
+            }
+            return static_cast<double>(requests.size()) * kReps
+                / watch.seconds();
+        };
+        time_once(nullptr); // warm-up
+        const double serial_ops = time_once(nullptr);
+        ThreadPool &pool = ThreadPool::global();
+        time_once(&pool); // warm-up
+        const double parallel_ops = time_once(&pool);
+        std::printf("{\"bench\":\"concurrent_generate\",\"batch\":24,"
+                    "\"threads\":%u,\"serial_ops_per_sec\":%.2f,"
+                    "\"parallel_ops_per_sec\":%.2f,\"speedup\":%.3f}\n",
+                    threads, serial_ops, parallel_ops,
+                    parallel_ops / serial_ops);
+    }
+}
+
 } // namespace
 } // namespace paqoc
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    paqoc::reportParallelSpeedups();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

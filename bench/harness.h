@@ -25,15 +25,23 @@ methodNames()
     return names;
 }
 
-/** Compile one physical circuit under a named method. */
+/**
+ * Compile one physical circuit under a named method. `threads` is the
+ * pulse-engine knob (0 = process-wide pool, 1 = serial); reports are
+ * bit-identical across settings.
+ */
 inline CompileReport
-compileWith(const std::string &method, const Circuit &physical)
+compileWith(const std::string &method, const Circuit &physical,
+            int threads = 0)
 {
     SpectralPulseGenerator generator;
-    if (method == "accqoc_n3d3")
-        return compileAccqoc(physical, generator, AccqocOptions{3, 3});
-    if (method == "accqoc_n3d5")
-        return compileAccqoc(physical, generator, AccqocOptions{3, 5});
+    if (method == "accqoc_n3d3" || method == "accqoc_n3d5") {
+        AccqocOptions options;
+        options.maxN = 3;
+        options.depth = method == "accqoc_n3d3" ? 3 : 5;
+        options.threads = threads;
+        return compileAccqoc(physical, generator, options);
+    }
     PaqocOptions options;
     if (method == "paqoc(M=0)")
         options.apaM = 0;
@@ -41,6 +49,7 @@ compileWith(const std::string &method, const Circuit &physical)
         options.tuned = true;
     else
         options.apaM = -1;
+    options.threads = threads;
     return compilePaqoc(physical, generator, options);
 }
 
@@ -57,7 +66,7 @@ struct SweepResult
  * 5x5 grid and compile it under all five methods. Deterministic.
  */
 inline SweepResult
-runEvalSweep(bool verbose = true)
+runEvalSweep(bool verbose = true, int threads = 0)
 {
     SweepResult sweep;
     const Topology grid = Topology::grid(5, 5);
@@ -69,7 +78,7 @@ runEvalSweep(bool verbose = true)
         sweep.benchmarks.push_back(spec.name);
         for (const std::string &method : methodNames()) {
             sweep.reports[spec.name][method] =
-                compileWith(method, physical);
+                compileWith(method, physical, threads);
         }
     }
     return sweep;

@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace paqoc {
+
+namespace {
+
+thread_local bool tls_on_worker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    threads = std::max(1u, threads);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tls_on_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&]() { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to run
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return tls_on_worker;
+}
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool> &
+globalSlot()
+{
+    static std::unique_ptr<ThreadPool> pool;
+    return pool;
+}
+
+std::mutex &
+globalMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(globalMutex());
+    std::unique_ptr<ThreadPool> &slot = globalSlot();
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(defaultThreads());
+    return *slot;
+}
+
+void
+ThreadPool::setGlobalThreads(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    std::lock_guard<std::mutex> lock(globalMutex());
+    std::unique_ptr<ThreadPool> &slot = globalSlot();
+    if (slot && slot->size() == threads)
+        return;
+    slot = std::make_unique<ThreadPool>(threads);
+}
+
+} // namespace paqoc

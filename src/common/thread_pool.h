@@ -1,0 +1,160 @@
+#ifndef PAQOC_COMMON_THREAD_POOL_H_
+#define PAQOC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace paqoc {
+
+/**
+ * Fixed-size worker pool behind all parallelism in the compiler: batch
+ * pulse generation, concurrent GRAPE duration probes, and the blocked
+ * gemm. Tasks are plain queued closures; parallelFor additionally lets
+ * the calling thread execute chunks itself, so a pool of size 1 (or a
+ * call made from inside a worker) degrades to an ordinary serial loop
+ * instead of deadlocking.
+ *
+ * Determinism contract: the pool schedules *when* work runs, never
+ * *what* work runs. Every parallel site in the compiler derives its
+ * task set and its result folding order from program state alone, so
+ * compile reports are bit-identical for any pool size, including 1.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn `threads` workers; 0 means hardware_concurrency. */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Worker count (>= 1). */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+    /** Queue a task and get a future for its result. */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> fut = task->get_future();
+        post([task]() { (*task)(); });
+        return fut;
+    }
+
+    /**
+     * Run body(i) for every i in [0, n), `grain` consecutive indices
+     * per task. The caller participates (it drains chunks alongside
+     * the workers), and a call made from inside a pool worker runs
+     * inline serially -- nested parallelism never deadlocks, it just
+     * flattens. The first exception thrown by any chunk is rethrown on
+     * the caller once all chunks finished.
+     */
+    template <typename F>
+    void
+    parallelFor(std::size_t n, F &&body, std::size_t grain = 1)
+    {
+        if (n == 0)
+            return;
+        if (grain == 0)
+            grain = 1;
+        const std::size_t chunks = (n + grain - 1) / grain;
+        if (size() <= 1 || chunks <= 1 || onWorkerThread()) {
+            for (std::size_t i = 0; i < n; ++i)
+                body(i);
+            return;
+        }
+
+        struct State
+        {
+            std::atomic<std::size_t> next{0};
+            std::size_t n = 0;
+            std::size_t grain = 1;
+            std::function<void(std::size_t)> body;
+            std::mutex mutex;
+            std::condition_variable cv;
+            std::size_t done = 0; // indices finished, guarded by mutex
+            std::exception_ptr error;
+        };
+        auto st = std::make_shared<State>();
+        st->n = n;
+        st->grain = grain;
+        st->body = std::forward<F>(body);
+
+        auto drain = [](const std::shared_ptr<State> &s) {
+            for (;;) {
+                const std::size_t begin =
+                    s->next.fetch_add(s->grain, std::memory_order_relaxed);
+                if (begin >= s->n)
+                    return;
+                const std::size_t end = std::min(begin + s->grain, s->n);
+                std::exception_ptr err;
+                try {
+                    for (std::size_t i = begin; i < end; ++i)
+                        s->body(i);
+                } catch (...) {
+                    err = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(s->mutex);
+                if (err && !s->error)
+                    s->error = err;
+                s->done += end - begin;
+                if (s->done == s->n)
+                    s->cv.notify_all();
+            }
+        };
+
+        const std::size_t helpers =
+            std::min<std::size_t>(size(), chunks) - 1;
+        for (std::size_t h = 0; h < helpers; ++h)
+            post([st, drain]() { drain(st); });
+        drain(st);
+
+        std::unique_lock<std::mutex> lock(st->mutex);
+        st->cv.wait(lock, [&]() { return st->done == st->n; });
+        if (st->error)
+            std::rethrow_exception(st->error);
+    }
+
+    /** True when the current thread is a worker of any ThreadPool. */
+    static bool onWorkerThread();
+
+    /**
+     * The process-wide pool (default size: hardware_concurrency).
+     * Intended to be resized only from single-threaded context (CLI
+     * startup, bench setup) via setGlobalThreads.
+     */
+    static ThreadPool &global();
+    static void setGlobalThreads(unsigned threads);
+
+    /** The default worker count a `threads = 0` knob resolves to. */
+    static unsigned defaultThreads();
+
+  private:
+    void post(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_COMMON_THREAD_POOL_H_

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace paqoc {
 
@@ -75,6 +76,54 @@ operator*(const Matrix &a, const Matrix &b)
     return out;
 }
 
+namespace {
+
+/**
+ * Minimum dimension (all of n, k, m) for the blocked parallel path.
+ * QOC propagators live below this (dim <= 2^3 per customized gate),
+ * so the hot GRAPE loops keep the sparse-aware serial kernel; only
+ * genuinely large products (simulator aggregates, benches) pay the
+ * transpose and fan out across the pool.
+ */
+constexpr std::size_t kBlockedThreshold = 32;
+
+/** Rows of `out` computed per task: a cache-friendly i-tile. */
+constexpr std::size_t kRowTile = 16;
+
+/**
+ * out = a * b with b pre-transposed, so every inner dot product
+ * streams two contiguous rows. Each output element is one full-k dot
+ * accumulated in ascending-k order -- the result is independent of
+ * how the row tiles are scheduled across threads.
+ */
+void
+matmulBlocked(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+    const Matrix bt = b.transpose();
+    const Complex *pa = a.data();
+    const Complex *pbt = bt.data();
+    Complex *o = out.data();
+    const std::size_t tiles = (n + kRowTile - 1) / kRowTile;
+    ThreadPool::global().parallelFor(tiles, [&](std::size_t tile) {
+        const std::size_t i0 = tile * kRowTile;
+        const std::size_t i1 = std::min(n, i0 + kRowTile);
+        for (std::size_t i = i0; i < i1; ++i) {
+            const Complex *arow = pa + i * k;
+            Complex *orow = o + i * m;
+            for (std::size_t j = 0; j < m; ++j) {
+                const Complex *brow = pbt + j * k;
+                Complex s(0.0, 0.0);
+                for (std::size_t kk = 0; kk < k; ++kk)
+                    s += arow[kk] * brow[kk];
+                orow[j] = s;
+            }
+        }
+    });
+}
+
+} // namespace
+
 void
 matmulInto(const Matrix &a, const Matrix &b, Matrix &out)
 {
@@ -82,6 +131,11 @@ matmulInto(const Matrix &a, const Matrix &b, Matrix &out)
     PAQOC_ASSERT(out.rows() == a.rows() && out.cols() == b.cols(),
                  "output shape mismatch in matmul");
     const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+    if (n >= kBlockedThreshold && k >= kBlockedThreshold
+        && m >= kBlockedThreshold) {
+        matmulBlocked(a, b, out);
+        return;
+    }
     Complex *o = out.data();
     const Complex *pa = a.data();
     const Complex *pb = b.data();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.h"
 #include "linalg/eig.h"
@@ -293,6 +294,37 @@ equalUpToGlobalPhase(const Matrix &u, const Matrix &v, double tol)
     if (u.rows() != v.rows() || u.cols() != v.cols())
         return false;
     return phaseInvariantDistance(u, v) < tol;
+}
+
+std::uint64_t
+matrixHash(const Matrix &u)
+{
+    constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+    std::uint64_t h = kOffset;
+    auto mix_u64 = [&h](std::uint64_t bits) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xffu;
+            h *= kPrime;
+        }
+    };
+    auto mix_double = [&](double x) {
+        // +0.0 folds negative zero so -0.0 and 0.0 hash alike.
+        const double folded = x + 0.0;
+        std::uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof folded);
+        std::memcpy(&bits, &folded, sizeof bits);
+        mix_u64(bits);
+    };
+    mix_u64(u.rows());
+    mix_u64(u.cols());
+    const Complex *p = u.data();
+    const std::size_t n = u.rows() * u.cols();
+    for (std::size_t i = 0; i < n; ++i) {
+        mix_double(p[i].real());
+        mix_double(p[i].imag());
+    }
+    return h;
 }
 
 } // namespace paqoc

@@ -1,6 +1,7 @@
 #ifndef PAQOC_LINALG_UNITARY_UTIL_H_
 #define PAQOC_LINALG_UNITARY_UTIL_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -72,6 +73,14 @@ double phaseInvariantDistance(const Matrix &u, const Matrix &v);
 /** True if U ~= e^{i phi} V for some global phase phi. */
 bool equalUpToGlobalPhase(const Matrix &u, const Matrix &v,
                           double tol = 1e-6);
+
+/**
+ * Deterministic 64-bit hash of a matrix (FNV-1a over the raw entry
+ * bytes plus the shape). Used to derive per-gate RNG seeds: every
+ * GRAPE run on the same target draws the same initial pulse no matter
+ * which thread, batch position, or probe round issues it.
+ */
+std::uint64_t matrixHash(const Matrix &u);
 
 } // namespace paqoc
 

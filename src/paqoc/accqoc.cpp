@@ -1,6 +1,7 @@
 #include "paqoc/accqoc.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <set>
@@ -141,6 +142,12 @@ accqocPartition(const Circuit &circuit, const AccqocOptions &options,
 std::vector<std::size_t>
 similarityMstOrder(const Circuit &circuit)
 {
+    return similarityMstTree(circuit).order;
+}
+
+SimilarityMstTree
+similarityMstTree(const Circuit &circuit)
+{
     // Representatives: first occurrence of each canonical unitary.
     std::vector<std::size_t> reps;
     std::vector<Matrix> unitaries;
@@ -155,8 +162,13 @@ similarityMstOrder(const Circuit &circuit)
         }
     }
     const std::size_t n = reps.size();
-    if (n <= 2)
-        return reps;
+    SimilarityMstTree tree;
+    if (n <= 2) {
+        tree.order = reps;
+        for (std::size_t k = 0; k < n; ++k)
+            tree.parent.push_back(k == 0 ? -1 : 0);
+        return tree;
+    }
 
     // Prim's MST over the similarity graph; emit nodes in the order
     // they join the tree so every pulse generation has a near neighbor
@@ -164,12 +176,16 @@ similarityMstOrder(const Circuit &circuit)
     // far apart.
     std::vector<char> in_tree(n, 0);
     std::vector<double> best(n, std::numeric_limits<double>::infinity());
-    std::vector<std::size_t> order;
-    order.reserve(n);
+    // Position in tree.order of the in-tree node realizing best[j].
+    std::vector<int> best_from(n, -1);
+    tree.order.reserve(n);
+    tree.parent.reserve(n);
     std::size_t cur = 0;
     in_tree[0] = 1;
-    order.push_back(reps[0]);
+    tree.order.push_back(reps[0]);
+    tree.parent.push_back(-1);
     for (std::size_t added = 1; added < n; ++added) {
+        const int cur_pos = static_cast<int>(added) - 1;
         for (std::size_t j = 0; j < n; ++j) {
             if (in_tree[j])
                 continue;
@@ -178,7 +194,10 @@ similarityMstOrder(const Circuit &circuit)
                     ? phaseInvariantDistance(unitaries[cur],
                                              unitaries[j])
                     : std::numeric_limits<double>::infinity();
-            best[j] = std::min(best[j], d);
+            if (d < best[j]) {
+                best[j] = d;
+                best_from[j] = cur_pos;
+            }
         }
         std::size_t pick = 0;
         double pick_d = std::numeric_limits<double>::infinity();
@@ -189,10 +208,14 @@ similarityMstOrder(const Circuit &circuit)
             }
         }
         in_tree[pick] = 1;
-        order.push_back(reps[pick]);
+        tree.order.push_back(reps[pick]);
+        // An unreachable pick (infinite distance, e.g. the first node
+        // of a new dimension class) roots a fresh subtree.
+        tree.parent.push_back(
+            std::isinf(best[pick]) ? -1 : best_from[pick]);
         cur = pick;
     }
-    return order;
+    return tree;
 }
 
 } // namespace paqoc

@@ -14,6 +14,8 @@ struct AccqocOptions
     int maxN = 3;
     /** Maximum depth of each subcircuit (the paper uses 3 and 5). */
     int depth = 3;
+    /** Pulse-engine threads; same semantics as PaqocOptions::threads. */
+    int threads = 0;
 };
 
 /**
@@ -41,6 +43,27 @@ Circuit accqocPartition(const Circuit &circuit,
  * excluded). Exposed for tests; compileAccqoc uses it internally.
  */
 std::vector<std::size_t> similarityMstOrder(const Circuit &circuit);
+
+/** Similarity MST with its warm-start dependency structure. */
+struct SimilarityMstTree
+{
+    /** Gate indices in the order Prim's algorithm adds them. */
+    std::vector<std::size_t> order;
+    /**
+     * parent[k] is the position (in `order`) of the node order[k]
+     * warm-starts from, or -1 for the root. Nodes whose parent sits in
+     * an earlier BFS wave can be pulse-generated concurrently: the
+     * parent's pulse is already cached when the wave starts.
+     */
+    std::vector<int> parent;
+};
+
+/**
+ * similarityMstOrder plus the MST parent of every node; the order is
+ * identical to similarityMstOrder's. compileAccqoc walks the tree in
+ * breadth-first waves and generates each wave as one parallel batch.
+ */
+SimilarityMstTree similarityMstTree(const Circuit &circuit);
 
 } // namespace paqoc
 

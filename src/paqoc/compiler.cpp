@@ -1,6 +1,9 @@
 #include "paqoc/compiler.h"
 
+#include <optional>
+
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "paqoc/esp.h"
 #include "paqoc/latency_oracle.h"
 
@@ -8,15 +11,31 @@ namespace paqoc {
 
 namespace {
 
+/**
+ * Map the threads knob onto a pool: 0 = the process-wide pool, 1 =
+ * serial (no pool at all), >= 2 = a private pool owned by `local` for
+ * the duration of the compile.
+ */
+ThreadPool *
+resolvePool(int threads, std::optional<ThreadPool> &local)
+{
+    if (threads == 1)
+        return nullptr;
+    if (threads <= 0)
+        return &ThreadPool::global();
+    local.emplace(static_cast<unsigned>(threads));
+    return &*local;
+}
+
 /** Fill the generator-delta and pulse-pass fields of a report. */
 void
 finishReport(CompileReport &report, const Circuit &final_circuit,
-             PulseGenerator &generator, const Stopwatch &watch,
-             double cost_before, std::size_t calls_before,
-             std::size_t hits_before)
+             PulseGenerator &generator, ThreadPool *pool,
+             const Stopwatch &watch, double cost_before,
+             std::size_t calls_before, std::size_t hits_before)
 {
     const CircuitPulses pulses =
-        generateCircuitPulses(final_circuit, generator);
+        generateCircuitPulses(final_circuit, generator, pool);
     report.circuit = final_circuit;
     report.latency = pulses.makespan;
     report.esp = pulses.esp;
@@ -38,6 +57,8 @@ compilePaqoc(const Circuit &physical, PulseGenerator &generator,
     const double cost0 = generator.totalCostUnits();
     const std::size_t calls0 = generator.generateCalls();
     const std::size_t hits0 = generator.cacheHits();
+    std::optional<ThreadPool> local_pool;
+    ThreadPool *pool = resolvePool(options.threads, local_pool);
 
     Circuit working = physical;
 
@@ -68,9 +89,9 @@ compilePaqoc(const Circuit &physical, PulseGenerator &generator,
         working = std::move(merged.circuit);
     }
 
-    // Stage 3: control pulses generator + ESP.
-    finishReport(report, working, generator, watch, cost0, calls0,
-                 hits0);
+    // Stage 3: control pulses generator + ESP, batched on the pool.
+    finishReport(report, working, generator, pool, watch, cost0,
+                 calls0, hits0);
     return report;
 }
 
@@ -83,21 +104,41 @@ compileAccqoc(const Circuit &physical, PulseGenerator &generator,
     const double cost0 = generator.totalCostUnits();
     const std::size_t calls0 = generator.generateCalls();
     const std::size_t hits0 = generator.cacheHits();
+    std::optional<ThreadPool> local_pool;
+    ThreadPool *pool = resolvePool(options.threads, local_pool);
 
     LatencyOracle oracle(generator);
     const LatencyFn lat_fn = [&](const Gate &g) { return oracle(g); };
     const Circuit partitioned =
         accqocPartition(physical, options, &lat_fn);
 
-    // Generate pulses for distinct subcircuits in MST-similarity
-    // order so each GRAPE run warm-starts from a close neighbor.
-    for (std::size_t idx : similarityMstOrder(partitioned)) {
-        const Gate &g = partitioned.gate(idx);
-        generator.generate(g.unitary(), g.arity());
+    // Generate pulses for distinct subcircuits along the similarity
+    // MST so each GRAPE run warm-starts from a close neighbor. The
+    // tree is walked in breadth-first waves: a node's MST parent lands
+    // in an earlier wave, so its pulse is already cached (within the
+    // batch's similarity horizon) when the node's wave runs -- and
+    // every wave is one parallel batch.
+    const SimilarityMstTree tree = similarityMstTree(partitioned);
+    std::vector<int> wave(tree.order.size(), 0);
+    int num_waves = tree.order.empty() ? 0 : 1;
+    for (std::size_t k = 0; k < tree.order.size(); ++k) {
+        if (tree.parent[k] >= 0)
+            wave[k] = wave[static_cast<std::size_t>(tree.parent[k])] + 1;
+        num_waves = std::max(num_waves, wave[k] + 1);
+    }
+    for (int w = 0; w < num_waves; ++w) {
+        std::vector<PulseRequest> requests;
+        for (std::size_t k = 0; k < tree.order.size(); ++k) {
+            if (wave[k] != w)
+                continue;
+            const Gate &g = partitioned.gate(tree.order[k]);
+            requests.push_back({g.unitary(), g.arity()});
+        }
+        generator.generateBatch(requests, pool);
     }
 
-    finishReport(report, partitioned, generator, watch, cost0, calls0,
-                 hits0);
+    finishReport(report, partitioned, generator, pool, watch, cost0,
+                 calls0, hits0);
     return report;
 }
 

@@ -24,6 +24,13 @@ struct PaqocOptions
     bool tuned = false;
     /** Enable the criticality-aware customized gates generator. */
     bool enableMerger = true;
+    /**
+     * Worker threads of the pulse-generation engine: 0 uses the
+     * process-wide pool (hardware concurrency), 1 forces the serial
+     * path, >= 2 runs on a private pool of that size. Reports are
+     * bit-identical for every setting.
+     */
+    int threads = 0;
     MinerOptions miner;
     MergeOptions merge;
 };

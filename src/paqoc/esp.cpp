@@ -8,16 +8,27 @@
 namespace paqoc {
 
 CircuitPulses
-generateCircuitPulses(const Circuit &circuit, PulseGenerator &generator)
+generateCircuitPulses(const Circuit &circuit, PulseGenerator &generator,
+                      ThreadPool *pool)
 {
     CircuitPulses out;
     out.gateLatency.reserve(circuit.size());
     out.gateError.reserve(circuit.size());
     out.esp = 1.0;
 
-    for (const Gate &g : circuit.gates()) {
-        const PulseGenResult r = generator.generate(g.unitary(),
-                                                    g.arity());
+    std::vector<PulseRequest> requests;
+    requests.reserve(circuit.size());
+    for (const Gate &g : circuit.gates())
+        requests.push_back({g.unitary(), g.arity()});
+    const std::vector<PulseGenResult> results =
+        generator.generateBatch(requests, pool);
+
+    // Fold in program order: the ESP product and the latency clamps
+    // are position-dependent, so this loop stays serial no matter how
+    // the batch above was scheduled.
+    for (std::size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit.gate(i);
+        const PulseGenResult &r = results[i];
         // A merged pulse can always fall back to the stitched form, so
         // analytical latencies are clamped to the gate's cap.
         out.gateLatency.push_back(std::min(r.latency, g.latencyCap()));

@@ -25,9 +25,15 @@ struct CircuitPulses
  * Generate (or fetch from the cache) the control pulse of every gate
  * in a compiled circuit, schedule the circuit under the committed
  * latencies, and evaluate the ESP product of Eq. (2).
+ *
+ * With a pool, the per-gate pulses are generated as one concurrent
+ * batch; the latencies, errors and the ESP product are bit-identical
+ * to the serial pass for any thread count (the ESP factors multiply
+ * in program order after the batch completes).
  */
 CircuitPulses generateCircuitPulses(const Circuit &circuit,
-                                    PulseGenerator &generator);
+                                    PulseGenerator &generator,
+                                    ThreadPool *pool = nullptr);
 
 } // namespace paqoc
 

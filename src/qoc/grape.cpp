@@ -12,16 +12,28 @@ namespace paqoc {
 
 namespace {
 
-/** Trace of a * b without forming the product matrix. */
+/**
+ * Trace of a * b given aT = a.transpose(): Tr(a b) = sum_{i,k}
+ * a(i,k) b(k,i) = sum elementwise aT .* b, so both operands stream
+ * row-major instead of b being walked down its columns.
+ */
 Complex
-traceOfProduct(const Matrix &a, const Matrix &b)
+traceOfProductT(const Matrix &a_t, const Matrix &b)
 {
-    const std::size_t n = a.rows();
+    const Complex *x = a_t.data();
+    const Complex *y = b.data();
+    const std::size_t n = a_t.rows() * a_t.cols();
     Complex t(0.0, 0.0);
     for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t k = 0; k < n; ++k)
-            t += a(i, k) * b(k, i);
+        t += x[i] * y[i];
     return t;
+}
+
+/** hash_combine-style seed mixer. */
+std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
 }
 
 /** One ADAM-optimized GRAPE state. */
@@ -30,7 +42,10 @@ class GrapeRun
   public:
     GrapeRun(const DeviceModel &device, const Matrix &target,
              int num_slices, const GrapeOptions &opts)
-        : device_(device), target_(target), opts_(opts),
+        : device_(device), target_(target),
+          target_adj_(target.adjoint()),
+          target_conj_(target.conjugate()),
+          opts_(opts),
           n_slices_(num_slices),
           n_controls_(device.numControls()),
           dim_(device.dim())
@@ -72,13 +87,16 @@ class GrapeRun
         }
     }
 
-    GrapeResult optimize();
+    GrapeResult optimize(ThreadPool *pool);
 
   private:
-    double fidelityAndGradient(std::vector<std::vector<double>> &grad);
+    double fidelityAndGradient(std::vector<std::vector<double>> &grad,
+                               ThreadPool *pool);
 
     const DeviceModel &device_;
     const Matrix &target_;
+    const Matrix target_adj_;  // target^dag, hoisted out of the loop
+    const Matrix target_conj_; // conj(target) = (target^dag)^T
     const GrapeOptions &opts_;
     int n_slices_;
     std::size_t n_controls_;
@@ -90,7 +108,8 @@ class GrapeRun
 };
 
 double
-GrapeRun::fidelityAndGradient(std::vector<std::vector<double>> &grad)
+GrapeRun::fidelityAndGradient(std::vector<std::vector<double>> &grad,
+                              ThreadPool *pool)
 {
     const double d = static_cast<double>(dim_);
 
@@ -105,30 +124,45 @@ GrapeRun::fidelityAndGradient(std::vector<std::vector<double>> &grad)
         acc = props[static_cast<std::size_t>(t)] * acc;
         prefix[static_cast<std::size_t>(t)] = acc;
     }
-    const Complex g = traceOfProduct(target_.adjoint(), acc);
+    // Tr(target^dag acc) as an elementwise dot with conj(target):
+    // (target^dag)^T = conj(target), both matrices stream row-major.
+    const Complex g = traceOfProductT(target_conj_, acc);
     const double fidelity = std::norm(g) / (d * d);
 
     // Backward pass: R_t = target^dag * U_N ... U_{t+1}; the gradient
     // of |g|^2/d^2 w.r.t. amplitude u_{t,k} with the first-order
     // propagator derivative -i dt H_k U_t is
     //   (2/d^2) * Re( conj(g) * Tr(R_t * (-i) * H_k * F_t) ).
-    Matrix r = target_.adjoint();
+    // The controls are independent, so the k-loop fans out across the
+    // pool on the widest (3-qubit) devices; each control writes only
+    // its own grad slot, keeping results thread-count-independent.
+    const bool fan_out = pool != nullptr && pool->size() > 1
+        && n_controls_ >= 6;
+    Matrix r = target_adj_;
     for (int t = n_slices_ - 1; t >= 0; --t) {
-        const Matrix hf_base = prefix[static_cast<std::size_t>(t)];
-        for (std::size_t k = 0; k < n_controls_; ++k) {
+        const Matrix &hf_base = prefix[static_cast<std::size_t>(t)];
+        // One transpose of R_t per backward step lets every control's
+        // trace stream contiguously instead of striding b's columns.
+        const Matrix r_t = r.transpose();
+        auto one_control = [&](std::size_t k) {
             const Matrix hk_f = device_.control(k) * hf_base;
-            const Complex tr = traceOfProduct(r, hk_f);
+            const Complex tr = traceOfProductT(r_t, hk_f);
             const Complex dgrad = std::conj(g) * (Complex(0, -1) * tr);
             grad[static_cast<std::size_t>(t)][k] =
                 2.0 * dgrad.real() / (d * d);
-        }
+        };
+        if (fan_out)
+            pool->parallelFor(n_controls_, one_control, 2);
+        else
+            for (std::size_t k = 0; k < n_controls_; ++k)
+                one_control(k);
         r = r * props[static_cast<std::size_t>(t)];
     }
     return fidelity;
 }
 
 GrapeResult
-GrapeRun::optimize()
+GrapeRun::optimize(ThreadPool *pool)
 {
     constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
     std::vector<std::vector<double>> grad(
@@ -140,7 +174,7 @@ GrapeRun::optimize()
     std::vector<std::vector<double>> best_u = u_;
 
     for (int iter = 1; iter <= opts_.maxIterations; ++iter) {
-        const double fidelity = fidelityAndGradient(grad);
+        const double fidelity = fidelityAndGradient(grad, pool);
         if (fidelity > best_fidelity) {
             best_fidelity = fidelity;
             best_u = u_;
@@ -181,65 +215,155 @@ GrapeRun::optimize()
 GrapeResult
 grapeOptimize(const DeviceModel &device, const Matrix &target,
               int num_slices, const GrapeOptions &options,
-              const PulseSchedule *initial_guess)
+              const PulseSchedule *initial_guess, ThreadPool *pool)
 {
     PAQOC_FATAL_IF(num_slices <= 0, "pulse needs at least one slice");
     PAQOC_FATAL_IF(target.rows() != device.dim(),
                    "target dimension ", target.rows(),
                    " does not match device dimension ", device.dim());
-    GrapeRun run(device, target, num_slices, options);
-    Rng rng(options.seed + static_cast<std::uint64_t>(num_slices));
-    if (initial_guess != nullptr && initial_guess->numSlices() > 0)
-        run.seedFrom(*initial_guess);
-    else
-        run.seedRandom(rng);
-    return run.optimize();
+    const int restarts = std::max(1, options.restarts);
+    // Per-gate seeding: the base seed is mixed with the target hash,
+    // the slice count, and the restart index, so the initial pulse of
+    // every (target, duration, restart) triple is a pure function of
+    // the problem -- identical across threads, batch orders and probe
+    // rounds.
+    const std::uint64_t target_hash = matrixHash(target);
+    auto run_one = [&](int restart) {
+        GrapeRun run(device, target, num_slices, options);
+        if (restart == 0 && initial_guess != nullptr
+            && initial_guess->numSlices() > 0) {
+            run.seedFrom(*initial_guess);
+        } else {
+            Rng rng(mixSeed(
+                mixSeed(mixSeed(options.seed, target_hash),
+                        static_cast<std::uint64_t>(num_slices)),
+                static_cast<std::uint64_t>(restart)));
+            run.seedRandom(rng);
+        }
+        return run.optimize(pool);
+    };
+
+    if (restarts == 1)
+        return run_one(0);
+
+    std::vector<GrapeResult> results(
+        static_cast<std::size_t>(restarts));
+    if (pool != nullptr) {
+        pool->parallelFor(results.size(), [&](std::size_t i) {
+            results[i] = run_one(static_cast<int>(i));
+        });
+    } else {
+        for (std::size_t i = 0; i < results.size(); ++i)
+            results[i] = run_one(static_cast<int>(i));
+    }
+
+    // Deterministic pick: converged beats not, then higher fidelity,
+    // then the lower restart index.
+    std::size_t best = 0;
+    int total_iterations = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        total_iterations += results[i].iterations;
+        const GrapeResult &r = results[i];
+        const GrapeResult &b = results[best];
+        if (i == 0)
+            continue;
+        if ((r.converged && !b.converged)
+            || (r.converged == b.converged
+                && r.schedule.fidelity > b.schedule.fidelity))
+            best = i;
+    }
+    GrapeResult out = std::move(results[best]);
+    out.iterations = total_iterations;
+    return out;
 }
 
 MinDurationResult
 findMinimumDuration(const DeviceModel &device, const Matrix &target,
                     const GrapeOptions &options, int latency_hint,
-                    const PulseSchedule *initial_guess)
+                    const PulseSchedule *initial_guess, ThreadPool *pool)
 {
     MinDurationResult out;
 
-    auto trial = [&](int slices) {
-        GrapeResult r = grapeOptimize(device, target, slices, options,
-                                      initial_guess);
-        out.totalIterations += r.iterations;
-        ++out.trials;
-        return r;
+    // Evaluate a deterministic set of candidate durations; with a pool
+    // the candidates run concurrently, and the trial/iteration
+    // accounting always folds in candidate order.
+    auto eval_many = [&](const std::vector<int> &slices) {
+        std::vector<GrapeResult> rs(slices.size());
+        auto trial = [&](std::size_t i) {
+            rs[i] = grapeOptimize(device, target, slices[i], options,
+                                  initial_guess, pool);
+        };
+        if (pool != nullptr && slices.size() > 1)
+            pool->parallelFor(slices.size(), trial);
+        else
+            for (std::size_t i = 0; i < slices.size(); ++i)
+                trial(i);
+        for (const GrapeResult &r : rs) {
+            out.totalIterations += r.iterations;
+            ++out.trials;
+        }
+        return rs;
     };
 
-    // Exponential bracketing upward from the hint until convergence.
+    const int probes = std::max(1, options.durationProbes);
+    const int kMaxSlices = 4096;
+
+    // Exponential bracketing upward from the hint until convergence;
+    // with probes >= 2 each round tests the next two octaves at once.
     int lo = 1;
     int hi = std::max(latency_hint, 4);
-    GrapeResult at_hi = trial(hi);
-    const int kMaxSlices = 4096;
+    GrapeResult at_hi = eval_many({hi})[0];
     while (!at_hi.converged && hi < kMaxSlices) {
-        lo = hi + 1;
-        hi *= 2;
-        at_hi = trial(hi);
+        if (probes <= 1) {
+            lo = hi + 1;
+            hi *= 2;
+            at_hi = eval_many({hi})[0];
+        } else {
+            const std::vector<GrapeResult> rs =
+                eval_many({hi * 2, hi * 4});
+            if (rs[0].converged) {
+                lo = hi + 1;
+                hi *= 2;
+                at_hi = rs[0];
+            } else {
+                lo = hi * 2 + 1;
+                hi *= 4;
+                at_hi = rs[1];
+            }
+        }
     }
     PAQOC_FATAL_IF(!at_hi.converged,
                    "GRAPE could not reach the target fidelity within ",
                    kMaxSlices, " slices");
 
-    // Binary search for the shortest converging duration in [lo, hi].
+    // Multi-probe narrowing for the shortest converging duration in
+    // [lo, hi]: p candidates split the bracket into p+1 parts (p = 1
+    // is the classic binary search).
     GrapeResult best = at_hi;
-    int best_slices = hi;
     while (lo < hi) {
-        const int mid = lo + (hi - lo) / 2;
-        GrapeResult r = trial(mid);
-        if (r.converged) {
-            best = r;
-            best_slices = mid;
-            hi = mid;
+        const int width = hi - lo;
+        const int p = std::min(probes, width);
+        std::vector<int> mids;
+        mids.reserve(static_cast<std::size_t>(p));
+        for (int i = 1; i <= p; ++i)
+            mids.push_back(lo + (width * i) / (p + 1));
+        const std::vector<GrapeResult> rs = eval_many(mids);
+        int found = -1;
+        for (std::size_t i = 0; i < rs.size(); ++i) {
+            if (rs[i].converged) {
+                found = static_cast<int>(i);
+                break;
+            }
+        }
+        if (found >= 0) {
+            best = rs[static_cast<std::size_t>(found)];
+            hi = mids[static_cast<std::size_t>(found)];
+            if (found > 0)
+                lo = mids[static_cast<std::size_t>(found - 1)] + 1;
         } else {
-            lo = mid + 1;
+            lo = mids.back() + 1;
         }
     }
-    (void)best_slices;
     out.schedule = std::move(best.schedule);
     return out;
 }

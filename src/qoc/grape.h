@@ -3,6 +3,7 @@
 
 #include <optional>
 
+#include "common/thread_pool.h"
 #include "qoc/device.h"
 #include "qoc/pulse.h"
 
@@ -17,8 +18,28 @@ struct GrapeOptions
     int maxIterations = 300;
     /** ADAM learning rate (in units of the control bound). */
     double learningRate = 0.05;
-    /** Seed for the random initial pulse. */
+    /**
+     * Base seed mixed with the target-unitary hash and the slice
+     * count, so every (target, duration) pair draws the same initial
+     * pulse regardless of which thread or batch position runs it.
+     */
     std::uint64_t seed = 7;
+    /**
+     * Independent random restarts per fixed-duration run; the best
+     * outcome wins (converged first, then fidelity, then lowest
+     * restart index). Restarts are independent tasks and run
+     * concurrently on the pulse engine's thread pool.
+     */
+    int restarts = 1;
+    /**
+     * Candidate slice counts evaluated per round of the minimum-
+     * duration search. 1 reproduces the classic sequential binary
+     * search; k >= 2 probes k durations concurrently per round,
+     * shrinking the bracket by k+1 instead of 2. The probe set is a
+     * pure function of the bracket, so results do not depend on the
+     * thread count.
+     */
+    int durationProbes = 3;
 };
 
 /** Outcome of one fixed-duration GRAPE run. */
@@ -26,6 +47,7 @@ struct GrapeResult
 {
     PulseSchedule schedule;
     bool converged = false;
+    /** ADAM iterations spent, summed over all restarts. */
     int iterations = 0;
 };
 
@@ -35,11 +57,14 @@ struct GrapeResult
  * gradients and ADAM updates; amplitudes are clipped to the per-control
  * bounds each step. An optional initial guess (e.g., a similar cached
  * pulse, per AccQOC) warm-starts the optimization; it is resized to
- * num_slices if needed.
+ * num_slices if needed. When a pool is given, restarts (and the
+ * backward-pass gradient loop on 3-qubit devices) run as parallel
+ * tasks; results are identical for any pool size.
  */
 GrapeResult grapeOptimize(const DeviceModel &device, const Matrix &target,
                           int num_slices, const GrapeOptions &options = {},
-                          const PulseSchedule *initial_guess = nullptr);
+                          const PulseSchedule *initial_guess = nullptr,
+                          ThreadPool *pool = nullptr);
 
 /** Result of the minimum-duration search. */
 struct MinDurationResult
@@ -52,9 +77,15 @@ struct MinDurationResult
 };
 
 /**
- * Find (by exponential bracketing + binary search, Section V-B) the
- * minimum pulse duration at which GRAPE reaches the target fidelity,
- * and return the pulse at that duration.
+ * Find (by exponential bracketing + multi-probe binary search,
+ * Section V-B) the minimum pulse duration at which GRAPE reaches the
+ * target fidelity, and return the pulse at that duration.
+ *
+ * With options.durationProbes >= 2 and a pool, each round's candidate
+ * durations are optimized concurrently. The candidate set depends
+ * only on the bracket (never on the pool), so the found duration,
+ * trial count, and iteration totals are bit-identical for any thread
+ * count, including the serial pool-less path.
  *
  * @param latency_hint Optional starting point for the bracket (e.g.,
  *        the analytical model's estimate); 0 means unknown.
@@ -62,7 +93,8 @@ struct MinDurationResult
 MinDurationResult findMinimumDuration(
     const DeviceModel &device, const Matrix &target,
     const GrapeOptions &options = {}, int latency_hint = 0,
-    const PulseSchedule *initial_guess = nullptr);
+    const PulseSchedule *initial_guess = nullptr,
+    ThreadPool *pool = nullptr);
 
 } // namespace paqoc
 

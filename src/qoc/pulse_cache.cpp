@@ -91,23 +91,113 @@ PulseCache::canonicalKey(const Matrix &unitary, int num_qubits)
     return std::to_string(num_qubits) + ":" + key;
 }
 
+PulseCache::Acquired
+PulseCache::acquire(const Matrix &unitary, int num_qubits)
+{
+    const std::string key = canonicalKey(unitary, num_qubits);
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        const auto hit = entries_.find(key);
+        if (hit != entries_.end()) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return {FlightRole::Hit, hit->second};
+        }
+        const auto it = flights_.find(key);
+        if (it == flights_.end()) {
+            flights_.emplace(key, std::make_shared<Flight>());
+            return {FlightRole::Leader, std::nullopt};
+        }
+        const std::shared_ptr<Flight> flight = it->second;
+        flight->cv.wait(lock, [&]() { return flight->done; });
+        if (!flight->aborted) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            return {FlightRole::Joined, flight->result};
+        }
+        // The leader failed; loop and re-race for leadership.
+    }
+}
+
+void
+PulseCache::completeFlight(const Matrix &unitary, int num_qubits,
+                           CachedPulse entry)
+{
+    const std::string key = canonicalKey(unitary, num_qubits);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = flights_.find(key);
+    PAQOC_ASSERT(it != flights_.end(),
+                 "completeFlight without a matching acquire");
+    const std::shared_ptr<Flight> flight = it->second;
+    flights_.erase(it);
+    insertLocked(key, unitary, num_qubits, std::move(entry));
+    flight->done = true;
+    flight->result = entries_.at(key);
+    flight->cv.notify_all();
+}
+
+void
+PulseCache::abortFlight(const Matrix &unitary, int num_qubits)
+{
+    const std::string key = canonicalKey(unitary, num_qubits);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = flights_.find(key);
+    if (it == flights_.end())
+        return;
+    const std::shared_ptr<Flight> flight = it->second;
+    flights_.erase(it);
+    flight->done = true;
+    flight->aborted = true;
+    flight->cv.notify_all();
+}
+
 const CachedPulse *
 PulseCache::lookup(const Matrix &unitary, int num_qubits) const
 {
-    const auto it = entries_.find(canonicalKey(unitary, num_qubits));
+    const std::string key = canonicalKey(unitary, num_qubits);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
     if (it == entries_.end())
         return nullptr;
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return &it->second;
+}
+
+std::optional<CachedPulse>
+PulseCache::find(const Matrix &unitary, int num_qubits) const
+{
+    const std::string key = canonicalKey(unitary, num_qubits);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
 }
 
 void
 PulseCache::insert(const Matrix &unitary, int num_qubits,
                    CachedPulse entry)
 {
+    const std::string key = canonicalKey(unitary, num_qubits);
+    std::lock_guard<std::mutex> lock(mutex_);
+    insertLocked(key, unitary, num_qubits, std::move(entry));
+}
+
+void
+PulseCache::insertLocked(const std::string &key, const Matrix &unitary,
+                         int num_qubits, CachedPulse &&entry)
+{
     entry.unitary = unitary;
     entry.numQubits = num_qubits;
-    entries_[canonicalKey(unitary, num_qubits)] = std::move(entry);
+    entry.generation =
+        generation_.fetch_add(1, std::memory_order_relaxed);
+    entries_[key] = std::move(entry);
+}
+
+std::size_t
+PulseCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
 }
 
 void
@@ -117,6 +207,7 @@ PulseCache::save(const std::string &path) const
     PAQOC_FATAL_IF(!out, "cannot write pulse database '", path, "'");
     out << "paqoc-pulse-db 1\n";
     out.precision(17);
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const auto &[key, e] : entries_) {
         const std::size_t dim = e.unitary.rows();
         out << "entry " << e.numQubits << ' ' << e.latency << ' '
@@ -184,6 +275,7 @@ const CachedPulse *
 PulseCache::nearest(const Matrix &unitary, int num_qubits,
                     double max_distance) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const CachedPulse *best = nullptr;
     double best_dist = max_distance;
     for (const auto &[key, entry] : entries_) {
@@ -196,6 +288,37 @@ PulseCache::nearest(const Matrix &unitary, int num_qubits,
         }
     }
     return best;
+}
+
+std::optional<CachedPulse>
+PulseCache::nearestBefore(const Matrix &unitary, int num_qubits,
+                          double max_distance,
+                          std::uint64_t generation_bound) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const CachedPulse *best = nullptr;
+    double best_dist = 0.0;
+    // Tie-break on the canonical key so equal-distance entries resolve
+    // identically regardless of hash-map iteration order or of the
+    // (thread-dependent) order concurrent inserts landed in.
+    const std::string *best_key = nullptr;
+    for (const auto &[key, entry] : entries_) {
+        if (entry.numQubits != num_qubits
+            || entry.generation >= generation_bound)
+            continue;
+        const double d = phaseInvariantDistance(entry.unitary, unitary);
+        if (d > max_distance)
+            continue;
+        if (best == nullptr || d < best_dist
+            || (d == best_dist && key < *best_key)) {
+            best_dist = d;
+            best = &entry;
+            best_key = &key;
+        }
+    }
+    if (best == nullptr)
+        return std::nullopt;
+    return *best;
 }
 
 } // namespace paqoc

@@ -1,6 +1,11 @@
 #ifndef PAQOC_QOC_PULSE_CACHE_H_
 #define PAQOC_QOC_PULSE_CACHE_H_
 
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -19,6 +24,15 @@ struct CachedPulse
     PulseSchedule schedule; // empty for model-generated entries
     Matrix unitary;         // canonical-form target, for similarity
     int numQubits = 0;
+    /**
+     * Monotone insertion stamp (see PulseCache::generation). Batch
+     * drivers bound similarity queries by the generation observed at
+     * batch start, so warm-start selection is independent of the
+     * order concurrent inserts land in (nearestBefore breaks distance
+     * ties on the canonical key, never on this stamp, because stamps
+     * within a batch are assigned in completion order). Not serialized.
+     */
+    std::uint64_t generation = 0;
 };
 
 /**
@@ -30,14 +44,72 @@ struct CachedPulse
  * changing the control problem -- both orientations map to one key.
  * The cache also serves nearest-neighbor queries so a similar cached
  * pulse can seed GRAPE (the AccQOC-style warm start PAQOC adopts).
+ *
+ * Concurrency: all operations are internally locked, and generation
+ * is coordinated through a *single-flight* protocol -- concurrent
+ * requests for the same canonical unitary block on the one in-flight
+ * computation instead of duplicating it:
+ *
+ *   auto acq = cache.acquire(u, n);
+ *   if (acq.role == FlightRole::Leader) {
+ *       // compute the pulse, then publish it:
+ *       cache.completeFlight(u, n, entry);   // or abortFlight on error
+ *   } else {
+ *       // Hit (already cached) or Joined (another thread computed it
+ *       // while we waited): acq.entry holds a copy.
+ *   }
+ *
+ * The pointer-returning lookup()/nearest() remain for single-threaded
+ * use (tests, serial tools); concurrent code must use acquire() and
+ * nearestBefore(), which hand out copies.
  */
 class PulseCache
 {
   public:
     PulseCache() = default;
 
-    /** Exact canonical lookup. */
+    /** How acquire() resolved a request. */
+    enum class FlightRole
+    {
+        Hit,    ///< already cached; entry returned
+        Joined, ///< waited on another thread's in-flight run
+        Leader, ///< caller must compute and completeFlight/abortFlight
+    };
+
+    struct Acquired
+    {
+        FlightRole role = FlightRole::Leader;
+        /** Present for Hit and Joined. */
+        std::optional<CachedPulse> entry;
+    };
+
+    /**
+     * Single-flight entry point: returns the cached entry, waits for
+     * an in-flight computation of the same key, or elects the caller
+     * leader (who must publish via completeFlight or abortFlight).
+     */
+    Acquired acquire(const Matrix &unitary, int num_qubits);
+
+    /** Publish a leader's result and wake all joined waiters. */
+    void completeFlight(const Matrix &unitary, int num_qubits,
+                        CachedPulse entry);
+
+    /**
+     * Abandon a leader's flight (exception path). Waiters re-race;
+     * one of them becomes the new leader.
+     */
+    void abortFlight(const Matrix &unitary, int num_qubits);
+
+    /**
+     * Exact canonical lookup. Single-threaded use only: the returned
+     * pointer is into the table and is not protected against a
+     * concurrent overwrite of the same key.
+     */
     const CachedPulse *lookup(const Matrix &unitary, int num_qubits) const;
+
+    /** Exact canonical lookup returning a copy (thread-safe). */
+    std::optional<CachedPulse> find(const Matrix &unitary,
+                                    int num_qubits) const;
 
     /** Insert (or overwrite) the entry for a unitary. */
     void insert(const Matrix &unitary, int num_qubits, CachedPulse entry);
@@ -45,12 +117,29 @@ class PulseCache
     /**
      * Closest cached entry of the same width within max_distance
      * (global-phase-invariant Frobenius distance), or nullptr.
+     * Single-threaded use only; see lookup().
      */
     const CachedPulse *nearest(const Matrix &unitary, int num_qubits,
                                double max_distance) const;
 
-    std::size_t size() const { return entries_.size(); }
-    std::size_t hits() const { return hits_; }
+    /**
+     * Thread-safe nearest query restricted to entries inserted before
+     * `generation_bound` (copy returned). Batch drivers snapshot
+     * generation() at batch start and pass it here so every request
+     * in the batch seeds against the same, deterministic view of the
+     * cache no matter how the batch is scheduled.
+     */
+    std::optional<CachedPulse> nearestBefore(
+        const Matrix &unitary, int num_qubits, double max_distance,
+        std::uint64_t generation_bound) const;
+
+    std::size_t size() const;
+    std::size_t hits() const
+    { return hits_.load(std::memory_order_relaxed); }
+
+    /** Count of inserts so far; stamps CachedPulse::generation. */
+    std::uint64_t generation() const
+    { return generation_.load(std::memory_order_relaxed); }
 
     /**
      * Persist the database to disk (the paper's offline/online split,
@@ -67,8 +156,23 @@ class PulseCache
     static std::string canonicalKey(const Matrix &unitary, int num_qubits);
 
   private:
+    /** One in-flight computation awaited by joiners. */
+    struct Flight
+    {
+        bool done = false;
+        bool aborted = false;
+        std::optional<CachedPulse> result;
+        std::condition_variable cv;
+    };
+
+    void insertLocked(const std::string &key, const Matrix &unitary,
+                      int num_qubits, CachedPulse &&entry);
+
+    mutable std::mutex mutex_;
     std::unordered_map<std::string, CachedPulse> entries_;
-    mutable std::size_t hits_ = 0;
+    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+    mutable std::atomic<std::size_t> hits_{0};
+    std::atomic<std::uint64_t> generation_{0};
 };
 
 } // namespace paqoc

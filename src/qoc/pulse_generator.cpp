@@ -1,34 +1,122 @@
 #include "qoc/pulse_generator.h"
 
 #include <cmath>
+#include <limits>
+#include <unordered_map>
 
 #include "common/error.h"
 
 namespace paqoc {
 
 PulseGenResult
-SpectralPulseGenerator::generate(const Matrix &unitary, int num_qubits)
+PulseGenerator::generate(const Matrix &unitary, int num_qubits)
 {
-    PulseGenResult result;
-    const CachedPulse *hit =
-        cache_enabled_ ? cache_.lookup(unitary, num_qubits) : nullptr;
-    if (hit != nullptr) {
-        result.latency = hit->latency;
-        result.error = hit->error;
-        result.cacheHit = true;
-        result.costUnits = 0.0;
-        record(result);
-        return result;
+    const PulseGenResult result = generateOne(
+        unitary, num_qubits, nullptr,
+        std::numeric_limits<std::uint64_t>::max());
+    record(result);
+    return result;
+}
+
+std::vector<PulseGenResult>
+PulseGenerator::generateBatch(const std::vector<PulseRequest> &requests,
+                              ThreadPool *pool)
+{
+    std::vector<PulseGenResult> out(requests.size());
+    if (requests.empty())
+        return out;
+
+    // Snapshot the warm-start horizon before anything runs: in-batch
+    // inserts stay invisible to similarity queries, so seeding cannot
+    // depend on which request completes first.
+    const std::uint64_t horizon = cache_.generation();
+
+    // Dedup identical canonical unitaries so the batch behaves exactly
+    // like its serial replay: the first occurrence computes, later
+    // ones become cache hits no matter which thread would have won the
+    // single-flight race.
+    std::vector<std::size_t> primary(requests.size());
+    std::vector<std::size_t> distinct;
+    distinct.reserve(requests.size());
+    if (dedupBatch()) {
+        std::unordered_map<std::string, std::size_t> first;
+        first.reserve(requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            const std::string key = PulseCache::canonicalKey(
+                requests[i].unitary, requests[i].numQubits);
+            const auto [it, inserted] = first.emplace(key, i);
+            primary[i] = it->second;
+            if (inserted)
+                distinct.push_back(i);
+        }
+    } else {
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            primary[i] = i;
+            distinct.push_back(i);
+        }
     }
-    result.latency = model_.latency(unitary, num_qubits);
-    result.error = model_.pulseError(num_qubits, result.latency);
-    result.costUnits = model_.compileCost(num_qubits, result.latency);
+
+    auto run_one = [&](std::size_t j) {
+        const PulseRequest &r = requests[distinct[j]];
+        out[distinct[j]] =
+            generateOne(r.unitary, r.numQubits, pool, horizon);
+    };
+    if (pool != nullptr && distinct.size() > 1)
+        pool->parallelFor(distinct.size(), run_one);
+    else
+        for (std::size_t j = 0; j < distinct.size(); ++j)
+            run_one(j);
+
+    // Fold duplicates and record in request order so the counters
+    // accumulate exactly as a serial loop would.
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (primary[i] != i) {
+            PulseGenResult dup = out[primary[i]];
+            dup.cacheHit = true;
+            dup.costUnits = 0.0;
+            out[i] = std::move(dup);
+        }
+        record(out[i]);
+    }
+    return out;
+}
+
+PulseGenResult
+SpectralPulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
+                                    ThreadPool *pool,
+                                    std::uint64_t nearest_horizon)
+{
+    (void)pool;
+    (void)nearest_horizon;
+    PulseGenResult result;
+    if (cache_enabled_) {
+        const PulseCache::Acquired acq =
+            cache_.acquire(unitary, num_qubits);
+        if (acq.role != PulseCache::FlightRole::Leader) {
+            result.latency = acq.entry->latency;
+            result.error = acq.entry->error;
+            result.cacheHit = true;
+            result.costUnits = 0.0;
+            return result;
+        }
+    }
+    try {
+        result.latency = model_.latency(unitary, num_qubits);
+        result.error = model_.pulseError(num_qubits, result.latency);
+        result.costUnits = model_.compileCost(num_qubits, result.latency);
+    } catch (...) {
+        if (cache_enabled_)
+            cache_.abortFlight(unitary, num_qubits);
+        throw;
+    }
 
     CachedPulse entry;
     entry.latency = result.latency;
     entry.error = result.error;
-    cache_.insert(unitary, num_qubits, std::move(entry));
-    record(result);
+    if (cache_enabled_)
+        cache_.completeFlight(unitary, num_qubits, std::move(entry));
+    else
+        cache_.insert(unitary, num_qubits, std::move(entry));
     return result;
 }
 
@@ -36,7 +124,8 @@ double
 SpectralPulseGenerator::estimateLatency(const Matrix &unitary,
                                         int num_qubits)
 {
-    if (const CachedPulse *hit = cache_.lookup(unitary, num_qubits))
+    if (const std::optional<CachedPulse> hit =
+            cache_.find(unitary, num_qubits))
         return hit->latency;
     return model_.latency(unitary, num_qubits);
 }
@@ -52,48 +141,56 @@ GrapePulseGenerator::GrapePulseGenerator(GrapeOptions options)
 {}
 
 PulseGenResult
-GrapePulseGenerator::generate(const Matrix &unitary, int num_qubits)
+GrapePulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
+                                 ThreadPool *pool,
+                                 std::uint64_t nearest_horizon)
 {
     PulseGenResult result;
-    if (const CachedPulse *hit = cache_.lookup(unitary, num_qubits)) {
-        result.latency = hit->latency;
-        result.error = hit->error;
-        result.schedule = hit->schedule;
+    const PulseCache::Acquired acq = cache_.acquire(unitary, num_qubits);
+    if (acq.role != PulseCache::FlightRole::Leader) {
+        result.latency = acq.entry->latency;
+        result.error = acq.entry->error;
+        result.schedule = acq.entry->schedule;
         result.cacheHit = true;
-        record(result);
         return result;
     }
 
-    // Warm-start from the nearest cached pulse if one is close; use
-    // the analytical estimate to start the duration bracket.
-    const CachedPulse *seed =
-        cache_.nearest(unitary, num_qubits, seed_distance_);
-    const int hint =
-        static_cast<int>(model_.latency(unitary, num_qubits));
-    const MinDurationResult min_dur = findMinimumDuration(
-        DeviceModel(num_qubits), unitary, options_, hint,
-        seed != nullptr ? &seed->schedule : nullptr);
+    try {
+        // Warm-start from the nearest pulse cached before the horizon
+        // if one is close; use the analytical estimate to start the
+        // duration bracket.
+        const std::optional<CachedPulse> seed = cache_.nearestBefore(
+            unitary, num_qubits, seed_distance_, nearest_horizon);
+        const int hint =
+            static_cast<int>(model_.latency(unitary, num_qubits));
+        const MinDurationResult min_dur = findMinimumDuration(
+            DeviceModel(num_qubits), unitary, options_, hint,
+            seed.has_value() ? &seed->schedule : nullptr, pool);
 
-    result.latency = min_dur.schedule.latency();
-    result.error = 1.0 - min_dur.schedule.fidelity;
-    result.schedule = min_dur.schedule;
-    const double dim = std::pow(2.0, num_qubits);
-    result.costUnits = static_cast<double>(min_dur.totalIterations)
-        * result.latency * dim * dim * dim;
+        result.latency = min_dur.schedule.latency();
+        result.error = 1.0 - min_dur.schedule.fidelity;
+        result.schedule = min_dur.schedule;
+        const double dim = std::pow(2.0, num_qubits);
+        result.costUnits = static_cast<double>(min_dur.totalIterations)
+            * result.latency * dim * dim * dim;
 
-    CachedPulse entry;
-    entry.latency = result.latency;
-    entry.error = result.error;
-    entry.schedule = min_dur.schedule;
-    cache_.insert(unitary, num_qubits, std::move(entry));
-    record(result);
+        CachedPulse entry;
+        entry.latency = result.latency;
+        entry.error = result.error;
+        entry.schedule = min_dur.schedule;
+        cache_.completeFlight(unitary, num_qubits, std::move(entry));
+    } catch (...) {
+        cache_.abortFlight(unitary, num_qubits);
+        throw;
+    }
     return result;
 }
 
 double
 GrapePulseGenerator::estimateLatency(const Matrix &unitary, int num_qubits)
 {
-    if (const CachedPulse *hit = cache_.lookup(unitary, num_qubits))
+    if (const std::optional<CachedPulse> hit =
+            cache_.find(unitary, num_qubits))
         return hit->latency;
     return model_.latency(unitary, num_qubits);
 }

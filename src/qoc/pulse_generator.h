@@ -1,10 +1,14 @@
 #ifndef PAQOC_QOC_PULSE_GENERATOR_H_
 #define PAQOC_QOC_PULSE_GENERATOR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "linalg/matrix.h"
 #include "qoc/grape.h"
 #include "qoc/latency_model.h"
@@ -28,11 +32,28 @@ struct PulseGenResult
     std::optional<PulseSchedule> schedule;
 };
 
+/** One unitary of a batch pulse request. */
+struct PulseRequest
+{
+    Matrix unitary;
+    int numQubits = 0;
+};
+
 /**
  * Abstract pulse backend of the compiler (paper Fig. 7, "Control
  * Pulses Generator"). generate() commits a pulse (and populates the
- * cache); estimateLatency() is the cheap query the criticality-aware
- * ranking uses when the analytical model suffices (Section V-A).
+ * cache); generateBatch() commits many concurrently on a thread pool;
+ * estimateLatency() is the cheap query the criticality-aware ranking
+ * uses when the analytical model suffices (Section V-A).
+ *
+ * Concurrency contract: generate() may be called from multiple
+ * threads; concurrent requests for the same canonical unitary are
+ * single-flighted through the pulse cache, so exactly one backend run
+ * happens per distinct unitary. Batch results and all counters are
+ * bit-identical for any thread count: the batch driver dedups
+ * requests by canonical key before dispatch, warm-start similarity
+ * queries see only the pre-batch cache snapshot, and counters fold in
+ * request-index order after the parallel section.
  */
 class PulseGenerator
 {
@@ -40,8 +61,16 @@ class PulseGenerator
     virtual ~PulseGenerator() = default;
 
     /** Generate (or fetch) the pulse for a unitary on n qubits. */
-    virtual PulseGenResult generate(const Matrix &unitary,
-                                    int num_qubits) = 0;
+    PulseGenResult generate(const Matrix &unitary, int num_qubits);
+
+    /**
+     * Generate pulses for a whole batch; with a pool, distinct
+     * unitaries run concurrently. Results (including cacheHit and
+     * costUnits) match a serial generate() loop over the requests.
+     */
+    std::vector<PulseGenResult> generateBatch(
+        const std::vector<PulseRequest> &requests,
+        ThreadPool *pool = nullptr);
 
     /** Cheap latency estimate without committing a pulse. */
     virtual double estimateLatency(const Matrix &unitary,
@@ -51,25 +80,63 @@ class PulseGenerator
     virtual double averageLatency(int num_qubits) = 0;
 
     /** Accumulated modeled compilation cost over all generate calls. */
-    double totalCostUnits() const { return total_cost_; }
+    double totalCostUnits() const
+    { return total_cost_.load(std::memory_order_relaxed); }
 
     /** Number of generate() calls answered by the cache. */
-    std::size_t cacheHits() const { return cache_hits_; }
-    std::size_t generateCalls() const { return generate_calls_; }
+    std::size_t cacheHits() const
+    { return cache_hits_.load(std::memory_order_relaxed); }
+    std::size_t generateCalls() const
+    { return generate_calls_.load(std::memory_order_relaxed); }
+
+    const PulseCache &cache() const { return cache_; }
+
+    /** Load a pulse database saved by an offline run. */
+    void loadDatabase(const std::string &path) { cache_.load(path); }
+
+    /** Persist the pulse database for later online runs. */
+    void saveDatabase(const std::string &path) const
+    { cache_.save(path); }
 
   protected:
+    /**
+     * Produce one pulse without touching the counters. The pool (may
+     * be null) parallelizes the backend's own inner work; similarity
+     * queries must not see cache entries stamped at or after
+     * nearest_horizon (pass PulseCache's current generation -- or
+     * UINT64_MAX outside a batch -- so warm starts are reproducible).
+     */
+    virtual PulseGenResult generateOne(const Matrix &unitary,
+                                       int num_qubits, ThreadPool *pool,
+                                       std::uint64_t nearest_horizon) = 0;
+
+    /**
+     * Whether the batch driver may serve repeated unitaries within one
+     * batch from the first occurrence's result (true whenever a serial
+     * replay would have hit the cache for them).
+     */
+    virtual bool dedupBatch() const { return true; }
+
     void
     record(const PulseGenResult &result)
     {
-        ++generate_calls_;
-        total_cost_ += result.costUnits;
-        cache_hits_ += result.cacheHit ? 1 : 0;
+        generate_calls_.fetch_add(1, std::memory_order_relaxed);
+        cache_hits_.fetch_add(result.cacheHit ? 1 : 0,
+                              std::memory_order_relaxed);
+        // fetch_add on atomic<double> via CAS; batch drivers record
+        // serially in request order, so sums stay deterministic there.
+        double cur = total_cost_.load(std::memory_order_relaxed);
+        while (!total_cost_.compare_exchange_weak(
+            cur, cur + result.costUnits, std::memory_order_relaxed))
+            ;
     }
 
+    PulseCache cache_;
+
   private:
-    double total_cost_ = 0.0;
-    std::size_t cache_hits_ = 0;
-    std::size_t generate_calls_ = 0;
+    std::atomic<double> total_cost_{0.0};
+    std::atomic<std::size_t> cache_hits_{0};
+    std::atomic<std::size_t> generate_calls_{0};
 };
 
 /**
@@ -84,18 +151,8 @@ class SpectralPulseGenerator : public PulseGenerator
   public:
     SpectralPulseGenerator() = default;
 
-    PulseGenResult generate(const Matrix &unitary, int num_qubits) override;
     double estimateLatency(const Matrix &unitary, int num_qubits) override;
     double averageLatency(int num_qubits) override;
-
-    const PulseCache &cache() const { return cache_; }
-
-    /** Load a pulse database saved by an offline run. */
-    void loadDatabase(const std::string &path) { cache_.load(path); }
-
-    /** Persist the pulse database for later online runs. */
-    void saveDatabase(const std::string &path) const
-    { cache_.save(path); }
 
     /**
      * Disable the pulse lookup table (ablation knob): every generate()
@@ -103,44 +160,44 @@ class SpectralPulseGenerator : public PulseGenerator
      */
     void setCacheEnabled(bool enabled) { cache_enabled_ = enabled; }
 
+  protected:
+    PulseGenResult generateOne(const Matrix &unitary, int num_qubits,
+                               ThreadPool *pool,
+                               std::uint64_t nearest_horizon) override;
+    bool dedupBatch() const override { return cache_enabled_; }
+
   private:
     SpectralLatencyModel model_;
-    PulseCache cache_;
     bool cache_enabled_ = true;
 };
 
 /**
- * Real-numerics backend: GRAPE with ADAM plus minimum-duration binary
- * search; warm-started from the nearest cached pulse when one is close
+ * Real-numerics backend: GRAPE with ADAM plus minimum-duration search;
+ * warm-started from the nearest cached pulse when one is close
  * (Section V-B / AccQOC-style similarity reuse). Latency estimates for
  * ranking still come from the analytical model so that ranking stays
- * cheap, exactly as the paper prescribes.
+ * cheap, exactly as the paper prescribes. Duration probes and restarts
+ * fan out onto the thread pool passed through generate/generateBatch.
  */
 class GrapePulseGenerator : public PulseGenerator
 {
   public:
     explicit GrapePulseGenerator(GrapeOptions options = {});
 
-    PulseGenResult generate(const Matrix &unitary, int num_qubits) override;
     double estimateLatency(const Matrix &unitary, int num_qubits) override;
     double averageLatency(int num_qubits) override;
-
-    const PulseCache &cache() const { return cache_; }
-
-    /** Load a pulse database saved by an offline run. */
-    void loadDatabase(const std::string &path) { cache_.load(path); }
-
-    /** Persist the pulse database for later online runs. */
-    void saveDatabase(const std::string &path) const
-    { cache_.save(path); }
 
     /** Similarity radius for warm starts. */
     void setSeedDistance(double d) { seed_distance_ = d; }
 
+  protected:
+    PulseGenResult generateOne(const Matrix &unitary, int num_qubits,
+                               ThreadPool *pool,
+                               std::uint64_t nearest_horizon) override;
+
   private:
     GrapeOptions options_;
     SpectralLatencyModel model_;
-    PulseCache cache_;
     double seed_distance_ = 1.0;
 };
 

@@ -1,8 +1,13 @@
 /**
  * @file
  * Unit tests for the common utilities: error macros, RNG determinism,
- * table formatting.
+ * table formatting, and the thread pool.
  */
+
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -10,6 +15,7 @@
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 
 namespace paqoc {
 namespace {
@@ -122,6 +128,84 @@ TEST(Table, NumberFormatting)
 {
     EXPECT_EQ(Table::num(1.23456, 2), "1.23");
     EXPECT_EQ(Table::percent(0.54, 1), "54.0%");
+}
+
+TEST(ThreadPool, SubmitReturnsFutureResults)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([]() -> int {
+        throw FatalError("boom");
+    });
+    EXPECT_THROW(f.get(), FatalError);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> counts(kN);
+    pool.parallelFor(kN, [&](std::size_t i) {
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kN; ++i)
+        EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ParallelForRunsSerialWithOneThread)
+{
+    ThreadPool pool(1);
+    // With a single worker the body must run inline on the caller, in
+    // index order.
+    std::vector<std::size_t> visited;
+    pool.parallelFor(10, [&](std::size_t i) { visited.push_back(i); });
+    std::vector<std::size_t> expected(10);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(visited, expected);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    // Inner parallelFor calls issued from worker threads must degrade
+    // to inline execution instead of queueing behind their own task.
+    pool.parallelFor(8, [&](std::size_t) {
+        pool.parallelFor(8, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(
+                     100,
+                     [](std::size_t i) {
+                         PAQOC_FATAL_IF(i == 57, "index ", i);
+                     }),
+                 FatalError);
+}
+
+TEST(ThreadPool, GlobalPoolResizes)
+{
+    const unsigned before = ThreadPool::global().size();
+    ThreadPool::setGlobalThreads(2);
+    EXPECT_EQ(ThreadPool::global().size(), 2u);
+    ThreadPool::setGlobalThreads(before);
+    EXPECT_EQ(ThreadPool::global().size(), before);
 }
 
 } // namespace

@@ -220,5 +220,75 @@ TEST(Integration, GeneratorsShareNoStateAcrossCompiles)
     EXPECT_EQ(a.finalGateCount, b.finalGateCount);
 }
 
+/** Every report field that must not depend on the thread count. */
+void
+expectBitIdentical(const CompileReport &a, const CompileReport &b)
+{
+    // EXPECT_EQ (not _DOUBLE_EQ/_NEAR): the contract is bit-identity,
+    // not closeness.
+    EXPECT_EQ(a.latency, b.latency);
+    EXPECT_EQ(a.esp, b.esp);
+    EXPECT_EQ(a.costUnits, b.costUnits);
+    EXPECT_EQ(a.pulseCalls, b.pulseCalls);
+    EXPECT_EQ(a.cacheHits, b.cacheHits);
+    EXPECT_EQ(a.apaKinds, b.apaKinds);
+    EXPECT_EQ(a.apaUses, b.apaUses);
+    EXPECT_EQ(a.merges, b.merges);
+    EXPECT_EQ(a.finalGateCount, b.finalGateCount);
+}
+
+TEST(Integration, PaqocReportIndependentOfThreadCount)
+{
+    const Circuit physical = wl::makePhysical(
+        "simon", wl::compactTopology(6));
+    PaqocOptions serial_opts;
+    serial_opts.threads = 1;
+    PaqocOptions pooled_opts;
+    pooled_opts.threads = 8;
+    SpectralPulseGenerator g1, g8;
+    const CompileReport serial =
+        compilePaqoc(physical, g1, serial_opts);
+    const CompileReport pooled =
+        compilePaqoc(physical, g8, pooled_opts);
+    expectBitIdentical(serial, pooled);
+}
+
+TEST(Integration, AccqocReportIndependentOfThreadCount)
+{
+    const Circuit physical = wl::makePhysical(
+        "rd32", wl::compactTopology(wl::benchmarkSpec("rd32").qubits));
+    AccqocOptions serial_opts;
+    serial_opts.threads = 1;
+    AccqocOptions pooled_opts;
+    pooled_opts.threads = 8;
+    SpectralPulseGenerator g1, g8;
+    const CompileReport serial =
+        compileAccqoc(physical, g1, serial_opts);
+    const CompileReport pooled =
+        compileAccqoc(physical, g8, pooled_opts);
+    expectBitIdentical(serial, pooled);
+}
+
+TEST(Integration, GrapeCompileReportIndependentOfThreadCount)
+{
+    // The expensive variant of the contract: real GRAPE numerics on a
+    // tiny circuit, serial vs. an 8-thread pool, bit-identical report.
+    Circuit tiny(2);
+    tiny.h(0);
+    tiny.cx(0, 1);
+    tiny.h(1);
+    GrapeOptions gopts;
+    gopts.maxIterations = 300;
+    PaqocOptions serial_opts;
+    serial_opts.threads = 1;
+    serial_opts.enableMerger = false;
+    PaqocOptions pooled_opts = serial_opts;
+    pooled_opts.threads = 8;
+    GrapePulseGenerator g1(gopts), g8(gopts);
+    const CompileReport serial = compilePaqoc(tiny, g1, serial_opts);
+    const CompileReport pooled = compilePaqoc(tiny, g8, pooled_opts);
+    expectBitIdentical(serial, pooled);
+}
+
 } // namespace
 } // namespace paqoc

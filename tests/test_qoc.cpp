@@ -7,12 +7,15 @@
 
 #include <cmath>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "circuit/circuit.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "linalg/expm.h"
 #include "linalg/unitary_util.h"
 #include "qoc/device.h"
@@ -421,6 +424,172 @@ TEST(PulseGenerator, GrapeBackendProducesWorkingPulse)
     const PulseGenResult again = gen.generate(h, 1);
     EXPECT_TRUE(again.cacheHit);
     EXPECT_DOUBLE_EQ(gen.totalCostUnits(), cost_before);
+}
+
+TEST(PulseCache, SingleFlightRoles)
+{
+    PulseCache cache;
+    const Matrix cx = Gate(Op::CX, {0, 1}).unitary();
+
+    const PulseCache::Acquired first = cache.acquire(cx, 2);
+    EXPECT_EQ(first.role, PulseCache::FlightRole::Leader);
+    EXPECT_FALSE(first.entry.has_value());
+
+    // A joiner started while the flight is open must observe the
+    // leader's published entry.
+    std::thread joiner_thread([&]() {
+        const PulseCache::Acquired joined = cache.acquire(cx, 2);
+        EXPECT_NE(joined.role, PulseCache::FlightRole::Leader);
+        ASSERT_TRUE(joined.entry.has_value());
+        EXPECT_DOUBLE_EQ(joined.entry->latency, 42.0);
+    });
+    CachedPulse entry;
+    entry.latency = 42.0;
+    cache.completeFlight(cx, 2, std::move(entry));
+    joiner_thread.join();
+
+    const PulseCache::Acquired hit = cache.acquire(cx, 2);
+    EXPECT_EQ(hit.role, PulseCache::FlightRole::Hit);
+    ASSERT_TRUE(hit.entry.has_value());
+    EXPECT_DOUBLE_EQ(hit.entry->latency, 42.0);
+}
+
+TEST(PulseCache, AbortedFlightReRacesToNewLeader)
+{
+    PulseCache cache;
+    const Matrix h = Gate(Op::H, {0}).unitary();
+    const PulseCache::Acquired first = cache.acquire(h, 1);
+    ASSERT_EQ(first.role, PulseCache::FlightRole::Leader);
+
+    std::thread waiter([&]() {
+        // Blocks until the first leader aborts, then must win the
+        // re-race and inherit leadership.
+        const PulseCache::Acquired second = cache.acquire(h, 1);
+        EXPECT_EQ(second.role, PulseCache::FlightRole::Leader);
+        CachedPulse entry;
+        entry.latency = 7.0;
+        cache.completeFlight(h, 1, std::move(entry));
+    });
+    cache.abortFlight(h, 1);
+    waiter.join();
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PulseGenerator, ConcurrentSameUnitaryRunsGrapeOnce)
+{
+    // The single-flight contract: N threads asking for the same
+    // unitary at once produce exactly one GRAPE run; everyone else is
+    // served the cached result.
+    GrapeOptions opts;
+    opts.maxIterations = 300;
+    GrapePulseGenerator gen(opts);
+    const Matrix h = Gate(Op::H, {0}).unitary();
+
+    constexpr int kThreads = 8;
+    std::vector<PulseGenResult> results(kThreads);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int i = 0; i < kThreads; ++i)
+            threads.emplace_back([&, i]() {
+                results[static_cast<std::size_t>(i)] = gen.generate(h, 1);
+            });
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    EXPECT_EQ(gen.generateCalls(), static_cast<std::size_t>(kThreads));
+    EXPECT_EQ(gen.cacheHits(), static_cast<std::size_t>(kThreads - 1));
+    EXPECT_EQ(gen.cache().size(), 1u);
+    int misses = 0;
+    for (const PulseGenResult &r : results) {
+        misses += r.cacheHit ? 0 : 1;
+        EXPECT_DOUBLE_EQ(r.latency, results[0].latency);
+        EXPECT_DOUBLE_EQ(r.error, results[0].error);
+        ASSERT_TRUE(r.schedule.has_value());
+    }
+    EXPECT_EQ(misses, 1);
+}
+
+TEST(PulseGenerator, BatchMatchesSerialReplayBitExactly)
+{
+    const Matrix h = Gate(Op::H, {0}).unitary();
+    const Matrix x = Gate(Op::X, {0}).unitary();
+    const Matrix cx = Gate(Op::CX, {0, 1}).unitary();
+    const std::vector<PulseRequest> requests = {
+        {h, 1}, {cx, 2}, {h, 1}, {x, 1}, {cx, 2}, {h, 1},
+    };
+
+    SpectralPulseGenerator serial;
+    std::vector<PulseGenResult> expected;
+    for (const PulseRequest &r : requests)
+        expected.push_back(serial.generate(r.unitary, r.numQubits));
+
+    ThreadPool pool(4);
+    SpectralPulseGenerator batched;
+    const std::vector<PulseGenResult> got =
+        batched.generateBatch(requests, &pool);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].cacheHit, expected[i].cacheHit) << i;
+        EXPECT_DOUBLE_EQ(got[i].latency, expected[i].latency) << i;
+        EXPECT_DOUBLE_EQ(got[i].error, expected[i].error) << i;
+        EXPECT_DOUBLE_EQ(got[i].costUnits, expected[i].costUnits) << i;
+    }
+    EXPECT_EQ(batched.generateCalls(), serial.generateCalls());
+    EXPECT_EQ(batched.cacheHits(), serial.cacheHits());
+    EXPECT_DOUBLE_EQ(batched.totalCostUnits(), serial.totalCostUnits());
+}
+
+TEST(Grape, SeedIsAFunctionOfTargetNotCallOrder)
+{
+    // Two optimizations of the same gate must walk the same path no
+    // matter what ran before them (seeds derive from the unitary hash,
+    // not from shared RNG state).
+    const DeviceModel device(1);
+    const Matrix h = Gate(Op::H, {0}).unitary();
+    const Matrix x = Gate(Op::X, {0}).unitary();
+    GrapeOptions opts;
+    opts.maxIterations = 40;
+
+    const GrapeResult direct = grapeOptimize(device, h, 20, opts);
+    (void)grapeOptimize(device, x, 20, opts); // unrelated work
+    const GrapeResult replay = grapeOptimize(device, h, 20, opts);
+    ASSERT_EQ(replay.iterations, direct.iterations);
+    ASSERT_EQ(replay.schedule.amplitudes.size(),
+              direct.schedule.amplitudes.size());
+    for (std::size_t t = 0; t < replay.schedule.amplitudes.size(); ++t)
+        for (std::size_t k = 0;
+             k < replay.schedule.amplitudes[t].size(); ++k)
+            EXPECT_EQ(replay.schedule.amplitudes[t][k],
+                      direct.schedule.amplitudes[t][k]);
+}
+
+TEST(Grape, PoolDoesNotChangeTheResult)
+{
+    const DeviceModel device(1);
+    const Matrix h = Gate(Op::H, {0}).unitary();
+    GrapeOptions opts;
+    opts.maxIterations = 300;
+    opts.restarts = 2;
+
+    ThreadPool pool(4);
+    const MinDurationResult serial =
+        findMinimumDuration(device, h, opts, 12, nullptr, nullptr);
+    const MinDurationResult pooled =
+        findMinimumDuration(device, h, opts, 12, nullptr, &pool);
+
+    EXPECT_EQ(pooled.trials, serial.trials);
+    EXPECT_EQ(pooled.totalIterations, serial.totalIterations);
+    ASSERT_EQ(pooled.schedule.numSlices(), serial.schedule.numSlices());
+    EXPECT_EQ(pooled.schedule.fidelity, serial.schedule.fidelity);
+    for (std::size_t t = 0;
+         t < pooled.schedule.amplitudes.size(); ++t)
+        for (std::size_t k = 0;
+             k < pooled.schedule.amplitudes[t].size(); ++k)
+            EXPECT_EQ(pooled.schedule.amplitudes[t][k],
+                      serial.schedule.amplitudes[t][k]);
 }
 
 } // namespace

@@ -15,6 +15,8 @@
  *     --maxn N                   customized-gate qubit cap (default 3)
  *     --topology WxH|line:N      device (default 5x5)
  *     --grape                    use real GRAPE pulses (slow)
+ *     --threads N                pulse-engine threads (0 = all cores,
+ *                                1 = serial; results are identical)
  *     --commute                  commutativity-aware merging
  *     --emit-pulses DIR          write per-gate pulse CSVs into DIR
  *     --benchmark NAME           use a built-in benchmark as input
@@ -48,6 +50,7 @@ struct CliOptions
     int depth = 3;
     int maxn = 3;
     std::string topology = "5x5";
+    int threads = 0;
     bool grape = false;
     bool commute = false;
     bool quiet = false;
@@ -69,6 +72,7 @@ usage(int code)
         "  --maxn N                customized-gate qubit cap\n"
         "  --topology WxH|line:N   device (default 5x5)\n"
         "  --grape                 real GRAPE pulses (slow)\n"
+        "  --threads N             pulse-engine threads (0 = all cores)\n"
         "  --commute               commutativity-aware merging\n"
         "  --emit-pulses DIR       write pulse CSVs into DIR\n"
         "  --pulse-db FILE         load/save the offline pulse database\n"
@@ -100,6 +104,8 @@ parseArgs(int argc, char **argv)
             opts.topology = next();
         else if (arg == "--grape")
             opts.grape = true;
+        else if (arg == "--threads")
+            opts.threads = std::stoi(next());
         else if (arg == "--commute")
             opts.commute = true;
         else if (arg == "--quiet")
@@ -189,6 +195,7 @@ run(const CliOptions &opts)
         AccqocOptions aopts;
         aopts.maxN = opts.maxn;
         aopts.depth = opts.depth;
+        aopts.threads = opts.threads;
         report = compileAccqoc(physical, generator, aopts);
     } else if (opts.method == "paqoc") {
         PaqocOptions popts;
@@ -201,6 +208,7 @@ run(const CliOptions &opts)
         popts.merge.maxN = opts.maxn;
         popts.miner.maxQubits = opts.maxn;
         popts.merge.commutativityAware = opts.commute;
+        popts.threads = opts.threads;
         report = compilePaqoc(physical, generator, popts);
     } else {
         usage(2);
