@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "paqoc/compiler.h"
 #include "qoc/pulse_generator.h"
+#include "store/pulse_library.h"
 #include "transpile/topology.h"
 #include "workloads/benchmarks.h"
 
@@ -32,9 +34,8 @@ methodNames()
  */
 inline CompileReport
 compileWith(const std::string &method, const Circuit &physical,
-            int threads = 0)
+            PulseGenerator &generator, int threads = 0)
 {
-    SpectralPulseGenerator generator;
     if (method == "accqoc_n3d3" || method == "accqoc_n3d5") {
         AccqocOptions options;
         options.maxN = 3;
@@ -51,6 +52,77 @@ compileWith(const std::string &method, const Circuit &physical,
         options.apaM = -1;
     options.threads = threads;
     return compilePaqoc(physical, generator, options);
+}
+
+/** Convenience overload with a fresh (cold) spectral generator. */
+inline CompileReport
+compileWith(const std::string &method, const Circuit &physical,
+            int threads = 0)
+{
+    SpectralPulseGenerator generator;
+    return compileWith(method, physical, generator, threads);
+}
+
+/** Per-compile persistent pulse-library traffic. */
+struct LibraryCounters
+{
+    /** Pulse calls served without a fresh derivation. */
+    std::size_t hits = 0;
+    /** Fresh derivations the library had to journal. */
+    std::size_t misses = 0;
+};
+
+/**
+ * Compile with the generator cache warmed from (and journaling back
+ * to) a persistent PulseLibrary. A miss is a pulse call the library
+ * could not serve -- a fresh derivation appended to the journal; every
+ * other pulse call is a hit (served from the warmed library or from an
+ * identical record journaled earlier in the same compile).
+ */
+inline CompileReport
+compileWithLibrary(const std::string &method, const Circuit &physical,
+                   PulseLibrary &library, LibraryCounters &counters,
+                   int threads = 0)
+{
+    SpectralPulseGenerator generator;
+    library.warm(generator.cache());
+    generator.cache().attachStore(&library);
+    const std::size_t appended_before = library.stats().appendedRecords;
+    const CompileReport report =
+        compileWith(method, physical, generator, threads);
+    counters.misses = library.stats().appendedRecords - appended_before;
+    counters.hits = report.pulseCalls >= counters.misses
+        ? report.pulseCalls - counters.misses
+        : 0;
+    return report;
+}
+
+/**
+ * One machine-readable JSON line per compile, for scripted analysis
+ * of bench output. Pass `library` when a persistent pulse library
+ * backed the compile so its hit/miss traffic is recorded alongside the
+ * in-memory cache counters.
+ */
+inline std::string
+reportJsonLine(const std::string &benchmark, const std::string &method,
+               const CompileReport &report,
+               const LibraryCounters *library = nullptr)
+{
+    Json line = Json::object();
+    line.set("benchmark", Json(benchmark));
+    line.set("method", Json(method));
+    line.set("latency_dt", Json(report.latency));
+    line.set("esp", Json(report.esp));
+    line.set("cost_units", Json(report.costUnits));
+    line.set("wall_seconds", Json(report.wallSeconds));
+    line.set("pulse_calls", Json(report.pulseCalls));
+    line.set("cache_hits", Json(report.cacheHits));
+    line.set("final_gates", Json(report.finalGateCount));
+    if (library != nullptr) {
+        line.set("library_hits", Json(library->hits));
+        line.set("library_misses", Json(library->misses));
+    }
+    return line.dump();
 }
 
 /** Results of the full 17-benchmark x 5-method sweep. */

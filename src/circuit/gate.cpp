@@ -188,6 +188,14 @@ Gate::customUnitary() const
     return *custom_unitary_;
 }
 
+std::shared_ptr<const Matrix>
+Gate::customUnitaryShared() const
+{
+    PAQOC_ASSERT(custom_unitary_ != nullptr,
+                 "customUnitaryShared() on a primitive gate");
+    return custom_unitary_;
+}
+
 std::string
 Gate::label() const
 {

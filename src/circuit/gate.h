@@ -82,6 +82,14 @@ class Gate
     /** Stored unitary; only valid for custom gates. */
     const Matrix &customUnitary() const;
 
+    /**
+     * Shared ownership of the stored unitary; only valid for custom
+     * gates. Lets memo tables that key on the matrix address pin the
+     * allocation so a freed address can never be reused by a
+     * different unitary (see LatencyOracle).
+     */
+    std::shared_ptr<const Matrix> customUnitaryShared() const;
+
     /** Display label, e.g. "rz(0.5)", "cx", or a custom label. */
     std::string label() const;
 

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 
@@ -16,6 +17,13 @@ namespace paqoc {
  * gates key on (op, angle); custom gates key on the address of their
  * shared unitary, which is stable across circuit copies, so the memo
  * survives the rebuild-after-merge cycle of Algorithm 1.
+ *
+ * Each memoized entry pins shared ownership of its unitary: merge
+ * cycles constantly free candidate matrices, and without the pin the
+ * allocator could hand a dead key's address to a *different* unitary,
+ * silently serving it a stale latency. (That ABA reuse made compile
+ * results depend on allocation history -- the same circuit compiled
+ * twice in one process could rank merges differently.)
  */
 class LatencyOracle
 {
@@ -31,13 +39,14 @@ class LatencyOracle
             const void *key = &g.customUnitary();
             const auto it = custom_.find(key);
             if (it != custom_.end())
-                return it->second;
+                return it->second.latency;
             // Clamp to the stitched-pulse fallback (Observation 1).
             const double lat = std::min(
                 generator_.estimateLatency(g.customUnitary(),
                                            g.arity()),
                 g.latencyCap());
-            custom_.emplace(key, lat);
+            custom_.emplace(key,
+                            CustomEntry{g.customUnitaryShared(), lat});
             return lat;
         }
         const auto key = std::make_pair(static_cast<int>(g.op()),
@@ -52,8 +61,15 @@ class LatencyOracle
     }
 
   private:
+    struct CustomEntry
+    {
+        /** Keeps the keyed address alive for the memo's lifetime. */
+        std::shared_ptr<const Matrix> pin;
+        double latency;
+    };
+
     PulseGenerator &generator_;
-    std::unordered_map<const void *, double> custom_;
+    std::unordered_map<const void *, CustomEntry> custom_;
     std::map<std::pair<int, double>, double> primitive_;
 };
 

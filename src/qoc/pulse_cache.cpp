@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.h"
 #include "linalg/unitary_util.h"
@@ -122,16 +123,24 @@ PulseCache::completeFlight(const Matrix &unitary, int num_qubits,
                            CachedPulse entry)
 {
     const std::string key = canonicalKey(unitary, num_qubits);
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = flights_.find(key);
-    PAQOC_ASSERT(it != flights_.end(),
-                 "completeFlight without a matching acquire");
-    const std::shared_ptr<Flight> flight = it->second;
-    flights_.erase(it);
-    insertLocked(key, unitary, num_qubits, std::move(entry));
-    flight->done = true;
-    flight->result = entries_.at(key);
-    flight->cv.notify_all();
+    std::optional<CachedPulse> journaled;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = flights_.find(key);
+        PAQOC_ASSERT(it != flights_.end(),
+                     "completeFlight without a matching acquire");
+        const std::shared_ptr<Flight> flight = it->second;
+        flights_.erase(it);
+        insertLocked(key, unitary, num_qubits, std::move(entry));
+        flight->done = true;
+        flight->result = entries_.at(key);
+        if (sink_ != nullptr)
+            journaled = entries_.at(key);
+        flight->cv.notify_all();
+    }
+    // Forward outside the lock: the sink may do blocking file I/O.
+    if (journaled.has_value())
+        sink_->onInsert(key, *journaled);
 }
 
 void
@@ -178,8 +187,22 @@ PulseCache::insert(const Matrix &unitary, int num_qubits,
                    CachedPulse entry)
 {
     const std::string key = canonicalKey(unitary, num_qubits);
+    std::optional<CachedPulse> journaled;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        insertLocked(key, unitary, num_qubits, std::move(entry));
+        if (sink_ != nullptr)
+            journaled = entries_.at(key);
+    }
+    if (journaled.has_value())
+        sink_->onInsert(key, *journaled);
+}
+
+void
+PulseCache::attachStore(PulseStoreSink *sink)
+{
     std::lock_guard<std::mutex> lock(mutex_);
-    insertLocked(key, unitary, num_qubits, std::move(entry));
+    sink_ = sink;
 }
 
 void
@@ -236,35 +259,76 @@ PulseCache::load(const std::string &path)
 {
     std::ifstream in(path);
     PAQOC_FATAL_IF(!in, "cannot read pulse database '", path, "'");
-    std::string magic;
-    int version = 0;
-    in >> magic >> version;
-    PAQOC_FATAL_IF(magic != "paqoc-pulse-db" || version != 1,
-                   "'", path, "' is not a version-1 pulse database");
-    std::string tag;
-    while (in >> tag) {
-        PAQOC_FATAL_IF(tag != "entry", "corrupt pulse database '",
-                       path, "'");
+
+    // Parse line-by-line into a staging area first: a malformed file
+    // raises a FatalError naming the offending line and the cache is
+    // left exactly as it was (no partial load).
+    int line_no = 0;
+    std::string line;
+    auto next_line = [&](const char *what) {
+        PAQOC_FATAL_IF(!std::getline(in, line), "pulse database '",
+                       path, "' line ", line_no + 1,
+                       ": unexpected end of file (expected ", what,
+                       ")");
+        ++line_no;
+    };
+    auto bad_line = [&](const std::string &why) {
+        PAQOC_FATAL_IF(true, "pulse database '", path, "' line ",
+                       line_no, ": ", why, " -- got '", line, "'");
+    };
+
+    next_line("header");
+    {
+        std::istringstream hdr(line);
+        std::string magic;
+        int version = 0;
+        if (!(hdr >> magic >> version) || magic != "paqoc-pulse-db"
+            || version != 1)
+            bad_line("not a version-1 pulse database header");
+    }
+
+    std::vector<CachedPulse> staged;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
         CachedPulse e;
         std::size_t dim = 0, slices = 0, channels = 0;
-        in >> e.numQubits >> e.latency >> e.error >> dim >> slices
-            >> channels >> e.schedule.fidelity;
-        PAQOC_FATAL_IF(!in || dim == 0 || dim > 256,
-                       "corrupt pulse database '", path, "'");
+        {
+            std::istringstream row(line);
+            std::string tag;
+            if (!(row >> tag) || tag != "entry")
+                bad_line("expected an 'entry' record");
+            if (!(row >> e.numQubits >> e.latency >> e.error >> dim
+                  >> slices >> channels >> e.schedule.fidelity))
+                bad_line("malformed entry header");
+            if (e.numQubits <= 0 || dim == 0 || dim > 256
+                || dim != (std::size_t{1} << e.numQubits))
+                bad_line("entry dimension does not match qubit count");
+        }
         e.unitary = Matrix(dim, dim);
         for (std::size_t r = 0; r < dim; ++r) {
+            next_line("a unitary row");
+            std::istringstream row(line);
             for (std::size_t c = 0; c < dim; ++c) {
                 double re = 0.0, im = 0.0;
-                in >> re >> im;
+                if (!(row >> re >> im))
+                    bad_line("truncated unitary row");
                 e.unitary(r, c) = Complex(re, im);
             }
         }
         e.schedule.amplitudes.assign(slices,
                                      std::vector<double>(channels));
-        for (auto &slice : e.schedule.amplitudes)
+        for (auto &slice : e.schedule.amplitudes) {
+            next_line("an amplitude row");
+            std::istringstream row(line);
             for (double &a : slice)
-                in >> a;
-        PAQOC_FATAL_IF(!in, "corrupt pulse database '", path, "'");
+                if (!(row >> a))
+                    bad_line("truncated amplitude row");
+        }
+        staged.push_back(std::move(e));
+    }
+    for (CachedPulse &e : staged) {
         const Matrix u = e.unitary;
         const int nq = e.numQubits;
         insert(u, nq, std::move(e));

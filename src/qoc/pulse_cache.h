@@ -36,6 +36,23 @@ struct CachedPulse
 };
 
 /**
+ * Observer of cache inserts, implemented by the durable pulse library
+ * (src/store/pulse_library.h). Attached via PulseCache::attachStore;
+ * every published entry (completed flight, direct insert, or database
+ * load) is forwarded *after* the cache lock is released, so a sink may
+ * block on I/O without stalling readers. Sinks must not call back into
+ * the cache.
+ */
+class PulseStoreSink
+{
+  public:
+    virtual ~PulseStoreSink() = default;
+    /** `key` is PulseCache::canonicalKey of the entry's unitary. */
+    virtual void onInsert(const std::string &key,
+                          const CachedPulse &entry) = 0;
+};
+
+/**
  * Lookup table of previously generated pulses (paper Section V-B).
  *
  * Keys are canonical forms of the target unitary: global phase is
@@ -149,8 +166,20 @@ class PulseCache
      */
     void save(const std::string &path) const;
 
-    /** Merge a previously saved database into this one. */
+    /**
+     * Merge a previously saved database into this one. All-or-nothing:
+     * a malformed or truncated file raises FatalError naming the bad
+     * line and leaves the cache untouched.
+     */
     void load(const std::string &path);
+
+    /**
+     * Attach a durable store: every entry published from now on is
+     * forwarded to `sink` (null detaches). Call during single-threaded
+     * setup, after warming the cache from the store -- entries already
+     * present are NOT replayed to the sink.
+     */
+    void attachStore(PulseStoreSink *sink);
 
     /** Canonical string key (exposed for tests). */
     static std::string canonicalKey(const Matrix &unitary, int num_qubits);
@@ -173,6 +202,7 @@ class PulseCache
     std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
     mutable std::atomic<std::size_t> hits_{0};
     std::atomic<std::uint64_t> generation_{0};
+    PulseStoreSink *sink_ = nullptr; // set in single-threaded setup
 };
 
 } // namespace paqoc

@@ -90,6 +90,8 @@ class PulseGenerator
     { return generate_calls_.load(std::memory_order_relaxed); }
 
     const PulseCache &cache() const { return cache_; }
+    /** Mutable cache access (store attachment, warm-up). */
+    PulseCache &cache() { return cache_; }
 
     /** Load a pulse database saved by an offline run. */
     void loadDatabase(const std::string &path) { cache_.load(path); }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/json.h"
 
 namespace paqoc {
 
@@ -75,6 +76,82 @@ pulseFromCsv(const std::string &csv, const DeviceModel &device)
                        slice.size());
         schedule.amplitudes.push_back(std::move(slice));
     }
+    return schedule;
+}
+
+std::string
+pulseToJson(const PulseSchedule &schedule, const DeviceModel &device)
+{
+    Json doc = Json::object();
+    doc.set("format", Json("paqoc-pulse-v1"));
+    doc.set("num_qubits", Json(static_cast<double>(device.numQubits())));
+    doc.set("dt_slices",
+            Json(static_cast<double>(schedule.numSlices())));
+    doc.set("latency_dt", Json(schedule.latency()));
+    doc.set("fidelity", Json(schedule.fidelity));
+    Json channels = Json::array();
+    for (std::size_t k = 0; k < device.numControls(); ++k)
+        channels.push(Json(device.controlName(k)));
+    doc.set("channels", std::move(channels));
+    Json rows = Json::array();
+    for (int t = 0; t < schedule.numSlices(); ++t) {
+        const auto &slice =
+            schedule.amplitudes[static_cast<std::size_t>(t)];
+        PAQOC_FATAL_IF(slice.size() != device.numControls(),
+                       "schedule channel count does not match device");
+        Json row = Json::array();
+        for (double amp : slice)
+            row.push(Json(amp));
+        rows.push(std::move(row));
+    }
+    doc.set("amplitudes", std::move(rows));
+    return doc.dump();
+}
+
+PulseSchedule
+pulseFromJson(const std::string &json, const DeviceModel &device)
+{
+    const Json doc = Json::parse(json);
+    PAQOC_FATAL_IF(!doc.isObject(), "pulse json: expected an object");
+    PAQOC_FATAL_IF(!doc.contains("format")
+                       || doc.at("format").asString()
+                              != "paqoc-pulse-v1",
+                   "pulse json: missing or unsupported format tag");
+
+    const Json &channels = doc.at("channels");
+    PAQOC_FATAL_IF(channels.size() != device.numControls(),
+                   "pulse json: expected ", device.numControls(),
+                   " channels, got ", channels.size());
+    for (std::size_t k = 0; k < device.numControls(); ++k)
+        PAQOC_FATAL_IF(channels.at(k).asString()
+                           != device.controlName(k),
+                       "pulse json: channel '",
+                       channels.at(k).asString(),
+                       "' does not match device channel '",
+                       device.controlName(k), "'");
+
+    PulseSchedule schedule;
+    schedule.fidelity = doc.at("fidelity").asNumber();
+    const Json &rows = doc.at("amplitudes");
+    PAQOC_FATAL_IF(!rows.isArray(),
+                   "pulse json: 'amplitudes' must be an array");
+    schedule.amplitudes.reserve(rows.size());
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+        const Json &row = rows.at(t);
+        PAQOC_FATAL_IF(row.size() != device.numControls(),
+                       "pulse json slice ", t, ": expected ",
+                       device.numControls(), " channels, got ",
+                       row.size());
+        std::vector<double> slice;
+        slice.reserve(row.size());
+        for (std::size_t k = 0; k < row.size(); ++k)
+            slice.push_back(row.at(k).asNumber());
+        schedule.amplitudes.push_back(std::move(slice));
+    }
+    PAQOC_FATAL_IF(doc.at("dt_slices").asInt()
+                       != schedule.numSlices(),
+                   "pulse json: dt_slices does not match the number of "
+                   "amplitude rows");
     return schedule;
 }
 

@@ -26,6 +26,29 @@ PulseSchedule pulseFromCsv(const std::string &csv,
                            const DeviceModel &device);
 
 /**
+ * Render a pulse schedule as a self-describing JSON document:
+ *
+ *   {"format": "paqoc-pulse-v1", "num_qubits": n, "dt_slices": N,
+ *    "latency_dt": N, "fidelity": f, "channels": ["x0", ...],
+ *    "amplitudes": [[a_x0, ...], ...]}   // one inner array per slice
+ *
+ * Unlike the CSV hand-off format this carries the fidelity/latency
+ * metadata, so a schedule survives a round trip losslessly (doubles
+ * are serialized with full precision). This is the pulse payload of
+ * the `paqocd` wire protocol.
+ */
+std::string pulseToJson(const PulseSchedule &schedule,
+                        const DeviceModel &device);
+
+/**
+ * Parse a pulse JSON produced by pulseToJson. The format tag, channel
+ * names, and slice shape are validated against the device; raises
+ * FatalError on any mismatch.
+ */
+PulseSchedule pulseFromJson(const std::string &json,
+                            const DeviceModel &device);
+
+/**
  * Compact ASCII rendering of a schedule (one line per control, time
  * running left to right, amplitude bucketed into -#=. levels). For
  * logs and quick inspection.

@@ -1,0 +1,62 @@
+#include "service/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "service/protocol.h"
+
+namespace paqoc {
+
+ServiceClient::ServiceClient(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    PAQOC_FATAL_IF(socket_path.size() >= sizeof addr.sun_path,
+                   "client: socket path '", socket_path, "' too long");
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    PAQOC_FATAL_IF(fd_ < 0, "client: socket(): ", std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr)
+        != 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        PAQOC_FATAL_IF(true, "client: cannot connect to '", socket_path,
+                       "': ", std::strerror(err),
+                       " (is paqocd running?)");
+    }
+}
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+Json
+ServiceClient::request(const Json &request)
+{
+    PAQOC_FATAL_IF(fd_ < 0, "client: connection is closed");
+    protocol::writeFrame(fd_, request.dump());
+    std::string text;
+    PAQOC_FATAL_IF(!protocol::readFrame(fd_, text),
+                   "client: daemon closed the connection");
+    return Json::parse(text);
+}
+
+void
+ServiceClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace paqoc

@@ -1,0 +1,36 @@
+#ifndef PAQOC_SERVICE_CLIENT_H_
+#define PAQOC_SERVICE_CLIENT_H_
+
+#include <string>
+
+#include "common/json.h"
+
+namespace paqoc {
+
+/**
+ * Blocking client of a running `paqocd` daemon: one Unix-domain
+ * connection, one frame out / one frame in per request() call. Used by
+ * `paqocc --connect` and the service tests.
+ */
+class ServiceClient
+{
+  public:
+    /** Connect to the daemon's socket; FatalError when unreachable. */
+    explicit ServiceClient(const std::string &socket_path);
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** Send one request and wait for its response. */
+    Json request(const Json &request);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_SERVICE_CLIENT_H_

@@ -1,0 +1,151 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/error.h"
+
+namespace paqoc {
+namespace protocol {
+
+namespace {
+
+bool
+readAll(int fd, char *buf, std::size_t n, bool *clean_eof_at_start)
+{
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t r = ::read(fd, buf + off, n - off);
+        if (r == 0) {
+            if (clean_eof_at_start != nullptr && off == 0) {
+                *clean_eof_at_start = true;
+                return false;
+            }
+            PAQOC_FATAL_IF(true,
+                           "protocol: connection closed mid-frame");
+        }
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            PAQOC_FATAL_IF(true, "protocol: read failed: ",
+                           std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(r);
+    }
+    return true;
+}
+
+void
+writeAll(int fd, const char *buf, std::size_t n)
+{
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t w = ::write(fd, buf + off, n - off);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            PAQOC_FATAL_IF(true, "protocol: write failed: ",
+                           std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(w);
+    }
+}
+
+} // namespace
+
+bool
+readFrame(int fd, std::string &out)
+{
+    unsigned char hdr[4];
+    bool clean_eof = false;
+    if (!readAll(fd, reinterpret_cast<char *>(hdr), 4, &clean_eof))
+        return false;
+    const std::uint32_t len = (std::uint32_t{hdr[0]} << 24)
+        | (std::uint32_t{hdr[1]} << 16) | (std::uint32_t{hdr[2]} << 8)
+        | std::uint32_t{hdr[3]};
+    PAQOC_FATAL_IF(len > kMaxFrameBytes, "protocol: frame of ", len,
+                   " bytes exceeds the ", kMaxFrameBytes,
+                   "-byte limit");
+    out.resize(len);
+    if (len > 0)
+        readAll(fd, out.data(), len, nullptr);
+    return true;
+}
+
+void
+writeFrame(int fd, const std::string &payload)
+{
+    PAQOC_FATAL_IF(payload.size() > kMaxFrameBytes,
+                   "protocol: frame of ", payload.size(),
+                   " bytes exceeds the ", kMaxFrameBytes,
+                   "-byte limit");
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    const unsigned char hdr[4] = {
+        static_cast<unsigned char>(len >> 24),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len),
+    };
+    std::string frame(reinterpret_cast<const char *>(hdr), 4);
+    frame += payload;
+    writeAll(fd, frame.data(), frame.size());
+}
+
+Json
+matrixToJson(const Matrix &m)
+{
+    Json rows = Json::array();
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            Json cell = Json::array();
+            cell.push(Json(m(r, c).real()));
+            cell.push(Json(m(r, c).imag()));
+            rows.push(std::move(cell));
+        }
+    return rows;
+}
+
+Matrix
+matrixFromJson(const Json &j)
+{
+    const std::size_t n = j.size();
+    std::size_t dim = 1;
+    while (dim * dim < n)
+        ++dim;
+    PAQOC_FATAL_IF(dim * dim != n,
+                   "protocol: unitary element count ", n,
+                   " is not a perfect square");
+    Matrix m(dim, dim);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Json &cell = j.at(i);
+        PAQOC_FATAL_IF(cell.size() != 2,
+                       "protocol: matrix cells must be [re, im]");
+        m(i / dim, i % dim) =
+            Complex(cell.at(std::size_t{0}).asNumber(),
+                    cell.at(std::size_t{1}).asNumber());
+    }
+    return m;
+}
+
+Json
+errorResponse(const std::string &message)
+{
+    Json r = Json::object();
+    r.set("ok", Json(false));
+    r.set("error", Json(message));
+    return r;
+}
+
+Json
+overloadedResponse()
+{
+    Json r = errorResponse("overloaded: request queue is full");
+    r.set("retry", Json(true));
+    return r;
+}
+
+} // namespace protocol
+} // namespace paqoc

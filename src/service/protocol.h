@@ -1,0 +1,48 @@
+#ifndef PAQOC_SERVICE_PROTOCOL_H_
+#define PAQOC_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "linalg/matrix.h"
+
+namespace paqoc {
+
+/**
+ * Wire protocol of the pulse-compilation service (DESIGN.md §6): every
+ * message is one *frame* -- a 4-byte big-endian payload length followed
+ * by that many bytes of UTF-8 JSON. Requests are objects with an "op"
+ * member ("compile" | "generate" | "stats" | "ping" | "shutdown");
+ * responses carry {"ok": bool, "payload": ..., "stats": ...} or
+ * {"ok": false, "error": "..."}.
+ */
+namespace protocol {
+
+/** Upper bound on one frame; larger frames are a protocol error. */
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/**
+ * Read one frame from `fd` into `out`. Returns false on clean EOF
+ * before any byte of a frame; raises FatalError on a malformed length,
+ * a mid-frame EOF, or an I/O error.
+ */
+bool readFrame(int fd, std::string &out);
+
+/** Write one frame to `fd`; raises FatalError on I/O failure. */
+void writeFrame(int fd, const std::string &payload);
+
+/** JSON <-> Matrix: [[re,im], ...] in row-major order. */
+Json matrixToJson(const Matrix &m);
+Matrix matrixFromJson(const Json &j);
+
+/** Standard failure response. */
+Json errorResponse(const std::string &message);
+/** Failure response the client should retry later (backpressure). */
+Json overloadedResponse();
+
+} // namespace protocol
+
+} // namespace paqoc
+
+#endif // PAQOC_SERVICE_PROTOCOL_H_

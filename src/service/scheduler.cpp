@@ -1,0 +1,72 @@
+#include "service/scheduler.h"
+
+#include <utility>
+
+namespace paqoc {
+
+SessionScheduler::Admit
+SessionScheduler::submit(std::function<void()> work,
+                         Clock::time_point deadline,
+                         std::function<void()> on_expired)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_) {
+            ++stats_.rejected;
+            return Admit::Draining;
+        }
+        if (stats_.inFlight >= max_queue_) {
+            ++stats_.rejected;
+            return Admit::Overloaded;
+        }
+        ++stats_.accepted;
+        ++stats_.inFlight;
+    }
+
+    auto job = [this, work = std::move(work), deadline,
+                on_expired = std::move(on_expired)]() mutable {
+        const bool expired = Clock::now() > deadline;
+        try {
+            if (expired) {
+                if (on_expired)
+                    on_expired();
+            } else {
+                work();
+            }
+        } catch (...) {
+            // Handlers report their own errors over the wire; an
+            // escaped exception must not take the worker down.
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        --stats_.inFlight;
+        ++(expired ? stats_.expired : stats_.completed);
+        if (stats_.inFlight == 0)
+            idle_cv_.notify_all();
+    };
+    pool().submit(std::move(job));
+    return Admit::Accepted;
+}
+
+void
+SessionScheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    idle_cv_.wait(lock, [this]() { return stats_.inFlight == 0; });
+}
+
+bool
+SessionScheduler::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+SessionScheduler::Stats
+SessionScheduler::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace paqoc

@@ -1,0 +1,85 @@
+#ifndef PAQOC_SERVICE_SCHEDULER_H_
+#define PAQOC_SERVICE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace paqoc {
+
+/**
+ * Admission control + execution for service requests. Jobs run on the
+ * global thread pool; the scheduler adds what an inference server
+ * needs on top of a raw pool:
+ *
+ *  - *Backpressure*: at most `max_queue` jobs may be admitted but not
+ *    yet finished; beyond that submit() rejects immediately (the
+ *    server answers "overloaded" instead of building unbounded queue).
+ *  - *Deadlines*: each job carries an optional absolute deadline. A
+ *    job whose deadline passed while it sat in the queue is *expired*:
+ *    its `on_expired` callback runs instead of the work, so the client
+ *    gets a fast deadline error rather than a late result.
+ *  - *Draining*: drain() stops admission and blocks until every
+ *    admitted job completed -- the graceful-shutdown half of the
+ *    daemon (in-flight requests finish, new ones are turned away).
+ */
+class SessionScheduler
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit SessionScheduler(std::size_t max_queue = 64,
+                              ThreadPool *pool = nullptr)
+        : max_queue_(max_queue == 0 ? 1 : max_queue), pool_(pool)
+    {}
+
+    enum class Admit
+    {
+        Accepted,   ///< job queued; it will run or expire
+        Overloaded, ///< queue full; caller should report backpressure
+        Draining,   ///< shutdown in progress; no new work
+    };
+
+    /**
+     * Admit a job. `deadline` of Clock::time_point::max() means none.
+     * Exactly one of `work` / `on_expired` eventually runs.
+     */
+    Admit submit(std::function<void()> work,
+                 Clock::time_point deadline = Clock::time_point::max(),
+                 std::function<void()> on_expired = {});
+
+    /** Stop admitting and wait for all admitted jobs to finish. */
+    void drain();
+
+    /** True once drain() (or shutdown) started. */
+    bool draining() const;
+
+    struct Stats
+    {
+        std::size_t accepted = 0;
+        std::size_t rejected = 0;
+        std::size_t completed = 0;
+        std::size_t expired = 0;
+        std::size_t inFlight = 0;
+    };
+    Stats stats() const;
+
+  private:
+    ThreadPool &pool() const
+    { return pool_ != nullptr ? *pool_ : ThreadPool::global(); }
+
+    std::size_t max_queue_;
+    ThreadPool *pool_;
+    mutable std::mutex mutex_;
+    std::condition_variable idle_cv_;
+    bool draining_ = false;
+    Stats stats_;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_SERVICE_SCHEDULER_H_

@@ -1,0 +1,250 @@
+#include "service/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "service/protocol.h"
+
+namespace paqoc {
+
+namespace {
+
+void
+writeResponse(const std::shared_ptr<std::mutex> &write_mutex, int fd,
+              Json response, const Json &id)
+{
+    if (!id.isNull())
+        response.set("id", id);
+    const std::string text = response.dump();
+    std::lock_guard<std::mutex> lock(*write_mutex);
+    protocol::writeFrame(fd, text);
+}
+
+} // namespace
+
+UnixSocketServer::UnixSocketServer(PulseService &service,
+                                   ServerOptions options)
+    : service_(service), options_(std::move(options)),
+      scheduler_(options_.maxQueue)
+{}
+
+UnixSocketServer::~UnixSocketServer()
+{
+    stop();
+}
+
+void
+UnixSocketServer::start()
+{
+    if (listen_fd_ >= 0)
+        return; // already listening (run() after an explicit start())
+    PAQOC_FATAL_IF(options_.socketPath.empty(),
+                   "server: no socket path configured");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    PAQOC_FATAL_IF(
+        options_.socketPath.size() >= sizeof addr.sun_path,
+        "server: socket path '", options_.socketPath, "' too long");
+    std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    PAQOC_FATAL_IF(listen_fd_ < 0, "server: socket(): ",
+                   std::strerror(errno));
+    ::unlink(options_.socketPath.c_str());
+    PAQOC_FATAL_IF(::bind(listen_fd_,
+                          reinterpret_cast<sockaddr *>(&addr),
+                          sizeof addr)
+                       != 0,
+                   "server: cannot bind '", options_.socketPath,
+                   "': ", std::strerror(errno));
+    PAQOC_FATAL_IF(::listen(listen_fd_, 64) != 0, "server: listen(): ",
+                   std::strerror(errno));
+    accept_thread_ = std::thread([this]() { acceptLoop(); });
+}
+
+void
+UnixSocketServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int r = ::poll(&pfd, 1, 200);
+        if (r <= 0)
+            continue; // timeout (re-check stop flag) or EINTR
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_.load(std::memory_order_relaxed)) {
+                ::close(fd);
+                return;
+            }
+            connections_.push_back(conn);
+        }
+        conn->thread =
+            std::thread([this, conn]() { serveConnection(conn); });
+    }
+}
+
+void
+UnixSocketServer::serveConnection(
+    const std::shared_ptr<Connection> &conn)
+{
+    std::string text;
+    try {
+        while (protocol::readFrame(conn->fd, text))
+            dispatchFrame(conn, text);
+    } catch (const std::exception &) {
+        // Torn frame or dropped peer: the connection dies, the
+        // server lives on.
+    }
+}
+
+void
+UnixSocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
+                                const std::string &text)
+{
+    // The write mutex is shared with scheduled jobs that may outlive
+    // this frame-reading loop's iteration.
+    auto write_mutex =
+        std::shared_ptr<std::mutex>(conn, &conn->writeMutex);
+    const int fd = conn->fd;
+
+    Json request;
+    try {
+        request = Json::parse(text);
+    } catch (const std::exception &e) {
+        writeResponse(write_mutex, fd, protocol::errorResponse(e.what()),
+                      Json());
+        return;
+    }
+    const Json id = request.get("id", Json());
+    const std::string op =
+        request.isObject() && request.contains("op")
+            && request.at("op").isString()
+        ? request.at("op").asString()
+        : "";
+
+    // Control-plane ops never queue: they must work under load.
+    if (op == "ping" || op == "stats" || op == "shutdown") {
+        Json response = service_.handle(request);
+        if (op == "stats" && response.get("ok", Json(false)).isBool()
+            && response.at("ok").asBool()) {
+            const SessionScheduler::Stats st = scheduler_.stats();
+            Json sched = Json::object();
+            sched.set("accepted", Json(st.accepted));
+            sched.set("rejected", Json(st.rejected));
+            sched.set("completed", Json(st.completed));
+            sched.set("expired", Json(st.expired));
+            sched.set("in_flight", Json(st.inFlight));
+            Json payload = response.at("payload");
+            payload.set("scheduler", std::move(sched));
+            response.set("payload", std::move(payload));
+        }
+        writeResponse(write_mutex, fd, std::move(response), id);
+        if (service_.shutdownRequested())
+            requestStop();
+        return;
+    }
+
+    // Data-plane ops go through admission control.
+    double deadline_ms = options_.defaultDeadlineMs;
+    if (request.isObject() && request.contains("deadline_ms"))
+        deadline_ms = request.at("deadline_ms").asNumber();
+    auto deadline = SessionScheduler::Clock::time_point::max();
+    if (deadline_ms > 0.0)
+        deadline = SessionScheduler::Clock::now()
+            + std::chrono::milliseconds(
+                static_cast<long>(deadline_ms));
+
+    const SessionScheduler::Admit admitted = scheduler_.submit(
+        [this, write_mutex, fd, request, id]() {
+            writeResponse(write_mutex, fd, service_.handle(request),
+                          id);
+        },
+        deadline,
+        [write_mutex, fd, id]() {
+            writeResponse(
+                write_mutex, fd,
+                protocol::errorResponse(
+                    "deadline exceeded while queued"),
+                id);
+        });
+    if (admitted == SessionScheduler::Admit::Overloaded)
+        writeResponse(write_mutex, fd, protocol::overloadedResponse(),
+                      id);
+    else if (admitted == SessionScheduler::Admit::Draining)
+        writeResponse(write_mutex, fd,
+                      protocol::errorResponse("server is shutting down"),
+                      id);
+}
+
+void
+UnixSocketServer::run()
+{
+    start();
+    std::unique_lock<std::mutex> lock(mutex_);
+    stop_cv_.wait(lock, [this]() { return stop_requested_; });
+    lock.unlock();
+    stop();
+}
+
+void
+UnixSocketServer::requestStop()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+}
+
+void
+UnixSocketServer::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+        stop_requested_ = true;
+        stop_cv_.notify_all();
+    }
+    stopping_.store(true, std::memory_order_relaxed);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+
+    // Let admitted requests finish and write their responses...
+    scheduler_.drain();
+
+    // ...then sever the connections so reader threads wind down.
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        conns.swap(connections_);
+    }
+    for (const auto &conn : conns)
+        ::shutdown(conn->fd, SHUT_RDWR);
+    for (const auto &conn : conns) {
+        if (conn->thread.joinable())
+            conn->thread.join();
+        ::close(conn->fd);
+    }
+
+    service_.persist();
+    ::unlink(options_.socketPath.c_str());
+}
+
+} // namespace paqoc

@@ -1,0 +1,99 @@
+#ifndef PAQOC_SERVICE_SERVER_H_
+#define PAQOC_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/scheduler.h"
+#include "service/service.h"
+
+namespace paqoc {
+
+/** Transport configuration of a UnixSocketServer. */
+struct ServerOptions
+{
+    /** Filesystem path of the Unix-domain listening socket. */
+    std::string socketPath;
+    /** Backpressure bound: admitted-but-unfinished request cap. */
+    std::size_t maxQueue = 64;
+    /**
+     * Default per-request deadline in milliseconds (0 = none). A
+     * request's own "deadline_ms" member overrides this. Deadlines are
+     * checked when a request leaves the queue: one that already
+     * expired gets a fast deadline error instead of a late compile.
+     */
+    double defaultDeadlineMs = 0.0;
+};
+
+/**
+ * Unix-domain socket front end of the pulse-compilation service.
+ * Frames (see service/protocol.h) arrive per connection; "ping",
+ * "stats" and "shutdown" are answered inline, "compile" and
+ * "generate" go through the SessionScheduler onto the global thread
+ * pool. Responses carry the request's "id" member back (pipelined
+ * requests may complete out of order).
+ *
+ * Graceful shutdown (a "shutdown" request or requestStop()):
+ * stop accepting, drain in-flight requests, close connections,
+ * persist the pulse library (PulseService::persist), return from
+ * run().
+ */
+class UnixSocketServer
+{
+  public:
+    UnixSocketServer(PulseService &service, ServerOptions options);
+    ~UnixSocketServer();
+
+    UnixSocketServer(const UnixSocketServer &) = delete;
+    UnixSocketServer &operator=(const UnixSocketServer &) = delete;
+
+    /** Bind, listen, and start the accept thread. */
+    void start();
+
+    /** start() + block until shutdown, then tear down. */
+    void run();
+
+    /** Ask run() to finish (signal-handler and test safe). */
+    void requestStop();
+
+    /** Tear down: drain, close, persist. Idempotent. */
+    void stop();
+
+    SessionScheduler &scheduler() { return scheduler_; }
+    const std::string &socketPath() const
+    { return options_.socketPath; }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::mutex writeMutex;
+        std::thread thread;
+    };
+
+    void acceptLoop();
+    void serveConnection(const std::shared_ptr<Connection> &conn);
+    void dispatchFrame(const std::shared_ptr<Connection> &conn,
+                       const std::string &text);
+
+    PulseService &service_;
+    ServerOptions options_;
+    SessionScheduler scheduler_;
+    int listen_fd_ = -1;
+    std::thread accept_thread_;
+    std::atomic<bool> stopping_{false};
+    std::mutex mutex_;
+    std::condition_variable stop_cv_;
+    bool stop_requested_ = false;
+    bool stopped_ = false;
+    std::vector<std::shared_ptr<Connection>> connections_;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_SERVICE_SERVER_H_

@@ -1,0 +1,19 @@
+#ifndef PAQOC_STORE_CRC32_H_
+#define PAQOC_STORE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace paqoc {
+
+/**
+ * IEEE 802.3 CRC-32 (the zlib/PNG polynomial, reflected 0xEDB88320),
+ * used to checksum every journal record. Self-contained table-based
+ * implementation; crc32("123456789") == 0xCBF43926.
+ */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+} // namespace paqoc
+
+#endif // PAQOC_STORE_CRC32_H_

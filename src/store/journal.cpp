@@ -1,0 +1,231 @@
+#include "store/journal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "store/crc32.h"
+
+namespace paqoc {
+
+namespace {
+
+constexpr char kMagic[8] = {'p', 'a', 'q', 'o', 'c', 'j', 'n', 'l'};
+constexpr std::uint32_t kVersion = 1;
+/** Sanity bound: no single pulse record approaches this. */
+constexpr std::uint32_t kMaxRecordBytes = 1u << 30;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out.append(buf, 4);
+}
+
+bool
+readExact(std::ifstream &in, char *buf, std::size_t n)
+{
+    in.read(buf, static_cast<std::streamsize>(n));
+    return static_cast<std::size_t>(in.gcount()) == n;
+}
+
+std::string
+headerBytes(const std::string &fingerprint)
+{
+    std::string h(kMagic, sizeof kMagic);
+    putU32(h, kVersion);
+    putU32(h, static_cast<std::uint32_t>(fingerprint.size()));
+    h += fingerprint;
+    return h;
+}
+
+} // namespace
+
+JournalScan
+scanJournal(const std::string &path,
+            const std::string &expected_fingerprint,
+            const std::function<void(const std::string &)> &on_record)
+{
+    JournalScan scan;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        // Missing file: clean empty scan; the writer creates it.
+        return scan;
+    }
+    in.seekg(0, std::ios::end);
+    const std::uint64_t file_size =
+        static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0, std::ios::beg);
+
+    char magic[8];
+    std::uint32_t version = 0, fp_len = 0;
+    if (!readExact(in, magic, sizeof magic)
+        || std::memcmp(magic, kMagic, sizeof kMagic) != 0
+        || !readExact(in, reinterpret_cast<char *>(&version), 4)
+        || version != kVersion
+        || !readExact(in, reinterpret_cast<char *>(&fp_len), 4)
+        || fp_len > kMaxRecordBytes) {
+        scan.headerValid = false;
+        scan.droppedBytes = file_size;
+        scan.warning = "journal '" + path
+            + "': unrecognized header; file ignored";
+        return scan;
+    }
+    std::string fingerprint(fp_len, '\0');
+    if (fp_len > 0 && !readExact(in, fingerprint.data(), fp_len)) {
+        scan.headerValid = false;
+        scan.droppedBytes = file_size;
+        scan.warning = "journal '" + path
+            + "': truncated header; file ignored";
+        return scan;
+    }
+    scan.fingerprint = fingerprint;
+    scan.committedBytes = sizeof kMagic + 8 + fp_len;
+    if (fingerprint != expected_fingerprint) {
+        scan.droppedBytes = file_size - scan.committedBytes;
+        scan.warning = "journal '" + path + "': fingerprint '"
+            + fingerprint + "' does not match current configuration";
+        return scan;
+    }
+
+    std::string payload;
+    for (;;) {
+        std::uint32_t len = 0, crc = 0;
+        if (!readExact(in, reinterpret_cast<char *>(&len), 4))
+            break; // clean EOF or torn length word
+        if (len > kMaxRecordBytes
+            || !readExact(in, reinterpret_cast<char *>(&crc), 4)) {
+            scan.warning = "journal '" + path
+                + "': torn record header after "
+                + std::to_string(scan.records)
+                + " records; tail skipped";
+            break;
+        }
+        payload.resize(len);
+        if (!readExact(in, payload.data(), len)) {
+            scan.warning = "journal '" + path
+                + "': truncated record payload after "
+                + std::to_string(scan.records)
+                + " records; tail skipped";
+            break;
+        }
+        if (crc32(payload.data(), payload.size()) != crc) {
+            scan.warning = "journal '" + path
+                + "': CRC mismatch in record "
+                + std::to_string(scan.records + 1)
+                + "; tail skipped";
+            break;
+        }
+        on_record(payload);
+        ++scan.records;
+        scan.committedBytes += 8 + len;
+    }
+    scan.droppedBytes = file_size - scan.committedBytes;
+    return scan;
+}
+
+JournalWriter::~JournalWriter()
+{
+    close();
+}
+
+JournalWriter::JournalWriter(JournalWriter &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{}
+
+JournalWriter &
+JournalWriter::operator=(JournalWriter &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+JournalWriter
+JournalWriter::openAppend(const std::string &path,
+                          const std::string &fingerprint,
+                          std::uint64_t truncate_to)
+{
+    JournalWriter w;
+    w.fd_ = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+    PAQOC_FATAL_IF(w.fd_ < 0, "cannot open journal '", path,
+                   "': ", std::strerror(errno));
+
+    struct stat st{};
+    PAQOC_FATAL_IF(::fstat(w.fd_, &st) != 0, "cannot stat journal '",
+                   path, "': ", std::strerror(errno));
+    const std::string header = headerBytes(fingerprint);
+    if (st.st_size == 0) {
+        PAQOC_FATAL_IF(
+            ::write(w.fd_, header.data(), header.size())
+                != static_cast<ssize_t>(header.size()),
+            "cannot write journal header '", path, "'");
+    } else {
+        PAQOC_FATAL_IF(truncate_to < header.size(),
+                       "journal '", path,
+                       "' exists but the committed prefix is shorter "
+                       "than its header (scan it first)");
+        if (static_cast<std::uint64_t>(st.st_size) > truncate_to) {
+            PAQOC_FATAL_IF(
+                ::ftruncate(w.fd_,
+                            static_cast<off_t>(truncate_to)) != 0,
+                "cannot truncate torn tail of '", path,
+                "': ", std::strerror(errno));
+        }
+    }
+    PAQOC_FATAL_IF(::lseek(w.fd_, 0, SEEK_END) < 0, "cannot seek '",
+                   path, "': ", std::strerror(errno));
+    return w;
+}
+
+void
+JournalWriter::append(const std::string &payload)
+{
+    PAQOC_ASSERT(fd_ >= 0, "append on a closed journal");
+    PAQOC_FATAL_IF(payload.size() > kMaxRecordBytes,
+                   "journal record too large (", payload.size(),
+                   " bytes)");
+    std::string rec;
+    rec.reserve(8 + payload.size());
+    putU32(rec, static_cast<std::uint32_t>(payload.size()));
+    putU32(rec, crc32(payload.data(), payload.size()));
+    rec += payload;
+    // One write() per record: a crash can tear the tail record but
+    // never interleave two records.
+    std::size_t off = 0;
+    while (off < rec.size()) {
+        const ssize_t n =
+            ::write(fd_, rec.data() + off, rec.size() - off);
+        PAQOC_FATAL_IF(n <= 0, "journal append failed: ",
+                       std::strerror(errno));
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
+JournalWriter::sync()
+{
+    if (fd_ >= 0)
+        ::fsync(fd_);
+}
+
+void
+JournalWriter::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+} // namespace paqoc

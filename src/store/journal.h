@@ -1,0 +1,93 @@
+#ifndef PAQOC_STORE_JOURNAL_H_
+#define PAQOC_STORE_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace paqoc {
+
+/**
+ * Append-only record journal with per-record CRC32, the durability
+ * primitive under the pulse library (DESIGN.md §6).
+ *
+ * On-disk layout (all integers little-endian):
+ *
+ *   header:  "paqocjnl" (8 bytes) | u32 version=1
+ *            | u32 fingerprint_len | fingerprint bytes
+ *   record:  u32 payload_len | u32 crc32(payload) | payload bytes
+ *
+ * The journal is written append-only with one write() per record, so a
+ * crash (including kill -9) can only produce a *truncated or torn
+ * tail*, never a hole in the middle. Recovery (scanJournal) walks
+ * records until the first length/CRC violation and reports the bad
+ * tail instead of aborting; the writer then truncates the file back to
+ * the committed prefix before appending again.
+ */
+struct JournalScan
+{
+    /** False when the file exists but magic/version/header is bad. */
+    bool headerValid = true;
+    /** Fingerprint stored in the header (empty for a missing file). */
+    std::string fingerprint;
+    /** Committed records delivered to the callback. */
+    std::size_t records = 0;
+    /** Byte length of the valid prefix (header + committed records). */
+    std::uint64_t committedBytes = 0;
+    /** Bytes of torn/corrupt tail after the valid prefix. */
+    std::uint64_t droppedBytes = 0;
+    /** Human-readable description of anything skipped; empty if clean. */
+    std::string warning;
+};
+
+/**
+ * Scan `path`, invoking `on_record` for every committed record in
+ * order. Missing file yields an empty clean scan. Never throws on
+ * corrupt content -- damage is reported through the scan result; only
+ * I/O errors opening a file that exists raise FatalError. When the
+ * header fingerprint differs from `expected_fingerprint`, no records
+ * are delivered (the caller decides whether to discard or rotate).
+ */
+JournalScan scanJournal(
+    const std::string &path, const std::string &expected_fingerprint,
+    const std::function<void(const std::string &payload)> &on_record);
+
+/** Writer end of a journal file. Not internally synchronized. */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+
+    JournalWriter(JournalWriter &&other) noexcept;
+    JournalWriter &operator=(JournalWriter &&other) noexcept;
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /**
+     * Open `path` for appending, creating it (with a fresh header) if
+     * missing or empty. `truncate_to` should be the committedBytes of
+     * a prior scanJournal: a file longer than that is truncated first,
+     * dropping a torn tail. Raises FatalError on I/O failure or a
+     * fingerprint/header mismatch (scan first to detect those).
+     */
+    static JournalWriter openAppend(const std::string &path,
+                                    const std::string &fingerprint,
+                                    std::uint64_t truncate_to);
+
+    /** Append one record (length + CRC + payload in a single write). */
+    void append(const std::string &payload);
+
+    /** fsync the file (called by compaction and graceful shutdown). */
+    void sync();
+
+    void close();
+    bool isOpen() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_STORE_JOURNAL_H_

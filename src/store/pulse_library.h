@@ -1,0 +1,153 @@
+#ifndef PAQOC_STORE_PULSE_LIBRARY_H_
+#define PAQOC_STORE_PULSE_LIBRARY_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qoc/grape.h"
+#include "qoc/pulse_cache.h"
+#include "store/journal.h"
+
+namespace paqoc {
+
+/** Tuning knobs of a PulseLibrary. */
+struct PulseLibraryOptions
+{
+    /**
+     * fsync after every appended record. Off by default: a process
+     * crash (kill -9) never loses flushed appends anyway because each
+     * record is a single write(); fsync only adds protection against
+     * whole-OS crashes, at a large per-record cost. Compaction and
+     * graceful shutdown always fsync.
+     */
+    bool syncEveryAppend = false;
+};
+
+/** What a library recovered and did; surfaced by `paqocd` and tests. */
+struct PulseLibraryStats
+{
+    /** Records loaded from the snapshot file. */
+    std::size_t snapshotRecords = 0;
+    /** Records replayed from the journal. */
+    std::size_t journalRecords = 0;
+    /** CRC-valid records whose payload failed to decode (skipped). */
+    std::size_t corruptPayloads = 0;
+    /** Torn/corrupt tail bytes dropped during recovery. */
+    std::uint64_t droppedTailBytes = 0;
+    /** Records appended since open. */
+    std::size_t appendedRecords = 0;
+    /** Everything recovery had to skip or rotate aside. */
+    std::vector<std::string> warnings;
+};
+
+/**
+ * Crash-safe durable pulse library (DESIGN.md §6): the persistence
+ * layer that lets the paper's offline/online split outlive a process.
+ * State lives in a directory as
+ *
+ *   snapshot.bin   last compaction (journal record format)
+ *   journal.bin    CRC32-checked append-only journal since then
+ *
+ * both keyed by PulseCache::canonicalKey and stamped with a
+ * device/GRAPE-config fingerprint -- a library written under one
+ * backend configuration is never served to another (mismatched files
+ * are rotated aside with a warning, not deleted).
+ *
+ * Usage (order matters -- warm before attach, or warmed entries echo
+ * back into the journal):
+ *
+ *   PulseLibrary lib(dir, PulseLibrary::spectralFingerprint());
+ *   lib.warm(generator.cache());   // start warm
+ *   generator.cache().attachStore(&lib); // journal completed flights
+ *   ...
+ *   lib.compact();                 // snapshot + truncate, fsynced
+ *
+ * Durability guarantees: every append is a single write() to an
+ * append-only fd, so kill -9 at any instant leaves a valid prefix plus
+ * at most one torn record, which recovery skips and reports. Recovery
+ * never aborts on corrupt content. Compaction writes the snapshot to a
+ * temp file, fsyncs, and renames -- a crash mid-compaction leaves
+ * either the old or the new snapshot, never a mix.
+ *
+ * Thread-safety: onInsert/compact/size/stats are internally locked;
+ * the library is shared by all of a daemon's generators.
+ */
+class PulseLibrary : public PulseStoreSink
+{
+  public:
+    /**
+     * Open (or create) the library in `directory`, recovering snapshot
+     * and journal. Raises FatalError only on real I/O failures (e.g.
+     * unwritable directory), never on corrupt or foreign content.
+     */
+    PulseLibrary(std::string directory, std::string fingerprint,
+                 PulseLibraryOptions options = {});
+    ~PulseLibrary() override;
+
+    /** Insert every stored pulse into `cache` (call before attach). */
+    void warm(PulseCache &cache) const;
+
+    /**
+     * Copy of the live entries, ordered by canonical key. The service
+     * freezes this at startup as its serving epoch (see
+     * PulseService): requests warm per-request caches from the frozen
+     * copy, so concurrent serving stays deterministic while fresh
+     * derivations keep journaling here for the next launch.
+     */
+    std::vector<CachedPulse> entriesSnapshot() const;
+
+    /** PulseStoreSink: journal one published cache entry. */
+    void onInsert(const std::string &key,
+                  const CachedPulse &entry) override;
+
+    /**
+     * Fold the journal into a fresh snapshot (write-temp-fsync-rename)
+     * and truncate the journal. Safe to call at any time.
+     */
+    void compact();
+
+    /** fsync the journal (graceful-shutdown path). */
+    void sync();
+
+    /** Live (deduplicated) record count. */
+    std::size_t size() const;
+    PulseLibraryStats stats() const;
+    const std::string &directory() const { return directory_; }
+    const std::string &fingerprint() const { return fingerprint_; }
+
+    /** Fingerprint of the analytical backend + device constants. */
+    static std::string spectralFingerprint();
+    /** Fingerprint of a GRAPE backend configuration + device. */
+    static std::string grapeFingerprint(const GrapeOptions &options);
+
+  private:
+    void applyRecord(const std::string &payload, std::size_t &counter);
+
+    std::string snapshotPath() const;
+    std::string journalPath() const;
+
+    mutable std::mutex mutex_;
+    std::string directory_;
+    std::string fingerprint_;
+    PulseLibraryOptions options_;
+    /** Ordered by canonical key so snapshots are deterministic. */
+    std::map<std::string, CachedPulse> entries_;
+    JournalWriter journal_;
+    PulseLibraryStats stats_;
+};
+
+/** Binary record payload codec (exposed for tests and tooling). */
+std::string encodePulseRecord(const std::string &key,
+                              const CachedPulse &entry);
+/** Returns nullopt on a structurally invalid payload. */
+std::optional<std::pair<std::string, CachedPulse>>
+decodePulseRecord(const std::string &payload);
+
+} // namespace paqoc
+
+#endif // PAQOC_STORE_PULSE_LIBRARY_H_

@@ -1,0 +1,78 @@
+#!/bin/sh
+# End-to-end CLI test: compile a small QASM file with paqocc, check the
+# report, then round-trip the same compile through a live paqocd daemon
+# and verify the payload matches the in-process one byte for byte.
+#
+# Usage: cli_e2e_test.sh <paqocc> <paqocd> <input.qasm>
+set -eu
+
+PAQOCC=$1
+PAQOCD=$2
+QASM=$3
+WORK=$(mktemp -d /tmp/paqoc_cli_e2e.XXXXXX)
+cleanup() {
+    status=$?
+    if [ -n "$DAEMON_PID" ]; then
+        kill "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+    exit "$status"
+}
+trap cleanup EXIT
+DAEMON_PID=
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+# 1. Plain in-process compile: the report must carry a latency and a
+#    physically meaningful ESP.
+"$PAQOCC" --topology 2x2 "$QASM" > "$WORK/report.txt"
+grep -q '^input: ' "$WORK/report.txt" \
+    || fail "report is missing the input line"
+grep -q '^latency: [0-9]' "$WORK/report.txt" \
+    || fail "report is missing the latency line"
+ESP=$(sed -n 's/^latency: .*esp: \([0-9.]*\)$/\1/p' "$WORK/report.txt")
+[ -n "$ESP" ] || fail "report is missing the esp value"
+case $ESP in
+    0.*|1.*) ;;
+    *) fail "esp '$ESP' is not in [0, 1]" ;;
+esac
+
+# 2. Deterministic: the same compile twice gives the same summary.
+"$PAQOCC" --topology 2x2 --quiet "$QASM" > "$WORK/a.txt"
+"$PAQOCC" --topology 2x2 --quiet "$QASM" > "$WORK/b.txt"
+cmp -s "$WORK/a.txt" "$WORK/b.txt" \
+    || fail "two identical compiles disagreed"
+
+# 3. JSON payload mode parses and carries the same latency.
+"$PAQOCC" --topology 2x2 --json "$QASM" > "$WORK/local.json"
+grep -q '"latency_dt":' "$WORK/local.json" \
+    || fail "--json payload is missing latency_dt"
+
+# 4. Daemon round trip: serve the same compile through paqocd and
+#    compare payloads byte for byte with the in-process run.
+SOCK="$WORK/d.sock"
+"$PAQOCD" --socket "$SOCK" --library "$WORK/lib" \
+    > "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "daemon did not come up"
+    sleep 0.1
+done
+"$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+    > "$WORK/remote.json"
+cmp -s "$WORK/local.json" "$WORK/remote.json" \
+    || fail "daemon payload differs from the in-process payload"
+
+# 5. Graceful shutdown persists the pulse library.
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "daemon exited non-zero"
+DAEMON_PID=
+[ -s "$WORK/lib/spectral/snapshot.bin" ] \
+    || fail "graceful shutdown left no library snapshot"
+
+echo "PASS"

@@ -1,0 +1,14 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// 1-bit full adder (a, b, cin -> sum, cout) on 4 qubits; small
+// enough to compile in milliseconds, rich enough to exercise
+// routing, basis decomposition, and customized-gate merging.
+qreg q[4];
+ccx q[0], q[1], q[3];
+cx q[0], q[1];
+ccx q[1], q[2], q[3];
+cx q[1], q[2];
+cx q[0], q[1];
+h q[0];
+t q[2];
+cx q[0], q[2];

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/json.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
@@ -206,6 +207,69 @@ TEST(ThreadPool, GlobalPoolResizes)
     EXPECT_EQ(ThreadPool::global().size(), 2u);
     ThreadPool::setGlobalThreads(before);
     EXPECT_EQ(ThreadPool::global().size(), before);
+}
+
+TEST(Json, ParseDumpRoundTrip)
+{
+    const std::string text = "{\"a\":1,\"b\":[true,null,\"x\"],"
+                             "\"c\":{\"d\":2.5}}";
+    const Json doc = Json::parse(text);
+    EXPECT_EQ(doc.at("a").asInt(), 1);
+    EXPECT_TRUE(doc.at("b").at(0).asBool());
+    EXPECT_TRUE(doc.at("b").at(1).isNull());
+    EXPECT_EQ(doc.at("b").at(2).asString(), "x");
+    EXPECT_DOUBLE_EQ(doc.at("c").at("d").asNumber(), 2.5);
+    // Insertion-ordered objects make dump() deterministic, so the
+    // round trip is byte-exact.
+    EXPECT_EQ(doc.dump(), text);
+    EXPECT_EQ(Json::parse(doc.dump()).dump(), text);
+}
+
+TEST(Json, DumpFormatsIntegralValuesAsIntegers)
+{
+    Json doc = Json::object();
+    doc.set("whole", Json(3.0));
+    doc.set("frac", Json(0.5));
+    doc.set("count", Json(static_cast<std::size_t>(42)));
+    const std::string text = doc.dump();
+    EXPECT_NE(text.find("\"whole\":3"), std::string::npos) << text;
+    EXPECT_EQ(text.find("3.0"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"frac\":0.5"), std::string::npos) << text;
+    EXPECT_NE(text.find("\"count\":42"), std::string::npos) << text;
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    Json doc = Json::object();
+    doc.set("s", Json(std::string("a\"b\\c\n\t\x01 d")));
+    const Json back = Json::parse(doc.dump());
+    EXPECT_EQ(back.at("s").asString(), "a\"b\\c\n\t\x01 d");
+    // \uXXXX escapes decode to UTF-8 on parse.
+    EXPECT_EQ(Json::parse("\"\\u0041\\u00e9\"").asString(),
+              "A\xc3\xa9");
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn)
+{
+    try {
+        Json::parse("{\"a\": 1,\n  \"b\": }");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+    }
+    EXPECT_THROW(Json::parse(""), FatalError);
+    EXPECT_THROW(Json::parse("{\"a\":1} junk"), FatalError);
+    EXPECT_THROW(Json::parse("[1, 2"), FatalError);
+}
+
+TEST(Json, TypeMismatchesAreFatal)
+{
+    const Json doc = Json::parse("{\"n\":1,\"s\":\"x\"}");
+    EXPECT_THROW(doc.at("n").asString(), FatalError);
+    EXPECT_THROW(doc.at("s").asNumber(), FatalError);
+    EXPECT_THROW(doc.at("missing"), FatalError);
+    EXPECT_EQ(doc.get("missing", Json(7)).asInt(), 7);
 }
 
 } // namespace

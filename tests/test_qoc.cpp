@@ -23,6 +23,7 @@
 #include "qoc/latency_model.h"
 #include "qoc/pulse_cache.h"
 #include "qoc/pulse_generator.h"
+#include "qoc/pulse_io.h"
 
 namespace paqoc {
 namespace {
@@ -406,6 +407,106 @@ TEST(PulseCache, LoadRejectsCorruptDatabase)
     PulseCache cache;
     EXPECT_THROW(cache.load(path), FatalError);
     EXPECT_THROW(cache.load("/nonexistent/dir/db.txt"), FatalError);
+}
+
+TEST(PulseCache, LoadNamesTheBadLineAndLoadsNothing)
+{
+    // Build a valid database, then truncate it mid-entry: the error
+    // must cite the offending line and the cache must stay empty (no
+    // partial load).
+    const std::string good = "/tmp/paqoc_test_pulse_db_good.txt";
+    const std::string bad = "/tmp/paqoc_test_pulse_db_torn.txt";
+    SpectralPulseGenerator gen;
+    gen.generate(Gate(Op::CX, {0, 1}).unitary(), 2);
+    gen.generate(Gate(Op::H, {0}).unitary(), 1);
+    gen.saveDatabase(good);
+
+    std::vector<std::string> lines;
+    {
+        std::ifstream in(good);
+        std::string line;
+        while (std::getline(in, line))
+            lines.push_back(line);
+    }
+    ASSERT_GT(lines.size(), 3u);
+    {
+        std::ofstream out(bad);
+        for (std::size_t i = 0; i + 1 < lines.size(); ++i)
+            out << lines[i] << '\n';
+        // Final line cut mid-row.
+        out << lines.back().substr(0, 3) << '\n';
+    }
+
+    PulseCache cache;
+    try {
+        cache.load(bad);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("line " + std::to_string(lines.size())),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find(bad), std::string::npos) << msg;
+    }
+    EXPECT_EQ(cache.size(), 0u); // all-or-nothing
+
+    // A garbage record type is also named.
+    const std::string junk = "/tmp/paqoc_test_pulse_db_junk.txt";
+    {
+        std::ofstream out(junk);
+        out << "paqoc-pulse-db 1\n";
+        out << "entree 2 1 2 3\n";
+    }
+    try {
+        cache.load(junk);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(PulseIo, JsonRoundTripsScheduleWithMetadata)
+{
+    // Unlike CSV, the JSON export carries fidelity and latency.
+    const DeviceModel device(2);
+    PulseSchedule schedule;
+    schedule.fidelity = 0.9987654321012345;
+    Rng rng(7);
+    for (int t = 0; t < 5; ++t) {
+        std::vector<double> slice;
+        for (std::size_t k = 0; k < device.numControls(); ++k)
+            slice.push_back(rng.uniform(-0.3, 0.3));
+        schedule.amplitudes.push_back(std::move(slice));
+    }
+
+    const std::string json = pulseToJson(schedule, device);
+    EXPECT_NE(json.find("\"paqoc-pulse-v1\""), std::string::npos);
+    const PulseSchedule back = pulseFromJson(json, device);
+    EXPECT_DOUBLE_EQ(back.fidelity, schedule.fidelity);
+    ASSERT_EQ(back.numSlices(), schedule.numSlices());
+    for (int t = 0; t < back.numSlices(); ++t)
+        for (std::size_t k = 0; k < device.numControls(); ++k)
+            EXPECT_EQ(
+                back.amplitudes[static_cast<std::size_t>(t)][k],
+                schedule.amplitudes[static_cast<std::size_t>(t)][k])
+                << "slice " << t << " channel " << k;
+    // Byte-stable: dumping the parsed schedule reproduces the bytes.
+    EXPECT_EQ(pulseToJson(back, device), json);
+}
+
+TEST(PulseIo, JsonRejectsWrongDeviceOrFormat)
+{
+    const DeviceModel one(1);
+    const DeviceModel two(2);
+    PulseSchedule schedule;
+    schedule.amplitudes = {{0.1, 0.2}}; // 2 channels: a 1-qubit pulse
+    const std::string json = pulseToJson(schedule, one);
+    EXPECT_THROW(pulseFromJson(json, two), FatalError);
+    EXPECT_THROW(pulseFromJson("{\"format\":\"nope\"}", one),
+                 FatalError);
+    EXPECT_THROW(pulseFromJson("not json at all", one), FatalError);
 }
 
 TEST(PulseGenerator, GrapeBackendProducesWorkingPulse)

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Tests for the pulse-compilation service: frame codec, session
+ * scheduler (backpressure, deadlines, drain), the PulseService brain
+ * (determinism under concurrency, warm start across instances), and
+ * the Unix-socket server end to end.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "circuit/gate.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "qoc/pulse_generator.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/scheduler.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace paqoc {
+namespace {
+
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = "/tmp/paqoc_test_service_" + name;
+    std::system(("rm -rf '" + dir + "'").c_str());
+    return dir;
+}
+
+TEST(Protocol, FramesRoundTripOverSocketpair)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    protocol::writeFrame(fds[0], "{\"op\":\"ping\"}");
+    protocol::writeFrame(fds[0], "");
+    std::string got;
+    ASSERT_TRUE(protocol::readFrame(fds[1], got));
+    EXPECT_EQ(got, "{\"op\":\"ping\"}");
+    ASSERT_TRUE(protocol::readFrame(fds[1], got));
+    EXPECT_EQ(got, "");
+    ::close(fds[0]);
+    EXPECT_FALSE(protocol::readFrame(fds[1], got)); // clean EOF
+    ::close(fds[1]);
+}
+
+TEST(Protocol, MidFrameEofIsAnError)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    // A length header promising 100 bytes, then EOF.
+    const unsigned char header[4] = {0, 0, 0, 100};
+    ASSERT_EQ(::write(fds[0], header, 4), 4);
+    ::close(fds[0]);
+    std::string got;
+    EXPECT_THROW(protocol::readFrame(fds[1], got), FatalError);
+    ::close(fds[1]);
+}
+
+TEST(Protocol, OversizeFrameIsRejected)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    const unsigned char header[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    ASSERT_EQ(::write(fds[0], header, 4), 4);
+    std::string got;
+    EXPECT_THROW(protocol::readFrame(fds[1], got), FatalError);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST(Protocol, MatrixRoundTripsThroughJson)
+{
+    const Matrix cx = Gate(Op::CX, {0, 1}).unitary();
+    const Matrix back =
+        protocol::matrixFromJson(protocol::matrixToJson(cx));
+    ASSERT_EQ(back.rows(), cx.rows());
+    for (std::size_t r = 0; r < cx.rows(); ++r)
+        for (std::size_t c = 0; c < cx.cols(); ++c)
+            EXPECT_EQ(back(r, c), cx(r, c));
+}
+
+TEST(Scheduler, RunsAdmittedJobs)
+{
+    SessionScheduler sched(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(sched.submit([&]() { ran.fetch_add(1); }),
+                  SessionScheduler::Admit::Accepted);
+    sched.drain();
+    EXPECT_EQ(ran.load(), 3);
+    const SessionScheduler::Stats st = sched.stats();
+    EXPECT_EQ(st.accepted, 3u);
+    EXPECT_EQ(st.completed, 3u);
+    EXPECT_EQ(st.inFlight, 0u);
+}
+
+TEST(Scheduler, RejectsBeyondQueueBound)
+{
+    SessionScheduler sched(2);
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    auto block = [&]() {
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&]() { return release; });
+    };
+    // Fill the admission window with blocked jobs...
+    ASSERT_EQ(sched.submit(block), SessionScheduler::Admit::Accepted);
+    ASSERT_EQ(sched.submit(block), SessionScheduler::Admit::Accepted);
+    // ...the next submit must bounce instead of queueing unboundedly.
+    EXPECT_EQ(sched.submit([]() {}),
+              SessionScheduler::Admit::Overloaded);
+    EXPECT_EQ(sched.stats().rejected, 1u);
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    sched.drain();
+    EXPECT_EQ(sched.stats().completed, 2u);
+}
+
+TEST(Scheduler, ExpiredDeadlineSkipsWork)
+{
+    SessionScheduler sched(4);
+    std::atomic<bool> worked{false};
+    std::atomic<bool> expired{false};
+    const auto past = SessionScheduler::Clock::now()
+        - std::chrono::milliseconds(5);
+    ASSERT_EQ(sched.submit([&]() { worked = true; }, past,
+                           [&]() { expired = true; }),
+              SessionScheduler::Admit::Accepted);
+    sched.drain();
+    EXPECT_FALSE(worked.load());
+    EXPECT_TRUE(expired.load());
+    EXPECT_EQ(sched.stats().expired, 1u);
+}
+
+TEST(Scheduler, DrainingRejectsNewWork)
+{
+    SessionScheduler sched(4);
+    sched.drain();
+    EXPECT_EQ(sched.submit([]() {}),
+              SessionScheduler::Admit::Draining);
+}
+
+TEST(PulseService, AnswersPingAndStats)
+{
+    PulseService service;
+    Json ping = Json::object();
+    ping.set("op", Json("ping"));
+    const Json pong = service.handle(ping);
+    EXPECT_TRUE(pong.at("ok").asBool());
+    EXPECT_EQ(pong.at("payload").asString(), "pong");
+
+    Json stats = Json::object();
+    stats.set("op", Json("stats"));
+    const Json reply = service.handle(stats);
+    EXPECT_TRUE(reply.at("ok").asBool());
+    EXPECT_FALSE(
+        reply.at("payload").at("libraries").at("spectral")
+            .at("attached").asBool());
+}
+
+TEST(PulseService, MalformedRequestsComeBackAsErrors)
+{
+    PulseService service;
+    const Json bad = service.handle(Json("not an object"));
+    EXPECT_FALSE(bad.at("ok").asBool());
+    EXPECT_FALSE(bad.at("error").asString().empty());
+
+    Json unknown = Json::object();
+    unknown.set("op", Json("transmogrify"));
+    EXPECT_FALSE(service.handle(unknown).at("ok").asBool());
+
+    Json both = Json::object();
+    both.set("op", Json("compile"));
+    EXPECT_FALSE(service.handle(both).at("ok").asBool());
+}
+
+Json
+compileRequest(const std::string &benchmark)
+{
+    Json r = Json::object();
+    r.set("op", Json("compile"));
+    r.set("benchmark", Json(benchmark));
+    r.set("emit_pulses", Json(true));
+    return r;
+}
+
+TEST(PulseService, ConcurrentCompilesMatchSerialPayloadsByteForByte)
+{
+    // The determinism acceptance criterion, transport-free: N
+    // concurrent handle() calls must produce byte-identical payloads
+    // to a serial run of the same jobs against a fresh service.
+    const std::vector<std::string> jobs = {"mod5d2", "rd32", "mod5d2",
+                                           "decod24", "rd32"};
+
+    PulseService serial_service;
+    std::vector<std::string> serial;
+    for (const std::string &b : jobs)
+        serial.push_back(
+            serial_service.handle(compileRequest(b)).at("payload")
+                .dump());
+
+    PulseService service;
+    std::vector<std::string> concurrent(jobs.size());
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        threads.emplace_back([&, i]() {
+            concurrent[i] =
+                service.handle(compileRequest(jobs[i])).at("payload")
+                    .dump();
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(concurrent[i], serial[i]) << "job " << i;
+    // Repeats of the same job are identical too, regardless of which
+    // finished first.
+    EXPECT_EQ(concurrent[0], concurrent[2]);
+    EXPECT_EQ(concurrent[1], concurrent[4]);
+}
+
+TEST(PulseService, WarmStartServesSecondLaunchFromLibrary)
+{
+    const std::string dir = scratchDir("warm");
+    ServiceOptions opts;
+    opts.libraryDir = dir;
+
+    Json first_stats;
+    {
+        PulseService service(opts);
+        const Json r = service.handle(compileRequest("rd32"));
+        ASSERT_TRUE(r.at("ok").asBool());
+        first_stats = r.at("stats");
+        service.persist();
+    }
+    EXPECT_LT(first_stats.at("cache_hits").asInt(),
+              first_stats.at("pulse_calls").asInt());
+
+    // Second launch over the same directory: every pulse call is a
+    // library hit.
+    PulseService warm(opts);
+    const Json r = warm.handle(compileRequest("rd32"));
+    ASSERT_TRUE(r.at("ok").asBool());
+    const Json &stats = r.at("stats");
+    EXPECT_GT(stats.at("pulse_calls").asInt(), 0);
+    EXPECT_EQ(stats.at("pulse_calls").asInt(),
+              stats.at("cache_hits").asInt());
+    // And the warm payload is reproducible across further launches.
+    PulseService warm2(opts);
+    EXPECT_EQ(warm2.handle(compileRequest("rd32")).at("payload")
+                  .dump(),
+              r.at("payload").dump());
+}
+
+TEST(PulseService, WarmStartSkipsGrapeEntirely)
+{
+    const std::string dir = scratchDir("warm_grape");
+    ServiceOptions opts;
+    opts.libraryDir = dir;
+    opts.grape.maxIterations = 150; // keep the cold run quick
+
+    const Matrix h = Gate(Op::H, {0}).unitary();
+    Json gen = Json::object();
+    gen.set("op", Json("generate"));
+    gen.set("backend", Json("grape"));
+    gen.set("unitary", protocol::matrixToJson(h));
+
+    std::string cold_payload;
+    {
+        PulseService service(opts);
+        const Json r = service.handle(gen);
+        ASSERT_TRUE(r.at("ok").asBool());
+        EXPECT_FALSE(r.at("stats").at("cache_hit").asBool());
+        EXPECT_GT(r.at("stats").at("cost_units").asNumber(), 0.0);
+        cold_payload = r.at("payload").dump();
+        service.persist();
+    }
+
+    PulseService warm(opts);
+    const Json r = warm.handle(gen);
+    ASSERT_TRUE(r.at("ok").asBool());
+    // Served from the library: no GRAPE run, zero cost, same pulse.
+    EXPECT_TRUE(r.at("stats").at("cache_hit").asBool());
+    EXPECT_DOUBLE_EQ(r.at("stats").at("cost_units").asNumber(), 0.0);
+    EXPECT_EQ(r.at("payload").dump(), cold_payload);
+}
+
+TEST(PulseService, GrapeConfigChangeInvalidatesLibrary)
+{
+    const std::string dir = scratchDir("fingerprint");
+    ServiceOptions opts;
+    opts.libraryDir = dir;
+    opts.grape.maxIterations = 150;
+
+    const Matrix h = Gate(Op::H, {0}).unitary();
+    Json gen = Json::object();
+    gen.set("op", Json("generate"));
+    gen.set("backend", Json("grape"));
+    gen.set("unitary", protocol::matrixToJson(h));
+    {
+        PulseService service(opts);
+        ASSERT_TRUE(service.handle(gen).at("ok").asBool());
+        service.persist();
+    }
+
+    // A different GRAPE configuration must not be served stale pulses.
+    opts.grape.maxIterations = 151;
+    PulseService other(opts);
+    const Json r = other.handle(gen);
+    ASSERT_TRUE(r.at("ok").asBool());
+    EXPECT_FALSE(r.at("stats").at("cache_hit").asBool());
+}
+
+/** One server on a scratch socket, torn down on scope exit. */
+struct ServerFixture
+{
+    PulseService service;
+    UnixSocketServer server;
+    std::thread runner;
+
+    explicit ServerFixture(const std::string &name,
+                           ServiceOptions sopts = {},
+                           std::size_t max_queue = 64)
+        : service(std::move(sopts)),
+          server(service,
+                 {"/tmp/paqoc_test_service_" + name + ".sock",
+                  max_queue, 0.0})
+    {
+        ::unlink(server.socketPath().c_str());
+        server.start();
+        runner = std::thread([this]() { server.run(); });
+    }
+
+    ~ServerFixture()
+    {
+        server.requestStop();
+        runner.join();
+    }
+};
+
+TEST(UnixSocketServer, ServesPingOverTheSocket)
+{
+    ServerFixture fx("ping");
+    ServiceClient client(fx.server.socketPath());
+    Json ping = Json::object();
+    ping.set("op", Json("ping"));
+    ping.set("id", Json(7));
+    const Json pong = client.request(ping);
+    EXPECT_TRUE(pong.at("ok").asBool());
+    EXPECT_EQ(pong.at("id").asInt(), 7);
+}
+
+TEST(UnixSocketServer, ParseErrorsAreAnswersNotDisconnects)
+{
+    ServerFixture fx("badjson");
+    // Hand-rolled client so we can send a malformed frame.
+    ServiceClient client(fx.server.socketPath());
+    Json bad = Json::object();
+    bad.set("op", Json("compile")); // missing qasm/benchmark
+    const Json reply = client.request(bad);
+    EXPECT_FALSE(reply.at("ok").asBool());
+    EXPECT_FALSE(reply.at("error").asString().empty());
+    // The connection survives for the next request.
+    Json ping = Json::object();
+    ping.set("op", Json("ping"));
+    EXPECT_TRUE(client.request(ping).at("ok").asBool());
+}
+
+TEST(UnixSocketServer, ConcurrentClientsGetSerialPayloads)
+{
+    // End-to-end determinism: N clients hammer one daemon with the
+    // same job; every payload must equal the serial in-process one.
+    PulseService reference;
+    const std::string expected =
+        reference.handle(compileRequest("mod5d2")).at("payload")
+            .dump();
+
+    ServerFixture fx("determinism");
+    constexpr int kClients = 4;
+    std::vector<std::string> payloads(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i)
+        clients.emplace_back([&, i]() {
+            ServiceClient client(fx.server.socketPath());
+            const Json r = client.request(compileRequest("mod5d2"));
+            if (r.at("ok").asBool())
+                payloads[static_cast<std::size_t>(i)] =
+                    r.at("payload").dump();
+        });
+    for (std::thread &t : clients)
+        t.join();
+    for (int i = 0; i < kClients; ++i)
+        EXPECT_EQ(payloads[static_cast<std::size_t>(i)], expected)
+            << "client " << i;
+}
+
+TEST(UnixSocketServer, ShutdownRequestStopsTheServer)
+{
+    PulseService service;
+    UnixSocketServer server(
+        service, {"/tmp/paqoc_test_service_shutdown.sock", 8, 0.0});
+    ::unlink(server.socketPath().c_str());
+    server.start();
+    std::thread runner([&]() { server.run(); });
+    {
+        ServiceClient client(server.socketPath());
+        Json req = Json::object();
+        req.set("op", Json("shutdown"));
+        const Json r = client.request(req);
+        EXPECT_TRUE(r.at("ok").asBool());
+    }
+    runner.join(); // returns because the shutdown request stopped it
+    EXPECT_TRUE(service.shutdownRequested());
+    // The socket path is cleaned up.
+    EXPECT_NE(::access(server.socketPath().c_str(), F_OK), 0);
+}
+
+TEST(UnixSocketServer, ExpiredDeadlineGetsFastError)
+{
+    ServerFixture fx("deadline");
+    ServiceClient client(fx.server.socketPath());
+    Json req = compileRequest("mod5d2");
+    req.set("deadline_ms", Json(0.000001));
+    const Json r = client.request(req);
+    EXPECT_FALSE(r.at("ok").asBool());
+    EXPECT_NE(r.at("error").asString().find("deadline"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace paqoc

@@ -20,6 +20,8 @@
  *     --commute                  commutativity-aware merging
  *     --emit-pulses DIR          write per-gate pulse CSVs into DIR
  *     --benchmark NAME           use a built-in benchmark as input
+ *     --connect SOCKET           compile via a running paqocd daemon
+ *     --json                     print the compile payload as JSON
  *     --quiet                    only the summary line
  */
 
@@ -32,9 +34,12 @@
 
 #include "circuit/qasm.h"
 #include "common/error.h"
+#include "common/json.h"
 #include "paqoc/compiler.h"
 #include "qoc/pulse_io.h"
 #include "qoc/pulse_generator.h"
+#include "service/client.h"
+#include "service/service.h"
 #include "transpile/decompose.h"
 #include "transpile/sabre.h"
 #include "workloads/benchmarks.h"
@@ -54,9 +59,11 @@ struct CliOptions
     bool grape = false;
     bool commute = false;
     bool quiet = false;
+    bool json = false;
     std::string pulseDb;
     std::string emitPulsesDir;
     std::string benchmark;
+    std::string connectSocket;
     std::string inputFile;
 };
 
@@ -77,6 +84,8 @@ usage(int code)
         "  --emit-pulses DIR       write pulse CSVs into DIR\n"
         "  --pulse-db FILE         load/save the offline pulse database\n"
         "  --benchmark NAME        built-in benchmark as input\n"
+        "  --connect SOCKET        compile via a running paqocd\n"
+        "  --json                  print the compile payload as JSON\n"
         "  --quiet                 only the summary line\n");
     std::exit(code);
 }
@@ -116,6 +125,10 @@ parseArgs(int argc, char **argv)
             opts.pulseDb = next();
         else if (arg == "--benchmark")
             opts.benchmark = next();
+        else if (arg == "--connect")
+            opts.connectSocket = next();
+        else if (arg == "--json")
+            opts.json = true;
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else if (arg == "-" || arg.empty() || arg[0] != '-')
@@ -138,12 +151,9 @@ parseTopology(const std::string &spec)
                           std::stoi(spec.substr(x + 1)));
 }
 
-Circuit
-loadInput(const CliOptions &opts, const Topology &topology)
+std::string
+readInputText(const CliOptions &opts)
 {
-    if (!opts.benchmark.empty())
-        return workloads::makePhysical(opts.benchmark, topology);
-
     std::string text;
     if (opts.inputFile.empty() || opts.inputFile == "-") {
         std::ostringstream buf;
@@ -156,18 +166,79 @@ loadInput(const CliOptions &opts, const Topology &topology)
         buf << in.rdbuf();
         text = buf.str();
     }
-    const Circuit logical = fromQasm(text);
+    return text;
+}
+
+Circuit
+loadInput(const CliOptions &opts, const Topology &topology)
+{
+    if (!opts.benchmark.empty())
+        return workloads::makePhysical(opts.benchmark, topology);
+
+    const Circuit logical = fromQasm(readInputText(opts));
     const Circuit cx_level = decomposeToCx(logical);
     const RoutingResult routed = sabreRoute(cx_level, topology);
     return decomposeToBasis(routed.physical);
 }
 
+CompileJob
+jobFromCli(const CliOptions &opts)
+{
+    CompileJob job;
+    if (!opts.benchmark.empty())
+        job.benchmark = opts.benchmark;
+    else
+        job.qasm = readInputText(opts);
+    job.method = opts.method;
+    job.m = opts.m;
+    job.depth = opts.depth;
+    job.maxn = opts.maxn;
+    job.topology = opts.topology;
+    job.commute = opts.commute;
+    job.emitPulses = opts.json;
+    job.backend = opts.grape ? "grape" : "spectral";
+    return job;
+}
+
+int
+runRemote(const CliOptions &opts)
+{
+    const CompileJob job = jobFromCli(opts);
+    ServiceClient client(opts.connectSocket);
+    const Json response = client.request(compileJobToJson(job));
+    PAQOC_FATAL_IF(!response.get("ok", Json(false)).asBool(),
+                   "daemon error: ",
+                   response.get("error", Json("(no message)"))
+                       .asString());
+    const Json &payload = response.at("payload");
+    if (opts.json) {
+        std::printf("%s\n", payload.dump().c_str());
+        return 0;
+    }
+    if (!opts.quiet) {
+        const Json &stats = response.at("stats");
+        std::printf("compiled remotely via %s\n",
+                    opts.connectSocket.c_str());
+        std::printf("pulse calls: %d (%d cache hits), %.2f s wall\n",
+                    stats.at("pulse_calls").asInt(),
+                    stats.at("cache_hits").asInt(),
+                    stats.at("wall_seconds").asNumber());
+    }
+    std::printf("latency: %.0f dt   esp: %.6f\n",
+                payload.at("latency_dt").asNumber(),
+                payload.at("esp").asNumber());
+    return 0;
+}
+
 int
 run(const CliOptions &opts)
 {
+    if (!opts.connectSocket.empty())
+        return runRemote(opts);
+
     const Topology topology = parseTopology(opts.topology);
     const Circuit physical = loadInput(opts, topology);
-    if (!opts.quiet) {
+    if (!opts.quiet && !opts.json) {
         std::printf("input: %zu physical gates on %d qubits\n",
                     physical.size(), physical.numQubits());
     }
@@ -185,7 +256,7 @@ run(const CliOptions &opts)
             grape.loadDatabase(opts.pulseDb);
         else
             spectral.loadDatabase(opts.pulseDb);
-        if (!opts.quiet)
+        if (!opts.quiet && !opts.json)
             std::printf("loaded pulse database '%s'\n",
                         opts.pulseDb.c_str());
     }
@@ -214,18 +285,30 @@ run(const CliOptions &opts)
         usage(2);
     }
 
-    if (!opts.quiet) {
-        std::printf("compiled: %d customized gates "
-                    "(%d merges, %d APA kinds / %d uses)\n",
-                    report.finalGateCount, report.merges,
-                    report.apaKinds, report.apaUses);
-        std::printf("pulse calls: %zu (%zu cache hits), cost %.3g "
-                    "units, %.2f s wall\n",
-                    report.pulseCalls, report.cacheHits,
-                    report.costUnits, report.wallSeconds);
+    if (opts.json) {
+        // Same deterministic payload the daemon serves: a client
+        // comparing `paqocc --json` output against a `--connect` run
+        // sees byte-identical documents.
+        CompileJob job;
+        job.emitPulses = true;
+        std::printf("%s\n",
+                    compilePayload(job, report, generator)
+                        .dump()
+                        .c_str());
+    } else {
+        if (!opts.quiet) {
+            std::printf("compiled: %d customized gates "
+                        "(%d merges, %d APA kinds / %d uses)\n",
+                        report.finalGateCount, report.merges,
+                        report.apaKinds, report.apaUses);
+            std::printf("pulse calls: %zu (%zu cache hits), cost %.3g "
+                        "units, %.2f s wall\n",
+                        report.pulseCalls, report.cacheHits,
+                        report.costUnits, report.wallSeconds);
+        }
+        std::printf("latency: %.0f dt   esp: %.6f\n", report.latency,
+                    report.esp);
     }
-    std::printf("latency: %.0f dt   esp: %.6f\n", report.latency,
-                report.esp);
 
     if (!opts.emitPulsesDir.empty()) {
         PAQOC_FATAL_IF(!opts.grape,
@@ -245,7 +328,7 @@ run(const CliOptions &opts)
             out << pulseToCsv(*r.schedule, device);
             ++emitted;
         }
-        if (!opts.quiet)
+        if (!opts.quiet && !opts.json)
             std::printf("wrote %d pulse CSVs to %s\n", emitted,
                         opts.emitPulsesDir.c_str());
     }
@@ -254,7 +337,7 @@ run(const CliOptions &opts)
             grape.saveDatabase(opts.pulseDb);
         else
             spectral.saveDatabase(opts.pulseDb);
-        if (!opts.quiet)
+        if (!opts.quiet && !opts.json)
             std::printf("saved pulse database '%s'\n",
                         opts.pulseDb.c_str());
     }

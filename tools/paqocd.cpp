@@ -1,0 +1,190 @@
+/**
+ * @file
+ * paqocd -- the PAQOC pulse-compilation daemon.
+ *
+ * Serves the length-prefixed JSON protocol (see service/protocol.h)
+ * over a Unix-domain socket. Pulses derived while serving are appended
+ * to a durable on-disk library, so a restarted daemon answers repeat
+ * requests from the library instead of re-running pulse generation.
+ *
+ * Usage:
+ *   paqocd [options]
+ *     --socket PATH        listening socket (default /tmp/paqocd.sock)
+ *     --library DIR        durable pulse-library directory (empty =
+ *                          in-memory only)
+ *     --threads N          worker threads (0 = all cores)
+ *     --max-queue N        admitted-but-unfinished request cap
+ *     --deadline-ms N      default per-request deadline (0 = none)
+ *     --sync-every-append  fsync the journal after every record
+ *
+ * SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the
+ * library is compacted into a snapshot, then the process exits.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace paqoc;
+
+struct DaemonOptions
+{
+    std::string socketPath = "/tmp/paqocd.sock";
+    std::string libraryDir;
+    int threads = 0;
+    std::size_t maxQueue = 64;
+    double deadlineMs = 0.0;
+    bool syncEveryAppend = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: paqocd [options]\n"
+        "  --socket PATH        listening socket "
+        "(default /tmp/paqocd.sock)\n"
+        "  --library DIR        durable pulse-library directory\n"
+        "  --threads N          worker threads (0 = all cores)\n"
+        "  --max-queue N        in-flight request cap (default 64)\n"
+        "  --deadline-ms N      default request deadline (0 = none)\n"
+        "  --sync-every-append  fsync the journal per record\n");
+    std::exit(code);
+}
+
+DaemonOptions
+parseArgs(int argc, char **argv)
+{
+    DaemonOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(2);
+            return argv[i];
+        };
+        if (arg == "--socket")
+            opts.socketPath = next();
+        else if (arg == "--library")
+            opts.libraryDir = next();
+        else if (arg == "--threads")
+            opts.threads = std::stoi(next());
+        else if (arg == "--max-queue")
+            opts.maxQueue =
+                static_cast<std::size_t>(std::stoul(next()));
+        else if (arg == "--deadline-ms")
+            opts.deadlineMs = std::stod(next());
+        else if (arg == "--sync-every-append")
+            opts.syncEveryAppend = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else
+            usage(2);
+    }
+    return opts;
+}
+
+// Signal handling: the handler only writes one byte to a self-pipe
+// (the only async-signal-safe option); a watcher thread turns that
+// byte into a requestStop() call.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void
+printLibrary(const char *name, const PulseLibrary *lib)
+{
+    if (lib == nullptr)
+        return;
+    const PulseLibraryStats st = lib->stats();
+    std::printf("paqocd: %s library: %zu pulses recovered "
+                "(%zu snapshot + %zu journal)",
+                name, lib->size(), st.snapshotRecords,
+                st.journalRecords);
+    if (st.corruptPayloads > 0 || st.droppedTailBytes > 0)
+        std::printf(", skipped %zu corrupt records / %zu torn bytes",
+                    st.corruptPayloads, st.droppedTailBytes);
+    std::printf("\n");
+    for (const std::string &w : st.warnings)
+        std::printf("paqocd: warning: %s\n", w.c_str());
+}
+
+int
+run(const DaemonOptions &opts)
+{
+    if (opts.threads > 0)
+        ThreadPool::setGlobalThreads(
+            static_cast<unsigned>(opts.threads));
+
+    ServiceOptions sopts;
+    sopts.libraryDir = opts.libraryDir;
+    sopts.syncEveryAppend = opts.syncEveryAppend;
+    PulseService service(sopts);
+    printLibrary("spectral", service.spectralLibrary());
+    printLibrary("grape", service.grapeLibrary());
+
+    ServerOptions server_opts;
+    server_opts.socketPath = opts.socketPath;
+    server_opts.maxQueue = opts.maxQueue;
+    server_opts.defaultDeadlineMs = opts.deadlineMs;
+    UnixSocketServer server(service, server_opts);
+
+    PAQOC_FATAL_IF(::pipe(g_signal_pipe) != 0,
+                   "paqocd: pipe(): ", std::strerror(errno));
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+    std::thread watcher([&server]() {
+        char byte = 0;
+        while (::read(g_signal_pipe[0], &byte, 1) < 0
+               && errno == EINTR) {
+        }
+        server.requestStop();
+    });
+
+    std::printf("paqocd: serving on %s (%u threads, queue %zu)\n",
+                opts.socketPath.c_str(), ThreadPool::global().size(),
+                opts.maxQueue);
+    std::fflush(stdout);
+    server.run();
+
+    // Wake the watcher if shutdown came from a "shutdown" request
+    // rather than a signal.
+    onSignal(0);
+    watcher.join();
+    ::close(g_signal_pipe[0]);
+    ::close(g_signal_pipe[1]);
+    std::printf("paqocd: shut down cleanly\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(parseArgs(argc, argv));
+    } catch (const paqoc::FatalError &e) {
+        std::fprintf(stderr, "paqocd: %s\n", e.what());
+        return 1;
+    }
+}
