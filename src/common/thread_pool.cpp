@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -35,7 +35,7 @@ void
 ThreadPool::post(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         queue_.push_back(std::move(task));
     }
     cv_.notify_one();
@@ -48,8 +48,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [&]() { return stop_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            while (!stop_ && queue_.empty())
+                cv_.wait(mutex_);
             if (queue_.empty())
                 return; // stop_ set and nothing left to run
             task = std::move(queue_.front());
@@ -81,10 +82,10 @@ globalSlot()
     return pool;
 }
 
-std::mutex &
+Mutex &
 globalMutex()
 {
-    static std::mutex m;
+    static Mutex m;
     return m;
 }
 
@@ -93,7 +94,7 @@ globalMutex()
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lock(globalMutex());
+    MutexLock lock(globalMutex());
     std::unique_ptr<ThreadPool> &slot = globalSlot();
     if (!slot)
         slot = std::make_unique<ThreadPool>(defaultThreads());
@@ -105,7 +106,7 @@ ThreadPool::setGlobalThreads(unsigned threads)
 {
     if (threads == 0)
         threads = defaultThreads();
-    std::lock_guard<std::mutex> lock(globalMutex());
+    MutexLock lock(globalMutex());
     std::unique_ptr<ThreadPool> &slot = globalSlot();
     if (slot && slot->size() == threads)
         return;

@@ -2,18 +2,18 @@
 #define PAQOC_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace paqoc {
 
@@ -85,10 +85,10 @@ class ThreadPool
             std::size_t n = 0;
             std::size_t grain = 1;
             std::function<void(std::size_t)> body;
-            std::mutex mutex;
-            std::condition_variable cv;
-            std::size_t done = 0; // indices finished, guarded by mutex
-            std::exception_ptr error;
+            Mutex mutex;
+            CondVar cv;
+            std::size_t done PAQOC_GUARDED_BY(mutex) = 0;
+            std::exception_ptr error PAQOC_GUARDED_BY(mutex);
         };
         auto st = std::make_shared<State>();
         st->n = n;
@@ -109,7 +109,7 @@ class ThreadPool
                 } catch (...) {
                     err = std::current_exception();
                 }
-                std::lock_guard<std::mutex> lock(s->mutex);
+                MutexLock lock(s->mutex);
                 if (err && !s->error)
                     s->error = err;
                 s->done += end - begin;
@@ -124,8 +124,9 @@ class ThreadPool
             post([st, drain]() { drain(st); });
         drain(st);
 
-        std::unique_lock<std::mutex> lock(st->mutex);
-        st->cv.wait(lock, [&]() { return st->done == st->n; });
+        MutexLock lock(st->mutex);
+        while (st->done != st->n)
+            st->cv.wait(st->mutex);
         if (st->error)
             std::rethrow_exception(st->error);
     }
@@ -149,10 +150,10 @@ class ThreadPool
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    Mutex mutex_;
+    CondVar cv_;
+    std::deque<std::function<void()>> queue_ PAQOC_GUARDED_BY(mutex_);
+    bool stop_ PAQOC_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace paqoc

@@ -1,0 +1,94 @@
+#ifndef PAQOC_LINT_LINT_H_
+#define PAQOC_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace paqoc {
+namespace lint {
+
+/**
+ * Project linter (DESIGN.md §8): token/regex-level enforcement of
+ * PAQOC's concurrency and determinism invariants, with no libclang
+ * dependency so it builds and runs anywhere the project does. The
+ * rules are deliberately shallow -- they look at lexed source text
+ * (comments and string literals stripped), not an AST -- and
+ * deliberately strict: a site that is safe for a non-obvious reason
+ * carries an explicit, greppable suppression comment:
+ *
+ *     // paqoc-lint: allow(rule-name[, rule-name...]) why it is safe
+ *
+ * which silences the named rules on that line and the next one (so a
+ * justification may sit on its own line above the flagged code).
+ *
+ * Rule catalogue (ids are stable; tests and CI match on them):
+ *   unseeded-random      rand()/srand()/std::random_device/std::mt19937
+ *                        anywhere outside src/common/rng.h: all
+ *                        randomness must flow through the seeded Rng.
+ *   unordered-iteration  range-for over a container declared
+ *                        unordered_map/unordered_set in a file that
+ *                        produces serialized output (Json, journal,
+ *                        protocol frames, file streams): hash order
+ *                        must never reach bytes a client can see.
+ *   naked-mutex          std::mutex / std::condition_variable /
+ *                        std::lock_guard / std::unique_lock /
+ *                        std::scoped_lock outside the annotated
+ *                        wrappers in src/common/thread_annotations.h:
+ *                        unwrapped primitives are invisible to clang's
+ *                        -Wthread-safety analysis.
+ *   printf-output        printf-family calls (printf, fprintf, puts,
+ *                        fputs, putchar, sprintf -- snprintf into a
+ *                        local buffer is fine) in library code under
+ *                        src/: libraries return values, they do not
+ *                        write to the process's streams.
+ *   header-guard         every .h must carry the canonical include
+ *                        guard PAQOC_<PATH>_H_ (matching #ifndef /
+ *                        #define pair) or #pragma once.
+ *   float-numerics       the `float` type in QOC numerics
+ *                        (src/linalg, src/qoc, src/paqoc, src/sim):
+ *                        pulse math is double-only; mixed precision
+ *                        silently changes GRAPE convergence.
+ */
+struct Finding
+{
+    std::string rule;    ///< stable rule id (see catalogue above)
+    std::string file;    ///< path as given to the linter
+    int line = 0;        ///< 1-based
+    std::string message; ///< human-readable explanation
+};
+
+/** Number of distinct rules the linter implements. */
+int ruleCount();
+
+/** The stable rule ids, sorted (for --list-rules and tests). */
+std::vector<std::string> ruleNames();
+
+/**
+ * Lint one in-memory file. `path` decides which rules apply (library
+ * vs. tool code, exempt files) and must use '/' separators relative
+ * to the repository root, e.g. "src/qoc/pulse_cache.cpp".
+ */
+std::vector<Finding> lintFile(const std::string &path,
+                              const std::string &content);
+
+/**
+ * Lint every .cpp/.h under `roots` (relative to `base`), in sorted
+ * path order so reports are deterministic. Unreadable files raise
+ * FatalError.
+ */
+std::vector<Finding> lintTree(const std::string &base,
+                              const std::vector<std::string> &roots);
+
+/**
+ * Machine-readable report: {"ok": bool, "checked_rules": N,
+ * "findings": [{rule, file, line, message}...]} with findings in
+ * (file, line, rule) order.
+ */
+Json findingsToJson(const std::vector<Finding> &findings);
+
+} // namespace lint
+} // namespace paqoc
+
+#endif // PAQOC_LINT_LINT_H_

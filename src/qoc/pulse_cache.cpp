@@ -96,7 +96,7 @@ PulseCache::Acquired
 PulseCache::acquire(const Matrix &unitary, int num_qubits)
 {
     const std::string key = canonicalKey(unitary, num_qubits);
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
         const auto hit = entries_.find(key);
         if (hit != entries_.end()) {
@@ -109,7 +109,8 @@ PulseCache::acquire(const Matrix &unitary, int num_qubits)
             return {FlightRole::Leader, std::nullopt};
         }
         const std::shared_ptr<Flight> flight = it->second;
-        flight->cv.wait(lock, [&]() { return flight->done; });
+        while (!flight->done)
+            flight->cv.wait(mutex_);
         if (!flight->aborted) {
             hits_.fetch_add(1, std::memory_order_relaxed);
             return {FlightRole::Joined, flight->result};
@@ -124,8 +125,9 @@ PulseCache::completeFlight(const Matrix &unitary, int num_qubits,
 {
     const std::string key = canonicalKey(unitary, num_qubits);
     std::optional<CachedPulse> journaled;
+    PulseStoreSink *sink = nullptr;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = flights_.find(key);
         PAQOC_ASSERT(it != flights_.end(),
                      "completeFlight without a matching acquire");
@@ -134,20 +136,22 @@ PulseCache::completeFlight(const Matrix &unitary, int num_qubits,
         insertLocked(key, unitary, num_qubits, std::move(entry));
         flight->done = true;
         flight->result = entries_.at(key);
-        if (sink_ != nullptr)
+        if (sink_ != nullptr) {
             journaled = entries_.at(key);
+            sink = sink_;
+        }
         flight->cv.notify_all();
     }
     // Forward outside the lock: the sink may do blocking file I/O.
     if (journaled.has_value())
-        sink_->onInsert(key, *journaled);
+        sink->onInsert(key, *journaled);
 }
 
 void
 PulseCache::abortFlight(const Matrix &unitary, int num_qubits)
 {
     const std::string key = canonicalKey(unitary, num_qubits);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = flights_.find(key);
     if (it == flights_.end())
         return;
@@ -162,7 +166,7 @@ const CachedPulse *
 PulseCache::lookup(const Matrix &unitary, int num_qubits) const
 {
     const std::string key = canonicalKey(unitary, num_qubits);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it == entries_.end())
         return nullptr;
@@ -174,7 +178,7 @@ std::optional<CachedPulse>
 PulseCache::find(const Matrix &unitary, int num_qubits) const
 {
     const std::string key = canonicalKey(unitary, num_qubits);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it == entries_.end())
         return std::nullopt;
@@ -188,20 +192,23 @@ PulseCache::insert(const Matrix &unitary, int num_qubits,
 {
     const std::string key = canonicalKey(unitary, num_qubits);
     std::optional<CachedPulse> journaled;
+    PulseStoreSink *sink = nullptr;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         insertLocked(key, unitary, num_qubits, std::move(entry));
-        if (sink_ != nullptr)
+        if (sink_ != nullptr) {
             journaled = entries_.at(key);
+            sink = sink_;
+        }
     }
     if (journaled.has_value())
-        sink_->onInsert(key, *journaled);
+        sink->onInsert(key, *journaled);
 }
 
 void
 PulseCache::attachStore(PulseStoreSink *sink)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     sink_ = sink;
 }
 
@@ -219,7 +226,7 @@ PulseCache::insertLocked(const std::string &key, const Matrix &unitary,
 std::size_t
 PulseCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return entries_.size();
 }
 
@@ -230,8 +237,21 @@ PulseCache::save(const std::string &path) const
     PAQOC_FATAL_IF(!out, "cannot write pulse database '", path, "'");
     out << "paqoc-pulse-db 1\n";
     out.precision(17);
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (const auto &[key, e] : entries_) {
+    MutexLock lock(mutex_);
+    // Emit in canonical-key order so the file is byte-stable across
+    // STL hash implementations and insert histories.
+    std::vector<std::pair<const std::string *, const CachedPulse *>>
+        ordered;
+    ordered.reserve(entries_.size());
+    // paqoc-lint: allow(unordered-iteration) order folded by sort below
+    for (const auto &[key, e] : entries_)
+        ordered.emplace_back(&key, &e);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const auto &a, const auto &b) {
+                  return *a.first < *b.first;
+              });
+    for (const auto &[key_ptr, entry_ptr] : ordered) {
+        const CachedPulse &e = *entry_ptr;
         const std::size_t dim = e.unitary.rows();
         out << "entry " << e.numQubits << ' ' << e.latency << ' '
             << e.error << ' ' << dim << ' '
@@ -339,16 +359,24 @@ const CachedPulse *
 PulseCache::nearest(const Matrix &unitary, int num_qubits,
                     double max_distance) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const CachedPulse *best = nullptr;
     double best_dist = max_distance;
+    // Tie-break on the canonical key (as nearestBefore does) so the
+    // selected entry never depends on hash-map iteration order.
+    const std::string *best_key = nullptr;
+    // paqoc-lint: allow(unordered-iteration) order folded by tie-break
     for (const auto &[key, entry] : entries_) {
         if (entry.numQubits != num_qubits)
             continue;
         const double d = phaseInvariantDistance(entry.unitary, unitary);
-        if (d <= best_dist) {
+        if (d > max_distance)
+            continue;
+        if (best == nullptr || d < best_dist
+            || (d == best_dist && key < *best_key)) {
             best_dist = d;
             best = &entry;
+            best_key = &key;
         }
     }
     return best;
@@ -359,13 +387,14 @@ PulseCache::nearestBefore(const Matrix &unitary, int num_qubits,
                           double max_distance,
                           std::uint64_t generation_bound) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const CachedPulse *best = nullptr;
     double best_dist = 0.0;
     // Tie-break on the canonical key so equal-distance entries resolve
     // identically regardless of hash-map iteration order or of the
     // (thread-dependent) order concurrent inserts landed in.
     const std::string *best_key = nullptr;
+    // paqoc-lint: allow(unordered-iteration) order folded by tie-break
     for (const auto &[key, entry] : entries_) {
         if (entry.numQubits != num_qubits
             || entry.generation >= generation_bound)

@@ -2,15 +2,14 @@
 #define PAQOC_QOC_PULSE_CACHE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "linalg/matrix.h"
 #include "qoc/pulse.h"
 
@@ -185,24 +184,34 @@ class PulseCache
     static std::string canonicalKey(const Matrix &unitary, int num_qubits);
 
   private:
-    /** One in-flight computation awaited by joiners. */
+    /**
+     * One in-flight computation awaited by joiners. All fields are
+     * protected by the owning cache's mutex_ (a nested struct cannot
+     * name the outer instance's capability in an annotation, so the
+     * contract is enforced by the four sites that touch a Flight, each
+     * of which holds mutex_).
+     */
     struct Flight
     {
         bool done = false;
         bool aborted = false;
         std::optional<CachedPulse> result;
-        std::condition_variable cv;
+        CondVar cv;
     };
 
     void insertLocked(const std::string &key, const Matrix &unitary,
-                      int num_qubits, CachedPulse &&entry);
+                      int num_qubits, CachedPulse &&entry)
+        PAQOC_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, CachedPulse> entries_;
-    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, CachedPulse> entries_
+        PAQOC_GUARDED_BY(mutex_);
+    std::unordered_map<std::string, std::shared_ptr<Flight>> flights_
+        PAQOC_GUARDED_BY(mutex_);
     mutable std::atomic<std::size_t> hits_{0};
     std::atomic<std::uint64_t> generation_{0};
-    PulseStoreSink *sink_ = nullptr; // set in single-threaded setup
+    /** Set in single-threaded setup; read under mutex_. */
+    PulseStoreSink *sink_ PAQOC_GUARDED_BY(mutex_) = nullptr;
 };
 
 } // namespace paqoc

@@ -10,7 +10,7 @@ SessionScheduler::submit(std::function<void()> work,
                          std::function<void()> on_expired)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (draining_) {
             ++stats_.rejected;
             return Admit::Draining;
@@ -37,7 +37,7 @@ SessionScheduler::submit(std::function<void()> work,
             // Handlers report their own errors over the wire; an
             // escaped exception must not take the worker down.
         }
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         --stats_.inFlight;
         ++(expired ? stats_.expired : stats_.completed);
         if (stats_.inFlight == 0)
@@ -50,22 +50,23 @@ SessionScheduler::submit(std::function<void()> work,
 void
 SessionScheduler::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     draining_ = true;
-    idle_cv_.wait(lock, [this]() { return stats_.inFlight == 0; });
+    while (stats_.inFlight != 0)
+        idle_cv_.wait(mutex_);
 }
 
 bool
 SessionScheduler::draining() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return draining_;
 }
 
 SessionScheduler::Stats
 SessionScheduler::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 

@@ -2,11 +2,10 @@
 #define PAQOC_SERVICE_SCHEDULER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace paqoc {
@@ -74,10 +73,10 @@ class SessionScheduler
 
     std::size_t max_queue_;
     ThreadPool *pool_;
-    mutable std::mutex mutex_;
-    std::condition_variable idle_cv_;
-    bool draining_ = false;
-    Stats stats_;
+    mutable Mutex mutex_;
+    CondVar idle_cv_;
+    bool draining_ PAQOC_GUARDED_BY(mutex_) = false;
+    Stats stats_ PAQOC_GUARDED_BY(mutex_);
 };
 
 } // namespace paqoc

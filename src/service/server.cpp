@@ -17,13 +17,13 @@ namespace paqoc {
 namespace {
 
 void
-writeResponse(const std::shared_ptr<std::mutex> &write_mutex, int fd,
+writeResponse(const std::shared_ptr<Mutex> &write_mutex, int fd,
               Json response, const Json &id)
 {
     if (!id.isNull())
         response.set("id", id);
     const std::string text = response.dump();
-    std::lock_guard<std::mutex> lock(*write_mutex);
+    MutexLock lock(*write_mutex);
     protocol::writeFrame(fd, text);
 }
 
@@ -84,7 +84,7 @@ UnixSocketServer::acceptLoop()
         auto conn = std::make_shared<Connection>();
         conn->fd = fd;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (stopping_.load(std::memory_order_relaxed)) {
                 ::close(fd);
                 return;
@@ -116,8 +116,7 @@ UnixSocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
 {
     // The write mutex is shared with scheduled jobs that may outlive
     // this frame-reading loop's iteration.
-    auto write_mutex =
-        std::shared_ptr<std::mutex>(conn, &conn->writeMutex);
+    auto write_mutex = std::shared_ptr<Mutex>(conn, &conn->writeMutex);
     const int fd = conn->fd;
 
     Json request;
@@ -193,16 +192,18 @@ void
 UnixSocketServer::run()
 {
     start();
-    std::unique_lock<std::mutex> lock(mutex_);
-    stop_cv_.wait(lock, [this]() { return stop_requested_; });
-    lock.unlock();
+    {
+        MutexLock lock(mutex_);
+        while (!stop_requested_)
+            stop_cv_.wait(mutex_);
+    }
     stop();
 }
 
 void
 UnixSocketServer::requestStop()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_requested_ = true;
     stop_cv_.notify_all();
 }
@@ -211,7 +212,7 @@ void
 UnixSocketServer::stop()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (stopped_)
             return;
         stopped_ = true;
@@ -232,7 +233,7 @@ UnixSocketServer::stop()
     // ...then sever the connections so reader threads wind down.
     std::vector<std::shared_ptr<Connection>> conns;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         conns.swap(connections_);
     }
     for (const auto &conn : conns)

@@ -2,13 +2,12 @@
 #define PAQOC_SERVICE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "service/scheduler.h"
 #include "service/service.h"
 
@@ -72,7 +71,8 @@ class UnixSocketServer
     struct Connection
     {
         int fd = -1;
-        std::mutex writeMutex;
+        /** Serializes whole response frames onto the socket. */
+        Mutex writeMutex;
         std::thread thread;
     };
 
@@ -87,11 +87,12 @@ class UnixSocketServer
     int listen_fd_ = -1;
     std::thread accept_thread_;
     std::atomic<bool> stopping_{false};
-    std::mutex mutex_;
-    std::condition_variable stop_cv_;
-    bool stop_requested_ = false;
-    bool stopped_ = false;
-    std::vector<std::shared_ptr<Connection>> connections_;
+    Mutex mutex_;
+    CondVar stop_cv_;
+    bool stop_requested_ PAQOC_GUARDED_BY(mutex_) = false;
+    bool stopped_ PAQOC_GUARDED_BY(mutex_) = false;
+    std::vector<std::shared_ptr<Connection>> connections_
+        PAQOC_GUARDED_BY(mutex_);
 };
 
 } // namespace paqoc

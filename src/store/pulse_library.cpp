@@ -264,7 +264,7 @@ PulseLibrary::applyRecord(const std::string &payload,
 void
 PulseLibrary::warm(PulseCache &cache) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (const auto &[key, entry] : entries_) {
         CachedPulse copy = entry;
         cache.insert(entry.unitary, entry.numQubits, std::move(copy));
@@ -274,7 +274,7 @@ PulseLibrary::warm(PulseCache &cache) const
 std::vector<CachedPulse>
 PulseLibrary::entriesSnapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<CachedPulse> out;
     out.reserve(entries_.size());
     for (const auto &[key, entry] : entries_)
@@ -285,7 +285,7 @@ PulseLibrary::entriesSnapshot() const
 void
 PulseLibrary::onInsert(const std::string &key, const CachedPulse &entry)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it != entries_.end() && it->second.latency == entry.latency
         && it->second.error == entry.error
@@ -304,7 +304,7 @@ PulseLibrary::onInsert(const std::string &key, const CachedPulse &entry)
 void
 PulseLibrary::compact()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const std::string tmp = snapshotPath() + ".tmp";
     ::unlink(tmp.c_str());
     {
@@ -334,21 +334,21 @@ PulseLibrary::compact()
 void
 PulseLibrary::sync()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     journal_.sync();
 }
 
 std::size_t
 PulseLibrary::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return entries_.size();
 }
 
 PulseLibraryStats
 PulseLibrary::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 

@@ -3,12 +3,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "qoc/grape.h"
 #include "qoc/pulse_cache.h"
 #include "store/journal.h"
@@ -126,19 +126,25 @@ class PulseLibrary : public PulseStoreSink
     static std::string grapeFingerprint(const GrapeOptions &options);
 
   private:
-    void applyRecord(const std::string &payload, std::size_t &counter);
+    /**
+     * Recovery-time only (runs in the constructor, before the object
+     * is shared), hence exempt from the lock analysis.
+     */
+    void applyRecord(const std::string &payload, std::size_t &counter)
+        PAQOC_NO_THREAD_SAFETY_ANALYSIS;
 
     std::string snapshotPath() const;
     std::string journalPath() const;
 
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     std::string directory_;
     std::string fingerprint_;
     PulseLibraryOptions options_;
     /** Ordered by canonical key so snapshots are deterministic. */
-    std::map<std::string, CachedPulse> entries_;
-    JournalWriter journal_;
-    PulseLibraryStats stats_;
+    std::map<std::string, CachedPulse> entries_
+        PAQOC_GUARDED_BY(mutex_);
+    JournalWriter journal_ PAQOC_GUARDED_BY(mutex_);
+    PulseLibraryStats stats_ PAQOC_GUARDED_BY(mutex_);
 };
 
 /** Binary record payload codec (exposed for tests and tooling). */

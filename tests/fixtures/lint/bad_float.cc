@@ -1,0 +1,13 @@
+// Fixture: float-numerics (linted under a src/qoc/... path).
+
+double
+mixed(double amplitude)
+{
+    float truncated = static_cast<float>(amplitude); // flagged
+    // The word float in a comment must not trip the rule.
+    const char *msg = "float in a string is fine too";
+    (void)msg;
+    // paqoc-lint: allow(float-numerics) fixture exercises suppression
+    float allowed = 0.0f; // suppressed
+    return truncated + allowed;
+}

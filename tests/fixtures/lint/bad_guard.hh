@@ -1,0 +1,11 @@
+#ifndef SOME_RANDOM_GUARD_H
+#define SOME_RANDOM_GUARD_H
+
+// Fixture: header-guard mismatch (linted under a src/... .h path).
+inline int
+answer()
+{
+    return 42;
+}
+
+#endif // SOME_RANDOM_GUARD_H

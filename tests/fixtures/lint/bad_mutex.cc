@@ -1,0 +1,13 @@
+// Fixture: naked-mutex positives and a suppressed declaration.
+#include <mutex>
+
+void
+locked()
+{
+    std::mutex m;                      // flagged
+    std::lock_guard<std::mutex> g(m);  // flagged
+    // A comment mentioning std::mutex must not trip the rule.
+    // paqoc-lint: allow(naked-mutex) fixture exercises suppression
+    std::mutex allowed; // suppressed
+    (void)allowed;
+}

@@ -1,0 +1,13 @@
+// Fixture: printf-output in library code (lint path says src/...).
+#include <cstdio>
+
+void
+noisy(double x)
+{
+    std::printf("x = %f\n", x);          // flagged
+    fprintf(stderr, "still %f\n", x);    // flagged
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%f", x); // snprintf is fine
+    // paqoc-lint: allow(printf-output) fixture exercises suppression
+    std::printf("%s\n", buf); // suppressed
+}

@@ -1,0 +1,18 @@
+// Fixture: unseeded-random positives and a suppressed use.
+#include <cstdlib>
+#include <random>
+
+int
+unseeded()
+{
+    std::random_device rd; // line 8: flagged
+    int a = rand();        // line 9: flagged
+    std::mt19937 gen(42);  // line 10: flagged
+    // "rand()" in a string literal and comments must not trip:
+    const char *s = "calls rand() here";
+    (void)s;
+    // paqoc-lint: allow(unseeded-random) test fixture exercises rule
+    int b = rand(); // suppressed by the line above
+    int operand(int); // word-boundary check: no finding
+    return a + b + static_cast<int>(gen());
+}

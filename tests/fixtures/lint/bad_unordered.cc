@@ -1,0 +1,32 @@
+// Fixture: unordered-iteration (file "produces output": names Json).
+#include <map>
+#include <string>
+#include <unordered_map>
+
+struct Json; // output marker for the rule's file heuristic
+
+void
+emit(const std::unordered_map<std::string, int> &byName)
+{
+    std::unordered_map<int, int> counts;
+    std::map<std::string, int> sorted;
+    for (const auto &[k, v] : counts) { // flagged
+        (void)k;
+        (void)v;
+    }
+    for (const auto &[k, v] : byName) { // flagged (parameter decl)
+        (void)k;
+        (void)v;
+    }
+    for (const auto &[k, v] : sorted) { // ordered map: no finding
+        (void)k;
+        (void)v;
+    }
+    // paqoc-lint: allow(unordered-iteration) fixture: order is folded
+    for (const auto &[k, v] : counts) { // suppressed
+        (void)k;
+        (void)v;
+    }
+    for (int i = 0; i < 3; ++i) // classic for: no finding
+        (void)i;
+}

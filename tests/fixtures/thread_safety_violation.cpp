@@ -1,0 +1,52 @@
+/**
+ * Negative compile-time fixture for the thread-safety annotations.
+ *
+ * Built only with -DPAQOC_CHECK_THREAD_SAFETY_FIXTURE=ON. Under clang
+ * with -Wthread-safety -Werror this translation unit MUST fail to
+ * compile: it reads and writes a PAQOC_GUARDED_BY member without
+ * holding the guarding mutex and calls a PAQOC_REQUIRES method
+ * lock-free. CI enables the option and asserts the build breaks,
+ * proving the annotation macros are active rather than decorative.
+ * (GCC expands the macros to nothing and compiles this cleanly, which
+ * is why the check only runs in the clang CI lane.)
+ */
+#include "common/thread_annotations.h"
+
+namespace paqoc_fixture {
+
+class Counter
+{
+  public:
+    void bumpLocked() PAQOC_REQUIRES(mutex_) { ++value_; }
+
+    void bumpProperly()
+    {
+        paqoc::MutexLock lock(mutex_);
+        ++value_;
+    }
+
+    int unguardedRead() const
+    {
+        return value_; // clang: reading value_ requires holding mutex_
+    }
+
+    void unguardedCall()
+    {
+        bumpLocked(); // clang: calling bumpLocked requires mutex_
+    }
+
+  private:
+    mutable paqoc::Mutex mutex_;
+    int value_ PAQOC_GUARDED_BY(mutex_) = 0;
+};
+
+int
+driver()
+{
+    Counter c;
+    c.bumpProperly();
+    c.unguardedCall();
+    return c.unguardedRead();
+}
+
+} // namespace paqoc_fixture

@@ -8,9 +8,7 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +21,7 @@
 #include "circuit/gate.h"
 #include "common/error.h"
 #include "common/json.h"
+#include "common/thread_annotations.h"
 #include "qoc/pulse_generator.h"
 #include "service/client.h"
 #include "service/protocol.h"
@@ -111,12 +110,13 @@ TEST(Scheduler, RunsAdmittedJobs)
 TEST(Scheduler, RejectsBeyondQueueBound)
 {
     SessionScheduler sched(2);
-    std::mutex m;
-    std::condition_variable cv;
+    Mutex m;
+    CondVar cv;
     bool release = false;
     auto block = [&]() {
-        std::unique_lock<std::mutex> lock(m);
-        cv.wait(lock, [&]() { return release; });
+        MutexLock lock(m);
+        while (!release)
+            cv.wait(m);
     };
     // Fill the admission window with blocked jobs...
     ASSERT_EQ(sched.submit(block), SessionScheduler::Admit::Accepted);
@@ -126,7 +126,7 @@ TEST(Scheduler, RejectsBeyondQueueBound)
               SessionScheduler::Admit::Overloaded);
     EXPECT_EQ(sched.stats().rejected, 1u);
     {
-        std::lock_guard<std::mutex> lock(m);
+        MutexLock lock(m);
         release = true;
     }
     cv.notify_all();

@@ -7,9 +7,13 @@
 #      a final newline.
 #   2. clang-format --dry-run against .clang-format, when the tool is
 #      installed. Containers without clang-format skip this layer with
-#      a note rather than failing, so the target is usable everywhere.
+#      a note; set PAQOC_REQUIRE_CLANG_FORMAT=1 (CI does) to make a
+#      missing tool a hard failure instead.
 #
-# Exit status: 0 when every layer that ran passed.
+# On failure the script prints one line per offending file and a final
+# summary listing every file that needs attention, and exits 1 -- the
+# same contract whether the failure came from the hygiene layer or
+# from clang-format.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,41 +27,62 @@ else
 fi
 [ -n "$SOURCES" ] || { echo "check_format: no sources found" >&2; exit 1; }
 
-status=0
+BAD_FILES=""
+
+mark_bad() {
+    case " $BAD_FILES " in
+        *" $1 "*) ;;
+        *) BAD_FILES="$BAD_FILES $1" ;;
+    esac
+}
+
 tab=$(printf '\t')
 cr=$(printf '\r')
 
 for f in $SOURCES; do
-    if grep -n ' $' "$f" /dev/null; then
+    if grep -qn ' $' "$f"; then
         echo "check_format: trailing whitespace in $f" >&2
-        status=1
+        mark_bad "$f"
     fi
-    if grep -n "$tab" "$f" /dev/null; then
+    if grep -qn "$tab" "$f"; then
         echo "check_format: hard tab in $f" >&2
-        status=1
+        mark_bad "$f"
     fi
     if grep -qn "$cr" "$f"; then
         echo "check_format: CRLF line ending in $f" >&2
-        status=1
+        mark_bad "$f"
     fi
     if [ -s "$f" ] && [ "$(tail -c 1 "$f")" != "" ]; then
         echo "check_format: missing final newline in $f" >&2
-        status=1
+        mark_bad "$f"
     fi
 done
 
 if command -v clang-format >/dev/null 2>&1; then
-    # shellcheck disable=SC2086
-    if ! clang-format --dry-run -Werror $SOURCES; then
-        echo "check_format: clang-format found violations" >&2
-        status=1
-    fi
+    for f in $SOURCES; do
+        if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+            echo "check_format: clang-format violations in $f" >&2
+            mark_bad "$f"
+        fi
+    done
+elif [ "${PAQOC_REQUIRE_CLANG_FORMAT:-0}" != "0" ]; then
+    echo "check_format: clang-format required" \
+        "(PAQOC_REQUIRE_CLANG_FORMAT set) but not installed" >&2
+    exit 1
 else
     echo "check_format: clang-format not installed;" \
         "ran hygiene checks only" >&2
 fi
 
-if [ "$status" -eq 0 ]; then
-    echo "check_format: OK"
+if [ -n "$BAD_FILES" ]; then
+    count=0
+    for f in $BAD_FILES; do count=$((count + 1)); done
+    echo "check_format: $count file(s) need attention:" >&2
+    for f in $BAD_FILES; do
+        echo "  $f" >&2
+    done
+    exit 1
 fi
-exit $status
+
+echo "check_format: OK"
+exit 0

@@ -1,0 +1,93 @@
+/**
+ * paqoc_lint -- project linter for PAQOC's concurrency and
+ * determinism invariants (DESIGN.md §8). Token/regex level, no
+ * libclang. Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+ *
+ *   paqoc_lint [--root DIR] [--json FILE] [--list-rules] [ROOTS...]
+ *
+ * ROOTS default to "src tools tests bench" under --root (default: the
+ * current directory). --json additionally writes the machine-readable
+ * findings report ("-" for stdout).
+ */
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "lint/lint.h"
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string json_path;
+    std::vector<std::string> roots;
+    bool list_rules = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg == "--list-rules") {
+            list_rules = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: paqoc_lint [--root DIR] [--json FILE] "
+                        "[--list-rules] [ROOTS...]\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "paqoc_lint: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            roots.push_back(arg);
+        }
+    }
+    if (list_rules) {
+        for (const std::string &r : paqoc::lint::ruleNames())
+            std::printf("%s\n", r.c_str());
+        return 0;
+    }
+    if (roots.empty())
+        roots = {"src", "tools", "tests", "bench"};
+
+    std::vector<paqoc::lint::Finding> findings;
+    try {
+        findings = paqoc::lint::lintTree(root, roots);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "paqoc_lint: %s\n", e.what());
+        return 2;
+    }
+
+    for (const auto &f : findings)
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(),
+                     f.line, f.rule.c_str(), f.message.c_str());
+
+    if (!json_path.empty()) {
+        const std::string report =
+            paqoc::lint::findingsToJson(findings).dump();
+        if (json_path == "-") {
+            std::printf("%s\n", report.c_str());
+        } else {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::fprintf(stderr,
+                             "paqoc_lint: cannot write '%s'\n",
+                             json_path.c_str());
+                return 2;
+            }
+            out << report << '\n';
+        }
+    }
+
+    if (findings.empty()) {
+        std::fprintf(stderr, "paqoc_lint: OK (%d rules)\n",
+                     paqoc::lint::ruleCount());
+        return 0;
+    }
+    std::fprintf(stderr, "paqoc_lint: %zu finding(s)\n",
+                 findings.size());
+    return 1;
+}

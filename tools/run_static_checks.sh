@@ -1,0 +1,100 @@
+#!/bin/sh
+# Umbrella static-check driver (cmake target: static-checks; CI job:
+# static-checks). Runs every static layer the environment supports and
+# fails if any layer fails:
+#
+#   1. tools/check_format.sh  -- hygiene + clang-format (see that
+#      script for the PAQOC_REQUIRE_CLANG_FORMAT contract).
+#   2. paqoc_lint             -- the project linter over src/ tools/
+#      tests/ bench/. The binary is taken from --lint-binary, else
+#      from PAQOC_LINT_BINARY, else searched for under build*/tools/.
+#      A missing binary is a hard failure: the lint layer is never
+#      silently skipped.
+#   3. clang-tidy             -- .clang-tidy checks over src/, when
+#      the tool and a compile_commands.json are available. Skipped
+#      with a note otherwise (GCC-only containers).
+#
+# Exit status: 0 only if every layer that ran passed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+LINT_BINARY="${PAQOC_LINT_BINARY:-}"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --lint-binary)
+            [ $# -ge 2 ] || {
+                echo "run_static_checks: --lint-binary needs a path" >&2
+                exit 2
+            }
+            LINT_BINARY="$2"
+            shift 2
+            ;;
+        *)
+            echo "run_static_checks: unknown argument: $1" >&2
+            echo "usage: $0 [--lint-binary PATH]" >&2
+            exit 2
+            ;;
+    esac
+done
+
+status=0
+
+echo "== static-checks: format =="
+if ! tools/check_format.sh; then
+    status=1
+fi
+
+echo "== static-checks: paqoc_lint =="
+if [ -z "$LINT_BINARY" ]; then
+    for candidate in build/tools/paqoc_lint build-*/tools/paqoc_lint; do
+        if [ -x "$candidate" ]; then
+            LINT_BINARY="$candidate"
+            break
+        fi
+    done
+fi
+if [ -z "$LINT_BINARY" ] || [ ! -x "$LINT_BINARY" ]; then
+    echo "run_static_checks: paqoc_lint binary not found;" \
+        "build it (cmake --build build --target paqoc_lint)" \
+        "or pass --lint-binary" >&2
+    status=1
+else
+    if ! "$LINT_BINARY" --root .; then
+        status=1
+    fi
+fi
+
+echo "== static-checks: clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+    COMPDB=""
+    for candidate in build/compile_commands.json \
+        build-*/compile_commands.json; do
+        if [ -f "$candidate" ]; then
+            COMPDB=$(dirname "$candidate")
+            break
+        fi
+    done
+    if [ -z "$COMPDB" ]; then
+        echo "run_static_checks: clang-tidy present but no" \
+            "compile_commands.json; configure with" \
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+        status=1
+    else
+        TIDY_SOURCES=$(find src -name '*.cpp' | sort)
+        # shellcheck disable=SC2086
+        if ! clang-tidy -p "$COMPDB" --quiet $TIDY_SOURCES; then
+            echo "run_static_checks: clang-tidy found issues" >&2
+            status=1
+        fi
+    fi
+else
+    echo "run_static_checks: clang-tidy not installed; skipping" >&2
+fi
+
+if [ "$status" -eq 0 ]; then
+    echo "run_static_checks: OK"
+else
+    echo "run_static_checks: FAILED" >&2
+fi
+exit $status
