@@ -1,0 +1,402 @@
+#include "common/failpoint.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <string_view>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/thread_annotations.h"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0 // non-Linux fallback: rely on SIG_IGN instead
+#endif
+
+namespace paqoc {
+namespace failpoint {
+
+namespace {
+
+struct Point
+{
+    Action action = Action::Off;
+    long arg = 0;
+    long remaining = -1; // -1 = unlimited, 0 = exhausted
+    std::size_t fired = 0;
+};
+
+struct Registry
+{
+    Mutex mutex;
+    std::map<std::string, Point, std::less<>> points
+        PAQOC_GUARDED_BY(mutex);
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/**
+ * Number of points that can still fire. Lets the unarmed fast path of
+ * evaluate() skip the registry lock entirely.
+ */
+std::atomic<int> g_live{0};
+
+int
+countLive(const Registry &r) PAQOC_REQUIRES(r.mutex)
+{
+    int live = 0;
+    for (const auto &kv : r.points)
+        if (kv.second.remaining != 0)
+            ++live;
+    return live;
+}
+
+const char *
+actionName(Action action)
+{
+    switch (action) {
+    case Action::Off:
+        return "off";
+    case Action::ReturnError:
+        return "return-error";
+    case Action::Enospc:
+        return "enospc";
+    case Action::Eintr:
+        return "eintr";
+    case Action::ShortWrite:
+        return "short-write";
+    case Action::DelayMs:
+        return "delay-ms";
+    case Action::Abort:
+        return "abort";
+    }
+    return "off";
+}
+
+Action
+parseAction(const std::string &name)
+{
+    if (name == "return-error")
+        return Action::ReturnError;
+    if (name == "enospc")
+        return Action::Enospc;
+    if (name == "eintr")
+        return Action::Eintr;
+    if (name == "short-write")
+        return Action::ShortWrite;
+    if (name == "delay-ms")
+        return Action::DelayMs;
+    if (name == "abort")
+        return Action::Abort;
+    PAQOC_FATAL_IF(true, "failpoint: unknown action '", name,
+                   "' (expected return-error, enospc, eintr, "
+                   "short-write, delay-ms, or abort)");
+    return Action::Off;
+}
+
+long
+parseLong(const std::string &text, const char *what)
+{
+    PAQOC_FATAL_IF(text.empty(), "failpoint: empty ", what);
+    for (char c : text)
+        PAQOC_FATAL_IF(c < '0' || c > '9', "failpoint: bad ", what, " '",
+                       text, "'");
+    return std::strtol(text.c_str(), nullptr, 10);
+}
+
+/** Parse "action", "action(arg)", or either followed by ":count". */
+Point
+parseSpec(const std::string &spec)
+{
+    Point point;
+    std::string body = spec;
+    const std::size_t colon = body.rfind(':');
+    if (colon != std::string::npos && body.find(')', colon) == std::string::npos) {
+        point.remaining = parseLong(body.substr(colon + 1), "count");
+        PAQOC_FATAL_IF(point.remaining <= 0,
+                       "failpoint: count must be positive in '", spec,
+                       "'");
+        body.resize(colon);
+    }
+    const std::size_t open = body.find('(');
+    if (open != std::string::npos) {
+        PAQOC_FATAL_IF(body.empty() || body.back() != ')',
+                       "failpoint: unbalanced '(' in '", spec, "'");
+        point.arg =
+            parseLong(body.substr(open + 1, body.size() - open - 2),
+                      "argument");
+        body.resize(open);
+    }
+    point.action = parseAction(body);
+    return point;
+}
+
+std::string
+trimmed(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && (text[begin] == ' ' || text[begin] == '\t'))
+        ++begin;
+    while (end > begin
+           && (text[end - 1] == ' ' || text[end - 1] == '\t'))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+void
+armOne(const std::string &name, const std::string &spec)
+{
+    PAQOC_FATAL_IF(name.empty(), "failpoint: empty point name");
+    const Point point = parseSpec(spec);
+    Registry &r = registry();
+    MutexLock lock(r.mutex);
+    r.points[name] = point;
+    g_live.store(countLive(r), std::memory_order_relaxed);
+}
+
+void
+armList(const std::string &list)
+{
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+        std::size_t end = list.find(',', begin);
+        if (end == std::string::npos)
+            end = list.size();
+        const std::string entry =
+            trimmed(list.substr(begin, end - begin));
+        begin = end + 1;
+        if (entry.empty())
+            continue;
+        const std::size_t eq = entry.find('=');
+        PAQOC_FATAL_IF(eq == std::string::npos,
+                       "failpoint: entry '", entry,
+                       "' is not name=action[(arg)][:count]");
+        armOne(trimmed(entry.substr(0, eq)),
+               trimmed(entry.substr(eq + 1)));
+    }
+}
+
+/** Load PAQOC_FAILPOINTS exactly once, before the first evaluation. */
+void
+ensureEnvLoaded()
+{
+    static const bool loaded = []() {
+        if (const char *env = std::getenv("PAQOC_FAILPOINTS"))
+            if (*env != '\0')
+                armList(env);
+        return true;
+    }();
+    (void)loaded;
+}
+
+} // namespace
+
+Hit
+evaluate(const char *name)
+{
+    ensureEnvLoaded();
+    if (g_live.load(std::memory_order_relaxed) == 0)
+        return {};
+    Hit hit;
+    {
+        Registry &r = registry();
+        MutexLock lock(r.mutex);
+        const auto it = r.points.find(std::string_view(name));
+        if (it == r.points.end() || it->second.remaining == 0)
+            return {};
+        Point &point = it->second;
+        if (point.remaining > 0 && --point.remaining == 0)
+            g_live.store(countLive(r), std::memory_order_relaxed);
+        ++point.fired;
+        hit.action = point.action;
+        hit.arg = point.arg;
+    }
+    if (hit.action == Action::DelayMs)
+        std::this_thread::sleep_for(std::chrono::milliseconds(hit.arg));
+    if (hit.action == Action::Abort)
+        std::abort();
+    return hit;
+}
+
+void
+arm(const std::string &name, const std::string &spec)
+{
+    ensureEnvLoaded();
+    armOne(name, spec);
+}
+
+void
+armFromSpec(const std::string &list)
+{
+    ensureEnvLoaded();
+    armList(list);
+}
+
+void
+disarm(const std::string &name)
+{
+    Registry &r = registry();
+    MutexLock lock(r.mutex);
+    r.points.erase(name);
+    g_live.store(countLive(r), std::memory_order_relaxed);
+}
+
+void
+disarmAll()
+{
+    Registry &r = registry();
+    MutexLock lock(r.mutex);
+    r.points.clear();
+    g_live.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::string>
+armed()
+{
+    ensureEnvLoaded();
+    std::vector<std::string> out;
+    Registry &r = registry();
+    MutexLock lock(r.mutex);
+    for (const auto &kv : r.points) {
+        const Point &point = kv.second;
+        if (point.remaining == 0)
+            continue;
+        std::string text = kv.first;
+        text += '=';
+        text += actionName(point.action);
+        if (point.action == Action::DelayMs) {
+            text += '(';
+            text += std::to_string(point.arg);
+            text += ')';
+        }
+        if (point.remaining > 0) {
+            text += ':';
+            text += std::to_string(point.remaining);
+        }
+        out.push_back(std::move(text));
+    }
+    return out;
+}
+
+std::size_t
+fired(const std::string &name)
+{
+    Registry &r = registry();
+    MutexLock lock(r.mutex);
+    const auto it = r.points.find(name);
+    return it == r.points.end() ? 0 : it->second.fired;
+}
+
+namespace {
+
+/**
+ * Shared failure translation for the checked wrappers. Returns true
+ * when the injected action fully decided the call (error already in
+ * errno and *result set); false means "perform the real operation",
+ * with *prefix holding a possibly shortened byte count.
+ */
+bool
+injectedFailure(const Hit &hit, std::size_t n, std::size_t *prefix,
+                ssize_t *result)
+{
+    *prefix = n;
+    switch (hit.action) {
+    case Action::ReturnError:
+        errno = EIO;
+        *result = -1;
+        return true;
+    case Action::Enospc:
+        errno = ENOSPC;
+        *result = -1;
+        return true;
+    case Action::Eintr:
+        errno = EINTR;
+        *result = -1;
+        return true;
+    case Action::ShortWrite:
+        // Really transfer a prefix, then fail: leaves a torn record
+        // or frame behind for recovery paths to deal with.
+        *prefix = n / 2;
+        return false;
+    case Action::Off:
+    case Action::DelayMs:
+    case Action::Abort:
+        return false;
+    }
+    return false;
+}
+
+} // namespace
+
+ssize_t
+checkedWrite(const char *point, int fd, const void *buf, std::size_t n)
+{
+    const Hit hit = evaluate(point);
+    std::size_t prefix = n;
+    ssize_t result = 0;
+    if (injectedFailure(hit, n, &prefix, &result))
+        return result;
+    const ssize_t wrote = ::write(fd, buf, prefix);
+    if (hit.action == Action::ShortWrite && wrote >= 0) {
+        errno = EIO;
+        return -1;
+    }
+    return wrote;
+}
+
+ssize_t
+checkedRead(const char *point, int fd, void *buf, std::size_t n)
+{
+    const Hit hit = evaluate(point);
+    std::size_t prefix = n;
+    ssize_t result = 0;
+    if (injectedFailure(hit, n, &prefix, &result))
+        return result;
+    const ssize_t got = ::read(fd, buf, prefix);
+    if (hit.action == Action::ShortWrite && got >= 0) {
+        errno = EIO;
+        return -1;
+    }
+    return got;
+}
+
+ssize_t
+checkedSend(const char *point, int fd, const void *buf, std::size_t n)
+{
+    const Hit hit = evaluate(point);
+    std::size_t prefix = n;
+    ssize_t result = 0;
+    if (injectedFailure(hit, n, &prefix, &result))
+        return result;
+    const ssize_t sent = ::send(fd, buf, prefix, MSG_NOSIGNAL);
+    if (hit.action == Action::ShortWrite && sent >= 0) {
+        errno = EIO;
+        return -1;
+    }
+    return sent;
+}
+
+int
+checkedFsync(const char *point, int fd)
+{
+    const Hit hit = evaluate(point);
+    std::size_t prefix = 0;
+    ssize_t result = 0;
+    if (injectedFailure(hit, 0, &prefix, &result))
+        return static_cast<int>(result);
+    return ::fsync(fd);
+}
+
+} // namespace failpoint
+} // namespace paqoc

@@ -1,0 +1,99 @@
+#ifndef PAQOC_COMMON_FAILPOINT_H_
+#define PAQOC_COMMON_FAILPOINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace paqoc {
+
+/**
+ * Deterministic fault injection (DESIGN.md §9). A *failpoint* is a
+ * named site on an I/O or convergence boundary that normally does
+ * nothing and costs one atomic load. When armed -- programmatically
+ * (tests) or through the environment (chaos runs) -- it injects a
+ * failure the site's caller must survive:
+ *
+ *   PAQOC_FAILPOINTS=journal.append=enospc:1,protocol.write=eintr
+ *
+ * Each entry is `name=action[(arg)][:count]`; `count` bounds how many
+ * times the point fires (unlimited when omitted). Actions:
+ *
+ *   return-error   the wrapped call fails with EIO
+ *   enospc         the wrapped call fails with ENOSPC
+ *   eintr          the wrapped call fails with EINTR (retry loops!)
+ *   short-write    a *prefix* of the buffer is really written, then
+ *                  the call fails with EIO -- tears records/frames
+ *   delay-ms(N)    sleep N ms, then proceed normally
+ *   abort          std::abort() -- crash-recovery e2e tests
+ *
+ * Armed points fire in call order with counted budgets, so a chaos
+ * run is reproducible from its PAQOC_FAILPOINTS string alone. The
+ * catalog of point names lives in DESIGN.md §9.
+ */
+namespace failpoint {
+
+enum class Action
+{
+    Off,         ///< not armed (or budget exhausted)
+    ReturnError, ///< fail with EIO
+    Enospc,      ///< fail with ENOSPC
+    Eintr,       ///< fail with EINTR
+    ShortWrite,  ///< write/read a prefix, then fail with EIO
+    DelayMs,     ///< sleep `arg` ms, then proceed
+    Abort,       ///< std::abort()
+};
+
+/** What one evaluation of a failpoint decided. */
+struct Hit
+{
+    Action action = Action::Off;
+    long arg = 0;
+};
+
+/**
+ * Consume one firing of `name`. Returns {Off} when the point is not
+ * armed or its count is exhausted. DelayMs sleeps before returning
+ * (callers treat it as "proceed"); Abort never returns. The first
+ * call anywhere in the process also loads PAQOC_FAILPOINTS.
+ */
+Hit evaluate(const char *name);
+
+/** Arm `name` with a spec like "enospc", "delay-ms(5)", "eintr:2". */
+void arm(const std::string &name, const std::string &spec);
+
+/** Arm a comma-separated `name=spec` list (the env-var grammar). */
+void armFromSpec(const std::string &list);
+
+void disarm(const std::string &name);
+void disarmAll();
+
+/** Sorted "name=action[(arg)][:remaining]" strings of live points. */
+std::vector<std::string> armed();
+
+/** How many times `name` has fired since it was (last) armed. */
+std::size_t fired(const std::string &name);
+
+/**
+ * Failpoint-aware syscall wrappers. All raw write()/send() calls in
+ * the I/O layers (src/store, src/service) go through these -- the
+ * `raw-io` lint rule enforces it -- so every byte the system persists
+ * or transmits can be failed on demand. checkedSend passes
+ * MSG_NOSIGNAL: a peer that died mid-frame yields EPIPE to the
+ * caller instead of a process-killing SIGPIPE.
+ */
+ssize_t checkedWrite(const char *point, int fd, const void *buf,
+                     std::size_t n);
+ssize_t checkedRead(const char *point, int fd, void *buf,
+                    std::size_t n);
+ssize_t checkedSend(const char *point, int fd, const void *buf,
+                    std::size_t n);
+int checkedFsync(const char *point, int fd);
+
+} // namespace failpoint
+
+} // namespace paqoc
+
+#endif // PAQOC_COMMON_FAILPOINT_H_

@@ -395,6 +395,25 @@ checkFloatNumerics(const FileContext &ctx)
 }
 
 void
+checkRawIo(const FileContext &ctx)
+{
+    // Only the layers whose I/O the chaos tests must be able to fault:
+    // durable storage and the wire protocol. Reads are covered by the
+    // protocol's own wrapper; writes are where corruption lives.
+    const bool covered = startsWith(ctx.path, "src/store/")
+        || startsWith(ctx.path, "src/service/");
+    if (!covered)
+        return;
+    static const std::regex pattern(
+        R"((::\s*)?\b(write|send|pwrite|writev|sendto|sendmsg)\s*\()");
+    checkLinePattern(ctx, "raw-io", pattern,
+                     "raw write()/send() syscall bypasses the "
+                     "failpoint-aware checked* wrappers in "
+                     "src/common/failpoint.h; route I/O through them "
+                     "so fault injection covers this path");
+}
+
+void
 checkHeaderGuard(const FileContext &ctx)
 {
     if (ctx.path.size() < 2
@@ -473,6 +492,7 @@ lintInto(const std::string &path, const std::string &content,
     checkNakedMutex(ctx);
     checkPrintfOutput(ctx);
     checkFloatNumerics(ctx);
+    checkRawIo(ctx);
     checkHeaderGuard(ctx);
     checkUnorderedIteration(ctx, companion_decls);
 }
@@ -500,7 +520,8 @@ ruleNames()
 {
     return {"float-numerics", "header-guard",
             "naked-mutex",    "printf-output",
-            "unordered-iteration", "unseeded-random"};
+            "raw-io",         "unordered-iteration",
+            "unseeded-random"};
 }
 
 std::vector<Finding>

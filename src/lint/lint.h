@@ -50,6 +50,12 @@ namespace lint {
  *                        (src/linalg, src/qoc, src/paqoc, src/sim):
  *                        pulse math is double-only; mixed precision
  *                        silently changes GRAPE convergence.
+ *   raw-io               raw write()/send()-family syscalls in the
+ *                        store and service layers (src/store,
+ *                        src/service): durable and wire I/O must go
+ *                        through the failpoint-aware checked*
+ *                        wrappers in src/common/failpoint.h so chaos
+ *                        tests can inject faults on every path.
  */
 struct Finding
 {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "linalg/expm.h"
 #include "linalg/unitary_util.h"
@@ -240,7 +241,15 @@ grapeOptimize(const DeviceModel &device, const Matrix &target,
                 static_cast<std::uint64_t>(restart)));
             run.seedRandom(rng);
         }
-        return run.optimize(pool);
+        GrapeResult r = run.optimize(pool);
+        // The grape.converge failpoint turns any run into a
+        // non-converging one so the degraded (stitched) path can be
+        // driven without constructing a genuinely hard unitary.
+        if (r.converged
+            && failpoint::evaluate("grape.converge").action
+                != failpoint::Action::Off)
+            r.converged = false;
+        return r;
     };
 
     if (restarts == 1)
@@ -332,9 +341,14 @@ findMinimumDuration(const DeviceModel &device, const Matrix &target,
             }
         }
     }
-    PAQOC_FATAL_IF(!at_hi.converged,
-                   "GRAPE could not reach the target fidelity within ",
-                   kMaxSlices, " slices");
+    if (!at_hi.converged) {
+        // Duration cap reached without hitting the fidelity target.
+        // Hand back the best effort at the cap and let the caller
+        // degrade (stitch + tag) rather than abort the compile.
+        out.converged = false;
+        out.schedule = std::move(at_hi.schedule);
+        return out;
+    }
 
     // Multi-probe narrowing for the shortest converging duration in
     // [lo, hi]: p candidates split the bracket into p+1 parts (p = 1
@@ -366,6 +380,31 @@ findMinimumDuration(const DeviceModel &device, const Matrix &target,
     }
     out.schedule = std::move(best.schedule);
     return out;
+}
+
+Matrix
+schedulePropagator(const DeviceModel &device,
+                   const PulseSchedule &schedule)
+{
+    Matrix acc = Matrix::identity(device.dim());
+    for (const auto &slice : schedule.amplitudes) {
+        const Matrix h = device.sliceHamiltonian(slice);
+        acc = expmPropagator(h, 1.0) * acc;
+    }
+    return acc;
+}
+
+double
+scheduleFidelity(const DeviceModel &device, const Matrix &target,
+                 const PulseSchedule &schedule)
+{
+    PAQOC_FATAL_IF(target.rows() != device.dim(),
+                   "target dimension ", target.rows(),
+                   " does not match device dimension ", device.dim());
+    const Matrix acc = schedulePropagator(device, schedule);
+    const Complex g = traceOfProductT(target.conjugate(), acc);
+    const double d = static_cast<double>(device.dim());
+    return std::norm(g) / (d * d);
 }
 
 } // namespace paqoc

@@ -74,6 +74,13 @@ struct MinDurationResult
     int totalIterations = 0;
     /** Number of duration trials evaluated. */
     int trials = 0;
+    /**
+     * False when even the duration cap failed to reach the target
+     * fidelity; `schedule` then holds the best pulse found at the
+     * cap. Callers degrade gracefully (PulseGenerator stitches a
+     * corrective segment and tags the result) instead of crashing.
+     */
+    bool converged = true;
 };
 
 /**
@@ -95,6 +102,14 @@ MinDurationResult findMinimumDuration(
     const GrapeOptions &options = {}, int latency_hint = 0,
     const PulseSchedule *initial_guess = nullptr,
     ThreadPool *pool = nullptr);
+
+/** Propagator realized by playing `schedule` on `device`. */
+Matrix schedulePropagator(const DeviceModel &device,
+                          const PulseSchedule &schedule);
+
+/** Trace fidelity |Tr(target^dag U_schedule)|^2 / d^2. */
+double scheduleFidelity(const DeviceModel &device, const Matrix &target,
+                        const PulseSchedule &schedule);
 
 } // namespace paqoc
 

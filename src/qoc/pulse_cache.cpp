@@ -244,8 +244,13 @@ PulseCache::save(const std::string &path) const
         ordered;
     ordered.reserve(entries_.size());
     // paqoc-lint: allow(unordered-iteration) order folded by sort below
-    for (const auto &[key, e] : entries_)
+    for (const auto &[key, e] : entries_) {
+        // Stitched fallback pulses are session-local best effort; a
+        // saved database must never freeze one in.
+        if (e.degraded)
+            continue;
         ordered.emplace_back(&key, &e);
+    }
     std::sort(ordered.begin(), ordered.end(),
               [](const auto &a, const auto &b) {
                   return *a.first < *b.first;

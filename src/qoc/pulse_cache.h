@@ -24,6 +24,13 @@ struct CachedPulse
     Matrix unitary;         // canonical-form target, for similarity
     int numQubits = 0;
     /**
+     * Stitched best-effort fallback (GRAPE missed the target fidelity
+     * at the duration cap). Served for the session so repeated
+     * requests stay cheap and consistent, but excluded from save()
+     * and from the durable library. Not serialized.
+     */
+    bool degraded = false;
+    /**
      * Monotone insertion stamp (see PulseCache::generation). Batch
      * drivers bound similarity queries by the generation observed at
      * batch start, so warm-start selection is independent of the

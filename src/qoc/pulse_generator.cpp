@@ -152,6 +152,7 @@ GrapePulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
         result.error = acq.entry->error;
         result.schedule = acq.entry->schedule;
         result.cacheHit = true;
+        result.degraded = acq.entry->degraded;
         return result;
     }
 
@@ -163,21 +164,50 @@ GrapePulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
             unitary, num_qubits, seed_distance_, nearest_horizon);
         const int hint =
             static_cast<int>(model_.latency(unitary, num_qubits));
-        const MinDurationResult min_dur = findMinimumDuration(
-            DeviceModel(num_qubits), unitary, options_, hint,
+        const DeviceModel device(num_qubits);
+        MinDurationResult min_dur = findMinimumDuration(
+            device, unitary, options_, hint,
             seed.has_value() ? &seed->schedule : nullptr, pool);
+        int iterations = min_dur.totalIterations;
+
+        if (!min_dur.converged) {
+            // GRAPE hit the duration cap below the fidelity target.
+            // Stitch a corrective segment onto the best effort: run
+            // one more optimization against the residual unitary
+            // (target applied after undoing what the pulse already
+            // achieves) and concatenate, instead of silently handing
+            // back a low-fidelity pulse. Deterministic for the same
+            // reason every GRAPE run is: seeds derive from the
+            // residual's content hash.
+            const Matrix achieved =
+                schedulePropagator(device, min_dur.schedule);
+            const Matrix residual = unitary * achieved.adjoint();
+            const GrapeResult corrective = grapeOptimize(
+                device, residual,
+                std::max(1, min_dur.schedule.numSlices()), options_,
+                nullptr, pool);
+            min_dur.schedule.amplitudes.insert(
+                min_dur.schedule.amplitudes.end(),
+                corrective.schedule.amplitudes.begin(),
+                corrective.schedule.amplitudes.end());
+            min_dur.schedule.fidelity =
+                scheduleFidelity(device, unitary, min_dur.schedule);
+            iterations += corrective.iterations;
+            result.degraded = true;
+        }
 
         result.latency = min_dur.schedule.latency();
         result.error = 1.0 - min_dur.schedule.fidelity;
         result.schedule = min_dur.schedule;
         const double dim = std::pow(2.0, num_qubits);
-        result.costUnits = static_cast<double>(min_dur.totalIterations)
+        result.costUnits = static_cast<double>(iterations)
             * result.latency * dim * dim * dim;
 
         CachedPulse entry;
         entry.latency = result.latency;
         entry.error = result.error;
         entry.schedule = min_dur.schedule;
+        entry.degraded = result.degraded;
         cache_.completeFlight(unitary, num_qubits, std::move(entry));
     } catch (...) {
         cache_.abortFlight(unitary, num_qubits);

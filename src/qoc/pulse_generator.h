@@ -28,6 +28,12 @@ struct PulseGenResult
     double costUnits = 0.0;
     /** True when served from the pulse lookup table. */
     bool cacheHit = false;
+    /**
+     * True when GRAPE missed the fidelity target at the duration cap
+     * and the pulse is a stitched best-effort fallback (tagged
+     * `degraded: true` in JSON output, never persisted).
+     */
+    bool degraded = false;
     /** The controls themselves (absent in estimate-only paths). */
     std::optional<PulseSchedule> schedule;
 };

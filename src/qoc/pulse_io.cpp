@@ -80,7 +80,8 @@ pulseFromCsv(const std::string &csv, const DeviceModel &device)
 }
 
 std::string
-pulseToJson(const PulseSchedule &schedule, const DeviceModel &device)
+pulseToJson(const PulseSchedule &schedule, const DeviceModel &device,
+            bool degraded)
 {
     Json doc = Json::object();
     doc.set("format", Json("paqoc-pulse-v1"));
@@ -89,6 +90,10 @@ pulseToJson(const PulseSchedule &schedule, const DeviceModel &device)
             Json(static_cast<double>(schedule.numSlices())));
     doc.set("latency_dt", Json(schedule.latency()));
     doc.set("fidelity", Json(schedule.fidelity));
+    // Emitted only for stitched fallback pulses: healthy documents
+    // stay byte-identical to pre-degraded-mode builds.
+    if (degraded)
+        doc.set("degraded", Json(true));
     Json channels = Json::array();
     for (std::size_t k = 0; k < device.numControls(); ++k)
         channels.push(Json(device.controlName(k)));

@@ -35,10 +35,13 @@ PulseSchedule pulseFromCsv(const std::string &csv,
  * Unlike the CSV hand-off format this carries the fidelity/latency
  * metadata, so a schedule survives a round trip losslessly (doubles
  * are serialized with full precision). This is the pulse payload of
- * the `paqocd` wire protocol.
+ * the `paqocd` wire protocol. When `degraded` is set (a stitched
+ * best-effort pulse, DESIGN.md §9) the document additionally carries
+ * "degraded": true; healthy documents are unchanged byte for byte.
  */
 std::string pulseToJson(const PulseSchedule &schedule,
-                        const DeviceModel &device);
+                        const DeviceModel &device,
+                        bool degraded = false);
 
 /**
  * Parse a pulse JSON produced by pulseToJson. The format tag, channel

@@ -1,37 +1,56 @@
 #include "service/client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "service/protocol.h"
 
 namespace paqoc {
+namespace {
 
-ServiceClient::ServiceClient(const std::string &socket_path)
+/** Millisecond timeout -> timeval for SO_RCVTIMEO / SO_SNDTIMEO. */
+timeval
+timeoutToTimeval(double ms)
 {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    PAQOC_FATAL_IF(socket_path.size() >= sizeof addr.sun_path,
-                   "client: socket path '", socket_path, "' too long");
-    std::strncpy(addr.sun_path, socket_path.c_str(),
-                 sizeof addr.sun_path - 1);
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    PAQOC_FATAL_IF(fd_ < 0, "client: socket(): ", std::strerror(errno));
-    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof addr)
-        != 0) {
-        const int err = errno;
-        ::close(fd_);
-        fd_ = -1;
-        PAQOC_FATAL_IF(true, "client: cannot connect to '", socket_path,
-                       "': ", std::strerror(err),
-                       " (is paqocd running?)");
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0)
+        tv.tv_usec = 1; // zero would mean "block forever"
+    return tv;
+}
+
+} // namespace
+
+ServiceClient::ServiceClient(const std::string &socket_path,
+                             ClientOptions options)
+    : socket_path_(socket_path), options_(options),
+      jitter_(options.backoffSeed)
+{
+    std::string error;
+    for (int attempt = 0;; ++attempt) {
+        if (tryConnect(&error))
+            return;
+        if (attempt >= options_.retries)
+            break;
+        std::this_thread::sleep_for(std::chrono::duration<double,
+                                                          std::milli>(
+            jitteredBackoffMs(attempt)));
     }
+    PAQOC_FATAL_IF(true, "client: cannot connect to '", socket_path_,
+                   "': ", error, " (is paqocd running?)");
 }
 
 ServiceClient::~ServiceClient()
@@ -39,15 +58,118 @@ ServiceClient::~ServiceClient()
     close();
 }
 
+double
+ServiceClient::backoffDelayMs(const ClientOptions &options, int attempt)
+{
+    const int exponent = std::min(std::max(attempt, 0), 16);
+    return options.backoffMs * std::ldexp(1.0, exponent);
+}
+
+double
+ServiceClient::jitteredBackoffMs(int attempt)
+{
+    return backoffDelayMs(options_, attempt)
+           * (0.5 + jitter_.uniform());
+}
+
+bool
+ServiceClient::tryConnect(std::string *error)
+{
+    close();
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    PAQOC_FATAL_IF(socket_path_.size() >= sizeof addr.sun_path,
+                   "client: socket path '", socket_path_,
+                   "' too long");
+    std::strncpy(addr.sun_path, socket_path_.c_str(),
+                 sizeof addr.sun_path - 1);
+
+    if (failpoint::evaluate("client.connect").action
+        != failpoint::Action::Off) {
+        *error = "injected connect failure";
+        return false;
+    }
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    PAQOC_FATAL_IF(fd < 0, "client: socket(): ", std::strerror(errno));
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr)
+        != 0) {
+        *error = std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    if (options_.timeoutMs > 0.0) {
+        const timeval tv = timeoutToTimeval(options_.timeoutMs);
+        // Best effort: a socket without timeouts still works, it just
+        // blocks forever on a wedged peer.
+        (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+    }
+    fd_ = fd;
+    return true;
+}
+
 Json
 ServiceClient::request(const Json &request)
 {
-    PAQOC_FATAL_IF(fd_ < 0, "client: connection is closed");
-    protocol::writeFrame(fd_, request.dump());
-    std::string text;
-    PAQOC_FATAL_IF(!protocol::readFrame(fd_, text),
-                   "client: daemon closed the connection");
-    return Json::parse(text);
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    double budget_ms = 0.0; // 0 = unbounded
+    if (request.isObject() && request.contains("deadline_ms"))
+        budget_ms = request.at("deadline_ms").asNumber();
+    const auto elapsed_ms = [&] {
+        return std::chrono::duration<double, std::milli>(Clock::now()
+                                                         - start)
+            .count();
+    };
+    // True when sleeping `delay` more milliseconds would blow the
+    // request's own deadline budget -- retrying past it only produces
+    // a late "deadline exceeded" error, so stop early instead.
+    const auto budget_exhausted = [&](double delay) {
+        return budget_ms > 0.0 && elapsed_ms() + delay >= budget_ms;
+    };
+
+    const std::string text = request.dump();
+    for (int attempt = 0;; ++attempt) {
+        std::string failure;
+        if (fd_ < 0 && !tryConnect(&failure)) {
+            failure = "client: cannot connect to '" + socket_path_
+                      + "': " + failure;
+        } else {
+            try {
+                protocol::writeFrame(fd_, text);
+                std::string reply;
+                PAQOC_FATAL_IF(!protocol::readFrame(fd_, reply),
+                               "client: daemon closed the connection");
+                Json response = Json::parse(reply);
+                const bool backpressure =
+                    response.isObject() && response.contains("retry")
+                    && response.at("retry").asBool();
+                if (!backpressure)
+                    return response;
+                // Overloaded daemon: retry within the budget; when
+                // out of attempts hand the backpressure response to
+                // the caller so it can decide (e.g. fall back local).
+                const double delay = jitteredBackoffMs(attempt);
+                if (attempt >= options_.retries
+                    || budget_exhausted(delay))
+                    return response;
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(delay));
+                continue;
+            } catch (const FatalError &e) {
+                // Lost or wedged connection; drop it and maybe retry
+                // on a fresh one.
+                close();
+                failure = e.what();
+            }
+        }
+        const double delay = jitteredBackoffMs(attempt);
+        if (attempt >= options_.retries || budget_exhausted(delay))
+            throw FatalError(failure);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delay));
+    }
 }
 
 void

@@ -1,33 +1,99 @@
 #ifndef PAQOC_SERVICE_CLIENT_H_
 #define PAQOC_SERVICE_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/json.h"
+#include "common/rng.h"
 
 namespace paqoc {
+
+/** Retry/timeout policy of a ServiceClient (DESIGN.md §9). */
+struct ClientOptions
+{
+    /**
+     * How many times to retry a failed connect or a retryable request
+     * (daemon restarting, `retry` backpressure response) beyond the
+     * first attempt. 0 keeps the historical fail-fast behavior.
+     */
+    int retries = 0;
+    /**
+     * Base backoff in milliseconds; attempt k sleeps
+     * backoffDelayMs(k) * jitter where jitter is a deterministic
+     * uniform draw in [0.5, 1.5) from `backoffSeed`.
+     */
+    double backoffMs = 50.0;
+    /**
+     * Socket receive/send timeout in milliseconds (SO_RCVTIMEO /
+     * SO_SNDTIMEO); 0 blocks forever. A timed-out request raises
+     * FatalError ("... timed out") instead of hanging on a wedged
+     * daemon.
+     */
+    double timeoutMs = 0.0;
+    /** Seed of the jitter stream; fixed so runs are reproducible. */
+    std::uint64_t backoffSeed = 0x5eed;
+};
 
 /**
  * Blocking client of a running `paqocd` daemon: one Unix-domain
  * connection, one frame out / one frame in per request() call. Used by
  * `paqocc --connect` and the service tests.
+ *
+ * Failure handling (DESIGN.md §9): connect failures and daemon
+ * disconnects are recoverable -- the client retries up to
+ * `options.retries` times with deterministic exponential backoff
+ * (jittered from `options.backoffSeed`), reconnecting as needed, and
+ * honors the request's own "deadline_ms" member as a total retry
+ * budget. `retry` backpressure responses from an overloaded daemon are
+ * retried the same way; when the budget or the retry count runs out
+ * the last backpressure response is returned to the caller as-is.
+ * Every non-recoverable path raises FatalError with a typed message --
+ * the client never aborts the process.
  */
 class ServiceClient
 {
   public:
-    /** Connect to the daemon's socket; FatalError when unreachable. */
-    explicit ServiceClient(const std::string &socket_path);
+    /**
+     * Connect to the daemon's socket, retrying per `options`;
+     * FatalError once the attempts are exhausted.
+     */
+    explicit ServiceClient(const std::string &socket_path,
+                           ClientOptions options = {});
     ~ServiceClient();
 
     ServiceClient(const ServiceClient &) = delete;
     ServiceClient &operator=(const ServiceClient &) = delete;
 
-    /** Send one request and wait for its response. */
+    /**
+     * Send one request and wait for its response, retrying recoverable
+     * failures (lost connection, backpressure) per the options and the
+     * request's "deadline_ms" budget.
+     */
     Json request(const Json &request);
 
     void close();
 
+    /**
+     * Base (un-jittered) backoff before retry attempt `attempt`
+     * (0-based): backoffMs * 2^min(attempt, 16). Exposed so tests and
+     * operators can reason about worst-case retry latency.
+     */
+    static double backoffDelayMs(const ClientOptions &options,
+                                 int attempt);
+
   private:
+    /**
+     * One connect attempt; on failure stores a description in *error
+     * and returns false. Honors the `client.connect` failpoint.
+     */
+    bool tryConnect(std::string *error);
+    /** backoffDelayMs with the deterministic jitter factor applied. */
+    double jitteredBackoffMs(int attempt);
+
+    std::string socket_path_;
+    ClientOptions options_;
+    Rng jitter_;
     int fd_ = -1;
 };
 

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace paqoc {
 namespace protocol {
@@ -17,7 +18,8 @@ readAll(int fd, char *buf, std::size_t n, bool *clean_eof_at_start)
 {
     std::size_t off = 0;
     while (off < n) {
-        const ssize_t r = ::read(fd, buf + off, n - off);
+        const ssize_t r = failpoint::checkedRead("protocol.read", fd,
+                                                 buf + off, n - off);
         if (r == 0) {
             if (clean_eof_at_start != nullptr && off == 0) {
                 *clean_eof_at_start = true;
@@ -29,6 +31,9 @@ readAll(int fd, char *buf, std::size_t n, bool *clean_eof_at_start)
         if (r < 0) {
             if (errno == EINTR)
                 continue;
+            // A socket with SO_RCVTIMEO reports a hung peer this way.
+            PAQOC_FATAL_IF(errno == EAGAIN || errno == EWOULDBLOCK,
+                           "protocol: read timed out");
             PAQOC_FATAL_IF(true, "protocol: read failed: ",
                            std::strerror(errno));
         }
@@ -42,10 +47,16 @@ writeAll(int fd, const char *buf, std::size_t n)
 {
     std::size_t off = 0;
     while (off < n) {
-        const ssize_t w = ::write(fd, buf + off, n - off);
+        // checkedSend passes MSG_NOSIGNAL: a peer that disappeared
+        // mid-frame costs this caller an EPIPE exception, not the
+        // whole process a SIGPIPE.
+        const ssize_t w = failpoint::checkedSend("protocol.write", fd,
+                                                 buf + off, n - off);
         if (w < 0) {
             if (errno == EINTR)
                 continue;
+            PAQOC_FATAL_IF(errno == EAGAIN || errno == EWOULDBLOCK,
+                           "protocol: write timed out");
             PAQOC_FATAL_IF(true, "protocol: write failed: ",
                            std::strerror(errno));
         }

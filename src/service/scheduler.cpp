@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
+
 namespace paqoc {
 
 SessionScheduler::Admit
@@ -10,7 +12,16 @@ SessionScheduler::submit(std::function<void()> work,
                          std::function<void()> on_expired)
 {
     {
+        const failpoint::Hit hit =
+            failpoint::evaluate("scheduler.submit");
         MutexLock lock(mutex_);
+        if (hit.action != failpoint::Action::Off
+            && hit.action != failpoint::Action::DelayMs) {
+            // Injected queue-full: exercises the client's reaction to
+            // the `retry` backpressure response.
+            ++stats_.rejected;
+            return Admit::Overloaded;
+        }
         if (draining_) {
             ++stats_.rejected;
             return Admit::Draining;

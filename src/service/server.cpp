@@ -23,8 +23,14 @@ writeResponse(const std::shared_ptr<Mutex> &write_mutex, int fd,
     if (!id.isNull())
         response.set("id", id);
     const std::string text = response.dump();
-    MutexLock lock(*write_mutex);
-    protocol::writeFrame(fd, text);
+    try {
+        MutexLock lock(*write_mutex);
+        protocol::writeFrame(fd, text);
+    } catch (const std::exception &) {
+        // The peer died mid-response (EPIPE via MSG_NOSIGNAL, reset,
+        // or an injected protocol.write failure). The connection is
+        // beyond saving; the daemon is not.
+    }
 }
 
 } // namespace

@@ -139,10 +139,13 @@ compilePayload(const CompileJob &job, const CompileReport &report,
             doc.set("qubits", Json(g.arity()));
             doc.set("latency_dt", Json(r.latency));
             doc.set("error", Json(r.error));
+            if (r.degraded)
+                doc.set("degraded", Json(true));
             if (r.schedule.has_value()) {
                 const DeviceModel device(g.arity());
                 doc.set("schedule",
-                        Json::parse(pulseToJson(*r.schedule, device)));
+                        Json::parse(pulseToJson(*r.schedule, device,
+                                                r.degraded)));
             }
             pulses.push(std::move(doc));
         }
@@ -293,15 +296,20 @@ PulseService::handleGenerate(const Json &request)
     pulse_calls_.fetch_add(1, std::memory_order_relaxed);
     cache_hits_.fetch_add(result.cacheHit ? 1 : 0,
                           std::memory_order_relaxed);
+    if (result.degraded)
+        degraded_pulses_.fetch_add(1, std::memory_order_relaxed);
 
     Json payload = Json::object();
     payload.set("qubits", Json(num_qubits));
     payload.set("latency_dt", Json(result.latency));
     payload.set("error", Json(result.error));
+    if (result.degraded)
+        payload.set("degraded", Json(true));
     if (result.schedule.has_value()) {
         const DeviceModel device(num_qubits);
         payload.set("schedule",
-                    Json::parse(pulseToJson(*result.schedule, device)));
+                    Json::parse(pulseToJson(*result.schedule, device,
+                                            result.degraded)));
     }
     Json r = Json::object();
     r.set("ok", Json(true));
@@ -337,6 +345,8 @@ PulseService::statsJson() const
                 Json(pulse_calls_.load(std::memory_order_relaxed)));
     serving.set("cache_hits",
                 Json(cache_hits_.load(std::memory_order_relaxed)));
+    serving.set("degraded_pulses",
+                Json(degraded_pulses_.load(std::memory_order_relaxed)));
     s.set("serving", std::move(serving));
     Json epoch = Json::object();
     epoch.set("spectral_pulses", Json(epoch_spectral_.size()));
@@ -358,6 +368,10 @@ PulseService::statsJson() const
         j.set("corrupt_payloads", Json(st.corruptPayloads));
         j.set("dropped_tail_bytes",
               Json(static_cast<double>(st.droppedTailBytes)));
+        j.set("degraded", Json(st.degraded));
+        j.set("failed_appends", Json(st.failedAppends));
+        j.set("skipped_degraded_pulses",
+              Json(st.skippedDegradedPulses));
         Json warnings = Json::array();
         for (const std::string &w : st.warnings)
             warnings.push(Json(w));

@@ -149,6 +149,8 @@ class PulseService
     std::atomic<std::size_t> errors_{0};
     std::atomic<std::size_t> pulse_calls_{0};
     std::atomic<std::size_t> cache_hits_{0};
+    /** Stitched best-effort pulses served (DESIGN.md §9). */
+    std::atomic<std::size_t> degraded_pulses_{0};
 };
 
 } // namespace paqoc

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "store/crc32.h"
 
 namespace paqoc {
@@ -45,6 +46,25 @@ headerBytes(const std::string &fingerprint)
     putU32(h, static_cast<std::uint32_t>(fingerprint.size()));
     h += fingerprint;
     return h;
+}
+
+/**
+ * Write all of `buf` through the named failpoint, retrying short
+ * writes and EINTR; anything else raises FatalError with `what`.
+ */
+void
+writeFully(const char *point, int fd, const char *buf, std::size_t n,
+           const char *what)
+{
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t wrote =
+            failpoint::checkedWrite(point, fd, buf + off, n - off);
+        if (wrote < 0 && errno == EINTR)
+            continue;
+        PAQOC_FATAL_IF(wrote <= 0, what, ": ", std::strerror(errno));
+        off += static_cast<std::size_t>(wrote);
+    }
 }
 
 } // namespace
@@ -166,10 +186,8 @@ JournalWriter::openAppend(const std::string &path,
                    path, "': ", std::strerror(errno));
     const std::string header = headerBytes(fingerprint);
     if (st.st_size == 0) {
-        PAQOC_FATAL_IF(
-            ::write(w.fd_, header.data(), header.size())
-                != static_cast<ssize_t>(header.size()),
-            "cannot write journal header '", path, "'");
+        writeFully("journal.open", w.fd_, header.data(), header.size(),
+                   "cannot write journal header");
     } else {
         PAQOC_FATAL_IF(truncate_to < header.size(),
                        "journal '", path,
@@ -202,21 +220,16 @@ JournalWriter::append(const std::string &payload)
     rec += payload;
     // One write() per record: a crash can tear the tail record but
     // never interleave two records.
-    std::size_t off = 0;
-    while (off < rec.size()) {
-        const ssize_t n =
-            ::write(fd_, rec.data() + off, rec.size() - off);
-        PAQOC_FATAL_IF(n <= 0, "journal append failed: ",
-                       std::strerror(errno));
-        off += static_cast<std::size_t>(n);
-    }
+    writeFully("journal.append", fd_, rec.data(), rec.size(),
+               "journal append failed");
 }
 
-void
+bool
 JournalWriter::sync()
 {
-    if (fd_ >= 0)
-        ::fsync(fd_);
+    if (fd_ < 0)
+        return true;
+    return failpoint::checkedFsync("journal.fsync", fd_) == 0;
 }
 
 void

@@ -75,11 +75,20 @@ class JournalWriter
                                     const std::string &fingerprint,
                                     std::uint64_t truncate_to);
 
-    /** Append one record (length + CRC + payload in a single write). */
+    /**
+     * Append one record (length + CRC + payload in a single write).
+     * Raises FatalError on write failure (including an injected
+     * `journal.append` failpoint); the file may then hold a torn tail
+     * record, which the next scan skips and truncates.
+     */
     void append(const std::string &payload);
 
-    /** fsync the file (called by compaction and graceful shutdown). */
-    void sync();
+    /**
+     * fsync the file (compaction and graceful shutdown). Returns
+     * false when the kernel refuses (`journal.fsync` failpoint or a
+     * real device error); callers treat that as a durability loss.
+     */
+    bool sync();
 
     void close();
     bool isOpen() const { return fd_ >= 0; }

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "qoc/device.h"
 
 namespace paqoc {
@@ -286,6 +287,13 @@ void
 PulseLibrary::onInsert(const std::string &key, const CachedPulse &entry)
 {
     MutexLock lock(mutex_);
+    if (entry.degraded) {
+        // Stitched best-effort pulses are session-local: serving them
+        // again after a restart would freeze a degraded result into
+        // the library forever.
+        ++stats_.skippedDegradedPulses;
+        return;
+    }
     const auto it = entries_.find(key);
     if (it != entries_.end() && it->second.latency == entry.latency
         && it->second.error == entry.error
@@ -295,47 +303,96 @@ PulseLibrary::onInsert(const std::string &key, const CachedPulse &entry)
         return;
     }
     entries_[key] = entry;
-    journal_.append(encodePulseRecord(key, entry));
-    if (options_.syncEveryAppend)
-        journal_.sync();
-    ++stats_.appendedRecords;
+    if (stats_.degraded) {
+        // Read-only mode: keep serving the fresh derivation from
+        // memory, but stop touching the (failing) disk.
+        ++stats_.failedAppends;
+        return;
+    }
+    try {
+        journal_.append(encodePulseRecord(key, entry));
+        ++stats_.appendedRecords;
+        if (options_.syncEveryAppend && !journal_.sync())
+            enterDegradedLocked("journal fsync failed");
+    } catch (const FatalError &e) {
+        ++stats_.failedAppends;
+        enterDegradedLocked(e.what());
+    }
+}
+
+void
+PulseLibrary::enterDegradedLocked(const std::string &reason)
+{
+    if (stats_.degraded)
+        return;
+    stats_.degraded = true;
+    stats_.warnings.push_back(
+        "pulse library degraded to read-only: " + reason);
+    // The fd is in an unknown state (possibly a torn tail record);
+    // the next clean start rescans, truncates, and recovers.
+    journal_.close();
 }
 
 void
 PulseLibrary::compact()
 {
     MutexLock lock(mutex_);
-    const std::string tmp = snapshotPath() + ".tmp";
-    ::unlink(tmp.c_str());
-    {
-        JournalWriter snap =
-            JournalWriter::openAppend(tmp, fingerprint_, 0);
-        for (const auto &[key, entry] : entries_)
-            snap.append(encodePulseRecord(key, entry));
-        snap.sync();
+    if (stats_.degraded) {
+        // The disk already failed once; rewriting the snapshot could
+        // replace a good file with a torn one. Keep what we have.
+        return;
     }
-    PAQOC_FATAL_IF(::rename(tmp.c_str(), snapshotPath().c_str()) != 0,
-                   "cannot publish snapshot '", snapshotPath(),
-                   "': ", std::strerror(errno));
-    fsyncDirectory(directory_);
+    try {
+        const std::string tmp = snapshotPath() + ".tmp";
+        ::unlink(tmp.c_str());
+        {
+            JournalWriter snap =
+                JournalWriter::openAppend(tmp, fingerprint_, 0);
+            for (const auto &[key, entry] : entries_)
+                snap.append(encodePulseRecord(key, entry));
+            PAQOC_FATAL_IF(!snap.sync(), "cannot fsync snapshot '",
+                           tmp, "'");
+        }
+        const failpoint::Hit hit =
+            failpoint::evaluate("library.compact");
+        const bool rename_blocked =
+            hit.action != failpoint::Action::Off
+            && hit.action != failpoint::Action::DelayMs;
+        PAQOC_FATAL_IF(rename_blocked
+                           || ::rename(tmp.c_str(),
+                                       snapshotPath().c_str())
+                               != 0,
+                       "cannot publish snapshot '", snapshotPath(),
+                       "': ",
+                       rename_blocked ? "injected rename failure"
+                                      : std::strerror(errno));
+        fsyncDirectory(directory_);
 
-    // Reset the journal: every record it held is now in the snapshot.
-    // A crash before this truncate merely leaves duplicate records,
-    // which replay idempotently.
-    journal_.close();
-    PAQOC_FATAL_IF(::truncate(journalPath().c_str(), 0) != 0,
-                   "cannot truncate journal '", journalPath(),
-                   "': ", std::strerror(errno));
-    journal_ =
-        JournalWriter::openAppend(journalPath(), fingerprint_, 0);
-    journal_.sync();
+        // Reset the journal: every record it held is now in the
+        // snapshot. A crash before this truncate merely leaves
+        // duplicate records, which replay idempotently.
+        journal_.close();
+        PAQOC_FATAL_IF(::truncate(journalPath().c_str(), 0) != 0,
+                       "cannot truncate journal '", journalPath(),
+                       "': ", std::strerror(errno));
+        journal_ =
+            JournalWriter::openAppend(journalPath(), fingerprint_, 0);
+        PAQOC_FATAL_IF(!journal_.sync(), "cannot fsync journal '",
+                       journalPath(), "'");
+    } catch (const FatalError &e) {
+        // Compaction is an optimization; failing it must not take the
+        // daemon down. The snapshot/journal pair on disk is still one
+        // of the states the crash-safety argument covers.
+        enterDegradedLocked(e.what());
+    }
 }
 
 void
 PulseLibrary::sync()
 {
     MutexLock lock(mutex_);
-    journal_.sync();
+    if (!stats_.degraded && !journal_.sync())
+        enterDegradedLocked("journal fsync failed");
 }
 
 std::size_t

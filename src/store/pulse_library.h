@@ -41,6 +41,18 @@ struct PulseLibraryStats
     std::uint64_t droppedTailBytes = 0;
     /** Records appended since open. */
     std::size_t appendedRecords = 0;
+    /**
+     * True once a journal write, fsync, or compaction failed (disk
+     * full, injected failpoint). The library then serves read-only
+     * from memory: new derivations update the in-memory map but are
+     * no longer persisted, and compaction is skipped. A restart with
+     * a healthy disk recovers everything journaled before the fault.
+     */
+    bool degraded = false;
+    /** Appends abandoned because of the degraded transition. */
+    std::size_t failedAppends = 0;
+    /** Degraded (stitched-fallback) pulses refused persistence. */
+    std::size_t skippedDegradedPulses = 0;
     /** Everything recovery had to skip or rotate aside. */
     std::vector<std::string> warnings;
 };
@@ -132,6 +144,14 @@ class PulseLibrary : public PulseStoreSink
      */
     void applyRecord(const std::string &payload, std::size_t &counter)
         PAQOC_NO_THREAD_SAFETY_ANALYSIS;
+
+    /**
+     * Flip to read-only degraded mode after a persistence failure:
+     * close the journal, record the reason, and keep serving from
+     * memory (DESIGN.md §9).
+     */
+    void enterDegradedLocked(const std::string &reason)
+        PAQOC_REQUIRES(mutex_);
 
     std::string snapshotPath() const;
     std::string journalPath() const;

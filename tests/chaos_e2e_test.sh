@@ -1,0 +1,136 @@
+#!/bin/sh
+# Chaos end-to-end test: drive paqocc/paqocd through injected faults
+# (PAQOC_FAILPOINTS), a kill -9, and a mid-append crash, and verify the
+# recovery contract of DESIGN.md §9 -- every scenario ends in either a
+# served, byte-identical payload or a clean typed error, and a restart
+# heals everything.
+#
+# Usage: chaos_e2e_test.sh <paqocc> <paqocd> <input.qasm>
+set -eu
+
+PAQOCC=$1
+PAQOCD=$2
+QASM=$3
+WORK=$(mktemp -d /tmp/paqoc_chaos_e2e.XXXXXX)
+cleanup() {
+    status=$?
+    if [ -n "$DAEMON_PID" ]; then
+        kill -9 "$DAEMON_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+    exit "$status"
+}
+trap cleanup EXIT
+DAEMON_PID=
+
+fail() {
+    echo "FAIL: $1" >&2
+    exit 1
+}
+
+SOCK="$WORK/d.sock"
+LIB="$WORK/lib"
+
+start_daemon() {
+    # $1: extra environment spec for PAQOC_FAILPOINTS (may be empty).
+    rm -f "$SOCK"
+    if [ -n "$1" ]; then
+        PAQOC_FAILPOINTS=$1 "$PAQOCD" --socket "$SOCK" \
+            --library "$LIB" >> "$WORK/daemon.log" 2>&1 &
+    else
+        "$PAQOCD" --socket "$SOCK" --library "$LIB" \
+            >> "$WORK/daemon.log" 2>&1 &
+    fi
+    DAEMON_PID=$!
+    i=0
+    while [ ! -S "$SOCK" ]; do
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || fail "daemon did not come up"
+        sleep 0.1
+    done
+}
+
+# 0. The healthy reference payload, computed fully locally.
+"$PAQOCC" --topology 2x2 --json "$QASM" > "$WORK/local.json"
+
+# 1. Baseline daemon serve, then kill -9 and restart on the same
+#    library: the recovered daemon must serve the identical payload.
+start_daemon ""
+"$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+    > "$WORK/remote1.json"
+cmp -s "$WORK/local.json" "$WORK/remote1.json" \
+    || fail "daemon payload differs from the local payload"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=
+
+start_daemon ""
+"$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+    > "$WORK/remote2.json"
+cmp -s "$WORK/remote1.json" "$WORK/remote2.json" \
+    || fail "payload changed across kill -9 and restart"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "daemon exited non-zero after baseline"
+DAEMON_PID=
+
+# 2. Crash mid-append: the daemon aborts while journaling the first
+#    fresh pulse. The client must fail with a clean error (not hang),
+#    and a restarted daemon must recover the library and serve the
+#    same bytes as ever.
+rm -rf "$LIB" # fresh library so the compile journals new pulses
+start_daemon "journal.append=abort:1"
+if "$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+    > "$WORK/crashed.json" 2> "$WORK/crashed.err"; then
+    fail "client succeeded against a crashing daemon"
+fi
+grep -q "failpoints armed" "$WORK/daemon.log" \
+    || fail "daemon did not announce its armed failpoints"
+wait "$DAEMON_PID" 2>/dev/null && fail "daemon survived an abort" || true
+DAEMON_PID=
+[ -s "$WORK/crashed.err" ] || fail "client crash error was silent"
+
+start_daemon ""
+"$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+    > "$WORK/recovered.json"
+cmp -s "$WORK/local.json" "$WORK/recovered.json" \
+    || fail "payload differs after crash recovery"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "daemon exited non-zero after recovery"
+DAEMON_PID=
+
+# 3. Disk full: the library degrades to read-only but the daemon keeps
+#    serving byte-identical payloads, and stays up across requests.
+rm -rf "$LIB"
+start_daemon "journal.append=enospc:1"
+"$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+    > "$WORK/degraded1.json"
+cmp -s "$WORK/local.json" "$WORK/degraded1.json" \
+    || fail "degraded daemon served a different payload"
+"$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+    > "$WORK/degraded2.json"
+cmp -s "$WORK/degraded1.json" "$WORK/degraded2.json" \
+    || fail "degraded daemon answers changed between requests"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "degraded daemon exited non-zero"
+DAEMON_PID=
+
+# 4. Missing daemon: bounded retries fail fast with a typed error...
+if "$PAQOCC" --connect "$WORK/no-such.sock" --retries 2 \
+    --backoff-ms 1 --topology 2x2 --json "$QASM" \
+    > /dev/null 2> "$WORK/noconn.err"; then
+    fail "connect to a missing socket succeeded"
+fi
+grep -q "cannot connect" "$WORK/noconn.err" \
+    || fail "missing-daemon error is not typed: $(cat "$WORK/noconn.err")"
+
+# 5. ...and --fallback-local turns the same failure into a local
+#    compile with the exact same bytes as a plain local run.
+"$PAQOCC" --connect "$WORK/no-such.sock" --retries 1 --backoff-ms 1 \
+    --fallback-local --topology 2x2 --json "$QASM" \
+    > "$WORK/fallback.json" 2> "$WORK/fallback.err"
+cmp -s "$WORK/local.json" "$WORK/fallback.json" \
+    || fail "--fallback-local payload differs from the local payload"
+grep -q "falling back to local" "$WORK/fallback.err" \
+    || fail "fallback did not announce itself on stderr"
+
+echo "PASS"

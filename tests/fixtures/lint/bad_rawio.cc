@@ -1,0 +1,18 @@
+// Fixture: raw I/O syscalls in store/service code (lint path says
+// src/store/... or src/service/...).
+#include <unistd.h>
+#include <sys/socket.h>
+
+void
+leaky(int fd, const char *buf, unsigned long n)
+{
+    (void)::write(fd, buf, n);              // flagged
+    (void)send(fd, buf, n, 0);              // flagged
+    (void)::pwrite(fd, buf, n, 0);          // flagged
+    // Near misses: wrapper names are not the syscall.
+    // writeFully(fd, buf, n) below parses as an identifier call.
+    extern void writeFully(int, const char *, unsigned long);
+    writeFully(fd, buf, n); // not flagged
+    // paqoc-lint: allow(raw-io) fixture exercises suppression
+    (void)::write(fd, buf, n); // suppressed
+}

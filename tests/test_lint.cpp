@@ -46,13 +46,14 @@ linesOf(const std::vector<Finding> &findings, const std::string &rule)
     return lines;
 }
 
-TEST(Lint, RuleCatalogueHasSixStableRules)
+TEST(Lint, RuleCatalogueHasSevenStableRules)
 {
     const std::vector<std::string> names = paqoc::lint::ruleNames();
-    EXPECT_EQ(paqoc::lint::ruleCount(), 6);
+    EXPECT_EQ(paqoc::lint::ruleCount(), 7);
     const std::vector<std::string> expected = {
-        "float-numerics", "header-guard",        "naked-mutex",
-        "printf-output",  "unordered-iteration", "unseeded-random"};
+        "float-numerics", "header-guard", "naked-mutex",
+        "printf-output",  "raw-io",       "unordered-iteration",
+        "unseeded-random"};
     EXPECT_EQ(names, expected);
     EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
@@ -179,6 +180,27 @@ TEST(Lint, FloatFlaggedInNumericsOnly)
     EXPECT_TRUE(linesOf(other, "float-numerics").empty());
 }
 
+TEST(Lint, RawIoFlaggedInStoreAndServiceOnly)
+{
+    const auto store =
+        lintFile("src/store/fixture.cpp", fixture("bad_rawio.cc"));
+    EXPECT_EQ(linesOf(store, "raw-io"), (std::vector<int>{9, 10, 11}));
+
+    const auto service =
+        lintFile("src/service/fixture.cpp", fixture("bad_rawio.cc"));
+    EXPECT_EQ(linesOf(service, "raw-io"),
+              (std::vector<int>{9, 10, 11}));
+
+    // Other layers are exempt -- the wrappers themselves (in
+    // src/common) must make the real syscalls somewhere.
+    const auto common =
+        lintFile("src/common/failpoint.cpp", fixture("bad_rawio.cc"));
+    EXPECT_TRUE(linesOf(common, "raw-io").empty());
+    const auto tool =
+        lintFile("tools/fixture.cpp", fixture("bad_rawio.cc"));
+    EXPECT_TRUE(linesOf(tool, "raw-io").empty());
+}
+
 TEST(Lint, StringAndCommentTokensNeverTrip)
 {
     const std::string content =
@@ -246,7 +268,7 @@ TEST(Lint, JsonReportIsMachineReadable)
     const std::string clean =
         paqoc::lint::findingsToJson({}).dump();
     EXPECT_NE(clean.find("\"ok\":true"), std::string::npos);
-    EXPECT_NE(clean.find("\"checked_rules\":6"), std::string::npos);
+    EXPECT_NE(clean.find("\"checked_rules\":7"), std::string::npos);
 }
 
 TEST(Lint, RealTreeIsClean)

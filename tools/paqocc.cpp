@@ -21,6 +21,11 @@
  *     --emit-pulses DIR          write per-gate pulse CSVs into DIR
  *     --benchmark NAME           use a built-in benchmark as input
  *     --connect SOCKET           compile via a running paqocd daemon
+ *     --retries N                retry a failed connect/request N times
+ *     --backoff-ms MS            base retry backoff (default 50)
+ *     --timeout-ms MS            socket send/recv timeout (0 = none)
+ *     --fallback-local           compile locally when the daemon is
+ *                                unreachable after all retries
  *     --json                     print the compile payload as JSON
  *     --quiet                    only the summary line
  */
@@ -65,6 +70,10 @@ struct CliOptions
     std::string benchmark;
     std::string connectSocket;
     std::string inputFile;
+    int retries = 0;
+    double backoffMs = 50.0;
+    double timeoutMs = 0.0;
+    bool fallbackLocal = false;
 };
 
 [[noreturn]] void
@@ -85,6 +94,12 @@ usage(int code)
         "  --pulse-db FILE         load/save the offline pulse database\n"
         "  --benchmark NAME        built-in benchmark as input\n"
         "  --connect SOCKET        compile via a running paqocd\n"
+        "  --retries N             retry failed connects/requests N "
+        "times\n"
+        "  --backoff-ms MS         base retry backoff (default 50)\n"
+        "  --timeout-ms MS         socket send/recv timeout (0 = none)\n"
+        "  --fallback-local        compile locally when the daemon is "
+        "unreachable\n"
         "  --json                  print the compile payload as JSON\n"
         "  --quiet                 only the summary line\n");
     std::exit(code);
@@ -127,6 +142,14 @@ parseArgs(int argc, char **argv)
             opts.benchmark = next();
         else if (arg == "--connect")
             opts.connectSocket = next();
+        else if (arg == "--retries")
+            opts.retries = std::stoi(next());
+        else if (arg == "--backoff-ms")
+            opts.backoffMs = std::stod(next());
+        else if (arg == "--timeout-ms")
+            opts.timeoutMs = std::stod(next());
+        else if (arg == "--fallback-local")
+            opts.fallbackLocal = true;
         else if (arg == "--json")
             opts.json = true;
         else if (arg == "--help" || arg == "-h")
@@ -170,12 +193,16 @@ readInputText(const CliOptions &opts)
 }
 
 Circuit
-loadInput(const CliOptions &opts, const Topology &topology)
+loadInput(const CliOptions &opts, const Topology &topology,
+          const std::string *qasm_override)
 {
     if (!opts.benchmark.empty())
         return workloads::makePhysical(opts.benchmark, topology);
 
-    const Circuit logical = fromQasm(readInputText(opts));
+    // The override carries QASM already read from stdin (the remote
+    // path drains stdin once; a local fallback must not re-read it).
+    const Circuit logical = fromQasm(
+        qasm_override != nullptr ? *qasm_override : readInputText(opts));
     const Circuit cx_level = decomposeToCx(logical);
     const RoutingResult routed = sabreRoute(cx_level, topology);
     return decomposeToBasis(routed.physical);
@@ -201,10 +228,13 @@ jobFromCli(const CliOptions &opts)
 }
 
 int
-runRemote(const CliOptions &opts)
+runRemote(const CliOptions &opts, const CompileJob &job)
 {
-    const CompileJob job = jobFromCli(opts);
-    ServiceClient client(opts.connectSocket);
+    ClientOptions copts;
+    copts.retries = opts.retries;
+    copts.backoffMs = opts.backoffMs;
+    copts.timeoutMs = opts.timeoutMs;
+    ServiceClient client(opts.connectSocket, copts);
     const Json response = client.request(compileJobToJson(job));
     PAQOC_FATAL_IF(!response.get("ok", Json(false)).asBool(),
                    "daemon error: ",
@@ -231,13 +261,10 @@ runRemote(const CliOptions &opts)
 }
 
 int
-run(const CliOptions &opts)
+runLocal(const CliOptions &opts, const std::string *qasm_override)
 {
-    if (!opts.connectSocket.empty())
-        return runRemote(opts);
-
     const Topology topology = parseTopology(opts.topology);
-    const Circuit physical = loadInput(opts, topology);
+    const Circuit physical = loadInput(opts, topology, qasm_override);
     if (!opts.quiet && !opts.json) {
         std::printf("input: %zu physical gates on %d qubits\n",
                     physical.size(), physical.numQubits());
@@ -342,6 +369,29 @@ run(const CliOptions &opts)
                         opts.pulseDb.c_str());
     }
     return 0;
+}
+
+int
+run(const CliOptions &opts)
+{
+    if (opts.connectSocket.empty())
+        return runLocal(opts, nullptr);
+
+    // Read the job (and with it stdin) exactly once, so a local
+    // fallback after a remote failure still has the circuit.
+    const CompileJob job = jobFromCli(opts);
+    try {
+        return runRemote(opts, job);
+    } catch (const FatalError &e) {
+        if (!opts.fallbackLocal)
+            throw;
+        std::fprintf(stderr,
+                     "paqocc: remote compile failed (%s); "
+                     "falling back to local compilation\n",
+                     e.what());
+        return runLocal(opts,
+                        job.benchmark.empty() ? &job.qasm : nullptr);
+    }
 }
 
 } // namespace

@@ -27,10 +27,12 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <unistd.h>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "service/server.h"
 #include "service/service.h"
@@ -159,6 +161,16 @@ run(const DaemonOptions &opts)
         }
         server.requestStop();
     });
+
+    // Make fault injection impossible to miss in logs: a daemon with
+    // failpoints armed (PAQOC_FAILPOINTS) is a chaos-test daemon.
+    const std::vector<std::string> armed = failpoint::armed();
+    if (!armed.empty()) {
+        std::printf("paqocd: WARNING: failpoints armed:");
+        for (const std::string &a : armed)
+            std::printf(" %s", a.c_str());
+        std::printf("\n");
+    }
 
     std::printf("paqocd: serving on %s (%u threads, queue %zu)\n",
                 opts.socketPath.c_str(), ThreadPool::global().size(),
