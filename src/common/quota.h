@@ -1,0 +1,225 @@
+#ifndef PAQOC_COMMON_QUOTA_H_
+#define PAQOC_COMMON_QUOTA_H_
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+/**
+ * Per-request resource budgets (DESIGN.md §10). A zero limit means
+ * "unlimited"; the service resolves each request's effective limits
+ * from its own caps plus the request's overrides (resolveQuota) and
+ * hands the optimizer a QuotaToken to charge against.
+ */
+struct QuotaLimits
+{
+    /** GRAPE/ADAM iterations across all trials of the request. */
+    long maxIters = 0;
+    /** Wall-clock budget from token construction, in milliseconds. */
+    double maxWallMs = 0.0;
+    /** Distinct pulses the request may derive (cache misses). */
+    long maxResidentPulses = 0;
+
+    bool
+    any() const
+    {
+        return maxIters > 0 || maxWallMs > 0.0 || maxResidentPulses > 0;
+    }
+};
+
+/**
+ * Effective per-request limits: the request's value, clamped by the
+ * server cap. A zero cap passes the request value through; a zero (or
+ * absent) request value inherits the cap; otherwise the smaller wins,
+ * so a request can tighten but never widen the server's budget.
+ */
+inline QuotaLimits
+resolveQuota(const QuotaLimits &caps, const QuotaLimits &requested)
+{
+    auto clamp_long = [](long cap, long req) {
+        if (cap <= 0)
+            return req < 0 ? 0L : req;
+        if (req <= 0)
+            return cap;
+        return req < cap ? req : cap;
+    };
+    auto clamp_ms = [](double cap, double req) {
+        if (cap <= 0.0)
+            return req < 0.0 ? 0.0 : req;
+        if (req <= 0.0)
+            return cap;
+        return req < cap ? req : cap;
+    };
+    QuotaLimits out;
+    out.maxIters = clamp_long(caps.maxIters, requested.maxIters);
+    out.maxWallMs = clamp_ms(caps.maxWallMs, requested.maxWallMs);
+    out.maxResidentPulses =
+        clamp_long(caps.maxResidentPulses, requested.maxResidentPulses);
+    return out;
+}
+
+/** Raised when a hard quota is exhausted mid-request. */
+class QuotaExceededError : public FatalError
+{
+  public:
+    QuotaExceededError(const char *limit, const std::string &detail)
+        : FatalError("quota_exceeded: " + std::string(limit)
+                     + (detail.empty() ? "" : " (" + detail + ")")),
+          limit_(limit)
+    {}
+
+    /** Stable limit id: "max_iters" | "max_wall_ms" |
+     *  "max_resident_pulses". */
+    const char *limit() const { return limit_; }
+
+  private:
+    const char *limit_;
+};
+
+/**
+ * Cooperative budget token of one request. GRAPE charges an iteration
+ * at the end of every ADAM step and the pulse generators charge one
+ * resident pulse per cache-missing derivation; the first charge that
+ * exhausts a budget trips the token permanently. In hard mode the
+ * charging site raises QuotaExceededError (throwIfExceeded); in
+ * degrade mode (degradeOnExceeded) the optimizer instead stops early
+ * and hands back its best effort through the stitched-fallback path.
+ *
+ * Thread-safe: trials charge concurrently from the thread pool. Which
+ * trial observes the trip first depends on scheduling, but whether the
+ * request as a whole trips is a function of total work vs. budget, and
+ * a tripped hard token always surfaces as the same structured error.
+ */
+class QuotaToken
+{
+  public:
+    explicit QuotaToken(const QuotaLimits &limits,
+                        bool degrade_on_exceeded = false)
+        : limits_(limits), degrade_(degrade_on_exceeded),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    QuotaToken(const QuotaToken &) = delete;
+    QuotaToken &operator=(const QuotaToken &) = delete;
+
+    /**
+     * Charge `n` optimizer iterations (also polls the wall clock).
+     * False once any budget is exhausted.
+     */
+    bool
+    chargeIterations(long n)
+    {
+        if (tripped())
+            return false;
+        if (limits_.maxIters > 0
+            && iters_.fetch_add(n, std::memory_order_relaxed) + n
+                   > limits_.maxIters)
+            trip("max_iters");
+        else if (wallExceeded())
+            trip("max_wall_ms");
+        return !tripped();
+    }
+
+    /** Charge one derived (cache-missing) pulse. */
+    bool
+    chargeResidentPulse()
+    {
+        if (tripped())
+            return false;
+        if (limits_.maxResidentPulses > 0
+            && resident_.fetch_add(1, std::memory_order_relaxed) + 1
+                   > limits_.maxResidentPulses)
+            trip("max_resident_pulses");
+        else if (wallExceeded())
+            trip("max_wall_ms");
+        return !tripped();
+    }
+
+    bool exceeded() const { return tripped(); }
+
+    /** Stable id of the first exhausted limit (nullptr if none). */
+    const char *
+    limitName() const
+    {
+        return limit_.load(std::memory_order_acquire);
+    }
+
+    bool degradeOnExceeded() const { return degrade_; }
+
+    /** Raise the structured error for the tripped limit. */
+    [[noreturn]] void
+    throwQuotaExceeded() const
+    {
+        const char *limit = limitName();
+        throw QuotaExceededError(limit != nullptr ? limit : "quota",
+                                 describe(limit));
+    }
+
+    long itersCharged() const
+    { return iters_.load(std::memory_order_relaxed); }
+    long residentCharged() const
+    { return resident_.load(std::memory_order_relaxed); }
+    const QuotaLimits &limits() const { return limits_; }
+
+  private:
+    bool
+    tripped() const
+    {
+        return limit_.load(std::memory_order_acquire) != nullptr;
+    }
+
+    void
+    trip(const char *limit)
+    {
+        const char *expected = nullptr;
+        limit_.compare_exchange_strong(expected, limit,
+                                       std::memory_order_acq_rel);
+    }
+
+    bool
+    wallExceeded() const
+    {
+        if (limits_.maxWallMs <= 0.0)
+            return false;
+        const auto elapsed =
+            std::chrono::steady_clock::now() - start_;
+        return std::chrono::duration<double, std::milli>(elapsed)
+                   .count()
+               > limits_.maxWallMs;
+    }
+
+    std::string
+    describe(const char *limit) const
+    {
+        if (limit == nullptr)
+            return "";
+        const std::string name(limit);
+        if (name == "max_iters")
+            return "iteration budget "
+                   + std::to_string(limits_.maxIters) + " exhausted";
+        if (name == "max_wall_ms")
+            return "wall-clock budget "
+                   + std::to_string(limits_.maxWallMs)
+                   + " ms exhausted";
+        if (name == "max_resident_pulses")
+            return "resident-pulse budget "
+                   + std::to_string(limits_.maxResidentPulses)
+                   + " exhausted";
+        return "";
+    }
+
+    QuotaLimits limits_;
+    bool degrade_;
+    std::chrono::steady_clock::time_point start_;
+    std::atomic<long> iters_{0};
+    std::atomic<long> resident_{0};
+    std::atomic<const char *> limit_{nullptr};
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_COMMON_QUOTA_H_

@@ -379,6 +379,24 @@ checkPrintfOutput(const FileContext &ctx)
 }
 
 void
+checkProcessControl(const FileContext &ctx)
+{
+    // Process lifetime is the supervisor's business alone: a
+    // fork/kill/wait anywhere else bypasses the restart budget, the
+    // heartbeat watchdog, and the signal-forwarding state machine.
+    if (startsWith(ctx.path, "src/service/supervisor."))
+        return;
+    static const std::regex pattern(
+        R"((::\s*)?\b(fork|vfork|kill|killpg|waitpid|wait4|posix_spawn\w*|exec[lv]\w*)\s*\()");
+    checkLinePattern(ctx, "process-control", pattern,
+                     "process-control syscall outside "
+                     "src/service/supervisor.*; child lifetime must "
+                     "flow through runSupervised so restarts, "
+                     "heartbeats, and signal forwarding live in one "
+                     "audited state machine");
+}
+
+void
 checkFloatNumerics(const FileContext &ctx)
 {
     const bool numeric = startsWith(ctx.path, "src/linalg/")
@@ -491,6 +509,7 @@ lintInto(const std::string &path, const std::string &content,
     checkUnseededRandom(ctx);
     checkNakedMutex(ctx);
     checkPrintfOutput(ctx);
+    checkProcessControl(ctx);
     checkFloatNumerics(ctx);
     checkRawIo(ctx);
     checkHeaderGuard(ctx);
@@ -518,10 +537,10 @@ ruleCount()
 std::vector<std::string>
 ruleNames()
 {
-    return {"float-numerics", "header-guard",
-            "naked-mutex",    "printf-output",
-            "raw-io",         "unordered-iteration",
-            "unseeded-random"};
+    return {"float-numerics",  "header-guard",
+            "naked-mutex",     "printf-output",
+            "process-control", "raw-io",
+            "unordered-iteration", "unseeded-random"};
 }
 
 std::vector<Finding>

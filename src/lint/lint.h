@@ -56,6 +56,13 @@ namespace lint {
  *                        through the failpoint-aware checked*
  *                        wrappers in src/common/failpoint.h so chaos
  *                        tests can inject faults on every path.
+ *   process-control      fork()/vfork()/kill()/waitpid()/exec*()/
+ *                        posix_spawn*() anywhere except
+ *                        src/service/supervisor.*: child-process
+ *                        lifetime flows through runSupervised so the
+ *                        restart budget, heartbeat watchdog, and
+ *                        signal forwarding live in one audited state
+ *                        machine (DESIGN.md §10).
  */
 struct Finding
 {

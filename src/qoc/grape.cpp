@@ -88,7 +88,35 @@ class GrapeRun
         }
     }
 
-    GrapeResult optimize(ThreadPool *pool);
+    /**
+     * Adopt a mid-trial snapshot; the next iteration to run is
+     * `state.iteration + 1`. False (state untouched beyond dims
+     * check) when the snapshot's shape does not match this problem.
+     */
+    bool
+    restore(const GrapeTrialState &state)
+    {
+        auto shaped = [&](const std::vector<std::vector<double>> &w) {
+            if (w.size() != static_cast<std::size_t>(n_slices_))
+                return false;
+            for (const auto &slice : w)
+                if (slice.size() != n_controls_)
+                    return false;
+            return true;
+        };
+        if (state.iteration < 0 || !shaped(state.u) || !shaped(state.m)
+            || !shaped(state.v) || !shaped(state.bestU))
+            return false;
+        u_ = state.u;
+        m_ = state.m;
+        v_ = state.v;
+        best_u_ = state.bestU;
+        best_fidelity_ = state.bestFidelity;
+        return true;
+    }
+
+    GrapeResult optimize(const GrapeRuntime &rt,
+                         const GrapeTrialKey &key, int start_iter);
 
   private:
     double fidelityAndGradient(std::vector<std::vector<double>> &grad,
@@ -106,6 +134,8 @@ class GrapeRun
     std::vector<std::vector<double>> u_; // amplitudes [slice][control]
     std::vector<std::vector<double>> m_; // ADAM first moment
     std::vector<std::vector<double>> v_; // ADAM second moment
+    double best_fidelity_ = 0.0;
+    std::vector<std::vector<double>> best_u_;
 };
 
 double
@@ -163,7 +193,8 @@ GrapeRun::fidelityAndGradient(std::vector<std::vector<double>> &grad,
 }
 
 GrapeResult
-GrapeRun::optimize(ThreadPool *pool)
+GrapeRun::optimize(const GrapeRuntime &rt, const GrapeTrialKey &key,
+                   int start_iter)
 {
     constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
     std::vector<std::vector<double>> grad(
@@ -171,14 +202,17 @@ GrapeRun::optimize(ThreadPool *pool)
         std::vector<double>(n_controls_, 0.0));
 
     GrapeResult result;
-    double best_fidelity = 0.0;
-    std::vector<std::vector<double>> best_u = u_;
+    // On resume the loop may not execute at all (snapshot taken at
+    // the final iteration); account for the completed prefix.
+    result.iterations = start_iter - 1;
+    if (best_u_.empty())
+        best_u_ = u_;
 
-    for (int iter = 1; iter <= opts_.maxIterations; ++iter) {
-        const double fidelity = fidelityAndGradient(grad, pool);
-        if (fidelity > best_fidelity) {
-            best_fidelity = fidelity;
-            best_u = u_;
+    for (int iter = start_iter; iter <= opts_.maxIterations; ++iter) {
+        const double fidelity = fidelityAndGradient(grad, rt.pool);
+        if (fidelity > best_fidelity_) {
+            best_fidelity_ = fidelity;
+            best_u_ = u_;
         }
         result.iterations = iter;
         if (1.0 - fidelity <= opts_.targetInfidelity) {
@@ -204,10 +238,32 @@ GrapeRun::optimize(ThreadPool *pool)
                                        device_.bound(k));
             }
         }
+
+        if (rt.checkpoint != nullptr && rt.checkpointEvery > 0
+            && iter % rt.checkpointEvery == 0) {
+            GrapeTrialState state;
+            state.key = key;
+            state.iteration = iter;
+            state.bestFidelity = best_fidelity_;
+            state.u = u_;
+            state.m = m_;
+            state.v = v_;
+            state.bestU = best_u_;
+            rt.checkpoint->saveTrialState(state);
+        }
+        // Charged after the snapshot so work done before the trip is
+        // still resumable, and after the convergence break so every
+        // trial performs at least one full iteration (a degraded
+        // token always has a best effort to hand back).
+        if (rt.quota != nullptr && !rt.quota->chargeIterations(1)) {
+            if (!rt.quota->degradeOnExceeded())
+                rt.quota->throwQuotaExceeded();
+            break;
+        }
     }
 
-    result.schedule.amplitudes = std::move(best_u);
-    result.schedule.fidelity = best_fidelity;
+    result.schedule.amplitudes = best_u_;
+    result.schedule.fidelity = best_fidelity_;
     return result;
 }
 
@@ -217,6 +273,18 @@ GrapeResult
 grapeOptimize(const DeviceModel &device, const Matrix &target,
               int num_slices, const GrapeOptions &options,
               const PulseSchedule *initial_guess, ThreadPool *pool)
+{
+    GrapeRuntime runtime;
+    runtime.pool = pool;
+    return grapeOptimize(device, target, num_slices, options,
+                         initial_guess, runtime);
+}
+
+GrapeResult
+grapeOptimize(const DeviceModel &device, const Matrix &target,
+              int num_slices, const GrapeOptions &options,
+              const PulseSchedule *initial_guess,
+              const GrapeRuntime &runtime)
 {
     PAQOC_FATAL_IF(num_slices <= 0, "pulse needs at least one slice");
     PAQOC_FATAL_IF(target.rows() != device.dim(),
@@ -230,25 +298,57 @@ grapeOptimize(const DeviceModel &device, const Matrix &target,
     // rounds.
     const std::uint64_t target_hash = matrixHash(target);
     auto run_one = [&](int restart) {
-        GrapeRun run(device, target, num_slices, options);
-        if (restart == 0 && initial_guess != nullptr
-            && initial_guess->numSlices() > 0) {
-            run.seedFrom(*initial_guess);
-        } else {
-            Rng rng(mixSeed(
-                mixSeed(mixSeed(options.seed, target_hash),
-                        static_cast<std::uint64_t>(num_slices)),
-                static_cast<std::uint64_t>(restart)));
-            run.seedRandom(rng);
+        const GrapeTrialKey key{target_hash, num_slices, restart};
+        if (runtime.checkpoint != nullptr) {
+            // Memoized replay: a finished trial's recorded result is
+            // exactly what re-running it would produce (the trial is
+            // a pure function of its key), so return it verbatim.
+            if (std::optional<GrapeResult> done =
+                    runtime.checkpoint->completedTrial(key))
+                return *done;
         }
-        GrapeResult r = run.optimize(pool);
+        GrapeRun run(device, target, num_slices, options);
+        int start_iter = 1;
+        bool resumed = false;
+        if (runtime.checkpoint != nullptr) {
+            if (std::optional<GrapeTrialState> state =
+                    runtime.checkpoint->trialState(key);
+                state && run.restore(*state)) {
+                start_iter = state->iteration + 1;
+                resumed = true;
+            }
+        }
+        if (!resumed) {
+            // The trial RNG is consumed entirely here, before the
+            // first snapshot could be taken, so snapshots need not
+            // carry RNG state to replay exactly.
+            if (restart == 0 && initial_guess != nullptr
+                && initial_guess->numSlices() > 0) {
+                run.seedFrom(*initial_guess);
+            } else {
+                Rng rng(mixSeed(
+                    mixSeed(mixSeed(options.seed, target_hash),
+                            static_cast<std::uint64_t>(num_slices)),
+                    static_cast<std::uint64_t>(restart)));
+                run.seedRandom(rng);
+            }
+        }
+        GrapeResult r = run.optimize(runtime, key, start_iter);
         // The grape.converge failpoint turns any run into a
         // non-converging one so the degraded (stitched) path can be
         // driven without constructing a genuinely hard unitary.
+        // Applied before the completed-trial record is written so a
+        // replayed trial matches what the live run returned.
         if (r.converged
             && failpoint::evaluate("grape.converge").action
                 != failpoint::Action::Off)
             r.converged = false;
+        // A quota-degraded trial stopped early; its result is not the
+        // pure function of the key, so it must never be memoized (an
+        // unbudgeted retry would replay the truncated pulse).
+        if (runtime.checkpoint != nullptr
+            && !(runtime.quota != nullptr && runtime.quota->exceeded()))
+            runtime.checkpoint->saveCompletedTrial(key, r);
         return r;
     };
 
@@ -257,8 +357,8 @@ grapeOptimize(const DeviceModel &device, const Matrix &target,
 
     std::vector<GrapeResult> results(
         static_cast<std::size_t>(restarts));
-    if (pool != nullptr) {
-        pool->parallelFor(results.size(), [&](std::size_t i) {
+    if (runtime.pool != nullptr) {
+        runtime.pool->parallelFor(results.size(), [&](std::size_t i) {
             results[i] = run_one(static_cast<int>(i));
         });
     } else {
@@ -291,7 +391,20 @@ findMinimumDuration(const DeviceModel &device, const Matrix &target,
                     const GrapeOptions &options, int latency_hint,
                     const PulseSchedule *initial_guess, ThreadPool *pool)
 {
+    GrapeRuntime runtime;
+    runtime.pool = pool;
+    return findMinimumDuration(device, target, options, latency_hint,
+                               initial_guess, runtime);
+}
+
+MinDurationResult
+findMinimumDuration(const DeviceModel &device, const Matrix &target,
+                    const GrapeOptions &options, int latency_hint,
+                    const PulseSchedule *initial_guess,
+                    const GrapeRuntime &runtime)
+{
     MinDurationResult out;
+    ThreadPool *pool = runtime.pool;
 
     // Evaluate a deterministic set of candidate durations; with a pool
     // the candidates run concurrently, and the trial/iteration
@@ -300,7 +413,7 @@ findMinimumDuration(const DeviceModel &device, const Matrix &target,
         std::vector<GrapeResult> rs(slices.size());
         auto trial = [&](std::size_t i) {
             rs[i] = grapeOptimize(device, target, slices[i], options,
-                                  initial_guess, pool);
+                                  initial_guess, runtime);
         };
         if (pool != nullptr && slices.size() > 1)
             pool->parallelFor(slices.size(), trial);

@@ -1,8 +1,13 @@
 #ifndef PAQOC_QOC_GRAPE_H_
 #define PAQOC_QOC_GRAPE_H_
 
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
+#include "common/quota.h"
 #include "common/thread_pool.h"
 #include "qoc/device.h"
 #include "qoc/pulse.h"
@@ -52,6 +57,100 @@ struct GrapeResult
 };
 
 /**
+ * Identity of one GRAPE trial inside a pulse derivation. Trials are
+ * pure functions of (target, duration, restart) -- the same key always
+ * produces the same bytes -- which is what makes checkpoint replay
+ * sound: a recovered trial result is exactly what a live re-run would
+ * compute (DESIGN.md §10).
+ */
+struct GrapeTrialKey
+{
+    std::uint64_t targetHash = 0;
+    int numSlices = 0;
+    int restart = 0;
+};
+
+/**
+ * Resumable snapshot of an in-progress trial. The ADAM loop is a pure
+ * function of these doubles (the trial RNG is consumed entirely by the
+ * initial seeding, before the first snapshot), so restoring them and
+ * continuing at `iteration + 1` reproduces the uninterrupted run
+ * bit for bit.
+ */
+struct GrapeTrialState
+{
+    GrapeTrialKey key;
+    /** ADAM iterations completed when the snapshot was taken. */
+    int iteration = 0;
+    double bestFidelity = 0.0;
+    std::vector<std::vector<double>> u; // amplitudes [slice][control]
+    std::vector<std::vector<double>> m; // ADAM first moment
+    std::vector<std::vector<double>> v; // ADAM second moment
+    std::vector<std::vector<double>> bestU;
+};
+
+/**
+ * Checkpoint of one pulse derivation (one canonical cache key).
+ * Completed trials are memoized verbatim; at most the interrupted
+ * trial resumes mid-flight. Implementations must be thread-safe:
+ * concurrent duration probes save from pool threads.
+ */
+class GrapeCheckpoint
+{
+  public:
+    virtual ~GrapeCheckpoint() = default;
+
+    /** Recorded result of a finished trial, if any. */
+    virtual std::optional<GrapeResult>
+    completedTrial(const GrapeTrialKey &key) const = 0;
+
+    /** Latest mid-trial snapshot for `key`, if any. */
+    virtual std::optional<GrapeTrialState>
+    trialState(const GrapeTrialKey &key) const = 0;
+
+    /** Persist a mid-trial snapshot (best effort, never throws). */
+    virtual void saveTrialState(const GrapeTrialState &state) = 0;
+
+    /** Persist a finished trial (best effort, never throws). */
+    virtual void saveCompletedTrial(const GrapeTrialKey &key,
+                                    const GrapeResult &result) = 0;
+
+    /** The derivation published durably; drop the checkpoint. */
+    virtual void discard() = 0;
+};
+
+/** Hands out per-derivation checkpoints keyed by canonical cache key. */
+class GrapeCheckpointProvider
+{
+  public:
+    virtual ~GrapeCheckpointProvider() = default;
+
+    /**
+     * Open (recovering if present) the checkpoint for one canonical
+     * key. May return nullptr (e.g. the file is locked by another
+     * process); callers then run without checkpointing.
+     */
+    virtual std::unique_ptr<GrapeCheckpoint>
+    openCheckpoint(const std::string &canonical_key) = 0;
+};
+
+/**
+ * Execution context threaded through a GRAPE derivation. Default
+ * constructed it changes nothing: no pool, no checkpointing, no
+ * quota -- the optimizer follows the exact legacy code path.
+ */
+struct GrapeRuntime
+{
+    ThreadPool *pool = nullptr;
+    /** Checkpoint of this derivation (may be null). */
+    GrapeCheckpoint *checkpoint = nullptr;
+    /** Snapshot every N ADAM iterations (0 disables snapshots). */
+    int checkpointEvery = 0;
+    /** Cooperative budget of the enclosing request (may be null). */
+    QuotaToken *quota = nullptr;
+};
+
+/**
  * Optimize a piecewise-constant pulse of num_slices slices to realize
  * the target unitary on the device, via GRAPE with first-order
  * gradients and ADAM updates; amplitudes are clipped to the per-control
@@ -65,6 +164,17 @@ GrapeResult grapeOptimize(const DeviceModel &device, const Matrix &target,
                           int num_slices, const GrapeOptions &options = {},
                           const PulseSchedule *initial_guess = nullptr,
                           ThreadPool *pool = nullptr);
+
+/**
+ * As above, with a full runtime: checkpointed trials replay from (or
+ * resume into) `runtime.checkpoint`, and `runtime.quota` is charged
+ * one unit per ADAM iteration. With a default runtime this is exactly
+ * the legacy overload.
+ */
+GrapeResult grapeOptimize(const DeviceModel &device, const Matrix &target,
+                          int num_slices, const GrapeOptions &options,
+                          const PulseSchedule *initial_guess,
+                          const GrapeRuntime &runtime);
 
 /** Result of the minimum-duration search. */
 struct MinDurationResult
@@ -102,6 +212,18 @@ MinDurationResult findMinimumDuration(
     const GrapeOptions &options = {}, int latency_hint = 0,
     const PulseSchedule *initial_guess = nullptr,
     ThreadPool *pool = nullptr);
+
+/**
+ * As above with a full runtime. The candidate set is a pure function
+ * of the bracket and every trial is a pure function of its key, so a
+ * search resumed from a checkpoint walks the exact same candidates --
+ * completed trials replay from the checkpoint and only the
+ * interrupted one computes, yielding a byte-identical result.
+ */
+MinDurationResult findMinimumDuration(
+    const DeviceModel &device, const Matrix &target,
+    const GrapeOptions &options, int latency_hint,
+    const PulseSchedule *initial_guess, const GrapeRuntime &runtime);
 
 /** Propagator realized by playing `schedule` on `device`. */
 Matrix schedulePropagator(const DeviceModel &device,

@@ -101,6 +101,7 @@ SpectralPulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
         }
     }
     try {
+        chargeResidentPulse();
         result.latency = model_.latency(unitary, num_qubits);
         result.error = model_.pulseError(num_qubits, result.latency);
         result.costUnits = model_.compileCost(num_qubits, result.latency);
@@ -157,6 +158,21 @@ GrapePulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
     }
 
     try {
+        chargeResidentPulse();
+        // Crash safety: resume this derivation's GRAPE progress if a
+        // checkpoint for the canonical key survived a previous
+        // process (DESIGN.md §10). A null checkpoint (not configured,
+        // or the file is locked by another worker) changes nothing.
+        std::unique_ptr<GrapeCheckpoint> ckpt;
+        if (checkpoints_ != nullptr && checkpoint_every_ > 0)
+            ckpt = checkpoints_->openCheckpoint(
+                PulseCache::canonicalKey(unitary, num_qubits));
+        GrapeRuntime runtime;
+        runtime.pool = pool;
+        runtime.checkpoint = ckpt.get();
+        runtime.checkpointEvery = checkpoint_every_;
+        runtime.quota = quota();
+
         // Warm-start from the nearest pulse cached before the horizon
         // if one is close; use the analytical estimate to start the
         // duration bracket.
@@ -167,7 +183,7 @@ GrapePulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
         const DeviceModel device(num_qubits);
         MinDurationResult min_dur = findMinimumDuration(
             device, unitary, options_, hint,
-            seed.has_value() ? &seed->schedule : nullptr, pool);
+            seed.has_value() ? &seed->schedule : nullptr, runtime);
         int iterations = min_dur.totalIterations;
 
         if (!min_dur.converged) {
@@ -185,7 +201,7 @@ GrapePulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
             const GrapeResult corrective = grapeOptimize(
                 device, residual,
                 std::max(1, min_dur.schedule.numSlices()), options_,
-                nullptr, pool);
+                nullptr, runtime);
             min_dur.schedule.amplitudes.insert(
                 min_dur.schedule.amplitudes.end(),
                 corrective.schedule.amplitudes.begin(),
@@ -209,6 +225,10 @@ GrapePulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
         entry.schedule = min_dur.schedule;
         entry.degraded = result.degraded;
         cache_.completeFlight(unitary, num_qubits, std::move(entry));
+        // Published (and, when a store is attached, journaled): the
+        // checkpoint has nothing left to protect.
+        if (ckpt)
+            ckpt->discard();
     } catch (...) {
         cache_.abortFlight(unitary, num_qubits);
         throw;

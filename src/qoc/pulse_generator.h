@@ -106,6 +106,14 @@ class PulseGenerator
     void saveDatabase(const std::string &path) const
     { cache_.save(path); }
 
+    /**
+     * Attach the enclosing request's resource budget (may be null to
+     * detach). Not owned; must outlive every generate call. Each
+     * cache-missing derivation charges one resident pulse, and GRAPE
+     * charges iterations through the same token.
+     */
+    void setQuota(QuotaToken *quota) { quota_ = quota; }
+
   protected:
     /**
      * Produce one pulse without touching the counters. The pool (may
@@ -139,9 +147,30 @@ class PulseGenerator
             ;
     }
 
+    /** Budget of the current request; null when unmetered. */
+    QuotaToken *quota() const { return quota_; }
+
+    /**
+     * Charge one cache-missing derivation against the quota; raises
+     * QuotaExceededError on a tripped hard token (the caller's
+     * abortFlight path re-races the flight to the next waiter).
+     * Degrade mode lets the derivation proceed: the iteration budget
+     * (already tripped) then bounds its cost to one iteration per
+     * trial, producing a stitched best-effort pulse.
+     */
+    void
+    chargeResidentPulse()
+    {
+        if (quota_ == nullptr || quota_->chargeResidentPulse())
+            return;
+        if (!quota_->degradeOnExceeded())
+            quota_->throwQuotaExceeded();
+    }
+
     PulseCache cache_;
 
   private:
+    QuotaToken *quota_ = nullptr;
     std::atomic<double> total_cost_{0.0};
     std::atomic<std::size_t> cache_hits_{0};
     std::atomic<std::size_t> generate_calls_{0};
@@ -198,6 +227,21 @@ class GrapePulseGenerator : public PulseGenerator
     /** Similarity radius for warm starts. */
     void setSeedDistance(double d) { seed_distance_ = d; }
 
+    /**
+     * Enable crash-safe derivations: each cache-missing unitary
+     * checkpoints its GRAPE progress (keyed by canonical cache key)
+     * every `every` iterations and discards the checkpoint once the
+     * pulse publishes to the cache. The provider is not owned and
+     * must outlive the generator; null (or every <= 0) disables
+     * checkpointing and restores the exact legacy code path.
+     */
+    void
+    setCheckpoints(GrapeCheckpointProvider *provider, int every)
+    {
+        checkpoints_ = provider;
+        checkpoint_every_ = every;
+    }
+
   protected:
     PulseGenResult generateOne(const Matrix &unitary, int num_qubits,
                                ThreadPool *pool,
@@ -207,6 +251,8 @@ class GrapePulseGenerator : public PulseGenerator
     GrapeOptions options_;
     SpectralLatencyModel model_;
     double seed_distance_ = 1.0;
+    GrapeCheckpointProvider *checkpoints_ = nullptr;
+    int checkpoint_every_ = 0;
 };
 
 } // namespace paqoc

@@ -50,6 +50,15 @@ struct ClientOptions
  * the last backpressure response is returned to the caller as-is.
  * Every non-recoverable path raises FatalError with a typed message --
  * the client never aborts the process.
+ *
+ * Buffered-resend contract: request() serializes the request JSON to
+ * its wire frame *once*, before the first attempt, and every retry
+ * resends that buffered copy. Callers may therefore hand over
+ * single-shot payloads (e.g. QASM drained from stdin) and still
+ * survive a daemon that dies after reading the request but before
+ * writing the response -- the server severs such connections
+ * (server.cpp writeResponse) precisely so this client reconnects and
+ * resends instead of blocking on a frame that will never finish.
  */
 class ServiceClient
 {

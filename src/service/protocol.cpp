@@ -158,5 +158,15 @@ overloadedResponse()
     return r;
 }
 
+Json
+quotaExceededResponse(const std::string &limit,
+                      const std::string &message)
+{
+    Json r = errorResponse(message);
+    r.set("quota_exceeded", Json(true));
+    r.set("limit", Json(limit));
+    return r;
+}
+
 } // namespace protocol
 } // namespace paqoc

@@ -40,6 +40,14 @@ Matrix matrixFromJson(const Json &j);
 Json errorResponse(const std::string &message);
 /** Failure response the client should retry later (backpressure). */
 Json overloadedResponse();
+/**
+ * Structured budget-violation response: {"ok": false, "error": ...,
+ * "quota_exceeded": true, "limit": "max_iters" | "max_wall_ms" |
+ * "max_resident_pulses"}. Not retryable -- the same request would
+ * exhaust the same budget again.
+ */
+Json quotaExceededResponse(const std::string &limit,
+                           const std::string &message);
 
 } // namespace protocol
 

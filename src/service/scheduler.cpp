@@ -81,4 +81,11 @@ SessionScheduler::stats() const
     return stats_;
 }
 
+void
+SessionScheduler::noteQuotaExceeded()
+{
+    MutexLock lock(mutex_);
+    ++stats_.quotaExceeded;
+}
+
 } // namespace paqoc

@@ -64,8 +64,17 @@ class SessionScheduler
         std::size_t completed = 0;
         std::size_t expired = 0;
         std::size_t inFlight = 0;
+        /** Requests that exhausted a per-request resource budget. */
+        std::size_t quotaExceeded = 0;
     };
     Stats stats() const;
+
+    /**
+     * Record that an admitted request ended with a structured
+     * quota_exceeded error (budgets are enforced cooperatively inside
+     * the job, so the server reports the outcome back here).
+     */
+    void noteQuotaExceeded();
 
   private:
     ThreadPool &pool() const

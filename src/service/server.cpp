@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "service/protocol.h"
 
 namespace paqoc {
@@ -23,14 +24,35 @@ writeResponse(const std::shared_ptr<Mutex> &write_mutex, int fd,
     if (!id.isNull())
         response.set("id", id);
     const std::string text = response.dump();
+    // server.response: the daemon "dies" right before answering --
+    // the socket is severed without a byte of this frame, exactly
+    // what a crash between compute and reply looks like to a client.
+    if (failpoint::evaluate("server.response").action
+        != failpoint::Action::Off) {
+        ::shutdown(fd, SHUT_RDWR);
+        return;
+    }
     try {
         MutexLock lock(*write_mutex);
         protocol::writeFrame(fd, text);
     } catch (const std::exception &) {
         // The peer died mid-response (EPIPE via MSG_NOSIGNAL, reset,
         // or an injected protocol.write failure). The connection is
-        // beyond saving; the daemon is not.
+        // beyond saving; the daemon is not. Sever it outright: a
+        // partially written frame would leave the client blocked on
+        // the missing bytes, whereas a closed socket makes it
+        // reconnect and resend from its buffered request copy.
+        ::shutdown(fd, SHUT_RDWR);
     }
+}
+
+/** True when a handled response carries the structured quota error. */
+bool
+isQuotaExceeded(const Json &response)
+{
+    return response.isObject() && response.contains("quota_exceeded")
+        && response.at("quota_exceeded").isBool()
+        && response.at("quota_exceeded").asBool();
 }
 
 } // namespace
@@ -152,6 +174,7 @@ UnixSocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
             sched.set("completed", Json(st.completed));
             sched.set("expired", Json(st.expired));
             sched.set("in_flight", Json(st.inFlight));
+            sched.set("quota_exceeded", Json(st.quotaExceeded));
             Json payload = response.at("payload");
             payload.set("scheduler", std::move(sched));
             response.set("payload", std::move(payload));
@@ -174,8 +197,10 @@ UnixSocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
 
     const SessionScheduler::Admit admitted = scheduler_.submit(
         [this, write_mutex, fd, request, id]() {
-            writeResponse(write_mutex, fd, service_.handle(request),
-                          id);
+            Json response = service_.handle(request);
+            if (isQuotaExceeded(response))
+                scheduler_.noteQuotaExceeded();
+            writeResponse(write_mutex, fd, std::move(response), id);
         },
         deadline,
         [write_mutex, fd, id]() {

@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include <exception>
+#include <optional>
 
 #include "circuit/qasm.h"
 #include "common/error.h"
@@ -26,6 +27,18 @@ topologyFromSpec(const std::string &spec)
                    "' (expected WxH or line:N)");
     return Topology::grid(std::stoi(spec.substr(0, x)),
                           std::stoi(spec.substr(x + 1)));
+}
+
+/** Per-request budget overrides (absent members mean "no override"). */
+QuotaLimits
+quotaFromRequest(const Json &request)
+{
+    QuotaLimits q;
+    q.maxIters = request.get("max_iters", Json(0)).asInt();
+    q.maxWallMs = request.get("max_wall_ms", Json(0.0)).asNumber();
+    q.maxResidentPulses =
+        request.get("max_resident_pulses", Json(0)).asInt();
+    return q;
 }
 
 } // namespace
@@ -157,6 +170,10 @@ compilePayload(const CompileJob &job, const CompileReport &report,
 PulseService::PulseService(ServiceOptions options)
     : options_(std::move(options))
 {
+    if (!options_.checkpointDir.empty() && options_.checkpointEvery > 0)
+        checkpoints_ = std::make_unique<CheckpointStore>(
+            options_.checkpointDir,
+            PulseLibrary::grapeFingerprint(options_.grape));
     if (options_.libraryDir.empty())
         return;
     PulseLibraryOptions lib_opts;
@@ -224,6 +241,12 @@ PulseService::handle(const Json &request)
             return handleGenerate(request);
         errors_.fetch_add(1, std::memory_order_relaxed);
         return protocol::errorResponse("unknown op '" + op + "'");
+    } catch (const QuotaExceededError &e) {
+        // A budget trip is an expected outcome of an oversized
+        // request, not a service error; other sessions are untouched
+        // (the per-request token never crosses requests).
+        quota_rejections_.fetch_add(1, std::memory_order_relaxed);
+        return protocol::quotaExceededResponse(e.limit(), e.what());
     } catch (const std::exception &e) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         return protocol::errorResponse(e.what());
@@ -239,10 +262,23 @@ PulseService::handleCompile(const Json &request)
     SpectralPulseGenerator spectral;
     GrapePulseGenerator grape(options_.grape);
     grape.setSeedDistance(options_.grapeSeedDistance);
+    if (checkpoints_)
+        grape.setCheckpoints(checkpoints_.get(),
+                             options_.checkpointEvery);
     PulseGenerator &generator =
         job.backend == "grape"
             ? static_cast<PulseGenerator &>(grape)
             : static_cast<PulseGenerator &>(spectral);
+    // Per-request budget: server caps tightened by request overrides.
+    const QuotaLimits limits =
+        resolveQuota(options_.quotaLimits, quotaFromRequest(request));
+    std::optional<QuotaToken> quota;
+    if (limits.any()) {
+        quota.emplace(limits,
+                      request.get("degrade_on_quota", Json(false))
+                          .asBool());
+        generator.setQuota(&*quota);
+    }
     prepareCache(generator.cache(), job.backend);
     const CompileReport report = runCompileJob(job, generator);
     compiles_.fetch_add(1, std::memory_order_relaxed);
@@ -286,9 +322,21 @@ PulseService::handleGenerate(const Json &request)
     SpectralPulseGenerator spectral;
     GrapePulseGenerator grape(options_.grape);
     grape.setSeedDistance(options_.grapeSeedDistance);
+    if (checkpoints_)
+        grape.setCheckpoints(checkpoints_.get(),
+                             options_.checkpointEvery);
     PulseGenerator &generator = backend == "grape"
         ? static_cast<PulseGenerator &>(grape)
         : static_cast<PulseGenerator &>(spectral);
+    const QuotaLimits limits =
+        resolveQuota(options_.quotaLimits, quotaFromRequest(request));
+    std::optional<QuotaToken> quota;
+    if (limits.any()) {
+        quota.emplace(limits,
+                      request.get("degrade_on_quota", Json(false))
+                          .asBool());
+        generator.setQuota(&*quota);
+    }
     prepareCache(generator.cache(), backend);
     const PulseGenResult result =
         generator.generate(unitary, num_qubits);
@@ -347,7 +395,50 @@ PulseService::statsJson() const
                 Json(cache_hits_.load(std::memory_order_relaxed)));
     serving.set("degraded_pulses",
                 Json(degraded_pulses_.load(std::memory_order_relaxed)));
+    serving.set("quota_rejections",
+                Json(quota_rejections_.load(std::memory_order_relaxed)));
     s.set("serving", std::move(serving));
+    // Process-level view for operators: how long this worker has been
+    // up, whether a supervisor restarts it, and how much recovered
+    // state it rode in on (satellite of DESIGN.md §10).
+    Json daemon = Json::object();
+    daemon.set(
+        "uptime_seconds",
+        Json(std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - start_time_)
+                 .count()));
+    daemon.set("supervised",
+               Json(supervised_.load(std::memory_order_relaxed)));
+    daemon.set("worker_restarts",
+               Json(worker_restarts_.load(std::memory_order_relaxed)));
+    std::size_t recovered = 0;
+    if (spectral_lib_)
+        recovered += spectral_lib_->stats().journalRecords;
+    if (grape_lib_)
+        recovered += grape_lib_->stats().journalRecords;
+    daemon.set("journal_records_recovered", Json(recovered));
+    s.set("daemon", std::move(daemon));
+    Json ck = Json::object();
+    ck.set("enabled", Json(checkpoints_ != nullptr));
+    if (checkpoints_) {
+        const CheckpointStore::Stats cs = checkpoints_->stats();
+        ck.set("directory", Json(checkpoints_->directory()));
+        ck.set("opened", Json(cs.opened));
+        ck.set("lock_busy", Json(cs.lockBusy));
+        ck.set("resumed_trials", Json(cs.resumedTrials));
+        ck.set("completed_trial_hits", Json(cs.completedTrialHits));
+        ck.set("records_recovered", Json(cs.recordsRecovered));
+        ck.set("records_written", Json(cs.recordsWritten));
+        ck.set("corrupt_records", Json(cs.corruptRecords));
+        ck.set("rotated_files", Json(cs.rotatedFiles));
+        ck.set("discarded", Json(cs.discarded));
+        ck.set("failed_writes", Json(cs.failedWrites));
+        Json warnings = Json::array();
+        for (const std::string &w : cs.warnings)
+            warnings.push(Json(w));
+        ck.set("warnings", std::move(warnings));
+    }
+    s.set("checkpoints", std::move(ck));
     Json epoch = Json::object();
     epoch.set("spectral_pulses", Json(epoch_spectral_.size()));
     epoch.set("grape_pulses", Json(epoch_grape_.size()));

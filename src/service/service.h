@@ -2,13 +2,16 @@
 #define PAQOC_SERVICE_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/json.h"
+#include "common/quota.h"
 #include "paqoc/compiler.h"
 #include "qoc/pulse_generator.h"
+#include "store/checkpoint_store.h"
 #include "store/pulse_library.h"
 
 namespace paqoc {
@@ -36,6 +39,21 @@ struct ServiceOptions
      * seeding speedups.
      */
     double grapeSeedDistance = 0.0;
+    /**
+     * Directory of GRAPE optimization checkpoints; empty disables
+     * crash-safe resume. The daemon defaults it to
+     * `<libraryDir>/checkpoints` when --checkpoint-every is set.
+     */
+    std::string checkpointDir;
+    /** GRAPE iterations between checkpoint snapshots (0 disables). */
+    int checkpointEvery = 0;
+    /**
+     * Server-side budget caps (0 = unlimited). Requests may carry
+     * their own `max_iters` / `max_wall_ms` / `max_resident_pulses`
+     * members; the effective budget is resolveQuota(caps, request) --
+     * a request can tighten but never widen these.
+     */
+    QuotaLimits quotaLimits;
 };
 
 /** One parsed compile request (the CLI and the wire share this). */
@@ -124,6 +142,21 @@ class PulseService
     { return spectral_lib_.get(); }
     const PulseLibrary *grapeLibrary() const
     { return grape_lib_.get(); }
+    const CheckpointStore *checkpoints() const
+    { return checkpoints_.get(); }
+
+    /**
+     * Tell the stats frame how this process is being run: whether a
+     * supervisor is watching it and how many times the worker has
+     * been restarted (the supervisor's incarnation counter).
+     */
+    void
+    setSupervisionInfo(bool supervised, int worker_restarts)
+    {
+        supervised_.store(supervised, std::memory_order_relaxed);
+        worker_restarts_.store(worker_restarts,
+                               std::memory_order_relaxed);
+    }
 
   private:
     Json handleCompile(const Json &request);
@@ -142,6 +175,12 @@ class PulseService
     std::vector<CachedPulse> epoch_grape_;
     std::unique_ptr<PulseLibrary> spectral_lib_;
     std::unique_ptr<PulseLibrary> grape_lib_;
+    /** Crash-safe GRAPE progress (null when checkpointing is off). */
+    std::unique_ptr<CheckpointStore> checkpoints_;
+    const std::chrono::steady_clock::time_point start_time_ =
+        std::chrono::steady_clock::now();
+    std::atomic<bool> supervised_{false};
+    std::atomic<int> worker_restarts_{0};
     std::atomic<bool> shutdown_{false};
     /** Serving aggregates (requests are otherwise stateless). */
     std::atomic<std::size_t> compiles_{0};
@@ -151,6 +190,8 @@ class PulseService
     std::atomic<std::size_t> cache_hits_{0};
     /** Stitched best-effort pulses served (DESIGN.md §9). */
     std::atomic<std::size_t> degraded_pulses_{0};
+    /** Requests ended by a structured quota_exceeded error (§10). */
+    std::atomic<std::size_t> quota_rejections_{0};
 };
 
 } // namespace paqoc

@@ -1,0 +1,278 @@
+#include "service/supervisor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/failpoint.h"
+
+namespace paqoc {
+
+namespace {
+
+// Self-pipe for SIGTERM/SIGINT delivery into the supervisor's poll
+// loop. Written from a signal handler, so it must be async-signal-safe
+// raw I/O -- failpoints (which may lock or sleep) are off the table.
+int g_signal_pipe[2] = {-1, -1};
+volatile sig_atomic_t g_signal_seen = 0;
+
+extern "C" void
+supervisorSignalHandler(int signum)
+{
+    g_signal_seen = signum;
+    const unsigned char byte = static_cast<unsigned char>(signum);
+    // paqoc-lint: allow(raw-io) -- async-signal-safe handler
+    [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+void
+makePipe(int fds[2])
+{
+    PAQOC_FATAL_IF(::pipe(fds) != 0, "supervisor: pipe(): ",
+                   std::strerror(errno));
+    for (int i = 0; i < 2; ++i)
+        ::fcntl(fds[i], F_SETFD, FD_CLOEXEC);
+    // The handler must never block on a full pipe.
+    ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+}
+
+void
+say(const SupervisorOptions &options, const std::string &message)
+{
+    if (options.log)
+        options.log(message);
+}
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Drain all readable bytes; returns bytes read (0 on EOF, -1 on EAGAIN). */
+ssize_t
+drainPipe(int fd)
+{
+    char buf[256];
+    ssize_t total = -1;
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n > 0) {
+            total = total < 0 ? n : total + n;
+            continue;
+        }
+        if (n == 0)
+            return 0; // EOF: all write ends closed -> worker gone
+        if (errno == EINTR)
+            continue;
+        return total; // EAGAIN (or error): nothing more right now
+    }
+}
+
+} // namespace
+
+int
+runSupervised(const SupervisorOptions &options,
+              const std::function<int(const WorkerContext &)> &worker)
+{
+    makePipe(g_signal_pipe);
+    // drainPipe() loops until EAGAIN, so the read end must never
+    // block once the pending bytes are consumed.
+    ::fcntl(g_signal_pipe[0], F_SETFL, O_NONBLOCK);
+
+    struct sigaction sa{};
+    sa.sa_handler = supervisorSignalHandler;
+    ::sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    int incarnation = 0;
+    int last_status = 0;
+    double backoff_ms = options.backoffMs;
+
+    for (;;) {
+        int heartbeat[2];
+        makePipe(heartbeat);
+        // Parent polls the read end; it must not block either.
+        ::fcntl(heartbeat[0], F_SETFL, O_NONBLOCK);
+
+        // fork() is safe here: the supervisor never spawns threads, so
+        // the child starts with a consistent heap and no stuck locks.
+        const pid_t pid = ::fork();
+        PAQOC_FATAL_IF(pid < 0, "supervisor: fork(): ",
+                       std::strerror(errno));
+        if (pid == 0) {
+            // Worker incarnation: default signal dispositions (the
+            // daemon installs its own), no supervisor fds beyond the
+            // heartbeat write end.
+            ::signal(SIGTERM, SIG_DFL);
+            ::signal(SIGINT, SIG_DFL);
+            ::close(g_signal_pipe[0]);
+            ::close(g_signal_pipe[1]);
+            ::close(heartbeat[0]);
+            if (incarnation == 0) {
+                // Worker-only fault injection: budgets are per-process,
+                // so arming only the first incarnation lets a chaos
+                // test crash the worker exactly once and assert the
+                // restarted one serves cleanly.
+                const char *spec =
+                    std::getenv("PAQOC_WORKER_FAILPOINTS");
+                if (spec != nullptr && *spec != '\0')
+                    failpoint::armFromSpec(spec);
+            }
+            WorkerContext ctx;
+            ctx.incarnation = incarnation;
+            ctx.heartbeatFd = heartbeat[1];
+            ctx.heartbeatIntervalMs = options.heartbeatIntervalMs;
+            int code = 1;
+            try {
+                code = worker(ctx);
+            } catch (const std::exception &e) {
+                // paqoc-lint: allow(printf-output) -- last words before _exit()
+                std::fprintf(stderr, "paqocd worker: %s\n", e.what());
+                code = 1;
+            }
+            std::fflush(nullptr);
+            ::_exit(code);
+        }
+
+        // Supervisor side.
+        ::close(heartbeat[1]);
+        say(options, "worker incarnation "
+                + std::to_string(incarnation) + " started (pid "
+                + std::to_string(static_cast<long>(pid)) + ")");
+
+        double last_beat_ms = nowMs();
+        bool killed_for_hang = false;
+        bool stop_forwarded = false;
+        for (;;) {
+            pollfd fds[2] = {{heartbeat[0], POLLIN, 0},
+                             {g_signal_pipe[0], POLLIN, 0}};
+            const int timeout =
+                options.heartbeatTimeoutMs > 0.0
+                ? static_cast<int>(std::max(
+                      10.0, options.heartbeatTimeoutMs / 4.0))
+                : -1;
+            const int r = ::poll(fds, 2, timeout);
+            if (r < 0 && errno != EINTR)
+                break;
+
+            if (fds[1].revents & POLLIN) {
+                drainPipe(g_signal_pipe[0]);
+                const int signum =
+                    g_signal_seen != 0 ? g_signal_seen : SIGTERM;
+                say(options, "forwarding signal "
+                        + std::to_string(signum) + " to worker");
+                ::kill(pid, signum);
+                stop_forwarded = true;
+                // Fall through: wait for the worker to exit below.
+            }
+            if (fds[0].revents & (POLLIN | POLLHUP | POLLERR)) {
+                const ssize_t n = drainPipe(heartbeat[0]);
+                if (n > 0)
+                    last_beat_ms = nowMs();
+                else if (n == 0)
+                    break; // EOF: worker exited (or crashed)
+            }
+            if (!stop_forwarded && options.heartbeatTimeoutMs > 0.0
+                && nowMs() - last_beat_ms
+                    > options.heartbeatTimeoutMs) {
+                say(options,
+                    "worker heartbeat silent > "
+                        + std::to_string(static_cast<long>(
+                            options.heartbeatTimeoutMs))
+                        + " ms; killing hung worker");
+                ::kill(pid, SIGKILL);
+                killed_for_hang = true;
+                break;
+            }
+        }
+
+        int status = 0;
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+        }
+        ::close(heartbeat[0]);
+        last_status = status;
+
+        if (stop_forwarded) {
+            say(options, "worker stopped on forwarded signal");
+            return WIFEXITED(status) ? WEXITSTATUS(status)
+                                     : 128 + WTERMSIG(status);
+        }
+        if (!killed_for_hang && WIFEXITED(status)
+            && WEXITSTATUS(status) == 0) {
+            say(options, "worker exited cleanly");
+            return 0;
+        }
+
+        const std::string why = killed_for_hang ? "hung"
+            : WIFSIGNALED(status)
+            ? "killed by signal " + std::to_string(WTERMSIG(status))
+            : "exited with status "
+                + std::to_string(WEXITSTATUS(status));
+        if (incarnation >= options.maxRestarts) {
+            say(options, "worker " + why + "; restart budget ("
+                    + std::to_string(options.maxRestarts)
+                    + ") spent, giving up");
+            return WIFEXITED(last_status) ? WEXITSTATUS(last_status)
+                                          : 128 + WTERMSIG(last_status);
+        }
+        say(options, "worker " + why + "; restarting in "
+                + std::to_string(static_cast<long>(backoff_ms))
+                + " ms");
+        ::poll(nullptr, 0, static_cast<int>(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2.0, options.backoffCapMs);
+        ++incarnation;
+    }
+}
+
+HeartbeatThread::HeartbeatThread(int fd, double interval_ms)
+{
+    if (fd < 0)
+        return;
+    thread_ = std::thread([this, fd, interval_ms]() {
+        const auto step = std::chrono::milliseconds(10);
+        auto next = std::chrono::steady_clock::now();
+        while (!stop_.load(std::memory_order_relaxed)) {
+            if (std::chrono::steady_clock::now() >= next) {
+                // heartbeat.stall simulates a wedged worker: the
+                // process stays alive but its beats stop, which the
+                // supervisor must treat as a hang.
+                if (failpoint::evaluate("heartbeat.stall").action
+                    == failpoint::Action::Off) {
+                    const char byte = '.';
+                    failpoint::checkedWrite("heartbeat.write", fd,
+                                            &byte, 1);
+                }
+                next = std::chrono::steady_clock::now()
+                    + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            std::max(1.0, interval_ms)));
+            }
+            std::this_thread::sleep_for(step);
+        }
+    });
+}
+
+HeartbeatThread::~HeartbeatThread()
+{
+    stop_.store(true, std::memory_order_relaxed);
+    if (thread_.joinable())
+        thread_.join();
+}
+
+} // namespace paqoc

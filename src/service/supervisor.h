@@ -1,0 +1,99 @@
+#ifndef PAQOC_SERVICE_SUPERVISOR_H_
+#define PAQOC_SERVICE_SUPERVISOR_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace paqoc {
+
+/**
+ * Process supervision for `paqocd --supervise` (DESIGN.md §10): the
+ * parent forks a worker, watches a heartbeat pipe, and restarts the
+ * worker on crash or hang with bounded, exponentially backed-off
+ * restarts. This header and its .cpp are the only place in the tree
+ * allowed to call fork()/kill()/waitpid() (lint rule
+ * `process-control`), so all process management stays in one audited
+ * file.
+ *
+ * State machine (one worker at a time):
+ *
+ *   SPAWN -> MONITOR --heartbeat EOF + exit 0--------> DONE
+ *                    --crash (signal / nonzero exit)--> BACKOFF
+ *                    --heartbeat silence > timeout----> KILL -> BACKOFF
+ *                    --SIGTERM/SIGINT to supervisor---> FORWARD -> DONE
+ *   BACKOFF --restarts left--> SPAWN (delay doubles, capped)
+ *           --budget spent---> DONE (worker's last exit status)
+ */
+struct SupervisorOptions
+{
+    /** Restarts before giving up (crashes + hangs combined). */
+    int maxRestarts = 5;
+    /** First restart delay; doubles per restart. */
+    double backoffMs = 200.0;
+    double backoffCapMs = 30000.0;
+    /** How often a healthy worker beats (WorkerContext carries it). */
+    double heartbeatIntervalMs = 250.0;
+    /**
+     * Silence on the heartbeat pipe after which the worker counts as
+     * hung and is SIGKILLed. 0 disables hang detection (the pipe then
+     * only signals worker exit).
+     */
+    double heartbeatTimeoutMs = 5000.0;
+    /** Supervisor-side event log (may be empty). */
+    std::function<void(const std::string &)> log;
+};
+
+/** What a worker incarnation needs to know about its supervisor. */
+struct WorkerContext
+{
+    /** 0 for the first spawn, incremented per restart. */
+    int incarnation = 0;
+    /** Write end of the heartbeat pipe; -1 when unsupervised. */
+    int heartbeatFd = -1;
+    double heartbeatIntervalMs = 250.0;
+};
+
+/**
+ * Run `worker` under supervision. Forks from the calling (still
+ * single-threaded) process; the child runs worker(ctx) and _exits
+ * with its return value, the parent monitors and restarts per
+ * `options`. Returns the final worker exit code: 0 after a clean
+ * worker exit, the last worker status once the restart budget is
+ * spent, or 128+signum when the supervisor itself was told to stop
+ * and forwarded the signal.
+ *
+ * Fault injection: the environment variable PAQOC_WORKER_FAILPOINTS
+ * (same grammar as PAQOC_FAILPOINTS) is armed inside the FIRST worker
+ * incarnation only -- failpoint budgets are per-process, so this is
+ * how a test crashes the worker exactly once and observes the
+ * restarted incarnation serve cleanly.
+ */
+int runSupervised(const SupervisorOptions &options,
+                  const std::function<int(const WorkerContext &)> &worker);
+
+/**
+ * RAII heartbeat of a supervised worker: a background thread writes
+ * one byte per interval to the supervisor's pipe. Inert when fd < 0,
+ * so unsupervised code paths construct it for free. The `heartbeat.stall`
+ * failpoint suppresses beats (simulating a wedged worker) without
+ * blocking this thread.
+ */
+class HeartbeatThread
+{
+  public:
+    HeartbeatThread(int fd, double interval_ms);
+    ~HeartbeatThread();
+
+    HeartbeatThread(const HeartbeatThread &) = delete;
+    HeartbeatThread &operator=(const HeartbeatThread &) = delete;
+
+  private:
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_SERVICE_SUPERVISOR_H_

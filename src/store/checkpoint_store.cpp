@@ -1,0 +1,523 @@
+#include "store/checkpoint_store.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/failpoint.h"
+#include "store/crc32.h"
+#include "store/journal.h"
+
+namespace paqoc {
+
+namespace {
+
+/**
+ * Record payloads inside a checkpoint journal (all integers
+ * little-endian, doubles as their raw IEEE-754 bits so optimizer
+ * state round-trips exactly -- the resume-byte-identity contract):
+ *
+ *   u8 kind | u64 targetHash | i32 numSlices | i32 restart | body
+ *
+ *   kind 1 (mid-trial snapshot):
+ *     i32 iteration | f64 bestFidelity
+ *     | mat u | mat m | mat v | mat bestU
+ *   kind 2 (completed trial):
+ *     u8 converged | i32 iterations | f64 fidelity | mat amplitudes
+ *
+ *   mat: u32 rows | u32 cols | rows*cols f64, row-major
+ *
+ * The latest snapshot for a key wins; a completed record supersedes
+ * snapshots entirely (lookup order in grapeOptimize).
+ */
+constexpr std::uint8_t kProgressRecord = 1;
+constexpr std::uint8_t kCompletedRecord = 2;
+/** Decode sanity caps, far above any real pulse. */
+constexpr std::uint32_t kMaxRows = 1u << 20;
+constexpr std::uint32_t kMaxCols = 1u << 10;
+
+void
+putU8(std::string &out, std::uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out.append(buf, 4);
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out.append(buf, 8);
+}
+
+void
+putI32(std::string &out, std::int32_t v)
+{
+    putU32(out, static_cast<std::uint32_t>(v));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out.append(buf, 8);
+}
+
+void
+putMat(std::string &out, const std::vector<std::vector<double>> &w)
+{
+    const std::uint32_t rows = static_cast<std::uint32_t>(w.size());
+    const std::uint32_t cols =
+        rows > 0 ? static_cast<std::uint32_t>(w.front().size()) : 0;
+    putU32(out, rows);
+    putU32(out, cols);
+    for (const auto &row : w)
+        for (double x : row)
+            putF64(out, x);
+}
+
+/** Bounds-checked forward reader over one record payload. */
+struct Cursor
+{
+    const char *p;
+    const char *end;
+
+    bool
+    take(void *out, std::size_t n)
+    {
+        if (static_cast<std::size_t>(end - p) < n)
+            return false;
+        std::memcpy(out, p, n);
+        p += n;
+        return true;
+    }
+
+    bool getU8(std::uint8_t &v) { return take(&v, 1); }
+    bool getU32(std::uint32_t &v) { return take(&v, 4); }
+    bool getU64(std::uint64_t &v) { return take(&v, 8); }
+    bool getF64(double &v) { return take(&v, 8); }
+
+    bool
+    getI32(std::int32_t &v)
+    {
+        std::uint32_t raw = 0;
+        if (!getU32(raw))
+            return false;
+        v = static_cast<std::int32_t>(raw);
+        return true;
+    }
+
+    bool
+    getMat(std::vector<std::vector<double>> &w)
+    {
+        std::uint32_t rows = 0, cols = 0;
+        if (!getU32(rows) || !getU32(cols) || rows > kMaxRows
+            || cols > kMaxCols)
+            return false;
+        if (static_cast<std::size_t>(end - p)
+            < std::size_t{rows} * cols * 8)
+            return false;
+        w.assign(rows, std::vector<double>(cols, 0.0));
+        for (auto &row : w)
+            for (double &x : row)
+                if (!getF64(x))
+                    return false;
+        return true;
+    }
+};
+
+std::string
+encodeKey(const GrapeTrialKey &key, std::uint8_t kind)
+{
+    std::string out;
+    putU8(out, kind);
+    putU64(out, key.targetHash);
+    putI32(out, key.numSlices);
+    putI32(out, key.restart);
+    return out;
+}
+
+std::string
+encodeProgress(const GrapeTrialState &state)
+{
+    std::string out = encodeKey(state.key, kProgressRecord);
+    putI32(out, state.iteration);
+    putF64(out, state.bestFidelity);
+    putMat(out, state.u);
+    putMat(out, state.m);
+    putMat(out, state.v);
+    putMat(out, state.bestU);
+    return out;
+}
+
+std::string
+encodeCompleted(const GrapeTrialKey &key, const GrapeResult &result)
+{
+    std::string out = encodeKey(key, kCompletedRecord);
+    putU8(out, result.converged ? 1 : 0);
+    putI32(out, result.iterations);
+    putF64(out, result.schedule.fidelity);
+    putMat(out, result.schedule.amplitudes);
+    return out;
+}
+
+using TrialId = std::tuple<std::uint64_t, int, int>;
+
+TrialId
+trialId(const GrapeTrialKey &key)
+{
+    return {key.targetHash, key.numSlices, key.restart};
+}
+
+/**
+ * Decode one recovered record into the replay maps. False (record
+ * skipped) on any structural damage; the caller counts and warns.
+ */
+bool
+decodeRecord(const std::string &payload,
+             std::map<TrialId, GrapeResult> &completed,
+             std::map<TrialId, GrapeTrialState> &progress)
+{
+    Cursor c{payload.data(), payload.data() + payload.size()};
+    std::uint8_t kind = 0;
+    GrapeTrialKey key;
+    std::int32_t slices = 0, restart = 0;
+    if (!c.getU8(kind) || !c.getU64(key.targetHash)
+        || !c.getI32(slices) || !c.getI32(restart) || slices <= 0
+        || restart < 0)
+        return false;
+    key.numSlices = slices;
+    key.restart = restart;
+    if (kind == kProgressRecord) {
+        GrapeTrialState state;
+        state.key = key;
+        if (!c.getI32(state.iteration) || state.iteration < 0
+            || !c.getF64(state.bestFidelity) || !c.getMat(state.u)
+            || !c.getMat(state.m) || !c.getMat(state.v)
+            || !c.getMat(state.bestU) || c.p != c.end)
+            return false;
+        progress[trialId(key)] = std::move(state); // latest wins
+        return true;
+    }
+    if (kind == kCompletedRecord) {
+        GrapeResult result;
+        std::uint8_t converged = 0;
+        if (!c.getU8(converged) || !c.getI32(result.iterations)
+            || !c.getF64(result.schedule.fidelity)
+            || !c.getMat(result.schedule.amplitudes) || c.p != c.end)
+            return false;
+        result.converged = converged != 0;
+        completed[trialId(key)] = std::move(result);
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+/**
+ * One open checkpoint file: replay maps recovered at open time (then
+ * read-only), a journal writer for new records, and the flock that
+ * keeps other workers out until close or discard.
+ */
+class CheckpointFile final : public GrapeCheckpoint
+{
+  public:
+    CheckpointFile(CheckpointStore *owner, std::string path,
+                   int lock_fd, JournalWriter writer, bool degraded,
+                   std::map<TrialId, GrapeResult> completed,
+                   std::map<TrialId, GrapeTrialState> progress)
+        : owner_(owner), path_(std::move(path)),
+          completed_(std::move(completed)),
+          progress_(std::move(progress)), lock_fd_(lock_fd),
+          writer_(std::move(writer)), degraded_(degraded)
+    {}
+
+    ~CheckpointFile() override
+    {
+        MutexLock lock(write_mutex_);
+        writer_.close();
+        if (lock_fd_ >= 0) {
+            ::close(lock_fd_);
+            lock_fd_ = -1;
+        }
+    }
+
+    std::optional<GrapeResult>
+    completedTrial(const GrapeTrialKey &key) const override
+    {
+        const auto it = completed_.find(trialId(key));
+        if (it == completed_.end())
+            return std::nullopt;
+        owner_->noteCompletedHit();
+        return it->second;
+    }
+
+    std::optional<GrapeTrialState>
+    trialState(const GrapeTrialKey &key) const override
+    {
+        const auto it = progress_.find(trialId(key));
+        if (it == progress_.end())
+            return std::nullopt;
+        owner_->noteResume();
+        return it->second;
+    }
+
+    void
+    saveTrialState(const GrapeTrialState &state) override
+    {
+        appendRecord(encodeProgress(state));
+    }
+
+    void
+    saveCompletedTrial(const GrapeTrialKey &key,
+                       const GrapeResult &result) override
+    {
+        appendRecord(encodeCompleted(key, result));
+    }
+
+    void
+    discard() override
+    {
+        MutexLock lock(write_mutex_);
+        if (lock_fd_ < 0)
+            return;
+        writer_.close();
+        ::unlink(path_.c_str());
+        ::close(lock_fd_);
+        lock_fd_ = -1;
+        owner_->noteDiscard();
+    }
+
+  private:
+    void
+    appendRecord(const std::string &payload)
+    {
+        MutexLock lock(write_mutex_);
+        if (degraded_ || !writer_.isOpen())
+            return;
+        try {
+            writer_.append(payload);
+        } catch (const FatalError &e) {
+            // Best effort: the derivation keeps running, this file
+            // just stops growing (its recovered prefix stays valid).
+            degraded_ = true;
+            owner_->noteFailedWrite(e.what());
+            return;
+        }
+        owner_->noteRecordWritten();
+    }
+
+    CheckpointStore *owner_;
+    const std::string path_;
+    // Replay maps are filled at open and read-only afterwards, so
+    // concurrent trial lookups need no lock.
+    const std::map<TrialId, GrapeResult> completed_;
+    const std::map<TrialId, GrapeTrialState> progress_;
+
+    Mutex write_mutex_;
+    int lock_fd_ PAQOC_GUARDED_BY(write_mutex_);
+    JournalWriter writer_ PAQOC_GUARDED_BY(write_mutex_);
+    bool degraded_ PAQOC_GUARDED_BY(write_mutex_);
+};
+
+CheckpointStore::CheckpointStore(std::string directory,
+                                 std::string config_fingerprint)
+    : directory_(std::move(directory)),
+      config_fingerprint_(std::move(config_fingerprint))
+{}
+
+std::string
+CheckpointStore::checkpointPath(const std::string &canonical_key) const
+{
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "%08x",
+                  crc32(canonical_key.data(), canonical_key.size()));
+    return directory_ + "/" + hex + "-"
+        + std::to_string(canonical_key.size()) + ".ckpt";
+}
+
+std::unique_ptr<GrapeCheckpoint>
+CheckpointStore::openCheckpoint(const std::string &canonical_key)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(directory_, ec);
+    if (ec) {
+        noteWarning("cannot create checkpoint directory '" + directory_
+                    + "': " + ec.message());
+        return nullptr;
+    }
+    const std::string path = checkpointPath(canonical_key);
+    // The fingerprint binds the file to configuration AND key, so a
+    // CRC32 filename collision between two keys is detected as a
+    // mismatch and rotated rather than silently cross-resumed.
+    const std::string fingerprint =
+        config_fingerprint_ + "\n" + canonical_key;
+
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        const int fd =
+            ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (fd < 0) {
+            noteWarning("cannot open checkpoint '" + path
+                        + "': " + std::strerror(errno));
+            return nullptr;
+        }
+        if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+            ::close(fd);
+            MutexLock lock(mutex_);
+            ++stats_.lockBusy;
+            return nullptr;
+        }
+        struct stat st{};
+        const std::uint64_t size = ::fstat(fd, &st) == 0
+            ? static_cast<std::uint64_t>(st.st_size)
+            : 0;
+        if (size > 0
+            && failpoint::evaluate("checkpoint.corrupt").action
+                != failpoint::Action::Off) {
+            rotateAside(path, ".corrupt", fd,
+                        "checkpoint.corrupt failpoint");
+            continue;
+        }
+
+        std::map<TrialId, GrapeResult> completed;
+        std::map<TrialId, GrapeTrialState> progress;
+        std::size_t recovered = 0, corrupt = 0;
+        const JournalScan scan = scanJournal(
+            path, fingerprint, [&](const std::string &payload) {
+                if (decodeRecord(payload, completed, progress))
+                    ++recovered;
+                else
+                    ++corrupt;
+            });
+        if (size > 0
+            && (!scan.headerValid || scan.fingerprint != fingerprint)) {
+            rotateAside(path, ".stale", fd, scan.warning);
+            continue;
+        }
+
+        JournalWriter writer;
+        bool degraded = false;
+        try {
+            writer = JournalWriter::openAppend(path, fingerprint,
+                                               scan.committedBytes,
+                                               "checkpoint.append");
+        } catch (const FatalError &e) {
+            degraded = true;
+            noteFailedWrite(e.what());
+        }
+
+        {
+            MutexLock lock(mutex_);
+            ++stats_.opened;
+            stats_.recordsRecovered += recovered;
+            stats_.corruptRecords += corrupt;
+            if (size > 0 && scan.droppedBytes > 0) {
+                ++stats_.corruptRecords;
+                stats_.warnings.push_back(
+                    scan.warning.empty()
+                        ? "checkpoint '" + path
+                              + "': torn tail skipped"
+                        : scan.warning);
+            }
+            if (corrupt > 0)
+                stats_.warnings.push_back(
+                    "checkpoint '" + path + "': "
+                    + std::to_string(corrupt)
+                    + " undecodable record(s) skipped");
+        }
+        return std::make_unique<CheckpointFile>(
+            this, path, fd, std::move(writer), degraded,
+            std::move(completed), std::move(progress));
+    }
+    noteWarning("checkpoint '" + path
+                + "': rotated repeatedly; running without checkpoint");
+    return nullptr;
+}
+
+void
+CheckpointStore::rotateAside(const std::string &path,
+                             const char *suffix, int fd,
+                             const std::string &why)
+{
+    const std::string aside = path + suffix;
+    ::unlink(aside.c_str());
+    ::rename(path.c_str(), aside.c_str());
+    ::close(fd);
+    MutexLock lock(mutex_);
+    ++stats_.rotatedFiles;
+    stats_.warnings.push_back(
+        "checkpoint '" + path + "' rotated to '" + aside + "'"
+        + (why.empty() ? "" : ": " + why));
+}
+
+CheckpointStore::Stats
+CheckpointStore::stats() const
+{
+    MutexLock lock(mutex_);
+    return stats_;
+}
+
+void
+CheckpointStore::noteResume()
+{
+    MutexLock lock(mutex_);
+    ++stats_.resumedTrials;
+}
+
+void
+CheckpointStore::noteCompletedHit()
+{
+    MutexLock lock(mutex_);
+    ++stats_.completedTrialHits;
+}
+
+void
+CheckpointStore::noteRecordWritten()
+{
+    MutexLock lock(mutex_);
+    ++stats_.recordsWritten;
+}
+
+void
+CheckpointStore::noteDiscard()
+{
+    MutexLock lock(mutex_);
+    ++stats_.discarded;
+}
+
+void
+CheckpointStore::noteFailedWrite(const std::string &warning)
+{
+    MutexLock lock(mutex_);
+    ++stats_.failedWrites;
+    stats_.warnings.push_back(warning);
+}
+
+void
+CheckpointStore::noteWarning(const std::string &warning)
+{
+    MutexLock lock(mutex_);
+    stats_.warnings.push_back(warning);
+}
+
+} // namespace paqoc

@@ -1,0 +1,110 @@
+#ifndef PAQOC_STORE_CHECKPOINT_STORE_H_
+#define PAQOC_STORE_CHECKPOINT_STORE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "qoc/grape.h"
+
+namespace paqoc {
+
+class CheckpointFile;
+
+/**
+ * File-backed GrapeCheckpointProvider (DESIGN.md §10): one CRC32-
+ * framed journal file per in-flight pulse derivation, named by the
+ * CRC32 of its canonical cache key, under a dedicated checkpoint
+ * directory.
+ *
+ * Each file reuses the store's journal primitives -- the header
+ * fingerprint binds the file to both the GRAPE configuration and the
+ * canonical key, records are `u32 len | u32 crc | payload` appended
+ * through the failpoint-aware checked* wrappers (point
+ * `checkpoint.append`), and recovery is scan-skip-and-warn: a
+ * truncated or bit-flipped tail drops the damaged suffix and resumes
+ * from the last intact record, never from corrupt bytes. A file whose
+ * header or fingerprint does not match is rotated aside (`.stale`,
+ * or `.corrupt` under the `checkpoint.corrupt` failpoint) and the
+ * derivation starts fresh.
+ *
+ * Files are advisory-locked (flock) while open so two workers cannot
+ * interleave appends; a locked file makes openCheckpoint return
+ * nullptr and the caller simply runs without checkpointing. All
+ * persistence is best effort: a failed append degrades the checkpoint
+ * to read-only instead of failing the derivation.
+ */
+class CheckpointStore : public GrapeCheckpointProvider
+{
+  public:
+    struct Stats
+    {
+        /** Checkpoint files opened (fresh or recovered). */
+        std::size_t opened = 0;
+        /** openCheckpoint refusals due to a concurrent holder. */
+        std::size_t lockBusy = 0;
+        /** Mid-trial snapshots handed to a resuming optimizer. */
+        std::size_t resumedTrials = 0;
+        /** Finished-trial results replayed from a checkpoint. */
+        std::size_t completedTrialHits = 0;
+        /** Records recovered across all opens. */
+        std::size_t recordsRecovered = 0;
+        /** Records appended across all checkpoints. */
+        std::size_t recordsWritten = 0;
+        /** Undecodable or dropped-tail records skipped (and warned). */
+        std::size_t corruptRecords = 0;
+        /** Foreign/corrupt files rotated aside. */
+        std::size_t rotatedFiles = 0;
+        /** Checkpoints deleted after their pulse published durably. */
+        std::size_t discarded = 0;
+        /** Appends that failed and degraded a file to read-only. */
+        std::size_t failedWrites = 0;
+        std::vector<std::string> warnings;
+    };
+
+    /**
+     * @param directory Created on first open if missing.
+     * @param config_fingerprint Binds files to the GRAPE
+     *        configuration (grapeFingerprint of the serving options);
+     *        a checkpoint taken under different knobs is stale by
+     *        definition and must not resume.
+     */
+    CheckpointStore(std::string directory,
+                    std::string config_fingerprint);
+
+    std::unique_ptr<GrapeCheckpoint>
+    openCheckpoint(const std::string &canonical_key) override;
+
+    Stats stats() const;
+
+    const std::string &directory() const { return directory_; }
+
+    /** File path the given canonical key checkpoints into. */
+    std::string checkpointPath(const std::string &canonical_key) const;
+
+  private:
+    friend class CheckpointFile;
+
+    /** Set a foreign/corrupt file aside and release its fd. */
+    void rotateAside(const std::string &path, const char *suffix,
+                     int fd, const std::string &why);
+
+    void noteResume();
+    void noteCompletedHit();
+    void noteRecordWritten();
+    void noteDiscard();
+    void noteFailedWrite(const std::string &warning);
+    void noteWarning(const std::string &warning);
+
+    const std::string directory_;
+    const std::string config_fingerprint_;
+
+    mutable Mutex mutex_;
+    Stats stats_ PAQOC_GUARDED_BY(mutex_);
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_STORE_CHECKPOINT_STORE_H_

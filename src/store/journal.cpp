@@ -158,7 +158,8 @@ JournalWriter::~JournalWriter()
 }
 
 JournalWriter::JournalWriter(JournalWriter &&other) noexcept
-    : fd_(std::exchange(other.fd_, -1))
+    : fd_(std::exchange(other.fd_, -1)),
+      append_point_(std::move(other.append_point_))
 {}
 
 JournalWriter &
@@ -167,6 +168,7 @@ JournalWriter::operator=(JournalWriter &&other) noexcept
     if (this != &other) {
         close();
         fd_ = std::exchange(other.fd_, -1);
+        append_point_ = std::move(other.append_point_);
     }
     return *this;
 }
@@ -174,9 +176,11 @@ JournalWriter::operator=(JournalWriter &&other) noexcept
 JournalWriter
 JournalWriter::openAppend(const std::string &path,
                           const std::string &fingerprint,
-                          std::uint64_t truncate_to)
+                          std::uint64_t truncate_to,
+                          const std::string &append_point)
 {
     JournalWriter w;
+    w.append_point_ = append_point;
     w.fd_ = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
     PAQOC_FATAL_IF(w.fd_ < 0, "cannot open journal '", path,
                    "': ", std::strerror(errno));
@@ -220,7 +224,7 @@ JournalWriter::append(const std::string &payload)
     rec += payload;
     // One write() per record: a crash can tear the tail record but
     // never interleave two records.
-    writeFully("journal.append", fd_, rec.data(), rec.size(),
+    writeFully(append_point_.c_str(), fd_, rec.data(), rec.size(),
                "journal append failed");
 }
 

@@ -70,10 +70,14 @@ class JournalWriter
      * a prior scanJournal: a file longer than that is truncated first,
      * dropping a torn tail. Raises FatalError on I/O failure or a
      * fingerprint/header mismatch (scan first to detect those).
+     * `append_point` names the failpoint evaluated on every append,
+     * letting each journal family (library vs. checkpoint) be faulted
+     * independently.
      */
-    static JournalWriter openAppend(const std::string &path,
-                                    const std::string &fingerprint,
-                                    std::uint64_t truncate_to);
+    static JournalWriter openAppend(
+        const std::string &path, const std::string &fingerprint,
+        std::uint64_t truncate_to,
+        const std::string &append_point = "journal.append");
 
     /**
      * Append one record (length + CRC + payload in a single write).
@@ -95,6 +99,7 @@ class JournalWriter
 
   private:
     int fd_ = -1;
+    std::string append_point_ = "journal.append";
 };
 
 } // namespace paqoc

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Chaos end-to-end test: drive paqocc/paqocd through injected faults
-# (PAQOC_FAILPOINTS), a kill -9, and a mid-append crash, and verify the
-# recovery contract of DESIGN.md §9 -- every scenario ends in either a
-# served, byte-identical payload or a clean typed error, and a restart
-# heals everything.
+# (PAQOC_FAILPOINTS), kill -9s -- including one mid-GRAPE with
+# checkpointing on -- a mid-append crash, and a supervised worker
+# crash, and verify the recovery contract of DESIGN.md §9-§10: every
+# scenario ends in either a served, byte-identical payload or a clean
+# typed error, and a restart (or the supervisor) heals everything.
 #
 # Usage: chaos_e2e_test.sh <paqocc> <paqocd> <input.qasm>
 set -eu
@@ -32,13 +33,16 @@ SOCK="$WORK/d.sock"
 LIB="$WORK/lib"
 
 start_daemon() {
-    # $1: extra environment spec for PAQOC_FAILPOINTS (may be empty).
+    # $1: extra environment spec for PAQOC_FAILPOINTS (may be empty);
+    # remaining arguments are passed to paqocd verbatim.
+    fp=$1
+    shift
     rm -f "$SOCK"
-    if [ -n "$1" ]; then
-        PAQOC_FAILPOINTS=$1 "$PAQOCD" --socket "$SOCK" \
-            --library "$LIB" >> "$WORK/daemon.log" 2>&1 &
+    if [ -n "$fp" ]; then
+        PAQOC_FAILPOINTS=$fp "$PAQOCD" --socket "$SOCK" \
+            --library "$LIB" "$@" >> "$WORK/daemon.log" 2>&1 &
     else
-        "$PAQOCD" --socket "$SOCK" --library "$LIB" \
+        "$PAQOCD" --socket "$SOCK" --library "$LIB" "$@" \
             >> "$WORK/daemon.log" 2>&1 &
     fi
     DAEMON_PID=$!
@@ -132,5 +136,106 @@ cmp -s "$WORK/local.json" "$WORK/fallback.json" \
     || fail "--fallback-local payload differs from the local payload"
 grep -q "falling back to local" "$WORK/fallback.err" \
     || fail "fallback did not announce itself on stderr"
+
+# 6. kill -9 mid-GRAPE with checkpointing on: the daemon dies while
+#    optimizing, the surviving checkpoint lets a restarted daemon
+#    resume, and the resumed payload is byte-identical to an
+#    uninterrupted run -- with and without checkpointing enabled
+#    (checkpointing never changes the bytes). GRAPE iterations are
+#    capped and the circuit kept tiny so the reference runs stay fast;
+#    every daemon in this scenario uses the same cap, so their bytes
+#    are comparable.
+GRAPE_FLAGS="--grape-max-iters 40"
+TINY="$WORK/tiny.qasm"
+cat > "$TINY" <<'EOF'
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+h q[0];
+cx q[0], q[1];
+EOF
+rm -rf "$LIB"
+start_daemon "" $GRAPE_FLAGS
+"$PAQOCC" --connect "$SOCK" --grape --topology 2x2 --json "$TINY" \
+    > "$WORK/grape_ref.json"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "grape reference daemon exited non-zero"
+DAEMON_PID=
+
+rm -rf "$LIB"
+start_daemon "" $GRAPE_FLAGS --checkpoint-every 1
+"$PAQOCC" --connect "$SOCK" --grape --topology 2x2 --json "$TINY" \
+    > "$WORK/ckpt_ref.json"
+cmp -s "$WORK/grape_ref.json" "$WORK/ckpt_ref.json" \
+    || fail "checkpointing changed the served bytes"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "checkpointing daemon exited non-zero"
+DAEMON_PID=
+grep -q "paqocd: checkpoints:" "$WORK/daemon.log" \
+    || fail "daemon did not print its checkpoint stats frame"
+
+rm -rf "$LIB"
+# Every checkpoint append sleeps, so GRAPE is guaranteed to still be
+# mid-derivation when the kill lands -- and at least one append has
+# already been made durable.
+start_daemon "checkpoint.append=delay-ms(100)" \
+    $GRAPE_FLAGS --checkpoint-every 1
+"$PAQOCC" --connect "$SOCK" --grape --topology 2x2 --json "$TINY" \
+    > /dev/null 2> "$WORK/interrupted.err" &
+CLIENT_PID=$!
+sleep 0.6
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=
+if wait "$CLIENT_PID"; then
+    fail "client succeeded against a daemon killed mid-GRAPE"
+fi
+find "$LIB/checkpoints" -type f 2>/dev/null | grep -q . \
+    || fail "no checkpoint survived the kill -9"
+
+start_daemon "" $GRAPE_FLAGS --checkpoint-every 1
+"$PAQOCC" --connect "$SOCK" --grape --topology 2x2 --json "$TINY" \
+    > "$WORK/resumed.json"
+cmp -s "$WORK/ckpt_ref.json" "$WORK/resumed.json" \
+    || fail "payload differs after checkpoint resume"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "resumed daemon exited non-zero"
+DAEMON_PID=
+RESUME_LINE=$(grep "paqocd: checkpoints:" "$WORK/daemon.log" | tail -1)
+case "$RESUME_LINE" in
+*" 0 trials resumed, 0 completed-trial hits"*)
+    fail "restarted daemon never used the checkpoint: $RESUME_LINE" ;;
+esac
+
+# 7. Supervised worker crash: under --supervise the worker aborts just
+#    after it starts accepting connections (the worst window), the
+#    supervisor restarts it, the client's bounded retries ride across
+#    the restart, and SIGTERM still shuts the pair down cleanly.
+rm -rf "$LIB"
+rm -f "$SOCK"
+PAQOC_WORKER_FAILPOINTS="worker.crash=abort:1" "$PAQOCD" --supervise \
+    --socket "$SOCK" --library "$LIB" >> "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "supervised daemon did not come up"
+    sleep 0.1
+done
+"$PAQOCC" --connect "$SOCK" --retries 10 --backoff-ms 100 \
+    --topology 2x2 --json "$QASM" > "$WORK/supervised.json"
+cmp -s "$WORK/local.json" "$WORK/supervised.json" \
+    || fail "restarted supervised worker served different bytes"
+grep -q "paqocd-supervisor: worker incarnation 1 started" \
+    "$WORK/daemon.log" \
+    || fail "supervisor never restarted the crashed worker"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "supervised daemon exited non-zero"
+DAEMON_PID=
+grep -q "paqocd-supervisor: forwarding signal" "$WORK/daemon.log" \
+    || fail "supervisor did not forward the shutdown signal"
+grep -q "paqocd-supervisor: worker stopped on forwarded signal" \
+    "$WORK/daemon.log" \
+    || fail "worker did not stop on the forwarded signal"
 
 echo "PASS"

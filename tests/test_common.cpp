@@ -13,6 +13,7 @@
 
 #include "common/error.h"
 #include "common/json.h"
+#include "common/quota.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table.h"
@@ -270,6 +271,80 @@ TEST(Json, TypeMismatchesAreFatal)
     EXPECT_THROW(doc.at("s").asNumber(), FatalError);
     EXPECT_THROW(doc.at("missing"), FatalError);
     EXPECT_EQ(doc.get("missing", Json(7)).asInt(), 7);
+}
+
+TEST(Quota, ResolveTightensButNeverWidens)
+{
+    QuotaLimits caps;
+    caps.maxIters = 100;
+    caps.maxWallMs = 500.0;
+
+    QuotaLimits request;            // empty request inherits the caps
+    QuotaLimits r = resolveQuota(caps, request);
+    EXPECT_EQ(r.maxIters, 100);
+    EXPECT_EQ(r.maxWallMs, 500.0);
+    EXPECT_EQ(r.maxResidentPulses, 0);
+
+    request.maxIters = 10;          // tighter than the cap: honored
+    request.maxWallMs = 9000.0;     // looser than the cap: clamped
+    request.maxResidentPulses = 3;  // uncapped field: passed through
+    r = resolveQuota(caps, request);
+    EXPECT_EQ(r.maxIters, 10);
+    EXPECT_EQ(r.maxWallMs, 500.0);
+    EXPECT_EQ(r.maxResidentPulses, 3);
+
+    request.maxIters = -5;          // junk never widens to unlimited
+    r = resolveQuota(caps, request);
+    EXPECT_EQ(r.maxIters, 100);
+    EXPECT_EQ(resolveQuota(QuotaLimits{}, QuotaLimits{}).any(), false);
+}
+
+TEST(Quota, TokenTripsOnceAndNamesTheLimit)
+{
+    QuotaLimits limits;
+    limits.maxIters = 3;
+    QuotaToken token(limits);
+    EXPECT_TRUE(token.chargeIterations(2));
+    EXPECT_TRUE(token.chargeIterations(1));
+    EXPECT_FALSE(token.exceeded());
+    EXPECT_FALSE(token.chargeIterations(1)); // 4 > 3: trips
+    EXPECT_TRUE(token.exceeded());
+    EXPECT_STREQ(token.limitName(), "max_iters");
+    // Tripped is permanent, and every later charge is refused.
+    EXPECT_FALSE(token.chargeIterations(1));
+    EXPECT_FALSE(token.chargeResidentPulse());
+    try {
+        token.throwQuotaExceeded();
+        FAIL() << "expected QuotaExceededError";
+    } catch (const QuotaExceededError &e) {
+        EXPECT_STREQ(e.limit(), "max_iters");
+        EXPECT_NE(std::string(e.what()).find("quota_exceeded"),
+                  std::string::npos);
+    }
+}
+
+TEST(Quota, ResidentPulseAndWallClockBudgets)
+{
+    QuotaLimits limits;
+    limits.maxResidentPulses = 1;
+    QuotaToken token(limits, true);
+    EXPECT_TRUE(token.degradeOnExceeded());
+    EXPECT_TRUE(token.chargeResidentPulse());
+    EXPECT_FALSE(token.chargeResidentPulse());
+    EXPECT_STREQ(token.limitName(), "max_resident_pulses");
+    EXPECT_EQ(token.residentCharged(), 2);
+
+    // An already-expired wall budget trips on the first charge.
+    QuotaLimits wall;
+    wall.maxWallMs = 1e-9;
+    QuotaToken timed(wall);
+    EXPECT_FALSE(timed.chargeIterations(1));
+    EXPECT_STREQ(timed.limitName(), "max_wall_ms");
+
+    // An unlimited token never trips.
+    QuotaToken open_ended{QuotaLimits{}};
+    EXPECT_TRUE(open_ended.chargeIterations(1 << 20));
+    EXPECT_TRUE(open_ended.chargeResidentPulse());
 }
 
 } // namespace

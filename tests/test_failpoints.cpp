@@ -926,5 +926,45 @@ TEST(FailpointService, ServerSurvivesAClientThatDiesMidRequest)
     EXPECT_TRUE(client.request(ping).at("ok").asBool());
 }
 
+TEST(FailpointService, ClientResendsBufferedRequestWhenServerDiesMidResponse)
+{
+    // The inverse of the dead-client test: the *server* "dies" after
+    // reading the request but before writing a byte of the response
+    // (server.response severs the socket, exactly what a crash
+    // between compute and reply looks like). The client must not hang
+    // on the missing frame: it reconnects and resends its buffered
+    // request copy -- the caller handed over the payload once and
+    // never re-reads it -- and the retried attempt succeeds.
+    FailpointGuard guard;
+    ServerFixture fx("sever_response");
+    fp::arm("server.response", "return-error:1");
+
+    ClientOptions copts;
+    copts.retries = 2;
+    copts.backoffMs = 5.0;
+    ServiceClient client(fx.server.socketPath(), copts);
+    Json ping = Json::object();
+    ping.set("op", Json("ping"));
+    const Json resp = client.request(ping);
+    EXPECT_TRUE(resp.at("ok").asBool());
+    // Exactly one response was suppressed; the success came from the
+    // resent copy, not from a lucky first attempt.
+    EXPECT_EQ(fp::fired("server.response"), 1u);
+}
+
+TEST(FailpointService, SeveredResponseWithoutRetriesFailsFast)
+{
+    // Same injected mid-response death, but a fail-fast client
+    // (retries = 0): at most one failed request, a typed error, and
+    // never a hang on the torn frame.
+    FailpointGuard guard;
+    ServerFixture fx("sever_failfast");
+    fp::arm("server.response", "return-error:1");
+    ServiceClient client(fx.server.socketPath());
+    Json ping = Json::object();
+    ping.set("op", Json("ping"));
+    EXPECT_THROW(client.request(ping), FatalError);
+}
+
 } // namespace
 } // namespace paqoc

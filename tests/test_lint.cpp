@@ -46,14 +46,15 @@ linesOf(const std::vector<Finding> &findings, const std::string &rule)
     return lines;
 }
 
-TEST(Lint, RuleCatalogueHasSevenStableRules)
+TEST(Lint, RuleCatalogueHasEightStableRules)
 {
     const std::vector<std::string> names = paqoc::lint::ruleNames();
-    EXPECT_EQ(paqoc::lint::ruleCount(), 7);
+    EXPECT_EQ(paqoc::lint::ruleCount(), 8);
     const std::vector<std::string> expected = {
-        "float-numerics", "header-guard", "naked-mutex",
-        "printf-output",  "raw-io",       "unordered-iteration",
-        "unseeded-random"};
+        "float-numerics",  "header-guard",
+        "naked-mutex",     "printf-output",
+        "process-control", "raw-io",
+        "unordered-iteration", "unseeded-random"};
     EXPECT_EQ(names, expected);
     EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
 }
@@ -201,6 +202,29 @@ TEST(Lint, RawIoFlaggedInStoreAndServiceOnly)
     EXPECT_TRUE(linesOf(tool, "raw-io").empty());
 }
 
+TEST(Lint, ProcessControlFlaggedEverywhereButTheSupervisor)
+{
+    // The rule is tree-wide: library, tool, and test code all have to
+    // delegate child-process lifetime to runSupervised.
+    const auto lib =
+        lintFile("src/service/fixture.cpp", fixture("bad_process.cc"));
+    EXPECT_EQ(linesOf(lib, "process-control"),
+              (std::vector<int>{10, 11, 12, 13}));
+    const auto tool =
+        lintFile("tools/fixture.cpp", fixture("bad_process.cc"));
+    EXPECT_EQ(linesOf(tool, "process-control"),
+              (std::vector<int>{10, 11, 12, 13}));
+
+    // The supervisor itself (header and implementation) is the one
+    // audited home for these syscalls.
+    const auto sup_cpp = lintFile("src/service/supervisor.cpp",
+                                  fixture("bad_process.cc"));
+    EXPECT_TRUE(linesOf(sup_cpp, "process-control").empty());
+    const auto sup_h = lintFile("src/service/supervisor.h",
+                                fixture("bad_process.cc"));
+    EXPECT_TRUE(linesOf(sup_h, "process-control").empty());
+}
+
 TEST(Lint, StringAndCommentTokensNeverTrip)
 {
     const std::string content =
@@ -268,7 +292,7 @@ TEST(Lint, JsonReportIsMachineReadable)
     const std::string clean =
         paqoc::lint::findingsToJson({}).dump();
     EXPECT_NE(clean.find("\"ok\":true"), std::string::npos);
-    EXPECT_NE(clean.find("\"checked_rules\":7"), std::string::npos);
+    EXPECT_NE(clean.find("\"checked_rules\":8"), std::string::npos);
 }
 
 TEST(Lint, RealTreeIsClean)

@@ -496,6 +496,33 @@ TEST(PulseIo, JsonRoundTripsScheduleWithMetadata)
     EXPECT_EQ(pulseToJson(back, device), json);
 }
 
+TEST(PulseIo, JsonRoundTripsDegradedPayloads)
+{
+    // A stitched best-effort pulse ships with "degraded": true; the
+    // tag must survive serialization without disturbing the waveform
+    // bytes, and a healthy document must not grow the key.
+    const DeviceModel device(1);
+    PulseSchedule schedule;
+    schedule.fidelity = 0.875;
+    schedule.amplitudes = {{0.125, -0.25}, {0.0625, 0.5}};
+
+    const std::string healthy = pulseToJson(schedule, device);
+    EXPECT_EQ(healthy.find("degraded"), std::string::npos);
+    const std::string degraded = pulseToJson(schedule, device, true);
+    EXPECT_NE(degraded.find("\"degraded\":true"), std::string::npos);
+
+    const PulseSchedule back = pulseFromJson(degraded, device);
+    EXPECT_DOUBLE_EQ(back.fidelity, schedule.fidelity);
+    ASSERT_EQ(back.numSlices(), schedule.numSlices());
+    for (std::size_t t = 0; t < back.amplitudes.size(); ++t)
+        for (std::size_t k = 0; k < back.amplitudes[t].size(); ++k)
+            EXPECT_EQ(back.amplitudes[t][k],
+                      schedule.amplitudes[t][k]);
+    // Round-tripping the parsed schedule as degraded reproduces the
+    // degraded document byte for byte.
+    EXPECT_EQ(pulseToJson(back, device, true), degraded);
+}
+
 TEST(PulseIo, JsonRejectsWrongDeviceOrFormat)
 {
     const DeviceModel one(1);

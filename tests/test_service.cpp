@@ -329,6 +329,137 @@ TEST(PulseService, GrapeConfigChangeInvalidatesLibrary)
     EXPECT_FALSE(r.at("stats").at("cache_hit").asBool());
 }
 
+Json
+grapeGenerateRequest(const Matrix &unitary)
+{
+    Json r = Json::object();
+    r.set("op", Json("generate"));
+    r.set("backend", Json("grape"));
+    r.set("unitary", protocol::matrixToJson(unitary));
+    return r;
+}
+
+TEST(PulseService, QuotaExceededIsAStructuredError)
+{
+    ServiceOptions opts;
+    opts.grape.maxIterations = 150;
+    opts.quotaLimits.maxIters = 5; // server-side cap
+    PulseService service(opts);
+
+    const Json r = service.handle(
+        grapeGenerateRequest(Gate(Op::H, {0}).unitary()));
+    EXPECT_FALSE(r.at("ok").asBool());
+    EXPECT_TRUE(r.at("quota_exceeded").asBool());
+    EXPECT_EQ(r.at("limit").asString(), "max_iters");
+    EXPECT_NE(r.at("error").asString().find("quota_exceeded"),
+              std::string::npos);
+
+    const Json stats = service.statsJson();
+    EXPECT_EQ(stats.at("serving").at("quota_rejections").asInt(), 1);
+    // A budget violation is the request's fault, not a service error.
+    EXPECT_EQ(stats.at("serving").at("errors").asInt(), 0);
+}
+
+TEST(PulseService, RequestsTightenButNeverWidenTheCaps)
+{
+    ServiceOptions opts;
+    opts.grape.maxIterations = 150;
+    opts.quotaLimits.maxIters = 5;
+    PulseService service(opts);
+
+    // Asking for a huge budget cannot override the server cap...
+    Json wide = grapeGenerateRequest(Gate(Op::H, {0}).unitary());
+    wide.set("max_iters", Json(1000000));
+    EXPECT_TRUE(service.handle(wide)
+                    .at("quota_exceeded")
+                    .asBool());
+
+    // ...while a request-only budget binds on an uncapped server.
+    ServiceOptions open;
+    open.grape.maxIterations = 150;
+    PulseService uncapped(open);
+    Json tight = grapeGenerateRequest(Gate(Op::H, {0}).unitary());
+    tight.set("max_iters", Json(5));
+    const Json r = uncapped.handle(tight);
+    EXPECT_FALSE(r.at("ok").asBool());
+    EXPECT_TRUE(r.at("quota_exceeded").asBool());
+}
+
+TEST(PulseService, DegradeOnQuotaServesBestEffortInstead)
+{
+    ServiceOptions opts;
+    opts.grape.maxIterations = 150;
+    opts.quotaLimits.maxIters = 5;
+    PulseService service(opts);
+
+    Json req = grapeGenerateRequest(Gate(Op::H, {0}).unitary());
+    req.set("degrade_on_quota", Json(true));
+    const Json r = service.handle(req);
+    ASSERT_TRUE(r.at("ok").asBool());
+    EXPECT_TRUE(r.at("payload").at("degraded").asBool());
+    const Json stats = service.statsJson();
+    EXPECT_EQ(stats.at("serving").at("degraded_pulses").asInt(), 1);
+    EXPECT_EQ(stats.at("serving").at("quota_rejections").asInt(), 0);
+}
+
+TEST(PulseService, OverBudgetRequestLeavesOthersByteIdentical)
+{
+    // The isolation acceptance criterion: one request exhausting its
+    // budget must not perturb a concurrent in-budget request, whose
+    // payload stays byte-identical to an unmetered serial run.
+    ServiceOptions opts;
+    opts.grape.maxIterations = 150;
+
+    PulseService reference(opts);
+    const Json gen_h = grapeGenerateRequest(Gate(Op::H, {0}).unitary());
+    const std::string expected =
+        reference.handle(gen_h).at("payload").dump();
+
+    PulseService service(opts);
+    Json bounded = grapeGenerateRequest(Gate(Op::X, {0}).unitary());
+    bounded.set("max_iters", Json(3));
+    Json bounded_resp;
+    std::string healthy_payload;
+    std::thread over([&]() {
+        bounded_resp = service.handle(bounded);
+    });
+    std::thread within([&]() {
+        healthy_payload = service.handle(gen_h).at("payload").dump();
+    });
+    over.join();
+    within.join();
+
+    EXPECT_TRUE(bounded_resp.at("quota_exceeded").asBool());
+    EXPECT_EQ(healthy_payload, expected);
+}
+
+TEST(PulseService, StatsReportDaemonAndCheckpointState)
+{
+    ServiceOptions opts;
+    opts.checkpointDir = scratchDir("stats_ckpt") + "/checkpoints";
+    opts.checkpointEvery = 4;
+    PulseService service(opts);
+    service.setSupervisionInfo(true, 2);
+
+    const Json stats = service.statsJson();
+    const Json &daemon = stats.at("daemon");
+    EXPECT_GE(daemon.at("uptime_seconds").asNumber(), 0.0);
+    EXPECT_TRUE(daemon.at("supervised").asBool());
+    EXPECT_EQ(daemon.at("worker_restarts").asInt(), 2);
+    EXPECT_EQ(daemon.at("journal_records_recovered").asInt(), 0);
+    const Json &ckpt = stats.at("checkpoints");
+    EXPECT_TRUE(ckpt.at("enabled").asBool());
+    EXPECT_EQ(ckpt.at("directory").asString(), opts.checkpointDir);
+    EXPECT_EQ(ckpt.at("resumed_trials").asInt(), 0);
+
+    // Checkpointing off: the stats say so instead of lying with zeros.
+    PulseService plain;
+    EXPECT_FALSE(plain.statsJson()
+                     .at("checkpoints")
+                     .at("enabled")
+                     .asBool());
+}
+
 /** One server on a scratch socket, torn down on scope exit. */
 struct ServerFixture
 {
@@ -443,6 +574,29 @@ TEST(UnixSocketServer, ExpiredDeadlineGetsFastError)
     EXPECT_FALSE(r.at("ok").asBool());
     EXPECT_NE(r.at("error").asString().find("deadline"),
               std::string::npos);
+}
+
+TEST(UnixSocketServer, QuotaRejectionsShowUpInSchedulerStats)
+{
+    ServiceOptions sopts;
+    sopts.grape.maxIterations = 150;
+    sopts.quotaLimits.maxIters = 5;
+    ServerFixture fx("quota_stats", sopts);
+    ServiceClient client(fx.server.socketPath());
+
+    const Json r =
+        client.request(grapeGenerateRequest(Gate(Op::H, {0}).unitary()));
+    EXPECT_FALSE(r.at("ok").asBool());
+    EXPECT_TRUE(r.at("quota_exceeded").asBool());
+    EXPECT_EQ(r.at("limit").asString(), "max_iters");
+
+    Json stats = Json::object();
+    stats.set("op", Json("stats"));
+    const Json reply = client.request(stats);
+    ASSERT_TRUE(reply.at("ok").asBool());
+    const Json &payload = reply.at("payload");
+    EXPECT_EQ(payload.at("scheduler").at("quota_exceeded").asInt(), 1);
+    EXPECT_EQ(payload.at("serving").at("quota_rejections").asInt(), 1);
 }
 
 } // namespace

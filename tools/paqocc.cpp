@@ -26,6 +26,11 @@
  *     --timeout-ms MS            socket send/recv timeout (0 = none)
  *     --fallback-local           compile locally when the daemon is
  *                                unreachable after all retries
+ *     --max-iters N              remote GRAPE iteration budget
+ *     --max-wall-ms MS           remote wall-clock budget
+ *     --max-resident-pulses N    remote distinct-pulse budget
+ *     --degrade-on-quota         accept best-effort pulses instead of
+ *                                a quota_exceeded error
  *     --json                     print the compile payload as JSON
  *     --quiet                    only the summary line
  */
@@ -74,6 +79,11 @@ struct CliOptions
     double backoffMs = 50.0;
     double timeoutMs = 0.0;
     bool fallbackLocal = false;
+    /** Remote-only budget requests (0 = server default; §10). */
+    int maxIters = 0;
+    double maxWallMs = 0.0;
+    int maxResidentPulses = 0;
+    bool degradeOnQuota = false;
 };
 
 [[noreturn]] void
@@ -100,6 +110,11 @@ usage(int code)
         "  --timeout-ms MS         socket send/recv timeout (0 = none)\n"
         "  --fallback-local        compile locally when the daemon is "
         "unreachable\n"
+        "  --max-iters N           remote GRAPE iteration budget\n"
+        "  --max-wall-ms MS        remote wall-clock budget\n"
+        "  --max-resident-pulses N remote distinct-pulse budget\n"
+        "  --degrade-on-quota      accept best-effort pulses instead "
+        "of a quota error\n"
         "  --json                  print the compile payload as JSON\n"
         "  --quiet                 only the summary line\n");
     std::exit(code);
@@ -150,6 +165,14 @@ parseArgs(int argc, char **argv)
             opts.timeoutMs = std::stod(next());
         else if (arg == "--fallback-local")
             opts.fallbackLocal = true;
+        else if (arg == "--max-iters")
+            opts.maxIters = std::stoi(next());
+        else if (arg == "--max-wall-ms")
+            opts.maxWallMs = std::stod(next());
+        else if (arg == "--max-resident-pulses")
+            opts.maxResidentPulses = std::stoi(next());
+        else if (arg == "--degrade-on-quota")
+            opts.degradeOnQuota = true;
         else if (arg == "--json")
             opts.json = true;
         else if (arg == "--help" || arg == "-h")
@@ -235,7 +258,17 @@ runRemote(const CliOptions &opts, const CompileJob &job)
     copts.backoffMs = opts.backoffMs;
     copts.timeoutMs = opts.timeoutMs;
     ServiceClient client(opts.connectSocket, copts);
-    const Json response = client.request(compileJobToJson(job));
+    Json request = compileJobToJson(job);
+    if (opts.maxIters > 0)
+        request.set("max_iters", Json(opts.maxIters));
+    if (opts.maxWallMs > 0.0)
+        request.set("max_wall_ms", Json(opts.maxWallMs));
+    if (opts.maxResidentPulses > 0)
+        request.set("max_resident_pulses",
+                    Json(opts.maxResidentPulses));
+    if (opts.degradeOnQuota)
+        request.set("degrade_on_quota", Json(true));
+    const Json response = client.request(request);
     PAQOC_FATAL_IF(!response.get("ok", Json(false)).asBool(),
                    "daemon error: ",
                    response.get("error", Json("(no message)"))

@@ -16,9 +16,20 @@
  *     --max-queue N        admitted-but-unfinished request cap
  *     --deadline-ms N      default per-request deadline (0 = none)
  *     --sync-every-append  fsync the journal after every record
+ *     --supervise          fork a supervised worker; restart on crash
+ *     --max-restarts N     supervised restart budget (default 5)
+ *     --heartbeat-timeout-ms N  silence before a worker counts as hung
+ *     --checkpoint-every N GRAPE iterations between checkpoints
+ *     --checkpoint-dir DIR checkpoint directory
+ *                          (default <library>/checkpoints)
+ *     --max-iters N        per-request GRAPE iteration cap (0 = none)
+ *     --max-wall-ms N      per-request wall-clock cap (0 = none)
+ *     --max-resident-pulses N  per-request distinct-pulse cap
+ *     --grape-max-iters N  GRAPE maxIterations override (chaos tests)
  *
  * SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the
- * library is compacted into a snapshot, then the process exits.
+ * library is compacted into a snapshot, then the process exits. Under
+ * --supervise the signal lands on the supervisor, which forwards it.
  */
 
 #include <cerrno>
@@ -36,6 +47,7 @@
 #include "common/thread_pool.h"
 #include "service/server.h"
 #include "service/service.h"
+#include "service/supervisor.h"
 
 namespace {
 
@@ -49,6 +61,13 @@ struct DaemonOptions
     std::size_t maxQueue = 64;
     double deadlineMs = 0.0;
     bool syncEveryAppend = false;
+    bool supervise = false;
+    int maxRestarts = 5;
+    double heartbeatTimeoutMs = 5000.0;
+    int checkpointEvery = 0;
+    std::string checkpointDir;
+    QuotaLimits quota;
+    int grapeMaxIters = 0;
 };
 
 [[noreturn]] void
@@ -63,7 +82,17 @@ usage(int code)
         "  --threads N          worker threads (0 = all cores)\n"
         "  --max-queue N        in-flight request cap (default 64)\n"
         "  --deadline-ms N      default request deadline (0 = none)\n"
-        "  --sync-every-append  fsync the journal per record\n");
+        "  --sync-every-append  fsync the journal per record\n"
+        "  --supervise          restart the serving worker on crash\n"
+        "  --max-restarts N     supervised restart budget (default 5)\n"
+        "  --heartbeat-timeout-ms N  hung-worker kill threshold\n"
+        "  --checkpoint-every N GRAPE iterations per checkpoint\n"
+        "  --checkpoint-dir DIR checkpoint directory "
+        "(default <library>/checkpoints)\n"
+        "  --max-iters N        per-request GRAPE iteration cap\n"
+        "  --max-wall-ms N      per-request wall-clock cap\n"
+        "  --max-resident-pulses N  per-request distinct-pulse cap\n"
+        "  --grape-max-iters N  GRAPE maxIterations override\n");
     std::exit(code);
 }
 
@@ -91,6 +120,24 @@ parseArgs(int argc, char **argv)
             opts.deadlineMs = std::stod(next());
         else if (arg == "--sync-every-append")
             opts.syncEveryAppend = true;
+        else if (arg == "--supervise")
+            opts.supervise = true;
+        else if (arg == "--max-restarts")
+            opts.maxRestarts = std::stoi(next());
+        else if (arg == "--heartbeat-timeout-ms")
+            opts.heartbeatTimeoutMs = std::stod(next());
+        else if (arg == "--checkpoint-every")
+            opts.checkpointEvery = std::stoi(next());
+        else if (arg == "--checkpoint-dir")
+            opts.checkpointDir = next();
+        else if (arg == "--max-iters")
+            opts.quota.maxIters = std::stol(next());
+        else if (arg == "--max-wall-ms")
+            opts.quota.maxWallMs = std::stod(next());
+        else if (arg == "--max-resident-pulses")
+            opts.quota.maxResidentPulses = std::stol(next());
+        else if (arg == "--grape-max-iters")
+            opts.grapeMaxIters = std::stoi(next());
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else
@@ -129,17 +176,51 @@ printLibrary(const char *name, const PulseLibrary *lib)
         std::printf("paqocd: warning: %s\n", w.c_str());
 }
 
+void
+printCheckpoints(const CheckpointStore *store)
+{
+    if (store == nullptr)
+        return;
+    const CheckpointStore::Stats st = store->stats();
+    std::printf("paqocd: checkpoints: %zu opened, %zu trials resumed, "
+                "%zu completed-trial hits, %zu records recovered, "
+                "%zu written, %zu discarded\n",
+                st.opened, st.resumedTrials, st.completedTrialHits,
+                st.recordsRecovered, st.recordsWritten, st.discarded);
+    if (st.corruptRecords > 0 || st.rotatedFiles > 0
+        || st.failedWrites > 0)
+        std::printf("paqocd: checkpoints: %zu corrupt records skipped, "
+                    "%zu files rotated aside, %zu failed writes\n",
+                    st.corruptRecords, st.rotatedFiles,
+                    st.failedWrites);
+    for (const std::string &w : st.warnings)
+        std::printf("paqocd: warning: %s\n", w.c_str());
+}
+
 int
-run(const DaemonOptions &opts)
+serve(const DaemonOptions &opts, const WorkerContext &ctx)
 {
     if (opts.threads > 0)
         ThreadPool::setGlobalThreads(
             static_cast<unsigned>(opts.threads));
 
+    // Beat as soon as the worker is alive -- library recovery below
+    // can legitimately take a while, and must not read as a hang.
+    HeartbeatThread heartbeat(ctx.heartbeatFd, ctx.heartbeatIntervalMs);
+
     ServiceOptions sopts;
     sopts.libraryDir = opts.libraryDir;
     sopts.syncEveryAppend = opts.syncEveryAppend;
+    sopts.checkpointEvery = opts.checkpointEvery;
+    sopts.checkpointDir = opts.checkpointDir;
+    if (sopts.checkpointDir.empty() && opts.checkpointEvery > 0
+        && !opts.libraryDir.empty())
+        sopts.checkpointDir = opts.libraryDir + "/checkpoints";
+    sopts.quotaLimits = opts.quota;
+    if (opts.grapeMaxIters > 0)
+        sopts.grape.maxIterations = opts.grapeMaxIters;
     PulseService service(sopts);
+    service.setSupervisionInfo(ctx.heartbeatFd >= 0, ctx.incarnation);
     printLibrary("spectral", service.spectralLibrary());
     printLibrary("grape", service.grapeLibrary());
 
@@ -172,10 +253,15 @@ run(const DaemonOptions &opts)
         std::printf("\n");
     }
 
+    server.start();
     std::printf("paqocd: serving on %s (%u threads, queue %zu)\n",
                 opts.socketPath.c_str(), ThreadPool::global().size(),
                 opts.maxQueue);
     std::fflush(stdout);
+    // worker.crash (chaos runs, usually via PAQOC_WORKER_FAILPOINTS):
+    // the worker dies right after it starts accepting connections --
+    // the window where a crash hurts clients the most.
+    failpoint::evaluate("worker.crash");
     server.run();
 
     // Wake the watcher if shutdown came from a "shutdown" request
@@ -184,6 +270,7 @@ run(const DaemonOptions &opts)
     watcher.join();
     ::close(g_signal_pipe[0]);
     ::close(g_signal_pipe[1]);
+    printCheckpoints(service.checkpoints());
     std::printf("paqocd: shut down cleanly\n");
     return 0;
 }
@@ -194,7 +281,19 @@ int
 main(int argc, char **argv)
 {
     try {
-        return run(parseArgs(argc, argv));
+        const DaemonOptions opts = parseArgs(argc, argv);
+        if (!opts.supervise)
+            return serve(opts, WorkerContext{});
+        SupervisorOptions sup;
+        sup.maxRestarts = opts.maxRestarts;
+        sup.heartbeatTimeoutMs = opts.heartbeatTimeoutMs;
+        sup.log = [](const std::string &message) {
+            std::printf("paqocd-supervisor: %s\n", message.c_str());
+            std::fflush(stdout);
+        };
+        return runSupervised(sup, [&opts](const WorkerContext &ctx) {
+            return serve(opts, ctx);
+        });
     } catch (const paqoc::FatalError &e) {
         std::fprintf(stderr, "paqocd: %s\n", e.what());
         return 1;
