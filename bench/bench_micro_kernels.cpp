@@ -7,17 +7,28 @@
  * parallel-engine cases (blocked gemm and concurrent pulse
  * generation), which print one JSON line each with ops/sec and the
  * measured speedup over the serial path.
+ *
+ * With --snapshot/--compare (bench/harness.h) the binary instead runs
+ * the canonical snapshot measurement and emits BENCH_kernels.json:
+ * fixed-size timed runs of the dispatched kernel entry points,
+ * including the measured scalar-vs-SIMD gemm speedup on this host.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "harness.h"
 #include "linalg/eig.h"
 #include "linalg/expm.h"
+#include "linalg/kernels.h"
 #include "linalg/unitary_util.h"
 #include "mining/miner.h"
 #include "paqoc/compiler.h"
@@ -215,12 +226,135 @@ reportParallelSpeedups()
     }
 }
 
+/**
+ * Snapshot mode (DESIGN.md §11): deterministic-size timed runs of the
+ * dispatched kernel entry points, emitted/compared as
+ * BENCH_kernels.json. The scalar-vs-dispatched gemm pair is first
+ * checked for bit-identity, then both are timed so the snapshot
+ * records the measured SIMD speedup on this host (honestly ~1x when
+ * the dispatched backend IS scalar, e.g. on non-AVX2 machines).
+ */
+int
+runKernelSnapshot(const bench::SnapshotCli &cli)
+{
+    const kernels::Backend entry = kernels::activeBackend();
+    BenchSnapshot snap;
+    snap.name = "micro_kernels";
+    snap.setContext("backend", kernels::backendName(entry));
+    snap.setContext("avx2_available",
+                    kernels::avx2Available() ? "yes" : "no");
+    snap.setContext("threads",
+                    std::to_string(ThreadPool::global().size()));
+
+    const int scale = cli.quick ? 1 : 5;
+    auto ops_per_sec = [](int reps, auto &&fn) {
+        fn(); // warm-up
+        const Stopwatch watch;
+        for (int i = 0; i < reps; ++i)
+            fn();
+        return static_cast<double>(reps) / watch.seconds();
+    };
+
+    // 24x24 stays below the blocked-gemm threshold, so matmulInto
+    // reaches the dispatched row kernel directly on this thread.
+    Rng rng(21);
+    const Matrix a = randomHermitian(24, rng);
+    const Matrix b = randomHermitian(24, rng);
+    Matrix out(24, 24), ref(24, 24);
+    kernels::setBackend(kernels::Backend::Scalar);
+    matmulInto(a, b, ref);
+    kernels::setBackend(entry);
+    matmulInto(a, b, out);
+    if (std::memcmp(ref.data(), out.data(), 24 * 24 * sizeof(Complex))
+        != 0) {
+        std::fprintf(stderr,
+                     "FATAL: scalar and %s gemm results differ\n",
+                     kernels::backendName(entry));
+        return 2;
+    }
+
+    const int gemm_reps = 4000 * scale;
+    kernels::setBackend(kernels::Backend::Scalar);
+    const double gemm_scalar =
+        ops_per_sec(gemm_reps, [&]() { matmulInto(a, b, out); });
+    kernels::setBackend(entry);
+    const double gemm_active =
+        ops_per_sec(gemm_reps, [&]() { matmulInto(a, b, out); });
+    snap.setMetric("gemm24_ops_per_sec", gemm_active, true);
+    snap.setMetric("gemm24_scalar_ops_per_sec", gemm_scalar, true);
+    snap.setMetric("gemm24_simd_speedup", gemm_active / gemm_scalar,
+                   true);
+
+    // 96x96 exercises the cache-blocked, pooled path on top of the
+    // dispatched row kernel.
+    {
+        Rng rng96(22);
+        const Matrix a96 = randomHermitian(96, rng96);
+        const Matrix b96 = randomHermitian(96, rng96);
+        Matrix out96(96, 96);
+        const double ops = ops_per_sec(
+            60 * scale, [&]() { matmulInto(a96, b96, out96); });
+        snap.setMetric("gemm96_ops_per_sec", ops, true);
+    }
+
+    // The vector kernels on a 4096-element stream.
+    {
+        constexpr std::size_t kN = 4096;
+        std::vector<Complex> x(kN), y(kN);
+        Rng vrng(23);
+        for (std::size_t i = 0; i < kN; ++i) {
+            x[i] = Complex(vrng.uniform(-1, 1), vrng.uniform(-1, 1));
+            y[i] = Complex(vrng.uniform(-1, 1), vrng.uniform(-1, 1));
+        }
+        Complex acc(0.0, 0.0);
+        const double dotu_ops = ops_per_sec(20000 * scale, [&]() {
+            acc += kernels::dotu(x.data(), y.data(), kN);
+        });
+        const Complex alpha(1e-6, -1e-6);
+        const double axpy_ops = ops_per_sec(20000 * scale, [&]() {
+            kernels::axpy(alpha, x.data(), y.data(), kN);
+        });
+        // Keep the accumulators observable so the timed loops above
+        // cannot be elided.
+        if (std::isnan(acc.real()) || std::isnan(y[0].real()))
+            std::fprintf(stderr, "unexpected NaN in kernel bench\n");
+        snap.setMetric("dotu4096_ops_per_sec", dotu_ops, true);
+        snap.setMetric("axpy4096_ops_per_sec", axpy_ops, true);
+    }
+
+    // Composite hot paths: the Pade expm and one GRAPE optimize.
+    {
+        Rng erng(24);
+        const Matrix h = randomHermitian(8, erng);
+        Matrix u;
+        ExpmWorkspace ws;
+        const double expm_ops = ops_per_sec(
+            2000 * scale, [&]() { expmPropagatorInto(h, 1.0, u, ws); });
+        snap.setMetric("expm8_ops_per_sec", expm_ops, true);
+    }
+    {
+        const DeviceModel device(2);
+        const Matrix cx = Gate(Op::CX, {0, 1}).unitary();
+        GrapeOptions opts;
+        opts.maxIterations = 1;
+        const double grape_ops = ops_per_sec(2 * scale, [&]() {
+            (void)grapeOptimize(device, cx, 90, opts);
+        });
+        snap.setMetric("grape_cx90_ops_per_sec", grape_ops, true);
+    }
+    return bench::finishSnapshot(snap, cli);
+}
+
 } // namespace
 } // namespace paqoc
 
 int
 main(int argc, char **argv)
 {
+    const paqoc::bench::SnapshotCli snapshot_cli =
+        paqoc::bench::parseSnapshotCli(argc, argv);
+    if (snapshot_cli.active())
+        return paqoc::runKernelSnapshot(snapshot_cli);
     paqoc::reportParallelSpeedups();
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

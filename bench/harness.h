@@ -3,10 +3,12 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/bench_snapshot.h"
 #include "common/json.h"
 #include "paqoc/compiler.h"
 #include "qoc/pulse_generator.h"
@@ -154,6 +156,90 @@ runEvalSweep(bool verbose = true, int threads = 0)
         }
     }
     return sweep;
+}
+
+/**
+ * Canonical snapshot CLI shared by the bench binaries (DESIGN.md
+ * §11). `--snapshot <path>` writes the run's BenchSnapshot;
+ * `--compare <path>` loads a committed snapshot and fails the process
+ * on regression; `--tolerance <frac>` widens the comparison band;
+ * `--quick` asks the bench for a CI-sized run. parseSnapshotCli
+ * strips the options it owns from argv so google-benchmark flag
+ * parsing never sees them.
+ */
+struct SnapshotCli
+{
+    std::string out;       ///< --snapshot: where to write
+    std::string compare;   ///< --compare: committed snapshot to check
+    double tolerance = 0.35; ///< --tolerance: fractional slack
+    bool quick = false;    ///< --quick: CI-sized measurement
+
+    /** True when the run is a snapshot emit/compare, not a bench. */
+    bool active() const { return !out.empty() || !compare.empty(); }
+};
+
+inline SnapshotCli
+parseSnapshotCli(int &argc, char **argv)
+{
+    SnapshotCli cli;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--snapshot")
+            cli.out = next();
+        else if (arg == "--compare")
+            cli.compare = next();
+        else if (arg == "--tolerance")
+            cli.tolerance = std::atof(next().c_str());
+        else if (arg == "--quick")
+            cli.quick = true;
+        else
+            argv[w++] = argv[i];
+    }
+    argc = w;
+    return cli;
+}
+
+/**
+ * Emit and/or compare per the CLI; returns the process exit code.
+ * Comparison prints one line per committed metric and fails loudly
+ * (exit 1) when any metric regresses beyond the tolerance.
+ */
+inline int
+finishSnapshot(const BenchSnapshot &snapshot, const SnapshotCli &cli)
+{
+    int rc = 0;
+    if (!cli.out.empty()) {
+        snapshot.save(cli.out);
+        std::fprintf(stderr, "[snapshot] wrote %s\n", cli.out.c_str());
+    }
+    if (!cli.compare.empty()) {
+        const BenchSnapshot committed =
+            BenchSnapshot::load(cli.compare);
+        const SnapshotComparison cmp =
+            compareSnapshots(committed, snapshot, cli.tolerance);
+        std::fprintf(stderr, "%s", cmp.describe().c_str());
+        if (cmp.ok) {
+            std::fprintf(stderr,
+                         "[snapshot] OK vs %s (tolerance %.0f%%)\n",
+                         cli.compare.c_str(), cli.tolerance * 100.0);
+        } else {
+            std::fprintf(
+                stderr,
+                "[snapshot] REGRESSION vs %s (tolerance %.0f%%)\n",
+                cli.compare.c_str(), cli.tolerance * 100.0);
+            rc = 1;
+        }
+    }
+    return rc;
 }
 
 /** Geometric mean helper for normalized summaries. */

@@ -1,0 +1,160 @@
+#include "common/bench_snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace paqoc {
+
+namespace {
+
+constexpr const char *kSchema = "paqoc-bench-snapshot-v1";
+
+} // namespace
+
+void
+BenchSnapshot::setMetric(const std::string &metric_name, double value,
+                         bool higher_is_better)
+{
+    for (auto &[n, m] : metrics) {
+        if (n == metric_name) {
+            m = BenchMetric{value, higher_is_better};
+            return;
+        }
+    }
+    metrics.emplace_back(metric_name,
+                         BenchMetric{value, higher_is_better});
+}
+
+void
+BenchSnapshot::setContext(const std::string &key,
+                          const std::string &value)
+{
+    for (auto &[k, v] : context) {
+        if (k == key) {
+            v = value;
+            return;
+        }
+    }
+    context.emplace_back(key, value);
+}
+
+const BenchMetric *
+BenchSnapshot::findMetric(const std::string &metric_name) const
+{
+    for (const auto &[n, m] : metrics)
+        if (n == metric_name)
+            return &m;
+    return nullptr;
+}
+
+Json
+BenchSnapshot::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("schema", Json(kSchema));
+    doc.set("name", Json(name));
+    Json ctx = Json::object();
+    for (const auto &[k, v] : context)
+        ctx.set(k, Json(v));
+    doc.set("context", std::move(ctx));
+    Json ms = Json::object();
+    for (const auto &[n, m] : metrics) {
+        Json one = Json::object();
+        one.set("value", Json(m.value));
+        one.set("higher_is_better", Json(m.higherIsBetter));
+        ms.set(n, std::move(one));
+    }
+    doc.set("metrics", std::move(ms));
+    return doc;
+}
+
+BenchSnapshot
+BenchSnapshot::fromJson(const Json &doc)
+{
+    PAQOC_FATAL_IF(!doc.isObject() || !doc.contains("schema")
+                       || doc.at("schema").asString() != kSchema,
+                   "not a ", kSchema, " document");
+    BenchSnapshot snap;
+    snap.name = doc.get("name", Json("")).asString();
+    if (doc.contains("context")) {
+        for (const auto &[k, v] : doc.at("context").members())
+            snap.context.emplace_back(k, v.asString());
+    }
+    for (const auto &[n, m] : doc.at("metrics").members()) {
+        snap.metrics.emplace_back(
+            n, BenchMetric{m.at("value").asNumber(),
+                           m.at("higher_is_better").asBool()});
+    }
+    return snap;
+}
+
+void
+BenchSnapshot::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    PAQOC_FATAL_IF(!out, "cannot open snapshot file '", path,
+                   "' for writing");
+    out << toJson().dump() << "\n";
+    out.flush();
+    PAQOC_FATAL_IF(!out, "failed writing snapshot file '", path, "'");
+}
+
+BenchSnapshot
+BenchSnapshot::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    PAQOC_FATAL_IF(!in, "cannot read snapshot file '", path, "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return fromJson(Json::parse(ss.str()));
+}
+
+std::string
+SnapshotComparison::describe() const
+{
+    std::ostringstream out;
+    for (const MetricDelta &d : deltas) {
+        out << (d.regressed ? "REGRESSED " : "ok        ") << d.name
+            << ": committed=" << d.committed;
+        if (d.missing)
+            out << " fresh=<missing>";
+        else
+            out << " fresh=" << d.fresh << " ratio=" << d.ratio;
+        out << (d.higherIsBetter ? " (higher is better)"
+                                 : " (lower is better)")
+            << "\n";
+    }
+    return out.str();
+}
+
+SnapshotComparison
+compareSnapshots(const BenchSnapshot &committed,
+                 const BenchSnapshot &fresh, double tolerance)
+{
+    SnapshotComparison cmp;
+    for (const auto &[n, m] : committed.metrics) {
+        MetricDelta d;
+        d.name = n;
+        d.committed = m.value;
+        d.higherIsBetter = m.higherIsBetter;
+        const BenchMetric *f = fresh.findMetric(n);
+        if (f == nullptr) {
+            d.missing = true;
+            d.regressed = true;
+        } else {
+            d.fresh = f->value;
+            d.ratio = m.value == 0.0 ? 0.0 : f->value / m.value;
+            if (m.higherIsBetter)
+                d.regressed = f->value < m.value * (1.0 - tolerance);
+            else
+                d.regressed = f->value > m.value * (1.0 + tolerance);
+        }
+        cmp.ok = cmp.ok && !d.regressed;
+        cmp.deltas.push_back(std::move(d));
+    }
+    return cmp;
+}
+
+} // namespace paqoc

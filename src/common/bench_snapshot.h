@@ -1,0 +1,100 @@
+#ifndef PAQOC_COMMON_BENCH_SNAPSHOT_H_
+#define PAQOC_COMMON_BENCH_SNAPSHOT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace paqoc {
+
+/**
+ * Benchmark snapshot model (DESIGN.md §11): a named set of metrics
+ * with an explicit better-direction each, plus free-form context
+ * (host ISA, kernel backend, build type) that explains -- but never
+ * participates in -- a comparison. The bench binaries emit canonical
+ * BENCH_*.json snapshots at the repo root; CI re-measures and
+ * compares against the committed file, failing loudly on regression.
+ *
+ * Metrics and context preserve insertion order, so a snapshot
+ * serialized twice from the same run is byte-identical (the Json
+ * layer guarantees order-preserving deterministic dumps, with doubles
+ * surviving the round trip exactly).
+ */
+struct BenchMetric
+{
+    double value = 0.0;
+    /** True for throughput/speedup, false for latency/cost. */
+    bool higherIsBetter = true;
+};
+
+struct BenchSnapshot
+{
+    /** Snapshot name, e.g. "micro_kernels"; recorded in the file. */
+    std::string name;
+    std::vector<std::pair<std::string, BenchMetric>> metrics;
+    std::vector<std::pair<std::string, std::string>> context;
+
+    /** Insert or overwrite a metric, keeping first-insert order. */
+    void setMetric(const std::string &metric_name, double value,
+                   bool higher_is_better);
+
+    /** Insert or overwrite a context string. */
+    void setContext(const std::string &key, const std::string &value);
+
+    /** Look up a metric; nullptr when absent. */
+    const BenchMetric *findMetric(const std::string &metric_name) const;
+
+    Json toJson() const;
+
+    /** Inverse of toJson; raises FatalError on schema mismatch. */
+    static BenchSnapshot fromJson(const Json &doc);
+
+    /** Write toJson().dump() + newline to `path` (FatalError on I/O). */
+    void save(const std::string &path) const;
+
+    /** Parse the snapshot file at `path` (FatalError on any failure). */
+    static BenchSnapshot load(const std::string &path);
+};
+
+/** Comparison verdict for one metric of the committed snapshot. */
+struct MetricDelta
+{
+    std::string name;
+    double committed = 0.0;
+    double fresh = 0.0;
+    bool higherIsBetter = true;
+    /** fresh / committed (0 when committed == 0). */
+    double ratio = 0.0;
+    /** Metric absent from the fresh snapshot (counts as regressed). */
+    bool missing = false;
+    /** Fresh value is outside the tolerance band in the bad direction. */
+    bool regressed = false;
+};
+
+struct SnapshotComparison
+{
+    std::vector<MetricDelta> deltas;
+    /** True when no committed metric regressed or went missing. */
+    bool ok = true;
+
+    /** Human-readable one-line-per-metric report. */
+    std::string describe() const;
+};
+
+/**
+ * Compare a fresh measurement against the committed snapshot. Every
+ * committed metric is checked; metrics only present in `fresh` are
+ * ignored (adding metrics is never a regression). `tolerance` is the
+ * allowed fractional slack: a higher-is-better metric regresses when
+ * fresh < committed * (1 - tolerance); a lower-is-better metric when
+ * fresh > committed * (1 + tolerance).
+ */
+SnapshotComparison compareSnapshots(const BenchSnapshot &committed,
+                                    const BenchSnapshot &fresh,
+                                    double tolerance);
+
+} // namespace paqoc
+
+#endif // PAQOC_COMMON_BENCH_SNAPSHOT_H_

@@ -1,8 +1,11 @@
 #include "linalg/expm.h"
 
+#include <atomic>
 #include <cmath>
+#include <iostream>
 
 #include "common/error.h"
+#include "linalg/kernels.h"
 #include "linalg/solve.h"
 
 namespace paqoc {
@@ -15,53 +18,151 @@ constexpr double kPade6[] = {
     1.0 / 665280.0,
 };
 
+/** Squaring cap of the scaling step; see expmSquaringClampCount(). */
+constexpr int kMaxSquarings = 40;
+
+std::atomic<std::uint64_t> g_squaring_clamps{0};
+
+void
+noteSquaringClamp(double norm)
+{
+    if (g_squaring_clamps.fetch_add(1, std::memory_order_relaxed)
+        == 0) {
+        // One-time diagnostic: a clamped argument is (norm/0.5)/2^40
+        // times larger than the Pade kernel's design range, so the
+        // result is numerically suspect. Later clamps only bump the
+        // counter.
+        std::cerr << "paqoc: expm: argument norm " << norm
+                  << " exceeds the scaling range (squarings clamped "
+                     "at "
+                  << kMaxSquarings
+                  << "); result accuracy is not guaranteed. This "
+                     "warning is printed once per process; see "
+                     "expmSquaringClampCount().\n";
+    }
+}
+
+/** Fill `m` with the n x n identity, reusing its storage. */
+void
+identityInto(Matrix &m, std::size_t n)
+{
+    m.resize(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = Complex(1.0, 0.0);
+}
+
+/**
+ * exp(ws.as) -> out. Consumes the workspace contents; every product
+ * lands in a preallocated buffer via matmulInto, so a warm workspace
+ * performs zero heap allocations. The arithmetic (and therefore the
+ * bits) matches the historical allocate-per-product implementation
+ * operation for operation.
+ */
+void
+expmCore(Matrix &out, ExpmWorkspace &ws)
+{
+    const std::size_t n = ws.as.rows();
+
+    // Scale so the argument norm is small enough for the Pade kernel.
+    const double norm = ws.as.infinityNorm();
+    int squarings = 0;
+    if (norm > 0.5) {
+        squarings = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
+        if (squarings > kMaxSquarings) {
+            squarings = kMaxSquarings;
+            noteSquaringClamp(norm);
+        }
+    }
+    const double scale = std::pow(2.0, -squarings);
+    ws.as *= Complex(scale, 0.0);
+
+    // Horner-style evaluation of even/odd parts: p = U + V, q = -U + V
+    // with U odd powers, V even powers, exp(A) ~ q^{-1} p.
+    ws.a2.resize(n, n);
+    matmulInto(ws.as, ws.as, ws.a2);
+    ws.even.resize(n, n);
+    ws.odd.resize(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ws.even(i, i) = Complex(kPade6[0], 0.0);
+        ws.odd(i, i) = Complex(kPade6[1], 0.0);
+    }
+    identityInto(ws.pow, n); // a2^k
+    ws.tmp.resize(n, n);
+    for (int k = 1; k <= 3; ++k) {
+        matmulInto(ws.pow, ws.a2, ws.tmp);
+        std::swap(ws.pow, ws.tmp);
+        kernels::axpy(Complex(kPade6[2 * k], 0.0), ws.pow.data(),
+                      ws.even.data(), n * n);
+        if (2 * k + 1 <= 6)
+            kernels::axpy(Complex(kPade6[2 * k + 1], 0.0),
+                          ws.pow.data(), ws.odd.data(), n * n);
+    }
+    ws.u.resize(n, n);
+    matmulInto(ws.as, ws.odd, ws.u); // U = as * (odd-power sum)
+    ws.q = ws.even;
+    ws.q -= ws.u;   // q = V - U
+    ws.even += ws.u; // even now holds p = V + U
+    ws.r.resize(n, n);
+    solveLinearInPlace(ws.q, ws.even, ws.r);
+
+    for (int s = 0; s < squarings; ++s) {
+        ws.tmp.resize(n, n);
+        matmulInto(ws.r, ws.r, ws.tmp);
+        std::swap(ws.r, ws.tmp);
+    }
+    out = ws.r;
+}
+
 } // namespace
+
+std::uint64_t
+expmSquaringClampCount()
+{
+    return g_squaring_clamps.load(std::memory_order_relaxed);
+}
+
+void
+expmInto(const Matrix &a, Matrix &out, ExpmWorkspace &ws)
+{
+    PAQOC_ASSERT(a.isSquare(), "expm of non-square matrix");
+    ws.as = a;
+    expmCore(out, ws);
+}
 
 Matrix
 expm(const Matrix &a)
 {
-    PAQOC_ASSERT(a.isSquare(), "expm of non-square matrix");
-    const std::size_t n = a.rows();
+    ExpmWorkspace ws;
+    Matrix out;
+    expmInto(a, out, ws);
+    return out;
+}
 
-    // Scale so the argument norm is small enough for the Pade kernel.
-    const double norm = a.infinityNorm();
-    int squarings = 0;
-    if (norm > 0.5) {
-        squarings = static_cast<int>(std::ceil(std::log2(norm / 0.5)));
-        squarings = std::min(squarings, 40);
-    }
-    const double scale = std::pow(2.0, -squarings);
-    Matrix as = a;
-    as *= Complex(scale, 0.0);
-
-    // Horner-style evaluation of even/odd parts: p = U + V, q = -U + V
-    // with U odd powers, V even powers, exp(A) ~ q^{-1} p.
-    Matrix a2 = as * as;
-    Matrix even = Matrix::identity(n) * Complex(kPade6[0], 0.0);
-    Matrix odd_coeff = Matrix::identity(n) * Complex(kPade6[1], 0.0);
-    Matrix pow = Matrix::identity(n); // a2^k
-    for (int k = 1; k <= 3; ++k) {
-        pow = pow * a2;
-        even += pow * Complex(kPade6[2 * k], 0.0);
-        if (2 * k + 1 <= 6)
-            odd_coeff += pow * Complex(kPade6[2 * k + 1], 0.0);
-    }
-    Matrix u = as * odd_coeff;
-    Matrix p = even + u;
-    Matrix q = even - u;
-    Matrix r = solveLinear(std::move(q), std::move(p));
-
-    for (int s = 0; s < squarings; ++s)
-        r = r * r;
-    return r;
+void
+expmPropagatorInto(const Matrix &h, double dt, Matrix &out,
+                   ExpmWorkspace &ws)
+{
+    PAQOC_ASSERT(h.isSquare(), "expm of non-square matrix");
+    const std::size_t n = h.rows();
+    // One fused pass: as = h * (-i dt), elementwise, straight into
+    // the workspace. Same complex product as the historical
+    // copy-then-*= sequence, minus the copy.
+    ws.as.resize(n, n);
+    const Complex factor(0.0, -dt);
+    const Complex *src = h.data();
+    Complex *dst = ws.as.data();
+    for (std::size_t i = 0; i < n * n; ++i)
+        dst[i] = src[i] * factor;
+    expmCore(out, ws);
 }
 
 Matrix
 expmPropagator(const Matrix &h, double dt)
 {
-    Matrix a = h;
-    a *= Complex(0.0, -dt);
-    return expm(a);
+    ExpmWorkspace ws;
+    Matrix out;
+    expmPropagatorInto(h, dt, out, ws);
+    return out;
 }
 
 } // namespace paqoc

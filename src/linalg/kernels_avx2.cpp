@@ -1,0 +1,177 @@
+/**
+ * @file
+ * AVX2 backends for the dispatched kernels. This translation unit is
+ * compiled with -mavx2 -ffp-contract=off and must only be entered
+ * after kernels::avx2Available() returned true. -mfma is deliberately
+ * absent: beyond never *writing* FMA intrinsics here, the ISA must
+ * not even be enabled, because GCC fuses the open-coded complex
+ * multiply in the scalar tail loops below into vfmaddsub132pd (one
+ * rounding instead of two) even under -ffp-contract=off, which would
+ * silently break bit-identity with the scalar reference TU.
+ *
+ * Bit-identity with the scalar reference is load-bearing, so the
+ * lane layout mirrors the scalar arithmetic exactly:
+ *
+ *  - One 256-bit ymm holds TWO interleaved complex doubles
+ *    [re0 im0 re1 im1]; vector width runs across independent output
+ *    elements (columns j / indices i), never across a reduction.
+ *  - A complex product a*b is computed as the scalar formula
+ *    (ar*br - ai*bi, ar*bi + ai*br): two vmulpd and one vaddsubpd,
+ *    each individually rounded -- the same three roundings, in the
+ *    same order, as std::complex<double> operator*. FMA contraction
+ *    would fuse the mul into the add/sub and change the bits, which
+ *    is why this file never uses vfmadd and is built with
+ *    -ffp-contract=off and without -mfma.
+ *  - Reductions (dotu) compute term products two-wide but fold them
+ *    into the accumulator one term at a time in ascending-i order,
+ *    exactly like the scalar loop.
+ */
+
+#if defined(PAQOC_HAVE_AVX2_KERNELS)
+
+#include <immintrin.h>
+
+#include "linalg/kernels.h"
+
+namespace paqoc {
+namespace kernels {
+namespace detail {
+
+namespace {
+
+/**
+ * Two complex products alpha * v for interleaved v = [b0 b1], with
+ * ar/ai pre-broadcast from alpha. addsub subtracts in even (real)
+ * lanes and adds in odd (imag) lanes: exactly (ar*br - ai*bi,
+ * ar*bi + ai*br) per element.
+ */
+inline __m256d
+mulBroadcast(__m256d ar, __m256d ai, __m256d v)
+{
+    const __m256d swapped = _mm256_permute_pd(v, 0x5); // [im re im re]
+    return _mm256_addsub_pd(_mm256_mul_pd(ar, v),
+                            _mm256_mul_pd(ai, swapped));
+}
+
+inline const double *
+asDoubles(const Complex *p)
+{
+    // std::complex<double> is layout-compatible with double[2].
+    return reinterpret_cast<const double *>(p);
+}
+
+inline double *
+asDoubles(Complex *p)
+{
+    return reinterpret_cast<double *>(p);
+}
+
+} // namespace
+
+void
+gemmRowsAvx2(const Complex *a, const Complex *b, Complex *out,
+             std::size_t k, std::size_t m, std::size_t row0,
+             std::size_t row1)
+{
+    const __m256d zero = _mm256_setzero_pd();
+    for (std::size_t i = row0; i < row1; ++i) {
+        const Complex *arow = a + i * k;
+        Complex *orow = out + i * m;
+        double *od = asDoubles(orow);
+        std::size_t j = 0;
+        for (; j + 2 <= m; j += 2)
+            _mm256_storeu_pd(od + 2 * j, zero);
+        for (; j < m; ++j)
+            orow[j] = Complex(0.0, 0.0);
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const Complex aik = arow[kk];
+            if (aik == Complex(0.0, 0.0))
+                continue;
+            const __m256d ar = _mm256_set1_pd(aik.real());
+            const __m256d ai = _mm256_set1_pd(aik.imag());
+            const double *bd = asDoubles(b + kk * m);
+            j = 0;
+            // 4 columns (two ymm) per step; columns are independent,
+            // so unrolling does not reorder any element's terms.
+            for (; j + 4 <= m; j += 4) {
+                const __m256d b0 = _mm256_loadu_pd(bd + 2 * j);
+                const __m256d b1 = _mm256_loadu_pd(bd + 2 * j + 4);
+                const __m256d o0 = _mm256_loadu_pd(od + 2 * j);
+                const __m256d o1 = _mm256_loadu_pd(od + 2 * j + 4);
+                _mm256_storeu_pd(
+                    od + 2 * j,
+                    _mm256_add_pd(o0, mulBroadcast(ar, ai, b0)));
+                _mm256_storeu_pd(
+                    od + 2 * j + 4,
+                    _mm256_add_pd(o1, mulBroadcast(ar, ai, b1)));
+            }
+            for (; j + 2 <= m; j += 2) {
+                const __m256d bv = _mm256_loadu_pd(bd + 2 * j);
+                const __m256d ov = _mm256_loadu_pd(od + 2 * j);
+                _mm256_storeu_pd(
+                    od + 2 * j,
+                    _mm256_add_pd(ov, mulBroadcast(ar, ai, bv)));
+            }
+            for (; j < m; ++j)
+                orow[j] += aik * (b + kk * m)[j];
+        }
+    }
+}
+
+void
+axpyAvx2(Complex alpha, const Complex *x, Complex *y, std::size_t n)
+{
+    // y[i] += x[i] * alpha: same formula as the scalar loop with the
+    // roles of the broadcast operand arranged to match x * alpha
+    // (complex multiplication's product set is symmetric and IEEE
+    // addition/multiplication are commutative, so broadcast(alpha) *
+    // x[i] rounds identically to x[i] * alpha).
+    const __m256d ar = _mm256_set1_pd(alpha.real());
+    const __m256d ai = _mm256_set1_pd(alpha.imag());
+    const double *xd = asDoubles(x);
+    double *yd = asDoubles(y);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m256d xv = _mm256_loadu_pd(xd + 2 * i);
+        const __m256d yv = _mm256_loadu_pd(yd + 2 * i);
+        _mm256_storeu_pd(yd + 2 * i,
+                         _mm256_add_pd(yv, mulBroadcast(ar, ai, xv)));
+    }
+    for (; i < n; ++i)
+        y[i] += x[i] * alpha;
+}
+
+Complex
+dotuAvx2(const Complex *x, const Complex *y, std::size_t n)
+{
+    const double *xd = asDoubles(x);
+    const double *yd = asDoubles(y);
+    // 128-bit accumulator = one complex; terms are folded in one at a
+    // time (low half then high half) to preserve the scalar
+    // ascending-i accumulation order.
+    __m128d acc = _mm_setzero_pd();
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m256d xv = _mm256_loadu_pd(xd + 2 * i);
+        const __m256d yv = _mm256_loadu_pd(yd + 2 * i);
+        const __m256d xr = _mm256_movedup_pd(xv);      // [re re ...]
+        const __m256d xi = _mm256_permute_pd(xv, 0xF); // [im im ...]
+        const __m256d ys = _mm256_permute_pd(yv, 0x5);
+        const __m256d prod = _mm256_addsub_pd(
+            _mm256_mul_pd(xr, yv), _mm256_mul_pd(xi, ys));
+        acc = _mm_add_pd(acc, _mm256_castpd256_pd128(prod));
+        acc = _mm_add_pd(acc, _mm256_extractf128_pd(prod, 1));
+    }
+    alignas(16) double pair[2];
+    _mm_store_pd(pair, acc);
+    Complex t(pair[0], pair[1]);
+    for (; i < n; ++i)
+        t += x[i] * y[i];
+    return t;
+}
+
+} // namespace detail
+} // namespace kernels
+} // namespace paqoc
+
+#endif // PAQOC_HAVE_AVX2_KERNELS

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "linalg/kernels.h"
 
 namespace paqoc {
 
@@ -79,48 +80,16 @@ operator*(const Matrix &a, const Matrix &b)
 namespace {
 
 /**
- * Minimum dimension (all of n, k, m) for the blocked parallel path.
+ * Minimum dimension (all of n, k, m) for the parallel row-tiled path.
  * QOC propagators live below this (dim <= 2^3 per customized gate),
- * so the hot GRAPE loops keep the sparse-aware serial kernel; only
- * genuinely large products (simulator aggregates, benches) pay the
- * transpose and fan out across the pool.
+ * so the hot GRAPE loops take one direct kernel call; only genuinely
+ * large products (simulator aggregates, benches) fan out across the
+ * pool.
  */
 constexpr std::size_t kBlockedThreshold = 32;
 
 /** Rows of `out` computed per task: a cache-friendly i-tile. */
 constexpr std::size_t kRowTile = 16;
-
-/**
- * out = a * b with b pre-transposed, so every inner dot product
- * streams two contiguous rows. Each output element is one full-k dot
- * accumulated in ascending-k order -- the result is independent of
- * how the row tiles are scheduled across threads.
- */
-void
-matmulBlocked(const Matrix &a, const Matrix &b, Matrix &out)
-{
-    const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
-    const Matrix bt = b.transpose();
-    const Complex *pa = a.data();
-    const Complex *pbt = bt.data();
-    Complex *o = out.data();
-    const std::size_t tiles = (n + kRowTile - 1) / kRowTile;
-    ThreadPool::global().parallelFor(tiles, [&](std::size_t tile) {
-        const std::size_t i0 = tile * kRowTile;
-        const std::size_t i1 = std::min(n, i0 + kRowTile);
-        for (std::size_t i = i0; i < i1; ++i) {
-            const Complex *arow = pa + i * k;
-            Complex *orow = o + i * m;
-            for (std::size_t j = 0; j < m; ++j) {
-                const Complex *brow = pbt + j * k;
-                Complex s(0.0, 0.0);
-                for (std::size_t kk = 0; kk < k; ++kk)
-                    s += arow[kk] * brow[kk];
-                orow[j] = s;
-            }
-        }
-    });
-}
 
 } // namespace
 
@@ -130,38 +99,46 @@ matmulInto(const Matrix &a, const Matrix &b, Matrix &out)
     PAQOC_ASSERT(a.cols() == b.rows(), "shape mismatch in matmul");
     PAQOC_ASSERT(out.rows() == a.rows() && out.cols() == b.cols(),
                  "output shape mismatch in matmul");
+    // An aliased output would be read while being overwritten; the
+    // old kernel silently corrupted here, so the contract is now
+    // enforced. Callers that need in-place products multiply into a
+    // scratch matrix and swap.
+    PAQOC_ASSERT(out.data() != a.data() && out.data() != b.data(),
+                 "matmulInto output aliases an input");
     const std::size_t n = a.rows(), k = a.cols(), m = b.cols();
+    // Every path below lands in the same dispatched i-k-j kernel
+    // (ascending-k accumulation per output element, exact-zero a(i,k)
+    // skipped), so the bits do not depend on tiling, thread count or
+    // the PAQOC_KERNEL backend.
     if (n >= kBlockedThreshold && k >= kBlockedThreshold
         && m >= kBlockedThreshold) {
-        matmulBlocked(a, b, out);
+        const Complex *pa = a.data();
+        const Complex *pb = b.data();
+        Complex *o = out.data();
+        const std::size_t tiles = (n + kRowTile - 1) / kRowTile;
+        ThreadPool::global().parallelFor(tiles, [&](std::size_t tile) {
+            const std::size_t i0 = tile * kRowTile;
+            const std::size_t i1 = std::min(n, i0 + kRowTile);
+            kernels::gemmRows(pa, pb, o, k, m, i0, i1);
+        });
         return;
     }
-    Complex *o = out.data();
-    const Complex *pa = a.data();
-    const Complex *pb = b.data();
-    std::fill(o, o + n * m, Complex(0.0, 0.0));
-    // i-k-j loop order keeps the inner loop streaming over contiguous
-    // rows of b and out.
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const Complex aik = pa[i * k + kk];
-            if (aik == Complex(0.0, 0.0))
-                continue;
-            const Complex *brow = pb + kk * m;
-            Complex *orow = o + i * m;
-            for (std::size_t j = 0; j < m; ++j)
-                orow[j] += aik * brow[j];
-        }
-    }
+    kernels::gemmRows(a.data(), b.data(), out.data(), k, m, 0, n);
+}
+
+void
+Matrix::resize(std::size_t rows, std::size_t cols)
+{
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, Complex(0.0, 0.0));
 }
 
 Matrix
 Matrix::adjoint() const
 {
     Matrix out(cols_, rows_);
-    for (std::size_t r = 0; r < rows_; ++r)
-        for (std::size_t c = 0; c < cols_; ++c)
-            out(c, r) = std::conj((*this)(r, c));
+    kernels::adjointInto(data(), out.data(), rows_, cols_);
     return out;
 }
 
@@ -169,9 +146,7 @@ Matrix
 Matrix::transpose() const
 {
     Matrix out(cols_, rows_);
-    for (std::size_t r = 0; r < rows_; ++r)
-        for (std::size_t c = 0; c < cols_; ++c)
-            out(c, r) = (*this)(r, c);
+    kernels::transposeInto(data(), out.data(), rows_, cols_);
     return out;
 }
 

@@ -41,6 +41,13 @@ class Matrix
     std::size_t cols() const { return cols_; }
     bool isSquare() const { return rows_ == cols_; }
 
+    /**
+     * Reshape to rows x cols, zero-filled, reusing the existing
+     * allocation when capacity allows. The workhorse for scratch
+     * buffers that live across hot-loop iterations.
+     */
+    void resize(std::size_t rows, std::size_t cols);
+
     Complex &operator()(std::size_t r, std::size_t c)
     { return data_[r * cols_ + c]; }
     const Complex &operator()(std::size_t r, std::size_t c) const
@@ -106,7 +113,11 @@ Matrix kron(const Matrix &a, const Matrix &b);
 
 /**
  * Multiply accumulating into an existing buffer: out = a * b.
- * out must not alias a or b and must be pre-sized.
+ * out must be pre-sized and must not alias a or b (enforced: an
+ * aliased call raises InternalError instead of silently corrupting).
+ * Dispatches to the runtime-selected kernel backend (see
+ * linalg/kernels.h); results are bit-identical across backends and
+ * thread counts.
  */
 void matmulInto(const Matrix &a, const Matrix &b, Matrix &out);
 

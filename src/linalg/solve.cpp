@@ -9,6 +9,14 @@ namespace paqoc {
 Matrix
 solveLinear(Matrix a, Matrix b)
 {
+    Matrix x;
+    solveLinearInPlace(a, b, x);
+    return x;
+}
+
+void
+solveLinearInPlace(Matrix &a, Matrix &b, Matrix &x)
+{
     PAQOC_ASSERT(a.isSquare(), "solveLinear needs a square matrix");
     PAQOC_ASSERT(a.rows() == b.rows(), "shape mismatch in solveLinear");
     const std::size_t n = a.rows();
@@ -45,7 +53,9 @@ solveLinear(Matrix a, Matrix b)
     }
 
     // Back substitution.
-    Matrix x(n, m);
+    PAQOC_ASSERT(x.data() != a.data() && x.data() != b.data(),
+                 "solveLinearInPlace output aliases an input");
+    x.resize(n, m);
     for (std::size_t ri = n; ri-- > 0;) {
         for (std::size_t c = 0; c < m; ++c) {
             Complex s = b(ri, c);
@@ -54,7 +64,6 @@ solveLinear(Matrix a, Matrix b)
             x(ri, c) = s / a(ri, ri);
         }
     }
-    return x;
 }
 
 Matrix

@@ -11,6 +11,13 @@ namespace paqoc {
  */
 Matrix solveLinear(Matrix a, Matrix b);
 
+/**
+ * Workspace variant: destroys `a` and `b` (they hold the elimination
+ * state afterwards) and writes X into `x`, which is resized as needed.
+ * `x` must not alias `a` or `b`. Bit-identical to solveLinear.
+ */
+void solveLinearInPlace(Matrix &a, Matrix &b, Matrix &x);
+
 /** Invert a square nonsingular matrix. */
 Matrix inverse(const Matrix &a);
 

@@ -271,6 +271,79 @@ findRangeFors(const std::string &stripped)
     return found;
 }
 
+/**
+ * Names declared with type Matrix (value, reference, or
+ * std::vector<Matrix>) in stripped text: local variables, members,
+ * and function parameters alike. Function names that merely *return*
+ * Matrix also land here, which is harmless for the product rule --
+ * call syntax `name(...)` is excluded at the use site.
+ */
+std::set<std::string>
+matrixDeclNames(const std::string &stripped)
+{
+    std::set<std::string> names;
+    static const std::regex decl(
+        R"((?:\bMatrix|std\s*::\s*vector\s*<\s*Matrix\s*>)\s*[&*]?\s*([A-Za-z_]\w*))");
+    auto begin = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                      decl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it)
+        names.insert((*it)[1].str());
+    return names;
+}
+
+/**
+ * Offsets [start, end) of every for/while body in stripped text
+ * (braced or single-statement). Nested loop bodies appear once per
+ * enclosing loop; callers dedup findings by line.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+findLoopBodies(const std::string &s)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> bodies;
+    static const std::regex kw(R"(\b(for|while)\b)");
+    auto begin = std::sregex_iterator(s.begin(), s.end(), kw);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        std::size_t p =
+            static_cast<std::size_t>(it->position() + it->length());
+        while (p < s.size()
+               && std::isspace(static_cast<unsigned char>(s[p])))
+            ++p;
+        if (p >= s.size() || s[p] != '(')
+            continue;
+        int depth = 0;
+        while (p < s.size()) {
+            if (s[p] == '(')
+                ++depth;
+            else if (s[p] == ')' && --depth == 0)
+                break;
+            ++p;
+        }
+        if (p >= s.size())
+            continue;
+        ++p; // past ')'
+        while (p < s.size()
+               && std::isspace(static_cast<unsigned char>(s[p])))
+            ++p;
+        if (p < s.size() && s[p] == '{') {
+            std::size_t q = p;
+            int braces = 0;
+            while (q < s.size()) {
+                if (s[q] == '{')
+                    ++braces;
+                else if (s[q] == '}' && --braces == 0)
+                    break;
+                ++q;
+            }
+            bodies.emplace_back(p, std::min(q + 1, s.size()));
+        } else {
+            const std::size_t semi = s.find(';', p);
+            bodies.emplace_back(
+                p, semi == std::string::npos ? s.size() : semi + 1);
+        }
+    }
+    return bodies;
+}
+
 /** Does this file build serialized output a client or disk can see? */
 bool
 producesOutput(const std::string &stripped)
@@ -467,6 +540,64 @@ checkHeaderGuard(const FileContext &ctx)
 }
 
 void
+checkMatrixProductInLoop(const FileContext &ctx)
+{
+    // Only the QOC/simulator hot paths: a Matrix operator* allocates
+    // its result, and inside GRAPE-scale loops that allocation churn
+    // is exactly what the kernel layer (matmulInto + scratch reuse)
+    // exists to eliminate.
+    const bool hot = startsWith(ctx.path, "src/qoc/")
+        || startsWith(ctx.path, "src/sim/");
+    if (!hot)
+        return;
+    const std::set<std::string> names =
+        matrixDeclNames(ctx.stripped);
+    if (names.empty())
+        return;
+    // name [idx]? * name [idx]?  -- call syntax `name(...)` on either
+    // side is excluded (left: the ')' breaks the match; right: the
+    // lookahead), so element access u(r, c) never trips the rule.
+    static const std::regex prod(
+        R"(([A-Za-z_]\w*)\s*(\[[^\][]*\])?\s*\*\s*([A-Za-z_]\w*)\b\s*(\[[^\][]*\])?(?!\s*[\(\[]))");
+    // name.adjoint() * ...  /  name * name.adjoint()
+    static const std::regex chain_left(
+        R"(([A-Za-z_]\w*)\s*\.\s*(adjoint|transpose|conjugate)\s*\(\s*\)\s*\*)");
+    static const std::regex chain_right(
+        R"(([A-Za-z_]\w*)\b\s*\*\s*([A-Za-z_]\w*)\s*\.\s*(adjoint|transpose|conjugate)\s*\(\s*\))");
+    std::set<int> flagged;
+    for (const auto &[begin, end] : findLoopBodies(ctx.stripped)) {
+        const std::string body = ctx.stripped.substr(begin, end - begin);
+        auto scan = [&](const std::regex &re, auto matches) {
+            auto it = std::sregex_iterator(body.begin(), body.end(), re);
+            for (; it != std::sregex_iterator(); ++it) {
+                if (!matches(*it))
+                    continue;
+                flagged.insert(lineOfOffset(
+                    ctx.stripped,
+                    begin + static_cast<std::size_t>(it->position())));
+            }
+        };
+        scan(prod, [&](const std::smatch &m) {
+            return names.count(m[1].str()) > 0
+                && names.count(m[3].str()) > 0;
+        });
+        scan(chain_left, [&](const std::smatch &m) {
+            return names.count(m[1].str()) > 0;
+        });
+        scan(chain_right, [&](const std::smatch &m) {
+            return names.count(m[1].str()) > 0
+                && names.count(m[2].str()) > 0;
+        });
+    }
+    for (const int line : flagged)
+        ctx.emit("matrix-product-in-loop", line,
+                 "allocating Matrix operator* inside a loop; multiply "
+                 "into reused scratch via matmulInto / the kernels:: "
+                 "entry points (DESIGN.md §11), or hoist the product "
+                 "out of the loop");
+}
+
+void
 checkUnorderedIteration(const FileContext &ctx,
                         const std::set<std::string> &extra_decls)
 {
@@ -513,6 +644,7 @@ lintInto(const std::string &path, const std::string &content,
     checkFloatNumerics(ctx);
     checkRawIo(ctx);
     checkHeaderGuard(ctx);
+    checkMatrixProductInLoop(ctx);
     checkUnorderedIteration(ctx, companion_decls);
 }
 
@@ -538,9 +670,10 @@ std::vector<std::string>
 ruleNames()
 {
     return {"float-numerics",  "header-guard",
-            "naked-mutex",     "printf-output",
-            "process-control", "raw-io",
-            "unordered-iteration", "unseeded-random"};
+            "matrix-product-in-loop", "naked-mutex",
+            "printf-output",   "process-control",
+            "raw-io",          "unordered-iteration",
+            "unseeded-random"};
 }
 
 std::vector<Finding>

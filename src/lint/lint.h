@@ -63,6 +63,14 @@ namespace lint {
  *                        restart budget, heartbeat watchdog, and
  *                        signal forwarding live in one audited state
  *                        machine (DESIGN.md §10).
+ *   matrix-product-in-loop  Matrix operator* between matrix-typed
+ *                        operands inside a for/while body in src/qoc
+ *                        or src/sim: the product allocates its result
+ *                        every trip; hot loops multiply into reused
+ *                        scratch via matmulInto or the kernels::
+ *                        entry points instead (DESIGN.md §11).
+ *                        Element access `m(r, c)` and calls never
+ *                        trip the rule.
  */
 struct Finding
 {

@@ -4,6 +4,7 @@
 
 #include "circuit/circuit.h"
 #include "common/error.h"
+#include "linalg/kernels.h"
 
 namespace paqoc {
 
@@ -65,17 +66,27 @@ DeviceModel::DeviceModel(int num_qubits,
 Matrix
 DeviceModel::sliceHamiltonian(const std::vector<double> &amplitudes) const
 {
+    Matrix h;
+    sliceHamiltonianInto(amplitudes, h);
+    return h;
+}
+
+void
+DeviceModel::sliceHamiltonianInto(const std::vector<double> &amplitudes,
+                                  Matrix &h) const
+{
     PAQOC_ASSERT(amplitudes.size() == controls_.size(),
                  "amplitude count mismatch");
-    Matrix h(dim(), dim());
+    h.resize(dim(), dim());
+    const std::size_t n2 = dim() * dim();
     for (std::size_t k = 0; k < controls_.size(); ++k) {
         if (amplitudes[k] == 0.0)
             continue;
-        Matrix term = controls_[k];
-        term *= Complex(amplitudes[k], 0.0);
-        h += term;
+        // h += alpha_k * H_k via the axpy kernel: same multiply-then-
+        // add rounding as the historical copy/scale/add sequence.
+        kernels::axpy(Complex(amplitudes[k], 0.0),
+                      controls_[k].data(), h.data(), n2);
     }
-    return h;
 }
 
 } // namespace paqoc

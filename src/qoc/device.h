@@ -51,6 +51,14 @@ class DeviceModel
      */
     Matrix sliceHamiltonian(const std::vector<double> &amplitudes) const;
 
+    /**
+     * Workspace variant: assembles H(t) into `h` (resized as needed)
+     * with no temporaries. Bit-identical to sliceHamiltonian; this is
+     * what the GRAPE inner loop calls once per slice per iteration.
+     */
+    void sliceHamiltonianInto(const std::vector<double> &amplitudes,
+                              Matrix &h) const;
+
   private:
     int num_qubits_;
     std::vector<Matrix> controls_;

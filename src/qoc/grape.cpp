@@ -7,6 +7,7 @@
 #include "common/failpoint.h"
 #include "common/rng.h"
 #include "linalg/expm.h"
+#include "linalg/kernels.h"
 #include "linalg/unitary_util.h"
 
 namespace paqoc {
@@ -16,18 +17,14 @@ namespace {
 /**
  * Trace of a * b given aT = a.transpose(): Tr(a b) = sum_{i,k}
  * a(i,k) b(k,i) = sum elementwise aT .* b, so both operands stream
- * row-major instead of b being walked down its columns.
+ * row-major instead of b being walked down its columns. The dotu
+ * kernel accumulates in ascending-i order on every backend.
  */
 Complex
 traceOfProductT(const Matrix &a_t, const Matrix &b)
 {
-    const Complex *x = a_t.data();
-    const Complex *y = b.data();
-    const std::size_t n = a_t.rows() * a_t.cols();
-    Complex t(0.0, 0.0);
-    for (std::size_t i = 0; i < n; ++i)
-        t += x[i] * y[i];
-    return t;
+    return kernels::dotu(a_t.data(), b.data(),
+                         a_t.rows() * a_t.cols());
 }
 
 /** hash_combine-style seed mixer. */
@@ -55,6 +52,10 @@ class GrapeRun
                   std::vector<double>(n_controls_, 0.0));
         m_.assign(u_.size(), std::vector<double>(n_controls_, 0.0));
         v_.assign(u_.size(), std::vector<double>(n_controls_, 0.0));
+        props_.resize(u_.size());
+        prefix_.resize(u_.size());
+        hk_scratch_.resize(n_controls_);
+        identity_ = Matrix::identity(dim_);
     }
 
     void
@@ -74,6 +75,10 @@ class GrapeRun
         const int src = guess.numSlices();
         if (src == 0)
             return;
+        // Resampled guesses repeat slices across adjacent duration
+        // probes, so the first evaluation may reuse the shared
+        // propagator cache.
+        guess_seeded_ = true;
         for (int t = 0; t < n_slices_; ++t) {
             const int s = std::min(src - 1, t * src / n_slices_);
             for (std::size_t k = 0; k < n_controls_; ++k) {
@@ -120,7 +125,7 @@ class GrapeRun
 
   private:
     double fidelityAndGradient(std::vector<std::vector<double>> &grad,
-                               ThreadPool *pool);
+                               const GrapeRuntime &rt);
 
     const DeviceModel &device_;
     const Matrix &target_;
@@ -136,28 +141,61 @@ class GrapeRun
     std::vector<std::vector<double>> v_; // ADAM second moment
     double best_fidelity_ = 0.0;
     std::vector<std::vector<double>> best_u_;
+
+    // Scratch reused across all iterations of the trial: one warm
+    // fidelity+gradient evaluation performs no matrix allocations at
+    // all (the historical code allocated ~6 matrices per slice per
+    // iteration). Contents never survive an iteration, so reuse
+    // cannot change results.
+    std::vector<Matrix> props_;      // slice propagators U_t
+    std::vector<Matrix> prefix_;     // prefix products F_t
+    std::vector<Matrix> hk_scratch_; // per-control H_k * F_t
+    Matrix identity_;
+    Matrix h_;   // slice Hamiltonian
+    Matrix acc_; // forward accumulator
+    Matrix r_;   // backward accumulator R_t
+    Matrix r_t_; // R_t transposed
+    Matrix tmp_; // matmulInto cannot alias; multiply here and swap
+    ExpmWorkspace ews_;
+    bool guess_seeded_ = false;
 };
 
 double
 GrapeRun::fidelityAndGradient(std::vector<std::vector<double>> &grad,
-                              ThreadPool *pool)
+                              const GrapeRuntime &rt)
 {
     const double d = static_cast<double>(dim_);
+    // The cache only pays off on the very first evaluation of a
+    // guess-seeded trial (before ADAM perturbs the amplitudes into
+    // unique values); afterwards lookups would only waste time.
+    PropagatorCache *cache = guess_seeded_ ? rt.propCache : nullptr;
+    guess_seeded_ = false;
 
     // Forward pass: slice propagators and prefix products F_t.
-    std::vector<Matrix> props(static_cast<std::size_t>(n_slices_));
-    std::vector<Matrix> prefix(static_cast<std::size_t>(n_slices_));
-    Matrix acc = Matrix::identity(dim_);
+    acc_ = identity_;
     for (int t = 0; t < n_slices_; ++t) {
-        const Matrix h = device_.sliceHamiltonian(
-            u_[static_cast<std::size_t>(t)]);
-        props[static_cast<std::size_t>(t)] = expmPropagator(h, 1.0);
-        acc = props[static_cast<std::size_t>(t)] * acc;
-        prefix[static_cast<std::size_t>(t)] = acc;
+        const auto ts = static_cast<std::size_t>(t);
+        const std::vector<double> &amps = u_[ts];
+        // The propagator is a pure function of the slice amplitudes,
+        // so equal amplitude vectors (common in resampled guesses and
+        // zero-amplitude stretches) share one exponential -- first
+        // with the previous slice, then through the cross-probe cache.
+        if (t > 0 && amps == u_[ts - 1]) {
+            props_[ts] = props_[ts - 1];
+        } else if (cache == nullptr || !cache->lookup(amps, props_[ts])) {
+            device_.sliceHamiltonianInto(amps, h_);
+            expmPropagatorInto(h_, 1.0, props_[ts], ews_);
+            if (cache != nullptr)
+                cache->insert(amps, props_[ts]);
+        }
+        tmp_.resize(dim_, dim_);
+        matmulInto(props_[ts], acc_, tmp_);
+        std::swap(acc_, tmp_);
+        prefix_[ts] = acc_;
     }
     // Tr(target^dag acc) as an elementwise dot with conj(target):
     // (target^dag)^T = conj(target), both matrices stream row-major.
-    const Complex g = traceOfProductT(target_conj_, acc);
+    const Complex g = traceOfProductT(target_conj_, acc_);
     const double fidelity = std::norm(g) / (d * d);
 
     // Backward pass: R_t = target^dag * U_N ... U_{t+1}; the gradient
@@ -166,28 +204,34 @@ GrapeRun::fidelityAndGradient(std::vector<std::vector<double>> &grad,
     //   (2/d^2) * Re( conj(g) * Tr(R_t * (-i) * H_k * F_t) ).
     // The controls are independent, so the k-loop fans out across the
     // pool on the widest (3-qubit) devices; each control writes only
-    // its own grad slot, keeping results thread-count-independent.
-    const bool fan_out = pool != nullptr && pool->size() > 1
+    // its own grad slot (and its own scratch matrix), keeping results
+    // thread-count-independent.
+    const bool fan_out = rt.pool != nullptr && rt.pool->size() > 1
         && n_controls_ >= 6;
-    Matrix r = target_adj_;
+    r_ = target_adj_;
     for (int t = n_slices_ - 1; t >= 0; --t) {
-        const Matrix &hf_base = prefix[static_cast<std::size_t>(t)];
+        const auto ts = static_cast<std::size_t>(t);
+        const Matrix &hf_base = prefix_[ts];
         // One transpose of R_t per backward step lets every control's
         // trace stream contiguously instead of striding b's columns.
-        const Matrix r_t = r.transpose();
+        r_t_.resize(dim_, dim_);
+        kernels::transposeInto(r_.data(), r_t_.data(), dim_, dim_);
         auto one_control = [&](std::size_t k) {
-            const Matrix hk_f = device_.control(k) * hf_base;
-            const Complex tr = traceOfProductT(r_t, hk_f);
+            Matrix &hk_f = hk_scratch_[k];
+            hk_f.resize(dim_, dim_);
+            matmulInto(device_.control(k), hf_base, hk_f);
+            const Complex tr = traceOfProductT(r_t_, hk_f);
             const Complex dgrad = std::conj(g) * (Complex(0, -1) * tr);
-            grad[static_cast<std::size_t>(t)][k] =
-                2.0 * dgrad.real() / (d * d);
+            grad[ts][k] = 2.0 * dgrad.real() / (d * d);
         };
         if (fan_out)
-            pool->parallelFor(n_controls_, one_control, 2);
+            rt.pool->parallelFor(n_controls_, one_control, 2);
         else
             for (std::size_t k = 0; k < n_controls_; ++k)
                 one_control(k);
-        r = r * props[static_cast<std::size_t>(t)];
+        tmp_.resize(dim_, dim_);
+        matmulInto(r_, props_[ts], tmp_);
+        std::swap(r_, tmp_);
     }
     return fidelity;
 }
@@ -209,7 +253,7 @@ GrapeRun::optimize(const GrapeRuntime &rt, const GrapeTrialKey &key,
         best_u_ = u_;
 
     for (int iter = start_iter; iter <= opts_.maxIterations; ++iter) {
-        const double fidelity = fidelityAndGradient(grad, rt.pool);
+        const double fidelity = fidelityAndGradient(grad, rt);
         if (fidelity > best_fidelity_) {
             best_fidelity_ = fidelity;
             best_u_ = u_;
@@ -268,6 +312,35 @@ GrapeRun::optimize(const GrapeRuntime &rt, const GrapeTrialKey &key,
 }
 
 } // namespace
+
+bool
+PropagatorCache::lookup(const std::vector<double> &amplitudes,
+                        Matrix &out) const
+{
+    MutexLock lock(mutex_);
+    const auto it = entries_.find(amplitudes);
+    if (it == entries_.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+PropagatorCache::insert(const std::vector<double> &amplitudes,
+                        const Matrix &propagator)
+{
+    MutexLock lock(mutex_);
+    if (entries_.size() >= kMaxEntries)
+        return;
+    entries_.emplace(amplitudes, propagator);
+}
+
+std::size_t
+PropagatorCache::size() const
+{
+    MutexLock lock(mutex_);
+    return entries_.size();
+}
 
 GrapeResult
 grapeOptimize(const DeviceModel &device, const Matrix &target,
@@ -406,6 +479,17 @@ findMinimumDuration(const DeviceModel &device, const Matrix &target,
     MinDurationResult out;
     ThreadPool *pool = runtime.pool;
 
+    // Adjacent duration probes seeded from the same guess share their
+    // first-iteration slice propagators through this cache (values
+    // are pure functions of the amplitudes, so sharing is invisible
+    // to the results). An externally supplied cache wins, letting a
+    // caller share across searches.
+    PropagatorCache local_prop_cache;
+    GrapeRuntime rt = runtime;
+    if (rt.propCache == nullptr && initial_guess != nullptr)
+        rt.propCache = &local_prop_cache;
+    const GrapeRuntime &runtime_ref = rt;
+
     // Evaluate a deterministic set of candidate durations; with a pool
     // the candidates run concurrently, and the trial/iteration
     // accounting always folds in candidate order.
@@ -413,7 +497,7 @@ findMinimumDuration(const DeviceModel &device, const Matrix &target,
         std::vector<GrapeResult> rs(slices.size());
         auto trial = [&](std::size_t i) {
             rs[i] = grapeOptimize(device, target, slices[i], options,
-                                  initial_guess, runtime);
+                                  initial_guess, runtime_ref);
         };
         if (pool != nullptr && slices.size() > 1)
             pool->parallelFor(slices.size(), trial);
@@ -500,9 +584,14 @@ schedulePropagator(const DeviceModel &device,
                    const PulseSchedule &schedule)
 {
     Matrix acc = Matrix::identity(device.dim());
+    Matrix h, u, tmp;
+    ExpmWorkspace ws;
     for (const auto &slice : schedule.amplitudes) {
-        const Matrix h = device.sliceHamiltonian(slice);
-        acc = expmPropagator(h, 1.0) * acc;
+        device.sliceHamiltonianInto(slice, h);
+        expmPropagatorInto(h, 1.0, u, ws);
+        tmp.resize(device.dim(), device.dim());
+        matmulInto(u, acc, tmp);
+        std::swap(acc, tmp);
     }
     return acc;
 }

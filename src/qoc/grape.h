@@ -2,12 +2,14 @@
 #define PAQOC_QOC_GRAPE_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/quota.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "qoc/device.h"
 #include "qoc/pulse.h"
@@ -135,6 +137,40 @@ class GrapeCheckpointProvider
 };
 
 /**
+ * Cache of slice propagators exp(-i H(u) dt) shared by the duration
+ * probes of one minimum-duration search. Adjacent probes seeded from
+ * the same initial guess resample the same source slices, so their
+ * first fidelity evaluations exponentiate many identical slice
+ * Hamiltonians; the cache computes each once.
+ *
+ * Keys are the exact amplitude bytes and values are pure functions of
+ * the key, so concurrent probes may look up and insert in any order
+ * without affecting a single bit of any result -- which is what keeps
+ * the engine's thread-count determinism intact. Entries are capped;
+ * past the cap inserts are dropped (a cache miss only costs time).
+ */
+class PropagatorCache
+{
+  public:
+    /** Copy the cached propagator for `amplitudes` into `out`. */
+    bool lookup(const std::vector<double> &amplitudes,
+                Matrix &out) const;
+
+    /** Record a propagator (dropped beyond the entry cap). */
+    void insert(const std::vector<double> &amplitudes,
+                const Matrix &propagator);
+
+    std::size_t size() const;
+
+  private:
+    static constexpr std::size_t kMaxEntries = 4096;
+
+    mutable Mutex mutex_;
+    std::map<std::vector<double>, Matrix> entries_
+        PAQOC_GUARDED_BY(mutex_);
+};
+
+/**
  * Execution context threaded through a GRAPE derivation. Default
  * constructed it changes nothing: no pool, no checkpointing, no
  * quota -- the optimizer follows the exact legacy code path.
@@ -148,6 +184,12 @@ struct GrapeRuntime
     int checkpointEvery = 0;
     /** Cooperative budget of the enclosing request (may be null). */
     QuotaToken *quota = nullptr;
+    /**
+     * Shared propagator cache (may be null). Only consulted for the
+     * first fidelity evaluation of guess-seeded trials, where reuse
+     * across duration probes actually occurs; never changes results.
+     */
+    PropagatorCache *propCache = nullptr;
 };
 
 /**

@@ -20,8 +20,15 @@ realizeSchedule(const PulseSchedule &schedule, int num_qubits)
 {
     const DeviceModel device(num_qubits);
     Matrix u = Matrix::identity(device.dim());
-    for (const auto &slice : schedule.amplitudes)
-        u = expmPropagator(device.sliceHamiltonian(slice), 1.0) * u;
+    Matrix h, prop, tmp;
+    ExpmWorkspace ws;
+    for (const auto &slice : schedule.amplitudes) {
+        device.sliceHamiltonianInto(slice, h);
+        expmPropagatorInto(h, 1.0, prop, ws);
+        tmp.resize(device.dim(), device.dim());
+        matmulInto(prop, u, tmp);
+        std::swap(u, tmp);
+    }
     return u;
 }
 

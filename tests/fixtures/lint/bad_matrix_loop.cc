@@ -1,0 +1,32 @@
+// Fixture for the matrix-product-in-loop rule. Lines 12, 14 and 18
+// violate; line 22 is suppressed; the rest are negative cases.
+#include "linalg/matrix.h"
+using paqoc::Matrix;
+
+void hot(const Matrix &a, const Matrix &b, int n)
+{
+    Matrix acc = a;
+    std::vector<Matrix> props(4);
+    Matrix target = b;
+    for (int t = 0; t < n; ++t) {
+        acc = props[t] * acc;
+        Matrix r = acc;
+        r = r * target.adjoint();
+        (void)r;
+    }
+    while (n-- > 0)
+        acc = a * b;
+    for (int t = 0; t < n; ++t) {
+        // paqoc-lint: allow(matrix-product-in-loop) one-shot cold path
+        acc = a * b;
+    }
+    for (int t = 0; t < n; ++t) {
+        double d = 2.0 * 3.0;       // scalar product: fine
+        auto v = acc(0, t) * d;     // element access: fine
+        auto w = a.rows() * n;      // call syntax: fine
+        (void)v;
+        (void)w;
+    }
+    Matrix cold = a * b; // outside any loop: fine
+    (void)cold;
+}

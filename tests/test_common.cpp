@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/bench_snapshot.h"
 #include "common/error.h"
 #include "common/json.h"
 #include "common/quota.h"
@@ -345,6 +346,91 @@ TEST(Quota, ResidentPulseAndWallClockBudgets)
     QuotaToken open_ended{QuotaLimits{}};
     EXPECT_TRUE(open_ended.chargeIterations(1 << 20));
     EXPECT_TRUE(open_ended.chargeResidentPulse());
+}
+
+TEST(BenchSnapshot, JsonRoundTripPreservesEverything)
+{
+    BenchSnapshot snap;
+    snap.name = "micro_kernels";
+    snap.setContext("backend", "avx2");
+    snap.setMetric("gemm_ops_per_sec", 12345.678901234567, true);
+    snap.setMetric("wall_seconds", 0.25, false);
+    // Overwrite keeps first-insert order and the new value.
+    snap.setMetric("gemm_ops_per_sec", 23456.789, true);
+
+    const BenchSnapshot back = BenchSnapshot::fromJson(snap.toJson());
+    EXPECT_EQ(back.name, "micro_kernels");
+    ASSERT_EQ(back.metrics.size(), 2u);
+    EXPECT_EQ(back.metrics[0].first, "gemm_ops_per_sec");
+    EXPECT_EQ(back.metrics[0].second.value, 23456.789);
+    EXPECT_TRUE(back.metrics[0].second.higherIsBetter);
+    EXPECT_EQ(back.metrics[1].first, "wall_seconds");
+    EXPECT_FALSE(back.metrics[1].second.higherIsBetter);
+    ASSERT_EQ(back.context.size(), 1u);
+    EXPECT_EQ(back.context[0].second, "avx2");
+    // Serialization is deterministic: dump(parse(dump)) == dump.
+    EXPECT_EQ(back.toJson().dump(), snap.toJson().dump());
+}
+
+TEST(BenchSnapshot, FromJsonRejectsWrongSchema)
+{
+    EXPECT_THROW(
+        BenchSnapshot::fromJson(Json::parse("{\"schema\":\"v0\"}")),
+        FatalError);
+    EXPECT_THROW(BenchSnapshot::fromJson(Json::parse("[]")),
+                 FatalError);
+}
+
+TEST(BenchSnapshot, CompareHonorsDirectionAndTolerance)
+{
+    BenchSnapshot committed;
+    committed.setMetric("throughput", 100.0, true);
+    committed.setMetric("latency", 10.0, false);
+
+    // Inside the band in the bad direction: ok.
+    BenchSnapshot fresh = committed;
+    fresh.setMetric("throughput", 91.0, true);
+    fresh.setMetric("latency", 10.9, false);
+    EXPECT_TRUE(compareSnapshots(committed, fresh, 0.10).ok);
+
+    // Higher-is-better dropping below committed * (1 - tol) regresses.
+    fresh.setMetric("throughput", 89.0, true);
+    const SnapshotComparison slow =
+        compareSnapshots(committed, fresh, 0.10);
+    EXPECT_FALSE(slow.ok);
+    EXPECT_TRUE(slow.deltas[0].regressed);
+    EXPECT_FALSE(slow.deltas[1].regressed);
+    EXPECT_NE(slow.describe().find("REGRESSED throughput"),
+              std::string::npos);
+
+    // Lower-is-better rising above committed * (1 + tol) regresses;
+    // improving in either direction never does.
+    fresh.setMetric("throughput", 500.0, true);
+    fresh.setMetric("latency", 11.1, false);
+    const SnapshotComparison laggy =
+        compareSnapshots(committed, fresh, 0.10);
+    EXPECT_FALSE(laggy.ok);
+    EXPECT_FALSE(laggy.deltas[0].regressed);
+    EXPECT_TRUE(laggy.deltas[1].regressed);
+}
+
+TEST(BenchSnapshot, MissingMetricRegressesExtraIgnored)
+{
+    BenchSnapshot committed;
+    committed.setMetric("kept", 1.0, true);
+    committed.setMetric("dropped", 1.0, true);
+    BenchSnapshot fresh;
+    fresh.setMetric("kept", 1.0, true);
+    fresh.setMetric("brand_new", 99.0, true);
+    const SnapshotComparison cmp =
+        compareSnapshots(committed, fresh, 0.5);
+    EXPECT_FALSE(cmp.ok);
+    ASSERT_EQ(cmp.deltas.size(), 2u);
+    EXPECT_FALSE(cmp.deltas[0].regressed);
+    EXPECT_TRUE(cmp.deltas[1].missing);
+    EXPECT_TRUE(cmp.deltas[1].regressed);
+    EXPECT_NE(cmp.describe().find("fresh=<missing>"),
+              std::string::npos);
 }
 
 } // namespace

@@ -10,6 +10,7 @@
 
 #include "circuit/contract.h"
 #include "circuit/schedule.h"
+#include "linalg/kernels.h"
 #include "linalg/unitary_util.h"
 #include "paqoc/compiler.h"
 #include "paqoc/latency_oracle.h"
@@ -288,6 +289,38 @@ TEST(Integration, GrapeCompileReportIndependentOfThreadCount)
     const CompileReport serial = compilePaqoc(tiny, g1, serial_opts);
     const CompileReport pooled = compilePaqoc(tiny, g8, pooled_opts);
     expectBitIdentical(serial, pooled);
+}
+
+TEST(Integration, GrapeCompileReportIndependentOfKernelBackend)
+{
+    // PAQOC_KERNEL must be free to switch (DESIGN.md §11): the full
+    // GRAPE numerics pipeline on the scalar reference kernels vs the
+    // vectorized backend, each serial and 8-threaded, all four
+    // bit-identical. Degrades to a scalar-vs-scalar (still valid)
+    // check on hosts without AVX2.
+    Circuit tiny(2);
+    tiny.h(0);
+    tiny.cx(0, 1);
+    GrapeOptions gopts;
+    gopts.maxIterations = 200;
+    const kernels::Backend entry = kernels::activeBackend();
+    std::vector<CompileReport> reports;
+    for (const kernels::Backend backend :
+         {kernels::Backend::Scalar, kernels::Backend::Avx2}) {
+        kernels::setBackend(backend);
+        for (const int threads : {1, 8}) {
+            PaqocOptions opts;
+            opts.threads = threads;
+            opts.enableMerger = false;
+            GrapePulseGenerator gen(gopts);
+            reports.push_back(compilePaqoc(tiny, gen, opts));
+        }
+    }
+    kernels::setBackend(entry);
+    for (std::size_t i = 1; i < reports.size(); ++i) {
+        SCOPED_TRACE("variant " + std::to_string(i));
+        expectBitIdentical(reports[0], reports[i]);
+    }
 }
 
 } // namespace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests of the runtime-dispatched kernel layer (DESIGN.md §11):
+ * backend selection and naming, and the bit-identity contract between
+ * the scalar reference kernels and the vectorized backends across
+ * randomized shapes -- including dimensions that are not a multiple of
+ * the vector width -- and across thread counts.
+ */
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "linalg/expm.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+
+namespace paqoc {
+namespace {
+
+std::vector<Complex>
+randomVec(std::size_t n, Rng &rng)
+{
+    std::vector<Complex> v(n);
+    for (Complex &c : v)
+        c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    return v;
+}
+
+Matrix
+randomMatrix(std::size_t n, Rng &rng)
+{
+    Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            m(r, c) = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    return m;
+}
+
+bool
+bitIdentical(const Matrix &a, const Matrix &b)
+{
+    return a.rows() == b.rows() && a.cols() == b.cols()
+        && std::memcmp(a.data(), b.data(),
+                       a.rows() * a.cols() * sizeof(Complex))
+        == 0;
+}
+
+/** RAII guard restoring the backend installed at scope entry. */
+class BackendGuard
+{
+  public:
+    BackendGuard() : entry_(kernels::activeBackend()) {}
+    ~BackendGuard() { kernels::setBackend(entry_); }
+
+  private:
+    kernels::Backend entry_;
+};
+
+TEST(KernelDispatch, BackendNamesAreStable)
+{
+    EXPECT_STREQ(kernels::backendName(kernels::Backend::Scalar),
+                 "scalar");
+    EXPECT_STREQ(kernels::backendName(kernels::Backend::Avx2),
+                 "avx2");
+}
+
+TEST(KernelDispatch, SetBackendByNameParsesAndRejects)
+{
+    BackendGuard guard;
+    EXPECT_TRUE(kernels::setBackendByName("scalar"));
+    EXPECT_EQ(kernels::activeBackend(), kernels::Backend::Scalar);
+    // Unknown names are rejected without disturbing the state.
+    EXPECT_FALSE(kernels::setBackendByName("sse9"));
+    EXPECT_FALSE(kernels::setBackendByName("AVX2"));
+    EXPECT_EQ(kernels::activeBackend(), kernels::Backend::Scalar);
+    EXPECT_TRUE(kernels::setBackendByName("auto"));
+}
+
+TEST(KernelDispatch, UnavailableBackendDegradesToScalar)
+{
+    BackendGuard guard;
+    const kernels::Backend got =
+        kernels::setBackend(kernels::Backend::Avx2);
+    if (kernels::avx2Available())
+        EXPECT_EQ(got, kernels::Backend::Avx2);
+    else
+        EXPECT_EQ(got, kernels::Backend::Scalar);
+    EXPECT_EQ(kernels::activeBackend(), got);
+}
+
+TEST(KernelBitIdentity, GemmScalarVsAvx2RandomShapes)
+{
+    if (!kernels::avx2Available())
+        GTEST_SKIP() << "no AVX2 backend in this build/host";
+    Rng rng(101);
+    // Shapes straddle the 4-, 2- and 1-column vector tails.
+    const std::size_t ns[] = {1, 2, 3, 5, 8, 13};
+    const std::size_t ks[] = {1, 3, 4, 7};
+    const std::size_t ms[] = {1, 2, 3, 4, 5, 9, 16, 17};
+    for (std::size_t n : ns) {
+        for (std::size_t k : ks) {
+            for (std::size_t m : ms) {
+                const auto a = randomVec(n * k, rng);
+                const auto b = randomVec(k * m, rng);
+                std::vector<Complex> ref(n * m), simd(n * m);
+                kernels::detail::gemmRowsScalar(
+                    a.data(), b.data(), ref.data(), k, m, 0, n);
+                kernels::detail::gemmRowsAvx2(
+                    a.data(), b.data(), simd.data(), k, m, 0, n);
+                ASSERT_EQ(std::memcmp(ref.data(), simd.data(),
+                                      n * m * sizeof(Complex)),
+                          0)
+                    << "n=" << n << " k=" << k << " m=" << m;
+            }
+        }
+    }
+}
+
+TEST(KernelBitIdentity, GemmExactZeroSkipPathMatches)
+{
+    if (!kernels::avx2Available())
+        GTEST_SKIP() << "no AVX2 backend in this build/host";
+    Rng rng(102);
+    constexpr std::size_t n = 6, k = 6, m = 6;
+    auto a = randomVec(n * k, rng);
+    const auto b = randomVec(k * m, rng);
+    // Both backends must skip exact-zero a(i,k) terms identically.
+    for (std::size_t i = 0; i < a.size(); i += 3)
+        a[i] = Complex(0.0, 0.0);
+    std::vector<Complex> ref(n * m), simd(n * m);
+    kernels::detail::gemmRowsScalar(a.data(), b.data(), ref.data(), k,
+                                    m, 0, n);
+    kernels::detail::gemmRowsAvx2(a.data(), b.data(), simd.data(), k,
+                                  m, 0, n);
+    EXPECT_EQ(
+        std::memcmp(ref.data(), simd.data(), n * m * sizeof(Complex)),
+        0);
+}
+
+TEST(KernelBitIdentity, DotuAndAxpyAllSmallLengths)
+{
+    if (!kernels::avx2Available())
+        GTEST_SKIP() << "no AVX2 backend in this build/host";
+    Rng rng(103);
+    for (std::size_t n = 1; n <= 35; ++n) {
+        const auto x = randomVec(n, rng);
+        const auto y = randomVec(n, rng);
+        const Complex ds =
+            kernels::detail::dotuScalar(x.data(), y.data(), n);
+        const Complex dv =
+            kernels::detail::dotuAvx2(x.data(), y.data(), n);
+        ASSERT_EQ(std::memcmp(&ds, &dv, sizeof(Complex)), 0)
+            << "dotu n=" << n;
+        const Complex alpha(0.37, -1.25);
+        std::vector<Complex> ys = y, yv = y;
+        kernels::detail::axpyScalar(alpha, x.data(), ys.data(), n);
+        kernels::detail::axpyAvx2(alpha, x.data(), yv.data(), n);
+        ASSERT_EQ(std::memcmp(ys.data(), yv.data(),
+                              n * sizeof(Complex)),
+                  0)
+            << "axpy n=" << n;
+    }
+}
+
+TEST(KernelBitIdentity, MatmulAcrossBackendsAndThreadCounts)
+{
+    BackendGuard guard;
+    const unsigned entry_threads = ThreadPool::global().size();
+    Rng rng(104);
+    // 80x80 goes through the cache-blocked, pooled matmulInto path.
+    const Matrix a = randomMatrix(80, rng);
+    const Matrix b = randomMatrix(80, rng);
+    std::vector<Matrix> results;
+    for (const kernels::Backend backend :
+         {kernels::Backend::Scalar, kernels::Backend::Avx2}) {
+        kernels::setBackend(backend);
+        for (const unsigned threads : {1u, 8u}) {
+            ThreadPool::setGlobalThreads(threads);
+            Matrix out(80, 80);
+            matmulInto(a, b, out);
+            results.push_back(out);
+        }
+    }
+    ThreadPool::setGlobalThreads(entry_threads);
+    for (std::size_t i = 1; i < results.size(); ++i)
+        EXPECT_TRUE(bitIdentical(results[0], results[i]))
+            << "variant " << i;
+}
+
+TEST(KernelBitIdentity, ExpmPropagatorAcrossBackends)
+{
+    BackendGuard guard;
+    Rng rng(105);
+    Matrix m = randomMatrix(8, rng);
+    Matrix h = m + m.adjoint();
+    h *= Complex(0.5, 0.0);
+    kernels::setBackend(kernels::Backend::Scalar);
+    const Matrix u_scalar = expmPropagator(h, 1.3);
+    kernels::setBackend(kernels::Backend::Avx2);
+    const Matrix u_simd = expmPropagator(h, 1.3);
+    EXPECT_TRUE(bitIdentical(u_scalar, u_simd));
+}
+
+} // namespace
+} // namespace paqoc

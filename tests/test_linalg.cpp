@@ -6,6 +6,7 @@
  */
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -114,6 +115,18 @@ TEST(Matrix, KronMixedProductProperty)
     EXPECT_TRUE(lhs.approxEqual(rhs, 1e-10));
 }
 
+TEST(Matrix, MatmulIntoRejectsAliasedOutput)
+{
+    Rng rng(51);
+    Matrix a = randomMatrix(4, rng);
+    Matrix b = randomMatrix(4, rng);
+    EXPECT_THROW(matmulInto(a, b, a), InternalError);
+    EXPECT_THROW(matmulInto(a, b, b), InternalError);
+    Matrix out(4, 4);
+    EXPECT_NO_THROW(matmulInto(a, b, out));
+    EXPECT_TRUE(out.approxEqual(a * b, 1e-12));
+}
+
 TEST(Solve, RecoversKnownSolution)
 {
     Rng rng(3);
@@ -135,6 +148,20 @@ TEST(Solve, SingularMatrixThrows)
 {
     Matrix a(2, 2); // all zeros
     EXPECT_THROW(solveLinear(a, Matrix::identity(2)), FatalError);
+}
+
+TEST(Solve, InPlaceVariantMatchesSolveLinear)
+{
+    Rng rng(52);
+    const Matrix a = randomMatrix(5, rng) + Matrix::identity(5) * 3.0;
+    const Matrix b = randomMatrix(5, rng);
+    const Matrix ref = solveLinear(a, b);
+    Matrix a2 = a, b2 = b, x;
+    solveLinearInPlace(a2, b2, x);
+    ASSERT_EQ(x.rows(), ref.rows());
+    EXPECT_EQ(std::memcmp(x.data(), ref.data(),
+                          x.rows() * x.cols() * sizeof(Complex)),
+              0);
 }
 
 TEST(Expm, ZeroGivesIdentity)
@@ -189,6 +216,53 @@ TEST(Expm, LargeNormScalingPath)
     h *= Complex(40.0, 0.0);
     // Result of exponentiating a scaled Hermitian must still be unitary.
     EXPECT_TRUE(expmPropagator(h, 1.0).isUnitary(1e-7));
+}
+
+TEST(Expm, ZeroMatrixDoesNotClampSquarings)
+{
+    const std::uint64_t before = expmSquaringClampCount();
+    EXPECT_TRUE(
+        expm(Matrix::zero(4)).approxEqual(Matrix::identity(4)));
+    EXPECT_EQ(expmSquaringClampCount(), before);
+}
+
+TEST(Expm, HugeNormClampsSquaringsAndCounts)
+{
+    // Norm far above 0.5 * 2^40 forces the squaring-count clamp: the
+    // result is still produced (no throw, finite shape) but the event
+    // is counted so callers can see the accuracy contract was broken.
+    Matrix h(2, 2);
+    h(0, 0) = Complex(0.0, 1e13);
+    h(1, 1) = Complex(0.0, -1e13);
+    const std::uint64_t before = expmSquaringClampCount();
+    const Matrix e = expm(h);
+    EXPECT_EQ(e.rows(), 2u);
+    EXPECT_GE(expmSquaringClampCount(), before + 1);
+    // Every clamped call counts; only the first prints a diagnostic.
+    const std::uint64_t mid = expmSquaringClampCount();
+    (void)expm(h);
+    EXPECT_GE(expmSquaringClampCount(), mid + 1);
+}
+
+TEST(Expm, IntoVariantsMatchAllocatingVariants)
+{
+    Rng rng(61);
+    const Matrix h = randomHermitian(6, rng);
+    ExpmWorkspace ws;
+    Matrix out;
+    expmInto(h, out, ws);
+    const Matrix ref = expm(h);
+    ASSERT_EQ(out.rows(), ref.rows());
+    EXPECT_EQ(std::memcmp(out.data(), ref.data(),
+                          out.rows() * out.cols() * sizeof(Complex)),
+              0);
+    // Workspace reuse across a different call must not leak state.
+    Matrix prop;
+    expmPropagatorInto(h, 0.37, prop, ws);
+    const Matrix pref = expmPropagator(h, 0.37);
+    EXPECT_EQ(std::memcmp(prop.data(), pref.data(),
+                          prop.rows() * prop.cols() * sizeof(Complex)),
+              0);
 }
 
 TEST(Eig, DiagonalMatrixRecovered)

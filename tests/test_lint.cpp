@@ -46,17 +46,57 @@ linesOf(const std::vector<Finding> &findings, const std::string &rule)
     return lines;
 }
 
-TEST(Lint, RuleCatalogueHasEightStableRules)
+TEST(Lint, RuleCatalogueHasNineStableRules)
 {
     const std::vector<std::string> names = paqoc::lint::ruleNames();
-    EXPECT_EQ(paqoc::lint::ruleCount(), 8);
+    EXPECT_EQ(paqoc::lint::ruleCount(), 9);
     const std::vector<std::string> expected = {
         "float-numerics",  "header-guard",
-        "naked-mutex",     "printf-output",
-        "process-control", "raw-io",
-        "unordered-iteration", "unseeded-random"};
+        "matrix-product-in-loop", "naked-mutex",
+        "printf-output",   "process-control",
+        "raw-io",          "unordered-iteration",
+        "unseeded-random"};
     EXPECT_EQ(names, expected);
     EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Lint, MatrixProductInLoopFlaggedInHotPathsOnly)
+{
+    const auto f = lintFile("src/qoc/fixture.cpp",
+                            fixture("bad_matrix_loop.cc"));
+    EXPECT_EQ(linesOf(f, "matrix-product-in-loop"),
+              (std::vector<int>{12, 14, 18}));
+
+    const auto sim = lintFile("src/sim/fixture.cpp",
+                              fixture("bad_matrix_loop.cc"));
+    EXPECT_EQ(linesOf(sim, "matrix-product-in-loop"),
+              (std::vector<int>{12, 14, 18}));
+
+    // Cold layers (and non-library code) may trade allocations for
+    // clarity; the rule only polices the QOC/simulator hot paths.
+    const auto cold = lintFile("src/circuit/fixture.cpp",
+                               fixture("bad_matrix_loop.cc"));
+    EXPECT_TRUE(linesOf(cold, "matrix-product-in-loop").empty());
+    const auto bench = lintFile("bench/fixture.cpp",
+                                fixture("bad_matrix_loop.cc"));
+    EXPECT_TRUE(linesOf(bench, "matrix-product-in-loop").empty());
+}
+
+TEST(Lint, MatrixProductIgnoresElementAccessAndScalars)
+{
+    const std::string content =
+        "#include \"linalg/matrix.h\"\n"
+        "double f(const paqoc::Matrix &u, const double *in, int n)\n"
+        "{\n"
+        "    double acc = 0.0;\n"
+        "    for (int c = 0; c < n; ++c)\n"
+        "        acc += u(0, c).real() * in[c];\n"
+        "    for (int c = 0; c < n; ++c)\n"
+        "        acc += 2.0 * acc;\n"
+        "    return acc;\n"
+        "}\n";
+    const auto f = lintFile("src/sim/fixture.cpp", content);
+    EXPECT_TRUE(linesOf(f, "matrix-product-in-loop").empty());
 }
 
 TEST(Lint, UnseededRandomFlaggedAndSuppressed)
@@ -292,7 +332,7 @@ TEST(Lint, JsonReportIsMachineReadable)
     const std::string clean =
         paqoc::lint::findingsToJson({}).dump();
     EXPECT_NE(clean.find("\"ok\":true"), std::string::npos);
-    EXPECT_NE(clean.find("\"checked_rules\":8"), std::string::npos);
+    EXPECT_NE(clean.find("\"checked_rules\":9"), std::string::npos);
 }
 
 TEST(Lint, RealTreeIsClean)

@@ -17,6 +17,8 @@
  *     --grape                    use real GRAPE pulses (slow)
  *     --threads N                pulse-engine threads (0 = all cores,
  *                                1 = serial; results are identical)
+ *     --kernel scalar|avx2|auto  linalg kernel backend (results are
+ *                                identical; default auto)
  *     --commute                  commutativity-aware merging
  *     --emit-pulses DIR          write per-gate pulse CSVs into DIR
  *     --benchmark NAME           use a built-in benchmark as input
@@ -45,6 +47,7 @@
 #include "circuit/qasm.h"
 #include "common/error.h"
 #include "common/json.h"
+#include "linalg/kernels.h"
 #include "paqoc/compiler.h"
 #include "qoc/pulse_io.h"
 #include "qoc/pulse_generator.h"
@@ -99,6 +102,7 @@ usage(int code)
         "  --topology WxH|line:N   device (default 5x5)\n"
         "  --grape                 real GRAPE pulses (slow)\n"
         "  --threads N             pulse-engine threads (0 = all cores)\n"
+        "  --kernel NAME           linalg backend: scalar|avx2|auto\n"
         "  --commute               commutativity-aware merging\n"
         "  --emit-pulses DIR       write pulse CSVs into DIR\n"
         "  --pulse-db FILE         load/save the offline pulse database\n"
@@ -145,7 +149,14 @@ parseArgs(int argc, char **argv)
             opts.grape = true;
         else if (arg == "--threads")
             opts.threads = std::stoi(next());
-        else if (arg == "--commute")
+        else if (arg == "--kernel") {
+            if (!kernels::setBackendByName(next())) {
+                std::fprintf(stderr,
+                             "paqocc: unknown kernel backend "
+                             "(want scalar|avx2|auto)\n");
+                usage(2);
+            }
+        } else if (arg == "--commute")
             opts.commute = true;
         else if (arg == "--quiet")
             opts.quiet = true;

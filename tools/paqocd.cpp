@@ -45,6 +45,7 @@
 #include "common/error.h"
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
+#include "linalg/kernels.h"
 #include "service/server.h"
 #include "service/service.h"
 #include "service/supervisor.h"
@@ -80,6 +81,7 @@ usage(int code)
         "(default /tmp/paqocd.sock)\n"
         "  --library DIR        durable pulse-library directory\n"
         "  --threads N          worker threads (0 = all cores)\n"
+        "  --kernel NAME        linalg backend: scalar|avx2|auto\n"
         "  --max-queue N        in-flight request cap (default 64)\n"
         "  --deadline-ms N      default request deadline (0 = none)\n"
         "  --sync-every-append  fsync the journal per record\n"
@@ -113,7 +115,14 @@ parseArgs(int argc, char **argv)
             opts.libraryDir = next();
         else if (arg == "--threads")
             opts.threads = std::stoi(next());
-        else if (arg == "--max-queue")
+        else if (arg == "--kernel") {
+            if (!kernels::setBackendByName(next())) {
+                std::fprintf(stderr,
+                             "paqocd: unknown kernel backend "
+                             "(want scalar|avx2|auto)\n");
+                usage(2);
+            }
+        } else if (arg == "--max-queue")
             opts.maxQueue =
                 static_cast<std::size_t>(std::stoul(next()));
         else if (arg == "--deadline-ms")
