@@ -66,18 +66,24 @@ resolveQuota(const QuotaLimits &caps, const QuotaLimits &requested)
 class QuotaExceededError : public FatalError
 {
   public:
-    QuotaExceededError(const char *limit, const std::string &detail)
+    QuotaExceededError(const char *limit, const std::string &detail,
+                       long iters_charged = 0)
         : FatalError("quota_exceeded: " + std::string(limit)
                      + (detail.empty() ? "" : " (" + detail + ")")),
-          limit_(limit)
+          limit_(limit), iters_charged_(iters_charged)
     {}
 
     /** Stable limit id: "max_iters" | "max_wall_ms" |
      *  "max_resident_pulses". */
     const char *limit() const { return limit_; }
 
+    /** Iterations spent before the trip -- tripped work still costs
+     *  real compute, so tenant budgets charge it (fleet/budget.h). */
+    long itersCharged() const { return iters_charged_; }
+
   private:
     const char *limit_;
+    long iters_charged_;
 };
 
 /**
@@ -108,16 +114,19 @@ class QuotaToken
 
     /**
      * Charge `n` optimizer iterations (also polls the wall clock).
-     * False once any budget is exhausted.
+     * False once any budget is exhausted. Iterations are counted even
+     * when maxIters is unlimited: itersCharged() feeds the per-tenant
+     * budget ledger (fleet/budget.h), which meters spend regardless of
+     * whether this request carries a hard cap.
      */
     bool
     chargeIterations(long n)
     {
         if (tripped())
             return false;
-        if (limits_.maxIters > 0
-            && iters_.fetch_add(n, std::memory_order_relaxed) + n
-                   > limits_.maxIters)
+        const long total =
+            iters_.fetch_add(n, std::memory_order_relaxed) + n;
+        if (limits_.maxIters > 0 && total > limits_.maxIters)
             trip("max_iters");
         else if (wallExceeded())
             trip("max_wall_ms");
@@ -156,7 +165,7 @@ class QuotaToken
     {
         const char *limit = limitName();
         throw QuotaExceededError(limit != nullptr ? limit : "quota",
-                                 describe(limit));
+                                 describe(limit), itersCharged());
     }
 
     long itersCharged() const

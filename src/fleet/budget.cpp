@@ -1,0 +1,100 @@
+#include "fleet/budget.h"
+
+#include <algorithm>
+
+namespace paqoc {
+namespace fleet {
+
+namespace {
+
+double
+toMs(TenantBudgetLedger::Clock::duration d)
+{
+    return std::chrono::duration<double, std::milli>(d).count();
+}
+
+} // namespace
+
+void
+TenantBudgetLedger::pruneLocked(Account &account, Clock::time_point now)
+{
+    const auto window = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(options_.windowMs));
+    while (!account.charges.empty()
+           && account.charges.front().at + window <= now) {
+        account.iters -= account.charges.front().iters;
+        account.wallMs -= account.charges.front().wallMs;
+        account.charges.pop_front();
+    }
+    if (account.charges.empty()) {
+        // Guard against floating-point drift accumulating forever.
+        account.iters = 0.0;
+        account.wallMs = 0.0;
+    }
+}
+
+TenantBudgetLedger::Remaining
+TenantBudgetLedger::remaining(const std::string &tenant,
+                              Clock::time_point now)
+{
+    MutexLock lock(mutex_);
+    Remaining out;
+    Account &account = accounts_[tenant];
+    pruneLocked(account, now);
+    if (options_.iters > 0.0) {
+        out.iters = std::max(0.0, options_.iters - account.iters);
+        if (account.iters >= options_.iters)
+            out.exhausted = true;
+    }
+    if (options_.wallMs > 0.0) {
+        out.wallMs = std::max(0.0, options_.wallMs - account.wallMs);
+        if (account.wallMs >= options_.wallMs)
+            out.exhausted = true;
+    }
+    if (out.exhausted && !account.charges.empty()) {
+        const double age = toMs(now - account.charges.front().at);
+        out.retryAfterMs = std::max(0.0, options_.windowMs - age);
+    }
+    return out;
+}
+
+void
+TenantBudgetLedger::charge(const std::string &tenant, double iters,
+                           double wallMs, Clock::time_point now)
+{
+    if (iters <= 0.0 && wallMs <= 0.0)
+        return;
+    MutexLock lock(mutex_);
+    Account &account = accounts_[tenant];
+    pruneLocked(account, now);
+    account.charges.push_back(Charge{now, std::max(0.0, iters),
+                                     std::max(0.0, wallMs)});
+    account.iters += account.charges.back().iters;
+    account.wallMs += account.charges.back().wallMs;
+}
+
+TenantBudgetLedger::Spend
+TenantBudgetLedger::windowSpend(const std::string &tenant,
+                                Clock::time_point now)
+{
+    MutexLock lock(mutex_);
+    const auto it = accounts_.find(tenant);
+    if (it == accounts_.end())
+        return Spend{};
+    pruneLocked(it->second, now);
+    return Spend{it->second.iters, it->second.wallMs};
+}
+
+std::vector<std::string>
+TenantBudgetLedger::tenants() const
+{
+    MutexLock lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(accounts_.size());
+    for (const auto &entry : accounts_)
+        names.push_back(entry.first);
+    return names;
+}
+
+} // namespace fleet
+} // namespace paqoc

@@ -1,0 +1,117 @@
+#ifndef PAQOC_FLEET_BUDGET_H_
+#define PAQOC_FLEET_BUDGET_H_
+
+#include <chrono>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace paqoc {
+namespace fleet {
+
+/**
+ * Per-tenant replenishing budget configuration (DESIGN.md §12). Where
+ * QuotaLimits caps a single request, a tenant budget caps a tenant's
+ * *rate*: spend is charged against a bucket and refunded a sliding
+ * window later, EOSIO delegate-bandwidth style. Zero means unmetered.
+ */
+struct BudgetOptions
+{
+    /** Optimizer iterations a tenant may spend per window. */
+    double iters = 0.0;
+    /** Compute wall-clock milliseconds a tenant may spend per window. */
+    double wallMs = 0.0;
+    /** Sliding-window length over which spend is refunded. */
+    double windowMs = 10000.0;
+
+    bool any() const { return iters > 0.0 || wallMs > 0.0; }
+};
+
+/**
+ * Thread-safe per-tenant spend accounting over a sliding window. Each
+ * charge is timestamped; a charge stops counting against the tenant
+ * exactly `windowMs` after it was incurred (discrete refund, not
+ * linear decay -- simpler to reason about and to test). Every tenant
+ * gets its own bucket of the same configured size, so one tenant
+ * exhausting its budget never affects another's.
+ *
+ * Clock injection: callers pass `now` explicitly, so tests replay
+ * charge/replenish sequences against a synthetic clock instead of
+ * sleeping through real windows.
+ */
+class TenantBudgetLedger
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    explicit TenantBudgetLedger(BudgetOptions options = {})
+        : options_(options)
+    {}
+
+    const BudgetOptions &options() const { return options_; }
+
+    /** What a tenant may still spend right now. */
+    struct Remaining
+    {
+        /** Unspent iterations (0 when the dimension is unmetered). */
+        double iters = 0.0;
+        /** Unspent wall-clock ms (0 when unmetered). */
+        double wallMs = 0.0;
+        /** True when any metered dimension is fully spent. */
+        bool exhausted = false;
+        /**
+         * When exhausted: milliseconds until the oldest in-window
+         * charge expires and replenishes some budget.
+         */
+        double retryAfterMs = 0.0;
+    };
+    Remaining remaining(const std::string &tenant,
+                        Clock::time_point now);
+
+    /** Record spend; charges are never rejected (admission already
+     *  happened), they just push the tenant toward exhaustion. */
+    void charge(const std::string &tenant, double iters, double wallMs,
+                Clock::time_point now);
+
+    /** A tenant's total in-window spend (for the stats op). */
+    struct Spend
+    {
+        double iters = 0.0;
+        double wallMs = 0.0;
+    };
+    Spend windowSpend(const std::string &tenant, Clock::time_point now);
+
+    /** Tenants with any recorded spend, in name order. */
+    std::vector<std::string> tenants() const;
+
+  private:
+    struct Charge
+    {
+        Clock::time_point at;
+        double iters = 0.0;
+        double wallMs = 0.0;
+    };
+    struct Account
+    {
+        std::deque<Charge> charges;
+        /** Running in-window sums (kept consistent by prune). */
+        double iters = 0.0;
+        double wallMs = 0.0;
+    };
+
+    /** Drop charges older than the window; refunds their spend. */
+    void pruneLocked(Account &account, Clock::time_point now)
+        PAQOC_REQUIRES(mutex_);
+
+    BudgetOptions options_;
+    mutable Mutex mutex_;
+    std::map<std::string, Account> accounts_ PAQOC_GUARDED_BY(mutex_);
+};
+
+} // namespace fleet
+} // namespace paqoc
+
+#endif // PAQOC_FLEET_BUDGET_H_

@@ -1,0 +1,188 @@
+#include "fleet/endpoint.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace paqoc {
+namespace fleet {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+}
+
+/** getaddrinfo for a numeric-or-named host + port; nullptr on failure. */
+addrinfo *
+resolve(const std::string &host, int port, bool for_bind,
+        std::string *error)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    if (for_bind)
+        hints.ai_flags = AI_PASSIVE;
+    addrinfo *result = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc =
+        ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+    if (rc != 0) {
+        setError(error, "cannot resolve '" + host + "': "
+                            + ::gai_strerror(rc));
+        return nullptr;
+    }
+    return result;
+}
+
+} // namespace
+
+std::optional<HostPort>
+parseHostPort(const std::string &spec, std::string *error)
+{
+    const std::size_t colon = spec.find(':');
+    if (colon == std::string::npos) {
+        setError(error, "'" + spec + "': expected host:port");
+        return std::nullopt;
+    }
+    if (spec.find(':', colon + 1) != std::string::npos) {
+        setError(error, "'" + spec
+                            + "': more than one ':' (bracketed IPv6 "
+                              "is not supported)");
+        return std::nullopt;
+    }
+    HostPort hp;
+    hp.host = spec.substr(0, colon);
+    const std::string port_text = spec.substr(colon + 1);
+    if (hp.host.empty()) {
+        setError(error, "'" + spec + "': empty host");
+        return std::nullopt;
+    }
+    if (port_text.empty()) {
+        setError(error, "'" + spec + "': empty port");
+        return std::nullopt;
+    }
+    long port = 0;
+    for (const char c : port_text) {
+        if (c < '0' || c > '9') {
+            setError(error, "'" + spec + "': port is not a number");
+            return std::nullopt;
+        }
+        port = port * 10 + (c - '0');
+        if (port > 65535) {
+            setError(error,
+                     "'" + spec + "': port out of range [0, 65535]");
+            return std::nullopt;
+        }
+    }
+    hp.port = static_cast<int>(port);
+    return hp;
+}
+
+bool
+looksLikeTcpEndpoint(const std::string &target)
+{
+    if (target.empty() || target[0] == '/' || target[0] == '.')
+        return false;
+    return parseHostPort(target).has_value();
+}
+
+int
+listenTcp(const std::string &host, int port, int backlog,
+          std::string *error, int *bound_port)
+{
+    addrinfo *addrs = resolve(host, port, /*for_bind=*/true, error);
+    if (addrs == nullptr)
+        return -1;
+    int fd = -1;
+    std::string last_error = "no usable address";
+    for (addrinfo *ai = addrs; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_error = std::string("socket(): ")
+                         + std::strerror(errno);
+            continue;
+        }
+        // A daemon restarting into its previous port must not lose to
+        // TIME_WAIT leftovers of its own connections.
+        const int one = 1;
+        (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                           sizeof one);
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) != 0
+            || ::listen(fd, backlog) != 0) {
+            last_error = std::string("bind/listen: ")
+                         + std::strerror(errno);
+            ::close(fd);
+            fd = -1;
+            continue;
+        }
+        break;
+    }
+    ::freeaddrinfo(addrs);
+    if (fd < 0) {
+        setError(error, "cannot listen on " + host + ":"
+                            + std::to_string(port) + ": "
+                            + last_error);
+        return -1;
+    }
+    if (bound_port != nullptr) {
+        sockaddr_storage bound{};
+        socklen_t len = sizeof bound;
+        *bound_port = port;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &len)
+            == 0) {
+            if (bound.ss_family == AF_INET)
+                *bound_port = ntohs(
+                    reinterpret_cast<sockaddr_in *>(&bound)->sin_port);
+            else if (bound.ss_family == AF_INET6)
+                *bound_port = ntohs(
+                    reinterpret_cast<sockaddr_in6 *>(&bound)
+                        ->sin6_port);
+        }
+    }
+    return fd;
+}
+
+int
+connectTcp(const std::string &host, int port, std::string *error)
+{
+    addrinfo *addrs = resolve(host, port, /*for_bind=*/false, error);
+    if (addrs == nullptr)
+        return -1;
+    int fd = -1;
+    std::string last_error = "no usable address";
+    for (addrinfo *ai = addrs; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_error = std::string("socket(): ")
+                         + std::strerror(errno);
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+            last_error = std::strerror(errno);
+            ::close(fd);
+            fd = -1;
+            continue;
+        }
+        break;
+    }
+    ::freeaddrinfo(addrs);
+    if (fd < 0) {
+        setError(error, "cannot connect to " + host + ":"
+                            + std::to_string(port) + ": "
+                            + last_error);
+        return -1;
+    }
+    return fd;
+}
+
+} // namespace fleet
+} // namespace paqoc

@@ -1,0 +1,66 @@
+#ifndef PAQOC_FLEET_ENDPOINT_H_
+#define PAQOC_FLEET_ENDPOINT_H_
+
+#include <optional>
+#include <string>
+
+namespace paqoc {
+namespace fleet {
+
+/**
+ * TCP endpoint helpers of the fleet front end (DESIGN.md §12). The
+ * service historically listened on a Unix-domain socket only; the
+ * fleet router adds an optional TCP listener beside it, and clients
+ * accept "host:port" targets wherever they accept socket paths. These
+ * helpers keep the parsing and the socket plumbing in one audited
+ * place so the server, the router, and the client agree on what a TCP
+ * endpoint spelling is.
+ */
+
+/** A parsed "host:port" endpoint spelling. */
+struct HostPort
+{
+    std::string host;
+    /** 0 is valid for listeners (kernel-assigned ephemeral port). */
+    int port = 0;
+};
+
+/**
+ * Parse a "host:port" spelling. Exactly one ':' separates a non-empty
+ * host from an all-digit port in [0, 65535]; anything else (missing
+ * colon, empty host or port, non-numeric or out-of-range port,
+ * bracketed IPv6) is rejected with a description in *error. Port 0 is
+ * accepted because listeners use it to request an ephemeral port;
+ * connecting to port 0 fails at connect time.
+ */
+std::optional<HostPort> parseHostPort(const std::string &spec,
+                                      std::string *error = nullptr);
+
+/**
+ * Endpoint-spelling heuristic shared by client and tools: a target
+ * that starts with '/' or '.' is always a Unix socket path; otherwise
+ * it is a TCP endpoint iff it parses as host:port. ("a.sock" is a
+ * path, "localhost:7777" is TCP.)
+ */
+bool looksLikeTcpEndpoint(const std::string &target);
+
+/**
+ * Bind + listen on host:port with SO_REUSEADDR (a restarted daemon
+ * must not spend TIME_WAIT locked out of its own port). Returns the
+ * listening fd, or -1 with a description in *error. When `bound_port`
+ * is non-null it receives the resolved port -- the kernel's choice
+ * when `port` was 0.
+ */
+int listenTcp(const std::string &host, int port, int backlog,
+              std::string *error, int *bound_port = nullptr);
+
+/**
+ * Connect to host:port (name resolution via getaddrinfo). Returns the
+ * connected fd, or -1 with a description in *error.
+ */
+int connectTcp(const std::string &host, int port, std::string *error);
+
+} // namespace fleet
+} // namespace paqoc
+
+#endif // PAQOC_FLEET_ENDPOINT_H_

@@ -1,0 +1,128 @@
+#ifndef PAQOC_FLEET_FAIR_QUEUE_H_
+#define PAQOC_FLEET_FAIR_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace paqoc {
+namespace fleet {
+
+/**
+ * Deterministic weighted fair-share queue (stride scheduling,
+ * DESIGN.md §12). Each tenant owns a FIFO lane with a configured
+ * weight; pop() interleaves lanes so that over any window each
+ * backlogged tenant receives service proportional to its weight,
+ * while an idle tenant's unused share is redistributed rather than
+ * accumulated (no starvation, no banked credit).
+ *
+ * Mechanics: a lane advances a virtual "pass" by
+ * stride = kStrideScale / weight per popped item; pop() always picks
+ * the backlogged lane with the minimum pass. A lane that goes from
+ * idle to backlogged rejoins at the global pass front (the pass of
+ * the most recently popped item), so returning tenants neither jump
+ * the queue nor owe service for the time they were idle.
+ *
+ * Determinism: ties on pass break lexicographically by tenant name
+ * (lanes live in an ordered map), so for a fixed arrival order the
+ * pop order is reproducible across runs and platforms -- the fairness
+ * tests assert exact sequences, not distributions.
+ *
+ * Not thread-safe: the owner (SessionScheduler) serializes access
+ * under its own mutex.
+ */
+template <typename T>
+class FairShareQueue
+{
+  public:
+    /**
+     * Pass units per unit weight; weight w advances by scale/w. The
+     * scale is 720720 (= LCM of 1..16) << 10, so every weight up to
+     * 16 -- and many beyond -- divides it exactly and the documented
+     * interleavings (e.g. `a b b b` for 1:3) hold without rounding
+     * drift. Larger weights round down but never to zero.
+     */
+    static constexpr std::uint64_t kStrideScale =
+        std::uint64_t{720720} << 10;
+
+    /** Configure a tenant's weight (>= 1; default 1). */
+    void
+    setWeight(const std::string &tenant, int weight)
+    {
+        Lane &lane = lanes_[tenant];
+        lane.weight = weight < 1 ? 1 : weight;
+    }
+
+    int
+    weight(const std::string &tenant) const
+    {
+        const auto it = lanes_.find(tenant);
+        return it == lanes_.end() ? 1 : it->second.weight;
+    }
+
+    void
+    push(const std::string &tenant, T item)
+    {
+        Lane &lane = lanes_[tenant];
+        if (lane.items.empty())
+            lane.pass = global_pass_; // rejoin at the current front
+        lane.items.push_back(std::move(item));
+        ++size_;
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /**
+     * Pop the next item in weighted fair-share order; nullopt when
+     * empty. `tenant_out`, when non-null, receives the owning tenant.
+     */
+    std::optional<T>
+    pop(std::string *tenant_out = nullptr)
+    {
+        Lane *best = nullptr;
+        for (auto &entry : lanes_) {
+            Lane &lane = entry.second;
+            if (lane.items.empty())
+                continue;
+            // Strict < keeps the tie-break on the lexicographically
+            // first tenant (map order).
+            if (best == nullptr || lane.pass < best->pass) {
+                best = &lane;
+                if (tenant_out != nullptr)
+                    *tenant_out = entry.first;
+            }
+        }
+        if (best == nullptr)
+            return std::nullopt;
+        T item = std::move(best->items.front());
+        best->items.pop_front();
+        --size_;
+        global_pass_ = best->pass;
+        const std::uint64_t stride =
+            kStrideScale / static_cast<std::uint64_t>(best->weight);
+        best->pass += stride > 0 ? stride : 1;
+        return item;
+    }
+
+  private:
+    struct Lane
+    {
+        int weight = 1;
+        std::uint64_t pass = 0;
+        std::deque<T> items;
+    };
+
+    std::map<std::string, Lane> lanes_; // ordered: deterministic ties
+    std::uint64_t global_pass_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace fleet
+} // namespace paqoc
+
+#endif // PAQOC_FLEET_FAIR_QUEUE_H_

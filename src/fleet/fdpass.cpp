@@ -1,0 +1,86 @@
+#include "fleet/fdpass.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+
+#include "common/failpoint.h"
+
+namespace paqoc {
+namespace fleet {
+
+bool
+sendFd(int channel, int fd)
+{
+    // fleet.fdpass: the handoff "fails" (or the router dies outright
+    // with abort) between accept() and the worker receiving the
+    // connection -- exactly where a router crash loses the most.
+    if (failpoint::evaluate("fleet.fdpass").action
+        != failpoint::Action::Off)
+        return false;
+
+    char byte = 'f';
+    iovec iov{&byte, 1};
+    alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof control;
+    cmsghdr *cmsg = CMSG_FIRSTHDR(&msg);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(cmsg), &fd, sizeof(int));
+
+    for (;;) {
+        // SCM_RIGHTS needs sendmsg with an ancillary payload;
+        // MSG_NOSIGNAL keeps the EPIPE-not-SIGPIPE discipline of the
+        // checked wrappers.
+        // paqoc-lint: allow(raw-io) sendmsg carries the SCM_RIGHTS cmsg
+        const ssize_t n = ::sendmsg(channel, &msg, MSG_NOSIGNAL);
+        if (n >= 0)
+            return true;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+int
+recvFd(int channel)
+{
+    char byte = 0;
+    iovec iov{&byte, 1};
+    alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))] = {};
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof control;
+
+    for (;;) {
+        const ssize_t n = ::recvmsg(channel, &msg, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (n == 0)
+            return -1; // EOF: router closed the control channel
+        for (cmsghdr *cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+             cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+            if (cmsg->cmsg_level == SOL_SOCKET
+                && cmsg->cmsg_type == SCM_RIGHTS) {
+                int fd = -1;
+                std::memcpy(&fd, CMSG_DATA(cmsg), sizeof(int));
+                return fd;
+            }
+        }
+        return -1; // data byte without an fd: protocol error
+    }
+}
+
+} // namespace fleet
+} // namespace paqoc

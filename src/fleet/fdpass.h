@@ -1,0 +1,37 @@
+#ifndef PAQOC_FLEET_FDPASS_H_
+#define PAQOC_FLEET_FDPASS_H_
+
+namespace paqoc {
+namespace fleet {
+
+/**
+ * SCM_RIGHTS file-descriptor passing between the fleet router and its
+ * workers (DESIGN.md §12). The router accepts client connections and
+ * hands each accepted socket to a worker over that worker's control
+ * socketpair: one data byte carries one SCM_RIGHTS ancillary fd. The
+ * worker's accept loop receives fds here instead of calling accept().
+ *
+ * Failure injection: sendFd evaluates the `fleet.fdpass` failpoint
+ * before touching the socket, so chaos tests can fail or abort the
+ * router mid-handoff (the window where a dropped connection would
+ * strand a client without a response).
+ */
+
+/**
+ * Send `fd` over the connected socket `channel`. Returns true on
+ * success; false when the peer is gone or the `fleet.fdpass`
+ * failpoint injected a failure (the caller still owns `fd`).
+ */
+bool sendFd(int channel, int fd);
+
+/**
+ * Receive one passed fd from `channel`. Returns the fd (now owned by
+ * the caller), or -1 on EOF / error (EOF means the router closed the
+ * control channel -- the worker should drain and exit).
+ */
+int recvFd(int channel);
+
+} // namespace fleet
+} // namespace paqoc
+
+#endif // PAQOC_FLEET_FDPASS_H_

@@ -1,0 +1,52 @@
+#include "fleet/tenant.h"
+
+namespace paqoc {
+namespace fleet {
+
+const char kAnonymousTenant[] = "anonymous";
+
+std::string
+tenantFromRequest(const Json &request)
+{
+    if (request.isObject() && request.contains("tenant")
+        && request.at("tenant").isString()
+        && !request.at("tenant").asString().empty())
+        return request.at("tenant").asString();
+    return kAnonymousTenant;
+}
+
+bool
+parseTenantWeight(const std::string &spec, std::string *name,
+                  int *weight, std::string *error)
+{
+    const auto fail = [&](const std::string &why) {
+        if (error != nullptr)
+            *error = "'" + spec + "': " + why;
+        return false;
+    };
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos)
+        return fail("expected name=weight");
+    const std::string tenant = spec.substr(0, eq);
+    const std::string weight_text = spec.substr(eq + 1);
+    if (tenant.empty())
+        return fail("empty tenant name");
+    if (weight_text.empty())
+        return fail("empty weight");
+    long value = 0;
+    for (const char c : weight_text) {
+        if (c < '0' || c > '9')
+            return fail("weight is not a number");
+        value = value * 10 + (c - '0');
+        if (value > 1000000)
+            return fail("weight out of range [1, 1000000]");
+    }
+    if (value < 1)
+        return fail("weight must be >= 1");
+    *name = tenant;
+    *weight = static_cast<int>(value);
+    return true;
+}
+
+} // namespace fleet
+} // namespace paqoc

@@ -1,0 +1,39 @@
+#ifndef PAQOC_FLEET_TENANT_H_
+#define PAQOC_FLEET_TENANT_H_
+
+#include <string>
+
+#include "common/json.h"
+
+namespace paqoc {
+namespace fleet {
+
+/**
+ * Tenant identity of the multi-tenant service (DESIGN.md §12).
+ * Requests carry an optional "tenant" string member; everything
+ * without one is the anonymous tenant, so single-user deployments and
+ * old clients keep working unchanged while still being metered.
+ */
+
+/** Tenant of requests that carry no identity. */
+extern const char kAnonymousTenant[];
+
+/**
+ * Extract the request's tenant: the non-empty string "tenant" member,
+ * else kAnonymousTenant (a non-string or empty member is treated as
+ * absent rather than rejected -- identity is advisory, not auth).
+ */
+std::string tenantFromRequest(const Json &request);
+
+/**
+ * Parse a "name=weight" spelling (the `--tenant-weight` flag).
+ * Returns false with a description in *error when the name is empty
+ * or the weight is not an integer >= 1.
+ */
+bool parseTenantWeight(const std::string &spec, std::string *name,
+                       int *weight, std::string *error = nullptr);
+
+} // namespace fleet
+} // namespace paqoc
+
+#endif // PAQOC_FLEET_TENANT_H_

@@ -454,19 +454,23 @@ checkPrintfOutput(const FileContext &ctx)
 void
 checkProcessControl(const FileContext &ctx)
 {
-    // Process lifetime is the supervisor's business alone: a
-    // fork/kill/wait anywhere else bypasses the restart budget, the
-    // heartbeat watchdog, and the signal-forwarding state machine.
-    if (startsWith(ctx.path, "src/service/supervisor."))
+    // Process lifetime is the supervising state machines' business
+    // alone: a fork/kill/wait anywhere else bypasses the restart
+    // budget, the heartbeat watchdog, and the signal-forwarding state
+    // machine. The fleet router is the supervisor generalized to a
+    // worker pool, so it shares the license.
+    if (startsWith(ctx.path, "src/service/supervisor.")
+        || startsWith(ctx.path, "src/fleet/router."))
         return;
     static const std::regex pattern(
         R"((::\s*)?\b(fork|vfork|kill|killpg|waitpid|wait4|posix_spawn\w*|exec[lv]\w*)\s*\()");
     checkLinePattern(ctx, "process-control", pattern,
                      "process-control syscall outside "
-                     "src/service/supervisor.*; child lifetime must "
-                     "flow through runSupervised so restarts, "
-                     "heartbeats, and signal forwarding live in one "
-                     "audited state machine");
+                     "src/service/supervisor.* or src/fleet/router.*; "
+                     "child lifetime must flow through runSupervised "
+                     "or the fleet Router so restarts, heartbeats, and "
+                     "signal forwarding live in one audited state "
+                     "machine");
 }
 
 void
@@ -489,10 +493,12 @@ void
 checkRawIo(const FileContext &ctx)
 {
     // Only the layers whose I/O the chaos tests must be able to fault:
-    // durable storage and the wire protocol. Reads are covered by the
-    // protocol's own wrapper; writes are where corruption lives.
+    // durable storage, the wire protocol, and the fleet front end.
+    // Reads are covered by the protocol's own wrapper; writes are
+    // where corruption lives.
     const bool covered = startsWith(ctx.path, "src/store/")
-        || startsWith(ctx.path, "src/service/");
+        || startsWith(ctx.path, "src/service/")
+        || startsWith(ctx.path, "src/fleet/");
     if (!covered)
         return;
     static const std::regex pattern(

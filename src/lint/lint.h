@@ -51,18 +51,20 @@ namespace lint {
  *                        pulse math is double-only; mixed precision
  *                        silently changes GRAPE convergence.
  *   raw-io               raw write()/send()-family syscalls in the
- *                        store and service layers (src/store,
- *                        src/service): durable and wire I/O must go
- *                        through the failpoint-aware checked*
- *                        wrappers in src/common/failpoint.h so chaos
- *                        tests can inject faults on every path.
+ *                        store, service, and fleet layers (src/store,
+ *                        src/service, src/fleet): durable and wire
+ *                        I/O must go through the failpoint-aware
+ *                        checked* wrappers in src/common/failpoint.h
+ *                        so chaos tests can inject faults on every
+ *                        path.
  *   process-control      fork()/vfork()/kill()/waitpid()/exec*()/
  *                        posix_spawn*() anywhere except
- *                        src/service/supervisor.*: child-process
- *                        lifetime flows through runSupervised so the
- *                        restart budget, heartbeat watchdog, and
- *                        signal forwarding live in one audited state
- *                        machine (DESIGN.md §10).
+ *                        src/service/supervisor.* and
+ *                        src/fleet/router.*: child-process lifetime
+ *                        flows through runSupervised or the fleet
+ *                        Router so the restart budget, heartbeat
+ *                        watchdog, and signal forwarding live in one
+ *                        audited state machine (DESIGN.md §10, §12).
  *   matrix-product-in-loop  Matrix operator* between matrix-typed
  *                        operands inside a for/while body in src/qoc
  *                        or src/sim: the product allocates its result

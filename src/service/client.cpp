@@ -14,6 +14,7 @@
 
 #include "common/error.h"
 #include "common/failpoint.h"
+#include "fleet/endpoint.h"
 #include "service/protocol.h"
 
 namespace paqoc {
@@ -34,10 +35,10 @@ timeoutToTimeval(double ms)
 
 } // namespace
 
-ServiceClient::ServiceClient(const std::string &socket_path,
+ServiceClient::ServiceClient(const std::string &target,
                              ClientOptions options)
-    : socket_path_(socket_path), options_(options),
-      jitter_(options.backoffSeed)
+    : target_(target), tcp_(fleet::looksLikeTcpEndpoint(target)),
+      options_(std::move(options)), jitter_(options_.backoffSeed)
 {
     std::string error;
     for (int attempt = 0;; ++attempt) {
@@ -49,7 +50,7 @@ ServiceClient::ServiceClient(const std::string &socket_path,
                                                           std::milli>(
             jitteredBackoffMs(attempt)));
     }
-    PAQOC_FATAL_IF(true, "client: cannot connect to '", socket_path_,
+    PAQOC_FATAL_IF(true, "client: cannot connect to '", target_,
                    "': ", error, " (is paqocd running?)");
 }
 
@@ -76,27 +77,39 @@ bool
 ServiceClient::tryConnect(std::string *error)
 {
     close();
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    PAQOC_FATAL_IF(socket_path_.size() >= sizeof addr.sun_path,
-                   "client: socket path '", socket_path_,
-                   "' too long");
-    std::strncpy(addr.sun_path, socket_path_.c_str(),
-                 sizeof addr.sun_path - 1);
-
     if (failpoint::evaluate("client.connect").action
         != failpoint::Action::Off) {
         *error = "injected connect failure";
         return false;
     }
 
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    PAQOC_FATAL_IF(fd < 0, "client: socket(): ", std::strerror(errno));
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr)
-        != 0) {
-        *error = std::strerror(errno);
-        ::close(fd);
-        return false;
+    int fd = -1;
+    if (tcp_) {
+        const std::optional<fleet::HostPort> endpoint =
+            fleet::parseHostPort(target_, error);
+        PAQOC_FATAL_IF(!endpoint.has_value(),
+                       "client: bad TCP endpoint '", target_, "': ",
+                       *error);
+        fd = fleet::connectTcp(endpoint->host, endpoint->port, error);
+        if (fd < 0)
+            return false;
+    } else {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        PAQOC_FATAL_IF(target_.size() >= sizeof addr.sun_path,
+                       "client: socket path '", target_, "' too long");
+        std::strncpy(addr.sun_path, target_.c_str(),
+                     sizeof addr.sun_path - 1);
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        PAQOC_FATAL_IF(fd < 0, "client: socket(): ",
+                       std::strerror(errno));
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr)
+            != 0) {
+            *error = std::strerror(errno);
+            ::close(fd);
+            return false;
+        }
     }
     if (options_.timeoutMs > 0.0) {
         const timeval tv = timeoutToTimeval(options_.timeoutMs);
@@ -129,11 +142,21 @@ ServiceClient::request(const Json &request)
         return budget_ms > 0.0 && elapsed_ms() + delay >= budget_ms;
     };
 
-    const std::string text = request.dump();
+    // The tenant identity rides on the request itself so it survives
+    // the buffered-resend path byte-for-byte across retries.
+    std::string text;
+    if (!options_.tenant.empty() && request.isObject()
+        && !request.contains("tenant")) {
+        Json stamped = request;
+        stamped.set("tenant", Json(options_.tenant));
+        text = stamped.dump();
+    } else {
+        text = request.dump();
+    }
     for (int attempt = 0;; ++attempt) {
         std::string failure;
         if (fd_ < 0 && !tryConnect(&failure)) {
-            failure = "client: cannot connect to '" + socket_path_
+            failure = "client: cannot connect to '" + target_
                       + "': " + failure;
         } else {
             try {

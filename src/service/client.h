@@ -33,12 +33,22 @@ struct ClientOptions
     double timeoutMs = 0.0;
     /** Seed of the jitter stream; fixed so runs are reproducible. */
     std::uint64_t backoffSeed = 0x5eed;
+    /**
+     * Tenant identity stamped onto every request ("" = leave requests
+     * as-is, so the daemon bills them to "anonymous"). Fair-share
+     * admission and the per-tenant budgets key off this (DESIGN.md
+     * §12).
+     */
+    std::string tenant;
 };
 
 /**
- * Blocking client of a running `paqocd` daemon: one Unix-domain
- * connection, one frame out / one frame in per request() call. Used by
- * `paqocc --connect` and the service tests.
+ * Blocking client of a running `paqocd` daemon: one connection, one
+ * frame out / one frame in per request() call. Used by `paqocc
+ * --connect` and the service tests. The target is either a Unix-domain
+ * socket path or a `host:port` TCP endpoint -- anything
+ * fleet::looksLikeTcpEndpoint accepts dials TCP, everything else is
+ * treated as a filesystem path.
  *
  * Failure handling (DESIGN.md §9): connect failures and daemon
  * disconnects are recoverable -- the client retries up to
@@ -64,10 +74,10 @@ class ServiceClient
 {
   public:
     /**
-     * Connect to the daemon's socket, retrying per `options`;
-     * FatalError once the attempts are exhausted.
+     * Connect to the daemon (socket path or host:port), retrying per
+     * `options`; FatalError once the attempts are exhausted.
      */
-    explicit ServiceClient(const std::string &socket_path,
+    explicit ServiceClient(const std::string &target,
                            ClientOptions options = {});
     ~ServiceClient();
 
@@ -100,7 +110,8 @@ class ServiceClient
     /** backoffDelayMs with the deterministic jitter factor applied. */
     double jitteredBackoffMs(int attempt);
 
-    std::string socket_path_;
+    std::string target_;
+    bool tcp_ = false;
     ClientOptions options_;
     Rng jitter_;
     int fd_ = -1;

@@ -168,5 +168,17 @@ quotaExceededResponse(const std::string &limit,
     return r;
 }
 
+Json
+budgetExhaustedResponse(const std::string &tenant,
+                        double retry_after_ms,
+                        const std::string &message)
+{
+    Json r = errorResponse(message);
+    r.set("budget_exhausted", Json(true));
+    r.set("tenant", Json(tenant));
+    r.set("retry_after_ms", Json(retry_after_ms));
+    return r;
+}
+
 } // namespace protocol
 } // namespace paqoc

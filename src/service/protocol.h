@@ -16,6 +16,13 @@ namespace paqoc {
  * member ("compile" | "generate" | "stats" | "ping" | "shutdown");
  * responses carry {"ok": bool, "payload": ..., "stats": ...} or
  * {"ok": false, "error": "..."}.
+ *
+ * Multi-tenancy (DESIGN.md §12): a request may carry a "tenant"
+ * string identifying who it is billed to; absent (or empty) means the
+ * "anonymous" tenant. Tenant identity drives weighted fair-share
+ * admission and the replenishing per-tenant budgets -- a tenant whose
+ * budget is spent receives budgetExhaustedResponse until the sliding
+ * window refunds enough spend.
  */
 namespace protocol {
 
@@ -48,6 +55,19 @@ Json overloadedResponse();
  */
 Json quotaExceededResponse(const std::string &limit,
                            const std::string &message);
+
+/**
+ * Structured tenant-budget response: {"ok": false, "error": ...,
+ * "budget_exhausted": true, "tenant": ..., "retry_after_ms": N}.
+ * Unlike quota_exceeded this IS retryable -- the sliding window
+ * refunds spend, so the same request succeeds once `retry_after_ms`
+ * milliseconds have replenished the tenant's bucket. The `retry`
+ * member is deliberately absent: clients must not hot-loop on it the
+ * way they do on backpressure.
+ */
+Json budgetExhaustedResponse(const std::string &tenant,
+                             double retry_after_ms,
+                             const std::string &message);
 
 } // namespace protocol
 

@@ -3,14 +3,41 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "fleet/tenant.h"
 
 namespace paqoc {
+
+void
+SessionScheduler::enableFairShare(
+    const std::map<std::string, int> &weights,
+    std::size_t max_concurrent)
+{
+    MutexLock lock(mutex_);
+    fair_share_ = true;
+    max_concurrent_ =
+        max_concurrent > 0 ? max_concurrent : pool().size();
+    if (max_concurrent_ == 0)
+        max_concurrent_ = 1;
+    for (const auto &entry : weights)
+        queue_.setWeight(entry.first, entry.second);
+}
 
 SessionScheduler::Admit
 SessionScheduler::submit(std::function<void()> work,
                          Clock::time_point deadline,
                          std::function<void()> on_expired)
 {
+    return submit(fleet::kAnonymousTenant, std::move(work), deadline,
+                  std::move(on_expired));
+}
+
+SessionScheduler::Admit
+SessionScheduler::submit(const std::string &tenant,
+                         std::function<void()> work,
+                         Clock::time_point deadline,
+                         std::function<void()> on_expired)
+{
+    std::vector<std::function<void()>> to_run;
     {
         const failpoint::Hit hit =
             failpoint::evaluate("scheduler.submit");
@@ -32,30 +59,70 @@ SessionScheduler::submit(std::function<void()> work,
         }
         ++stats_.accepted;
         ++stats_.inFlight;
-    }
+        ++tenants_[tenant].admitted;
 
-    auto job = [this, work = std::move(work), deadline,
-                on_expired = std::move(on_expired)]() mutable {
-        const bool expired = Clock::now() > deadline;
+        Pending pending{tenant, std::move(work), std::move(on_expired),
+                        deadline};
+        if (!fair_share_) {
+            to_run.push_back(makeJob(std::move(pending)));
+        } else {
+            ++tenants_[tenant].queued;
+            queue_.push(tenant, std::move(pending));
+            pumpLocked(&to_run);
+        }
+    }
+    for (auto &job : to_run)
+        pool().submit(std::move(job));
+    return Admit::Accepted;
+}
+
+std::function<void()>
+SessionScheduler::makeJob(Pending pending)
+{
+    return [this, pending = std::move(pending)]() mutable {
+        const bool expired = Clock::now() > pending.deadline;
         try {
             if (expired) {
-                if (on_expired)
-                    on_expired();
+                if (pending.onExpired)
+                    pending.onExpired();
             } else {
-                work();
+                pending.work();
             }
         } catch (...) {
             // Handlers report their own errors over the wire; an
             // escaped exception must not take the worker down.
         }
-        MutexLock lock(mutex_);
-        --stats_.inFlight;
-        ++(expired ? stats_.expired : stats_.completed);
-        if (stats_.inFlight == 0)
-            idle_cv_.notify_all();
+        std::vector<std::function<void()>> to_run;
+        {
+            MutexLock lock(mutex_);
+            --stats_.inFlight;
+            ++(expired ? stats_.expired : stats_.completed);
+            TenantStats &ts = tenants_[pending.tenant];
+            ++(expired ? ts.expired : ts.completed);
+            if (fair_share_) {
+                --running_;
+                pumpLocked(&to_run);
+            }
+            if (stats_.inFlight == 0)
+                idle_cv_.notify_all();
+        }
+        for (auto &job : to_run)
+            pool().submit(std::move(job));
     };
-    pool().submit(std::move(job));
-    return Admit::Accepted;
+}
+
+void
+SessionScheduler::pumpLocked(std::vector<std::function<void()>> *out)
+{
+    while (running_ < max_concurrent_) {
+        std::string tenant;
+        std::optional<Pending> next = queue_.pop(&tenant);
+        if (!next.has_value())
+            break;
+        ++running_;
+        --tenants_[tenant].queued;
+        out->push_back(makeJob(std::move(*next)));
+    }
 }
 
 void
@@ -81,11 +148,32 @@ SessionScheduler::stats() const
     return stats_;
 }
 
+std::vector<std::pair<std::string, SessionScheduler::TenantStats>>
+SessionScheduler::tenantStats() const
+{
+    MutexLock lock(mutex_);
+    return {tenants_.begin(), tenants_.end()};
+}
+
 void
 SessionScheduler::noteQuotaExceeded()
 {
     MutexLock lock(mutex_);
     ++stats_.quotaExceeded;
+}
+
+void
+SessionScheduler::noteBudgetExhausted(const std::string &tenant)
+{
+    MutexLock lock(mutex_);
+    ++tenants_[tenant].budgetExhausted;
+}
+
+void
+SessionScheduler::noteDegraded(const std::string &tenant)
+{
+    MutexLock lock(mutex_);
+    ++tenants_[tenant].degraded;
 }
 
 } // namespace paqoc

@@ -4,9 +4,14 @@
 #include <chrono>
 #include <cstddef>
 #include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "fleet/fair_queue.h"
 
 namespace paqoc {
 
@@ -25,6 +30,15 @@ namespace paqoc {
  *  - *Draining*: drain() stops admission and blocks until every
  *    admitted job completed -- the graceful-shutdown half of the
  *    daemon (in-flight requests finish, new ones are turned away).
+ *  - *Weighted fair share* (opt-in, DESIGN.md §12): instead of
+ *    handing every admitted job straight to the pool (global FIFO),
+ *    enableFairShare() queues jobs per tenant and dispatches them in
+ *    deterministic stride order by configured weight, at most
+ *    `max_concurrent` running at once. A heavy tenant then gets its
+ *    weighted share of the pool, not the whole pool.
+ *
+ * Per-tenant serving counters are recorded in both modes; requests
+ * without a tenant bill to "anonymous".
  */
 class SessionScheduler
 {
@@ -44,10 +58,24 @@ class SessionScheduler
     };
 
     /**
+     * Switch admission to weighted fair-share dispatch. `weights`
+     * configures per-tenant weights (unlisted tenants get weight 1);
+     * at most `max_concurrent` jobs run simultaneously (0 = the
+     * pool's thread count). Call before serving starts.
+     */
+    void enableFairShare(const std::map<std::string, int> &weights,
+                         std::size_t max_concurrent = 0);
+
+    /**
      * Admit a job. `deadline` of Clock::time_point::max() means none.
      * Exactly one of `work` / `on_expired` eventually runs.
      */
     Admit submit(std::function<void()> work,
+                 Clock::time_point deadline = Clock::time_point::max(),
+                 std::function<void()> on_expired = {});
+
+    /** submit() billed to (and fair-share queued under) `tenant`. */
+    Admit submit(const std::string &tenant, std::function<void()> work,
                  Clock::time_point deadline = Clock::time_point::max(),
                  std::function<void()> on_expired = {});
 
@@ -69,6 +97,23 @@ class SessionScheduler
     };
     Stats stats() const;
 
+    /** Serving counters of one tenant (stats op, DESIGN.md §12). */
+    struct TenantStats
+    {
+        std::size_t admitted = 0;
+        /** Currently waiting in the fair-share queue. */
+        std::size_t queued = 0;
+        std::size_t completed = 0;
+        std::size_t expired = 0;
+        /** Requests refused or tripped by the tenant budget. */
+        std::size_t budgetExhausted = 0;
+        /** Requests served degraded because the budget was spent. */
+        std::size_t degraded = 0;
+    };
+    /** Per-tenant counters in tenant-name order. */
+    std::vector<std::pair<std::string, TenantStats>>
+    tenantStats() const;
+
     /**
      * Record that an admitted request ended with a structured
      * quota_exceeded error (budgets are enforced cooperatively inside
@@ -76,9 +121,34 @@ class SessionScheduler
      */
     void noteQuotaExceeded();
 
+    /** Record a budget_exhausted outcome for `tenant`. */
+    void noteBudgetExhausted(const std::string &tenant);
+
+    /** Record a degraded (budget-spent best-effort) serve. */
+    void noteDegraded(const std::string &tenant);
+
   private:
+    struct Pending
+    {
+        std::string tenant;
+        std::function<void()> work;
+        std::function<void()> onExpired;
+        Clock::time_point deadline;
+    };
+
     ThreadPool &pool() const
     { return pool_ != nullptr ? *pool_ : ThreadPool::global(); }
+
+    /** Wrap a pending job with expiry + completion bookkeeping. */
+    std::function<void()> makeJob(Pending pending);
+
+    /**
+     * Move dispatchable fair-share jobs into *out while respecting
+     * max_concurrent_; the caller submits them after unlocking (pool
+     * submission must not happen under mutex_).
+     */
+    void pumpLocked(std::vector<std::function<void()>> *out)
+        PAQOC_REQUIRES(mutex_);
 
     std::size_t max_queue_;
     ThreadPool *pool_;
@@ -86,6 +156,12 @@ class SessionScheduler
     CondVar idle_cv_;
     bool draining_ PAQOC_GUARDED_BY(mutex_) = false;
     Stats stats_ PAQOC_GUARDED_BY(mutex_);
+    bool fair_share_ PAQOC_GUARDED_BY(mutex_) = false;
+    std::size_t max_concurrent_ PAQOC_GUARDED_BY(mutex_) = 0;
+    std::size_t running_ PAQOC_GUARDED_BY(mutex_) = 0;
+    fleet::FairShareQueue<Pending> queue_ PAQOC_GUARDED_BY(mutex_);
+    std::map<std::string, TenantStats> tenants_
+        PAQOC_GUARDED_BY(mutex_);
 };
 
 } // namespace paqoc

@@ -11,6 +11,9 @@
 
 #include "common/error.h"
 #include "common/failpoint.h"
+#include "fleet/endpoint.h"
+#include "fleet/fdpass.h"
+#include "fleet/tenant.h"
 #include "service/protocol.h"
 
 namespace paqoc {
@@ -55,78 +58,178 @@ isQuotaExceeded(const Json &response)
         && response.at("quota_exceeded").asBool();
 }
 
+/** Safe bool member read (non-bool members count as absent). */
+bool
+boolMember(const Json &request, const std::string &key)
+{
+    return request.isObject() && request.contains(key)
+        && request.at(key).isBool() && request.at(key).asBool();
+}
+
+/** Safe numeric member read (non-number members count as absent). */
+double
+numberMember(const Json &request, const std::string &key)
+{
+    if (request.isObject() && request.contains(key)
+        && request.at(key).isNumber())
+        return request.at(key).asNumber();
+    return 0.0;
+}
+
+/** resolveQuota for one long-valued dimension (0 = unlimited). */
+long
+resolveCap(long cap, long requested)
+{
+    if (cap <= 0)
+        return requested < 0 ? 0 : requested;
+    if (requested <= 0)
+        return cap;
+    return requested < cap ? requested : cap;
+}
+
+double
+resolveCapMs(double cap, double requested)
+{
+    if (cap <= 0.0)
+        return requested < 0.0 ? 0.0 : requested;
+    if (requested <= 0.0)
+        return cap;
+    return requested < cap ? requested : cap;
+}
+
+/** The iterations a handled response reports as spent. */
+double
+itersCharged(const Json &response)
+{
+    if (!response.isObject())
+        return 0.0;
+    if (response.contains("stats")
+        && response.at("stats").isObject())
+        return numberMember(response.at("stats"), "iters_charged");
+    // quota_exceeded responses carry it at the root (service.cpp).
+    return numberMember(response, "iters_charged");
+}
+
 } // namespace
 
-UnixSocketServer::UnixSocketServer(PulseService &service,
-                                   ServerOptions options)
+SocketServer::SocketServer(PulseService &service, ServerOptions options)
     : service_(service), options_(std::move(options)),
-      scheduler_(options_.maxQueue)
-{}
+      scheduler_(options_.maxQueue), ledger_(options_.tenantBudget)
+{
+    if (options_.fairShare)
+        scheduler_.enableFairShare(options_.tenantWeights,
+                                   options_.fairShareConcurrency);
+}
 
-UnixSocketServer::~UnixSocketServer()
+SocketServer::~SocketServer()
 {
     stop();
 }
 
 void
-UnixSocketServer::start()
+SocketServer::start()
 {
-    if (listen_fd_ >= 0)
-        return; // already listening (run() after an explicit start())
-    PAQOC_FATAL_IF(options_.socketPath.empty(),
-                   "server: no socket path configured");
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    PAQOC_FATAL_IF(
-        options_.socketPath.size() >= sizeof addr.sun_path,
-        "server: socket path '", options_.socketPath, "' too long");
-    std::strncpy(addr.sun_path, options_.socketPath.c_str(),
-                 sizeof addr.sun_path - 1);
+    if (accept_thread_.joinable())
+        return; // already started (run() after an explicit start())
+    PAQOC_FATAL_IF(options_.socketPath.empty()
+                       && options_.listenHost.empty()
+                       && options_.controlFd < 0,
+                   "server: no listening endpoint configured");
+    if (!options_.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        PAQOC_FATAL_IF(
+            options_.socketPath.size() >= sizeof addr.sun_path,
+            "server: socket path '", options_.socketPath,
+            "' too long");
+        std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                     sizeof addr.sun_path - 1);
 
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    PAQOC_FATAL_IF(listen_fd_ < 0, "server: socket(): ",
-                   std::strerror(errno));
-    ::unlink(options_.socketPath.c_str());
-    PAQOC_FATAL_IF(::bind(listen_fd_,
-                          reinterpret_cast<sockaddr *>(&addr),
-                          sizeof addr)
-                       != 0,
-                   "server: cannot bind '", options_.socketPath,
-                   "': ", std::strerror(errno));
-    PAQOC_FATAL_IF(::listen(listen_fd_, 64) != 0, "server: listen(): ",
-                   std::strerror(errno));
+        listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        PAQOC_FATAL_IF(listen_fd_ < 0, "server: socket(): ",
+                       std::strerror(errno));
+        ::unlink(options_.socketPath.c_str());
+        PAQOC_FATAL_IF(::bind(listen_fd_,
+                              reinterpret_cast<sockaddr *>(&addr),
+                              sizeof addr)
+                           != 0,
+                       "server: cannot bind '", options_.socketPath,
+                       "': ", std::strerror(errno));
+        PAQOC_FATAL_IF(::listen(listen_fd_, 64) != 0,
+                       "server: listen(): ", std::strerror(errno));
+    }
+    if (!options_.listenHost.empty()) {
+        std::string error;
+        tcp_fd_ = fleet::listenTcp(options_.listenHost,
+                                   options_.listenPort, 64, &error,
+                                   &tcp_port_);
+        PAQOC_FATAL_IF(tcp_fd_ < 0, "server: ", error);
+    }
     accept_thread_ = std::thread([this]() { acceptLoop(); });
 }
 
 void
-UnixSocketServer::acceptLoop()
+SocketServer::acceptLoop()
 {
     while (!stopping_.load(std::memory_order_relaxed)) {
-        pollfd pfd{listen_fd_, POLLIN, 0};
-        const int r = ::poll(&pfd, 1, 200);
+        pollfd fds[3];
+        int sources[3];
+        nfds_t n = 0;
+        if (listen_fd_ >= 0) {
+            fds[n] = {listen_fd_, POLLIN, 0};
+            sources[n++] = 0;
+        }
+        if (tcp_fd_ >= 0) {
+            fds[n] = {tcp_fd_, POLLIN, 0};
+            sources[n++] = 1;
+        }
+        if (options_.controlFd >= 0) {
+            fds[n] = {options_.controlFd, POLLIN, 0};
+            sources[n++] = 2;
+        }
+        const int r = ::poll(fds, n, 200);
         if (r <= 0)
             continue; // timeout (re-check stop flag) or EINTR
-        const int fd = ::accept(listen_fd_, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        auto conn = std::make_shared<Connection>();
-        conn->fd = fd;
-        {
-            MutexLock lock(mutex_);
-            if (stopping_.load(std::memory_order_relaxed)) {
-                ::close(fd);
-                return;
+        for (nfds_t i = 0; i < n; ++i) {
+            if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+            if (sources[i] == 2) {
+                // Fleet worker: the router hands us accepted
+                // connections; EOF means the router is gone.
+                const int fd = fleet::recvFd(options_.controlFd);
+                if (fd < 0) {
+                    requestStop();
+                    return;
+                }
+                adoptConnection(fd);
+            } else {
+                const int fd = ::accept(fds[i].fd, nullptr, nullptr);
+                if (fd >= 0)
+                    adoptConnection(fd);
             }
-            connections_.push_back(conn);
         }
-        conn->thread =
-            std::thread([this, conn]() { serveConnection(conn); });
     }
 }
 
 void
-UnixSocketServer::serveConnection(
-    const std::shared_ptr<Connection> &conn)
+SocketServer::adoptConnection(int fd)
+{
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+        MutexLock lock(mutex_);
+        if (stopping_.load(std::memory_order_relaxed)) {
+            ::close(fd);
+            return;
+        }
+        connections_.push_back(conn);
+    }
+    conn->thread =
+        std::thread([this, conn]() { serveConnection(conn); });
+}
+
+void
+SocketServer::serveConnection(const std::shared_ptr<Connection> &conn)
 {
     std::string text;
     try {
@@ -138,9 +241,54 @@ UnixSocketServer::serveConnection(
     }
 }
 
+Json
+SocketServer::augmentStats(Json response)
+{
+    if (!response.get("ok", Json(false)).isBool()
+        || !response.at("ok").asBool())
+        return response;
+    const SessionScheduler::Stats st = scheduler_.stats();
+    Json sched = Json::object();
+    sched.set("accepted", Json(st.accepted));
+    sched.set("rejected", Json(st.rejected));
+    sched.set("completed", Json(st.completed));
+    sched.set("expired", Json(st.expired));
+    sched.set("in_flight", Json(st.inFlight));
+    sched.set("quota_exceeded", Json(st.quotaExceeded));
+    Json payload = response.at("payload");
+    payload.set("scheduler", std::move(sched));
+    // Per-tenant serving counters (DESIGN.md §12); the map is
+    // name-ordered, so the document is deterministic.
+    Json tenants = Json::object();
+    const auto now = fleet::TenantBudgetLedger::Clock::now();
+    for (const auto &entry : scheduler_.tenantStats()) {
+        Json t = Json::object();
+        t.set("admitted", Json(entry.second.admitted));
+        t.set("queued", Json(entry.second.queued));
+        t.set("completed", Json(entry.second.completed));
+        t.set("expired", Json(entry.second.expired));
+        t.set("budget_exhausted",
+              Json(entry.second.budgetExhausted));
+        t.set("degraded", Json(entry.second.degraded));
+        if (options_.tenantBudget.any()) {
+            const fleet::TenantBudgetLedger::Spend spend =
+                ledger_.windowSpend(entry.first, now);
+            t.set("window_iters", Json(spend.iters));
+            t.set("window_wall_ms", Json(spend.wallMs));
+            t.set("exhausted",
+                  Json(ledger_.remaining(entry.first, now)
+                           .exhausted));
+        }
+        tenants.set(entry.first, std::move(t));
+    }
+    payload.set("tenants", std::move(tenants));
+    response.set("payload", std::move(payload));
+    return response;
+}
+
 void
-UnixSocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
-                                const std::string &text)
+SocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
+                            const std::string &text)
 {
     // The write mutex is shared with scheduled jobs that may outlive
     // this frame-reading loop's iteration.
@@ -165,27 +313,16 @@ UnixSocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
     // Control-plane ops never queue: they must work under load.
     if (op == "ping" || op == "stats" || op == "shutdown") {
         Json response = service_.handle(request);
-        if (op == "stats" && response.get("ok", Json(false)).isBool()
-            && response.at("ok").asBool()) {
-            const SessionScheduler::Stats st = scheduler_.stats();
-            Json sched = Json::object();
-            sched.set("accepted", Json(st.accepted));
-            sched.set("rejected", Json(st.rejected));
-            sched.set("completed", Json(st.completed));
-            sched.set("expired", Json(st.expired));
-            sched.set("in_flight", Json(st.inFlight));
-            sched.set("quota_exceeded", Json(st.quotaExceeded));
-            Json payload = response.at("payload");
-            payload.set("scheduler", std::move(sched));
-            response.set("payload", std::move(payload));
-        }
+        if (op == "stats")
+            response = augmentStats(std::move(response));
         writeResponse(write_mutex, fd, std::move(response), id);
         if (service_.shutdownRequested())
             requestStop();
         return;
     }
 
-    // Data-plane ops go through admission control.
+    // Data-plane ops go through admission control, billed per tenant.
+    const std::string tenant = fleet::tenantFromRequest(request);
     double deadline_ms = options_.defaultDeadlineMs;
     if (request.isObject() && request.contains("deadline_ms"))
         deadline_ms = request.at("deadline_ms").asNumber();
@@ -195,11 +332,116 @@ UnixSocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
             + std::chrono::milliseconds(
                 static_cast<long>(deadline_ms));
 
+    // Tenant-budget admission (DESIGN.md §12): an exhausted tenant is
+    // refused up front (or served degraded when it opted in); a
+    // tenant running low gets its remaining budget injected as the
+    // per-request cap, so one request can never overdraw the window
+    // by more than the cap granularity.
+    Json effective = request;
+    bool iters_from_budget = false;
+    bool wall_from_budget = false;
+    bool degraded_serve = false;
+    if (options_.tenantBudget.any() && request.isObject()) {
+        const auto now = fleet::TenantBudgetLedger::Clock::now();
+        const fleet::TenantBudgetLedger::Remaining rem =
+            ledger_.remaining(tenant, now);
+        const bool degrade = boolMember(request, "degrade_on_quota");
+        if (rem.exhausted && !degrade) {
+            scheduler_.noteBudgetExhausted(tenant);
+            writeResponse(
+                write_mutex, fd,
+                protocol::budgetExhaustedResponse(
+                    tenant, rem.retryAfterMs,
+                    "budget_exhausted: tenant '" + tenant
+                        + "' spent its window budget; retry after "
+                        + std::to_string(
+                            static_cast<long>(rem.retryAfterMs))
+                        + " ms"),
+                id);
+            return;
+        }
+        degraded_serve = rem.exhausted && degrade;
+        const QuotaLimits caps = service_.quotaCaps();
+        if (options_.tenantBudget.iters > 0.0) {
+            const long without_budget = resolveCap(
+                caps.maxIters,
+                static_cast<long>(
+                    numberMember(request, "max_iters")));
+            long budget_cap = degraded_serve
+                ? 1
+                : static_cast<long>(rem.iters);
+            if (budget_cap < 1)
+                budget_cap = 1;
+            if (without_budget == 0 || budget_cap < without_budget) {
+                effective.set("max_iters",
+                              Json(static_cast<double>(budget_cap)));
+                iters_from_budget = true;
+            }
+        }
+        if (options_.tenantBudget.wallMs > 0.0) {
+            const double without_budget = resolveCapMs(
+                caps.maxWallMs, numberMember(request, "max_wall_ms"));
+            double budget_cap =
+                degraded_serve ? 1.0 : rem.wallMs;
+            if (budget_cap < 1.0)
+                budget_cap = 1.0;
+            if (without_budget == 0.0
+                || budget_cap < without_budget) {
+                effective.set("max_wall_ms", Json(budget_cap));
+                wall_from_budget = true;
+            }
+        }
+        if (degraded_serve)
+            effective.set("degrade_on_quota", Json(true));
+    }
+
     const SessionScheduler::Admit admitted = scheduler_.submit(
-        [this, write_mutex, fd, request, id]() {
-            Json response = service_.handle(request);
-            if (isQuotaExceeded(response))
-                scheduler_.noteQuotaExceeded();
+        tenant,
+        [this, write_mutex, fd, effective = std::move(effective), id,
+         tenant, iters_from_budget, wall_from_budget,
+         degraded_serve]() {
+            const auto t0 =
+                fleet::TenantBudgetLedger::Clock::now();
+            Json response = service_.handle(effective);
+            const auto t1 =
+                fleet::TenantBudgetLedger::Clock::now();
+            if (options_.tenantBudget.any()) {
+                const double wall_ms =
+                    std::chrono::duration<double, std::milli>(t1
+                                                              - t0)
+                        .count();
+                ledger_.charge(tenant, itersCharged(response),
+                               wall_ms, t1);
+            }
+            if (isQuotaExceeded(response)) {
+                const std::string limit =
+                    response.get("limit", Json("")).isString()
+                    ? response.at("limit").asString()
+                    : "";
+                const bool budget_trip =
+                    (limit == "max_iters" && iters_from_budget)
+                    || (limit == "max_wall_ms" && wall_from_budget);
+                if (budget_trip) {
+                    // The tripped cap was the tenant's remaining
+                    // budget, not a per-request limit: report it as
+                    // the retryable budget error.
+                    const fleet::TenantBudgetLedger::Remaining rem =
+                        ledger_.remaining(tenant, t1);
+                    response = protocol::budgetExhaustedResponse(
+                        tenant, rem.retryAfterMs,
+                        "budget_exhausted: tenant '" + tenant
+                            + "' spent its window budget mid-"
+                              "request; retry after "
+                            + std::to_string(static_cast<long>(
+                                rem.retryAfterMs))
+                            + " ms");
+                    scheduler_.noteBudgetExhausted(tenant);
+                } else {
+                    scheduler_.noteQuotaExceeded();
+                }
+            } else if (degraded_serve) {
+                scheduler_.noteDegraded(tenant);
+            }
             writeResponse(write_mutex, fd, std::move(response), id);
         },
         deadline,
@@ -220,7 +462,7 @@ UnixSocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
 }
 
 void
-UnixSocketServer::run()
+SocketServer::run()
 {
     start();
     {
@@ -232,7 +474,7 @@ UnixSocketServer::run()
 }
 
 void
-UnixSocketServer::requestStop()
+SocketServer::requestStop()
 {
     MutexLock lock(mutex_);
     stop_requested_ = true;
@@ -240,7 +482,7 @@ UnixSocketServer::requestStop()
 }
 
 void
-UnixSocketServer::stop()
+SocketServer::stop()
 {
     {
         MutexLock lock(mutex_);
@@ -256,6 +498,10 @@ UnixSocketServer::stop()
     if (listen_fd_ >= 0) {
         ::close(listen_fd_);
         listen_fd_ = -1;
+    }
+    if (tcp_fd_ >= 0) {
+        ::close(tcp_fd_);
+        tcp_fd_ = -1;
     }
 
     // Let admitted requests finish and write their responses...
@@ -276,7 +522,8 @@ UnixSocketServer::stop()
     }
 
     service_.persist();
-    ::unlink(options_.socketPath.c_str());
+    if (!options_.socketPath.empty())
+        ::unlink(options_.socketPath.c_str());
 }
 
 } // namespace paqoc

@@ -2,22 +2,36 @@
 #define PAQOC_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/thread_annotations.h"
+#include "fleet/budget.h"
 #include "service/scheduler.h"
 #include "service/service.h"
 
 namespace paqoc {
 
-/** Transport configuration of a UnixSocketServer. */
+/** Transport + tenancy configuration of a SocketServer. */
 struct ServerOptions
 {
-    /** Filesystem path of the Unix-domain listening socket. */
+    /** Filesystem path of the Unix-domain listening socket ("" =
+     *  none -- at least one endpoint must be configured). */
     std::string socketPath;
+    /** TCP listener host ("" = no TCP listener). */
+    std::string listenHost;
+    /** TCP listener port (0 = kernel-assigned; see tcpPort()). */
+    int listenPort = 0;
+    /**
+     * Fleet-worker mode: receive client connections as SCM_RIGHTS
+     * fds over this control socket (fleet/fdpass.h) instead of
+     * accepting them (-1 = off). EOF on it triggers a graceful stop:
+     * the router is gone, so the worker drains and exits.
+     */
+    int controlFd = -1;
     /** Backpressure bound: admitted-but-unfinished request cap. */
     std::size_t maxQueue = 64;
     /**
@@ -27,31 +41,54 @@ struct ServerOptions
      * expired gets a fast deadline error instead of a late compile.
      */
     double defaultDeadlineMs = 0.0;
+    /** Weighted fair-share admission (DESIGN.md §12). */
+    bool fairShare = false;
+    /** Concurrent fair-share jobs (0 = pool thread count). */
+    std::size_t fairShareConcurrency = 0;
+    /** Per-tenant weights (unlisted tenants weigh 1). */
+    std::map<std::string, int> tenantWeights;
+    /**
+     * Per-tenant replenishing budgets (fleet/budget.h); inert unless
+     * a metered dimension is configured. Enforcement: an exhausted
+     * tenant's data-plane requests get budgetExhaustedResponse at
+     * admission (or degraded best-effort pulses when the request sets
+     * degrade_on_quota); a tenant running low has the remaining
+     * budget injected as its per-request cap, and a mid-request trip
+     * of such a cap is reported as budget_exhausted too.
+     */
+    fleet::BudgetOptions tenantBudget;
 };
 
 /**
- * Unix-domain socket front end of the pulse-compilation service.
- * Frames (see service/protocol.h) arrive per connection; "ping",
- * "stats" and "shutdown" are answered inline, "compile" and
- * "generate" go through the SessionScheduler onto the global thread
- * pool. Responses carry the request's "id" member back (pipelined
- * requests may complete out of order).
+ * Socket front end of the pulse-compilation service: a Unix-domain
+ * and/or TCP listener, or a fleet worker fed accepted connections by
+ * the router (ServerOptions::controlFd). Frames (see
+ * service/protocol.h) arrive per connection; "ping", "stats" and
+ * "shutdown" are answered inline, "compile" and "generate" go through
+ * the SessionScheduler onto the global thread pool. Responses carry
+ * the request's "id" member back (pipelined requests may complete out
+ * of order).
+ *
+ * Multi-tenancy (DESIGN.md §12): each data-plane request bills to its
+ * "tenant" member ("anonymous" when absent); fair-share admission and
+ * the replenishing tenant budgets hang off that identity, and the
+ * "stats" op reports per-tenant serving counters.
  *
  * Graceful shutdown (a "shutdown" request or requestStop()):
  * stop accepting, drain in-flight requests, close connections,
  * persist the pulse library (PulseService::persist), return from
  * run().
  */
-class UnixSocketServer
+class SocketServer
 {
   public:
-    UnixSocketServer(PulseService &service, ServerOptions options);
-    ~UnixSocketServer();
+    SocketServer(PulseService &service, ServerOptions options);
+    ~SocketServer();
 
-    UnixSocketServer(const UnixSocketServer &) = delete;
-    UnixSocketServer &operator=(const UnixSocketServer &) = delete;
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
 
-    /** Bind, listen, and start the accept thread. */
+    /** Bind/adopt the endpoints and start the accept thread. */
     void start();
 
     /** start() + block until shutdown, then tear down. */
@@ -66,6 +103,9 @@ class UnixSocketServer
     SessionScheduler &scheduler() { return scheduler_; }
     const std::string &socketPath() const
     { return options_.socketPath; }
+    /** Resolved TCP port (after start(); -1 without a TCP listener). */
+    int tcpPort() const { return tcp_port_; }
+    fleet::TenantBudgetLedger &budgetLedger() { return ledger_; }
 
   private:
     struct Connection
@@ -77,14 +117,21 @@ class UnixSocketServer
     };
 
     void acceptLoop();
+    /** Register `fd` as a client connection and spawn its reader. */
+    void adoptConnection(int fd);
     void serveConnection(const std::shared_ptr<Connection> &conn);
     void dispatchFrame(const std::shared_ptr<Connection> &conn,
                        const std::string &text);
+    /** Append scheduler + tenant counters to a stats payload. */
+    Json augmentStats(Json response);
 
     PulseService &service_;
     ServerOptions options_;
     SessionScheduler scheduler_;
+    fleet::TenantBudgetLedger ledger_;
     int listen_fd_ = -1;
+    int tcp_fd_ = -1;
+    int tcp_port_ = -1;
     std::thread accept_thread_;
     std::atomic<bool> stopping_{false};
     Mutex mutex_;

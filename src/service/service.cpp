@@ -246,7 +246,12 @@ PulseService::handle(const Json &request)
         // request, not a service error; other sessions are untouched
         // (the per-request token never crosses requests).
         quota_rejections_.fetch_add(1, std::memory_order_relaxed);
-        return protocol::quotaExceededResponse(e.limit(), e.what());
+        Json r = protocol::quotaExceededResponse(e.limit(), e.what());
+        // Tripped work still burned compute: the fleet server charges
+        // this against the tenant's replenishing budget.
+        r.set("iters_charged",
+              Json(static_cast<double>(e.itersCharged())));
+        return r;
     } catch (const std::exception &e) {
         errors_.fetch_add(1, std::memory_order_relaxed);
         return protocol::errorResponse(e.what());
@@ -270,15 +275,15 @@ PulseService::handleCompile(const Json &request)
             ? static_cast<PulseGenerator &>(grape)
             : static_cast<PulseGenerator &>(spectral);
     // Per-request budget: server caps tightened by request overrides.
+    // The token is attached even with no limit configured -- it then
+    // never trips but still counts iterations, which the fleet server
+    // charges against the tenant's replenishing budget.
     const QuotaLimits limits =
         resolveQuota(options_.quotaLimits, quotaFromRequest(request));
-    std::optional<QuotaToken> quota;
-    if (limits.any()) {
-        quota.emplace(limits,
-                      request.get("degrade_on_quota", Json(false))
-                          .asBool());
-        generator.setQuota(&*quota);
-    }
+    QuotaToken quota(limits,
+                     request.get("degrade_on_quota", Json(false))
+                         .asBool());
+    generator.setQuota(&quota);
     prepareCache(generator.cache(), job.backend);
     const CompileReport report = runCompileJob(job, generator);
     compiles_.fetch_add(1, std::memory_order_relaxed);
@@ -294,6 +299,8 @@ PulseService::handleCompile(const Json &request)
     stats.set("cache_hits", Json(report.cacheHits));
     stats.set("cost_units", Json(report.costUnits));
     stats.set("wall_seconds", Json(report.wallSeconds));
+    stats.set("iters_charged",
+              Json(static_cast<double>(quota.itersCharged())));
     r.set("stats", std::move(stats));
     return r;
 }
@@ -330,13 +337,10 @@ PulseService::handleGenerate(const Json &request)
         : static_cast<PulseGenerator &>(spectral);
     const QuotaLimits limits =
         resolveQuota(options_.quotaLimits, quotaFromRequest(request));
-    std::optional<QuotaToken> quota;
-    if (limits.any()) {
-        quota.emplace(limits,
-                      request.get("degrade_on_quota", Json(false))
-                          .asBool());
-        generator.setQuota(&*quota);
-    }
+    QuotaToken quota(limits,
+                     request.get("degrade_on_quota", Json(false))
+                         .asBool());
+    generator.setQuota(&quota);
     prepareCache(generator.cache(), backend);
     const PulseGenResult result =
         generator.generate(unitary, num_qubits);
@@ -365,6 +369,8 @@ PulseService::handleGenerate(const Json &request)
     Json stats = Json::object();
     stats.set("cache_hit", Json(result.cacheHit));
     stats.set("cost_units", Json(result.costUnits));
+    stats.set("iters_charged",
+              Json(static_cast<double>(quota.itersCharged())));
     r.set("stats", std::move(stats));
     return r;
 }

@@ -138,6 +138,14 @@ class PulseService
     /** Service-level statistics (epoch, serving counters, libraries). */
     Json statsJson() const;
 
+    /**
+     * Server-side per-request caps (for the socket server, which must
+     * know whether a budget-derived cap is tighter than these when it
+     * rewrites quota_exceeded into budget_exhausted, DESIGN.md §12).
+     */
+    const QuotaLimits &quotaCaps() const
+    { return options_.quotaLimits; }
+
     const PulseLibrary *spectralLibrary() const
     { return spectral_lib_.get(); }
     const PulseLibrary *grapeLibrary() const

@@ -238,4 +238,89 @@ grep -q "paqocd-supervisor: worker stopped on forwarded signal" \
     "$WORK/daemon.log" \
     || fail "worker did not stop on the forwarded signal"
 
+# 8. Fleet chaos: two workers behind the router, kill -9 one worker
+#    while clients are in flight. The router detects the death, keeps
+#    dispatching to the survivor, restarts the casualty, and every
+#    client that rides its bounded retries gets the byte-identical
+#    payload (DESIGN.md §12).
+rm -rf "$LIB"
+rm -f "$SOCK"
+"$PAQOCD" --fleet 2 --socket "$SOCK" --library "$LIB" \
+    >> "$WORK/fleet.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "fleet router did not come up"
+    sleep 0.1
+done
+WPID=
+i=0
+while [ -z "$WPID" ]; do
+    WPID=$(sed -n \
+        's/^paqocd-router: worker 0 incarnation 0 started (pid \([0-9]*\)).*/\1/p' \
+        "$WORK/fleet.log" | head -1)
+    [ -n "$WPID" ] && break
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "router never announced worker 0"
+    sleep 0.1
+done
+
+# Load in flight while the worker dies: background clients with
+# retries generous enough to span the restart backoff.
+for n in 1 2 3 4; do
+    "$PAQOCC" --connect "$SOCK" --retries 10 --backoff-ms 100 \
+        --topology 2x2 --json "$QASM" > "$WORK/fleet$n.json" &
+    eval "FLEET_PID_$n=\$!"
+done
+kill -9 "$WPID"
+for n in 1 2 3 4; do
+    eval "pid=\$FLEET_PID_$n"
+    wait "$pid" || fail "fleet client $n failed across the worker kill"
+    cmp -s "$WORK/local.json" "$WORK/fleet$n.json" \
+        || fail "fleet client $n payload differs from the local payload"
+done
+i=0
+until grep -q "worker 0 incarnation 1 started" "$WORK/fleet.log"; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "router never restarted the killed worker"
+    sleep 0.1
+done
+# The restarted incarnation must actually serve.
+"$PAQOCC" --connect "$SOCK" --retries 10 --backoff-ms 100 \
+    --topology 2x2 --json "$QASM" > "$WORK/fleet_after.json"
+cmp -s "$WORK/local.json" "$WORK/fleet_after.json" \
+    || fail "fleet payload differs after the worker restart"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "fleet router exited non-zero"
+DAEMON_PID=
+grep -q "paqocd-router: worker 0: 2 incarnations" "$WORK/fleet.log" \
+    || fail "router did not report the restart in its shutdown stats"
+
+# 9. Fleet over TCP with an accept fault: the router drops the first
+#    accepted connection (fleet.accept failpoint); the client rides a
+#    retry onto a healthy accept and the payload is unchanged. The
+#    port is ephemeral, parsed from the router's own announcement.
+rm -f "$SOCK"
+PAQOC_FAILPOINTS="fleet.accept=return-error:1" "$PAQOCD" --fleet 2 \
+    --socket "$SOCK" --listen 127.0.0.1:0 --library "$LIB" \
+    >> "$WORK/fleet_tcp.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+while ! grep -q "paqocd: tcp port" "$WORK/fleet_tcp.log"; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "TCP fleet router did not come up"
+    sleep 0.1
+done
+PORT=$(sed -n 's/^paqocd: tcp port \([0-9]*\)$/\1/p' \
+    "$WORK/fleet_tcp.log" | head -1)
+[ -n "$PORT" ] || fail "could not parse the router's TCP port"
+"$PAQOCC" --connect "127.0.0.1:$PORT" --retries 10 --backoff-ms 100 \
+    --topology 2x2 --json "$QASM" > "$WORK/fleet_tcp.json"
+cmp -s "$WORK/local.json" "$WORK/fleet_tcp.json" \
+    || fail "TCP fleet payload differs from the local payload"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "TCP fleet router exited non-zero"
+DAEMON_PID=
+
 echo "PASS"

@@ -489,16 +489,19 @@ TEST(FailpointProtocol, WriteToDeadPeerThrowsInsteadOfKilling)
 struct ServerFixture
 {
     PulseService service;
-    UnixSocketServer server;
+    SocketServer server;
     std::thread runner;
 
     explicit ServerFixture(const std::string &name,
                            ServiceOptions sopts = {},
                            std::size_t max_queue = 64)
-        : service(std::move(sopts)),
-          server(service,
-                 {"/tmp/paqoc_test_failpoints_" + name + ".sock",
-                  max_queue, 0.0})
+        : service(std::move(sopts)), server(service, [&] {
+              ServerOptions opts;
+              opts.socketPath =
+                  "/tmp/paqoc_test_failpoints_" + name + ".sock";
+              opts.maxQueue = max_queue;
+              return opts;
+          }())
     {
         ::unlink(server.socketPath().c_str());
         server.start();

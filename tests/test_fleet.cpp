@@ -1,0 +1,705 @@
+/**
+ * @file
+ * Fleet subsystem tests (DESIGN.md §12): host:port parsing, TCP
+ * listener plumbing, SCM_RIGHTS fd passing, the deterministic
+ * weighted fair-share queue, the per-tenant replenishing budget
+ * ledger (driven by an injected clock, no sleeping through windows),
+ * fair-share scheduling end to end, the multi-tenant socket server
+ * (TCP serving, budget exhaustion and isolation), and the fork-based
+ * connection router (dispatch, crash restart, drain-aware shutdown).
+ * Every suite name starts with "Fleet" so the CI chaos lane selects
+ * the fork-heavy lot with `ctest -R '^Fleet'`.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "circuit/gate.h"
+#include "common/json.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "fleet/budget.h"
+#include "fleet/endpoint.h"
+#include "fleet/fair_queue.h"
+#include "fleet/fdpass.h"
+#include "fleet/router.h"
+#include "fleet/tenant.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/scheduler.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace paqoc {
+namespace {
+
+// ---------------------------------------------------------------- //
+// Endpoint parsing                                                 //
+// ---------------------------------------------------------------- //
+
+TEST(FleetEndpoint, ParsesWellFormedHostPort)
+{
+    const auto hp = fleet::parseHostPort("localhost:7777");
+    ASSERT_TRUE(hp.has_value());
+    EXPECT_EQ(hp->host, "localhost");
+    EXPECT_EQ(hp->port, 7777);
+
+    const auto any = fleet::parseHostPort("0.0.0.0:0");
+    ASSERT_TRUE(any.has_value());
+    EXPECT_EQ(any->port, 0);
+}
+
+TEST(FleetEndpoint, RejectsMalformedSpellings)
+{
+    const char *bad[] = {
+        "",               // empty
+        "localhost",      // no colon
+        ":7777",          // empty host
+        "localhost:",     // empty port
+        "host:port",      // non-numeric port
+        "host:12x4",      // trailing junk in port
+        "host:-1",        // negative
+        "host:65536",     // out of range
+        "a:b:c",          // two colons
+        "[::1]:80",       // bracketed IPv6 is out of scope
+    };
+    for (const char *spec : bad) {
+        std::string error;
+        EXPECT_FALSE(fleet::parseHostPort(spec, &error).has_value())
+            << "accepted '" << spec << "'";
+        EXPECT_FALSE(error.empty()) << spec;
+    }
+}
+
+TEST(FleetEndpoint, DistinguishesPathsFromTcpEndpoints)
+{
+    EXPECT_TRUE(fleet::looksLikeTcpEndpoint("localhost:7777"));
+    EXPECT_TRUE(fleet::looksLikeTcpEndpoint("127.0.0.1:0"));
+    EXPECT_FALSE(fleet::looksLikeTcpEndpoint("/tmp/paqocd.sock"));
+    EXPECT_FALSE(fleet::looksLikeTcpEndpoint("./relative:path"));
+    EXPECT_FALSE(fleet::looksLikeTcpEndpoint("plain.sock"));
+    EXPECT_FALSE(fleet::looksLikeTcpEndpoint("host:notaport"));
+}
+
+TEST(FleetEndpoint, ListenAndConnectRoundTrip)
+{
+    std::string error;
+    int port = -1;
+    const int listener =
+        fleet::listenTcp("127.0.0.1", 0, 4, &error, &port);
+    ASSERT_GE(listener, 0) << error;
+    ASSERT_GT(port, 0);
+
+    const int client = fleet::connectTcp("127.0.0.1", port, &error);
+    ASSERT_GE(client, 0) << error;
+    const int served = ::accept(listener, nullptr, nullptr);
+    ASSERT_GE(served, 0);
+
+    const char out = 'x';
+    ASSERT_EQ(::send(served, &out, 1, 0), 1);
+    char in = 0;
+    ASSERT_EQ(::recv(client, &in, 1, 0), 1);
+    EXPECT_EQ(in, 'x');
+    ::close(client);
+    ::close(served);
+    ::close(listener);
+}
+
+// ---------------------------------------------------------------- //
+// Tenant identity                                                  //
+// ---------------------------------------------------------------- //
+
+TEST(FleetTenant, ExtractsTenantFromRequest)
+{
+    Json r = Json::object();
+    EXPECT_EQ(fleet::tenantFromRequest(r), fleet::kAnonymousTenant);
+    r.set("tenant", Json("alice"));
+    EXPECT_EQ(fleet::tenantFromRequest(r), "alice");
+    r.set("tenant", Json(""));
+    EXPECT_EQ(fleet::tenantFromRequest(r), fleet::kAnonymousTenant);
+    r.set("tenant", Json(42));
+    EXPECT_EQ(fleet::tenantFromRequest(r), fleet::kAnonymousTenant);
+}
+
+TEST(FleetTenant, ParsesWeightSpellings)
+{
+    std::string name, error;
+    int weight = 0;
+    ASSERT_TRUE(fleet::parseTenantWeight("alice=3", &name, &weight));
+    EXPECT_EQ(name, "alice");
+    EXPECT_EQ(weight, 3);
+
+    const char *bad[] = {"", "alice", "=3", "alice=", "alice=0",
+                         "alice=-1", "alice=x", "alice=3x"};
+    for (const char *spec : bad)
+        EXPECT_FALSE(
+            fleet::parseTenantWeight(spec, &name, &weight, &error))
+            << "accepted '" << spec << "'";
+}
+
+// ---------------------------------------------------------------- //
+// Weighted fair-share queue                                        //
+// ---------------------------------------------------------------- //
+
+TEST(FleetFairQueue, OneToThreeWeightsInterleaveDeterministically)
+{
+    fleet::FairShareQueue<int> q;
+    q.setWeight("a", 1);
+    q.setWeight("b", 3);
+    for (int i = 0; i < 4; ++i)
+        q.push("a", i);
+    for (int i = 0; i < 12; ++i)
+        q.push("b", i);
+    // Stride order with weights 1:3 and lexicographic tie-break is
+    // exactly a b b b, repeating -- asserted as a sequence, not a
+    // distribution (reproducibility is part of the contract).
+    std::string order;
+    std::string tenant;
+    while (auto item = q.pop(&tenant))
+        order += tenant;
+    EXPECT_EQ(order, "abbbabbbabbbabbb");
+}
+
+TEST(FleetFairQueue, ServiceIsProportionalToWeights)
+{
+    fleet::FairShareQueue<int> q;
+    q.setWeight("light", 1);
+    q.setWeight("heavy", 4);
+    for (int i = 0; i < 500; ++i) {
+        q.push("light", i);
+        q.push("heavy", i);
+    }
+    // Over any prefix while both lanes are backlogged, service is
+    // weight-proportional within one stride of rounding.
+    std::map<std::string, int> served;
+    std::string tenant;
+    for (int i = 0; i < 400; ++i) {
+        ASSERT_TRUE(q.pop(&tenant).has_value());
+        ++served[tenant];
+    }
+    EXPECT_NEAR(served["heavy"], 320, 2);
+    EXPECT_NEAR(served["light"], 80, 2);
+}
+
+TEST(FleetFairQueue, IdleTenantRejoinsWithoutBankedCredit)
+{
+    fleet::FairShareQueue<int> q;
+    q.setWeight("a", 1);
+    q.setWeight("b", 1);
+    for (int i = 0; i < 100; ++i)
+        q.push("b", i);
+    // Drain half of b's backlog while a is idle...
+    std::string tenant;
+    for (int i = 0; i < 50; ++i)
+        ASSERT_TRUE(q.pop(&tenant).has_value());
+    // ...then a shows up. It rejoins at the current pass front, which
+    // buys at most ONE stride of priority (the "aa" prefix below) --
+    // from there on service alternates. What must NOT happen is 50
+    // back-to-back pops of a as "owed" catch-up credit for the time
+    // it sat idle.
+    for (int i = 0; i < 10; ++i)
+        q.push("a", i);
+    std::string order;
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(q.pop(&tenant).has_value());
+        order += tenant;
+    }
+    EXPECT_EQ(order, "aabababa");
+}
+
+// ---------------------------------------------------------------- //
+// Replenishing budget ledger                                       //
+// ---------------------------------------------------------------- //
+
+TEST(FleetBudget, UnmeteredLedgerNeverExhausts)
+{
+    fleet::TenantBudgetLedger ledger; // all dimensions zero
+    const auto now = fleet::TenantBudgetLedger::Clock::now();
+    ledger.charge("a", 1e9, 1e9, now);
+    EXPECT_FALSE(ledger.remaining("a", now).exhausted);
+}
+
+TEST(FleetBudget, ChargesExhaustAndTheWindowReplenishes)
+{
+    fleet::BudgetOptions opts;
+    opts.iters = 100.0;
+    opts.windowMs = 1000.0;
+    fleet::TenantBudgetLedger ledger(opts);
+
+    using Clock = fleet::TenantBudgetLedger::Clock;
+    const Clock::time_point t0 = Clock::now();
+    const auto at = [&](double ms) {
+        return t0 + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double, std::milli>(ms));
+    };
+
+    EXPECT_DOUBLE_EQ(ledger.remaining("a", at(0)).iters, 100.0);
+    ledger.charge("a", 60.0, 0.0, at(0));
+    EXPECT_DOUBLE_EQ(ledger.remaining("a", at(1)).iters, 40.0);
+    ledger.charge("a", 40.0, 0.0, at(500));
+
+    const auto spent = ledger.remaining("a", at(501));
+    EXPECT_TRUE(spent.exhausted);
+    // The oldest charge (t=0) replenishes at t=1000: retry-after
+    // counts down to that edge.
+    EXPECT_NEAR(spent.retryAfterMs, 499.0, 1.0);
+
+    // Past the first charge's window edge: 60 iters refunded.
+    const auto later = ledger.remaining("a", at(1001));
+    EXPECT_FALSE(later.exhausted);
+    EXPECT_DOUBLE_EQ(later.iters, 60.0);
+
+    // Past both: the full budget is back.
+    EXPECT_DOUBLE_EQ(ledger.remaining("a", at(1501)).iters, 100.0);
+}
+
+TEST(FleetBudget, TenantsHaveIndependentBuckets)
+{
+    fleet::BudgetOptions opts;
+    opts.iters = 10.0;
+    opts.windowMs = 1000.0;
+    fleet::TenantBudgetLedger ledger(opts);
+    const auto now = fleet::TenantBudgetLedger::Clock::now();
+
+    ledger.charge("greedy", 50.0, 0.0, now);
+    EXPECT_TRUE(ledger.remaining("greedy", now).exhausted);
+    // The other tenant's bucket is untouched.
+    EXPECT_FALSE(ledger.remaining("frugal", now).exhausted);
+    EXPECT_DOUBLE_EQ(ledger.remaining("frugal", now).iters, 10.0);
+}
+
+TEST(FleetBudget, WindowSpendTracksBothDimensions)
+{
+    fleet::BudgetOptions opts;
+    opts.iters = 100.0;
+    opts.wallMs = 100.0;
+    opts.windowMs = 1000.0;
+    fleet::TenantBudgetLedger ledger(opts);
+    const auto now = fleet::TenantBudgetLedger::Clock::now();
+
+    ledger.charge("a", 5.0, 7.0, now);
+    ledger.charge("a", 5.0, 3.0, now);
+    const auto spend = ledger.windowSpend("a", now);
+    EXPECT_DOUBLE_EQ(spend.iters, 10.0);
+    EXPECT_DOUBLE_EQ(spend.wallMs, 10.0);
+    ASSERT_EQ(ledger.tenants().size(), 1u);
+    EXPECT_EQ(ledger.tenants()[0], "a");
+}
+
+// ---------------------------------------------------------------- //
+// SCM_RIGHTS fd passing                                            //
+// ---------------------------------------------------------------- //
+
+TEST(FleetFdpass, RoundTripsAFileDescriptor)
+{
+    int channel[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, channel), 0);
+    int payload[2];
+    ASSERT_EQ(::pipe(payload), 0);
+
+    ASSERT_TRUE(fleet::sendFd(channel[0], payload[1]));
+    const int received = fleet::recvFd(channel[1]);
+    ASSERT_GE(received, 0);
+    // The received descriptor refers to the same pipe: a write
+    // through it is readable from the original read end.
+    const char byte = 'p';
+    ASSERT_EQ(::write(received, &byte, 1), 1);
+    char got = 0;
+    ASSERT_EQ(::read(payload[0], &got, 1), 1);
+    EXPECT_EQ(got, 'p');
+
+    ::close(received);
+    ::close(payload[0]);
+    ::close(payload[1]);
+    ::close(channel[0]);
+    ::close(channel[1]);
+}
+
+TEST(FleetFdpass, EofReadsAsMinusOne)
+{
+    int channel[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, channel), 0);
+    ::close(channel[0]);
+    EXPECT_EQ(fleet::recvFd(channel[1]), -1);
+    ::close(channel[1]);
+}
+
+// ---------------------------------------------------------------- //
+// Fair-share scheduling end to end                                 //
+// ---------------------------------------------------------------- //
+
+TEST(FleetFairShare, SchedulerDispatchesInWeightedStrideOrder)
+{
+    // One pool thread + concurrency 1 serializes execution, so the
+    // completion order *is* the dispatch order.
+    ThreadPool pool(1);
+    SessionScheduler scheduler(64, &pool);
+    scheduler.enableFairShare({{"a", 1}, {"b", 3}}, 1);
+
+    Mutex mutex;
+    CondVar cv;
+    bool gate_open = false;
+    std::string order;
+
+    // A blocker job holds the single slot while the backlog builds,
+    // so every later job goes through the fair-share queue.
+    scheduler.submit("warmup", [&]() {
+        MutexLock lock(mutex);
+        while (!gate_open)
+            cv.wait(mutex);
+    });
+    for (int i = 0; i < 4; ++i) {
+        scheduler.submit("a", [&order, &mutex]() {
+            MutexLock lock(mutex);
+            order += 'a';
+        });
+        for (int j = 0; j < 3; ++j)
+            scheduler.submit("b", [&order, &mutex]() {
+                MutexLock lock(mutex);
+                order += 'b';
+            });
+    }
+    {
+        MutexLock lock(mutex);
+        gate_open = true;
+        cv.notify_all();
+    }
+    scheduler.drain();
+    EXPECT_EQ(order, "abbbabbbabbbabbb");
+
+    const auto tenants = scheduler.tenantStats();
+    ASSERT_EQ(tenants.size(), 3u); // a, b, warmup (name order)
+    EXPECT_EQ(tenants[0].first, "a");
+    EXPECT_EQ(tenants[0].second.admitted, 4u);
+    EXPECT_EQ(tenants[0].second.completed, 4u);
+    EXPECT_EQ(tenants[1].first, "b");
+    EXPECT_EQ(tenants[1].second.admitted, 12u);
+    EXPECT_EQ(tenants[1].second.completed, 12u);
+}
+
+// ---------------------------------------------------------------- //
+// Multi-tenant socket server                                       //
+// ---------------------------------------------------------------- //
+
+ServerOptions
+scratchServerOptions(const std::string &name)
+{
+    ServerOptions opts;
+    opts.socketPath = "/tmp/paqoc_test_fleet_" + name + ".sock";
+    return opts;
+}
+
+/** One server torn down on scope exit (mirrors test_service.cpp). */
+struct ServerFixture
+{
+    PulseService service;
+    SocketServer server;
+    std::thread runner;
+
+    ServerFixture(ServiceOptions sopts, ServerOptions opts)
+        : service(std::move(sopts)), server(service, std::move(opts))
+    {
+        server.start();
+        runner = std::thread([this]() { server.run(); });
+    }
+
+    ~ServerFixture()
+    {
+        server.requestStop();
+        runner.join();
+    }
+};
+
+TEST(FleetServer, ServesPingOverTcp)
+{
+    ServerOptions opts; // no Unix socket at all: TCP only
+    opts.listenHost = "127.0.0.1";
+    opts.listenPort = 0;
+    ServerFixture fx({}, opts);
+    ASSERT_GT(fx.server.tcpPort(), 0);
+
+    ServiceClient client("127.0.0.1:"
+                         + std::to_string(fx.server.tcpPort()));
+    Json ping = Json::object();
+    ping.set("op", Json("ping"));
+    EXPECT_TRUE(client.request(ping).at("ok").asBool());
+}
+
+TEST(FleetServer, TcpAndUnixServeByteIdenticalPayloads)
+{
+    ServerOptions opts = scratchServerOptions("twolisten");
+    opts.listenHost = "127.0.0.1";
+    ServerFixture fx({}, opts);
+    ASSERT_GT(fx.server.tcpPort(), 0);
+
+    Json compile = Json::object();
+    compile.set("op", Json("compile"));
+    compile.set("benchmark", Json("mod5d2"));
+
+    ServiceClient unix_client(fx.server.socketPath());
+    ServiceClient tcp_client(
+        "127.0.0.1:" + std::to_string(fx.server.tcpPort()));
+    const Json a = unix_client.request(compile);
+    const Json b = tcp_client.request(compile);
+    ASSERT_TRUE(a.at("ok").asBool());
+    ASSERT_TRUE(b.at("ok").asBool());
+    EXPECT_EQ(a.at("payload").dump(), b.at("payload").dump());
+}
+
+Json
+grapeGenerateRequest(const std::string &tenant)
+{
+    Json r = Json::object();
+    r.set("op", Json("generate"));
+    r.set("backend", Json("grape"));
+    r.set("unitary",
+          protocol::matrixToJson(Gate(Op::H, {0}).unitary()));
+    if (!tenant.empty())
+        r.set("tenant", Json(tenant));
+    return r;
+}
+
+TEST(FleetServer, BudgetExhaustionIsIsolatedPerTenant)
+{
+    ServiceOptions sopts;
+    sopts.grape.maxIterations = 120; // keep each GRAPE run quick
+
+    ServerOptions opts = scratchServerOptions("budget");
+    // Budget below any real GRAPE run (every run charges at least one
+    // iteration): tenant a's first request exhausts the bucket; the
+    // window is long so nothing replenishes during the test.
+    opts.tenantBudget.iters = 0.5;
+    opts.tenantBudget.windowMs = 120000.0;
+    ServerFixture fx(std::move(sopts), opts);
+
+    ServiceClient client(fx.server.socketPath());
+    // First request: the remaining budget (floored to 1 iteration) is
+    // injected as the cap. Whether GRAPE converges inside it (ok) or
+    // trips it (budget_exhausted), the bucket is charged either way.
+    const Json first = client.request(grapeGenerateRequest("a"));
+    if (!first.at("ok").asBool()) {
+        EXPECT_TRUE(
+            first.get("budget_exhausted", Json(false)).asBool());
+        EXPECT_EQ(first.at("tenant").asString(), "a");
+        EXPECT_GT(first.at("retry_after_ms").asNumber(), 0.0);
+        // Deliberately no `retry` member: budget errors must not
+        // trigger the client's hot backpressure retry loop.
+        EXPECT_FALSE(first.contains("retry"));
+    }
+
+    // Tenant a is now exhausted at admission.
+    const Json second = client.request(grapeGenerateRequest("a"));
+    ASSERT_FALSE(second.at("ok").asBool());
+    EXPECT_TRUE(second.get("budget_exhausted", Json(false)).asBool());
+    EXPECT_EQ(second.at("tenant").asString(), "a");
+    EXPECT_GT(second.at("retry_after_ms").asNumber(), 0.0);
+    EXPECT_FALSE(second.contains("retry"));
+
+    // Tenant b's independent bucket is untouched: b must NOT get a's
+    // exhausted-at-admission refusal -- it runs (and is billed
+    // against its own bucket, which may then trip mid-request).
+    const Json third = client.request(grapeGenerateRequest("b"));
+    EXPECT_TRUE(third.at("ok").asBool()
+                || third.get("budget_exhausted", Json(false)).asBool());
+    if (!third.at("ok").asBool()) {
+        EXPECT_EQ(third.at("tenant").asString(), "b");
+    }
+
+    // Per-tenant stats report the exhaustions separately.
+    Json stats_request = Json::object();
+    stats_request.set("op", Json("stats"));
+    const Json stats = client.request(stats_request);
+    ASSERT_TRUE(stats.at("ok").asBool());
+    const Json &tenants = stats.at("payload").at("tenants");
+    ASSERT_TRUE(tenants.contains("a"));
+    EXPECT_GE(tenants.at("a").at("budget_exhausted").asNumber(), 1.0);
+    EXPECT_TRUE(tenants.at("a").at("exhausted").asBool());
+    EXPECT_GT(tenants.at("a").at("window_iters").asNumber(), 0.0);
+}
+
+TEST(FleetServer, ExhaustedTenantCanOptIntoDegradedService)
+{
+    ServiceOptions sopts;
+    sopts.grape.maxIterations = 120;
+
+    ServerOptions opts = scratchServerOptions("degrade");
+    opts.tenantBudget.iters = 0.5; // exhausted after any real work
+    opts.tenantBudget.windowMs = 120000.0;
+    ServerFixture fx(std::move(sopts), opts);
+
+    ServiceClient client(fx.server.socketPath());
+    // Spend the budget (ok or budget_exhausted; charged either way).
+    (void)client.request(grapeGenerateRequest("a"));
+
+    // Exhausted + degrade_on_quota: served a best-effort pulse
+    // instead of refused.
+    Json degraded = grapeGenerateRequest("a");
+    degraded.set("degrade_on_quota", Json(true));
+    const Json served = client.request(degraded);
+    ASSERT_TRUE(served.at("ok").asBool())
+        << served.get("error", Json("")).asString();
+
+    // The degraded serve is recorded against the tenant.
+    Json stats_request = Json::object();
+    stats_request.set("op", Json("stats"));
+    const Json stats = client.request(stats_request);
+    ASSERT_TRUE(stats.at("ok").asBool());
+    EXPECT_GE(stats.at("payload").at("tenants").at("a").at("degraded")
+                  .asNumber(),
+              1.0);
+}
+
+// ---------------------------------------------------------------- //
+// Connection router (fork-based; suites run in the chaos lane)     //
+// ---------------------------------------------------------------- //
+
+fleet::RouterOptions
+scratchRouterOptions(const std::string &name, int workers)
+{
+    fleet::RouterOptions opts;
+    opts.socketPath = "/tmp/paqoc_test_fleet_router_" + name + ".sock";
+    opts.workers = workers;
+    opts.backoffMs = 10.0;
+    opts.backoffCapMs = 50.0;
+    opts.heartbeatIntervalMs = 20.0;
+    // The minimal test workers never beat; death is still detected
+    // through heartbeat-pipe EOF, so hang detection stays off here
+    // (test_supervisor covers the hang path).
+    opts.heartbeatTimeoutMs = 0.0;
+    ::unlink(opts.socketPath.c_str());
+    return opts;
+}
+
+/**
+ * Minimal fleet worker body (runs in the forked child, no gtest):
+ * answer every handed connection with one byte identifying the slot,
+ * then exit 0 on router EOF.
+ */
+int
+echoWorker(const fleet::FleetWorkerContext &ctx)
+{
+    for (;;) {
+        const int fd = fleet::recvFd(ctx.controlFd);
+        if (fd < 0)
+            return 0;
+        const char byte = static_cast<char>('0' + ctx.slot);
+        (void)::send(fd, &byte, 1, MSG_NOSIGNAL);
+        ::close(fd);
+    }
+}
+
+/** Connect to the router's Unix socket and read the one-byte answer. */
+char
+askFleet(const std::string &socket_path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return '?';
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr)
+        != 0) {
+        ::close(fd);
+        return '?';
+    }
+    char byte = '?';
+    (void)::recv(fd, &byte, 1, 0);
+    ::close(fd);
+    return byte;
+}
+
+TEST(FleetRouter, RoundRobinsConnectionsAcrossWorkers)
+{
+    const fleet::RouterOptions opts =
+        scratchRouterOptions("roundrobin", 2);
+    fleet::Router router(opts, echoWorker);
+    router.start();
+    std::thread loop([&router]() { router.runLoop(); });
+
+    std::map<char, int> answers;
+    for (int i = 0; i < 6; ++i) {
+        const char byte = askFleet(opts.socketPath);
+        ASSERT_NE(byte, '?') << "connection " << i;
+        ++answers[byte];
+    }
+    // Round-robin over two live slots: both serve half the load.
+    EXPECT_EQ(answers['0'], 3);
+    EXPECT_EQ(answers['1'], 3);
+
+    router.requestStop();
+    loop.join();
+    const auto slots = router.slotStats();
+    ASSERT_EQ(slots.size(), 2u);
+    EXPECT_EQ(slots[0].incarnations, 1);
+    EXPECT_EQ(slots[1].incarnations, 1);
+    EXPECT_EQ(slots[0].handed + slots[1].handed, 6);
+}
+
+TEST(FleetRouter, CrashedWorkerIsRestartedAndKeepsServing)
+{
+    const fleet::RouterOptions opts =
+        scratchRouterOptions("restart", 2);
+    // Worker body: slot 0's first incarnation dies instantly with a
+    // nonzero status; every other incarnation serves normally.
+    fleet::Router router(
+        opts, [](const fleet::FleetWorkerContext &ctx) {
+            if (ctx.slot == 0 && ctx.incarnation == 0)
+                return 7;
+            return echoWorker(ctx);
+        });
+    router.start();
+    std::thread loop([&router]() { router.runLoop(); });
+
+    // Every connection is answered -- by slot 1 while slot 0 is down,
+    // by either once slot 0's restart lands. The router re-queues a
+    // dead slot's turn, so no connection is lost to the crash.
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_NE(askFleet(opts.socketPath), '?') << "connection " << i;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+
+    router.requestStop();
+    loop.join();
+    const auto slots = router.slotStats();
+    ASSERT_EQ(slots.size(), 2u);
+    EXPECT_EQ(slots[0].incarnations, 2); // crashed once, restarted
+    EXPECT_EQ(slots[1].incarnations, 1);
+}
+
+TEST(FleetRouter, OneWorkersCleanExitDrainsTheFleet)
+{
+    const fleet::RouterOptions opts = scratchRouterOptions("drain", 2);
+    // Slot 0 exits cleanly (as a worker does after a client's
+    // "shutdown" op); the router must drain the whole fleet rather
+    // than keep serving at half capacity.
+    fleet::Router router(
+        opts, [](const fleet::FleetWorkerContext &ctx) {
+            if (ctx.slot == 0)
+                return 0;
+            return echoWorker(ctx);
+        });
+    const int code = router.run();
+    EXPECT_EQ(code, 0);
+    const auto slots = router.slotStats();
+    ASSERT_EQ(slots.size(), 2u);
+    EXPECT_EQ(slots[0].incarnations, 1); // clean exit, no restart
+}
+
+} // namespace
+} // namespace paqoc

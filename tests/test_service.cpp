@@ -460,11 +460,20 @@ TEST(PulseService, StatsReportDaemonAndCheckpointState)
                      .asBool());
 }
 
+ServerOptions
+unixServerOptions(const std::string &path, std::size_t max_queue)
+{
+    ServerOptions opts;
+    opts.socketPath = path;
+    opts.maxQueue = max_queue;
+    return opts;
+}
+
 /** One server on a scratch socket, torn down on scope exit. */
 struct ServerFixture
 {
     PulseService service;
-    UnixSocketServer server;
+    SocketServer server;
     std::thread runner;
 
     explicit ServerFixture(const std::string &name,
@@ -472,8 +481,9 @@ struct ServerFixture
                            std::size_t max_queue = 64)
         : service(std::move(sopts)),
           server(service,
-                 {"/tmp/paqoc_test_service_" + name + ".sock",
-                  max_queue, 0.0})
+                 unixServerOptions("/tmp/paqoc_test_service_" + name
+                                       + ".sock",
+                                   max_queue))
     {
         ::unlink(server.socketPath().c_str());
         server.start();
@@ -487,7 +497,7 @@ struct ServerFixture
     }
 };
 
-TEST(UnixSocketServer, ServesPingOverTheSocket)
+TEST(SocketServer, ServesPingOverTheSocket)
 {
     ServerFixture fx("ping");
     ServiceClient client(fx.server.socketPath());
@@ -499,7 +509,7 @@ TEST(UnixSocketServer, ServesPingOverTheSocket)
     EXPECT_EQ(pong.at("id").asInt(), 7);
 }
 
-TEST(UnixSocketServer, ParseErrorsAreAnswersNotDisconnects)
+TEST(SocketServer, ParseErrorsAreAnswersNotDisconnects)
 {
     ServerFixture fx("badjson");
     // Hand-rolled client so we can send a malformed frame.
@@ -515,7 +525,7 @@ TEST(UnixSocketServer, ParseErrorsAreAnswersNotDisconnects)
     EXPECT_TRUE(client.request(ping).at("ok").asBool());
 }
 
-TEST(UnixSocketServer, ConcurrentClientsGetSerialPayloads)
+TEST(SocketServer, ConcurrentClientsGetSerialPayloads)
 {
     // End-to-end determinism: N clients hammer one daemon with the
     // same job; every payload must equal the serial in-process one.
@@ -543,11 +553,12 @@ TEST(UnixSocketServer, ConcurrentClientsGetSerialPayloads)
             << "client " << i;
 }
 
-TEST(UnixSocketServer, ShutdownRequestStopsTheServer)
+TEST(SocketServer, ShutdownRequestStopsTheServer)
 {
     PulseService service;
-    UnixSocketServer server(
-        service, {"/tmp/paqoc_test_service_shutdown.sock", 8, 0.0});
+    SocketServer server(
+        service,
+        unixServerOptions("/tmp/paqoc_test_service_shutdown.sock", 8));
     ::unlink(server.socketPath().c_str());
     server.start();
     std::thread runner([&]() { server.run(); });
@@ -564,7 +575,7 @@ TEST(UnixSocketServer, ShutdownRequestStopsTheServer)
     EXPECT_NE(::access(server.socketPath().c_str(), F_OK), 0);
 }
 
-TEST(UnixSocketServer, ExpiredDeadlineGetsFastError)
+TEST(SocketServer, ExpiredDeadlineGetsFastError)
 {
     ServerFixture fx("deadline");
     ServiceClient client(fx.server.socketPath());
@@ -576,7 +587,7 @@ TEST(UnixSocketServer, ExpiredDeadlineGetsFastError)
               std::string::npos);
 }
 
-TEST(UnixSocketServer, QuotaRejectionsShowUpInSchedulerStats)
+TEST(SocketServer, QuotaRejectionsShowUpInSchedulerStats)
 {
     ServiceOptions sopts;
     sopts.grape.maxIterations = 150;

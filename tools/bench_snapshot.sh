@@ -4,6 +4,7 @@
 # Default mode regenerates the canonical snapshots at the repo root:
 #   BENCH_kernels.json  -- bench_micro_kernels --snapshot
 #   BENCH_compile.json  -- bench_fig11_compile_time --snapshot
+#   BENCH_fleet.json    -- bench_fleet --snapshot
 #
 # --check re-measures and compares against the committed snapshots
 # instead of overwriting them, exiting 1 on any regression beyond the
@@ -49,7 +50,8 @@ done
 
 KERNELS_BIN="$BUILD_DIR/bench/bench_micro_kernels"
 COMPILE_BIN="$BUILD_DIR/bench/bench_fig11_compile_time"
-for bin in "$KERNELS_BIN" "$COMPILE_BIN"; do
+FLEET_BIN="$BUILD_DIR/bench/bench_fleet"
+for bin in "$KERNELS_BIN" "$COMPILE_BIN" "$FLEET_BIN"; do
     if [ ! -x "$bin" ]; then
         echo "bench_snapshot: missing $bin -- build first:" >&2
         echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -75,6 +77,7 @@ run_one() {
 
 run_one "$KERNELS_BIN" BENCH_kernels.json
 run_one "$COMPILE_BIN" BENCH_compile.json
+run_one "$FLEET_BIN" BENCH_fleet.json
 
 if [ "$STATUS" -ne 0 ]; then
     if [ "$WARN_ONLY" = 1 ]; then

@@ -22,7 +22,9 @@
  *     --commute                  commutativity-aware merging
  *     --emit-pulses DIR          write per-gate pulse CSVs into DIR
  *     --benchmark NAME           use a built-in benchmark as input
- *     --connect SOCKET           compile via a running paqocd daemon
+ *     --connect TARGET           compile via a running paqocd daemon
+ *                                (socket path or host:port)
+ *     --tenant ID                bill remote requests to this tenant
  *     --retries N                retry a failed connect/request N times
  *     --backoff-ms MS            base retry backoff (default 50)
  *     --timeout-ms MS            socket send/recv timeout (0 = none)
@@ -77,6 +79,7 @@ struct CliOptions
     std::string emitPulsesDir;
     std::string benchmark;
     std::string connectSocket;
+    std::string tenant;
     std::string inputFile;
     int retries = 0;
     double backoffMs = 50.0;
@@ -107,7 +110,10 @@ usage(int code)
         "  --emit-pulses DIR       write pulse CSVs into DIR\n"
         "  --pulse-db FILE         load/save the offline pulse database\n"
         "  --benchmark NAME        built-in benchmark as input\n"
-        "  --connect SOCKET        compile via a running paqocd\n"
+        "  --connect TARGET        compile via a running paqocd "
+        "(path or host:port)\n"
+        "  --tenant ID             bill remote requests to this "
+        "tenant\n"
         "  --retries N             retry failed connects/requests N "
         "times\n"
         "  --backoff-ms MS         base retry backoff (default 50)\n"
@@ -168,6 +174,8 @@ parseArgs(int argc, char **argv)
             opts.benchmark = next();
         else if (arg == "--connect")
             opts.connectSocket = next();
+        else if (arg == "--tenant")
+            opts.tenant = next();
         else if (arg == "--retries")
             opts.retries = std::stoi(next());
         else if (arg == "--backoff-ms")
@@ -268,6 +276,7 @@ runRemote(const CliOptions &opts, const CompileJob &job)
     copts.retries = opts.retries;
     copts.backoffMs = opts.backoffMs;
     copts.timeoutMs = opts.timeoutMs;
+    copts.tenant = opts.tenant;
     ServiceClient client(opts.connectSocket, copts);
     Json request = compileJobToJson(job);
     if (opts.maxIters > 0)

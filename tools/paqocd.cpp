@@ -10,6 +10,8 @@
  * Usage:
  *   paqocd [options]
  *     --socket PATH        listening socket (default /tmp/paqocd.sock)
+ *     --listen HOST:PORT   TCP listener beside the socket (port 0 =
+ *                          ephemeral; resolved port is logged)
  *     --library DIR        durable pulse-library directory (empty =
  *                          in-memory only)
  *     --threads N          worker threads (0 = all cores)
@@ -17,7 +19,9 @@
  *     --deadline-ms N      default per-request deadline (0 = none)
  *     --sync-every-append  fsync the journal after every record
  *     --supervise          fork a supervised worker; restart on crash
- *     --max-restarts N     supervised restart budget (default 5)
+ *     --fleet N            fork N workers behind a connection router
+ *                          (mutually exclusive with --supervise)
+ *     --max-restarts N     restart budget per worker (default 5)
  *     --heartbeat-timeout-ms N  silence before a worker counts as hung
  *     --checkpoint-every N GRAPE iterations between checkpoints
  *     --checkpoint-dir DIR checkpoint directory
@@ -26,16 +30,25 @@
  *     --max-wall-ms N      per-request wall-clock cap (0 = none)
  *     --max-resident-pulses N  per-request distinct-pulse cap
  *     --grape-max-iters N  GRAPE maxIterations override (chaos tests)
+ *     --fair-share         weighted fair-share admission across tenants
+ *     --tenant-weight NAME=W  fair-share weight (repeatable; implies
+ *                          --fair-share; unlisted tenants weigh 1)
+ *     --budget-iters N     per-tenant iteration budget per window
+ *     --budget-wall-ms N   per-tenant wall-clock budget per window
+ *     --budget-window-ms N sliding budget window (default 10000)
  *
  * SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the
  * library is compacted into a snapshot, then the process exits. Under
- * --supervise the signal lands on the supervisor, which forwards it.
+ * --supervise (or --fleet) the signal lands on the supervising parent,
+ * which forwards it and waits for the drain.
  */
 
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,6 +58,10 @@
 #include "common/error.h"
 #include "common/failpoint.h"
 #include "common/thread_pool.h"
+#include "fleet/budget.h"
+#include "fleet/endpoint.h"
+#include "fleet/router.h"
+#include "fleet/tenant.h"
 #include "linalg/kernels.h"
 #include "service/server.h"
 #include "service/service.h"
@@ -57,18 +74,24 @@ using namespace paqoc;
 struct DaemonOptions
 {
     std::string socketPath = "/tmp/paqocd.sock";
+    std::string listenHost; ///< "" = no TCP listener
+    int listenPort = 0;
     std::string libraryDir;
     int threads = 0;
     std::size_t maxQueue = 64;
     double deadlineMs = 0.0;
     bool syncEveryAppend = false;
     bool supervise = false;
+    int fleet = 0; ///< 0 = single process
     int maxRestarts = 5;
     double heartbeatTimeoutMs = 5000.0;
     int checkpointEvery = 0;
     std::string checkpointDir;
     QuotaLimits quota;
     int grapeMaxIters = 0;
+    bool fairShare = false;
+    std::map<std::string, int> tenantWeights;
+    fleet::BudgetOptions budget;
 };
 
 [[noreturn]] void
@@ -79,6 +102,8 @@ usage(int code)
         "usage: paqocd [options]\n"
         "  --socket PATH        listening socket "
         "(default /tmp/paqocd.sock)\n"
+        "  --listen HOST:PORT   TCP listener beside the socket "
+        "(port 0 = ephemeral)\n"
         "  --library DIR        durable pulse-library directory\n"
         "  --threads N          worker threads (0 = all cores)\n"
         "  --kernel NAME        linalg backend: scalar|avx2|auto\n"
@@ -86,7 +111,8 @@ usage(int code)
         "  --deadline-ms N      default request deadline (0 = none)\n"
         "  --sync-every-append  fsync the journal per record\n"
         "  --supervise          restart the serving worker on crash\n"
-        "  --max-restarts N     supervised restart budget (default 5)\n"
+        "  --fleet N            fork N workers behind a router\n"
+        "  --max-restarts N     restart budget per worker (default 5)\n"
         "  --heartbeat-timeout-ms N  hung-worker kill threshold\n"
         "  --checkpoint-every N GRAPE iterations per checkpoint\n"
         "  --checkpoint-dir DIR checkpoint directory "
@@ -94,7 +120,13 @@ usage(int code)
         "  --max-iters N        per-request GRAPE iteration cap\n"
         "  --max-wall-ms N      per-request wall-clock cap\n"
         "  --max-resident-pulses N  per-request distinct-pulse cap\n"
-        "  --grape-max-iters N  GRAPE maxIterations override\n");
+        "  --grape-max-iters N  GRAPE maxIterations override\n"
+        "  --fair-share         weighted fair-share admission\n"
+        "  --tenant-weight NAME=W  fair-share weight (repeatable)\n"
+        "  --budget-iters N     per-tenant iteration budget / window\n"
+        "  --budget-wall-ms N   per-tenant wall budget / window\n"
+        "  --budget-window-ms N sliding budget window (default "
+        "10000)\n");
     std::exit(code);
 }
 
@@ -111,7 +143,19 @@ parseArgs(int argc, char **argv)
         };
         if (arg == "--socket")
             opts.socketPath = next();
-        else if (arg == "--library")
+        else if (arg == "--listen") {
+            const std::string spec = next();
+            std::string error;
+            const std::optional<fleet::HostPort> hp =
+                fleet::parseHostPort(spec, &error);
+            if (!hp.has_value()) {
+                std::fprintf(stderr, "paqocd: bad --listen '%s': %s\n",
+                             spec.c_str(), error.c_str());
+                usage(2);
+            }
+            opts.listenHost = hp->host;
+            opts.listenPort = hp->port;
+        } else if (arg == "--library")
             opts.libraryDir = next();
         else if (arg == "--threads")
             opts.threads = std::stoi(next());
@@ -131,6 +175,29 @@ parseArgs(int argc, char **argv)
             opts.syncEveryAppend = true;
         else if (arg == "--supervise")
             opts.supervise = true;
+        else if (arg == "--fleet")
+            opts.fleet = std::stoi(next());
+        else if (arg == "--fair-share")
+            opts.fairShare = true;
+        else if (arg == "--tenant-weight") {
+            const std::string spec = next();
+            std::string name, error;
+            int weight = 0;
+            if (!fleet::parseTenantWeight(spec, &name, &weight,
+                                          &error)) {
+                std::fprintf(stderr,
+                             "paqocd: bad --tenant-weight '%s': %s\n",
+                             spec.c_str(), error.c_str());
+                usage(2);
+            }
+            opts.tenantWeights[name] = weight;
+            opts.fairShare = true;
+        } else if (arg == "--budget-iters")
+            opts.budget.iters = std::stod(next());
+        else if (arg == "--budget-wall-ms")
+            opts.budget.wallMs = std::stod(next());
+        else if (arg == "--budget-window-ms")
+            opts.budget.windowMs = std::stod(next());
         else if (arg == "--max-restarts")
             opts.maxRestarts = std::stoi(next());
         else if (arg == "--heartbeat-timeout-ms")
@@ -206,8 +273,17 @@ printCheckpoints(const CheckpointStore *store)
         std::printf("paqocd: warning: %s\n", w.c_str());
 }
 
+/**
+ * Run one serving process. `control_fd` / `slot` are the fleet-worker
+ * parameters (-1 = standalone or --supervise): a fleet worker owns no
+ * listeners of its own -- the router feeds it accepted connections
+ * over the control socket -- and keeps its durable state in a
+ * per-slot library subdirectory so concurrent workers never share a
+ * journal writer.
+ */
 int
-serve(const DaemonOptions &opts, const WorkerContext &ctx)
+serve(const DaemonOptions &opts, const WorkerContext &ctx,
+      int control_fd = -1, int slot = -1)
 {
     if (opts.threads > 0)
         ThreadPool::setGlobalThreads(
@@ -219,12 +295,14 @@ serve(const DaemonOptions &opts, const WorkerContext &ctx)
 
     ServiceOptions sopts;
     sopts.libraryDir = opts.libraryDir;
+    if (slot >= 0 && !sopts.libraryDir.empty())
+        sopts.libraryDir += "/worker" + std::to_string(slot);
     sopts.syncEveryAppend = opts.syncEveryAppend;
     sopts.checkpointEvery = opts.checkpointEvery;
     sopts.checkpointDir = opts.checkpointDir;
     if (sopts.checkpointDir.empty() && opts.checkpointEvery > 0
-        && !opts.libraryDir.empty())
-        sopts.checkpointDir = opts.libraryDir + "/checkpoints";
+        && !sopts.libraryDir.empty())
+        sopts.checkpointDir = sopts.libraryDir + "/checkpoints";
     sopts.quotaLimits = opts.quota;
     if (opts.grapeMaxIters > 0)
         sopts.grape.maxIterations = opts.grapeMaxIters;
@@ -234,10 +312,18 @@ serve(const DaemonOptions &opts, const WorkerContext &ctx)
     printLibrary("grape", service.grapeLibrary());
 
     ServerOptions server_opts;
-    server_opts.socketPath = opts.socketPath;
+    if (slot < 0) {
+        server_opts.socketPath = opts.socketPath;
+        server_opts.listenHost = opts.listenHost;
+        server_opts.listenPort = opts.listenPort;
+    }
+    server_opts.controlFd = control_fd;
     server_opts.maxQueue = opts.maxQueue;
     server_opts.defaultDeadlineMs = opts.deadlineMs;
-    UnixSocketServer server(service, server_opts);
+    server_opts.fairShare = opts.fairShare;
+    server_opts.tenantWeights = opts.tenantWeights;
+    server_opts.tenantBudget = opts.budget;
+    SocketServer server(service, server_opts);
 
     PAQOC_FATAL_IF(::pipe(g_signal_pipe) != 0,
                    "paqocd: pipe(): ", std::strerror(errno));
@@ -263,9 +349,16 @@ serve(const DaemonOptions &opts, const WorkerContext &ctx)
     }
 
     server.start();
-    std::printf("paqocd: serving on %s (%u threads, queue %zu)\n",
-                opts.socketPath.c_str(), ThreadPool::global().size(),
-                opts.maxQueue);
+    if (slot >= 0)
+        std::printf("paqocd: worker %d serving via router "
+                    "(%u threads, queue %zu)\n",
+                    slot, ThreadPool::global().size(), opts.maxQueue);
+    else
+        std::printf("paqocd: serving on %s (%u threads, queue %zu)\n",
+                    opts.socketPath.c_str(),
+                    ThreadPool::global().size(), opts.maxQueue);
+    if (server.tcpPort() >= 0)
+        std::printf("paqocd: tcp port %d\n", server.tcpPort());
     std::fflush(stdout);
     // worker.crash (chaos runs, usually via PAQOC_WORKER_FAILPOINTS):
     // the worker dies right after it starts accepting connections --
@@ -280,6 +373,24 @@ serve(const DaemonOptions &opts, const WorkerContext &ctx)
     ::close(g_signal_pipe[0]);
     ::close(g_signal_pipe[1]);
     printCheckpoints(service.checkpoints());
+    // Per-tenant serving totals (DESIGN.md §12); shown only when a
+    // non-anonymous tenant showed up or tenancy knobs are on, so a
+    // plain daemon's shutdown log stays as it always was.
+    const auto tenants = server.scheduler().tenantStats();
+    const bool tenancy = opts.fairShare || opts.budget.any()
+        || tenants.size() > 1
+        || (tenants.size() == 1
+            && tenants[0].first != fleet::kAnonymousTenant);
+    if (tenancy) {
+        for (const auto &entry : tenants)
+            std::printf("paqocd: tenant %s: admitted %zu, "
+                        "completed %zu, expired %zu, "
+                        "budget_exhausted %zu, degraded %zu\n",
+                        entry.first.c_str(), entry.second.admitted,
+                        entry.second.completed, entry.second.expired,
+                        entry.second.budgetExhausted,
+                        entry.second.degraded);
+    }
     std::printf("paqocd: shut down cleanly\n");
     return 0;
 }
@@ -291,6 +402,47 @@ main(int argc, char **argv)
 {
     try {
         const DaemonOptions opts = parseArgs(argc, argv);
+        if (opts.fleet > 0 && opts.supervise) {
+            std::fprintf(stderr, "paqocd: --fleet and --supervise are "
+                                 "mutually exclusive\n");
+            usage(2);
+        }
+        if (opts.fleet > 0) {
+            fleet::RouterOptions router_opts;
+            router_opts.socketPath = opts.socketPath;
+            router_opts.listenHost = opts.listenHost;
+            router_opts.listenPort = opts.listenPort;
+            router_opts.workers = opts.fleet;
+            router_opts.maxRestarts = opts.maxRestarts;
+            router_opts.heartbeatTimeoutMs = opts.heartbeatTimeoutMs;
+            router_opts.log = [](const std::string &message) {
+                std::printf("paqocd-router: %s\n", message.c_str());
+                std::fflush(stdout);
+            };
+            fleet::Router router(
+                router_opts,
+                [&opts](const fleet::FleetWorkerContext &ctx) {
+                    WorkerContext wctx;
+                    wctx.incarnation = ctx.incarnation;
+                    wctx.heartbeatFd = ctx.heartbeatFd;
+                    wctx.heartbeatIntervalMs = ctx.heartbeatIntervalMs;
+                    return serve(opts, wctx, ctx.controlFd, ctx.slot);
+                });
+            router.start();
+            if (router.tcpPort() >= 0) {
+                std::printf("paqocd: tcp port %d\n",
+                            router.tcpPort());
+                std::fflush(stdout);
+            }
+            const int code = router.runLoop();
+            const auto slots = router.slotStats();
+            for (std::size_t i = 0; i < slots.size(); ++i)
+                std::printf("paqocd-router: worker %zu: "
+                            "%d incarnations, %ld connections\n",
+                            i, slots[i].incarnations,
+                            slots[i].handed);
+            return code;
+        }
         if (!opts.supervise)
             return serve(opts, WorkerContext{});
         SupervisorOptions sup;
