@@ -1,0 +1,332 @@
+#include "lint/analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <tuple>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "lint/index.h"
+#include "lint/lex.h"
+
+namespace paqoc {
+namespace lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kCacheVersion = 1;
+
+std::string
+readFileOrDie(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    PAQOC_FATAL_IF(!in, "lint: cannot read ", path.string());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/**
+ * Every file the analyzer looks at, sorted: .cpp/.h everywhere under
+ * the roots, .sh only under tests/ (chaos and e2e drivers arm
+ * failpoints from the shell).
+ */
+std::vector<std::string>
+enumerateTree(const std::string &base, const std::vector<std::string> &roots)
+{
+    std::vector<std::string> paths;
+    for (const std::string &root : roots) {
+        const fs::path dir = fs::path(base) / root;
+        if (!fs::exists(dir))
+            continue;
+        for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            const std::string rel =
+                fs::relative(entry.path(), base).generic_string();
+            // .cc is reserved for lint *fixtures* (exercised by unit
+            // tests through lintFile, deliberately not tree-walked),
+            // matching the per-file linter's historical contract.
+            if (ext == ".cpp" || ext == ".h") {
+                paths.push_back(rel);
+            } else if (ext == ".sh" && startsWith(rel, "tests/")) {
+                paths.push_back(rel);
+            }
+        }
+    }
+    // Directory iteration order is unspecified; the report (and the
+    // cache file) are outputs, so sort.
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+std::string
+companionHeaderOf(const std::string &base, const std::string &rel)
+{
+    std::string stemPath;
+    if (endsWith(rel, ".cpp"))
+        stemPath = rel.substr(0, rel.size() - 4);
+    else if (endsWith(rel, ".cc"))
+        stemPath = rel.substr(0, rel.size() - 3);
+    else
+        return "";
+    const fs::path header = fs::path(base) / (stemPath + ".h");
+    if (!fs::exists(header))
+        return "";
+    return readFileOrDie(header);
+}
+
+/** path -> cached FileIndex, or empty on any unusable cache file. */
+std::map<std::string, FileIndex>
+loadCache(const std::string &cachePath, bool &loaded)
+{
+    std::map<std::string, FileIndex> cache;
+    loaded = false;
+    if (cachePath.empty() || !fs::exists(cachePath))
+        return cache;
+    try {
+        const Json doc = Json::parse(readFileOrDie(cachePath));
+        if (!doc.isObject()
+            || doc.get("version", Json(0)).asInt() != kCacheVersion)
+            return cache;
+        for (const Json &entry : doc.at("files").items()) {
+            FileIndex idx = FileIndex::fromJson(entry);
+            cache[idx.path] = std::move(idx);
+        }
+        loaded = true;
+    } catch (const std::exception &) {
+        // A stale or corrupt cache is a cold start, never an error.
+        cache.clear();
+        loaded = false;
+    }
+    return cache;
+}
+
+void
+saveCache(const std::string &cachePath, const ProgramIndex &index)
+{
+    if (cachePath.empty())
+        return;
+    Json doc = Json::object();
+    doc.set("version", Json(kCacheVersion));
+    Json files = Json::array();
+    for (const FileIndex &f : index.files)
+        files.push(f.toJson());
+    doc.set("files", std::move(files));
+    std::ofstream out(cachePath, std::ios::binary | std::ios::trunc);
+    PAQOC_FATAL_IF(!out, "lint: cannot write cache ", cachePath);
+    out << doc.dump() << '\n';
+}
+
+std::string
+canonicalGuardFor(const std::string &path)
+{
+    std::string rel = path;
+    if (startsWith(rel, "src/"))
+        rel = rel.substr(4);
+    if (endsWith(rel, ".h"))
+        rel = rel.substr(0, rel.size() - 2);
+    std::string guard = "PAQOC_";
+    for (const char c : rel) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            guard += static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c)));
+        else
+            guard += '_';
+    }
+    guard += "_H_";
+    return guard;
+}
+
+/** Replace whole-word occurrences of `from` with `to`. */
+std::string
+replaceWord(const std::string &text, const std::string &from,
+            const std::string &to)
+{
+    std::string out;
+    std::size_t pos = 0;
+    auto isWord = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    while (pos < text.size()) {
+        const std::size_t at = text.find(from, pos);
+        if (at == std::string::npos) {
+            out += text.substr(pos);
+            break;
+        }
+        const bool leftOk = at == 0 || !isWord(text[at - 1]);
+        const std::size_t end = at + from.size();
+        const bool rightOk = end >= text.size() || !isWord(text[end]);
+        out += text.substr(pos, at - pos);
+        out += (leftOk && rightOk) ? to : from;
+        pos = end;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+fixHeaderGuardContent(const std::string &path, const std::string &content)
+{
+    if (!endsWith(path, ".h"))
+        return content;
+    const std::string stripped = stripCommentsAndStrings(content);
+    if (stripped.find("#pragma once") != std::string::npos)
+        return content;
+    const std::string expected = canonicalGuardFor(path);
+    static const std::regex ifndefRe(R"(#\s*ifndef\s+([A-Za-z0-9_]+))");
+    std::smatch m;
+    if (std::regex_search(stripped, m, ifndefRe)) {
+        const std::string got = m[1].str();
+        if (got == expected)
+            return content;
+        // Rename the guard everywhere it appears as a whole token:
+        // #ifndef, #define, and the #endif trailer comment. The
+        // comment mention lives in stripped-out text, so rewrite the
+        // raw bytes.
+        return replaceWord(content, got, expected);
+    }
+    // No guard at all: wrap the file.
+    std::string out = "#ifndef " + expected + "\n#define " + expected
+        + "\n\n";
+    out += content;
+    if (!out.empty() && out.back() != '\n')
+        out += '\n';
+    out += "\n#endif // " + expected + "\n";
+    return out;
+}
+
+std::vector<std::string>
+fixHeaderGuards(const std::string &base,
+                const std::vector<std::string> &roots)
+{
+    std::vector<std::string> fixed;
+    for (const std::string &rel : enumerateTree(base, roots)) {
+        if (!endsWith(rel, ".h"))
+            continue;
+        const fs::path full = fs::path(base) / rel;
+        const std::string content = readFileOrDie(full);
+        const std::string repaired = fixHeaderGuardContent(rel, content);
+        if (repaired == content)
+            continue;
+        std::ofstream out(full, std::ios::binary | std::ios::trunc);
+        PAQOC_FATAL_IF(!out, "lint: cannot rewrite ", rel);
+        out << repaired;
+        fixed.push_back(rel);
+    }
+    return fixed;
+}
+
+AnalyzeResult
+analyzeTree(const std::string &base, const std::vector<std::string> &roots,
+            const AnalyzeOptions &options)
+{
+    AnalyzeResult result;
+    const std::vector<std::string> paths = enumerateTree(base, roots);
+
+    std::map<std::string, FileIndex> cached =
+        loadCache(options.cachePath, result.cache.loaded);
+
+    // Preallocated slots + index-order parallelFor keeps the result
+    // deterministic for any worker count (the pool's own contract).
+    ProgramIndex program;
+    program.files.resize(paths.size());
+    std::vector<char> reused(paths.size(), 0);
+    ThreadPool::global().parallelFor(paths.size(), [&](std::size_t i) {
+        const std::string &rel = paths[i];
+        const std::string content =
+            readFileOrDie(fs::path(base) / rel);
+        const std::string companion = companionHeaderOf(base, rel);
+        const std::uint64_t contentHash = fnv1a(content);
+        const std::uint64_t companionHash = fnv1a(companion);
+        const auto hit = cached.find(rel);
+        if (hit != cached.end()
+            && hit->second.contentHash == contentHash
+            && hit->second.companionHash == companionHash) {
+            program.files[i] = hit->second;
+            reused[i] = 1;
+            return;
+        }
+        if (endsWith(rel, ".sh")) {
+            FileIndex idx;
+            idx.path = rel;
+            idx.contentHash = contentHash;
+            idx.companionHash = companionHash; // fnv1a("") -- matches
+                                               // the warm-run probe
+            idx.failpointsArmed = armedInShell(content);
+            program.files[i] = std::move(idx);
+            return;
+        }
+        program.files[i] = indexFile(rel, content, companion);
+    });
+
+    result.cache.files = static_cast<int>(paths.size());
+    for (const char r : reused)
+        result.cache.reused += r != 0;
+    result.cache.reindexed = result.cache.files - result.cache.reused;
+
+    // Per-file findings straight from the indexes; whole-program
+    // passes over the linked view. The passes always run -- they are
+    // cheap next to indexing, and any file's change can move a global
+    // conclusion.
+    for (const FileIndex &f : program.files)
+        result.findings.insert(result.findings.end(),
+                               f.fileFindings.begin(),
+                               f.fileFindings.end());
+    result.lockGraph = buildLockOrderGraph(program);
+    for (auto &group :
+         {lockOrderCycles(program, result.lockGraph),
+          failpointCoverage(program), determinismTaint(program)})
+        result.findings.insert(result.findings.end(), group.begin(),
+                               group.end());
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule)
+                      < std::tie(b.file, b.line, b.rule);
+              });
+
+    saveCache(options.cachePath, program);
+    return result;
+}
+
+Json
+analyzeReportJson(const AnalyzeResult &result)
+{
+    Json report = findingsToJson(result.findings);
+    Json graph = Json::array();
+    for (const LockEdge &e : result.lockGraph) {
+        Json edge = Json::object();
+        edge.set("from", Json(e.from));
+        edge.set("to", Json(e.to));
+        edge.set("file", Json(e.file));
+        edge.set("line", Json(e.line));
+        edge.set("via", Json(e.via));
+        graph.push(std::move(edge));
+    }
+    report.set("lock_order_graph", std::move(graph));
+    Json cache = Json::object();
+    cache.set("loaded", Json(result.cache.loaded));
+    cache.set("files", Json(result.cache.files));
+    cache.set("reused", Json(result.cache.reused));
+    cache.set("reindexed", Json(result.cache.reindexed));
+    report.set("cache", std::move(cache));
+    return report;
+}
+
+std::vector<Finding>
+lintTree(const std::string &base, const std::vector<std::string> &roots)
+{
+    return analyzeTree(base, roots, AnalyzeOptions{}).findings;
+}
+
+} // namespace lint
+} // namespace paqoc

@@ -1,0 +1,88 @@
+#ifndef PAQOC_LINT_ANALYZER_H_
+#define PAQOC_LINT_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "lint/lint.h"
+#include "lint/passes.h"
+
+namespace paqoc {
+namespace lint {
+
+/**
+ * Analyzer orchestration (DESIGN.md §13): enumerate the tree, build or
+ * reuse per-file indexes in parallel, run the whole-program passes,
+ * and fold everything into one deterministic report.
+ *
+ * The incremental cache is a single JSON file holding every FileIndex
+ * keyed by FNV-1a content hash (plus the companion header's hash,
+ * because a .cpp's index depends on declarations it pulls from its
+ * header). A warm run re-lints only files whose bytes changed; the
+ * whole-program passes always re-run, because they are a pure, cheap
+ * function of the linked indexes and any file's change can move a
+ * global conclusion.
+ */
+
+struct AnalyzeOptions
+{
+    /// cache file path; "" disables the cache entirely
+    std::string cachePath;
+};
+
+/** What the incremental cache did on this run (reported in --json). */
+struct CacheStats
+{
+    bool loaded = false; ///< a usable cache file was read
+    int files = 0;       ///< indexed files considered
+    int reused = 0;      ///< indexes served from the cache
+    int reindexed = 0;   ///< indexes rebuilt (changed or cold)
+};
+
+struct AnalyzeResult
+{
+    std::vector<Finding> findings;  ///< (file, line, rule) sorted
+    std::vector<LockEdge> lockGraph; ///< the full lock-order graph
+    CacheStats cache;
+};
+
+/**
+ * Run the full analysis over every .cpp/.h under `roots` (relative to
+ * `base`), plus .sh chaos/e2e drivers under tests/ for the
+ * failpoint-arming scan. Unreadable files raise FatalError.
+ */
+AnalyzeResult analyzeTree(const std::string &base,
+                          const std::vector<std::string> &roots,
+                          const AnalyzeOptions &options);
+
+/**
+ * The extended machine-readable report: findingsToJson's fields plus
+ * "lock_order_graph" (every edge with witness and via) and "cache"
+ * (the CacheStats of this run).
+ */
+Json analyzeReportJson(const AnalyzeResult &result);
+
+/**
+ * header-guard autofix, pure part: returns `content` rewritten so the
+ * file carries the canonical PAQOC_<PATH>_H_ guard -- renaming an
+ * existing #ifndef/#define/#endif-comment trio, or wrapping the file
+ * in a fresh guard when it has none. Returns `content` unchanged when
+ * the guard is already canonical or the file uses #pragma once
+ * (idempotent by construction).
+ */
+std::string fixHeaderGuardContent(const std::string &path,
+                                  const std::string &content);
+
+/**
+ * Apply fixHeaderGuardContent to every .h under `roots`, rewriting
+ * changed files in place. Returns the repo-relative paths rewritten.
+ */
+std::vector<std::string>
+fixHeaderGuards(const std::string &base,
+                const std::vector<std::string> &roots);
+
+} // namespace lint
+} // namespace paqoc
+
+#endif // PAQOC_LINT_ANALYZER_H_

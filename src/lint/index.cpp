@@ -1,0 +1,1147 @@
+#include "lint/index.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+#include "lint/lex.h"
+#include "lint/lint.h"
+
+namespace paqoc {
+namespace lint {
+
+namespace {
+
+const std::set<std::string> &
+keywords()
+{
+    static const std::set<std::string> kw = {
+        "alignas",   "alignof",  "asm",       "auto",      "bool",
+        "break",     "case",     "catch",     "char",      "class",
+        "co_await",  "co_return","co_yield",  "const",     "consteval",
+        "constexpr", "constinit","const_cast","continue",  "decltype",
+        "default",   "delete",   "do",        "double",    "dynamic_cast",
+        "else",      "enum",     "explicit",  "export",    "extern",
+        "false",     "float",    "for",       "friend",    "goto",
+        "if",        "inline",   "int",       "long",      "mutable",
+        "namespace", "new",      "noexcept",  "nullptr",   "operator",
+        "private",   "protected","public",    "register",  "reinterpret_cast",
+        "requires",  "return",   "short",     "signed",    "sizeof",
+        "static",    "static_assert",         "static_cast","struct",
+        "switch",    "template", "this",      "thread_local","throw",
+        "true",      "try",      "typedef",   "typeid",    "typename",
+        "union",     "unsigned", "using",     "virtual",   "void",
+        "volatile",  "wchar_t",  "while",
+    };
+    return kw;
+}
+
+bool
+isKeyword(const std::string &s)
+{
+    return keywords().count(s) > 0;
+}
+
+bool
+isAllCapsMacro(const std::string &s)
+{
+    if (s.empty() || !std::isupper(static_cast<unsigned char>(s[0])))
+        return false;
+    for (const char c : s)
+        if (std::islower(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+/** Type-like: starts uppercase, contains a lowercase letter. */
+bool
+isCamelType(const std::string &s)
+{
+    if (s.empty() || !std::isupper(static_cast<unsigned char>(s[0])))
+        return false;
+    for (const char c : s)
+        if (std::islower(static_cast<unsigned char>(c)))
+            return true;
+    return false;
+}
+
+std::string
+fileStem(const std::string &path)
+{
+    const std::size_t slash = path.rfind('/');
+    std::string stem =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::size_t dot = stem.rfind('.');
+    if (dot != std::string::npos)
+        stem = stem.substr(0, dot);
+    return stem;
+}
+
+/**
+ * Blank preprocessor directive lines (keeping newlines) so unbalanced
+ * braces or parens inside #if/#else branches cannot corrupt the scope
+ * machine. Honors backslash continuations.
+ */
+std::string
+blankPreprocessor(const std::string &stripped)
+{
+    std::string out = stripped;
+    std::size_t i = 0;
+    const std::size_t n = out.size();
+    while (i < n) {
+        std::size_t j = i;
+        while (j < n && (out[j] == ' ' || out[j] == '\t'))
+            ++j;
+        bool directive = j < n && out[j] == '#';
+        std::size_t end = i;
+        while (end < n && out[end] != '\n')
+            ++end;
+        if (directive) {
+            bool continued = true;
+            while (continued) {
+                continued = end > i && out[end - 1] == '\\';
+                for (std::size_t k = i; k < end; ++k)
+                    out[k] = ' ';
+                if (!continued || end >= n)
+                    break;
+                i = end + 1;
+                end = i;
+                while (end < n && out[end] != '\n')
+                    ++end;
+            }
+        }
+        i = end < n ? end + 1 : n;
+    }
+    return out;
+}
+
+/** O(log n) offset→line lookup (the token walk asks constantly). */
+class LineTable
+{
+  public:
+    explicit LineTable(const std::string &text)
+    {
+        starts_.push_back(0);
+        for (std::size_t i = 0; i < text.size(); ++i)
+            if (text[i] == '\n')
+                starts_.push_back(i + 1);
+    }
+
+    int
+    lineOf(std::size_t offset) const
+    {
+        const auto it = std::upper_bound(starts_.begin(), starts_.end(),
+                                         offset);
+        return static_cast<int>(it - starts_.begin());
+    }
+
+  private:
+    std::vector<std::size_t> starts_;
+};
+
+struct Frame
+{
+    enum class Kind
+    {
+        Namespace,
+        Class,
+        Function,
+        Lambda,
+        Block,
+    };
+    Kind kind = Kind::Block;
+    std::string name;      ///< namespace or class name
+    int funcIndex = -1;    ///< Function/Lambda: index into functions
+    std::size_t lockMark = 0; ///< held-lock depth at frame entry
+};
+
+/** Index of the token matching an opening bracket, or npos. */
+std::size_t
+matchBackward(const std::vector<Token> &toks, std::size_t close,
+              const char *open_c, const char *close_c)
+{
+    int depth = 0;
+    for (std::size_t i = close + 1; i-- > 0;) {
+        if (toks[i].is(close_c))
+            ++depth;
+        else if (toks[i].is(open_c) && --depth == 0)
+            return i;
+        if (i == 0)
+            break;
+    }
+    return std::string::npos;
+}
+
+struct Classified
+{
+    Frame::Kind kind = Frame::Kind::Block;
+    std::string name;              ///< namespace/class name
+    std::vector<std::string> chain; ///< function name chain (A::B::f)
+    std::string returnType;
+    std::vector<std::string> params;
+    std::size_t nameOffset = 0; ///< stripped-text offset of the name
+};
+
+/** Parameter names from the token slice between '(' and ')'. */
+std::vector<std::string>
+paramNames(const std::vector<Token> &sig, std::size_t open,
+           std::size_t close)
+{
+    std::vector<std::string> params;
+    std::size_t start = open + 1;
+    int depth = 0;
+    auto flush = [&](std::size_t end) {
+        // Last identifier before any top-level '='.
+        std::string name;
+        for (std::size_t k = start; k < end; ++k) {
+            if (sig[k].is("="))
+                break;
+            if (sig[k].isIdent() && !isKeyword(sig[k].text))
+                name = sig[k].text;
+        }
+        if (!name.empty())
+            params.push_back(name);
+        start = end + 1;
+    };
+    for (std::size_t k = open + 1; k < close; ++k) {
+        if (sig[k].is("(") || sig[k].is("[") || sig[k].is("{")
+            || sig[k].is("<"))
+            ++depth;
+        else if (sig[k].is(")") || sig[k].is("]") || sig[k].is("}")
+                 || sig[k].is(">"))
+            --depth;
+        else if (sig[k].is(",") && depth == 0)
+            flush(k);
+    }
+    flush(close);
+    return params;
+}
+
+/**
+ * Classify what a '{' opens from its head: the tokens since the last
+ * ';', '{', or '}'. Anything the lexical grammar cannot prove to be a
+ * namespace, class, function, or lambda degrades to an inert Block --
+ * wrong attribution is worse than no attribution.
+ */
+Classified
+classifyBrace(const std::vector<Token> &toks, std::size_t brace)
+{
+    Classified c;
+    // Collect the head.
+    std::size_t lo = brace;
+    while (lo > 0) {
+        const Token &t = toks[lo - 1];
+        if (t.is(";") || t.is("{") || t.is("}"))
+            break;
+        --lo;
+    }
+    std::vector<Token> head(toks.begin() + static_cast<long>(lo),
+                            toks.begin() + static_cast<long>(brace));
+    // Drop access-specifier labels ("public :").
+    while (head.size() >= 2 && head[0].isIdent()
+           && (head[0].is("public") || head[0].is("private")
+               || head[0].is("protected"))
+           && head[1].is(":"))
+        head.erase(head.begin(), head.begin() + 2);
+    if (head.empty())
+        return c;
+    if (head[0].is("namespace")) {
+        c.kind = Frame::Kind::Namespace;
+        if (head.size() > 1 && head[1].isIdent())
+            c.name = head[1].text;
+        return c;
+    }
+    // Skip a leading template<...> header.
+    std::size_t first = 0;
+    if (head[0].is("template") && head.size() > 1 && head[1].is("<")) {
+        int depth = 0;
+        for (std::size_t k = 1; k < head.size(); ++k) {
+            if (head[k].is("<"))
+                ++depth;
+            else if (head[k].is(">") && --depth == 0) {
+                first = k + 1;
+                break;
+            }
+        }
+        if (first == 0 || first >= head.size())
+            return c;
+    }
+    const Token &lead = head[first];
+    if (lead.is("enum") || lead.is("union"))
+        return c;
+    if (lead.is("class") || lead.is("struct")) {
+        for (std::size_t k = first + 1; k < head.size(); ++k) {
+            if (head[k].isIdent() && !isKeyword(head[k].text)
+                && !isAllCapsMacro(head[k].text)) {
+                c.kind = Frame::Kind::Class;
+                c.name = head[k].text;
+                return c;
+            }
+            if (head[k].is(":"))
+                break;
+        }
+        return c; // anonymous aggregate
+    }
+    if (lead.is("if") || lead.is("for") || lead.is("while")
+        || lead.is("switch") || lead.is("do") || lead.is("else")
+        || lead.is("try") || lead.is("catch"))
+        return c;
+    // Constructor-initializer truncation: cut at the first top-level
+    // single ':' ("::" is fused by the tokenizer, so a lone ':' here
+    // really is a colon). Pair off '?' to spare ternaries.
+    std::vector<Token> sig;
+    {
+        int depth = 0;
+        int ternary = 0;
+        std::size_t cut = head.size();
+        for (std::size_t k = first; k < head.size(); ++k) {
+            const Token &t = head[k];
+            if (t.is("(") || t.is("[") || t.is("{"))
+                ++depth;
+            else if (t.is(")") || t.is("]") || t.is("}"))
+                --depth;
+            else if (t.is("?") && depth == 0)
+                ++ternary;
+            else if (t.is(":") && depth == 0) {
+                if (ternary > 0) {
+                    --ternary;
+                } else {
+                    cut = k;
+                    break;
+                }
+            }
+        }
+        sig.assign(head.begin() + static_cast<long>(first),
+                   head.begin() + static_cast<long>(cut));
+    }
+    // Strip trailing qualifiers, trailing returns, and attribute-style
+    // macros (PAQOC_REQUIRES(mu_) and friends) off the signature tail.
+    for (;;) {
+        if (sig.empty())
+            return c;
+        const Token &last = sig.back();
+        if (last.isIdent()
+            && (last.is("const") || last.is("noexcept")
+                || last.is("override") || last.is("final")
+                || last.is("mutable"))) {
+            sig.pop_back();
+            continue;
+        }
+        if (last.isIdent() && sig.size() >= 2
+            && sig[sig.size() - 2].is("->")) {
+            sig.pop_back();
+            sig.pop_back();
+            continue;
+        }
+        if (last.is(")")) {
+            const std::size_t open =
+                matchBackward(sig, sig.size() - 1, "(", ")");
+            if (open != std::string::npos && open > 0
+                && sig[open - 1].isIdent()
+                && (isAllCapsMacro(sig[open - 1].text)
+                    || sig[open - 1].is("noexcept"))) {
+                sig.resize(open - 1);
+                continue;
+            }
+        }
+        break;
+    }
+    if (sig.empty())
+        return c;
+    if (sig.back().is("]")) {
+        c.kind = Frame::Kind::Lambda;
+        c.nameOffset = sig.back().offset;
+        return c;
+    }
+    if (!sig.back().is(")"))
+        return c;
+    const std::size_t open = matchBackward(sig, sig.size() - 1, "(", ")");
+    if (open == std::string::npos || open == 0)
+        return c;
+    const Token &before = sig[open - 1];
+    if (before.is("]")) {
+        c.kind = Frame::Kind::Lambda;
+        c.nameOffset = before.offset;
+        c.params = paramNames(sig, open, sig.size() - 1);
+        return c;
+    }
+    if (!before.isIdent() || isKeyword(before.text))
+        return c;
+    // Function definition: walk the A::B::f name chain backwards.
+    std::vector<std::string> chain = {before.text};
+    std::size_t name_off = before.offset;
+    std::size_t p = open - 1;
+    bool dtor = false;
+    if (p > 0 && sig[p - 1].is("~")) {
+        dtor = true;
+        --p;
+        name_off = sig[p].offset;
+    }
+    while (p >= 2 && sig[p - 1].is("::") && sig[p - 2].isIdent()) {
+        chain.insert(chain.begin(), sig[p - 2].text);
+        name_off = sig[p - 2].offset;
+        p -= 2;
+    }
+    if (dtor)
+        chain.back() = "~" + chain.back();
+    // Return type: nearest plain identifier before the chain, skipping
+    // cv/ref/ptr/storage noise.
+    std::string rt;
+    for (std::size_t k = p; k-- > 0;) {
+        const Token &t = sig[k];
+        if (t.is("&") || t.is("*"))
+            continue;
+        if (t.isIdent()
+            && (t.is("const") || t.is("static") || t.is("inline")
+                || t.is("virtual") || t.is("explicit")
+                || t.is("constexpr") || t.is("friend")))
+            continue;
+        if (t.isIdent() && !isKeyword(t.text))
+            rt = t.text;
+        break;
+    }
+    c.kind = Frame::Kind::Function;
+    c.chain = std::move(chain);
+    c.returnType = rt;
+    c.nameOffset = name_off;
+    c.params = paramNames(sig, open, sig.size() - 1);
+    return c;
+}
+
+/**
+ * Normalize a MutexLock argument to a lock identity the global graph
+ * can join on. `Class::member_` when the owner class is knowable,
+ * `name()` for accessor calls, `<stem>:expr` otherwise -- the fallback
+ * deliberately scopes to the file so two unrelated locals never alias.
+ */
+std::string
+lockIdFor(const std::vector<Token> &expr, const std::string &klass,
+          const std::map<std::string, std::string> &bindings,
+          const std::string &stem)
+{
+    std::vector<Token> e = expr;
+    while (!e.empty() && (e.front().is("&") || e.front().is("*")))
+        e.erase(e.begin());
+    if (e.size() == 1 && e[0].isIdent()) {
+        if (!klass.empty())
+            return klass + "::" + e[0].text;
+        return stem + ":" + e[0].text;
+    }
+    if (e.size() == 3 && e[0].isIdent() && e[1].is("(") && e[2].is(")"))
+        return e[0].text + "()";
+    if (e.size() == 3 && (e[1].is(".") || e[1].is("->"))
+        && e[0].isIdent() && e[2].isIdent()) {
+        if (e[0].is("this")) {
+            if (!klass.empty())
+                return klass + "::" + e[2].text;
+            return stem + ":" + e[2].text;
+        }
+        const auto it = bindings.find(e[0].text);
+        if (it != bindings.end())
+            return it->second + "::" + e[2].text;
+        return stem + ":" + e[0].text + "." + e[2].text;
+    }
+    std::string joined;
+    for (const Token &t : e)
+        joined += t.text;
+    return stem + ":" + joined;
+}
+
+/** First "..." literal whose offset falls inside (open, close). */
+const StringLit *
+literalInRange(const std::vector<StringLit> &lits, std::size_t open,
+               std::size_t close)
+{
+    for (const StringLit &lit : lits)
+        if (lit.offset > open && lit.offset < close)
+            return &lit;
+    return nullptr;
+}
+
+/** Offset of the ')' matching the '(' at `open` in stripped text. */
+std::size_t
+matchParenForward(const std::string &s, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < s.size(); ++i) {
+        if (s[i] == '(')
+            ++depth;
+        else if (s[i] == ')' && --depth == 0)
+            return i;
+    }
+    return std::string::npos;
+}
+
+/** A plausible failpoint name per the DESIGN.md §9 grammar. */
+bool
+looksLikeFailpointName(const std::string &name)
+{
+    static const std::regex grammar(
+        R"([a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+)");
+    if (!std::regex_match(name, grammar))
+        return false;
+    const std::size_t dot = name.rfind('.');
+    const std::string last = name.substr(dot + 1);
+    static const std::set<std::string> kExtensions = {
+        "bin", "json", "jsonl", "sock", "log",
+        "txt", "tmp",  "sh",    "db",   "cpp",
+        "cc",  "h",    "sock2", "pid",
+    };
+    return kExtensions.count(last) == 0;
+}
+
+/**
+ * Follow a non-literal failpoint-name identifier through member-init
+ * and assignment hops until a literal or a dead end.
+ */
+bool
+tracePointIdent(std::string ident, const std::string &haystack, int depth)
+{
+    while (depth-- > 0) {
+        const std::regex direct(ident + R"(\s*=\s*")");
+        if (std::regex_search(haystack, direct))
+            return true;
+        const std::regex ctor_lit(ident + R"(\s*\(\s*")");
+        if (std::regex_search(haystack, ctor_lit))
+            return true;
+        const std::regex hop(ident + R"(\s*[(=]\s*([A-Za-z_]\w*)\s*[);,])");
+        std::smatch m;
+        if (!std::regex_search(haystack, m, hop))
+            return false;
+        if (m[1].str() == ident)
+            return false;
+        ident = m[1].str();
+    }
+    return false;
+}
+
+const std::regex &
+armedSpecRegex()
+{
+    static const std::regex spec(
+        R"(([A-Za-z_][A-Za-z0-9_.]*)=(return-error|enospc|eintr|short-write|delay-ms|abort))");
+    return spec;
+}
+
+} // namespace
+
+std::vector<FailpointRef>
+armedInShell(const std::string &content)
+{
+    std::vector<FailpointRef> armed;
+    auto begin = std::sregex_iterator(content.begin(), content.end(),
+                                      armedSpecRegex());
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        FailpointRef ref;
+        ref.name = (*it)[1].str();
+        ref.line = lineOfOffset(
+            content, static_cast<std::size_t>(it->position()));
+        armed.push_back(std::move(ref));
+    }
+    return armed;
+}
+
+FileIndex
+indexFile(const std::string &path, const std::string &content,
+          const std::string &companion)
+{
+    FileIndex out;
+    out.path = path;
+    out.contentHash = fnv1a(content);
+    out.companionHash = fnv1a(companion);
+    out.suppressions = parseSuppressions(splitLines(content));
+    out.fileFindings = lintFileWithCompanion(path, content, companion);
+
+    const std::string stripped =
+        blankPreprocessor(stripCommentsAndStrings(content));
+    const std::vector<StringLit> lits = stringLiterals(content);
+    const std::vector<Token> toks = tokenize(stripped);
+    const LineTable lines(stripped);
+    const std::string stem = fileStem(path);
+
+    // ---- Scope machine: functions, locks, calls, type bindings ----
+    std::vector<Frame> frames;
+    std::vector<int> funcStack;
+    std::vector<std::vector<std::string>> heldStack;
+    std::vector<std::vector<std::string>> paramStack;
+
+    auto currentClass = [&]() -> std::string {
+        for (std::size_t i = frames.size(); i-- > 0;) {
+            if (frames[i].kind == Frame::Kind::Class)
+                return frames[i].name;
+            if (frames[i].kind == Frame::Kind::Namespace)
+                break;
+        }
+        return "";
+    };
+
+    const std::size_t n = toks.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Token &t = toks[i];
+        if (t.is("{")) {
+            Classified c = classifyBrace(toks, i);
+            Frame f;
+            f.kind = c.kind;
+            f.name = c.name;
+            f.lockMark = funcStack.empty() ? 0 : heldStack.back().size();
+            if (c.kind == Frame::Kind::Function
+                || c.kind == Frame::Kind::Lambda) {
+                FunctionInfo fn;
+                if (c.kind == Frame::Kind::Lambda) {
+                    const std::string outer = funcStack.empty()
+                        ? stem
+                        : out.functions[static_cast<std::size_t>(
+                                            funcStack.back())]
+                              .name;
+                    fn.name = outer + "::<lambda:"
+                        + std::to_string(lines.lineOf(t.offset)) + ">";
+                    // A lambda capturing `this` still names members
+                    // bare; inherit the class for lock identity only.
+                    fn.klass = funcStack.empty()
+                        ? ""
+                        : out.functions[static_cast<std::size_t>(
+                                            funcStack.back())]
+                              .klass;
+                } else if (c.chain.size() > 1) {
+                    fn.klass = c.chain[c.chain.size() - 2];
+                    std::string q;
+                    for (const std::string &part : c.chain)
+                        q += (q.empty() ? "" : "::") + part;
+                    fn.name = q;
+                } else {
+                    const std::string klass = currentClass();
+                    fn.klass = klass;
+                    fn.name = klass.empty()
+                        ? c.chain[0]
+                        : klass + "::" + c.chain[0];
+                }
+                fn.returnType = c.returnType;
+                fn.line = lines.lineOf(
+                    c.nameOffset != 0 ? c.nameOffset : t.offset);
+                if (!c.params.empty())
+                    out.functionParams[fn.name] = c.params;
+                out.functions.push_back(std::move(fn));
+                f.funcIndex =
+                    static_cast<int>(out.functions.size()) - 1;
+                funcStack.push_back(f.funcIndex);
+                heldStack.emplace_back(); // locks never cross in
+                paramStack.push_back(c.params);
+            }
+            frames.push_back(std::move(f));
+            continue;
+        }
+        if (t.is("}")) {
+            if (frames.empty())
+                continue;
+            Frame f = frames.back();
+            frames.pop_back();
+            if (f.kind == Frame::Kind::Function
+                || f.kind == Frame::Kind::Lambda) {
+                out.functions[static_cast<std::size_t>(f.funcIndex)]
+                    .endLine = lines.lineOf(t.offset);
+                funcStack.pop_back();
+                heldStack.pop_back();
+                paramStack.pop_back();
+            } else if (!funcStack.empty()) {
+                if (heldStack.back().size() > f.lockMark)
+                    heldStack.back().resize(f.lockMark);
+            }
+            continue;
+        }
+        if (!t.isIdent())
+            continue;
+        // MutexLock declaration: `MutexLock name(expr);`
+        if (t.is("MutexLock") && i + 2 < n && toks[i + 1].isIdent()
+            && toks[i + 2].is("(")) {
+            std::size_t close = i + 2;
+            int depth = 0;
+            while (close < n) {
+                if (toks[close].is("("))
+                    ++depth;
+                else if (toks[close].is(")") && --depth == 0)
+                    break;
+                ++close;
+            }
+            if (close >= n)
+                continue;
+            std::vector<Token> expr(
+                toks.begin() + static_cast<long>(i) + 3,
+                toks.begin() + static_cast<long>(close));
+            if (!funcStack.empty()) {
+                FunctionInfo &fn = out.functions[static_cast<std::size_t>(
+                    funcStack.back())];
+                const std::string id = lockIdFor(
+                    expr, fn.klass, out.typeBindings, stem);
+                const int line = lines.lineOf(t.offset);
+                fn.locks.push_back({id, line});
+                for (const std::string &held : heldStack.back())
+                    fn.nested.push_back({held, id, line});
+                heldStack.back().push_back(id);
+            }
+            i = close;
+            continue;
+        }
+        // Type binding: `CamelType [&*]* name <delim>`
+        if (isCamelType(t.text) && !isKeyword(t.text)) {
+            std::size_t j = i + 1;
+            while (j < n
+                   && (toks[j].is("&") || toks[j].is("*")
+                       || toks[j].is("const")))
+                ++j;
+            if (j < n && j > i + 0 && toks[j].isIdent()
+                && !isKeyword(toks[j].text) && j + 1 < n) {
+                const Token &delim = toks[j + 1];
+                if (delim.is(";") || delim.is("=") || delim.is("(")
+                    || delim.is("{") || delim.is(",") || delim.is(")"))
+                    out.typeBindings[toks[j].text] = t.text;
+            }
+        }
+        // Call site: ident '(' inside a function body.
+        if (i + 1 < n && toks[i + 1].is("(") && !isKeyword(t.text)
+            && !funcStack.empty()) {
+            CallSite cs;
+            cs.callee = t.text;
+            cs.line = lines.lineOf(t.offset);
+            cs.heldLocks = heldStack.back();
+            if (i >= 2) {
+                const Token &prev = toks[i - 1];
+                if (prev.is("::") && toks[i - 2].isIdent())
+                    cs.hint = toks[i - 2].text;
+                else if ((prev.is(".") || prev.is("->"))
+                         && toks[i - 2].isIdent())
+                    cs.hint = toks[i - 2].text;
+                else if ((prev.is(".") || prev.is("->"))
+                         && toks[i - 2].is(")")) {
+                    const std::size_t open =
+                        matchBackward(toks, i - 2, "(", ")");
+                    if (open != std::string::npos && open > 0
+                        && toks[open - 1].isIdent())
+                        cs.hint = toks[open - 1].text + "()";
+                }
+            }
+            out.functions[static_cast<std::size_t>(funcStack.back())]
+                .calls.push_back(std::move(cs));
+        }
+    }
+
+    // ---- Taint sources and serialization sinks ----
+    const bool inSrc = startsWith(path, "src/");
+    auto ownerOf = [&](int line) -> FunctionInfo * {
+        FunctionInfo *best = nullptr;
+        int bestSpan = 0;
+        for (FunctionInfo &fn : out.functions) {
+            if (line < fn.line || line > fn.endLine || fn.endLine == 0)
+                continue;
+            const int span = fn.endLine - fn.line;
+            if (best == nullptr || span < bestSpan) {
+                best = &fn;
+                bestSpan = span;
+            }
+        }
+        return best;
+    };
+    if (inSrc) {
+        static const std::regex wallClock(
+            R"(\b(system_clock|steady_clock|high_resolution_clock)\s*::\s*now\s*\(|\bgettimeofday\s*\(|\bclock_gettime\s*\(|\btime\s*\(\s*(nullptr|NULL)\s*\))");
+        static const std::regex ptrToInt(
+            R"(reinterpret_cast\s*<\s*(std\s*::\s*)?(u?int(8|16|32|64)?_t|uintptr_t|intptr_t|size_t)\s*>)");
+        const std::vector<std::string> slines = splitLines(stripped);
+        for (std::size_t li = 0; li < slines.size(); ++li) {
+            const int line = static_cast<int>(li) + 1;
+            std::smatch m;
+            if (std::regex_search(slines[li], m, wallClock)) {
+                if (FunctionInfo *fn = ownerOf(line))
+                    fn->taintSources.push_back(
+                        {"wall-clock", line, m[0].str()});
+            }
+            if (std::regex_search(slines[li], m, ptrToInt)) {
+                if (FunctionInfo *fn = ownerOf(line))
+                    fn->taintSources.push_back(
+                        {"pointer-to-int", line, m[0].str()});
+            }
+        }
+        // Unordered iteration doubles as a taint source -- unless a
+        // suppression already argues order cannot reach output bytes.
+        std::set<std::string> unames =
+            unorderedDeclNames(stripCommentsAndStrings(content));
+        if (!companion.empty()) {
+            const std::set<std::string> cn =
+                unorderedDeclNames(stripCommentsAndStrings(companion));
+            unames.insert(cn.begin(), cn.end());
+        }
+        if (!unames.empty()) {
+            for (const RangeFor &rf :
+                 findRangeFors(stripCommentsAndStrings(content))) {
+                const int line = lineOfOffset(content, rf.offset);
+                const auto sup = out.suppressions.find(line);
+                if (sup != out.suppressions.end()
+                    && (sup->second.count("unordered-iteration") > 0
+                        || sup->second.count("determinism-taint") > 0))
+                    continue;
+                for (const std::string &name : unames) {
+                    if (!containsWord(rf.rangeExpr, name))
+                        continue;
+                    if (FunctionInfo *fn = ownerOf(line))
+                        fn->taintSources.push_back(
+                            {"unordered-iter", line,
+                             "range-for over '" + name + "'"});
+                    break;
+                }
+            }
+        }
+        for (FunctionInfo &fn : out.functions) {
+            for (const CallSite &cs : fn.calls) {
+                if (cs.callee == "dump")
+                    fn.sinks.push_back({"dump", cs.line});
+                else if (cs.callee == "writeFrame")
+                    fn.sinks.push_back({"writeFrame", cs.line});
+                else if (cs.callee == "append"
+                         && startsWith(path, "src/store/"))
+                    fn.sinks.push_back({"journal-append", cs.line});
+            }
+        }
+    }
+
+    // ---- Failpoint references ----
+    // The framework's own files declare and implement the checked*
+    // wrappers; the scan wants their *call sites*, so the pair is
+    // excluded wholesale (its parameter names are not point names).
+    const bool registers = (inSrc || startsWith(path, "tools/"))
+        && !startsWith(path, "src/common/failpoint.");
+    const bool arms = startsWith(path, "tests/");
+    if (registers) {
+        static const std::regex direct(
+            R"(\b(evaluate|checkedWrite|checkedRead|checkedSend|checkedFsync)\s*\()");
+        auto begin = std::sregex_iterator(stripped.begin(),
+                                          stripped.end(), direct);
+        for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            const std::size_t open = static_cast<std::size_t>(
+                it->position() + it->length() - 1);
+            const std::size_t close = matchParenForward(stripped, open);
+            if (close == std::string::npos)
+                continue;
+            // The point argument comes first; only look before the
+            // first top-level ','.
+            std::size_t firstComma = close;
+            {
+                int depth = 0;
+                for (std::size_t p = open; p < close; ++p) {
+                    if (stripped[p] == '(')
+                        ++depth;
+                    else if (stripped[p] == ')')
+                        --depth;
+                    else if (stripped[p] == ',' && depth == 1) {
+                        firstComma = p;
+                        break;
+                    }
+                }
+            }
+            const int line = lineOfOffset(stripped, open);
+            if (const StringLit *lit =
+                    literalInRange(lits, open, firstComma)) {
+                out.failpointsRegistered.push_back({lit->text, line});
+                continue;
+            }
+            // Non-literal point. A forwarder parameter is fine (the
+            // call-site scan sees the caller's literal); a member or
+            // local must trace to a literal, else fault injection
+            // cannot target this path.
+            std::string arg = stripped.substr(open + 1,
+                                              firstComma - open - 1);
+            std::string ident;
+            for (const char ch : arg) {
+                if (std::isalnum(static_cast<unsigned char>(ch))
+                    || ch == '_')
+                    ident += ch;
+                else if (!ident.empty())
+                    break;
+            }
+            if (ident.empty())
+                continue;
+            bool isParam = false;
+            for (const FunctionInfo &fn : out.functions) {
+                if (line < fn.line || line > fn.endLine
+                    || fn.endLine == 0)
+                    continue;
+                const auto pit = out.functionParams.find(fn.name);
+                if (pit != out.functionParams.end()
+                    && std::find(pit->second.begin(), pit->second.end(),
+                                 ident)
+                        != pit->second.end()) {
+                    isParam = true;
+                    break;
+                }
+            }
+            if (isParam)
+                continue;
+            if (tracePointIdent(ident, content + "\n" + companion, 3))
+                continue;
+            out.unresolvedCheckedIo.push_back({ident, line});
+        }
+        // Forwarders that take a point name and pass it down.
+        static const std::regex forwarders(
+            R"(\b(writeFully|openAppend)\s*\()");
+        auto fb = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                       forwarders);
+        for (auto it = fb; it != std::sregex_iterator(); ++it) {
+            const std::size_t open = static_cast<std::size_t>(
+                it->position() + it->length() - 1);
+            const std::size_t close = matchParenForward(stripped, open);
+            if (close == std::string::npos)
+                continue;
+            const StringLit *lit = literalInRange(lits, open, close);
+            if (lit != nullptr && looksLikeFailpointName(lit->text))
+                out.failpointsRegistered.push_back(
+                    {lit->text, lit->line});
+        }
+        // Default arguments and constants that name a point:
+        //   append_point = "journal.append"
+        static const std::regex pointAssign(
+            R"((\w*[Pp]oint\w*)\s*=\s*"([^"]+)\")");
+        auto pb = std::sregex_iterator(content.begin(), content.end(),
+                                       pointAssign);
+        for (auto it = pb; it != std::sregex_iterator(); ++it) {
+            const std::string name = (*it)[2].str();
+            if (!looksLikeFailpointName(name))
+                continue;
+            out.failpointsRegistered.push_back(
+                {name, lineOfOffset(
+                           content,
+                           static_cast<std::size_t>(it->position()))});
+        }
+    }
+    if (arms) {
+        static const std::regex armCall(R"(\barm\s*\()");
+        auto ab = std::sregex_iterator(stripped.begin(), stripped.end(),
+                                       armCall);
+        for (auto it = ab; it != std::sregex_iterator(); ++it) {
+            const std::size_t open = static_cast<std::size_t>(
+                it->position() + it->length() - 1);
+            const std::size_t close = matchParenForward(stripped, open);
+            if (close == std::string::npos)
+                continue;
+            if (const StringLit *lit = literalInRange(lits, open, close))
+                out.failpointsArmed.push_back({lit->text, lit->line});
+        }
+        // Any spec-shaped "name=action" inside any literal arms `name`
+        // (armFromSpec strings, setenv PAQOC_FAILPOINTS values).
+        for (const StringLit &lit : lits) {
+            auto sb = std::sregex_iterator(lit.text.begin(),
+                                           lit.text.end(),
+                                           armedSpecRegex());
+            for (auto it = sb; it != std::sregex_iterator(); ++it)
+                out.failpointsArmed.push_back(
+                    {(*it)[1].str(), lit.line});
+        }
+    }
+
+    return out;
+}
+
+// ---- Cache serialization ----
+
+namespace {
+
+std::string
+hashToHex(std::uint64_t h)
+{
+    std::ostringstream os;
+    os << std::hex << h;
+    return os.str();
+}
+
+std::uint64_t
+hexToHash(const std::string &s)
+{
+    std::uint64_t h = 0;
+    std::istringstream is(s);
+    is >> std::hex >> h;
+    return h;
+}
+
+} // namespace
+
+Json
+FileIndex::toJson() const
+{
+    Json j = Json::object();
+    j.set("path", Json(path));
+    j.set("content_hash", Json(hashToHex(contentHash)));
+    j.set("companion_hash", Json(hashToHex(companionHash)));
+    Json fns = Json::array();
+    for (const FunctionInfo &fn : functions) {
+        Json f = Json::object();
+        f.set("name", Json(fn.name));
+        f.set("class", Json(fn.klass));
+        f.set("return_type", Json(fn.returnType));
+        f.set("line", Json(fn.line));
+        f.set("end_line", Json(fn.endLine));
+        Json calls = Json::array();
+        for (const CallSite &cs : fn.calls) {
+            Json c = Json::object();
+            c.set("callee", Json(cs.callee));
+            c.set("hint", Json(cs.hint));
+            c.set("line", Json(cs.line));
+            Json held = Json::array();
+            for (const std::string &h : cs.heldLocks)
+                held.push(Json(h));
+            c.set("held", std::move(held));
+            calls.push(std::move(c));
+        }
+        f.set("calls", std::move(calls));
+        Json locks = Json::array();
+        for (const LockSite &ls : fn.locks) {
+            Json l = Json::object();
+            l.set("id", Json(ls.lockId));
+            l.set("line", Json(ls.line));
+            locks.push(std::move(l));
+        }
+        f.set("locks", std::move(locks));
+        Json nested = Json::array();
+        for (const NestedLock &nl : fn.nested) {
+            Json e = Json::object();
+            e.set("from", Json(nl.from));
+            e.set("to", Json(nl.to));
+            e.set("line", Json(nl.line));
+            nested.push(std::move(e));
+        }
+        f.set("nested", std::move(nested));
+        Json taints = Json::array();
+        for (const TaintSource &ts : fn.taintSources) {
+            Json s = Json::object();
+            s.set("kind", Json(ts.kind));
+            s.set("line", Json(ts.line));
+            s.set("detail", Json(ts.detail));
+            taints.push(std::move(s));
+        }
+        f.set("taint_sources", std::move(taints));
+        Json sinks_j = Json::array();
+        for (const SinkSite &ss : fn.sinks) {
+            Json s = Json::object();
+            s.set("kind", Json(ss.kind));
+            s.set("line", Json(ss.line));
+            sinks_j.push(std::move(s));
+        }
+        f.set("sinks", std::move(sinks_j));
+        fns.push(std::move(f));
+    }
+    j.set("functions", std::move(fns));
+    Json bindings = Json::object();
+    for (const auto &[name, type] : typeBindings)
+        bindings.set(name, Json(type));
+    j.set("type_bindings", std::move(bindings));
+    Json params = Json::object();
+    for (const auto &[fn, names] : functionParams) {
+        Json arr = Json::array();
+        for (const std::string &p : names)
+            arr.push(Json(p));
+        params.set(fn, std::move(arr));
+    }
+    j.set("function_params", std::move(params));
+    auto refList = [](const std::vector<FailpointRef> &refs) {
+        Json arr = Json::array();
+        for (const FailpointRef &r : refs) {
+            Json e = Json::object();
+            e.set("name", Json(r.name));
+            e.set("line", Json(r.line));
+            arr.push(std::move(e));
+        }
+        return arr;
+    };
+    j.set("failpoints_registered", refList(failpointsRegistered));
+    j.set("failpoints_armed", refList(failpointsArmed));
+    j.set("unresolved_checked_io", refList(unresolvedCheckedIo));
+    Json findings = Json::array();
+    for (const Finding &f : fileFindings) {
+        Json e = Json::object();
+        e.set("rule", Json(f.rule));
+        e.set("file", Json(f.file));
+        e.set("line", Json(f.line));
+        e.set("message", Json(f.message));
+        findings.push(std::move(e));
+    }
+    j.set("file_findings", std::move(findings));
+    Json sup = Json::object();
+    for (const auto &[line, rules] : suppressions) {
+        Json arr = Json::array();
+        for (const std::string &r : rules)
+            arr.push(Json(r));
+        sup.set(std::to_string(line), std::move(arr));
+    }
+    j.set("suppressions", std::move(sup));
+    return j;
+}
+
+FileIndex
+FileIndex::fromJson(const Json &j)
+{
+    FileIndex out;
+    out.path = j.at("path").asString();
+    out.contentHash = hexToHash(j.at("content_hash").asString());
+    out.companionHash = hexToHash(j.at("companion_hash").asString());
+    for (const Json &f : j.at("functions").items()) {
+        FunctionInfo fn;
+        fn.name = f.at("name").asString();
+        fn.klass = f.at("class").asString();
+        fn.returnType = f.at("return_type").asString();
+        fn.line = f.at("line").asInt();
+        fn.endLine = f.at("end_line").asInt();
+        for (const Json &c : f.at("calls").items()) {
+            CallSite cs;
+            cs.callee = c.at("callee").asString();
+            cs.hint = c.at("hint").asString();
+            cs.line = c.at("line").asInt();
+            for (const Json &h : c.at("held").items())
+                cs.heldLocks.push_back(h.asString());
+            fn.calls.push_back(std::move(cs));
+        }
+        for (const Json &l : f.at("locks").items())
+            fn.locks.push_back(
+                {l.at("id").asString(), l.at("line").asInt()});
+        for (const Json &e : f.at("nested").items())
+            fn.nested.push_back({e.at("from").asString(),
+                                 e.at("to").asString(),
+                                 e.at("line").asInt()});
+        for (const Json &s : f.at("taint_sources").items())
+            fn.taintSources.push_back({s.at("kind").asString(),
+                                       s.at("line").asInt(),
+                                       s.at("detail").asString()});
+        for (const Json &s : f.at("sinks").items())
+            fn.sinks.push_back(
+                {s.at("kind").asString(), s.at("line").asInt()});
+        out.functions.push_back(std::move(fn));
+    }
+    for (const auto &[name, type] : j.at("type_bindings").members())
+        out.typeBindings[name] = type.asString();
+    for (const auto &[fn, arr] : j.at("function_params").members()) {
+        std::vector<std::string> names;
+        for (const Json &p : arr.items())
+            names.push_back(p.asString());
+        out.functionParams[fn] = std::move(names);
+    }
+    auto refList = [&](const char *key) {
+        std::vector<FailpointRef> refs;
+        for (const Json &e : j.at(key).items())
+            refs.push_back(
+                {e.at("name").asString(), e.at("line").asInt()});
+        return refs;
+    };
+    out.failpointsRegistered = refList("failpoints_registered");
+    out.failpointsArmed = refList("failpoints_armed");
+    out.unresolvedCheckedIo = refList("unresolved_checked_io");
+    for (const Json &e : j.at("file_findings").items())
+        out.fileFindings.push_back(
+            {e.at("rule").asString(), e.at("file").asString(),
+             e.at("line").asInt(), e.at("message").asString()});
+    for (const auto &[line, arr] : j.at("suppressions").members()) {
+        std::set<std::string> rules;
+        for (const Json &r : arr.items())
+            rules.insert(r.asString());
+        out.suppressions[std::stoi(line)] = std::move(rules);
+    }
+    return out;
+}
+
+} // namespace lint
+} // namespace paqoc

@@ -1,0 +1,145 @@
+#ifndef PAQOC_LINT_INDEX_H_
+#define PAQOC_LINT_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "lint/lint.h"
+
+namespace paqoc {
+namespace lint {
+
+/**
+ * Per-file symbol/call/lock-site index (DESIGN.md §13). Built once
+ * per file from the shared token stream (lex.h) -- no libclang --
+ * and cached by content hash, it is the substrate every whole-program
+ * pass links through:
+ *
+ *  - functions with qualified names, body extents, and per-call-site
+ *    "locks held here" snapshots feed the lock-order pass;
+ *  - failpoint registrations (src/, tools/) and armings (tests/)
+ *    feed the failpoint-coverage pass;
+ *  - taint sources and serialization sinks, attributed to their
+ *    enclosing function, feed the determinism-taint pass.
+ *
+ * The extractor is lexical, so it is deliberately conservative:
+ * lambda bodies become separate anonymous functions (locks held at
+ * the definition site are NOT considered held inside the lambda --
+ * it may run on another thread entirely), and constructs the scope
+ * machine cannot classify degrade to inert block scopes rather than
+ * wrong attributions.
+ */
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    std::string callee; ///< base name (`submit` in `pool().submit`)
+    /// resolution hint: `X` for `X::f(...)`, `obj` for `obj.f(...)` /
+    /// `obj->f(...)`, `g()` for `g().f(...)`, empty for a bare call
+    std::string hint;
+    int line = 0;
+    /// lock ids held lexically at this call (acquisition order)
+    std::vector<std::string> heldLocks;
+};
+
+/** One MutexLock acquisition. */
+struct LockSite
+{
+    std::string lockId; ///< normalized (see lockIdFor in index.cpp)
+    int line = 0;
+};
+
+/** A→B: B acquired while A is held, in one function body. */
+struct NestedLock
+{
+    std::string from;
+    std::string to;
+    int line = 0; ///< acquisition line of `to`
+};
+
+/** A taint source (determinism pass). */
+struct TaintSource
+{
+    std::string kind; ///< wall-clock | pointer-to-int | unordered-iter
+    int line = 0;
+    std::string detail;
+};
+
+/** A serialization sink call (determinism pass). */
+struct SinkSite
+{
+    std::string kind; ///< dump | writeFrame | journal-append
+    int line = 0;
+};
+
+/** A failpoint name referenced in source (registration or arming). */
+struct FailpointRef
+{
+    std::string name;
+    int line = 0;
+};
+
+struct FunctionInfo
+{
+    std::string name;  ///< qualified: `Class::method`, `free`, or
+                       ///< `outer::<lambda:LINE>`
+    std::string klass; ///< enclosing class ("" for free functions)
+    std::string returnType; ///< last class-like token before the name
+    int line = 0;           ///< definition start (1-based)
+    int endLine = 0;        ///< body close (1-based)
+    std::vector<CallSite> calls;
+    std::vector<LockSite> locks;
+    std::vector<NestedLock> nested;
+    std::vector<TaintSource> taintSources;
+    std::vector<SinkSite> sinks;
+};
+
+struct FileIndex
+{
+    std::string path;
+    std::uint64_t contentHash = 0;
+    std::uint64_t companionHash = 0; ///< companion header (for .cpp)
+    std::vector<FunctionInfo> functions;
+    /// `Type name` declarations (members, locals, params) with a
+    /// class-like type: resolution hints for obj.method() calls
+    std::map<std::string, std::string> typeBindings;
+    /// parameter names per qualified function name (forwarder
+    /// detection in the checked-io trace)
+    std::map<std::string, std::vector<std::string>> functionParams;
+    std::vector<FailpointRef> failpointsRegistered;
+    std::vector<FailpointRef> failpointsArmed;
+    /// checked* call sites whose point argument is not a literal
+    std::vector<FailpointRef> unresolvedCheckedIo;
+    std::vector<Finding> fileFindings; ///< per-file rule findings
+    std::map<int, std::set<std::string>> suppressions;
+
+    Json toJson() const;
+    static FileIndex fromJson(const Json &j);
+};
+
+/**
+ * Build the index for one file: scope machine over the token stream,
+ * failpoint reference scans over the raw text, taint/sink
+ * attribution, plus the per-file lint rules (lintFileWithCompanion).
+ * `companion` is the companion header's content for a .cpp ("" when
+ * absent); it feeds the unordered-iteration rule and the checked-io
+ * literal trace.
+ */
+FileIndex indexFile(const std::string &path, const std::string &content,
+                    const std::string &companion);
+
+/**
+ * Arming references in a shell script (chaos/e2e drivers): any
+ * `name=action` spec whose action is one of the failpoint grammar's
+ * verbs counts as arming `name`.
+ */
+std::vector<FailpointRef> armedInShell(const std::string &content);
+
+} // namespace lint
+} // namespace paqoc
+
+#endif // PAQOC_LINT_INDEX_H_

@@ -1,0 +1,377 @@
+#include "lint/lex.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <sstream>
+
+namespace paqoc {
+namespace lint {
+
+std::string
+stripCommentsAndStrings(const std::string &src)
+{
+    std::string out = src;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    auto blank = [&](std::size_t from, std::size_t to) {
+        for (std::size_t k = from; k < to && k < n; ++k)
+            if (out[k] != '\n')
+                out[k] = ' ';
+    };
+    while (i < n) {
+        const char c = src[i];
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t j = i;
+            while (j < n && src[j] != '\n')
+                ++j;
+            blank(i, j);
+            i = j;
+        } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t j = i + 2;
+            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/'))
+                ++j;
+            j = std::min(n, j + 2);
+            blank(i, j);
+            i = j;
+        } else if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            // Raw string R"delim( ... )delim"
+            std::size_t p = i + 2;
+            std::string delim;
+            while (p < n && src[p] != '(' && delim.size() < 16)
+                delim += src[p++];
+            const std::string closer = ")" + delim + "\"";
+            const std::size_t end = src.find(closer, p);
+            const std::size_t j =
+                end == std::string::npos ? n : end + closer.size();
+            blank(i, j);
+            i = j;
+        } else if (c == '"' || c == '\'') {
+            std::size_t j = i + 1;
+            while (j < n && src[j] != c) {
+                if (src[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            j = std::min(n, j + 1);
+            blank(i, j);
+            i = j;
+        } else {
+            ++i;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string cur;
+    for (const char c : text) {
+        if (c == '\n') {
+            lines.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        lines.push_back(cur);
+    return lines;
+}
+
+int
+lineOfOffset(const std::string &text, std::size_t offset)
+{
+    int line = 1;
+    for (std::size_t i = 0; i < offset && i < text.size(); ++i)
+        if (text[i] == '\n')
+            ++line;
+    return line;
+}
+
+bool
+containsWord(const std::string &line, const std::string &word)
+{
+    std::size_t pos = 0;
+    auto is_word = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    while ((pos = line.find(word, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !is_word(line[pos - 1]);
+        const std::size_t end = pos + word.size();
+        const bool right_ok = end >= line.size() || !is_word(line[end]);
+        if (left_ok && right_ok)
+            return true;
+        pos = end;
+    }
+    return false;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size()
+        && s.compare(s.size() - suffix.size(), suffix.size(), suffix)
+        == 0;
+}
+
+std::map<int, std::set<std::string>>
+parseSuppressions(const std::vector<std::string> &raw_lines)
+{
+    std::map<int, std::set<std::string>> allowed;
+    const std::regex pattern(
+        R"(paqoc-lint:\s*allow\(([A-Za-z0-9_,\- ]+)\))");
+    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+        std::smatch m;
+        if (!std::regex_search(raw_lines[i], m, pattern))
+            continue;
+        std::stringstream rules(m[1].str());
+        std::string rule;
+        while (std::getline(rules, rule, ',')) {
+            const std::size_t a = rule.find_first_not_of(" \t");
+            const std::size_t b = rule.find_last_not_of(" \t");
+            if (a == std::string::npos)
+                continue;
+            const std::string name = rule.substr(a, b - a + 1);
+            const int line = static_cast<int>(i) + 1;
+            allowed[line].insert(name);
+            allowed[line + 1].insert(name);
+        }
+    }
+    return allowed;
+}
+
+std::vector<StringLit>
+stringLiterals(const std::string &raw)
+{
+    std::vector<StringLit> lits;
+    std::size_t i = 0;
+    const std::size_t n = raw.size();
+    int line = 1;
+    while (i < n) {
+        const char c = raw[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+        } else if (c == '/' && i + 1 < n && raw[i + 1] == '/') {
+            while (i < n && raw[i] != '\n')
+                ++i;
+        } else if (c == '/' && i + 1 < n && raw[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(raw[i] == '*' && raw[i + 1] == '/')) {
+                if (raw[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = std::min(n, i + 2);
+        } else if (c == 'R' && i + 1 < n && raw[i + 1] == '"') {
+            std::size_t p = i + 2;
+            std::string delim;
+            while (p < n && raw[p] != '(' && delim.size() < 16)
+                delim += raw[p++];
+            const std::string closer = ")" + delim + "\"";
+            const std::size_t end = raw.find(closer, p);
+            const std::size_t j =
+                end == std::string::npos ? n : end + closer.size();
+            for (std::size_t k = i; k < j; ++k)
+                if (raw[k] == '\n')
+                    ++line;
+            i = j;
+        } else if (c == '"') {
+            StringLit lit;
+            lit.offset = i;
+            lit.line = line;
+            std::size_t j = i + 1;
+            while (j < n && raw[j] != '"') {
+                if (raw[j] == '\\' && j + 1 < n) {
+                    lit.text += raw[j + 1];
+                    j += 2;
+                } else {
+                    if (raw[j] == '\n')
+                        ++line;
+                    lit.text += raw[j];
+                    ++j;
+                }
+            }
+            i = std::min(n, j + 1);
+            lits.push_back(std::move(lit));
+        } else if (c == '\'') {
+            std::size_t j = i + 1;
+            while (j < n && raw[j] != '\'') {
+                if (raw[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            i = std::min(n, j + 1);
+        } else {
+            ++i;
+        }
+    }
+    return lits;
+}
+
+std::vector<Token>
+tokenize(const std::string &stripped)
+{
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    const std::size_t n = stripped.size();
+    auto is_ident_start = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+    };
+    auto is_ident = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    while (i < n) {
+        const char c = stripped[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+        } else if (is_ident_start(c)) {
+            Token t;
+            t.kind = Token::Kind::Ident;
+            t.offset = i;
+            while (i < n && is_ident(stripped[i]))
+                t.text += stripped[i++];
+            tokens.push_back(std::move(t));
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            // Numbers (incl. hex, suffixes) carry no signal; skip.
+            while (i < n
+                   && (std::isalnum(static_cast<unsigned char>(
+                           stripped[i]))
+                       || stripped[i] == '.' || stripped[i] == '\''))
+                ++i;
+        } else {
+            Token t;
+            t.offset = i;
+            if (c == ':' && i + 1 < n && stripped[i + 1] == ':') {
+                t.text = "::";
+                i += 2;
+            } else if (c == '-' && i + 1 < n && stripped[i + 1] == '>') {
+                t.text = "->";
+                i += 2;
+            } else {
+                t.text = std::string(1, c);
+                ++i;
+            }
+            tokens.push_back(std::move(t));
+        }
+    }
+    return tokens;
+}
+
+std::uint64_t
+fnv1a(const std::string &data)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char c : data) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+std::set<std::string>
+unorderedDeclNames(const std::string &stripped)
+{
+    std::set<std::string> names;
+    static const std::regex decl(R"(unordered_(?:map|set)\s*<)");
+    auto begin =
+        std::sregex_iterator(stripped.begin(), stripped.end(), decl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        std::size_t pos =
+            static_cast<std::size_t>(it->position() + it->length());
+        int depth = 1;
+        while (pos < stripped.size() && depth > 0) {
+            if (stripped[pos] == '<')
+                ++depth;
+            else if (stripped[pos] == '>')
+                --depth;
+            ++pos;
+        }
+        // The declared name is the first identifier after the closing
+        // '>' (skipping whitespace, '&', '*').
+        while (pos < stripped.size()
+               && (std::isspace(
+                       static_cast<unsigned char>(stripped[pos]))
+                   || stripped[pos] == '&' || stripped[pos] == '*'))
+            ++pos;
+        std::string name;
+        while (pos < stripped.size()
+               && (std::isalnum(
+                       static_cast<unsigned char>(stripped[pos]))
+                   || stripped[pos] == '_'))
+            name += stripped[pos++];
+        if (!name.empty())
+            names.insert(name);
+    }
+    return names;
+}
+
+std::vector<RangeFor>
+findRangeFors(const std::string &stripped)
+{
+    std::vector<RangeFor> found;
+    std::size_t pos = 0;
+    while ((pos = stripped.find("for", pos)) != std::string::npos) {
+        const std::size_t at = pos;
+        pos += 3;
+        const bool word =
+            (at == 0
+             || !(std::isalnum(
+                      static_cast<unsigned char>(stripped[at - 1]))
+                  || stripped[at - 1] == '_'))
+            && (pos >= stripped.size()
+                || !(std::isalnum(
+                         static_cast<unsigned char>(stripped[pos]))
+                     || stripped[pos] == '_'));
+        if (!word)
+            continue;
+        std::size_t p = pos;
+        while (p < stripped.size()
+               && std::isspace(static_cast<unsigned char>(stripped[p])))
+            ++p;
+        if (p >= stripped.size() || stripped[p] != '(')
+            continue;
+        // Find the matching ')' and a top-level ':' (not '::').
+        int depth = 0;
+        std::size_t colon = std::string::npos;
+        std::size_t close = std::string::npos;
+        for (std::size_t q = p; q < stripped.size(); ++q) {
+            const char c = stripped[q];
+            if (c == '(' || c == '[' || c == '{') {
+                ++depth;
+            } else if (c == ')' || c == ']' || c == '}') {
+                --depth;
+                if (depth == 0) {
+                    close = q;
+                    break;
+                }
+            } else if (c == ':' && depth == 1
+                       && colon == std::string::npos) {
+                const bool dbl =
+                    (q + 1 < stripped.size() && stripped[q + 1] == ':')
+                    || (q > 0 && stripped[q - 1] == ':');
+                if (!dbl)
+                    colon = q;
+            } else if (c == ';' && depth == 1) {
+                break; // classic for-loop, not a range-for
+            }
+        }
+        if (colon == std::string::npos || close == std::string::npos)
+            continue;
+        found.push_back(
+            {at, stripped.substr(colon + 1, close - colon - 1)});
+    }
+    return found;
+}
+
+} // namespace lint
+} // namespace paqoc

@@ -1,0 +1,114 @@
+#ifndef PAQOC_LINT_LEX_H_
+#define PAQOC_LINT_LEX_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace paqoc {
+namespace lint {
+
+/**
+ * Shared lexical layer under every analyzer pass (DESIGN.md §13).
+ * Deliberately not a C++ parser: the linter's contract is that it
+ * builds and runs anywhere the project does, with no libclang. The
+ * passes therefore work on *stripped* source text (comments, string
+ * and character literals blanked in place, so offsets and line
+ * numbers still match the original file) and on a flat token stream
+ * over that text.
+ */
+
+/**
+ * Blank out comments, string literals (including raw strings), and
+ * character literals, preserving length and newlines so line/column
+ * arithmetic on the result matches the original file.
+ */
+std::string stripCommentsAndStrings(const std::string &src);
+
+/** Split on '\n'; the terminator is not included in the lines. */
+std::vector<std::string> splitLines(const std::string &text);
+
+/** 1-based line number of byte `offset` in `text`. */
+int lineOfOffset(const std::string &text, std::size_t offset);
+
+/** Whole-word occurrence test (identifier boundaries on both sides). */
+bool containsWord(const std::string &line, const std::string &word);
+
+bool startsWith(const std::string &s, const std::string &prefix);
+bool endsWith(const std::string &s, const std::string &suffix);
+
+/**
+ * Suppressions: `// paqoc-lint: allow(rule-a, rule-b) note` covers the
+ * named rules on its own line and the next one. Parsed from the *raw*
+ * text (the comment itself is blanked by stripping). Whole-program
+ * passes honor the same map: a cross-file finding lands on a concrete
+ * witness line, and an allow() on that line (or the one above it)
+ * silences it.
+ */
+std::map<int, std::set<std::string>>
+parseSuppressions(const std::vector<std::string> &raw_lines);
+
+/** One string literal in the raw text (quotes excluded). */
+struct StringLit
+{
+    std::string text;
+    std::size_t offset = 0; ///< offset of the opening quote
+    int line = 0;           ///< 1-based
+};
+
+/**
+ * Every ordinary "..." literal in `raw`, in file order. Raw strings
+ * and character literals are skipped (no failpoint name or armed spec
+ * is spelled that way), as are literals inside comments.
+ */
+std::vector<StringLit> stringLiterals(const std::string &raw);
+
+/** One lexed token over stripped text. */
+struct Token
+{
+    enum class Kind
+    {
+        Ident, ///< identifier or keyword
+        Punct, ///< one punctuation unit ("::" and "->" fused)
+    };
+    Kind kind = Kind::Punct;
+    std::string text;
+    std::size_t offset = 0;
+
+    bool is(const char *s) const { return text == s; }
+    bool isIdent() const { return kind == Kind::Ident; }
+};
+
+/**
+ * Flat token stream over stripped text. Numbers are dropped (no pass
+ * needs them); preprocessor directives are kept as tokens so the
+ * scope machine can skip over #include / #define lines.
+ */
+std::vector<Token> tokenize(const std::string &stripped);
+
+/** FNV-1a 64-bit content hash (the incremental cache's file key). */
+std::uint64_t fnv1a(const std::string &data);
+
+/**
+ * Names of variables/members declared with an unordered container
+ * type in stripped text. Handles nested template arguments by
+ * matching angle brackets, and skips annotation macros between the
+ * type and the terminating ;/=/{.
+ */
+std::set<std::string> unorderedDeclNames(const std::string &stripped);
+
+/** One range-for statement found in stripped text. */
+struct RangeFor
+{
+    std::size_t offset = 0; ///< offset of the `for` keyword
+    std::string rangeExpr;  ///< text after the top-level ':'
+};
+
+std::vector<RangeFor> findRangeFors(const std::string &stripped);
+
+} // namespace lint
+} // namespace paqoc
+
+#endif // PAQOC_LINT_LEX_H_

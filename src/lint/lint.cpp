@@ -2,274 +2,18 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <map>
 #include <regex>
 #include <set>
-#include <sstream>
 #include <utility>
 
 #include "common/error.h"
+#include "lint/lex.h"
 
 namespace paqoc {
 namespace lint {
 
 namespace {
-
-/**
- * Blank out comments, string literals (including raw strings), and
- * character literals, preserving length and newlines so line/column
- * arithmetic on the result matches the original file. Suppression
- * comments are parsed from the *original* text, so blanking them here
- * is fine.
- */
-std::string
-stripCommentsAndStrings(const std::string &src)
-{
-    std::string out = src;
-    std::size_t i = 0;
-    const std::size_t n = src.size();
-    auto blank = [&](std::size_t from, std::size_t to) {
-        for (std::size_t k = from; k < to && k < n; ++k)
-            if (out[k] != '\n')
-                out[k] = ' ';
-    };
-    while (i < n) {
-        const char c = src[i];
-        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-            std::size_t j = i;
-            while (j < n && src[j] != '\n')
-                ++j;
-            blank(i, j);
-            i = j;
-        } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-            std::size_t j = i + 2;
-            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/'))
-                ++j;
-            j = std::min(n, j + 2);
-            blank(i, j);
-            i = j;
-        } else if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-            // Raw string R"delim( ... )delim"
-            std::size_t p = i + 2;
-            std::string delim;
-            while (p < n && src[p] != '(' && delim.size() < 16)
-                delim += src[p++];
-            const std::string closer = ")" + delim + "\"";
-            const std::size_t end = src.find(closer, p);
-            const std::size_t j =
-                end == std::string::npos ? n : end + closer.size();
-            blank(i, j);
-            i = j;
-        } else if (c == '"' || c == '\'') {
-            std::size_t j = i + 1;
-            while (j < n && src[j] != c) {
-                if (src[j] == '\\')
-                    ++j;
-                ++j;
-            }
-            j = std::min(n, j + 1);
-            blank(i, j);
-            i = j;
-        } else {
-            ++i;
-        }
-    }
-    return out;
-}
-
-std::vector<std::string>
-splitLines(const std::string &text)
-{
-    std::vector<std::string> lines;
-    std::string cur;
-    for (const char c : text) {
-        if (c == '\n') {
-            lines.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    if (!cur.empty())
-        lines.push_back(cur);
-    return lines;
-}
-
-int
-lineOfOffset(const std::string &text, std::size_t offset)
-{
-    int line = 1;
-    for (std::size_t i = 0; i < offset && i < text.size(); ++i)
-        if (text[i] == '\n')
-            ++line;
-    return line;
-}
-
-/**
- * Suppressions: `// paqoc-lint: allow(rule-a, rule-b) note` covers the
- * named rules on its own line and the next one.
- */
-std::map<int, std::set<std::string>>
-parseSuppressions(const std::vector<std::string> &raw_lines)
-{
-    std::map<int, std::set<std::string>> allowed;
-    const std::regex pattern(
-        R"(paqoc-lint:\s*allow\(([A-Za-z0-9_,\- ]+)\))");
-    for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-        std::smatch m;
-        if (!std::regex_search(raw_lines[i], m, pattern))
-            continue;
-        std::stringstream rules(m[1].str());
-        std::string rule;
-        while (std::getline(rules, rule, ',')) {
-            const std::size_t a = rule.find_first_not_of(" \t");
-            const std::size_t b = rule.find_last_not_of(" \t");
-            if (a == std::string::npos)
-                continue;
-            const std::string name = rule.substr(a, b - a + 1);
-            const int line = static_cast<int>(i) + 1;
-            allowed[line].insert(name);
-            allowed[line + 1].insert(name);
-        }
-    }
-    return allowed;
-}
-
-bool
-startsWith(const std::string &s, const std::string &prefix)
-{
-    return s.rfind(prefix, 0) == 0;
-}
-
-/** Whole-word occurrences of `word` in `line` (stripped text). */
-bool
-containsWord(const std::string &line, const std::string &word)
-{
-    std::size_t pos = 0;
-    auto is_word = [](char c) {
-        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-    };
-    while ((pos = line.find(word, pos)) != std::string::npos) {
-        const bool left_ok = pos == 0 || !is_word(line[pos - 1]);
-        const std::size_t end = pos + word.size();
-        const bool right_ok =
-            end >= line.size() || !is_word(line[end]);
-        if (left_ok && right_ok)
-            return true;
-        pos = end;
-    }
-    return false;
-}
-
-/**
- * Names of variables/members declared with an unordered container
- * type in `stripped`. Handles nested template arguments by matching
- * angle brackets, and skips over annotation macros between the type
- * and the terminating ;/=/{.
- */
-std::set<std::string>
-unorderedDeclNames(const std::string &stripped)
-{
-    std::set<std::string> names;
-    const std::regex decl(R"(unordered_(?:map|set)\s*<)");
-    auto begin = std::sregex_iterator(stripped.begin(), stripped.end(),
-                                      decl);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-        std::size_t pos =
-            static_cast<std::size_t>(it->position() + it->length());
-        int depth = 1;
-        while (pos < stripped.size() && depth > 0) {
-            if (stripped[pos] == '<')
-                ++depth;
-            else if (stripped[pos] == '>')
-                --depth;
-            ++pos;
-        }
-        // The declared name is the first identifier after the closing
-        // '>' (skipping whitespace, '&', '*').
-        while (pos < stripped.size()
-               && (std::isspace(static_cast<unsigned char>(
-                       stripped[pos]))
-                   || stripped[pos] == '&' || stripped[pos] == '*'))
-            ++pos;
-        std::string name;
-        while (pos < stripped.size()
-               && (std::isalnum(static_cast<unsigned char>(
-                       stripped[pos]))
-                   || stripped[pos] == '_'))
-            name += stripped[pos++];
-        if (!name.empty())
-            names.insert(name);
-    }
-    return names;
-}
-
-/** One range-for statement found in stripped text. */
-struct RangeFor
-{
-    std::size_t offset = 0;  ///< offset of the `for` keyword
-    std::string rangeExpr;   ///< text after the top-level ':'
-};
-
-std::vector<RangeFor>
-findRangeFors(const std::string &stripped)
-{
-    std::vector<RangeFor> found;
-    std::size_t pos = 0;
-    while ((pos = stripped.find("for", pos)) != std::string::npos) {
-        const std::size_t at = pos;
-        pos += 3;
-        const bool word =
-            (at == 0
-             || !(std::isalnum(static_cast<unsigned char>(
-                      stripped[at - 1]))
-                  || stripped[at - 1] == '_'))
-            && (pos >= stripped.size()
-                || !(std::isalnum(static_cast<unsigned char>(
-                         stripped[pos]))
-                     || stripped[pos] == '_'));
-        if (!word)
-            continue;
-        std::size_t p = pos;
-        while (p < stripped.size()
-               && std::isspace(static_cast<unsigned char>(stripped[p])))
-            ++p;
-        if (p >= stripped.size() || stripped[p] != '(')
-            continue;
-        // Find the matching ')' and a top-level ':' (not '::').
-        int depth = 0;
-        std::size_t colon = std::string::npos;
-        std::size_t close = std::string::npos;
-        for (std::size_t q = p; q < stripped.size(); ++q) {
-            const char c = stripped[q];
-            if (c == '(' || c == '[' || c == '{') {
-                ++depth;
-            } else if (c == ')' || c == ']' || c == '}') {
-                --depth;
-                if (depth == 0) {
-                    close = q;
-                    break;
-                }
-            } else if (c == ':' && depth == 1
-                       && colon == std::string::npos) {
-                const bool dbl =
-                    (q + 1 < stripped.size() && stripped[q + 1] == ':')
-                    || (q > 0 && stripped[q - 1] == ':');
-                if (!dbl)
-                    colon = q;
-            } else if (c == ';' && depth == 1) {
-                break; // classic for-loop, not a range-for
-            }
-        }
-        if (colon == std::string::npos || close == std::string::npos)
-            continue;
-        found.push_back(
-            {at, stripped.substr(colon + 1, close - colon - 1)});
-    }
-    return found;
-}
 
 /**
  * Names declared with type Matrix (value, reference, or
@@ -501,10 +245,16 @@ checkRawIo(const FileContext &ctx)
         || startsWith(ctx.path, "src/fleet/");
     if (!covered)
         return;
+    // The SCM_RIGHTS fd handoff is the one allowlisted path: cmsg
+    // ancillary payloads have no checked* spelling (sendmsg carries
+    // the fd itself, not bytes the chaos tests could tear), and the
+    // file carries its own `fleet.fdpass` failpoint instead.
+    if (ctx.path == "src/fleet/fdpass.cpp")
+        return;
     static const std::regex pattern(
         R"((::\s*)?\b(write|send|pwrite|writev|sendto|sendmsg)\s*\()");
     checkLinePattern(ctx, "raw-io", pattern,
-                     "raw write()/send() syscall bypasses the "
+                     "raw write()/send()-family syscall bypasses the "
                      "failpoint-aware checked* wrappers in "
                      "src/common/failpoint.h; route I/O through them "
                      "so fault injection covers this path");
@@ -513,8 +263,7 @@ checkRawIo(const FileContext &ctx)
 void
 checkHeaderGuard(const FileContext &ctx)
 {
-    if (ctx.path.size() < 2
-        || ctx.path.compare(ctx.path.size() - 2, 2, ".h") != 0)
+    if (!endsWith(ctx.path, ".h"))
         return;
     if (ctx.stripped.find("#pragma once") != std::string::npos)
         return;
@@ -556,8 +305,7 @@ checkMatrixProductInLoop(const FileContext &ctx)
         || startsWith(ctx.path, "src/sim/");
     if (!hot)
         return;
-    const std::set<std::string> names =
-        matrixDeclNames(ctx.stripped);
+    const std::set<std::string> names = matrixDeclNames(ctx.stripped);
     if (names.empty())
         return;
     // name [idx]? * name [idx]?  -- call syntax `name(...)` on either
@@ -630,15 +378,91 @@ checkUnorderedIteration(const FileContext &ctx,
     }
 }
 
-void
-lintInto(const std::string &path, const std::string &content,
-         const std::set<std::string> &companion_decls,
-         std::vector<Finding> &findings)
+} // namespace
+
+int
+ruleCount()
 {
+    return static_cast<int>(ruleNames().size());
+}
+
+std::vector<std::string>
+ruleNames()
+{
+    return {"determinism-taint", "float-numerics",
+            "header-guard",      "lock-order-cycle",
+            "matrix-product-in-loop", "naked-mutex",
+            "printf-output",     "process-control",
+            "raw-io",            "unguarded-checked-io",
+            "unordered-iteration", "unseeded-random",
+            "untested-failpoint"};
+}
+
+std::string
+ruleDescription(const std::string &rule)
+{
+    static const std::map<std::string, std::string> kDescriptions = {
+        {"determinism-taint",
+         "nondeterminism source (wall clock, pointer-to-integer cast, "
+         "unordered iteration) reaches a serialization sink within "
+         "one call level"},
+        {"float-numerics",
+         "`float` in QOC numerics; pulse math is double-only"},
+        {"header-guard",
+         "header must carry the canonical PAQOC_<PATH>_H_ include "
+         "guard (autofixable with --fix)"},
+        {"lock-order-cycle",
+         "cycle in the global lock-order graph; a consistent "
+         "acquisition order is the deadlock-freedom argument"},
+        {"matrix-product-in-loop",
+         "allocating Matrix operator* inside a hot loop; use "
+         "matmulInto / kernels:: into reused scratch"},
+        {"naked-mutex",
+         "raw std synchronization primitive invisible to clang "
+         "-Wthread-safety; use the annotated wrappers"},
+        {"printf-output",
+         "printf-family call in library code; libraries return "
+         "values, they do not write to process streams"},
+        {"process-control",
+         "process-control syscall outside the supervisor/router; "
+         "child lifetime flows through one audited state machine"},
+        {"raw-io",
+         "raw write()/send()-family syscall bypasses the "
+         "failpoint-aware checked* wrappers"},
+        {"unguarded-checked-io",
+         "checked* I/O call whose failpoint name cannot be traced to "
+         "a literal; fault injection cannot target the path"},
+        {"unordered-iteration",
+         "hash-order iteration in a file that produces serialized "
+         "output"},
+        {"unseeded-random",
+         "unseeded/global randomness; use the seeded paqoc::Rng"},
+        {"untested-failpoint",
+         "failpoint registered in source but never armed by any "
+         "test; dead chaos coverage"},
+    };
+    const auto it = kDescriptions.find(rule);
+    return it == kDescriptions.end() ? std::string() : it->second;
+}
+
+std::vector<Finding>
+lintFile(const std::string &path, const std::string &content)
+{
+    return lintFileWithCompanion(path, content, "");
+}
+
+std::vector<Finding>
+lintFileWithCompanion(const std::string &path, const std::string &content,
+                      const std::string &companion)
+{
+    std::vector<Finding> findings;
+    std::set<std::string> companion_decls;
+    if (!companion.empty())
+        companion_decls =
+            unorderedDeclNames(stripCommentsAndStrings(companion));
     const std::string stripped = stripCommentsAndStrings(content);
     const std::vector<std::string> raw_lines = splitLines(content);
-    const std::vector<std::string> stripped_lines =
-        splitLines(stripped);
+    const std::vector<std::string> stripped_lines = splitLines(stripped);
     const std::map<int, std::set<std::string>> suppressed =
         parseSuppressions(raw_lines);
     FileContext ctx{path,           content,    stripped,
@@ -652,91 +476,6 @@ lintInto(const std::string &path, const std::string &content,
     checkHeaderGuard(ctx);
     checkMatrixProductInLoop(ctx);
     checkUnorderedIteration(ctx, companion_decls);
-}
-
-std::string
-readFileOrDie(const std::filesystem::path &p)
-{
-    std::ifstream in(p, std::ios::binary);
-    PAQOC_FATAL_IF(!in, "paqoc_lint: cannot read '", p.string(), "'");
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return ss.str();
-}
-
-} // namespace
-
-int
-ruleCount()
-{
-    return static_cast<int>(ruleNames().size());
-}
-
-std::vector<std::string>
-ruleNames()
-{
-    return {"float-numerics",  "header-guard",
-            "matrix-product-in-loop", "naked-mutex",
-            "printf-output",   "process-control",
-            "raw-io",          "unordered-iteration",
-            "unseeded-random"};
-}
-
-std::vector<Finding>
-lintFile(const std::string &path, const std::string &content)
-{
-    std::vector<Finding> findings;
-    lintInto(path, content, {}, findings);
-    return findings;
-}
-
-std::vector<Finding>
-lintTree(const std::string &base, const std::vector<std::string> &roots)
-{
-    namespace fs = std::filesystem;
-    std::vector<std::string> paths;
-    for (const std::string &root : roots) {
-        const fs::path dir = fs::path(base) / root;
-        if (!fs::exists(dir))
-            continue;
-        for (const auto &entry :
-             fs::recursive_directory_iterator(dir)) {
-            if (!entry.is_regular_file())
-                continue;
-            const std::string ext = entry.path().extension().string();
-            if (ext != ".cpp" && ext != ".h")
-                continue;
-            paths.push_back(
-                fs::relative(entry.path(), base).generic_string());
-        }
-    }
-    // Directory iteration order is unspecified; the lint report is
-    // itself an output, so sort.
-    std::sort(paths.begin(), paths.end());
-
-    std::vector<Finding> findings;
-    for (const std::string &rel : paths) {
-        const std::string content =
-            readFileOrDie(fs::path(base) / rel);
-        // A .cpp sees the unordered members declared by its companion
-        // header (same stem), so member iteration in the
-        // implementation file is caught too.
-        std::set<std::string> companion_decls;
-        if (rel.size() > 4
-            && rel.compare(rel.size() - 4, 4, ".cpp") == 0) {
-            const fs::path header =
-                fs::path(base) / (rel.substr(0, rel.size() - 4) + ".h");
-            if (fs::exists(header))
-                companion_decls = unorderedDeclNames(
-                    stripCommentsAndStrings(readFileOrDie(header)));
-        }
-        lintInto(rel, content, companion_decls, findings);
-    }
-    std::sort(findings.begin(), findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  return std::tie(a.file, a.line, a.rule)
-                      < std::tie(b.file, b.line, b.rule);
-              });
     return findings;
 }
 

@@ -1,0 +1,492 @@
+#include "lint/passes.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "lint/lex.h"
+
+namespace paqoc {
+namespace lint {
+
+namespace {
+
+bool
+isSuppressed(const FileIndex &file, const std::string &rule, int line)
+{
+    const auto it = file.suppressions.find(line);
+    return it != file.suppressions.end() && it->second.count(rule) > 0;
+}
+
+/** (file, function) coordinate into a ProgramIndex. */
+struct FnRef
+{
+    int file = -1;
+    int fn = -1;
+};
+
+/**
+ * The linker: global name tables over every file index plus the
+ * call-resolution heuristics shared by the lock-order and taint
+ * passes. Resolution returns a *unique* qualified function name or
+ * nothing -- an ambiguous call never contributes an edge, because in
+ * a lexical analysis a wrong edge (a false deadlock, a false taint
+ * path) costs more than a missed one.
+ */
+class Linker
+{
+  public:
+    explicit Linker(const ProgramIndex &index) : index_(index)
+    {
+        std::map<std::string, std::set<int>> definedIn;
+        for (std::size_t fi = 0; fi < index.files.size(); ++fi) {
+            const FileIndex &file = index.files[fi];
+            for (std::size_t ki = 0; ki < file.functions.size(); ++ki) {
+                const FunctionInfo &fn = file.functions[ki];
+                const FnRef ref{static_cast<int>(fi),
+                                static_cast<int>(ki)};
+                byQualified_[fn.name].push_back(ref);
+                definedIn[fn.name].insert(static_cast<int>(fi));
+                const std::size_t sep = fn.name.rfind("::");
+                const std::string base = sep == std::string::npos
+                    ? fn.name
+                    : fn.name.substr(sep + 2);
+                byBase_[base].push_back(ref);
+                if (!fn.klass.empty())
+                    classes_.insert(fn.klass);
+            }
+        }
+        // A name defined in more than one file is ambiguous -- two
+        // file-static helpers spelled alike (nowMs, main, ...) must
+        // not merge their summaries through a shared name. Resolution
+        // refuses such names; their in-function analysis still runs.
+        for (const auto &[name, files] : definedIn)
+            if (files.size() > 1)
+                ambiguous_.insert(name);
+    }
+
+    const FunctionInfo &
+    fn(const FnRef &ref) const
+    {
+        return index_.files[static_cast<std::size_t>(ref.file)]
+            .functions[static_cast<std::size_t>(ref.fn)];
+    }
+
+    const FileIndex &
+    file(const FnRef &ref) const
+    {
+        return index_.files[static_cast<std::size_t>(ref.file)];
+    }
+
+    /** All definitions sharing one qualified name (overload merge). */
+    const std::vector<FnRef> *
+    definitionsOf(const std::string &qualified) const
+    {
+        const auto it = byQualified_.find(qualified);
+        return it == byQualified_.end() ? nullptr : &it->second;
+    }
+
+    /**
+     * Resolve one call site made from `caller` to a qualified name in
+     * the index, or "" when unknown or ambiguous.
+     */
+    std::string
+    resolve(const FnRef &caller, const CallSite &call) const
+    {
+        const FunctionInfo &from = fn(caller);
+        const FileIndex &homeFile = file(caller);
+        std::string hint = call.hint;
+        if (!hint.empty()) {
+            if (hint == "this")
+                return from.klass.empty()
+                    ? std::string()
+                    : known(from.klass + "::" + call.callee);
+            if (endsWith(hint, "()")) {
+                // g().f(): find g's return type, then R::f.
+                const std::string g = hint.substr(0, hint.size() - 2);
+                const std::string rt = returnTypeOf(from, g);
+                return rt.empty() ? std::string()
+                                  : known(rt + "::" + call.callee);
+            }
+            if (classes_.count(hint) > 0)
+                return known(hint + "::" + call.callee);
+            const auto bind = homeFile.typeBindings.find(hint);
+            if (bind != homeFile.typeBindings.end())
+                return known(bind->second + "::" + call.callee);
+            return "";
+        }
+        // Bare call: prefer a method on the caller's own class.
+        if (!from.klass.empty()) {
+            const std::string method =
+                from.klass + "::" + call.callee;
+            if (!known(method).empty())
+                return method;
+        }
+        return known(call.callee);
+    }
+
+  private:
+    /**
+     * `qualified` if it names definitions in exactly one file, else
+     * "" (unknown, or ambiguous across files).
+     */
+    std::string
+    known(const std::string &qualified) const
+    {
+        if (byQualified_.count(qualified) == 0
+            || ambiguous_.count(qualified) > 0)
+            return std::string();
+        return qualified;
+    }
+
+    /** Return type of accessor `g` as seen from `from`'s class/file. */
+    std::string
+    returnTypeOf(const FunctionInfo &from, const std::string &g) const
+    {
+        if (!from.klass.empty()) {
+            const auto it = byQualified_.find(from.klass + "::" + g);
+            if (it != byQualified_.end())
+                return fn(it->second.front()).returnType;
+        }
+        const auto it = byBase_.find(g);
+        if (it == byBase_.end())
+            return "";
+        // Accept only if every definition agrees on the return type.
+        std::string rt;
+        for (const FnRef &ref : it->second) {
+            const std::string &r = fn(ref).returnType;
+            if (r.empty())
+                continue;
+            if (rt.empty())
+                rt = r;
+            else if (rt != r)
+                return "";
+        }
+        return rt;
+    }
+
+    const ProgramIndex &index_;
+    std::map<std::string, std::vector<FnRef>> byQualified_;
+    std::map<std::string, std::vector<FnRef>> byBase_;
+    std::set<std::string> classes_;
+    std::set<std::string> ambiguous_;
+};
+
+} // namespace
+
+std::vector<LockEdge>
+buildLockOrderGraph(const ProgramIndex &index)
+{
+    const Linker link(index);
+
+    // Resolved call graph (qualified name -> qualified callees) and
+    // transitive lock-acquisition fixpoint over it.
+    std::map<std::string, std::set<std::string>> callees;
+    std::map<std::string, std::set<std::string>> acquired;
+    for (std::size_t fi = 0; fi < index.files.size(); ++fi) {
+        const FileIndex &file = index.files[fi];
+        for (std::size_t ki = 0; ki < file.functions.size(); ++ki) {
+            const FunctionInfo &fn = file.functions[ki];
+            const FnRef ref{static_cast<int>(fi), static_cast<int>(ki)};
+            for (const LockSite &ls : fn.locks)
+                acquired[fn.name].insert(ls.lockId);
+            for (const CallSite &cs : fn.calls) {
+                const std::string target = link.resolve(ref, cs);
+                if (!target.empty() && target != fn.name)
+                    callees[fn.name].insert(target);
+            }
+        }
+    }
+    for (bool changed = true; changed;) {
+        changed = false;
+        for (const auto &[caller, targets] : callees) {
+            std::set<std::string> &acc = acquired[caller];
+            const std::size_t before = acc.size();
+            for (const std::string &t : targets) {
+                const auto it = acquired.find(t);
+                if (it != acquired.end())
+                    acc.insert(it->second.begin(), it->second.end());
+            }
+            if (acc.size() != before)
+                changed = true;
+        }
+    }
+
+    // Edges: direct nestings, then call-with-held acquisitions.
+    std::map<std::pair<std::string, std::string>, LockEdge> edges;
+    auto addEdge = [&](LockEdge e) {
+        const auto key = std::make_pair(e.from, e.to);
+        const auto it = edges.find(key);
+        if (it == edges.end()
+            || std::make_pair(e.file, e.line)
+                < std::make_pair(it->second.file, it->second.line))
+            edges[key] = std::move(e);
+    };
+    for (std::size_t fi = 0; fi < index.files.size(); ++fi) {
+        const FileIndex &file = index.files[fi];
+        for (std::size_t ki = 0; ki < file.functions.size(); ++ki) {
+            const FunctionInfo &fn = file.functions[ki];
+            const FnRef ref{static_cast<int>(fi), static_cast<int>(ki)};
+            for (const NestedLock &nl : fn.nested)
+                addEdge({nl.from, nl.to, file.path, nl.line, ""});
+            for (const CallSite &cs : fn.calls) {
+                if (cs.heldLocks.empty())
+                    continue;
+                const std::string target = link.resolve(ref, cs);
+                if (target.empty() || target == fn.name)
+                    continue;
+                const auto it = acquired.find(target);
+                if (it == acquired.end())
+                    continue;
+                for (const std::string &held : cs.heldLocks)
+                    for (const std::string &to : it->second)
+                        if (held != to)
+                            addEdge({held, to, file.path, cs.line,
+                                     target});
+            }
+        }
+    }
+    std::vector<LockEdge> out;
+    out.reserve(edges.size());
+    for (auto &[key, e] : edges)
+        out.push_back(std::move(e));
+    return out; // map iteration is already (from, to) sorted
+}
+
+std::vector<Finding>
+lockOrderCycles(const ProgramIndex &index,
+                const std::vector<LockEdge> &graph)
+{
+    // Adjacency with witness lookup.
+    std::map<std::string, std::vector<const LockEdge *>> adj;
+    for (const LockEdge &e : graph)
+        adj[e.from].push_back(&e);
+
+    // Every elementary cycle would be overkill; one witness cycle per
+    // distinct node set is what a human needs. DFS from each node in
+    // sorted order, following sorted edges, reporting the first path
+    // that returns to its origin; canonicalize by the cycle's minimal
+    // rotation to deduplicate.
+    std::set<std::string> seenCycles;
+    std::vector<Finding> findings;
+    auto fileOf = [&](const std::string &path) -> const FileIndex * {
+        for (const FileIndex &f : index.files)
+            if (f.path == path)
+                return &f;
+        return nullptr;
+    };
+    for (const auto &[origin, outEdges] : adj) {
+        // Iterative DFS carrying the edge path.
+        std::vector<const LockEdge *> path;
+        std::set<std::string> onPath{origin};
+        std::function<bool(const std::string &)> dfs =
+            [&](const std::string &node) -> bool {
+            const auto it = adj.find(node);
+            if (it == adj.end())
+                return false;
+            for (const LockEdge *e : it->second) {
+                if (e->to == origin) {
+                    path.push_back(e);
+                    return true;
+                }
+                if (onPath.count(e->to) > 0)
+                    continue; // smaller cycle; its own origin reports it
+                onPath.insert(e->to);
+                path.push_back(e);
+                if (dfs(e->to))
+                    return true;
+                path.pop_back();
+                onPath.erase(e->to);
+            }
+            return false;
+        };
+        if (!dfs(origin))
+            continue;
+        // Canonical key: rotate the node list to start at its minimum.
+        std::vector<std::string> nodes;
+        for (const LockEdge *e : path)
+            nodes.push_back(e->from);
+        const auto minIt = std::min_element(nodes.begin(), nodes.end());
+        std::rotate(nodes.begin(), minIt, nodes.end());
+        std::string key;
+        for (const std::string &nd : nodes)
+            key += nd + "|";
+        if (!seenCycles.insert(key).second)
+            continue;
+        std::string msg = "lock-order cycle: ";
+        for (const LockEdge *e : path) {
+            msg += e->from + " -> " + e->to + " (" + e->file + ":"
+                + std::to_string(e->line);
+            if (!e->via.empty())
+                msg += ", via " + e->via;
+            msg += "); ";
+        }
+        msg += "a single global acquisition order is the "
+               "deadlock-freedom argument (DESIGN.md §13)";
+        const LockEdge *witness = path.front();
+        const FileIndex *wf = fileOf(witness->file);
+        if (wf != nullptr
+            && isSuppressed(*wf, "lock-order-cycle", witness->line))
+            continue;
+        findings.push_back({"lock-order-cycle", witness->file,
+                            witness->line, std::move(msg)});
+    }
+    return findings;
+}
+
+std::vector<Finding>
+failpointCoverage(const ProgramIndex &index)
+{
+    std::vector<Finding> findings;
+    // name -> sorted registration witnesses
+    std::map<std::string, std::vector<std::pair<std::string, int>>>
+        registered;
+    std::set<std::string> armed;
+    for (const FileIndex &file : index.files) {
+        for (const FailpointRef &r : file.failpointsRegistered)
+            registered[r.name].emplace_back(file.path, r.line);
+        for (const FailpointRef &r : file.failpointsArmed)
+            armed.insert(r.name);
+    }
+    for (auto &[name, sites] : registered) {
+        if (armed.count(name) > 0)
+            continue;
+        std::sort(sites.begin(), sites.end());
+        const auto &[path, line] = sites.front();
+        bool suppressed = false;
+        for (const FileIndex &file : index.files)
+            if (file.path == path
+                && isSuppressed(file, "untested-failpoint", line))
+                suppressed = true;
+        if (suppressed)
+            continue;
+        findings.push_back(
+            {"untested-failpoint", path, line,
+             "failpoint '" + name + "' is registered here but never "
+             "armed by any test (arm(), spec string, or shell "
+             "PAQOC_FAILPOINTS); dead chaos coverage -- add an arming "
+             "test or retire the point"});
+    }
+    for (const FileIndex &file : index.files) {
+        for (const FailpointRef &r : file.unresolvedCheckedIo) {
+            if (isSuppressed(file, "unguarded-checked-io", r.line))
+                continue;
+            findings.push_back(
+                {"unguarded-checked-io", file.path, r.line,
+                 "checked* I/O call whose failpoint name '" + r.name
+                     + "' traces to no string literal in this file or "
+                       "its companion header; fault injection cannot "
+                       "target the path -- name the point with a "
+                       "literal (or a defaulted literal parameter)"});
+        }
+    }
+    return findings;
+}
+
+std::vector<Finding>
+determinismTaint(const ProgramIndex &index)
+{
+    const Linker link(index);
+
+    // Sink summaries per qualified name (overloads merged), plus the
+    // resolved forward and reverse call maps.
+    std::map<std::string, std::string> sinkKind; // name -> first kind
+    std::map<std::string, std::set<std::string>> callees;
+    std::map<std::string, std::set<std::string>> callers;
+    for (std::size_t fi = 0; fi < index.files.size(); ++fi) {
+        const FileIndex &file = index.files[fi];
+        for (std::size_t ki = 0; ki < file.functions.size(); ++ki) {
+            const FunctionInfo &fn = file.functions[ki];
+            const FnRef ref{static_cast<int>(fi), static_cast<int>(ki)};
+            if (!fn.sinks.empty()
+                && sinkKind.count(fn.name) == 0)
+                sinkKind[fn.name] = fn.sinks.front().kind;
+            for (const CallSite &cs : fn.calls) {
+                const std::string target = link.resolve(ref, cs);
+                if (target.empty() || target == fn.name)
+                    continue;
+                callees[fn.name].insert(target);
+                callers[target].insert(fn.name);
+            }
+        }
+    }
+    // Effective sinks, exactly one level down: a function that hands
+    // data to a sink-holding helper (`write(h.dump())` factored into
+    // writeResponse) sinks for the caller-direction check too. No
+    // fixpoint -- the pass's contract is one call level, not flow
+    // analysis.
+    std::map<std::string, std::string> effSink = sinkKind;
+    for (const auto &[caller, targets] : callees) {
+        if (effSink.count(caller) > 0)
+            continue;
+        for (const std::string &t : targets) {
+            const auto s = sinkKind.find(t);
+            if (s != sinkKind.end()) {
+                effSink[caller] = s->second + " (via " + t + ")";
+                break;
+            }
+        }
+    }
+
+    std::vector<Finding> findings;
+    std::set<std::pair<std::string, int>> reported;
+    for (const FileIndex &file : index.files) {
+        for (const FunctionInfo &fn : file.functions) {
+            for (const TaintSource &ts : fn.taintSources) {
+                if (reported.count({file.path, ts.line}) > 0)
+                    continue;
+                std::string sink;
+                if (!fn.sinks.empty()) {
+                    sink = "a " + fn.sinks.front().kind + " sink in "
+                        + fn.name + " (line "
+                        + std::to_string(fn.sinks.front().line) + ")";
+                } else {
+                    const auto down = callees.find(fn.name);
+                    if (down != callees.end()) {
+                        for (const std::string &g : down->second) {
+                            const auto s = sinkKind.find(g);
+                            if (s != sinkKind.end()) {
+                                sink = "a " + s->second
+                                    + " sink in callee " + g;
+                                break;
+                            }
+                        }
+                    }
+                    if (sink.empty()) {
+                        const auto up = callers.find(fn.name);
+                        if (up != callers.end()) {
+                            for (const std::string &h : up->second) {
+                                const auto s = effSink.find(h);
+                                if (s != effSink.end()) {
+                                    sink = "a " + s->second
+                                        + " sink in caller " + h;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                if (sink.empty())
+                    continue;
+                if (isSuppressed(file, "determinism-taint", ts.line))
+                    continue;
+                reported.insert({file.path, ts.line});
+                findings.push_back(
+                    {"determinism-taint", file.path, ts.line,
+                     "nondeterminism source (" + ts.kind + ": "
+                         + ts.detail + ") in " + fn.name
+                         + " reaches " + sink
+                         + "; serialized bytes must be a pure "
+                           "function of program state -- inject the "
+                           "value, drop it from the output, or "
+                           "suppress with a determinism argument"});
+            }
+        }
+    }
+    return findings;
+}
+
+} // namespace lint
+} // namespace paqoc

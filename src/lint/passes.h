@@ -1,0 +1,85 @@
+#ifndef PAQOC_LINT_PASSES_H_
+#define PAQOC_LINT_PASSES_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/index.h"
+#include "lint/lint.h"
+
+namespace paqoc {
+namespace lint {
+
+/**
+ * Whole-program passes over the linked per-file indexes (DESIGN.md
+ * §13). Each pass is a pure function of the ProgramIndex, so cached
+ * and freshly-built file indexes are indistinguishable to it, and the
+ * passes re-run on every invocation (they are cheap next to indexing).
+ */
+
+/** Every file index, sorted by path (the analyzer guarantees order). */
+struct ProgramIndex
+{
+    std::vector<FileIndex> files;
+};
+
+/**
+ * One edge of the global lock-order graph: lock `to` is acquired
+ * (directly, or transitively through `via`) while `from` is held.
+ */
+struct LockEdge
+{
+    std::string from;
+    std::string to;
+    std::string file; ///< witness file
+    int line = 0;     ///< witness line (acquisition or call site)
+    /// "" for a direct nesting; the resolved callee's qualified name
+    /// when the acquisition happens inside a call made under `from`
+    std::string via;
+};
+
+/**
+ * Build the lock-order graph: direct nestings from every function
+ * body, plus call-with-held edges -- a call made while holding A,
+ * resolved through the call index to a function whose transitive
+ * lock-acquisition set (a fixpoint over the resolved call graph)
+ * contains B, contributes A→B. Calls that resolve ambiguously
+ * contribute nothing: precision over recall, a wrong edge is a false
+ * deadlock report. Edges are deduplicated on (from, to) keeping the
+ * lexically first witness, and sorted (from, to) for determinism.
+ */
+std::vector<LockEdge> buildLockOrderGraph(const ProgramIndex &index);
+
+/**
+ * Cycles in the lock-order graph, one `lock-order-cycle` finding per
+ * distinct cycle (canonicalized by its minimal rotation), anchored at
+ * the witness of the cycle's first edge with the full path spelled
+ * out in the message. Suppressions at the witness line apply.
+ */
+std::vector<Finding> lockOrderCycles(const ProgramIndex &index,
+                                     const std::vector<LockEdge> &graph);
+
+/**
+ * Failpoint-coverage audit. `untested-failpoint`: a name registered
+ * in src/ or tools/ that nothing in tests/ (arm() calls, spec strings,
+ * shell PAQOC_FAILPOINTS) ever arms, reported once at its first
+ * registration site. `unguarded-checked-io`: a checked* call whose
+ * point argument traced to no literal (index.h). Suppressions at the
+ * witness line apply.
+ */
+std::vector<Finding> failpointCoverage(const ProgramIndex &index);
+
+/**
+ * Determinism taint, one resolved call level deep in both directions:
+ * a taint source whose enclosing function also sinks, sinks via a
+ * called function, or is called by a function that sinks, yields a
+ * `determinism-taint` finding at the source line. Suppressions at the
+ * source line apply (an `unordered-iteration` suppression already
+ * removed the source at index time).
+ */
+std::vector<Finding> determinismTaint(const ProgramIndex &index);
+
+} // namespace lint
+} // namespace paqoc
+
+#endif // PAQOC_LINT_PASSES_H_

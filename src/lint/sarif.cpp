@@ -1,0 +1,75 @@
+#include "lint/sarif.h"
+
+#include <map>
+
+namespace paqoc {
+namespace lint {
+
+Json
+sarifReport(const std::vector<Finding> &findings)
+{
+    Json doc = Json::object();
+    doc.set("$schema",
+            Json("https://docs.oasis-open.org/sarif/sarif/v2.1.0/os/"
+                 "schemas/sarif-schema-2.1.0.json"));
+    doc.set("version", Json("2.1.0"));
+
+    Json driver = Json::object();
+    driver.set("name", Json("paqoc_lint"));
+    driver.set("informationUri",
+               Json("https://example.invalid/paqoc/DESIGN.md"));
+    Json rules = Json::array();
+    std::map<std::string, int> ruleIndex;
+    {
+        int i = 0;
+        for (const std::string &id : ruleNames()) {
+            Json rule = Json::object();
+            rule.set("id", Json(id));
+            Json shortDesc = Json::object();
+            shortDesc.set("text", Json(ruleDescription(id)));
+            rule.set("shortDescription", std::move(shortDesc));
+            rules.push(std::move(rule));
+            ruleIndex[id] = i++;
+        }
+    }
+    driver.set("rules", std::move(rules));
+    Json tool = Json::object();
+    tool.set("driver", std::move(driver));
+
+    Json results = Json::array();
+    for (const Finding &f : findings) {
+        Json result = Json::object();
+        result.set("ruleId", Json(f.rule));
+        const auto it = ruleIndex.find(f.rule);
+        if (it != ruleIndex.end())
+            result.set("ruleIndex", Json(it->second));
+        result.set("level", Json("warning"));
+        Json message = Json::object();
+        message.set("text", Json(f.message));
+        result.set("message", std::move(message));
+        Json artifact = Json::object();
+        artifact.set("uri", Json(f.file));
+        Json region = Json::object();
+        region.set("startLine", Json(f.line));
+        Json physical = Json::object();
+        physical.set("artifactLocation", std::move(artifact));
+        physical.set("region", std::move(region));
+        Json location = Json::object();
+        location.set("physicalLocation", std::move(physical));
+        Json locations = Json::array();
+        locations.push(std::move(location));
+        result.set("locations", std::move(locations));
+        results.push(std::move(result));
+    }
+
+    Json run = Json::object();
+    run.set("tool", std::move(tool));
+    run.set("results", std::move(results));
+    Json runs = Json::array();
+    runs.push(std::move(run));
+    doc.set("runs", std::move(runs));
+    return doc;
+}
+
+} // namespace lint
+} // namespace paqoc

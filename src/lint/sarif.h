@@ -1,0 +1,24 @@
+#ifndef PAQOC_LINT_SARIF_H_
+#define PAQOC_LINT_SARIF_H_
+
+#include <vector>
+
+#include "common/json.h"
+#include "lint/lint.h"
+
+namespace paqoc {
+namespace lint {
+
+/**
+ * SARIF 2.1.0 export (paqoc_lint --sarif): one run, the full rule
+ * catalogue as tool.driver.rules (stable ids + one-line descriptions),
+ * one result per finding with a physicalLocation region. The document
+ * is deterministic: rules in ruleNames() order, results in the
+ * analyzer's (file, line, rule) order, insertion-ordered Json dump.
+ */
+Json sarifReport(const std::vector<Finding> &findings);
+
+} // namespace lint
+} // namespace paqoc
+
+#endif // PAQOC_LINT_SARIF_H_

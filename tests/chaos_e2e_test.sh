@@ -323,4 +323,29 @@ kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || fail "TCP fleet router exited non-zero"
 DAEMON_PID=
 
+# 10. Fleet with a poisoned fd handoff: fleet.fdpass=return-error:2
+#     fails the SCM_RIGHTS pass to *both* workers on the first
+#     accepted connection, so the router runs out of takers and
+#     severs it -- the loss window between accept() and the worker
+#     owning the fd. The client's bounded retries land on a healthy
+#     handoff and the payload is byte-identical.
+rm -f "$SOCK"
+PAQOC_FAILPOINTS="fleet.fdpass=return-error:2" "$PAQOCD" --fleet 2 \
+    --socket "$SOCK" --library "$LIB" \
+    >> "$WORK/fleet_fdpass.log" 2>&1 &
+DAEMON_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || fail "fdpass-fault fleet router did not come up"
+    sleep 0.1
+done
+"$PAQOCC" --connect "$SOCK" --retries 10 --backoff-ms 100 \
+    --topology 2x2 --json "$QASM" > "$WORK/fleet_fdpass.json"
+cmp -s "$WORK/local.json" "$WORK/fleet_fdpass.json" \
+    || fail "payload differs across the failed fd handoff"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "fdpass-fault fleet router exited non-zero"
+DAEMON_PID=
+
 echo "PASS"

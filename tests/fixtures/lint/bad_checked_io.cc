@@ -1,0 +1,31 @@
+// Fixture: checked* I/O point arguments. One traces to no literal
+// (flagged -- fault injection cannot target that path), one is a
+// forwarder parameter (fine: call sites carry the literal), one is a
+// local that traces to a literal (a plain registration).
+#include "common/failpoint.h"
+
+namespace paqoc {
+
+const char *pickPoint();
+
+void
+spill(int fd, const char *buf, unsigned long n)
+{
+    const char *chosen = pickPoint();
+    (void)failpoint::checkedWrite(chosen, fd, buf, n);
+}
+
+void
+relay(const char *point, int fd, const char *buf, unsigned long n)
+{
+    (void)failpoint::checkedWrite(point, fd, buf, n);
+}
+
+void
+journalWrite(int fd, const char *buf, unsigned long n)
+{
+    const char *point = "store.journal.write";
+    (void)failpoint::checkedWrite(point, fd, buf, n);
+}
+
+} // namespace paqoc

@@ -9,6 +9,11 @@ leaky(int fd, const char *buf, unsigned long n)
     (void)::write(fd, buf, n);              // flagged
     (void)send(fd, buf, n, 0);              // flagged
     (void)::pwrite(fd, buf, n, 0);          // flagged
+    struct iovec *iov = nullptr;
+    (void)::writev(fd, iov, 1);             // flagged
+    struct msghdr *msg = nullptr;
+    (void)::sendmsg(fd, msg, 0);            // flagged
+    (void)sendto(fd, buf, n, 0, nullptr, 0); // flagged
     // Near misses: wrapper names are not the syscall.
     // writeFully(fd, buf, n) below parses as an identifier call.
     extern void writeFully(int, const char *, unsigned long);

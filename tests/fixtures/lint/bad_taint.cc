@@ -1,0 +1,64 @@
+// Fixture: determinism-taint sources reaching serialization sinks.
+// Linted under a src/service/ path so the taint scan is active.
+#include <chrono>
+
+namespace paqoc {
+
+struct Json;
+
+// Source and sink in the same function: flagged at the clock read.
+void
+statsInline(Json &j)
+{
+    const auto now = std::chrono::steady_clock::now();
+    (void)now;
+    j.dump();
+}
+
+// Source here, sink one resolved call level up: the caller
+// (serveStats) dumps, so the clock in buildStats is flagged.
+void
+buildStats(Json &j)
+{
+    const auto t0 = std::chrono::system_clock::now();
+    (void)t0;
+    (void)j;
+}
+
+void
+serveStats(Json &j)
+{
+    buildStats(j);
+    j.dump();
+}
+
+// Source with no sink anywhere near it: never flagged. Timing a
+// computation is fine as long as the measurement stays local.
+double
+measureOnly()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+// Pointer-to-int cast feeding a frame write: flagged.
+void
+tagFrame(Json &j, const void *p)
+{
+    const auto tag = reinterpret_cast<std::uintptr_t>(p);
+    (void)tag;
+    j.writeFrame();
+}
+
+// Suppressed source next to a sink: silent.
+void
+statsSuppressed(Json &j)
+{
+    // paqoc-lint: allow(determinism-taint) monotonic uptime is content
+    const auto now = std::chrono::steady_clock::now();
+    (void)now;
+    j.dump();
+}
+
+} // namespace paqoc

@@ -1,0 +1,33 @@
+// Fixture: one half of a cross-file lock-order cycle. Alpha::grab
+// acquires Alpha::mutex_ and then calls Beta::fill (defined in
+// lock_cycle_b.cc), which acquires Beta::mutex_ -- the edge
+// Alpha::mutex_ -> Beta::mutex_. The reverse edge lives in the other
+// file; neither file alone contains a cycle.
+#include "common/thread_annotations.h"
+
+namespace paqoc {
+
+class Alpha
+{
+public:
+    static void grab();
+    static void refill();
+
+private:
+    static Mutex mutex_;
+};
+
+void
+Alpha::grab()
+{
+    MutexLock lock(mutex_);
+    Beta::fill();
+}
+
+void
+Alpha::refill()
+{
+    MutexLock lock(mutex_);
+}
+
+} // namespace paqoc

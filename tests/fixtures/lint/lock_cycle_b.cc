@@ -1,0 +1,32 @@
+// Fixture: the other half of the cross-file lock-order cycle.
+// Beta::drain acquires Beta::mutex_ and then calls Alpha::refill
+// (lock_cycle_a.cc), which acquires Alpha::mutex_ -- the edge
+// Beta::mutex_ -> Alpha::mutex_ closing the cycle.
+#include "common/thread_annotations.h"
+
+namespace paqoc {
+
+class Beta
+{
+public:
+    static void fill();
+    static void drain();
+
+private:
+    static Mutex mutex_;
+};
+
+void
+Beta::fill()
+{
+    MutexLock lock(mutex_);
+}
+
+void
+Beta::drain()
+{
+    MutexLock lock(mutex_);
+    Alpha::refill();
+}
+
+} // namespace paqoc

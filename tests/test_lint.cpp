@@ -46,18 +46,23 @@ linesOf(const std::vector<Finding> &findings, const std::string &rule)
     return lines;
 }
 
-TEST(Lint, RuleCatalogueHasNineStableRules)
+TEST(Lint, RuleCatalogueHasThirteenStableRules)
 {
     const std::vector<std::string> names = paqoc::lint::ruleNames();
-    EXPECT_EQ(paqoc::lint::ruleCount(), 9);
+    EXPECT_EQ(paqoc::lint::ruleCount(), 13);
     const std::vector<std::string> expected = {
-        "float-numerics",  "header-guard",
+        "determinism-taint",      "float-numerics",
+        "header-guard",           "lock-order-cycle",
         "matrix-product-in-loop", "naked-mutex",
-        "printf-output",   "process-control",
-        "raw-io",          "unordered-iteration",
-        "unseeded-random"};
+        "printf-output",          "process-control",
+        "raw-io",                 "unguarded-checked-io",
+        "unordered-iteration",    "unseeded-random",
+        "untested-failpoint"};
     EXPECT_EQ(names, expected);
     EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    for (const std::string &name : names)
+        EXPECT_FALSE(paqoc::lint::ruleDescription(name).empty())
+            << name;
 }
 
 TEST(Lint, MatrixProductInLoopFlaggedInHotPathsOnly)
@@ -221,16 +226,20 @@ TEST(Lint, FloatFlaggedInNumericsOnly)
     EXPECT_TRUE(linesOf(other, "float-numerics").empty());
 }
 
-TEST(Lint, RawIoFlaggedInStoreAndServiceOnly)
+TEST(Lint, RawIoFlagsTheWholeSyscallFamily)
 {
+    // write/send plus the spellings that bypassed the old rule:
+    // pwrite, writev, sendmsg, sendto -- each proven by its own
+    // fixture line.
     const auto store =
         lintFile("src/store/fixture.cpp", fixture("bad_rawio.cc"));
-    EXPECT_EQ(linesOf(store, "raw-io"), (std::vector<int>{9, 10, 11}));
+    EXPECT_EQ(linesOf(store, "raw-io"),
+              (std::vector<int>{9, 10, 11, 13, 15, 16}));
 
     const auto service =
         lintFile("src/service/fixture.cpp", fixture("bad_rawio.cc"));
     EXPECT_EQ(linesOf(service, "raw-io"),
-              (std::vector<int>{9, 10, 11}));
+              (std::vector<int>{9, 10, 11, 13, 15, 16}));
 
     // Other layers are exempt -- the wrappers themselves (in
     // src/common) must make the real syscalls somewhere.
@@ -240,6 +249,24 @@ TEST(Lint, RawIoFlaggedInStoreAndServiceOnly)
     const auto tool =
         lintFile("tools/fixture.cpp", fixture("bad_rawio.cc"));
     EXPECT_TRUE(linesOf(tool, "raw-io").empty());
+}
+
+TEST(Lint, RawIoAllowlistsTheFdPassingShim)
+{
+    // SCM_RIGHTS handoffs have no checked* spelling; the allowlist
+    // lives in the rule (not in a source comment), scoped to exactly
+    // this one file. Any other fleet file still gets flagged.
+    const auto shim =
+        lintFile("src/fleet/fdpass.cpp", fixture("bad_rawio.cc"));
+    EXPECT_TRUE(linesOf(shim, "raw-io").empty());
+    // ...and it is exactly that path, not the fleet layer at large or
+    // the fdpass.cpp basename elsewhere.
+    const auto fleet =
+        lintFile("src/fleet/router.cpp", fixture("bad_rawio.cc"));
+    EXPECT_FALSE(linesOf(fleet, "raw-io").empty());
+    const auto store =
+        lintFile("src/store/fdpass.cpp", fixture("bad_rawio.cc"));
+    EXPECT_FALSE(linesOf(store, "raw-io").empty());
 }
 
 TEST(Lint, ProcessControlFlaggedEverywhereButTheSupervisor)
@@ -332,7 +359,7 @@ TEST(Lint, JsonReportIsMachineReadable)
     const std::string clean =
         paqoc::lint::findingsToJson({}).dump();
     EXPECT_NE(clean.find("\"ok\":true"), std::string::npos);
-    EXPECT_NE(clean.find("\"checked_rules\":9"), std::string::npos);
+    EXPECT_NE(clean.find("\"checked_rules\":13"), std::string::npos);
 }
 
 TEST(Lint, RealTreeIsClean)

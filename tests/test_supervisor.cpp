@@ -174,6 +174,30 @@ TEST(SuperviseHang, StallFailpointArmsInFirstIncarnationOnly)
     EXPECT_EQ(readLog(log), (std::vector<int>{0, 1}));
 }
 
+TEST(SuperviseHang, FailedHeartbeatWriteReadsAsHang)
+{
+    const std::string log = scratchLog("beatwrite");
+    // heartbeat.write fails the byte write itself (vs. heartbeat.stall,
+    // which skips it): a worker whose heartbeat pipe write errors must
+    // look exactly like a wedged worker to the supervisor -- killed
+    // after the timeout, then restarted into an incarnation whose
+    // beats flow again.
+    ::setenv("PAQOC_WORKER_FAILPOINTS",
+             "heartbeat.write=return-error", 1);
+    const int code =
+        runSupervised(fastOptions(), [&](const WorkerContext &ctx) {
+            logIncarnation(log, ctx.incarnation);
+            HeartbeatThread beat(ctx.heartbeatFd,
+                                 ctx.heartbeatIntervalMs);
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                ctx.incarnation == 0 ? 30000 : 600));
+            return 0;
+        });
+    ::unsetenv("PAQOC_WORKER_FAILPOINTS");
+    EXPECT_EQ(code, 0);
+    EXPECT_EQ(readLog(log), (std::vector<int>{0, 1}));
+}
+
 TEST(SuperviseContext, UnsupervisedHeartbeatIsInert)
 {
     // paqocd runs the same serve() body with and without --supervise;

@@ -1,13 +1,18 @@
 /**
- * paqoc_lint -- project linter for PAQOC's concurrency and
- * determinism invariants (DESIGN.md §8). Token/regex level, no
+ * paqoc_lint -- whole-program analyzer for PAQOC's concurrency and
+ * determinism invariants (DESIGN.md §8, §13). Token/regex level, no
  * libclang. Exit status: 0 clean, 1 findings, 2 usage or I/O error.
  *
- *   paqoc_lint [--root DIR] [--json FILE] [--list-rules] [ROOTS...]
+ *   paqoc_lint [--root DIR] [--json FILE] [--sarif FILE]
+ *              [--cache FILE] [--fix] [--list-rules] [ROOTS...]
  *
  * ROOTS default to "src tools tests bench" under --root (default: the
- * current directory). --json additionally writes the machine-readable
- * findings report ("-" for stdout).
+ * current directory). --json writes the machine-readable report
+ * (findings, lock-order graph, cache stats; "-" for stdout); --sarif
+ * writes a SARIF 2.1.0 document for CI upload ("-" for stdout).
+ * --cache FILE enables the incremental index cache: a warm run
+ * re-indexes only files whose bytes (or companion header) changed.
+ * --fix rewrites non-canonical header guards in place before linting.
  */
 #include <cstdio>
 #include <fstream>
@@ -16,26 +21,60 @@
 #include <vector>
 
 #include "common/error.h"
+#include "lint/analyzer.h"
 #include "lint/lint.h"
+#include "lint/sarif.h"
+
+namespace {
+
+bool
+writeDoc(const std::string &path, const std::string &body)
+{
+    if (path == "-") {
+        std::printf("%s\n", body.c_str());
+        return true;
+    }
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "paqoc_lint: cannot write '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    out << body << '\n';
+    return true;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string root = ".";
     std::string json_path;
+    std::string sarif_path;
+    paqoc::lint::AnalyzeOptions options;
     std::vector<std::string> roots;
     bool list_rules = false;
+    bool fix = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--root" && i + 1 < argc) {
             root = argv[++i];
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarif_path = argv[++i];
+        } else if (arg == "--cache" && i + 1 < argc) {
+            options.cachePath = argv[++i];
+        } else if (arg == "--fix") {
+            fix = true;
         } else if (arg == "--list-rules") {
             list_rules = true;
         } else if (arg == "--help" || arg == "-h") {
-            std::printf("usage: paqoc_lint [--root DIR] [--json FILE] "
-                        "[--list-rules] [ROOTS...]\n");
+            std::printf(
+                "usage: paqoc_lint [--root DIR] [--json FILE] "
+                "[--sarif FILE] [--cache FILE] [--fix] "
+                "[--list-rules] [ROOTS...]\n");
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "paqoc_lint: unknown option '%s'\n",
@@ -47,47 +86,56 @@ main(int argc, char **argv)
     }
     if (list_rules) {
         for (const std::string &r : paqoc::lint::ruleNames())
-            std::printf("%s\n", r.c_str());
+            std::printf("%s  %s\n", r.c_str(),
+                        paqoc::lint::ruleDescription(r).c_str());
         return 0;
     }
     if (roots.empty())
         roots = {"src", "tools", "tests", "bench"};
 
-    std::vector<paqoc::lint::Finding> findings;
+    paqoc::lint::AnalyzeResult result;
     try {
-        findings = paqoc::lint::lintTree(root, roots);
+        if (fix) {
+            const std::vector<std::string> fixed =
+                paqoc::lint::fixHeaderGuards(root, roots);
+            for (const std::string &f : fixed)
+                std::fprintf(stderr, "paqoc_lint: fixed guard in %s\n",
+                             f.c_str());
+        }
+        result = paqoc::lint::analyzeTree(root, roots, options);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "paqoc_lint: %s\n", e.what());
         return 2;
     }
 
-    for (const auto &f : findings)
+    for (const auto &f : result.findings)
         std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(),
                      f.line, f.rule.c_str(), f.message.c_str());
 
-    if (!json_path.empty()) {
-        const std::string report =
-            paqoc::lint::findingsToJson(findings).dump();
-        if (json_path == "-") {
-            std::printf("%s\n", report.c_str());
-        } else {
-            std::ofstream out(json_path);
-            if (!out) {
-                std::fprintf(stderr,
-                             "paqoc_lint: cannot write '%s'\n",
-                             json_path.c_str());
-                return 2;
-            }
-            out << report << '\n';
-        }
-    }
+    if (!json_path.empty()
+        && !writeDoc(json_path,
+                     paqoc::lint::analyzeReportJson(result).dump()))
+        return 2;
+    if (!sarif_path.empty()
+        && !writeDoc(sarif_path,
+                     paqoc::lint::sarifReport(result.findings).dump()))
+        return 2;
 
-    if (findings.empty()) {
-        std::fprintf(stderr, "paqoc_lint: OK (%d rules)\n",
-                     paqoc::lint::ruleCount());
+    if (!options.cachePath.empty())
+        std::fprintf(stderr,
+                     "paqoc_lint: cache %s, %d/%d reused, %d reindexed\n",
+                     result.cache.loaded ? "warm" : "cold",
+                     result.cache.reused, result.cache.files,
+                     result.cache.reindexed);
+
+    if (result.findings.empty()) {
+        std::fprintf(stderr, "paqoc_lint: OK (%d rules, %zu lock-order "
+                             "edges)\n",
+                     paqoc::lint::ruleCount(),
+                     result.lockGraph.size());
         return 0;
     }
     std::fprintf(stderr, "paqoc_lint: %zu finding(s)\n",
-                 findings.size());
+                 result.findings.size());
     return 1;
 }

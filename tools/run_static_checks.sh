@@ -5,11 +5,14 @@
 #
 #   1. tools/check_format.sh  -- hygiene + clang-format (see that
 #      script for the PAQOC_REQUIRE_CLANG_FORMAT contract).
-#   2. paqoc_lint             -- the project linter over src/ tools/
-#      tests/ bench/. The binary is taken from --lint-binary, else
-#      from PAQOC_LINT_BINARY, else searched for under build*/tools/.
-#      A missing binary is a hard failure: the lint layer is never
-#      silently skipped.
+#   2. paqoc_lint             -- the whole-program analyzer over src/
+#      tools/ tests/ bench/. The binary is taken from --lint-binary,
+#      else from PAQOC_LINT_BINARY, else searched for under
+#      build*/tools/. A missing binary is a hard failure: the lint
+#      layer is never silently skipped. --lint-cache FILE (or
+#      PAQOC_LINT_CACHE) enables the incremental index cache;
+#      --lint-sarif FILE (or PAQOC_LINT_SARIF) writes the SARIF
+#      2.1.0 report for CI upload.
 #   3. clang-tidy             -- .clang-tidy checks over src/, when
 #      the tool and a compile_commands.json are available. Skipped
 #      with a note otherwise (GCC-only containers).
@@ -20,6 +23,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 LINT_BINARY="${PAQOC_LINT_BINARY:-}"
+LINT_CACHE="${PAQOC_LINT_CACHE:-}"
+LINT_SARIF="${PAQOC_LINT_SARIF:-}"
 while [ $# -gt 0 ]; do
     case "$1" in
         --lint-binary)
@@ -30,9 +35,26 @@ while [ $# -gt 0 ]; do
             LINT_BINARY="$2"
             shift 2
             ;;
+        --lint-cache)
+            [ $# -ge 2 ] || {
+                echo "run_static_checks: --lint-cache needs a path" >&2
+                exit 2
+            }
+            LINT_CACHE="$2"
+            shift 2
+            ;;
+        --lint-sarif)
+            [ $# -ge 2 ] || {
+                echo "run_static_checks: --lint-sarif needs a path" >&2
+                exit 2
+            }
+            LINT_SARIF="$2"
+            shift 2
+            ;;
         *)
             echo "run_static_checks: unknown argument: $1" >&2
-            echo "usage: $0 [--lint-binary PATH]" >&2
+            echo "usage: $0 [--lint-binary PATH]" \
+                "[--lint-cache PATH] [--lint-sarif PATH]" >&2
             exit 2
             ;;
     esac
@@ -60,7 +82,10 @@ if [ -z "$LINT_BINARY" ] || [ ! -x "$LINT_BINARY" ]; then
         "or pass --lint-binary" >&2
     status=1
 else
-    if ! "$LINT_BINARY" --root .; then
+    set -- --root .
+    [ -n "$LINT_CACHE" ] && set -- "$@" --cache "$LINT_CACHE"
+    [ -n "$LINT_SARIF" ] && set -- "$@" --sarif "$LINT_SARIF"
+    if ! "$LINT_BINARY" "$@"; then
         status=1
     fi
 fi
