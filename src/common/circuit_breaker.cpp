@@ -1,0 +1,166 @@
+#include "common/circuit_breaker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace paqoc {
+namespace {
+
+/**
+ * Default clock: monotonic milliseconds. Never serialized -- breaker
+ * timing gates *whether* a remote call happens, not what any payload
+ * contains (tests inject a fake clock instead of sleeping).
+ */
+double
+monotonicMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options,
+                               Clock clock)
+    : options_(options),
+      clock_(clock ? std::move(clock) : Clock(&monotonicMs))
+{
+    const int depth = std::max(1, options_.windowSize);
+    MutexLock lock(mutex_);
+    window_.assign(static_cast<std::size_t>(depth), false);
+}
+
+bool
+CircuitBreaker::allow()
+{
+    MutexLock lock(mutex_);
+    maybeProbeLocked();
+    switch (state_) {
+    case State::Closed:
+        ++counters_.allowed;
+        return true;
+    case State::Open:
+        ++counters_.rejected;
+        return false;
+    case State::HalfOpen:
+        if (probesInFlight_ < std::max(1, options_.halfOpenProbes)) {
+            ++probesInFlight_;
+            ++counters_.allowed;
+            return true;
+        }
+        ++counters_.rejected;
+        return false;
+    }
+    return false; // unreachable
+}
+
+void
+CircuitBreaker::onSuccess()
+{
+    MutexLock lock(mutex_);
+    if (state_ == State::HalfOpen) {
+        // Probe came back healthy: close and forget the bad spell.
+        state_ = State::Closed;
+        ++counters_.closed;
+        probesInFlight_ = 0;
+        std::fill(window_.begin(), window_.end(), false);
+        windowNext_ = 0;
+        windowCount_ = 0;
+        windowFailures_ = 0;
+        return;
+    }
+    if (state_ == State::Closed)
+        recordLocked(/*failure=*/false);
+}
+
+void
+CircuitBreaker::onFailure()
+{
+    MutexLock lock(mutex_);
+    if (state_ == State::HalfOpen) {
+        // The probe failed: back to Open for a fresh cooldown.
+        openLocked();
+        return;
+    }
+    if (state_ != State::Closed)
+        return;
+    recordLocked(/*failure=*/true);
+    if (windowCount_ < std::max(1, options_.minSamples))
+        return;
+    const double rate = static_cast<double>(windowFailures_)
+        / static_cast<double>(windowCount_);
+    if (rate >= options_.failureRateToOpen)
+        openLocked();
+}
+
+CircuitBreaker::State
+CircuitBreaker::state()
+{
+    MutexLock lock(mutex_);
+    maybeProbeLocked();
+    return state_;
+}
+
+CircuitBreaker::Counters
+CircuitBreaker::counters() const
+{
+    MutexLock lock(mutex_);
+    return counters_;
+}
+
+const char *
+CircuitBreaker::stateName(State state)
+{
+    switch (state) {
+    case State::Closed:
+        return "closed";
+    case State::Open:
+        return "open";
+    case State::HalfOpen:
+        return "half-open";
+    }
+    return "?";
+}
+
+void
+CircuitBreaker::recordLocked(bool failure)
+{
+    const int depth = static_cast<int>(window_.size());
+    if (windowCount_ == depth) {
+        // Window full: the slot being overwritten falls out of the
+        // rate.
+        if (window_[static_cast<std::size_t>(windowNext_)])
+            --windowFailures_;
+    } else {
+        ++windowCount_;
+    }
+    window_[static_cast<std::size_t>(windowNext_)] = failure;
+    if (failure)
+        ++windowFailures_;
+    windowNext_ = (windowNext_ + 1) % depth;
+}
+
+void
+CircuitBreaker::openLocked()
+{
+    state_ = State::Open;
+    ++counters_.opened;
+    openedAtMs_ = clock_();
+    probesInFlight_ = 0;
+}
+
+void
+CircuitBreaker::maybeProbeLocked()
+{
+    if (state_ != State::Open)
+        return;
+    if (clock_() - openedAtMs_ < options_.cooldownMs)
+        return;
+    state_ = State::HalfOpen;
+    ++counters_.halfOpened;
+    probesInFlight_ = 0;
+}
+
+} // namespace paqoc

@@ -1,0 +1,123 @@
+#ifndef PAQOC_COMMON_CIRCUIT_BREAKER_H_
+#define PAQOC_COMMON_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace paqoc {
+
+/** Tuning of a CircuitBreaker (DESIGN.md §14). */
+struct CircuitBreakerOptions
+{
+    /** Sliding window: how many recent outcomes the rate is over. */
+    int windowSize = 16;
+    /**
+     * Minimum outcomes in the window before the breaker may trip; a
+     * single failed first call must not open a cold breaker.
+     */
+    int minSamples = 4;
+    /** Failure rate in [0, 1] at or above which Closed trips Open. */
+    double failureRateToOpen = 0.5;
+    /** How long an Open breaker rejects before probing (half-open). */
+    double cooldownMs = 1000.0;
+    /** Probe calls admitted concurrently while HalfOpen. */
+    int halfOpenProbes = 1;
+};
+
+/**
+ * Per-endpoint circuit breaker: the fault-isolation valve between the
+ * daemon and any remote dependency (today: the shared pulse tier).
+ *
+ * States and transitions (DESIGN.md §14):
+ *
+ *   Closed    all calls admitted; outcomes recorded in a sliding
+ *             window of the last `windowSize` calls. When the window
+ *             holds >= minSamples outcomes and the failure rate
+ *             reaches failureRateToOpen, the breaker trips Open.
+ *   Open      all calls rejected without touching the network. After
+ *             cooldownMs the next allow() moves to HalfOpen.
+ *   HalfOpen  up to halfOpenProbes probe calls admitted; the first
+ *             reported success closes the breaker (window reset), the
+ *             first failure re-opens it for another cooldown.
+ *
+ * Callers bracket every guarded operation as
+ *
+ *     if (!breaker.allow()) { ...skip the dependency... }
+ *     else { ...do the op...; ok ? breaker.onSuccess()
+ *                                : breaker.onFailure(); }
+ *
+ * Thread-safe; all methods may race freely. Time is read through the
+ * injected monotonic-milliseconds clock so tests drive transitions
+ * deterministically without sleeping.
+ */
+class CircuitBreaker
+{
+  public:
+    enum class State
+    {
+        Closed,
+        Open,
+        HalfOpen,
+    };
+
+    /** Monotonic milliseconds; injectable for deterministic tests. */
+    using Clock = std::function<double()>;
+
+    /** Cumulative transition/admission counters (tier_* stats). */
+    struct Counters
+    {
+        std::uint64_t opened = 0;
+        std::uint64_t halfOpened = 0;
+        std::uint64_t closed = 0;
+        std::uint64_t allowed = 0;
+        std::uint64_t rejected = 0;
+    };
+
+    explicit CircuitBreaker(CircuitBreakerOptions options = {},
+                            Clock clock = {});
+
+    /**
+     * Gate one call: true admits it (and, while HalfOpen, consumes a
+     * probe slot), false means skip the dependency entirely. An Open
+     * breaker whose cooldown has expired flips to HalfOpen here.
+     */
+    bool allow();
+
+    /** Report the outcome of an admitted call. */
+    void onSuccess();
+    void onFailure();
+
+    /** Current state (cooldown expiry applied first). */
+    State state();
+    Counters counters() const;
+
+    /** "closed" / "open" / "half-open" (stats + shutdown table). */
+    static const char *stateName(State state);
+
+  private:
+    void recordLocked(bool failure) PAQOC_REQUIRES(mutex_);
+    void openLocked() PAQOC_REQUIRES(mutex_);
+    /** Open -> HalfOpen when the cooldown has elapsed. */
+    void maybeProbeLocked() PAQOC_REQUIRES(mutex_);
+
+    const CircuitBreakerOptions options_;
+    const Clock clock_;
+
+    mutable Mutex mutex_;
+    State state_ PAQOC_GUARDED_BY(mutex_) = State::Closed;
+    /** Ring of recent outcomes (true = failure), window_ deep. */
+    std::vector<bool> window_ PAQOC_GUARDED_BY(mutex_);
+    int windowNext_ PAQOC_GUARDED_BY(mutex_) = 0;
+    int windowCount_ PAQOC_GUARDED_BY(mutex_) = 0;
+    int windowFailures_ PAQOC_GUARDED_BY(mutex_) = 0;
+    double openedAtMs_ PAQOC_GUARDED_BY(mutex_) = 0.0;
+    int probesInFlight_ PAQOC_GUARDED_BY(mutex_) = 0;
+    Counters counters_ PAQOC_GUARDED_BY(mutex_);
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_COMMON_CIRCUIT_BREAKER_H_

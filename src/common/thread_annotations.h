@@ -1,6 +1,7 @@
 #ifndef PAQOC_COMMON_THREAD_ANNOTATIONS_H_
 #define PAQOC_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -138,6 +139,21 @@ class CondVar
     wait(Mutex &mutex) PAQOC_REQUIRES(mutex)
     {
         cv_.wait(mutex);
+    }
+
+    /**
+     * Sleep until notified or `timeout` elapsed; `mutex` must be held
+     * (and stays held). Callers re-check their predicate in the usual
+     * while loop -- the return value is deliberately dropped so timed
+     * waits read exactly like untimed ones.
+     */
+    template <typename Rep, typename Period>
+    void
+    wait_for(Mutex &mutex,
+             const std::chrono::duration<Rep, Period> &timeout)
+        PAQOC_REQUIRES(mutex)
+    {
+        (void)cv_.wait_for(mutex, timeout);
     }
 
     void notify_one() { cv_.notify_one(); }

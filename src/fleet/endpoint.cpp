@@ -1,10 +1,13 @@
 #include "fleet/endpoint.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -42,28 +45,109 @@ resolve(const std::string &host, int port, bool for_bind,
     return result;
 }
 
+/**
+ * One deadline-bounded connect attempt against an already-created
+ * socket. Returns 0 on success, else -1 with the errno-style cause in
+ * *cause. The socket is left in blocking mode on success.
+ */
+int
+connectWithDeadline(int fd, const sockaddr *addr, socklen_t addrlen,
+                    int remaining_ms, std::string *cause)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        *cause = std::string("fcntl(): ") + std::strerror(errno);
+        return -1;
+    }
+    int rc = ::connect(fd, addr, addrlen);
+    if (rc != 0 && errno != EINPROGRESS) {
+        *cause = std::strerror(errno);
+        return -1;
+    }
+    if (rc != 0) {
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        do {
+            rc = ::poll(&pfd, 1, remaining_ms > 0 ? remaining_ms : 0);
+        } while (rc < 0 && errno == EINTR);
+        if (rc == 0) {
+            *cause = "connect timed out";
+            return -1;
+        }
+        if (rc < 0) {
+            *cause = std::string("poll(): ") + std::strerror(errno);
+            return -1;
+        }
+        int so_error = 0;
+        socklen_t len = sizeof so_error;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len)
+            != 0) {
+            *cause =
+                std::string("getsockopt(): ") + std::strerror(errno);
+            return -1;
+        }
+        if (so_error != 0) {
+            *cause = std::strerror(so_error);
+            return -1;
+        }
+    }
+    if (::fcntl(fd, F_SETFL, flags) < 0) {
+        *cause = std::string("fcntl(): ") + std::strerror(errno);
+        return -1;
+    }
+    return 0;
+}
+
 } // namespace
 
 std::optional<HostPort>
 parseHostPort(const std::string &spec, std::string *error)
 {
-    const std::size_t colon = spec.find(':');
-    if (colon == std::string::npos) {
-        setError(error, "'" + spec + "': expected host:port");
-        return std::nullopt;
-    }
-    if (spec.find(':', colon + 1) != std::string::npos) {
-        setError(error, "'" + spec
-                            + "': more than one ':' (bracketed IPv6 "
-                              "is not supported)");
-        return std::nullopt;
-    }
     HostPort hp;
-    hp.host = spec.substr(0, colon);
-    const std::string port_text = spec.substr(colon + 1);
-    if (hp.host.empty()) {
-        setError(error, "'" + spec + "': empty host");
-        return std::nullopt;
+    std::string port_text;
+    if (!spec.empty() && spec[0] == '[') {
+        // Bracketed form: "[host]:port", for hosts that contain ':'
+        // themselves (IPv6 literals). The bracket pair must be
+        // followed immediately by ":port".
+        const std::size_t close = spec.find(']');
+        if (close == std::string::npos) {
+            setError(error, "'" + spec + "': unterminated '['");
+            return std::nullopt;
+        }
+        hp.host = spec.substr(1, close - 1);
+        if (hp.host.empty()) {
+            setError(error, "'" + spec + "': empty host");
+            return std::nullopt;
+        }
+        if (close + 1 >= spec.size() || spec[close + 1] != ':') {
+            setError(error,
+                     "'" + spec + "': expected ':' after ']'");
+            return std::nullopt;
+        }
+        port_text = spec.substr(close + 2);
+    } else {
+        const std::size_t colon = spec.find(':');
+        if (colon == std::string::npos) {
+            setError(error, "'" + spec + "': expected host:port");
+            return std::nullopt;
+        }
+        if (spec.find(':', colon + 1) != std::string::npos) {
+            setError(error, "'" + spec
+                                + "': more than one ':' (bracket an "
+                                  "IPv6 literal: \"[::1]:port\")");
+            return std::nullopt;
+        }
+        hp.host = spec.substr(0, colon);
+        port_text = spec.substr(colon + 1);
+        if (hp.host.empty()) {
+            setError(error, "'" + spec + "': empty host");
+            return std::nullopt;
+        }
+        if (hp.host.find(']') != std::string::npos) {
+            setError(error, "'" + spec + "': ']' without '['");
+            return std::nullopt;
+        }
     }
     if (port_text.empty()) {
         setError(error, "'" + spec + "': empty port");
@@ -152,11 +236,16 @@ listenTcp(const std::string &host, int port, int backlog,
 }
 
 int
-connectTcp(const std::string &host, int port, std::string *error)
+connectTcp(const std::string &host, int port, std::string *error,
+           int timeout_ms)
 {
     addrinfo *addrs = resolve(host, port, /*for_bind=*/false, error);
     if (addrs == nullptr)
         return -1;
+    // One deadline covers every resolved address together: the caller
+    // asked for "reach this endpoint within T", not "T per A record".
+    const auto deadline = std::chrono::steady_clock::now()
+        + std::chrono::milliseconds(timeout_ms);
     int fd = -1;
     std::string last_error = "no usable address";
     for (addrinfo *ai = addrs; ai != nullptr; ai = ai->ai_next) {
@@ -166,8 +255,26 @@ connectTcp(const std::string &host, int port, std::string *error)
                          + std::strerror(errno);
             continue;
         }
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
+        int rc = 0;
+        if (timeout_ms > 0) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            if (left <= 0) {
+                last_error = "connect timed out";
+                ::close(fd);
+                fd = -1;
+                break;
+            }
+            rc = connectWithDeadline(fd, ai->ai_addr, ai->ai_addrlen,
+                                     static_cast<int>(left),
+                                     &last_error);
+        } else if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
             last_error = std::strerror(errno);
+            rc = -1;
+        }
+        if (rc != 0) {
             ::close(fd);
             fd = -1;
             continue;

@@ -26,10 +26,16 @@ struct HostPort
 };
 
 /**
- * Parse a "host:port" spelling. Exactly one ':' separates a non-empty
- * host from an all-digit port in [0, 65535]; anything else (missing
- * colon, empty host or port, non-numeric or out-of-range port,
- * bracketed IPv6) is rejected with a description in *error. Port 0 is
+ * Parse a "host:port" spelling. Two forms are accepted:
+ *
+ *   host:port      exactly one ':' separating a non-empty host from
+ *                  an all-digit port in [0, 65535]
+ *   [host]:port    bracketed form for hosts that themselves contain
+ *                  ':' -- IPv6 literals ("[::1]:7777" -> host "::1")
+ *
+ * Anything else (missing colon, empty host or port, non-numeric or
+ * out-of-range port, unterminated or empty brackets, text between
+ * ']' and ':') is rejected with a description in *error. Port 0 is
  * accepted because listeners use it to request an ephemeral port;
  * connecting to port 0 fails at connect time.
  */
@@ -57,8 +63,16 @@ int listenTcp(const std::string &host, int port, int backlog,
 /**
  * Connect to host:port (name resolution via getaddrinfo). Returns the
  * connected fd, or -1 with a description in *error.
+ *
+ * `timeout_ms > 0` bounds the whole attempt (all resolved addresses
+ * together) via non-blocking connect + poll: a black-holed SYN fails
+ * within the budget instead of blocking for the kernel default
+ * (~2 minutes), which SO_RCVTIMEO set afterwards can never fix.
+ * `timeout_ms <= 0` keeps the historical blocking connect. The
+ * returned fd is always in blocking mode.
  */
-int connectTcp(const std::string &host, int port, std::string *error);
+int connectTcp(const std::string &host, int port, std::string *error,
+               int timeout_ms = 0);
 
 } // namespace fleet
 } // namespace paqoc

@@ -242,7 +242,8 @@ checkRawIo(const FileContext &ctx)
     // where corruption lives.
     const bool covered = startsWith(ctx.path, "src/store/")
         || startsWith(ctx.path, "src/service/")
-        || startsWith(ctx.path, "src/fleet/");
+        || startsWith(ctx.path, "src/fleet/")
+        || startsWith(ctx.path, "src/tier/");
     if (!covered)
         return;
     // The SCM_RIGHTS fd handoff is the one allowlisted path: cmsg

@@ -65,8 +65,9 @@ namespace lint {
  *                        silently changes GRAPE convergence.
  *   raw-io               raw write()/send()-family syscalls (write,
  *                        send, pwrite, writev, sendto, sendmsg) in
- *                        the store, service, and fleet layers
- *                        (src/store, src/service, src/fleet): durable
+ *                        the store, service, fleet, and tier layers
+ *                        (src/store, src/service, src/fleet,
+ *                        src/tier): durable
  *                        and wire I/O must go through the
  *                        failpoint-aware checked* wrappers in
  *                        src/common/failpoint.h so chaos tests can

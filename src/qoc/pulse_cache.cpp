@@ -213,6 +213,18 @@ PulseCache::attachStore(PulseStoreSink *sink)
 }
 
 void
+PulseCache::attachTier(PulseTierSource *tier)
+{
+    tier_.store(tier, std::memory_order_release);
+}
+
+PulseTierSource *
+PulseCache::tierSource() const
+{
+    return tier_.load(std::memory_order_acquire);
+}
+
+void
 PulseCache::insertLocked(const std::string &key, const Matrix &unitary,
                          int num_qubits, CachedPulse &&entry)
 {

@@ -39,6 +39,13 @@ struct CachedPulse
      * within a batch are assigned in completion order). Not serialized.
      */
     std::uint64_t generation = 0;
+    /**
+     * Entry was fetched from the shared network tier rather than
+     * derived locally. The durable library still journals it (that is
+     * the read-through contract) but does not forward it back to the
+     * tier -- the tier already has it. Not serialized.
+     */
+    bool fromTier = false;
 };
 
 /**
@@ -56,6 +63,25 @@ class PulseStoreSink
     /** `key` is PulseCache::canonicalKey of the entry's unitary. */
     virtual void onInsert(const std::string &key,
                           const CachedPulse &entry) = 0;
+};
+
+/**
+ * Read-through source consulted on a cache miss, implemented by the
+ * shared-tier client (src/tier/tier_client.h). The elected single-
+ * flight leader calls fetch() *before* computing; a returned entry is
+ * published through completeFlight exactly as a locally derived pulse
+ * would be, so joiners and the durable library see no difference.
+ * fetch() runs outside the cache lock (it does network I/O), must
+ * never throw, and returns nullopt on miss, timeout, open breaker, or
+ * a corrupt (quarantined) entry -- any nullopt simply means "compute
+ * locally", which is how the tier stays strictly an accelerator.
+ */
+class PulseTierSource
+{
+  public:
+    virtual ~PulseTierSource() = default;
+    /** `key` is PulseCache::canonicalKey of the wanted unitary. */
+    virtual std::optional<CachedPulse> fetch(const std::string &key) = 0;
 };
 
 /**
@@ -187,6 +213,16 @@ class PulseCache
      */
     void attachStore(PulseStoreSink *sink);
 
+    /**
+     * Attach the shared-tier read-through source (null detaches).
+     * Same setup discipline as attachStore. Generators consult it via
+     * tierSource() after winning a single-flight election.
+     */
+    void attachTier(PulseTierSource *tier);
+
+    /** The attached tier source, or nullptr. */
+    PulseTierSource *tierSource() const;
+
     /** Canonical string key (exposed for tests). */
     static std::string canonicalKey(const Matrix &unitary, int num_qubits);
 
@@ -219,6 +255,8 @@ class PulseCache
     std::atomic<std::uint64_t> generation_{0};
     /** Set in single-threaded setup; read under mutex_. */
     PulseStoreSink *sink_ PAQOC_GUARDED_BY(mutex_) = nullptr;
+    /** Set in single-threaded setup; reads are lock-free. */
+    std::atomic<PulseTierSource *> tier_{nullptr};
 };
 
 } // namespace paqoc

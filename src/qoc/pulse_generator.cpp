@@ -101,6 +101,26 @@ SpectralPulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
         }
     }
     try {
+        // Shared-tier read-through (DESIGN.md §14): the leader asks
+        // the tier before computing. A verified hit publishes exactly
+        // like a local derivation, so joiners and the durable library
+        // see no difference.
+        if (cache_enabled_) {
+            if (PulseTierSource *tier = cache_.tierSource()) {
+                if (std::optional<CachedPulse> fetched = tier->fetch(
+                        PulseCache::canonicalKey(unitary,
+                                                 num_qubits))) {
+                    result.latency = fetched->latency;
+                    result.error = fetched->error;
+                    result.cacheHit = true;
+                    result.costUnits = 0.0;
+                    fetched->fromTier = true;
+                    cache_.completeFlight(unitary, num_qubits,
+                                          std::move(*fetched));
+                    return result;
+                }
+            }
+        }
         chargeResidentPulse();
         result.latency = model_.latency(unitary, num_qubits);
         result.error = model_.pulseError(num_qubits, result.latency);
@@ -158,6 +178,26 @@ GrapePulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
     }
 
     try {
+        // Shared-tier read-through (DESIGN.md §14): ask the tier
+        // before spending GRAPE iterations. A verified hit costs zero
+        // iterations and zero quota, and publishes exactly like a
+        // local derivation -- GRAPE is a pure function of (unitary,
+        // fingerprint-pinned config), so the fetched bytes are the
+        // bytes a local run would have produced.
+        if (PulseTierSource *tier = cache_.tierSource()) {
+            if (std::optional<CachedPulse> fetched = tier->fetch(
+                    PulseCache::canonicalKey(unitary, num_qubits))) {
+                result.latency = fetched->latency;
+                result.error = fetched->error;
+                result.schedule = fetched->schedule;
+                result.cacheHit = true;
+                result.costUnits = 0.0;
+                fetched->fromTier = true;
+                cache_.completeFlight(unitary, num_qubits,
+                                      std::move(*fetched));
+                return result;
+            }
+        }
         chargeResidentPulse();
         // Crash safety: resume this derivation's GRAPE progress if a
         // checkpoint for the canonical key survived a previous

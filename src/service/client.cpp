@@ -50,8 +50,8 @@ ServiceClient::ServiceClient(const std::string &target,
                                                           std::milli>(
             jitteredBackoffMs(attempt)));
     }
-    PAQOC_FATAL_IF(true, "client: cannot connect to '", target_,
-                   "': ", error, " (is paqocd running?)");
+    throw TransportError("client: cannot connect to '" + target_
+                         + "': " + error + " (is paqocd running?)");
 }
 
 ServiceClient::~ServiceClient()
@@ -90,7 +90,10 @@ ServiceClient::tryConnect(std::string *error)
         PAQOC_FATAL_IF(!endpoint.has_value(),
                        "client: bad TCP endpoint '", target_, "': ",
                        *error);
-        fd = fleet::connectTcp(endpoint->host, endpoint->port, error);
+        // Bound the TCP dial by the op timeout too: a black-holed SYN
+        // must not stall the whole retry budget on one attempt.
+        fd = fleet::connectTcp(endpoint->host, endpoint->port, error,
+                               static_cast<int>(options_.timeoutMs));
         if (fd < 0)
             return false;
     } else {
@@ -189,7 +192,7 @@ ServiceClient::request(const Json &request)
         }
         const double delay = jitteredBackoffMs(attempt);
         if (attempt >= options_.retries || budget_exhausted(delay))
-            throw FatalError(failure);
+            throw TransportError(failure);
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(delay));
     }

@@ -4,10 +4,24 @@
 #include <cstdint>
 #include <string>
 
+#include "common/error.h"
 #include "common/json.h"
 #include "common/rng.h"
 
 namespace paqoc {
+
+/**
+ * FatalError subtype raised when the daemon cannot be reached at all:
+ * connect attempts exhausted, connection lost with no retries left, or
+ * a wedged socket timing out. Callers (paqocc exit codes, the tier
+ * client's circuit breaker) branch on transport-vs-server failure by
+ * catching this before FatalError.
+ */
+class TransportError : public FatalError
+{
+  public:
+    explicit TransportError(const std::string &msg) : FatalError(msg) {}
+};
 
 /** Retry/timeout policy of a ServiceClient (DESIGN.md §9). */
 struct ClientOptions

@@ -188,6 +188,13 @@ PulseService::PulseService(ServiceOptions options)
     // what every request of this daemon lifetime starts from.
     epoch_spectral_ = spectral_lib_->entriesSnapshot();
     epoch_grape_ = grape_lib_->entriesSnapshot();
+    // Chain the shared-tier write-behind sinks: every fresh local
+    // derivation the libraries journal is also published to the tier
+    // (tier-fetched entries are filtered by the library).
+    if (options_.tierSpectral.sink != nullptr)
+        spectral_lib_->setForwardSink(options_.tierSpectral.sink);
+    if (options_.tierGrape.sink != nullptr)
+        grape_lib_->setForwardSink(options_.tierGrape.sink);
 }
 
 void
@@ -204,8 +211,17 @@ PulseService::prepareCache(PulseCache &cache,
     }
     PulseLibrary *lib = backend == "grape" ? grape_lib_.get()
                                            : spectral_lib_.get();
+    const ServiceOptions::TierHooks &hooks = backend == "grape"
+        ? options_.tierGrape
+        : options_.tierSpectral;
+    if (hooks.source != nullptr)
+        cache.attachTier(hooks.source);
     if (lib != nullptr)
         cache.attachStore(lib);
+    else if (hooks.sink != nullptr)
+        // In-memory daemon with a tier: publish derivations straight
+        // from the cache (there is no library to chain behind).
+        cache.attachStore(hooks.sink);
 }
 
 Json
@@ -479,6 +495,8 @@ PulseService::statsJson() const
     libraries.set("spectral", lib(spectral_lib_.get()));
     libraries.set("grape", lib(grape_lib_.get()));
     s.set("libraries", std::move(libraries));
+    if (options_.tierStats)
+        s.set("tier", options_.tierStats());
     return s;
 }
 

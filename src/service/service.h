@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -54,6 +55,24 @@ struct ServiceOptions
      * a request can tighten but never widen these.
      */
     QuotaLimits quotaLimits;
+    /**
+     * Shared-tier wiring, one hook pair per backend library
+     * (dependency-inverted: the service never links src/tier; the
+     * daemon owns the TierClient objects and plugs them in here).
+     * `source` is consulted on cache misses (read-through), `sink`
+     * receives fresh derivations when there is no local library to
+     * forward them (write-behind for an in-memory daemon; with a
+     * library the forward-sink chain on the library does it).
+     */
+    struct TierHooks
+    {
+        PulseTierSource *source = nullptr;
+        PulseStoreSink *sink = nullptr;
+    };
+    TierHooks tierSpectral;
+    TierHooks tierGrape;
+    /** Builds the "tier" member of the stats op; null omits it. */
+    std::function<Json()> tierStats;
 };
 
 /** One parsed compile request (the CLI and the wire share this). */

@@ -286,38 +286,59 @@ PulseLibrary::entriesSnapshot() const
 void
 PulseLibrary::onInsert(const std::string &key, const CachedPulse &entry)
 {
-    MutexLock lock(mutex_);
-    if (entry.degraded) {
-        // Stitched best-effort pulses are session-local: serving them
-        // again after a restart would freeze a degraded result into
-        // the library forever.
-        ++stats_.skippedDegradedPulses;
-        return;
+    bool fresh = false;
+    {
+        MutexLock lock(mutex_);
+        if (entry.degraded) {
+            // Stitched best-effort pulses are session-local: serving
+            // them again after a restart would freeze a degraded
+            // result into the library forever.
+            ++stats_.skippedDegradedPulses;
+            return;
+        }
+        const auto it = entries_.find(key);
+        if (it != entries_.end() && it->second.latency == entry.latency
+            && it->second.error == entry.error
+            && it->second.schedule.amplitudes.size()
+                == entry.schedule.amplitudes.size()) {
+            // Exact re-derivation of a stored pulse: nothing new to
+            // log (and nothing new for the forward sink either).
+            return;
+        }
+        entries_[key] = entry;
+        fresh = true;
+        if (stats_.degraded) {
+            // Read-only mode: keep serving the fresh derivation from
+            // memory, but stop touching the (failing) disk.
+            ++stats_.failedAppends;
+        } else {
+            try {
+                journal_.append(encodePulseRecord(key, entry));
+                ++stats_.appendedRecords;
+                if (options_.syncEveryAppend && !journal_.sync())
+                    enterDegradedLocked("journal fsync failed");
+            } catch (const FatalError &e) {
+                ++stats_.failedAppends;
+                enterDegradedLocked(e.what());
+            }
+        }
     }
-    const auto it = entries_.find(key);
-    if (it != entries_.end() && it->second.latency == entry.latency
-        && it->second.error == entry.error
-        && it->second.schedule.amplitudes.size()
-            == entry.schedule.amplitudes.size()) {
-        // Exact re-derivation of a stored pulse: nothing new to log.
-        return;
+    // Write-behind forwarding runs outside the lock (the tier queue
+    // takes its own). Entries that came *from* the tier stay here --
+    // echoing them back would just churn the queue -- and a locally
+    // degraded library still forwards: the tier may well be healthier
+    // than this host's disk.
+    if (fresh && !entry.fromTier) {
+        if (PulseStoreSink *next =
+                forward_.load(std::memory_order_acquire))
+            next->onInsert(key, entry);
     }
-    entries_[key] = entry;
-    if (stats_.degraded) {
-        // Read-only mode: keep serving the fresh derivation from
-        // memory, but stop touching the (failing) disk.
-        ++stats_.failedAppends;
-        return;
-    }
-    try {
-        journal_.append(encodePulseRecord(key, entry));
-        ++stats_.appendedRecords;
-        if (options_.syncEveryAppend && !journal_.sync())
-            enterDegradedLocked("journal fsync failed");
-    } catch (const FatalError &e) {
-        ++stats_.failedAppends;
-        enterDegradedLocked(e.what());
-    }
+}
+
+void
+PulseLibrary::setForwardSink(PulseStoreSink *sink)
+{
+    forward_.store(sink, std::memory_order_release);
 }
 
 void

@@ -1,6 +1,7 @@
 #ifndef PAQOC_STORE_PULSE_LIBRARY_H_
 #define PAQOC_STORE_PULSE_LIBRARY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -118,6 +119,16 @@ class PulseLibrary : public PulseStoreSink
                   const CachedPulse &entry) override;
 
     /**
+     * Chain a second sink behind this one (null detaches): every
+     * entry accepted by onInsert is forwarded after the library's own
+     * lock is released -- the shared-tier write-behind queue hangs
+     * here. Entries the tier already owns (CachedPulse::fromTier) and
+     * degraded pulses are not forwarded. Set during single-threaded
+     * setup, like PulseCache::attachStore.
+     */
+    void setForwardSink(PulseStoreSink *sink);
+
+    /**
      * Fold the journal into a fresh snapshot (write-temp-fsync-rename)
      * and truncate the journal. Safe to call at any time.
      */
@@ -165,6 +176,8 @@ class PulseLibrary : public PulseStoreSink
         PAQOC_GUARDED_BY(mutex_);
     JournalWriter journal_ PAQOC_GUARDED_BY(mutex_);
     PulseLibraryStats stats_ PAQOC_GUARDED_BY(mutex_);
+    /** Set in single-threaded setup; reads are lock-free. */
+    std::atomic<PulseStoreSink *> forward_{nullptr};
 };
 
 /** Binary record payload codec (exposed for tests and tooling). */

@@ -1,0 +1,54 @@
+#include "tier/tier_protocol.h"
+
+namespace paqoc {
+namespace tier {
+
+std::string
+hexEncode(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(bytes.size() * 2);
+    for (const char c : bytes) {
+        const unsigned char b = static_cast<unsigned char>(c);
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0x0f]);
+    }
+    return out;
+}
+
+namespace {
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::optional<std::string>
+hexDecode(const std::string &text)
+{
+    if (text.size() % 2 != 0)
+        return std::nullopt;
+    std::string out;
+    out.reserve(text.size() / 2);
+    for (std::size_t i = 0; i < text.size(); i += 2) {
+        const int hi = hexDigit(text[i]);
+        const int lo = hexDigit(text[i + 1]);
+        if (hi < 0 || lo < 0)
+            return std::nullopt;
+        out.push_back(static_cast<char>((hi << 4) | lo));
+    }
+    return out;
+}
+
+} // namespace tier
+} // namespace paqoc

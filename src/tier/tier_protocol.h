@@ -1,0 +1,48 @@
+#ifndef PAQOC_TIER_TIER_PROTOCOL_H_
+#define PAQOC_TIER_TIER_PROTOCOL_H_
+
+#include <optional>
+#include <string>
+
+namespace paqoc {
+namespace tier {
+
+/**
+ * Shared pulse-cache tier wire protocol (DESIGN.md §14). The tier
+ * daemon speaks the service's frame format -- 4-byte big-endian
+ * length + JSON (src/service/protocol.h) -- with its own op set:
+ *
+ *   {"op":"ping"}
+ *       -> {"ok":true,"payload":"pong"}
+ *   {"op":"tier_get","fingerprint":F,"key":K}
+ *       -> {"ok":true,"payload":{"found":b,"denied":b,
+ *                                "record":hex,"crc":n}}
+ *   {"op":"tier_put","fingerprint":F,"key":K,"record":hex,"crc":n}
+ *       -> {"ok":true,"payload":{"stored":b,"denied":b}}
+ *          or {"ok":false,...} when the record fails its own CRC
+ *   {"op":"tier_deny","fingerprint":F,"key":K,"reason":...}
+ *       -> {"ok":true}   (poisoned-key denylist, DESIGN.md §14)
+ *   {"op":"stats"}      -> {"ok":true,"payload":{...counters...}}
+ *   {"op":"shutdown"}   -> {"ok":true}, then the daemon drains
+ *
+ * Records are the pulse library's binary record payloads
+ * (encodePulseRecord), hex-encoded because JSON strings cannot carry
+ * arbitrary bytes, and always accompanied by crc32(record) so both
+ * sides can verify the bytes end to end independently of the frame
+ * transport. Fingerprints namespace everything: a record published
+ * under one backend configuration is invisible to every other.
+ */
+
+/** Journal-header fingerprint of the tier daemon's own store. */
+inline const char kTierStoreFingerprint[] = "paqoc-tier-v1";
+
+/** Lowercase hex of arbitrary bytes. */
+std::string hexEncode(const std::string &bytes);
+
+/** Inverse of hexEncode; nullopt on odd length or a non-hex digit. */
+std::optional<std::string> hexDecode(const std::string &text);
+
+} // namespace tier
+} // namespace paqoc
+
+#endif // PAQOC_TIER_TIER_PROTOCOL_H_

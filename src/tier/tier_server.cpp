@@ -1,0 +1,382 @@
+#include "tier/tier_server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "fleet/endpoint.h"
+#include "service/protocol.h"
+#include "store/crc32.h"
+#include "tier/tier_protocol.h"
+
+namespace paqoc {
+namespace tier {
+
+TierServer::TierServer(TierStore &store, TierServerOptions options)
+    : store_(store), options_(std::move(options))
+{
+}
+
+TierServer::~TierServer()
+{
+    stop();
+}
+
+void
+TierServer::start()
+{
+    if (accept_thread_.joinable())
+        return; // already started (run() after an explicit start())
+    PAQOC_FATAL_IF(options_.socketPath.empty()
+                       && options_.listenHost.empty(),
+                   "tierd: no listening endpoint configured");
+    if (!options_.socketPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        PAQOC_FATAL_IF(
+            options_.socketPath.size() >= sizeof addr.sun_path,
+            "tierd: socket path '", options_.socketPath, "' too long");
+        std::strncpy(addr.sun_path, options_.socketPath.c_str(),
+                     sizeof addr.sun_path - 1);
+
+        listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        PAQOC_FATAL_IF(listen_fd_ < 0, "tierd: socket(): ",
+                       std::strerror(errno));
+        ::unlink(options_.socketPath.c_str());
+        PAQOC_FATAL_IF(::bind(listen_fd_,
+                              reinterpret_cast<sockaddr *>(&addr),
+                              sizeof addr)
+                           != 0,
+                       "tierd: cannot bind '", options_.socketPath,
+                       "': ", std::strerror(errno));
+        PAQOC_FATAL_IF(::listen(listen_fd_, 64) != 0,
+                       "tierd: listen(): ", std::strerror(errno));
+    }
+    if (!options_.listenHost.empty()) {
+        std::string error;
+        tcp_fd_ = fleet::listenTcp(options_.listenHost,
+                                   options_.listenPort, 64, &error,
+                                   &tcp_port_);
+        PAQOC_FATAL_IF(tcp_fd_ < 0, "tierd: ", error);
+    }
+    accept_thread_ = std::thread([this]() { acceptLoop(); });
+}
+
+void
+TierServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd fds[2];
+        nfds_t n = 0;
+        if (listen_fd_ >= 0)
+            fds[n++] = {listen_fd_, POLLIN, 0};
+        if (tcp_fd_ >= 0)
+            fds[n++] = {tcp_fd_, POLLIN, 0};
+        const int r = ::poll(fds, n, 200);
+        if (r <= 0)
+            continue; // timeout (re-check stop flag) or EINTR
+        for (nfds_t i = 0; i < n; ++i) {
+            if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0)
+                continue;
+            const int fd = ::accept(fds[i].fd, nullptr, nullptr);
+            if (fd >= 0)
+                adoptConnection(fd);
+        }
+    }
+}
+
+void
+TierServer::adoptConnection(int fd)
+{
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+        MutexLock lock(mutex_);
+        if (stopping_.load(std::memory_order_relaxed)) {
+            ::close(fd);
+            return;
+        }
+        ++counters_.connections;
+        connections_.push_back(conn);
+    }
+    conn->thread =
+        std::thread([this, conn]() { serveConnection(conn); });
+}
+
+void
+TierServer::serveConnection(const std::shared_ptr<Connection> &conn)
+{
+    std::string text;
+    try {
+        while (protocol::readFrame(conn->fd, text)) {
+            Json response;
+            try {
+                response = handle(Json::parse(text));
+            } catch (const std::exception &e) {
+                MutexLock lock(mutex_);
+                ++counters_.badRequests;
+                response = protocol::errorResponse(
+                    std::string("tierd: ") + e.what());
+            }
+            protocol::writeFrame(conn->fd, response.dump());
+        }
+    } catch (const std::exception &) {
+        // Torn frame or dropped peer: the connection dies, the
+        // tier daemon lives on.
+    }
+}
+
+Json
+TierServer::handle(const Json &request)
+{
+    const std::string op =
+        request.get("op", Json(std::string())).asString();
+    if (op == "ping") {
+        Json response = Json::object();
+        response.set("ok", Json(true));
+        response.set("payload", Json("pong"));
+        return response;
+    }
+    if (op == "tier_get")
+        return handleGet(request);
+    if (op == "tier_put")
+        return handlePut(request);
+    if (op == "tier_deny")
+        return handleDeny(request);
+    if (op == "stats") {
+        Json response = Json::object();
+        response.set("ok", Json(true));
+        response.set("payload", statsJson());
+        return response;
+    }
+    if (op == "shutdown") {
+        requestStop();
+        Json response = Json::object();
+        response.set("ok", Json(true));
+        return response;
+    }
+    {
+        MutexLock lock(mutex_);
+        ++counters_.badRequests;
+    }
+    return protocol::errorResponse("tierd: unknown op '" + op + "'");
+}
+
+Json
+TierServer::handleGet(const Json &request)
+{
+    const std::string fingerprint =
+        request.get("fingerprint", Json(std::string())).asString();
+    const std::string key =
+        request.get("key", Json(std::string())).asString();
+    if (fingerprint.empty() || key.empty()) {
+        MutexLock lock(mutex_);
+        ++counters_.badRequests;
+        return protocol::errorResponse(
+            "tierd: tier_get needs fingerprint and key");
+    }
+    bool denied = false;
+    std::optional<std::string> record =
+        store_.get(fingerprint, key, &denied);
+
+    Json payload = Json::object();
+    payload.set("found", Json(record.has_value()));
+    payload.set("denied", Json(denied));
+    if (record.has_value()) {
+        payload.set("record", Json(hexEncode(*record)));
+        payload.set("crc", Json(static_cast<double>(
+                               crc32(record->data(), record->size()))));
+    }
+    {
+        MutexLock lock(mutex_);
+        ++counters_.gets;
+        if (record.has_value())
+            ++counters_.getHits;
+        if (denied)
+            ++counters_.getDenied;
+    }
+    Json response = Json::object();
+    response.set("ok", Json(true));
+    response.set("payload", std::move(payload));
+    return response;
+}
+
+Json
+TierServer::handlePut(const Json &request)
+{
+    const std::string fingerprint =
+        request.get("fingerprint", Json(std::string())).asString();
+    const std::string key =
+        request.get("key", Json(std::string())).asString();
+    const std::string hex =
+        request.get("record", Json(std::string())).asString();
+    if (fingerprint.empty() || key.empty() || hex.empty()) {
+        MutexLock lock(mutex_);
+        ++counters_.badRequests;
+        return protocol::errorResponse(
+            "tierd: tier_put needs fingerprint, key and record");
+    }
+    std::optional<std::string> record = hexDecode(hex);
+    const double claimed =
+        request.get("crc", Json(-1.0)).asNumber();
+    const bool crcOk =
+        record.has_value()
+        && claimed
+               == static_cast<double>(
+                   crc32(record->data(), record->size()));
+    if (!crcOk) {
+        // The record was damaged between the client and us; refusing
+        // it keeps the shared store clean (DESIGN.md §14).
+        MutexLock lock(mutex_);
+        ++counters_.puts;
+        ++counters_.putsRejectedCrc;
+        return protocol::errorResponse(
+            "tierd: tier_put record failed its CRC");
+    }
+    const bool stored = store_.put(fingerprint, key, *record);
+    {
+        MutexLock lock(mutex_);
+        ++counters_.puts;
+    }
+    Json payload = Json::object();
+    payload.set("stored", Json(stored));
+    payload.set("denied", Json(!stored));
+    Json response = Json::object();
+    response.set("ok", Json(true));
+    response.set("payload", std::move(payload));
+    return response;
+}
+
+Json
+TierServer::handleDeny(const Json &request)
+{
+    const std::string fingerprint =
+        request.get("fingerprint", Json(std::string())).asString();
+    const std::string key =
+        request.get("key", Json(std::string())).asString();
+    if (fingerprint.empty() || key.empty()) {
+        MutexLock lock(mutex_);
+        ++counters_.badRequests;
+        return protocol::errorResponse(
+            "tierd: tier_deny needs fingerprint and key");
+    }
+    const std::string reason =
+        request.get("reason", Json(std::string("unspecified")))
+            .asString();
+    store_.deny(fingerprint, key, reason);
+    {
+        MutexLock lock(mutex_);
+        ++counters_.denies;
+    }
+    Json response = Json::object();
+    response.set("ok", Json(true));
+    return response;
+}
+
+Json
+TierServer::statsJson() const
+{
+    Counters counters;
+    {
+        MutexLock lock(mutex_);
+        counters = counters_;
+    }
+    const TierStoreStats store = store_.stats();
+
+    Json serving = Json::object();
+    serving.set("connections", Json(counters.connections));
+    serving.set("gets", Json(counters.gets));
+    serving.set("get_hits", Json(counters.getHits));
+    serving.set("get_denied", Json(counters.getDenied));
+    serving.set("puts", Json(counters.puts));
+    serving.set("puts_rejected_crc", Json(counters.putsRejectedCrc));
+    serving.set("denies", Json(counters.denies));
+    serving.set("bad_requests", Json(counters.badRequests));
+
+    Json st = Json::object();
+    st.set("records", Json(store_.size()));
+    st.set("denied_keys", Json(store.deniedKeys));
+    st.set("journal_records", Json(store.journalRecords));
+    st.set("dropped_tail_bytes",
+           Json(static_cast<double>(store.droppedTailBytes)));
+    st.set("corrupt_payloads", Json(store.corruptPayloads));
+    st.set("stored", Json(store.stored));
+    st.set("duplicate_puts", Json(store.duplicatePuts));
+    st.set("denied_puts", Json(store.deniedPuts));
+    st.set("denied_gets", Json(store.deniedGets));
+    st.set("degraded", Json(store.degraded));
+
+    Json out = Json::object();
+    out.set("serving", std::move(serving));
+    out.set("store", std::move(st));
+    return out;
+}
+
+void
+TierServer::run()
+{
+    start();
+    {
+        MutexLock lock(mutex_);
+        while (!stop_requested_)
+            stop_cv_.wait(mutex_);
+    }
+    stop();
+}
+
+void
+TierServer::requestStop()
+{
+    MutexLock lock(mutex_);
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+}
+
+void
+TierServer::stop()
+{
+    {
+        MutexLock lock(mutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+        stop_requested_ = true;
+        stop_cv_.notify_all();
+    }
+    stopping_.store(true, std::memory_order_relaxed);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    if (tcp_fd_ >= 0) {
+        ::close(tcp_fd_);
+        tcp_fd_ = -1;
+    }
+
+    std::vector<std::shared_ptr<Connection>> conns;
+    {
+        MutexLock lock(mutex_);
+        conns.swap(connections_);
+    }
+    for (const auto &conn : conns)
+        ::shutdown(conn->fd, SHUT_RDWR);
+    for (const auto &conn : conns) {
+        if (conn->thread.joinable())
+            conn->thread.join();
+        ::close(conn->fd);
+    }
+
+    store_.sync();
+    if (!options_.socketPath.empty())
+        ::unlink(options_.socketPath.c_str());
+}
+
+} // namespace tier
+} // namespace paqoc

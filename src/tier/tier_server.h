@@ -1,0 +1,116 @@
+#ifndef PAQOC_TIER_TIER_SERVER_H_
+#define PAQOC_TIER_TIER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/thread_annotations.h"
+#include "tier/tier_store.h"
+
+namespace paqoc {
+namespace tier {
+
+/** Transport configuration of a TierServer. */
+struct TierServerOptions
+{
+    /** Unix-domain listening socket ("" = none). */
+    std::string socketPath;
+    /** TCP listener host ("" = no TCP listener). */
+    std::string listenHost;
+    /** TCP listener port (0 = kernel-assigned; see tcpPort()). */
+    int listenPort = 0;
+};
+
+/**
+ * Socket front end of the shared pulse-cache tier (`paqoc-tierd`,
+ * DESIGN.md §14): the service's length-prefixed JSON frame transport
+ * carrying the tier op set (tier/tier_protocol.h) over a TierStore.
+ *
+ * Every tier_put is verified against its own crc member before it
+ * touches the store, so a client with a flaky link cannot poison the
+ * shared cache; tier_deny records a poisoned key so no client ever
+ * re-fetches bytes one of them proved corrupt.
+ *
+ * Handlers read no clocks and iterate no unordered containers: for a
+ * given store state, every response is byte-deterministic.
+ */
+class TierServer
+{
+  public:
+    TierServer(TierStore &store, TierServerOptions options);
+    ~TierServer();
+
+    TierServer(const TierServer &) = delete;
+    TierServer &operator=(const TierServer &) = delete;
+
+    /** Bind the endpoints and start the accept thread. */
+    void start();
+
+    /** start() + block until a shutdown op or requestStop(). */
+    void run();
+
+    /** Ask run() to finish (signal-handler and test safe). */
+    void requestStop();
+
+    /** Tear down: close listeners, join connections. Idempotent. */
+    void stop();
+
+    /** Resolved TCP port (after start(); -1 without a TCP listener). */
+    int tcpPort() const { return tcp_port_; }
+
+    /** Serving counters + store stats, as the `stats` op reports. */
+    Json statsJson() const;
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        std::thread thread;
+    };
+
+    void acceptLoop();
+    void adoptConnection(int fd);
+    void serveConnection(const std::shared_ptr<Connection> &conn);
+    Json handle(const Json &request);
+    Json handleGet(const Json &request);
+    Json handlePut(const Json &request);
+    Json handleDeny(const Json &request);
+
+    TierStore &store_;
+    TierServerOptions options_;
+    int listen_fd_ = -1;
+    int tcp_fd_ = -1;
+    int tcp_port_ = -1;
+    std::thread accept_thread_;
+    std::atomic<bool> stopping_{false};
+
+    mutable Mutex mutex_;
+    CondVar stop_cv_;
+    bool stop_requested_ PAQOC_GUARDED_BY(mutex_) = false;
+    bool stopped_ PAQOC_GUARDED_BY(mutex_) = false;
+    std::vector<std::shared_ptr<Connection>> connections_
+        PAQOC_GUARDED_BY(mutex_);
+
+    struct Counters
+    {
+        std::uint64_t connections = 0;
+        std::uint64_t gets = 0;
+        std::uint64_t getHits = 0;
+        std::uint64_t getDenied = 0;
+        std::uint64_t puts = 0;
+        std::uint64_t putsRejectedCrc = 0;
+        std::uint64_t denies = 0;
+        std::uint64_t badRequests = 0;
+    };
+    Counters counters_ PAQOC_GUARDED_BY(mutex_);
+};
+
+} // namespace tier
+} // namespace paqoc
+
+#endif // PAQOC_TIER_TIER_SERVER_H_

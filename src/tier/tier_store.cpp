@@ -1,0 +1,276 @@
+#include "tier/tier_store.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/error.h"
+#include "tier/tier_protocol.h"
+
+namespace paqoc {
+namespace tier {
+
+namespace {
+
+constexpr char kJournalFile[] = "tier.bin";
+constexpr int kRecordPut = 1;
+constexpr int kRecordDeny = 2;
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out.append(buf, 4);
+}
+
+void
+makeDirectory(const std::string &path)
+{
+    // mkdir -p over the path's components.
+    std::string partial;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        if (i < path.size() && path[i] != '/') {
+            partial += path[i];
+            continue;
+        }
+        if (i < path.size())
+            partial += '/';
+        if (partial.empty() || partial == "/")
+            continue;
+        if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+            PAQOC_FATAL_IF(true, "cannot create directory '", partial,
+                           "': ", std::strerror(errno));
+    }
+}
+
+void
+rotateAside(const std::string &path, std::vector<std::string> &warnings)
+{
+    const std::string stale = path + ".stale";
+    ::unlink(stale.c_str());
+    if (::rename(path.c_str(), stale.c_str()) == 0)
+        warnings.push_back("rotated incompatible file '" + path
+                           + "' to '" + stale + "'");
+}
+
+/** Bounds-checked cursor over a record payload. */
+struct Cursor
+{
+    const std::string &data;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v = 0;
+        if (pos + 4 > data.size()) {
+            ok = false;
+            return 0;
+        }
+        std::memcpy(&v, data.data() + pos, 4);
+        pos += 4;
+        return v;
+    }
+
+    std::string
+    bytes(std::size_t n)
+    {
+        if (pos + n > data.size()) {
+            ok = false;
+            return {};
+        }
+        std::string s = data.substr(pos, n);
+        pos += n;
+        return s;
+    }
+};
+
+} // namespace
+
+std::string
+encodeTierRecord(int type, const std::string &fingerprint,
+                 const std::string &key, const std::string &record)
+{
+    std::string out;
+    putU32(out, static_cast<std::uint32_t>(type));
+    putU32(out, static_cast<std::uint32_t>(fingerprint.size()));
+    out += fingerprint;
+    putU32(out, static_cast<std::uint32_t>(key.size()));
+    out += key;
+    putU32(out, static_cast<std::uint32_t>(record.size()));
+    out += record;
+    return out;
+}
+
+std::optional<TierRecord>
+decodeTierRecord(const std::string &payload)
+{
+    Cursor cur{payload};
+    TierRecord rec;
+    rec.type = static_cast<int>(cur.u32());
+    rec.fingerprint = cur.bytes(cur.u32());
+    rec.key = cur.bytes(cur.u32());
+    rec.record = cur.bytes(cur.u32());
+    if (!cur.ok || cur.pos != payload.size())
+        return std::nullopt;
+    if (rec.type != kRecordPut && rec.type != kRecordDeny)
+        return std::nullopt;
+    return rec;
+}
+
+TierStore::TierStore(std::string directory)
+    : directory_(std::move(directory))
+{
+    makeDirectory(directory_);
+    const std::string path = directory_ + "/" + kJournalFile;
+
+    JournalScan scan = scanJournal(
+        path, kTierStoreFingerprint,
+        [this](const std::string &p) { applyRecord(p); });
+    if (!scan.warning.empty())
+        stats_.warnings.push_back(scan.warning);
+    std::uint64_t truncate_to = scan.committedBytes;
+    if (!scan.headerValid
+        || (!scan.fingerprint.empty()
+            && scan.fingerprint != kTierStoreFingerprint)) {
+        rotateAside(path, stats_.warnings);
+        truncate_to = 0; // fresh file, openAppend writes the header
+    } else {
+        stats_.droppedTailBytes += scan.droppedBytes;
+    }
+
+    journal_ = JournalWriter::openAppend(path, kTierStoreFingerprint,
+                                         truncate_to);
+}
+
+std::string
+TierStore::mapKey(const std::string &fingerprint, const std::string &key)
+{
+    return fingerprint + "\n" + key;
+}
+
+void
+TierStore::applyRecord(const std::string &payload)
+{
+    // Called during recovery only (constructor; mutex not yet shared).
+    auto decoded = decodeTierRecord(payload);
+    if (!decoded.has_value()) {
+        ++stats_.corruptPayloads;
+        stats_.warnings.push_back(
+            "tier store: skipped an undecodable record of "
+            + std::to_string(payload.size()) + " bytes");
+        return;
+    }
+    ++stats_.journalRecords;
+    const std::string composite =
+        mapKey(decoded->fingerprint, decoded->key);
+    if (decoded->type == kRecordDeny) {
+        records_.erase(composite);
+        denied_.insert(composite);
+        return;
+    }
+    // Later puts win, but a denial is final even across a replay.
+    if (denied_.count(composite) == 0)
+        records_[composite] = std::move(decoded->record);
+}
+
+void
+TierStore::appendLocked(const std::string &payload)
+{
+    if (stats_.degraded)
+        return;
+    try {
+        journal_.append(payload);
+    } catch (const FatalError &e) {
+        // Keep serving from memory, like the pulse library's
+        // read-only degraded mode (DESIGN.md §9).
+        stats_.degraded = true;
+        stats_.warnings.push_back(std::string("tier store degraded: ")
+                                  + e.what());
+        journal_.close();
+    }
+}
+
+std::optional<std::string>
+TierStore::get(const std::string &fingerprint, const std::string &key,
+               bool *denied)
+{
+    MutexLock lock(mutex_);
+    const std::string composite = mapKey(fingerprint, key);
+    if (denied_.count(composite) != 0) {
+        ++stats_.deniedGets;
+        if (denied != nullptr)
+            *denied = true;
+        return std::nullopt;
+    }
+    if (denied != nullptr)
+        *denied = false;
+    auto it = records_.find(composite);
+    if (it == records_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+bool
+TierStore::put(const std::string &fingerprint, const std::string &key,
+               const std::string &record)
+{
+    MutexLock lock(mutex_);
+    const std::string composite = mapKey(fingerprint, key);
+    if (denied_.count(composite) != 0) {
+        ++stats_.deniedPuts;
+        return false;
+    }
+    auto it = records_.find(composite);
+    if (it != records_.end() && it->second == record) {
+        ++stats_.duplicatePuts;
+        return true;
+    }
+    records_[composite] = record;
+    ++stats_.stored;
+    appendLocked(encodeTierRecord(kRecordPut, fingerprint, key, record));
+    return true;
+}
+
+void
+TierStore::deny(const std::string &fingerprint, const std::string &key,
+                const std::string &reason)
+{
+    MutexLock lock(mutex_);
+    const std::string composite = mapKey(fingerprint, key);
+    records_.erase(composite);
+    if (!denied_.insert(composite).second)
+        return; // already poisoned; no need to re-journal
+    appendLocked(encodeTierRecord(kRecordDeny, fingerprint, key, reason));
+}
+
+std::size_t
+TierStore::size() const
+{
+    MutexLock lock(mutex_);
+    return records_.size();
+}
+
+TierStoreStats
+TierStore::stats() const
+{
+    MutexLock lock(mutex_);
+    TierStoreStats out = stats_;
+    out.deniedKeys = denied_.size();
+    return out;
+}
+
+void
+TierStore::sync()
+{
+    MutexLock lock(mutex_);
+    if (!stats_.degraded)
+        journal_.sync();
+}
+
+} // namespace tier
+} // namespace paqoc

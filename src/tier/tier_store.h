@@ -1,0 +1,142 @@
+#ifndef PAQOC_TIER_TIER_STORE_H_
+#define PAQOC_TIER_TIER_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "store/journal.h"
+
+namespace paqoc {
+namespace tier {
+
+/** What the store recovered and has done; surfaced by `stats`. */
+struct TierStoreStats
+{
+    /** Committed journal records replayed at open. */
+    std::size_t journalRecords = 0;
+    /** Torn/corrupt tail bytes dropped during recovery. */
+    std::uint64_t droppedTailBytes = 0;
+    /** Records whose payload failed to decode (skipped). */
+    std::size_t corruptPayloads = 0;
+    /** put() calls that stored a new or changed record. */
+    std::size_t stored = 0;
+    /** put() calls ignored: identical bytes already present. */
+    std::size_t duplicatePuts = 0;
+    /** put() calls refused because the key is denylisted. */
+    std::size_t deniedPuts = 0;
+    /** get() calls answered with a denylisted key. */
+    std::size_t deniedGets = 0;
+    /** Keys on the poisoned-key denylist. */
+    std::size_t deniedKeys = 0;
+    /** Journal failure flipped the store to memory-only serving. */
+    bool degraded = false;
+    std::vector<std::string> warnings;
+};
+
+/**
+ * The tier daemon's CRC32-journaled key/value store (DESIGN.md §14):
+ * (fingerprint, canonical key) -> pulse record bytes, plus the
+ * poisoned-key denylist. Built on the same journal primitive as the
+ * pulse library, so kill -9 leaves a valid prefix plus at most one
+ * torn record and recovery never aborts on corrupt content.
+ *
+ * Journal record payload (little-endian u32 lengths):
+ *
+ *   u32 type (1 = put, 2 = deny) | u32 fp_len | fp
+ *   | u32 key_len | key | u32 record_len | record bytes
+ *
+ * A deny record permanently poisons its key: any stored record is
+ * dropped, later puts are refused, and gets answer denied=true so a
+ * client that once fetched corruption never re-fetches it. Denials
+ * survive restarts (they are journaled like everything else).
+ *
+ * Journal failures (disk full, injected faults) degrade the store to
+ * memory-only serving, mirroring the pulse library's read-only mode.
+ *
+ * Thread-safe; shared by all of a tier daemon's connections.
+ */
+class TierStore
+{
+  public:
+    /**
+     * Open (or create) the store in `directory`, recovering the
+     * journal. Raises FatalError only on real I/O failures; foreign
+     * or corrupt journals are rotated aside with a warning.
+     */
+    explicit TierStore(std::string directory);
+
+    /**
+     * Fetch the record for (fingerprint, key); nullopt on miss. A
+     * denylisted key is always a miss with *denied set.
+     */
+    std::optional<std::string> get(const std::string &fingerprint,
+                                   const std::string &key,
+                                   bool *denied = nullptr);
+
+    /**
+     * Store (or overwrite) a record. Returns false when the key is
+     * denylisted -- poisoned keys never resurrect. Identical bytes
+     * are deduplicated without touching the journal.
+     */
+    bool put(const std::string &fingerprint, const std::string &key,
+             const std::string &record);
+
+    /** Poison (fingerprint, key): drop the record, refuse re-puts. */
+    void deny(const std::string &fingerprint, const std::string &key,
+              const std::string &reason);
+
+    /** Live record count across all fingerprints. */
+    std::size_t size() const;
+    TierStoreStats stats() const;
+    const std::string &directory() const { return directory_; }
+
+    /** fsync the journal (graceful-shutdown path). */
+    void sync();
+
+  private:
+    /** Composite map key; '\n' cannot occur in either component. */
+    static std::string mapKey(const std::string &fingerprint,
+                              const std::string &key);
+
+    void appendLocked(const std::string &payload)
+        PAQOC_REQUIRES(mutex_);
+    /**
+     * Recovery-time only (runs in the constructor, before the object
+     * is shared), hence exempt from the lock analysis.
+     */
+    void applyRecord(const std::string &payload)
+        PAQOC_NO_THREAD_SAFETY_ANALYSIS;
+
+    std::string directory_;
+    mutable Mutex mutex_;
+    /** Ordered so iteration (future compaction) is deterministic. */
+    std::map<std::string, std::string> records_
+        PAQOC_GUARDED_BY(mutex_);
+    std::set<std::string> denied_ PAQOC_GUARDED_BY(mutex_);
+    JournalWriter journal_ PAQOC_GUARDED_BY(mutex_);
+    TierStoreStats stats_ PAQOC_GUARDED_BY(mutex_);
+};
+
+/** Encode/decode one tier journal payload (exposed for tests). */
+std::string encodeTierRecord(int type, const std::string &fingerprint,
+                             const std::string &key,
+                             const std::string &record);
+struct TierRecord
+{
+    int type = 0; ///< 1 = put, 2 = deny
+    std::string fingerprint;
+    std::string key;
+    std::string record; ///< deny reason for type 2
+};
+std::optional<TierRecord> decodeTierRecord(const std::string &payload);
+
+} // namespace tier
+} // namespace paqoc
+
+#endif // PAQOC_TIER_TIER_STORE_H_

@@ -6,23 +6,28 @@
 # scenario ends in either a served, byte-identical payload or a clean
 # typed error, and a restart (or the supervisor) heals everything.
 #
-# Usage: chaos_e2e_test.sh <paqocc> <paqocd> <input.qasm>
+# Usage: chaos_e2e_test.sh <paqocc> <paqocd> <input.qasm> [paqoc-tierd]
 set -eu
 
 PAQOCC=$1
 PAQOCD=$2
 QASM=$3
+TIERD=${4:-}
 WORK=$(mktemp -d /tmp/paqoc_chaos_e2e.XXXXXX)
 cleanup() {
     status=$?
     if [ -n "$DAEMON_PID" ]; then
         kill -9 "$DAEMON_PID" 2>/dev/null || true
     fi
+    if [ -n "$TIERD_PID" ]; then
+        kill -9 "$TIERD_PID" 2>/dev/null || true
+    fi
     rm -rf "$WORK"
     exit "$status"
 }
 trap cleanup EXIT
 DAEMON_PID=
+TIERD_PID=
 
 fail() {
     echo "FAIL: $1" >&2
@@ -347,5 +352,132 @@ cmp -s "$WORK/local.json" "$WORK/fleet_fdpass.json" \
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID" || fail "fdpass-fault fleet router exited non-zero"
 DAEMON_PID=
+
+# ---------------------------------------------------------------------
+# Shared pulse-cache tier scenarios (DESIGN.md §14). Skipped when the
+# paqoc-tierd binary was not passed (older harnesses).
+# ---------------------------------------------------------------------
+if [ -n "$TIERD" ]; then
+    TSOCK="$WORK/tier.sock"
+    TSTORE="$WORK/tierstore"
+
+    start_tierd() {
+        rm -f "$TSOCK"
+        "$TIERD" --socket "$TSOCK" --store "$TSTORE" \
+            >> "$WORK/tierd.log" 2>&1 &
+        TIERD_PID=$!
+        i=0
+        while [ ! -S "$TSOCK" ]; do
+            i=$((i + 1))
+            [ "$i" -lt 100 ] || fail "tier daemon did not come up"
+            sleep 0.1
+        done
+    }
+
+    # Pull one numeric tier counter out of the most recent daemon
+    # shutdown table line, e.g. tier_counter tier_hits daemon.log.
+    tier_counter() {
+        sed -n "s/.*paqocd: tier spectral: .*$1 \([0-9]*\).*/\1/p" \
+            "$2" | tail -1
+    }
+
+    # 11. Two daemons sharing a tier: daemon A computes locally and
+    #     publishes behind; a *fresh* daemon B fetches A's pulses from
+    #     the tier instead of recomputing -- and serves the exact same
+    #     bytes as a tierless daemon.
+    start_tierd
+    rm -rf "$LIB"
+    start_daemon "" --tier "$TSOCK"
+    "$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+        > "$WORK/tier_a.json"
+    cmp -s "$WORK/local.json" "$WORK/tier_a.json" \
+        || fail "tier-attached daemon A served different bytes"
+    kill -TERM "$DAEMON_PID"
+    wait "$DAEMON_PID" || fail "tier daemon A exited non-zero"
+    DAEMON_PID=
+    PUBLISHED=$(tier_counter tier_published "$WORK/daemon.log")
+    [ -n "$PUBLISHED" ] && [ "$PUBLISHED" -gt 0 ] \
+        || fail "daemon A published nothing to the tier: $PUBLISHED"
+
+    rm -rf "$LIB" # daemon B starts cold: only the tier is warm
+    start_daemon "" --tier "$TSOCK"
+    "$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+        > "$WORK/tier_b.json"
+    cmp -s "$WORK/local.json" "$WORK/tier_b.json" \
+        || fail "tier-fed daemon B served different bytes"
+    kill -TERM "$DAEMON_PID"
+    wait "$DAEMON_PID" || fail "tier daemon B exited non-zero"
+    DAEMON_PID=
+    HITS=$(tier_counter tier_hits "$WORK/daemon.log")
+    [ -n "$HITS" ] && [ "$HITS" -gt 0 ] \
+        || fail "daemon B never hit the shared tier: $HITS"
+
+    # 12. kill -9 the tier daemon: a fresh compile daemon pointed at
+    #     the dead socket keeps serving byte-identical payloads, and
+    #     its breaker trips open instead of hammering the corpse.
+    kill -9 "$TIERD_PID"
+    wait "$TIERD_PID" 2>/dev/null || true
+    TIERD_PID=
+    rm -rf "$LIB"
+    start_daemon "" --tier "$TSOCK" --tier-cooldown-ms 60000
+    "$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+        > "$WORK/tier_dead.json"
+    cmp -s "$WORK/local.json" "$WORK/tier_dead.json" \
+        || fail "payload differs with the tier daemon dead"
+    kill -TERM "$DAEMON_PID"
+    wait "$DAEMON_PID" || fail "daemon with dead tier exited non-zero"
+    DAEMON_PID=
+    grep "paqocd: tier spectral:" "$WORK/daemon.log" | tail -1 \
+        | grep -q "breaker open" \
+        || fail "breaker did not open against the dead tier"
+
+    # 13. Partition heals: a daemon starts against a down tier, its
+    #     breaker opens, then the tier daemon comes back -- the
+    #     half-open probe closes the breaker and the anti-entropy
+    #     resync republishes the library, so yet another fresh daemon
+    #     gets tier hits for pulses the tier never saw published live.
+    rm -rf "$LIB" "$TSTORE"
+    start_daemon "" --tier "$TSOCK" --tier-cooldown-ms 200
+    "$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+        > "$WORK/tier_heal.json"
+    cmp -s "$WORK/local.json" "$WORK/tier_heal.json" \
+        || fail "payload differs while the tier is partitioned"
+    start_tierd # the partition heals
+    i=0
+    until [ -f "$TSTORE/tier.bin" ] \
+        && [ "$(wc -c < "$TSTORE/tier.bin")" -gt 100 ]; do
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || fail "resync never reached the tier store"
+        sleep 0.1
+    done
+    kill -TERM "$DAEMON_PID"
+    wait "$DAEMON_PID" || fail "healed-partition daemon exited non-zero"
+    DAEMON_PID=
+    RESYNCS=$(tier_counter tier_resyncs "$WORK/daemon.log")
+    [ -n "$RESYNCS" ] && [ "$RESYNCS" -gt 0 ] \
+        || fail "no anti-entropy resync after the partition healed"
+    grep "paqocd: tier spectral:" "$WORK/daemon.log" | tail -1 \
+        | grep -q "breaker closed" \
+        || fail "breaker did not close after the tier returned"
+
+    rm -rf "$LIB"
+    start_daemon "" --tier "$TSOCK"
+    "$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+        > "$WORK/tier_resynced.json"
+    cmp -s "$WORK/local.json" "$WORK/tier_resynced.json" \
+        || fail "resynced tier served different bytes"
+    kill -TERM "$DAEMON_PID"
+    wait "$DAEMON_PID" || fail "post-resync daemon exited non-zero"
+    DAEMON_PID=
+    HITS=$(tier_counter tier_hits "$WORK/daemon.log")
+    [ -n "$HITS" ] && [ "$HITS" -gt 0 ] \
+        || fail "resynced records never served a tier hit: $HITS"
+
+    kill -TERM "$TIERD_PID"
+    wait "$TIERD_PID" || fail "tier daemon exited non-zero"
+    TIERD_PID=
+    grep -q "paqoc-tierd: shut down cleanly" "$WORK/tierd.log" \
+        || fail "tier daemon did not announce a clean shutdown"
+fi
 
 echo "PASS"

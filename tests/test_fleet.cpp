@@ -63,6 +63,27 @@ TEST(FleetEndpoint, ParsesWellFormedHostPort)
     EXPECT_EQ(any->port, 0);
 }
 
+TEST(FleetEndpoint, ParsesBracketedIpv6Literals)
+{
+    const auto loop = fleet::parseHostPort("[::1]:7777");
+    ASSERT_TRUE(loop.has_value());
+    EXPECT_EQ(loop->host, "::1");
+    EXPECT_EQ(loop->port, 7777);
+
+    const auto full = fleet::parseHostPort("[fe80::2:1]:0");
+    ASSERT_TRUE(full.has_value());
+    EXPECT_EQ(full->host, "fe80::2:1");
+    EXPECT_EQ(full->port, 0);
+
+    // Brackets around a colon-free host are pointless but harmless.
+    const auto plain = fleet::parseHostPort("[localhost]:80");
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain->host, "localhost");
+    EXPECT_EQ(plain->port, 80);
+
+    EXPECT_TRUE(fleet::looksLikeTcpEndpoint("[::1]:7777"));
+}
+
 TEST(FleetEndpoint, RejectsMalformedSpellings)
 {
     const char *bad[] = {
@@ -74,8 +95,16 @@ TEST(FleetEndpoint, RejectsMalformedSpellings)
         "host:12x4",      // trailing junk in port
         "host:-1",        // negative
         "host:65536",     // out of range
-        "a:b:c",          // two colons
-        "[::1]:80",       // bracketed IPv6 is out of scope
+        "a:b:c",          // two colons, unbracketed
+        "::1:80",         // IPv6 literal without brackets
+        "[::1",           // unterminated bracket
+        "[::1]",          // no port after bracket
+        "[::1]:",         // empty port after bracket
+        "[::1]80",        // missing ':' between ']' and port
+        "[::1]x:80",      // junk between ']' and ':'
+        "[]:80",          // empty bracketed host
+        "::1]:80",        // ']' without '['
+        "[::1]:p80",      // non-numeric port after bracket
     };
     for (const char *spec : bad) {
         std::string error;
@@ -117,6 +146,48 @@ TEST(FleetEndpoint, ListenAndConnectRoundTrip)
     ::close(client);
     ::close(served);
     ::close(listener);
+}
+
+TEST(FleetEndpoint, ConnectRoundTripHonorsTimeoutParameter)
+{
+    // A reachable endpoint must connect fine through the
+    // non-blocking + poll path too.
+    std::string error;
+    int port = -1;
+    const int listener =
+        fleet::listenTcp("127.0.0.1", 0, 4, &error, &port);
+    ASSERT_GE(listener, 0) << error;
+    const int client = fleet::connectTcp("127.0.0.1", port, &error,
+                                         /*timeout_ms=*/2000);
+    ASSERT_GE(client, 0) << error;
+    ::close(client);
+    ::close(listener);
+}
+
+TEST(FleetEndpoint, ConnectTimesOutOnUnroutableAddress)
+{
+    // 10.255.255.1 is an RFC 1918 address no test host routes; a SYN
+    // toward it is black-holed, so only the connect deadline can save
+    // us from the kernel's ~2 minute default. Sandboxed environments
+    // may instead fail instantly with ENETUNREACH -- either way the
+    // call must return an error well inside the timeout bound.
+    const auto start = std::chrono::steady_clock::now();
+    std::string error;
+    const int fd = fleet::connectTcp("10.255.255.1", 9, &error,
+                                     /*timeout_ms=*/250);
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(elapsed_ms, 5000.0)
+        << "connect ignored its deadline: " << error;
+    if (fd >= 0) {
+        // Sandboxed environments intercept outbound TCP and accept on
+        // the kernel's behalf; the deadline bound above still held.
+        ::close(fd);
+        GTEST_SKIP() << "environment accepted the unroutable dial";
+    }
+    EXPECT_FALSE(error.empty());
 }
 
 // ---------------------------------------------------------------- //

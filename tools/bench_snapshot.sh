@@ -5,6 +5,7 @@
 #   BENCH_kernels.json  -- bench_micro_kernels --snapshot
 #   BENCH_compile.json  -- bench_fig11_compile_time --snapshot
 #   BENCH_fleet.json    -- bench_fleet --snapshot
+#   BENCH_tier.json     -- bench_tier --snapshot
 #
 # --check re-measures and compares against the committed snapshots
 # instead of overwriting them, exiting 1 on any regression beyond the
@@ -51,7 +52,8 @@ done
 KERNELS_BIN="$BUILD_DIR/bench/bench_micro_kernels"
 COMPILE_BIN="$BUILD_DIR/bench/bench_fig11_compile_time"
 FLEET_BIN="$BUILD_DIR/bench/bench_fleet"
-for bin in "$KERNELS_BIN" "$COMPILE_BIN" "$FLEET_BIN"; do
+TIER_BIN="$BUILD_DIR/bench/bench_tier"
+for bin in "$KERNELS_BIN" "$COMPILE_BIN" "$FLEET_BIN" "$TIER_BIN"; do
     if [ ! -x "$bin" ]; then
         echo "bench_snapshot: missing $bin -- build first:" >&2
         echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -78,6 +80,7 @@ run_one() {
 run_one "$KERNELS_BIN" BENCH_kernels.json
 run_one "$COMPILE_BIN" BENCH_compile.json
 run_one "$FLEET_BIN" BENCH_fleet.json
+run_one "$TIER_BIN" BENCH_tier.json
 
 if [ "$STATUS" -ne 0 ]; then
     if [ "$WARN_ONLY" = 1 ]; then

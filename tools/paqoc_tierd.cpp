@@ -1,0 +1,188 @@
+/**
+ * @file
+ * paqoc-tierd -- the shared pulse-cache tier daemon (DESIGN.md §14).
+ *
+ * Serves the tier op set (tier/tier_protocol.h) over the service's
+ * length-prefixed JSON frame transport, backed by a CRC32-journaled
+ * store: a fleet of `paqocd` daemons pointed at one tierd shares
+ * every pulse any of them derives, so a gate compiled once is a
+ * network fetch -- not a GRAPE run -- everywhere else.
+ *
+ * Usage:
+ *   paqoc-tierd [options]
+ *     --socket PATH        listening socket
+ *                          (default /tmp/paqoc-tierd.sock)
+ *     --listen HOST:PORT   TCP listener beside the socket (port 0 =
+ *                          ephemeral; resolved port is logged)
+ *     --store DIR          journal directory (default /tmp/paqoc-tier)
+ *
+ * SIGINT/SIGTERM (or a "shutdown" op) shut down gracefully: the
+ * journal is fsynced, then the process exits. kill -9 is also safe --
+ * the journal recovers to a valid prefix on the next launch.
+ */
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "common/error.h"
+#include "common/failpoint.h"
+#include "fleet/endpoint.h"
+#include "tier/tier_server.h"
+#include "tier/tier_store.h"
+
+namespace {
+
+using namespace paqoc;
+
+struct TierdOptions
+{
+    std::string socketPath = "/tmp/paqoc-tierd.sock";
+    std::string listenHost; ///< "" = no TCP listener
+    int listenPort = 0;
+    std::string storeDir = "/tmp/paqoc-tier";
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        code == 0 ? stdout : stderr,
+        "usage: paqoc-tierd [options]\n"
+        "  --socket PATH        listening socket "
+        "(default /tmp/paqoc-tierd.sock)\n"
+        "  --listen HOST:PORT   TCP listener beside the socket "
+        "(port 0 = ephemeral)\n"
+        "  --store DIR          journal directory "
+        "(default /tmp/paqoc-tier)\n");
+    std::exit(code);
+}
+
+TierdOptions
+parseArgs(int argc, char **argv)
+{
+    TierdOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage(2);
+            return argv[i];
+        };
+        if (arg == "--socket")
+            opts.socketPath = next();
+        else if (arg == "--listen") {
+            const std::string spec = next();
+            std::string error;
+            const std::optional<fleet::HostPort> hp =
+                fleet::parseHostPort(spec, &error);
+            if (!hp.has_value()) {
+                std::fprintf(stderr,
+                             "paqoc-tierd: bad --listen '%s': %s\n",
+                             spec.c_str(), error.c_str());
+                usage(2);
+            }
+            opts.listenHost = hp->host;
+            opts.listenPort = hp->port;
+        } else if (arg == "--store")
+            opts.storeDir = next();
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else
+            usage(2);
+    }
+    return opts;
+}
+
+// Signal handling: the handler only writes one byte to a self-pipe
+// (the only async-signal-safe option); a watcher thread turns that
+// byte into a requestStop() call.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void
+onSignal(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const TierdOptions opts = parseArgs(argc, argv);
+
+        tier::TierStore store(opts.storeDir);
+        const tier::TierStoreStats recovered = store.stats();
+        std::printf("paqoc-tierd: store %s: %zu records recovered "
+                    "(%zu journal records, %zu denied keys)\n",
+                    opts.storeDir.c_str(), store.size(),
+                    recovered.journalRecords, recovered.deniedKeys);
+        for (const std::string &w : recovered.warnings)
+            std::printf("paqoc-tierd: warning: %s\n", w.c_str());
+
+        tier::TierServerOptions server_opts;
+        server_opts.socketPath = opts.socketPath;
+        server_opts.listenHost = opts.listenHost;
+        server_opts.listenPort = opts.listenPort;
+        tier::TierServer server(store, server_opts);
+
+        PAQOC_FATAL_IF(::pipe(g_signal_pipe) != 0,
+                       "paqoc-tierd: pipe(): ", std::strerror(errno));
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGPIPE, SIG_IGN);
+        std::thread watcher([&server]() {
+            char byte = 0;
+            while (::read(g_signal_pipe[0], &byte, 1) < 0
+                   && errno == EINTR) {
+            }
+            server.requestStop();
+        });
+
+        const std::vector<std::string> armed = failpoint::armed();
+        if (!armed.empty()) {
+            std::printf("paqoc-tierd: WARNING: failpoints armed:");
+            for (const std::string &a : armed)
+                std::printf(" %s", a.c_str());
+            std::printf("\n");
+        }
+
+        server.start();
+        std::printf("paqoc-tierd: serving on %s\n",
+                    opts.socketPath.c_str());
+        if (server.tcpPort() >= 0)
+            std::printf("paqoc-tierd: tcp port %d\n",
+                        server.tcpPort());
+        std::fflush(stdout);
+        server.run();
+
+        // Wake the watcher if shutdown came from a "shutdown" op
+        // rather than a signal.
+        onSignal(0);
+        watcher.join();
+        ::close(g_signal_pipe[0]);
+        ::close(g_signal_pipe[1]);
+
+        const tier::TierStoreStats st = store.stats();
+        std::printf("paqoc-tierd: store: %zu records, %zu stored, "
+                    "%zu duplicate puts, %zu denied keys, "
+                    "%zu denied gets, degraded %s\n",
+                    store.size(), st.stored, st.duplicatePuts,
+                    st.deniedKeys, st.deniedGets,
+                    st.degraded ? "yes" : "no");
+        std::printf("paqoc-tierd: shut down cleanly\n");
+        return 0;
+    } catch (const paqoc::FatalError &e) {
+        std::fprintf(stderr, "paqoc-tierd: %s\n", e.what());
+        return 1;
+    }
+}

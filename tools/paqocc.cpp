@@ -126,9 +126,36 @@ usage(int code)
         "  --degrade-on-quota      accept best-effort pulses instead "
         "of a quota error\n"
         "  --json                  print the compile payload as JSON\n"
-        "  --quiet                 only the summary line\n");
+        "  --quiet                 only the summary line\n"
+        "exit codes:\n"
+        "  0 success     1 local failure        2 usage\n"
+        "  3 daemon unreachable (connect/transport failure)\n"
+        "  4 daemon error response (the request itself was refused)\n"
+        "  5 tenant budget exhausted (retryable; retry_after_ms is "
+        "printed to stderr)\n");
     std::exit(code);
 }
+
+/** The daemon answered {"ok": false} -- a server-side refusal. */
+class RemoteServerError : public FatalError
+{
+  public:
+    explicit RemoteServerError(const std::string &msg)
+        : FatalError(msg)
+    {
+    }
+};
+
+/** Structured budget_exhausted refusal (retryable; DESIGN.md §12). */
+class BudgetExhaustedError : public RemoteServerError
+{
+  public:
+    BudgetExhaustedError(const std::string &msg, double retry_after_ms)
+        : RemoteServerError(msg), retryAfterMs(retry_after_ms)
+    {
+    }
+    double retryAfterMs = 0.0;
+};
 
 CliOptions
 parseArgs(int argc, char **argv)
@@ -289,10 +316,15 @@ runRemote(const CliOptions &opts, const CompileJob &job)
     if (opts.degradeOnQuota)
         request.set("degrade_on_quota", Json(true));
     const Json response = client.request(request);
-    PAQOC_FATAL_IF(!response.get("ok", Json(false)).asBool(),
-                   "daemon error: ",
-                   response.get("error", Json("(no message)"))
-                       .asString());
+    if (!response.get("ok", Json(false)).asBool()) {
+        const std::string message =
+            response.get("error", Json("(no message)")).asString();
+        if (response.get("budget_exhausted", Json(false)).asBool())
+            throw BudgetExhaustedError(
+                "daemon error: " + message,
+                response.get("retry_after_ms", Json(0.0)).asNumber());
+        throw RemoteServerError("daemon error: " + message);
+    }
     const Json &payload = response.at("payload");
     if (opts.json) {
         std::printf("%s\n", payload.dump().c_str());
@@ -435,6 +467,11 @@ run(const CliOptions &opts)
     const CompileJob job = jobFromCli(opts);
     try {
         return runRemote(opts, job);
+    } catch (const BudgetExhaustedError &) {
+        // Budget exhaustion is a billing decision, not an outage: a
+        // local fallback would let a capped tenant dodge its budget,
+        // so it always surfaces (exit 5) even with --fallback-local.
+        throw;
     } catch (const FatalError &e) {
         if (!opts.fallbackLocal)
             throw;
@@ -454,6 +491,17 @@ main(int argc, char **argv)
 {
     try {
         return run(parseArgs(argc, argv));
+    } catch (const BudgetExhaustedError &e) {
+        std::fprintf(stderr, "paqocc: %s\n", e.what());
+        std::fprintf(stderr, "paqocc: retry_after_ms %.0f\n",
+                     e.retryAfterMs);
+        return 5;
+    } catch (const RemoteServerError &e) {
+        std::fprintf(stderr, "paqocc: %s\n", e.what());
+        return 4;
+    } catch (const paqoc::TransportError &e) {
+        std::fprintf(stderr, "paqocc: %s\n", e.what());
+        return 3;
     } catch (const paqoc::FatalError &e) {
         std::fprintf(stderr, "paqocc: %s\n", e.what());
         return 1;

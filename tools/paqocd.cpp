@@ -36,6 +36,15 @@
  *     --budget-iters N     per-tenant iteration budget per window
  *     --budget-wall-ms N   per-tenant wall-clock budget per window
  *     --budget-window-ms N sliding budget window (default 10000)
+ *     --tier ENDPOINT      shared pulse-cache tier (socket path or
+ *                          host:port): cache misses read through it,
+ *                          fresh derivations publish write-behind
+ *     --tier-replica ENDPOINT  replica tier for hedged reads
+ *     --tier-timeout-ms N  per-op tier deadline (default 250)
+ *     --tier-hedge-ms N    primary wait before hedging (default 30)
+ *     --tier-queue N       write-behind queue cap (default 256)
+ *     --tier-cooldown-ms N breaker cooldown before a probe
+ *                          (default 1000)
  *
  * SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the
  * library is compacted into a snapshot, then the process exits. Under
@@ -66,6 +75,7 @@
 #include "service/server.h"
 #include "service/service.h"
 #include "service/supervisor.h"
+#include "tier/tier_client.h"
 
 namespace {
 
@@ -92,6 +102,12 @@ struct DaemonOptions
     bool fairShare = false;
     std::map<std::string, int> tenantWeights;
     fleet::BudgetOptions budget;
+    std::string tierEndpoint; ///< "" = no shared tier
+    std::string tierReplica;
+    double tierTimeoutMs = 250.0;
+    double tierHedgeMs = 30.0;
+    std::size_t tierQueue = 256;
+    double tierCooldownMs = 1000.0;
 };
 
 [[noreturn]] void
@@ -126,7 +142,16 @@ usage(int code)
         "  --budget-iters N     per-tenant iteration budget / window\n"
         "  --budget-wall-ms N   per-tenant wall budget / window\n"
         "  --budget-window-ms N sliding budget window (default "
-        "10000)\n");
+        "10000)\n"
+        "  --tier ENDPOINT      shared pulse-cache tier (socket path "
+        "or host:port)\n"
+        "  --tier-replica ENDPOINT  replica tier for hedged reads\n"
+        "  --tier-timeout-ms N  per-op tier deadline (default 250)\n"
+        "  --tier-hedge-ms N    primary wait before hedging "
+        "(default 30)\n"
+        "  --tier-queue N       write-behind queue cap (default 256)\n"
+        "  --tier-cooldown-ms N breaker cooldown before a probe "
+        "(default 1000)\n");
     std::exit(code);
 }
 
@@ -214,6 +239,19 @@ parseArgs(int argc, char **argv)
             opts.quota.maxResidentPulses = std::stol(next());
         else if (arg == "--grape-max-iters")
             opts.grapeMaxIters = std::stoi(next());
+        else if (arg == "--tier")
+            opts.tierEndpoint = next();
+        else if (arg == "--tier-replica")
+            opts.tierReplica = next();
+        else if (arg == "--tier-timeout-ms")
+            opts.tierTimeoutMs = std::stod(next());
+        else if (arg == "--tier-hedge-ms")
+            opts.tierHedgeMs = std::stod(next());
+        else if (arg == "--tier-queue")
+            opts.tierQueue =
+                static_cast<std::size_t>(std::stoul(next()));
+        else if (arg == "--tier-cooldown-ms")
+            opts.tierCooldownMs = std::stod(next());
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else
@@ -250,6 +288,30 @@ printLibrary(const char *name, const PulseLibrary *lib)
     std::printf("\n");
     for (const std::string &w : st.warnings)
         std::printf("paqocd: warning: %s\n", w.c_str());
+}
+
+void
+printTier(const char *name, tier::TierClient *client)
+{
+    if (client == nullptr)
+        return;
+    const tier::TierClientCounters c = client->counters();
+    std::printf(
+        "paqocd: tier %s: tier_hits %llu, tier_misses %llu, "
+        "tier_denied %llu, tier_errors %llu, tier_hedged %llu, "
+        "tier_hedge_wins %llu, tier_published %llu, tier_shed %llu, "
+        "tier_quarantined %llu, tier_resyncs %llu, breaker %s\n",
+        name, static_cast<unsigned long long>(c.hits),
+        static_cast<unsigned long long>(c.misses),
+        static_cast<unsigned long long>(c.denied),
+        static_cast<unsigned long long>(c.fetchErrors),
+        static_cast<unsigned long long>(c.hedged),
+        static_cast<unsigned long long>(c.hedgeWins),
+        static_cast<unsigned long long>(c.published),
+        static_cast<unsigned long long>(c.shed),
+        static_cast<unsigned long long>(c.quarantined),
+        static_cast<unsigned long long>(c.resyncs),
+        client->breakerStateName());
 }
 
 void
@@ -306,10 +368,67 @@ serve(const DaemonOptions &opts, const WorkerContext &ctx,
     sopts.quotaLimits = opts.quota;
     if (opts.grapeMaxIters > 0)
         sopts.grape.maxIterations = opts.grapeMaxIters;
+
+    // Shared tier: one client per backend library (fingerprints
+    // namespace the tier store exactly like the on-disk libraries).
+    // Created before the service so its ctor can chain the
+    // write-behind sinks; destroyed after it (declaration order).
+    std::unique_ptr<tier::TierClient> tier_spectral;
+    std::unique_ptr<tier::TierClient> tier_grape;
+    if (!opts.tierEndpoint.empty()) {
+        auto makeTier = [&](const std::string &fingerprint) {
+            tier::TierClientOptions topts;
+            topts.endpoint = opts.tierEndpoint;
+            topts.replica = opts.tierReplica;
+            topts.fingerprint = fingerprint;
+            topts.opTimeoutMs = opts.tierTimeoutMs;
+            topts.hedgeDelayMs = opts.tierHedgeMs;
+            topts.publishQueueCap = opts.tierQueue;
+            topts.breaker.cooldownMs = opts.tierCooldownMs;
+            if (!sopts.libraryDir.empty())
+                topts.quarantineDir =
+                    sopts.libraryDir + "/quarantine";
+            return std::make_unique<tier::TierClient>(topts);
+        };
+        tier_spectral = makeTier(PulseLibrary::spectralFingerprint());
+        tier_grape =
+            makeTier(PulseLibrary::grapeFingerprint(sopts.grape));
+        sopts.tierSpectral.source = tier_spectral.get();
+        sopts.tierSpectral.sink = tier_spectral.get();
+        sopts.tierGrape.source = tier_grape.get();
+        sopts.tierGrape.sink = tier_grape.get();
+        sopts.tierStats = [ts = tier_spectral.get(),
+                           tg = tier_grape.get()]() {
+            Json t = Json::object();
+            t.set("spectral", ts->statsJson());
+            t.set("grape", tg->statsJson());
+            return t;
+        };
+    }
+
     PulseService service(sopts);
     service.setSupervisionInfo(ctx.heartbeatFd >= 0, ctx.incarnation);
     printLibrary("spectral", service.spectralLibrary());
     printLibrary("grape", service.grapeLibrary());
+    // Anti-entropy: after a partition heals, re-publish everything
+    // the libraries hold so the tier catches up on what it missed.
+    if (tier_spectral)
+        tier_spectral->setResyncSource([&service]() {
+            const PulseLibrary *lib = service.spectralLibrary();
+            return lib != nullptr ? lib->entriesSnapshot()
+                                  : std::vector<CachedPulse>{};
+        });
+    if (tier_grape)
+        tier_grape->setResyncSource([&service]() {
+            const PulseLibrary *lib = service.grapeLibrary();
+            return lib != nullptr ? lib->entriesSnapshot()
+                                  : std::vector<CachedPulse>{};
+        });
+    if (!opts.tierEndpoint.empty())
+        std::printf("paqocd: tier endpoint %s%s%s\n",
+                    opts.tierEndpoint.c_str(),
+                    opts.tierReplica.empty() ? "" : ", replica ",
+                    opts.tierReplica.c_str());
 
     ServerOptions server_opts;
     if (slot < 0) {
@@ -372,6 +491,19 @@ serve(const DaemonOptions &opts, const WorkerContext &ctx,
     watcher.join();
     ::close(g_signal_pipe[0]);
     ::close(g_signal_pipe[1]);
+    // Drain the write-behind queues while the service still exists
+    // (the resync lambdas reach into it), then report the tier_*
+    // shutdown table the chaos tests assert on.
+    if (tier_spectral) {
+        tier_spectral->flush(2000.0);
+        tier_spectral->stop();
+        printTier("spectral", tier_spectral.get());
+    }
+    if (tier_grape) {
+        tier_grape->flush(2000.0);
+        tier_grape->stop();
+        printTier("grape", tier_grape.get());
+    }
     printCheckpoints(service.checkpoints());
     // Per-tenant serving totals (DESIGN.md §12); shown only when a
     // non-anonymous tenant showed up or tenancy knobs are on, so a
