@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Cancellation and overload-control benchmark (DESIGN.md §15): the
+ * cost of the machinery added to every request path. Measures the
+ * uncancelled CancelToken poll (paid once per GRAPE iteration), the
+ * OverloadController's observe() (paid once per dispatched job), the
+ * server's shed answer rate with the ladder pinned at ShedAll (how
+ * fast an overloaded daemon turns work away), and the brownout serve
+ * latency with the ladder pinned one rung lower (degraded compiles
+ * must stay cheap -- that is the point of degrading). The ladder is
+ * pinned through the `overload.clock` failpoint, so the numbers do
+ * not depend on generating a real standing queue on the bench host.
+ * With --snapshot/--compare (bench/harness.h) it emits or checks
+ * BENCH_overload.json like the other bench binaries.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/cancellation.h"
+#include "common/failpoint.h"
+#include "common/json.h"
+#include "common/thread_annotations.h"
+#include "harness.h"
+#include "service/client.h"
+#include "service/overload.h"
+#include "service/server.h"
+#include "service/service.h"
+
+namespace paqoc {
+namespace {
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+/** Uncancelled poll fast path: what every GRAPE iteration pays. */
+double
+measureTokenPolls(long polls)
+{
+    CancelSource source;
+    const CancelToken token = source.token();
+    long live = 0;
+    const double begin = nowMs();
+    for (long i = 0; i < polls; ++i)
+        live += token.cancelled() ? 0 : 1;
+    const double wall_s = (nowMs() - begin) / 1000.0;
+    if (live != polls) // defeats dead-code elimination too
+        std::fprintf(stderr, "bench_overload: poll tripped?!\n");
+    return wall_s > 0.0 ? static_cast<double>(polls) / wall_s : 0.0;
+}
+
+/** observe() throughput: what every dispatched job pays. */
+double
+measureObserve(long samples)
+{
+    OverloadController::Options opts;
+    opts.targetMs = 5.0;
+    OverloadController ctl(opts);
+    const double begin = nowMs();
+    for (long i = 0; i < samples; ++i)
+        ctl.observe(static_cast<double>(i % 7));
+    const double wall_s = (nowMs() - begin) / 1000.0;
+    return wall_s > 0.0 ? static_cast<double>(samples) / wall_s
+                        : 0.0;
+}
+
+/** One in-process server on a scratch Unix socket. */
+struct BenchServer
+{
+    PulseService service;
+    SocketServer server;
+    std::thread runner;
+
+    explicit BenchServer(const std::string &socket)
+        : server(service, options(socket))
+    {
+        ::unlink(socket.c_str());
+        server.start();
+        runner = std::thread([this]() { server.run(); });
+    }
+
+    ~BenchServer()
+    {
+        server.requestStop();
+        runner.join();
+    }
+
+    static ServerOptions
+    options(const std::string &socket)
+    {
+        ServerOptions opts;
+        opts.socketPath = socket;
+        opts.maxQueue = 256;
+        opts.overloadTargetMs = 5.0;
+        return opts;
+    }
+};
+
+struct StormResult
+{
+    double rps = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+};
+
+/**
+ * Drive `connections` x `requests` compiles at a server whose ladder
+ * is pinned at `pinned_delay_ms` via the `overload.clock` failpoint.
+ */
+StormResult
+measureStorm(const std::string &socket, int connections, int requests,
+             long pinned_delay_ms)
+{
+    failpoint::disarm("overload.clock");
+    failpoint::arm("overload.clock",
+                   "return-error(" + std::to_string(pinned_delay_ms)
+                       + ")");
+
+    Json compile = Json::object();
+    compile.set("op", Json("compile"));
+    compile.set("benchmark", Json("mod5d2"));
+
+    Mutex merge_mutex;
+    std::vector<double> latencies;
+    const double begin = nowMs();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < connections; ++c) {
+        clients.emplace_back([&]() {
+            ServiceClient client(socket);
+            std::vector<double> mine;
+            mine.reserve(static_cast<std::size_t>(requests));
+            for (int i = 0; i < requests; ++i) {
+                const double t0 = nowMs();
+                client.request(compile);
+                mine.push_back(nowMs() - t0);
+            }
+            MutexLock lock(merge_mutex);
+            latencies.insert(latencies.end(), mine.begin(),
+                             mine.end());
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    const double wall_s = (nowMs() - begin) / 1000.0;
+    failpoint::disarm("overload.clock");
+
+    StormResult result;
+    result.rps = wall_s > 0.0
+        ? static_cast<double>(latencies.size()) / wall_s
+        : 0.0;
+    result.p50Ms = percentile(latencies, 0.50);
+    result.p99Ms = percentile(latencies, 0.99);
+    return result;
+}
+
+int
+runBench(const bench::SnapshotCli &cli)
+{
+    const long polls = cli.quick ? 2000000 : 20000000;
+    const long samples = cli.quick ? 1000000 : 10000000;
+    const int connections = 4;
+    const int shed_requests = cli.quick ? 200 : 2000;
+    const int brownout_requests = cli.quick ? 10 : 50;
+
+    std::printf(
+        "=== cancellation/overload benchmark (DESIGN.md §15) ===\n");
+
+    const double polls_per_sec = measureTokenPolls(polls);
+    std::printf("token poll (uncancelled): %.2f Mops/s\n",
+                polls_per_sec / 1e6);
+
+    const double observe_per_sec = measureObserve(samples);
+    std::printf("controller observe():     %.2f Mops/s\n",
+                observe_per_sec / 1e6);
+
+    const std::string socket = "/tmp/paqoc_bench_overload.sock";
+    StormResult shed;
+    StormResult brownout;
+    {
+        BenchServer fixture(socket);
+        // ShedAll (200 ms >> 4 x 5 ms target): every compile is
+        // turned away with the typed shed answer.
+        shed = measureStorm(socket, connections, shed_requests, 200);
+        std::printf("shed answers:  %.0f rps, p50 %.3f ms, "
+                    "p99 %.3f ms\n",
+                    shed.rps, shed.p50Ms, shed.p99Ms);
+        // Brownout (between target and 2x): served, degraded to the
+        // reduced-iteration path. The first request pays the cold
+        // derivation; p50 is the steady degraded serve.
+        brownout = measureStorm(socket, connections,
+                                brownout_requests, 8);
+        std::printf("brownout serves: %.1f rps, p50 %.3f ms, "
+                    "p99 %.3f ms\n",
+                    brownout.rps, brownout.p50Ms, brownout.p99Ms);
+    }
+
+    BenchSnapshot snapshot;
+    snapshot.name = "overload";
+    snapshot.setMetric("token_polls_per_sec", polls_per_sec, true);
+    snapshot.setMetric("observe_ops_per_sec", observe_per_sec, true);
+    snapshot.setMetric("shed_rps", shed.rps, true);
+    snapshot.setMetric("shed_p99_ms", shed.p99Ms, false);
+    snapshot.setMetric("brownout_p50_ms", brownout.p50Ms, false);
+    snapshot.setContext("connections", std::to_string(connections));
+    snapshot.setContext("shed_requests_per_connection",
+                        std::to_string(shed_requests));
+    snapshot.setContext("brownout_requests_per_connection",
+                        std::to_string(brownout_requests));
+    snapshot.setContext("overload_target_ms", "5");
+    return bench::finishSnapshot(snapshot, cli);
+}
+
+} // namespace
+} // namespace paqoc
+
+int
+main(int argc, char **argv)
+{
+    std::signal(SIGPIPE, SIG_IGN);
+    const paqoc::bench::SnapshotCli cli =
+        paqoc::bench::parseSnapshotCli(argc, argv);
+    return paqoc::runBench(cli);
+}

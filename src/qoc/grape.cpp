@@ -304,6 +304,27 @@ GrapeRun::optimize(const GrapeRuntime &rt, const GrapeTrialKey &key,
                 rt.quota->throwQuotaExceeded();
             break;
         }
+        // Cancellation poll, once per iteration: the latency bound on
+        // "orphaned work stops" is one ADAM step. Checkpoint before
+        // unwinding (unless this iteration's periodic snapshot was
+        // just written) so the interrupted derivation resumes at
+        // iter + 1 byte-identically on a re-request.
+        if (rt.cancel != nullptr && rt.cancel->cancelled()) {
+            if (rt.checkpoint != nullptr && rt.checkpointEvery > 0
+                && iter % rt.checkpointEvery != 0) {
+                GrapeTrialState state;
+                state.key = key;
+                state.iteration = iter;
+                state.bestFidelity = best_fidelity_;
+                state.u = u_;
+                state.m = m_;
+                state.v = v_;
+                state.bestU = best_u_;
+                rt.checkpoint->saveTrialState(state);
+            }
+            rt.cancel->throwCancelled(
+                rt.quota != nullptr ? rt.quota->itersCharged() : 0);
+        }
     }
 
     result.schedule.amplitudes = best_u_;

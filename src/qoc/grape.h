@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/quota.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
@@ -184,6 +185,14 @@ struct GrapeRuntime
     int checkpointEvery = 0;
     /** Cooperative budget of the enclosing request (may be null). */
     QuotaToken *quota = nullptr;
+    /**
+     * Cancellation token of the enclosing request (may be null).
+     * Polled once per ADAM iteration; a cancelled trial snapshots its
+     * end-of-iteration state first (checkpoint-before-cancel) and
+     * then unwinds with CancelledError, so a re-request resumes
+     * byte-identically instead of restarting (DESIGN.md §15).
+     */
+    const CancelToken *cancel = nullptr;
     /**
      * Shared propagator cache (may be null). Only consulted for the
      * first fidelity evaluation of guess-seeded trials, where reuse

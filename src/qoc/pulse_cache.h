@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/thread_annotations.h"
 #include "linalg/matrix.h"
 #include "qoc/pulse.h"
@@ -82,6 +83,21 @@ class PulseTierSource
     virtual ~PulseTierSource() = default;
     /** `key` is PulseCache::canonicalKey of the wanted unitary. */
     virtual std::optional<CachedPulse> fetch(const std::string &key) = 0;
+
+    /**
+     * Deadline/cancellation-aware fetch: `cancel` (may be null) is
+     * the enclosing request's token. An implementation should return
+     * nullopt immediately when the token is cancelled or its
+     * remaining deadline cannot fund a full tier op -- "compute
+     * locally" is always the right degradation. The default forwards
+     * to the plain overload so existing sources stay correct.
+     */
+    virtual std::optional<CachedPulse>
+    fetch(const std::string &key, const CancelToken *cancel)
+    {
+        (void)cancel;
+        return fetch(key);
+    }
 };
 
 /**

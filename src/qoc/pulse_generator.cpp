@@ -57,6 +57,15 @@ PulseGenerator::generateBatch(const std::vector<PulseRequest> &requests,
     }
 
     auto run_one = [&](std::size_t j) {
+        // Items not yet started stop here once the request is
+        // cancelled; the one mid-derivation stops at its next GRAPE
+        // iteration poll. Throwing before acquire() leaves no flight
+        // to abort.
+        if (const CancelToken *c = cancel();
+            c != nullptr && c->cancelled())
+            c->throwCancelled(quota() != nullptr
+                                  ? quota()->itersCharged()
+                                  : 0);
         const PulseRequest &r = requests[distinct[j]];
         out[distinct[j]] =
             generateOne(r.unitary, r.numQubits, pool, horizon);
@@ -108,8 +117,8 @@ SpectralPulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
         if (cache_enabled_) {
             if (PulseTierSource *tier = cache_.tierSource()) {
                 if (std::optional<CachedPulse> fetched = tier->fetch(
-                        PulseCache::canonicalKey(unitary,
-                                                 num_qubits))) {
+                        PulseCache::canonicalKey(unitary, num_qubits),
+                        cancel())) {
                     result.latency = fetched->latency;
                     result.error = fetched->error;
                     result.cacheHit = true;
@@ -186,7 +195,8 @@ GrapePulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
         // bytes a local run would have produced.
         if (PulseTierSource *tier = cache_.tierSource()) {
             if (std::optional<CachedPulse> fetched = tier->fetch(
-                    PulseCache::canonicalKey(unitary, num_qubits))) {
+                    PulseCache::canonicalKey(unitary, num_qubits),
+                    cancel())) {
                 result.latency = fetched->latency;
                 result.error = fetched->error;
                 result.schedule = fetched->schedule;
@@ -212,6 +222,10 @@ GrapePulseGenerator::generateOne(const Matrix &unitary, int num_qubits,
         runtime.checkpoint = ckpt.get();
         runtime.checkpointEvery = checkpoint_every_;
         runtime.quota = quota();
+        // A cancelled derivation unwinds through the catch below:
+        // abortFlight re-races the waiters, so a live joiner takes
+        // over leadership instead of inheriting a dead leader's hang.
+        runtime.cancel = cancel();
 
         // Warm-start from the nearest pulse cached before the horizon
         // if one is close; use the analytical estimate to start the

@@ -114,6 +114,17 @@ class PulseGenerator
      */
     void setQuota(QuotaToken *quota) { quota_ = quota; }
 
+    /**
+     * Attach the enclosing request's cancellation token (may be null
+     * to detach). Not owned; must outlive every generate call. Batch
+     * items poll it before starting, tier fetches cap their budget by
+     * its remaining deadline, and GRAPE polls it each iteration
+     * (through GrapeRuntime), so a cancelled request unwinds within
+     * one ADAM step. The single-flight abort-re-race then hands cache
+     * leadership to a live joiner.
+     */
+    void setCancel(const CancelToken *cancel) { cancel_ = cancel; }
+
   protected:
     /**
      * Produce one pulse without touching the counters. The pool (may
@@ -150,6 +161,9 @@ class PulseGenerator
     /** Budget of the current request; null when unmetered. */
     QuotaToken *quota() const { return quota_; }
 
+    /** Cancellation token of the current request; null when none. */
+    const CancelToken *cancel() const { return cancel_; }
+
     /**
      * Charge one cache-missing derivation against the quota; raises
      * QuotaExceededError on a tripped hard token (the caller's
@@ -171,6 +185,7 @@ class PulseGenerator
 
   private:
     QuotaToken *quota_ = nullptr;
+    const CancelToken *cancel_ = nullptr;
     std::atomic<double> total_cost_{0.0};
     std::atomic<std::size_t> cache_hits_{0};
     std::atomic<std::size_t> generate_calls_{0};

@@ -145,15 +145,21 @@ ServiceClient::request(const Json &request)
         return budget_ms > 0.0 && elapsed_ms() + delay >= budget_ms;
     };
 
-    // The tenant identity rides on the request itself so it survives
-    // the buffered-resend path byte-for-byte across retries.
+    // The tenant identity and the request id ride on the request
+    // itself so they survive the buffered-resend path byte-for-byte
+    // across retries.
     std::string text;
-    if (!options_.tenant.empty() && request.isObject()
-        && !request.contains("tenant")) {
+    if (request.isObject()) {
         Json stamped = request;
-        stamped.set("tenant", Json(options_.tenant));
+        if (!options_.tenant.empty() && !stamped.contains("tenant"))
+            stamped.set("tenant", Json(options_.tenant));
+        if (!stamped.contains("id"))
+            stamped.set("id",
+                        Json(static_cast<double>(next_id_++)));
+        last_id_ = stamped.at("id");
         text = stamped.dump();
     } else {
+        last_id_ = Json();
         text = request.dump();
     }
     for (int attempt = 0;; ++attempt) {
@@ -168,6 +174,20 @@ ServiceClient::request(const Json &request)
                 PAQOC_FATAL_IF(!protocol::readFrame(fd_, reply),
                                "client: daemon closed the connection");
                 Json response = Json::parse(reply);
+                // Stale-frame defense: a response carrying a
+                // *different* id is the leftover answer of an earlier
+                // abandoned request on this connection -- drop it and
+                // keep reading for ours. Responses without an id
+                // (legacy daemons) pass through untouched.
+                while (!last_id_.isNull() && response.isObject()
+                       && response.contains("id")
+                       && response.at("id").dump()
+                           != last_id_.dump()) {
+                    PAQOC_FATAL_IF(
+                        !protocol::readFrame(fd_, reply),
+                        "client: daemon closed the connection");
+                    response = Json::parse(reply);
+                }
                 const bool backpressure =
                     response.isObject() && response.contains("retry")
                     && response.at("retry").asBool();

@@ -102,8 +102,19 @@ class ServiceClient
      * Send one request and wait for its response, retrying recoverable
      * failures (lost connection, backpressure) per the options and the
      * request's "deadline_ms" budget.
+     *
+     * Request identity (DESIGN.md §15): a request without an "id"
+     * member is stamped with a per-client monotone one before the
+     * single serialization, and a response frame carrying a *different*
+     * id is discarded as stale -- the leftover answer of an earlier,
+     * abandoned request on a reused connection, which must not be
+     * mistaken for this one's. lastRequestId() exposes the stamped id
+     * so a caller can later aim a `cancel` op at the in-flight work.
      */
     Json request(const Json &request);
+
+    /** The "id" the last request() carried (null before the first). */
+    Json lastRequestId() const { return last_id_; }
 
     void close();
 
@@ -129,6 +140,10 @@ class ServiceClient
     ClientOptions options_;
     Rng jitter_;
     int fd_ = -1;
+    /** Next auto-stamped request id (per-client monotone). */
+    std::uint64_t next_id_ = 1;
+    /** Id of the most recent request (stamped or caller-provided). */
+    Json last_id_;
 };
 
 } // namespace paqoc

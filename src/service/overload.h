@@ -1,0 +1,103 @@
+#ifndef PAQOC_SERVICE_OVERLOAD_H_
+#define PAQOC_SERVICE_OVERLOAD_H_
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "common/thread_annotations.h"
+
+namespace paqoc {
+
+/**
+ * Adaptive overload control (DESIGN.md §15). The controller watches
+ * *queue delay* -- how long admitted jobs sat before a worker picked
+ * them up -- the CoDel insight being that a standing queue, not
+ * instantaneous occupancy, is the reliable overload signal: a burst
+ * that drains quickly keeps the windowed *minimum* delay near zero,
+ * while sustained overload keeps even the luckiest job waiting.
+ *
+ * The windowed-min delay `d` against the target `t`
+ * (`--overload-target-ms`) selects a brownout ladder rung:
+ *
+ *   d <= t    Nominal         serve normally
+ *   d <= 2t   Brownout        serve reduced-iteration degraded pulses
+ *                             (the degrade_on_quota machinery)
+ *   d <= 4t   ShedOverBudget  shed tenants whose budget window is
+ *                             spent; brown out everyone else
+ *   d >  4t   ShedAll         shed with retry_after_ms
+ *
+ * Degrading before shedding keeps goodput nonzero under pressure;
+ * shedding over-budget tenants first preserves fair-share isolation
+ * when shedding starts. A shed answer is typed (`overload_shed` +
+ * `retry_after_ms`), never the hot-retry backpressure response.
+ *
+ * The `overload.clock` failpoint overrides the observed delay with
+ * its argument in milliseconds (e.g. `overload.clock=
+ * return-error(250)` pins d at 250 ms), so tests walk the ladder
+ * deterministically without generating real load.
+ */
+class OverloadController
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    struct Options
+    {
+        /** Queue-delay target in ms; 0 disables the controller. */
+        double targetMs = 0.0;
+        /** Sliding window over which the minimum delay is tracked. */
+        double windowMs = 500.0;
+        /** Iteration cap injected into brownout-degraded requests. */
+        long brownoutIters = 8;
+    };
+
+    enum class Level
+    {
+        Nominal = 0,
+        Brownout,
+        ShedOverBudget,
+        ShedAll,
+    };
+
+    OverloadController() = default;
+    explicit OverloadController(const Options &options)
+        : options_(options)
+    {}
+
+    bool enabled() const { return options_.targetMs > 0.0; }
+    const Options &options() const { return options_; }
+
+    /** Feed one queue-delay sample (scheduler's dispatch observer). */
+    void observe(double delay_ms);
+
+    /** Current ladder rung from the windowed-min delay. */
+    Level level() const;
+
+    /** Suggested client back-off for a shed response, in ms. */
+    double retryAfterMs() const;
+
+    /** Windowed-min queue delay the ladder is keyed on (stats op). */
+    double minDelayMs() const;
+
+    static const char *levelName(Level level);
+
+  private:
+    double effectiveMinLocked() const PAQOC_REQUIRES(mutex_);
+
+    Options options_;
+    mutable Mutex mutex_;
+    /** Two-bucket windowed minimum: the live window and the previous
+     *  one, so the signal neither flaps on window rollover nor holds
+     *  stale peaks forever. */
+    double current_min_ PAQOC_GUARDED_BY(mutex_) = -1.0;
+    double previous_min_ PAQOC_GUARDED_BY(mutex_) = -1.0;
+    Clock::time_point window_start_ PAQOC_GUARDED_BY(mutex_) =
+        Clock::time_point::min();
+    Clock::time_point last_sample_ PAQOC_GUARDED_BY(mutex_) =
+        Clock::time_point::min();
+};
+
+} // namespace paqoc
+
+#endif // PAQOC_SERVICE_OVERLOAD_H_

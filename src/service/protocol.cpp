@@ -180,5 +180,26 @@ budgetExhaustedResponse(const std::string &tenant,
     return r;
 }
 
+Json
+overloadShedResponse(const std::string &tenant, double retry_after_ms,
+                     const std::string &message)
+{
+    Json r = errorResponse(message);
+    r.set("overload_shed", Json(true));
+    r.set("tenant", Json(tenant));
+    r.set("retry_after_ms", Json(retry_after_ms));
+    return r;
+}
+
+Json
+cancelledResponse(const std::string &reason,
+                  const std::string &message)
+{
+    Json r = errorResponse(message);
+    r.set("cancelled", Json(true));
+    r.set("reason", Json(reason));
+    return r;
+}
+
 } // namespace protocol
 } // namespace paqoc

@@ -69,6 +69,28 @@ Json budgetExhaustedResponse(const std::string &tenant,
                              double retry_after_ms,
                              const std::string &message);
 
+/**
+ * Structured overload-shed response (DESIGN.md §15): {"ok": false,
+ * "error": ..., "overload_shed": true, "tenant": ...,
+ * "retry_after_ms": N}. Emitted by the adaptive overload ladder when
+ * even degraded service cannot be offered. Like budget_exhausted it
+ * carries no `retry` member: clients must back off for
+ * `retry_after_ms`, not hot-loop.
+ */
+Json overloadShedResponse(const std::string &tenant,
+                          double retry_after_ms,
+                          const std::string &message);
+
+/**
+ * Structured cancellation response: {"ok": false, "error": ...,
+ * "cancelled": true, "reason": "deadline_exceeded" |
+ * "client_disconnected" | "explicit_cancel" | "overload_shed" |
+ * "shutdown"}. Not retryable as-is -- the caller decided (or the
+ * deadline decided) that the work should stop.
+ */
+Json cancelledResponse(const std::string &reason,
+                       const std::string &message);
+
 } // namespace protocol
 
 } // namespace paqoc

@@ -22,6 +22,14 @@ SessionScheduler::enableFairShare(
         queue_.setWeight(entry.first, entry.second);
 }
 
+void
+SessionScheduler::setQueueDelayObserver(
+    std::function<void(double)> observer)
+{
+    MutexLock lock(mutex_);
+    queue_delay_observer_ = std::move(observer);
+}
+
 SessionScheduler::Admit
 SessionScheduler::submit(std::function<void()> work,
                          Clock::time_point deadline,
@@ -36,6 +44,29 @@ SessionScheduler::submit(const std::string &tenant,
                          std::function<void()> work,
                          Clock::time_point deadline,
                          std::function<void()> on_expired)
+{
+    return submit(
+        tenant,
+        [work = std::move(work)](const CancelToken &) { work(); },
+        deadline, std::move(on_expired), CancelSource());
+}
+
+SessionScheduler::Admit
+SessionScheduler::submit(CancellableWork work,
+                         Clock::time_point deadline,
+                         std::function<void()> on_expired,
+                         CancelSource source)
+{
+    return submit(fleet::kAnonymousTenant, std::move(work), deadline,
+                  std::move(on_expired), std::move(source));
+}
+
+SessionScheduler::Admit
+SessionScheduler::submit(const std::string &tenant,
+                         CancellableWork work,
+                         Clock::time_point deadline,
+                         std::function<void()> on_expired,
+                         CancelSource source)
 {
     std::vector<std::function<void()>> to_run;
     {
@@ -61,13 +92,18 @@ SessionScheduler::submit(const std::string &tenant,
         ++stats_.inFlight;
         ++tenants_[tenant].admitted;
 
-        Pending pending{tenant, std::move(work), std::move(on_expired),
-                        deadline};
+        if (deadline != Clock::time_point::max())
+            source.armDeadline(deadline);
+        Job job = std::make_shared<Pending>(
+            Pending{tenant, std::move(work), std::move(on_expired),
+                    deadline, Clock::now(), std::move(source),
+                    JobState::Queued});
+        registry_.push_back(job);
         if (!fair_share_) {
-            to_run.push_back(makeJob(std::move(pending)));
+            to_run.push_back(makeJob(std::move(job)));
         } else {
             ++tenants_[tenant].queued;
-            queue_.push(tenant, std::move(pending));
+            queue_.push(tenant, std::move(job));
             pumpLocked(&to_run);
         }
     }
@@ -77,16 +113,34 @@ SessionScheduler::submit(const std::string &tenant,
 }
 
 std::function<void()>
-SessionScheduler::makeJob(Pending pending)
+SessionScheduler::makeJob(Job job)
 {
-    return [this, pending = std::move(pending)]() mutable {
-        const bool expired = Clock::now() > pending.deadline;
+    return [this, job = std::move(job)]() {
+        bool expired = false;
+        double queue_delay_ms = 0.0;
+        std::function<void(double)> observer;
+        {
+            MutexLock lock(mutex_);
+            if (job->state == JobState::Swept)
+                return; // sweepExpired() already settled the books
+            job->state = JobState::Dispatched;
+            expired = Clock::now() > job->deadline;
+            queue_delay_ms =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - job->enqueued)
+                    .count();
+            observer = queue_delay_observer_;
+        }
+        if (observer)
+            observer(queue_delay_ms);
+        if (expired)
+            job->source.cancel(CancelReason::DeadlineExceeded);
         try {
             if (expired) {
-                if (pending.onExpired)
-                    pending.onExpired();
+                if (job->onExpired)
+                    job->onExpired();
             } else {
-                pending.work();
+                job->work(job->source.token());
             }
         } catch (...) {
             // Handlers report their own errors over the wire; an
@@ -97,7 +151,7 @@ SessionScheduler::makeJob(Pending pending)
             MutexLock lock(mutex_);
             --stats_.inFlight;
             ++(expired ? stats_.expired : stats_.completed);
-            TenantStats &ts = tenants_[pending.tenant];
+            TenantStats &ts = tenants_[job->tenant];
             ++(expired ? ts.expired : ts.completed);
             if (fair_share_) {
                 --running_;
@@ -106,9 +160,58 @@ SessionScheduler::makeJob(Pending pending)
             if (stats_.inFlight == 0)
                 idle_cv_.notify_all();
         }
-        for (auto &job : to_run)
-            pool().submit(std::move(job));
+        for (auto &next : to_run)
+            pool().submit(std::move(next));
     };
+}
+
+std::size_t
+SessionScheduler::sweepExpired()
+{
+    std::vector<std::function<void()>> callbacks;
+    std::size_t swept = 0;
+    {
+        MutexLock lock(mutex_);
+        const Clock::time_point now = Clock::now();
+        auto it = registry_.begin();
+        while (it != registry_.end()) {
+            Job job = it->lock();
+            if (job == nullptr || job->state != JobState::Queued) {
+                // Completed, or a worker owns it -- drop the entry.
+                it = registry_.erase(it);
+                continue;
+            }
+            if (now <= job->deadline) {
+                ++it;
+                continue;
+            }
+            // Still queued and past deadline: expire it in place. It
+            // stays physically queued, but workers skip Swept jobs,
+            // so its admission slot frees right now.
+            job->state = JobState::Swept;
+            job->source.cancel(CancelReason::DeadlineExceeded);
+            --stats_.inFlight;
+            ++stats_.expired;
+            TenantStats &ts = tenants_[job->tenant];
+            ++ts.expired;
+            if (fair_share_ && ts.queued > 0)
+                --ts.queued;
+            if (job->onExpired)
+                callbacks.push_back(job->onExpired);
+            ++swept;
+            it = registry_.erase(it);
+        }
+        if (swept > 0 && stats_.inFlight == 0)
+            idle_cv_.notify_all();
+    }
+    for (auto &cb : callbacks) {
+        try {
+            cb();
+        } catch (...) {
+            // Expiry answers are best-effort, like job exceptions.
+        }
+    }
+    return swept;
 }
 
 void
@@ -116,9 +219,15 @@ SessionScheduler::pumpLocked(std::vector<std::function<void()>> *out)
 {
     while (running_ < max_concurrent_) {
         std::string tenant;
-        std::optional<Pending> next = queue_.pop(&tenant);
+        std::optional<Job> next = queue_.pop(&tenant);
         if (!next.has_value())
             break;
+        if ((*next)->state == JobState::Swept)
+            continue; // purged by a sweep; books already settled
+        // Claim the job here, under the same lock hold that popped
+        // it: once running_ counts it, a sweep must not expire it (the
+        // closure's early return would leak the concurrency slot).
+        (*next)->state = JobState::Dispatched;
         ++running_;
         --tenants_[tenant].queued;
         out->push_back(makeJob(std::move(*next)));
@@ -174,6 +283,33 @@ SessionScheduler::noteDegraded(const std::string &tenant)
 {
     MutexLock lock(mutex_);
     ++tenants_[tenant].degraded;
+}
+
+void
+SessionScheduler::noteCancelled(const std::string &tenant,
+                                CancelReason why)
+{
+    MutexLock lock(mutex_);
+    ++stats_.cancelled;
+    ++tenants_[tenant].cancelled;
+    if (why == CancelReason::DeadlineExceeded)
+        ++stats_.expiredRunning;
+}
+
+void
+SessionScheduler::noteShed(const std::string &tenant)
+{
+    MutexLock lock(mutex_);
+    ++stats_.shed;
+    ++tenants_[tenant].shed;
+}
+
+void
+SessionScheduler::noteBrownout(const std::string &tenant)
+{
+    MutexLock lock(mutex_);
+    ++stats_.brownout;
+    ++tenants_[tenant].brownout;
 }
 
 } // namespace paqoc

@@ -5,10 +5,12 @@
 #include <cstddef>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "fleet/fair_queue.h"
@@ -26,7 +28,14 @@ namespace paqoc {
  *  - *Deadlines*: each job carries an optional absolute deadline. A
  *    job whose deadline passed while it sat in the queue is *expired*:
  *    its `on_expired` callback runs instead of the work, so the client
- *    gets a fast deadline error rather than a late result.
+ *    gets a fast deadline error rather than a late result. Expired
+ *    jobs deep in the queue are purged eagerly by sweepExpired(), not
+ *    only discovered at dispatch.
+ *  - *Cancellation* (DESIGN.md §15): every job carries a CancelSource
+ *    (the caller may supply its own, e.g. one registered under the
+ *    request id); the deadline is armed on it and the work receives
+ *    the token, so a derivation stops within one poll of the deadline
+ *    passing, the client vanishing, or a `cancel` op landing.
  *  - *Draining*: drain() stops admission and blocks until every
  *    admitted job completed -- the graceful-shutdown half of the
  *    daemon (in-flight requests finish, new ones are turned away).
@@ -44,6 +53,7 @@ class SessionScheduler
 {
   public:
     using Clock = std::chrono::steady_clock;
+    using CancellableWork = std::function<void(const CancelToken &)>;
 
     explicit SessionScheduler(std::size_t max_queue = 64,
                               ThreadPool *pool = nullptr)
@@ -68,22 +78,51 @@ class SessionScheduler
 
     /**
      * Admit a job. `deadline` of Clock::time_point::max() means none.
-     * Exactly one of `work` / `on_expired` eventually runs.
+     * Exactly one of `work` / `on_expired` eventually runs. The
+     * deadline is armed on `source` (caller-supplied so the server
+     * can also cancel it by request id / on disconnect) and the work
+     * polls its token.
      */
+    Admit submit(CancellableWork work,
+                 Clock::time_point deadline = Clock::time_point::max(),
+                 std::function<void()> on_expired = {},
+                 CancelSource source = CancelSource());
+
+    /** submit() billed to (and fair-share queued under) `tenant`. */
+    Admit submit(const std::string &tenant, CancellableWork work,
+                 Clock::time_point deadline = Clock::time_point::max(),
+                 std::function<void()> on_expired = {},
+                 CancelSource source = CancelSource());
+
+    /** Token-free convenience overloads (tests, simple callers). */
     Admit submit(std::function<void()> work,
                  Clock::time_point deadline = Clock::time_point::max(),
                  std::function<void()> on_expired = {});
-
-    /** submit() billed to (and fair-share queued under) `tenant`. */
     Admit submit(const std::string &tenant, std::function<void()> work,
                  Clock::time_point deadline = Clock::time_point::max(),
                  std::function<void()> on_expired = {});
+
+    /**
+     * Purge queued jobs whose deadline already passed: each runs its
+     * `on_expired` now (on the sweeping thread) and frees its
+     * admission slot without waiting to be popped. Jobs already
+     * dispatched to a worker are untouched -- their armed deadline
+     * token stops them cooperatively. Returns how many were swept.
+     */
+    std::size_t sweepExpired();
 
     /** Stop admitting and wait for all admitted jobs to finish. */
     void drain();
 
     /** True once drain() (or shutdown) started. */
     bool draining() const;
+
+    /**
+     * Observer invoked (on the worker thread, at job start) with the
+     * job's queue residency in milliseconds -- the signal the
+     * overload controller's CoDel-style admission window tracks.
+     */
+    void setQueueDelayObserver(std::function<void(double)> observer);
 
     struct Stats
     {
@@ -94,6 +133,15 @@ class SessionScheduler
         std::size_t inFlight = 0;
         /** Requests that exhausted a per-request resource budget. */
         std::size_t quotaExceeded = 0;
+        /** Requests that ended with a cancelled outcome (any reason). */
+        std::size_t cancelled = 0;
+        /** Subset of `cancelled`: deadline passed mid-run and the
+         *  derivation was stopped cooperatively. */
+        std::size_t expiredRunning = 0;
+        /** Requests shed by the overload controller (never ran). */
+        std::size_t shed = 0;
+        /** Requests served degraded by the brownout ladder. */
+        std::size_t brownout = 0;
     };
     Stats stats() const;
 
@@ -109,6 +157,12 @@ class SessionScheduler
         std::size_t budgetExhausted = 0;
         /** Requests served degraded because the budget was spent. */
         std::size_t degraded = 0;
+        /** Requests that ended cancelled (any reason). */
+        std::size_t cancelled = 0;
+        /** Requests shed by the overload controller. */
+        std::size_t shed = 0;
+        /** Requests served degraded by the brownout ladder. */
+        std::size_t brownout = 0;
     };
     /** Per-tenant counters in tenant-name order. */
     std::vector<std::pair<std::string, TenantStats>>
@@ -127,20 +181,40 @@ class SessionScheduler
     /** Record a degraded (budget-spent best-effort) serve. */
     void noteDegraded(const std::string &tenant);
 
+    /** Record a cancelled outcome (`why` keys the sub-counters). */
+    void noteCancelled(const std::string &tenant, CancelReason why);
+
+    /** Record an overload-shed refusal for `tenant`. */
+    void noteShed(const std::string &tenant);
+
+    /** Record a brownout (overload-degraded) serve for `tenant`. */
+    void noteBrownout(const std::string &tenant);
+
   private:
+    enum class JobState
+    {
+        Queued,     ///< admitted, awaiting a worker
+        Dispatched, ///< a worker owns it (runs or expires at start)
+        Swept,      ///< purged by sweepExpired(); workers skip it
+    };
+
     struct Pending
     {
         std::string tenant;
-        std::function<void()> work;
+        CancellableWork work;
         std::function<void()> onExpired;
         Clock::time_point deadline;
+        Clock::time_point enqueued;
+        CancelSource source;
+        JobState state = JobState::Queued;
     };
+    using Job = std::shared_ptr<Pending>;
 
     ThreadPool &pool() const
     { return pool_ != nullptr ? *pool_ : ThreadPool::global(); }
 
     /** Wrap a pending job with expiry + completion bookkeeping. */
-    std::function<void()> makeJob(Pending pending);
+    std::function<void()> makeJob(Job job);
 
     /**
      * Move dispatchable fair-share jobs into *out while respecting
@@ -159,8 +233,13 @@ class SessionScheduler
     bool fair_share_ PAQOC_GUARDED_BY(mutex_) = false;
     std::size_t max_concurrent_ PAQOC_GUARDED_BY(mutex_) = 0;
     std::size_t running_ PAQOC_GUARDED_BY(mutex_) = 0;
-    fleet::FairShareQueue<Pending> queue_ PAQOC_GUARDED_BY(mutex_);
+    fleet::FairShareQueue<Job> queue_ PAQOC_GUARDED_BY(mutex_);
+    /** Every admitted-but-not-dispatched job, for sweepExpired(). */
+    std::vector<std::weak_ptr<Pending>> registry_
+        PAQOC_GUARDED_BY(mutex_);
     std::map<std::string, TenantStats> tenants_
+        PAQOC_GUARDED_BY(mutex_);
+    std::function<void(double)> queue_delay_observer_
         PAQOC_GUARDED_BY(mutex_);
 };
 

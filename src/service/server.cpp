@@ -106,19 +106,47 @@ itersCharged(const Json &response)
     if (response.contains("stats")
         && response.at("stats").isObject())
         return numberMember(response.at("stats"), "iters_charged");
-    // quota_exceeded responses carry it at the root (service.cpp).
+    // quota_exceeded / cancelled responses carry it at the root.
     return numberMember(response, "iters_charged");
+}
+
+/** The wire name a cancelled response reports, back to the enum. */
+CancelReason
+cancelReasonFromName(const std::string &name)
+{
+    if (name == "deadline_exceeded")
+        return CancelReason::DeadlineExceeded;
+    if (name == "client_disconnected")
+        return CancelReason::ClientDisconnected;
+    if (name == "overload_shed")
+        return CancelReason::OverloadShed;
+    if (name == "shutdown")
+        return CancelReason::Shutdown;
+    return CancelReason::ExplicitCancel;
+}
+
+OverloadController::Options
+overloadOptions(const ServerOptions &options)
+{
+    OverloadController::Options opts;
+    opts.targetMs = options.overloadTargetMs;
+    opts.brownoutIters = options.overloadBrownoutIters;
+    return opts;
 }
 
 } // namespace
 
 SocketServer::SocketServer(PulseService &service, ServerOptions options)
     : service_(service), options_(std::move(options)),
-      scheduler_(options_.maxQueue), ledger_(options_.tenantBudget)
+      scheduler_(options_.maxQueue), ledger_(options_.tenantBudget),
+      overload_(overloadOptions(options_))
 {
     if (options_.fairShare)
         scheduler_.enableFairShare(options_.tenantWeights,
                                    options_.fairShareConcurrency);
+    if (overload_.enabled())
+        scheduler_.setQueueDelayObserver(
+            [this](double delay_ms) { overload_.observe(delay_ms); });
 }
 
 SocketServer::~SocketServer()
@@ -239,6 +267,58 @@ SocketServer::serveConnection(const std::shared_ptr<Connection> &conn)
         // Torn frame or dropped peer: the connection dies, the
         // server lives on.
     }
+    // The client is gone; nobody will read the answers. Trip this
+    // connection's in-flight work so orphaned derivations stop at
+    // their next poll instead of burning the pool (DESIGN.md §15).
+    // Harmless during shutdown: stop() drains before severing, so
+    // nothing is left to trip.
+    if (options_.cancelOnDisconnect)
+        cancelConnection(conn.get());
+}
+
+std::uint64_t
+SocketServer::registerInflight(const Json &id, const void *conn,
+                               const CancelSource &source)
+{
+    MutexLock lock(cancelMutex_);
+    const std::uint64_t seq = ++inflight_seq_;
+    inflight_.emplace(
+        seq,
+        Inflight{id.isNull() ? std::string() : id.dump(), conn,
+                 source});
+    return seq;
+}
+
+void
+SocketServer::unregisterInflight(std::uint64_t seq)
+{
+    MutexLock lock(cancelMutex_);
+    inflight_.erase(seq);
+}
+
+bool
+SocketServer::cancelById(const Json &target, CancelReason why)
+{
+    const std::string key = target.dump();
+    MutexLock lock(cancelMutex_);
+    bool found = false;
+    for (const auto &entry : inflight_) {
+        if (!entry.second.idKey.empty() && entry.second.idKey == key) {
+            entry.second.source.cancel(why);
+            found = true;
+        }
+    }
+    return found;
+}
+
+void
+SocketServer::cancelConnection(const void *conn)
+{
+    MutexLock lock(cancelMutex_);
+    for (const auto &entry : inflight_)
+        if (entry.second.conn == conn)
+            entry.second.source.cancel(
+                CancelReason::ClientDisconnected);
 }
 
 Json
@@ -255,8 +335,21 @@ SocketServer::augmentStats(Json response)
     sched.set("expired", Json(st.expired));
     sched.set("in_flight", Json(st.inFlight));
     sched.set("quota_exceeded", Json(st.quotaExceeded));
+    sched.set("cancelled", Json(st.cancelled));
+    sched.set("expired_running", Json(st.expiredRunning));
+    sched.set("shed", Json(st.shed));
+    sched.set("brownout", Json(st.brownout));
     Json payload = response.at("payload");
     payload.set("scheduler", std::move(sched));
+    if (overload_.enabled()) {
+        Json ov = Json::object();
+        ov.set("target_ms", Json(options_.overloadTargetMs));
+        ov.set("min_delay_ms", Json(overload_.minDelayMs()));
+        ov.set("level",
+               Json(std::string(
+                   OverloadController::levelName(overload_.level()))));
+        payload.set("overload", std::move(ov));
+    }
     // Per-tenant serving counters (DESIGN.md §12); the map is
     // name-ordered, so the document is deterministic.
     Json tenants = Json::object();
@@ -270,6 +363,9 @@ SocketServer::augmentStats(Json response)
         t.set("budget_exhausted",
               Json(entry.second.budgetExhausted));
         t.set("degraded", Json(entry.second.degraded));
+        t.set("cancelled", Json(entry.second.cancelled));
+        t.set("shed", Json(entry.second.shed));
+        t.set("brownout", Json(entry.second.brownout));
         if (options_.tenantBudget.any()) {
             const fleet::TenantBudgetLedger::Spend spend =
                 ledger_.windowSpend(entry.first, now);
@@ -320,6 +416,23 @@ SocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
             requestStop();
         return;
     }
+    if (op == "cancel") {
+        // Wire-level cancellation (DESIGN.md §15): trips the in-flight
+        // request whose "id" matched target_id, on whatever connection
+        // it arrived (a SIGINT'd CLI dials a fresh one). Answered
+        // inline -- it must work while the queue is full.
+        const Json target = request.get("target_id", Json());
+        const bool found =
+            !target.isNull()
+            && cancelById(target, CancelReason::ExplicitCancel);
+        Json response = Json::object();
+        response.set("ok", Json(true));
+        Json payload = Json::object();
+        payload.set("cancelled", Json(found));
+        response.set("payload", std::move(payload));
+        writeResponse(write_mutex, fd, std::move(response), id);
+        return;
+    }
 
     // Data-plane ops go through admission control, billed per tenant.
     const std::string tenant = fleet::tenantFromRequest(request);
@@ -331,6 +444,49 @@ SocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
         deadline = SessionScheduler::Clock::now()
             + std::chrono::milliseconds(
                 static_cast<long>(deadline_ms));
+
+    // Eagerly purge queued-but-expired jobs: their admission slots
+    // free before this request's decision, and their clients get the
+    // fast deadline answer without waiting for a worker to pop them.
+    scheduler_.sweepExpired();
+
+    // Adaptive overload control (DESIGN.md §15): the windowed-min
+    // queue delay selects a ladder rung. Brownout degrades before
+    // shedding (goodput stays nonzero); shedding takes over-budget
+    // tenants first (fair-share isolation); a shed answer is typed
+    // and carries a back-off, never the hot-retry response.
+    bool brownout_serve = false;
+    if (overload_.enabled()) {
+        const OverloadController::Level level = overload_.level();
+        bool shed = level == OverloadController::Level::ShedAll;
+        if (level == OverloadController::Level::ShedOverBudget) {
+            if (options_.tenantBudget.any()
+                && ledger_
+                       .remaining(
+                           tenant,
+                           fleet::TenantBudgetLedger::Clock::now())
+                       .exhausted)
+                shed = true;
+            else
+                brownout_serve = true;
+        } else if (level == OverloadController::Level::Brownout) {
+            brownout_serve = true;
+        }
+        if (shed) {
+            scheduler_.noteShed(tenant);
+            const double retry = overload_.retryAfterMs();
+            writeResponse(
+                write_mutex, fd,
+                protocol::overloadShedResponse(
+                    tenant, retry,
+                    "overload_shed: queue delay over target; retry "
+                    "after "
+                        + std::to_string(static_cast<long>(retry))
+                        + " ms"),
+                id);
+            return;
+        }
+    }
 
     // Tenant-budget admission (DESIGN.md §12): an exhausted tenant is
     // refused up front (or served degraded when it opted in); a
@@ -395,16 +551,33 @@ SocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
             effective.set("degrade_on_quota", Json(true));
     }
 
+    // Brownout rung: a reduced-iteration degraded pulse through the
+    // degrade_on_quota machinery. The injected cap never widens a
+    // tighter one already in force.
+    if (brownout_serve) {
+        effective.set("degrade_on_quota", Json(true));
+        const double cap = static_cast<double>(
+            options_.overloadBrownoutIters < 1
+                ? 1
+                : options_.overloadBrownoutIters);
+        const double existing = numberMember(effective, "max_iters");
+        if (existing <= 0.0 || existing > cap)
+            effective.set("max_iters", Json(cap));
+    }
+
+    CancelSource source;
+    const std::uint64_t reg = registerInflight(id, conn.get(), source);
     const SessionScheduler::Admit admitted = scheduler_.submit(
         tenant,
         [this, write_mutex, fd, effective = std::move(effective), id,
-         tenant, iters_from_budget, wall_from_budget,
-         degraded_serve]() {
+         tenant, iters_from_budget, wall_from_budget, degraded_serve,
+         brownout_serve, reg](const CancelToken &cancel) {
             const auto t0 =
                 fleet::TenantBudgetLedger::Clock::now();
-            Json response = service_.handle(effective);
+            Json response = service_.handle(effective, &cancel);
             const auto t1 =
                 fleet::TenantBudgetLedger::Clock::now();
+            unregisterInflight(reg);
             if (options_.tenantBudget.any()) {
                 const double wall_ms =
                     std::chrono::duration<double, std::milli>(t1
@@ -413,7 +586,14 @@ SocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
                 ledger_.charge(tenant, itersCharged(response),
                                wall_ms, t1);
             }
-            if (isQuotaExceeded(response)) {
+            if (boolMember(response, "cancelled")) {
+                const std::string why =
+                    response.get("reason", Json("")).isString()
+                    ? response.at("reason").asString()
+                    : "";
+                scheduler_.noteCancelled(tenant,
+                                         cancelReasonFromName(why));
+            } else if (isQuotaExceeded(response)) {
                 const std::string limit =
                     response.get("limit", Json("")).isString()
                     ? response.at("limit").asString()
@@ -441,17 +621,23 @@ SocketServer::dispatchFrame(const std::shared_ptr<Connection> &conn,
                 }
             } else if (degraded_serve) {
                 scheduler_.noteDegraded(tenant);
+            } else if (brownout_serve) {
+                scheduler_.noteBrownout(tenant);
             }
             writeResponse(write_mutex, fd, std::move(response), id);
         },
         deadline,
-        [write_mutex, fd, id]() {
+        [this, write_mutex, fd, id, reg]() {
+            unregisterInflight(reg);
             writeResponse(
                 write_mutex, fd,
                 protocol::errorResponse(
                     "deadline exceeded while queued"),
                 id);
-        });
+        },
+        source);
+    if (admitted != SessionScheduler::Admit::Accepted)
+        unregisterInflight(reg);
     if (admitted == SessionScheduler::Admit::Overloaded)
         writeResponse(write_mutex, fd, protocol::overloadedResponse(),
                       id);

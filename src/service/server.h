@@ -2,14 +2,17 @@
 #define PAQOC_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/thread_annotations.h"
 #include "fleet/budget.h"
+#include "service/overload.h"
 #include "service/scheduler.h"
 #include "service/service.h"
 
@@ -57,17 +60,41 @@ struct ServerOptions
      * of such a cap is reported as budget_exhausted too.
      */
     fleet::BudgetOptions tenantBudget;
+    /**
+     * Cancel a request's in-flight work when its client connection
+     * goes away (DESIGN.md §15). With the per-iteration GRAPE poll an
+     * orphaned derivation stops within one ADAM step; its checkpoint
+     * survives, so the client's retry resumes instead of restarting.
+     */
+    bool cancelOnDisconnect = true;
+    /**
+     * Queue-delay target of the adaptive overload controller in ms
+     * (`--overload-target-ms`; 0 disables). See service/overload.h
+     * for the brownout ladder the windowed-min delay walks.
+     */
+    double overloadTargetMs = 0.0;
+    /** Iteration cap injected into brownout-degraded requests. */
+    long overloadBrownoutIters = 8;
 };
 
 /**
  * Socket front end of the pulse-compilation service: a Unix-domain
  * and/or TCP listener, or a fleet worker fed accepted connections by
  * the router (ServerOptions::controlFd). Frames (see
- * service/protocol.h) arrive per connection; "ping", "stats" and
- * "shutdown" are answered inline, "compile" and "generate" go through
- * the SessionScheduler onto the global thread pool. Responses carry
- * the request's "id" member back (pipelined requests may complete out
- * of order).
+ * service/protocol.h) arrive per connection; "ping", "stats",
+ * "cancel" and "shutdown" are answered inline, "compile" and
+ * "generate" go through the SessionScheduler onto the global thread
+ * pool. Responses carry the request's "id" member back (pipelined
+ * requests may complete out of order).
+ *
+ * Cancellation (DESIGN.md §15): every data-plane request runs under a
+ * CancelSource registered while it is in flight. A
+ * {"op": "cancel", "target_id": <id>} frame -- on any connection --
+ * trips the matching request; a vanished client connection trips all
+ * of its requests (cancelOnDisconnect); an armed deadline trips its
+ * own. The compute loops poll cooperatively, so cancelled work stops
+ * within one GRAPE iteration and answers with the typed `cancelled`
+ * response.
  *
  * Multi-tenancy (DESIGN.md §12): each data-plane request bills to its
  * "tenant" member ("anonymous" when absent); fair-share admission and
@@ -116,6 +143,16 @@ class SocketServer
         std::thread thread;
     };
 
+    /** One registered in-flight cancellable request. */
+    struct Inflight
+    {
+        /** Serialized request id ("" when the request had none). */
+        std::string idKey;
+        /** Identity of the connection that submitted it. */
+        const void *conn = nullptr;
+        CancelSource source;
+    };
+
     void acceptLoop();
     /** Register `fd` as a client connection and spawn its reader. */
     void adoptConnection(int fd);
@@ -124,11 +161,20 @@ class SocketServer
                        const std::string &text);
     /** Append scheduler + tenant counters to a stats payload. */
     Json augmentStats(Json response);
+    /** Track a request's CancelSource while it is in flight. */
+    std::uint64_t registerInflight(const Json &id, const void *conn,
+                                   const CancelSource &source);
+    void unregisterInflight(std::uint64_t seq);
+    /** Trip every in-flight request whose id matches `target`. */
+    bool cancelById(const Json &target, CancelReason why);
+    /** Trip every in-flight request submitted by `conn`. */
+    void cancelConnection(const void *conn);
 
     PulseService &service_;
     ServerOptions options_;
     SessionScheduler scheduler_;
     fleet::TenantBudgetLedger ledger_;
+    OverloadController overload_;
     int listen_fd_ = -1;
     int tcp_fd_ = -1;
     int tcp_port_ = -1;
@@ -140,6 +186,12 @@ class SocketServer
     bool stopped_ PAQOC_GUARDED_BY(mutex_) = false;
     std::vector<std::shared_ptr<Connection>> connections_
         PAQOC_GUARDED_BY(mutex_);
+    /** In-flight cancellable requests, keyed by registration seq
+     *  (ids may collide across clients; the seq never does). */
+    Mutex cancelMutex_;
+    std::uint64_t inflight_seq_ PAQOC_GUARDED_BY(cancelMutex_) = 0;
+    std::map<std::uint64_t, Inflight> inflight_
+        PAQOC_GUARDED_BY(cancelMutex_);
 };
 
 } // namespace paqoc

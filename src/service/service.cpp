@@ -227,6 +227,12 @@ PulseService::prepareCache(PulseCache &cache,
 Json
 PulseService::handle(const Json &request)
 {
+    return handle(request, nullptr);
+}
+
+Json
+PulseService::handle(const Json &request, const CancelToken *cancel)
+{
     try {
         PAQOC_FATAL_IF(!request.isObject()
                            || !request.contains("op"),
@@ -252,11 +258,23 @@ PulseService::handle(const Json &request)
             return r;
         }
         if (op == "compile")
-            return handleCompile(request);
+            return handleCompile(request, cancel);
         if (op == "generate")
-            return handleGenerate(request);
+            return handleGenerate(request, cancel);
         errors_.fetch_add(1, std::memory_order_relaxed);
         return protocol::errorResponse("unknown op '" + op + "'");
+    } catch (const CancelledError &e) {
+        // Cancellation is the client's (or the deadline's) choice,
+        // not a service failure. Whatever GRAPE progress existed was
+        // checkpointed before the unwind, so a re-request of the same
+        // key resumes byte-identically instead of restarting.
+        cancelled_requests_.fetch_add(1, std::memory_order_relaxed);
+        Json r = protocol::cancelledResponse(e.reasonName(), e.what());
+        // Iterations burned before the trip still count against the
+        // tenant's replenishing budget (same contract as quota trips).
+        r.set("iters_charged",
+              Json(static_cast<double>(e.itersCharged())));
+        return r;
     } catch (const QuotaExceededError &e) {
         // A budget trip is an expected outcome of an oversized
         // request, not a service error; other sessions are untouched
@@ -275,7 +293,8 @@ PulseService::handle(const Json &request)
 }
 
 Json
-PulseService::handleCompile(const Json &request)
+PulseService::handleCompile(const Json &request,
+                            const CancelToken *cancel)
 {
     const CompileJob job = compileJobFromJson(request);
     // Per-request generators warmed from the frozen epoch: snapshot
@@ -300,6 +319,7 @@ PulseService::handleCompile(const Json &request)
                      request.get("degrade_on_quota", Json(false))
                          .asBool());
     generator.setQuota(&quota);
+    generator.setCancel(cancel);
     prepareCache(generator.cache(), job.backend);
     const CompileReport report = runCompileJob(job, generator);
     compiles_.fetch_add(1, std::memory_order_relaxed);
@@ -322,7 +342,8 @@ PulseService::handleCompile(const Json &request)
 }
 
 Json
-PulseService::handleGenerate(const Json &request)
+PulseService::handleGenerate(const Json &request,
+                             const CancelToken *cancel)
 {
     const std::string backend =
         request.get("backend", Json("grape")).asString();
@@ -357,6 +378,7 @@ PulseService::handleGenerate(const Json &request)
                      request.get("degrade_on_quota", Json(false))
                          .asBool());
     generator.setQuota(&quota);
+    generator.setCancel(cancel);
     prepareCache(generator.cache(), backend);
     const PulseGenResult result =
         generator.generate(unitary, num_qubits);
@@ -419,6 +441,9 @@ PulseService::statsJson() const
                 Json(degraded_pulses_.load(std::memory_order_relaxed)));
     serving.set("quota_rejections",
                 Json(quota_rejections_.load(std::memory_order_relaxed)));
+    serving.set(
+        "cancelled",
+        Json(cancelled_requests_.load(std::memory_order_relaxed)));
     s.set("serving", std::move(serving));
     // Process-level view for operators: how long this worker has been
     // up, whether a supervisor restarts it, and how much recovered

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/json.h"
 #include "common/quota.h"
 #include "paqoc/compiler.h"
@@ -143,6 +144,17 @@ class PulseService
      */
     Json handle(const Json &request);
 
+    /**
+     * Cancellation-aware variant (DESIGN.md §15): `cancel` (may be
+     * null) is the request's cooperative token. Handlers thread it
+     * into the pulse generator, which polls it per GRAPE iteration
+     * and per batch item; a tripped token unwinds as a structured
+     * {"ok": false, "cancelled": true, "reason": ...} response with
+     * iters_charged, after checkpointing in-progress GRAPE state so a
+     * re-request resumes instead of restarting.
+     */
+    Json handle(const Json &request, const CancelToken *cancel);
+
     /** True once a "shutdown" request was accepted. */
     bool shutdownRequested() const
     { return shutdown_.load(std::memory_order_relaxed); }
@@ -186,8 +198,8 @@ class PulseService
     }
 
   private:
-    Json handleCompile(const Json &request);
-    Json handleGenerate(const Json &request);
+    Json handleCompile(const Json &request, const CancelToken *cancel);
+    Json handleGenerate(const Json &request, const CancelToken *cancel);
 
     /**
      * Warm a per-request cache from the frozen epoch and attach the
@@ -219,6 +231,8 @@ class PulseService
     std::atomic<std::size_t> degraded_pulses_{0};
     /** Requests ended by a structured quota_exceeded error (§10). */
     std::atomic<std::size_t> quota_rejections_{0};
+    /** Requests ended by a structured cancelled error (§15). */
+    std::atomic<std::size_t> cancelled_requests_{0};
 };
 
 } // namespace paqoc

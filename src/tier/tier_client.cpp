@@ -185,6 +185,23 @@ TierClient::legFetch(Leg &leg, const std::string &key, bool primary_leg)
 }
 
 std::optional<CachedPulse>
+TierClient::fetch(const std::string &key, const CancelToken *cancel)
+{
+    if (cancel != nullptr
+        && (cancel->cancelled()
+            || cancel->remainingMs() < options_.opTimeoutMs)) {
+        // Cancelled, or the deadline cannot fund a full tier op: the
+        // leg sockets carry fixed timeouts, so starting an op we
+        // cannot finish in budget would only burn the caller's
+        // remaining time. Skip straight to local compute.
+        MutexLock lock(countersMutex_);
+        ++counters_.fetchRejected;
+        return std::nullopt;
+    }
+    return fetch(key);
+}
+
+std::optional<CachedPulse>
 TierClient::fetch(const std::string &key)
 {
     try {

@@ -480,4 +480,66 @@ if [ -n "$TIERD" ]; then
         || fail "tier daemon did not announce a clean shutdown"
 fi
 
+# ---------------------------------------------------------------------
+# Cancellation and overload scenarios (DESIGN.md §15).
+# ---------------------------------------------------------------------
+
+# 14. kill -9 the CLIENT mid-GRAPE: the daemon must detect the
+#     disconnect, cancel the orphaned derivation at its next poll
+#     (counted in the shutdown table), keep running, persist the
+#     checkpoint written before unwinding -- and a re-request must
+#     resume from it and serve bytes identical to an uninterrupted
+#     checkpointed run (scenario 6's reference). The bounded delay
+#     budget keeps the derivation slow long enough to orphan it, then
+#     lets the resumed request finish fast.
+rm -rf "$LIB"
+start_daemon "checkpoint.append=delay-ms(100):20" \
+    $GRAPE_FLAGS --checkpoint-every 1
+"$PAQOCC" --connect "$SOCK" --grape --topology 2x2 --json "$TINY" \
+    > /dev/null 2>&1 &
+CLIENT_PID=$!
+sleep 0.6
+kill -9 "$CLIENT_PID"
+wait "$CLIENT_PID" 2>/dev/null || true
+kill -0 "$DAEMON_PID" 2>/dev/null \
+    || fail "daemon died when its client was killed"
+find "$LIB/checkpoints" -type f 2>/dev/null | grep -q . \
+    || fail "no checkpoint survived the client kill"
+"$PAQOCC" --connect "$SOCK" --grape --topology 2x2 --json "$TINY" \
+    > "$WORK/cancel_resumed.json"
+cmp -s "$WORK/ckpt_ref.json" "$WORK/cancel_resumed.json" \
+    || fail "payload differs after a cancelled derivation resumed"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "daemon exited non-zero after client kill"
+DAEMON_PID=
+SCHED_LINE=$(grep "paqocd: scheduler:" "$WORK/daemon.log" | tail -1)
+case "$SCHED_LINE" in
+*"cancelled 0,"*|"")
+    fail "disconnect cancellation never counted: '$SCHED_LINE'" ;;
+esac
+
+# 15. Overload storm: with the ladder pinned at ShedAll through the
+#     overload.clock failpoint, a data-plane request is turned away
+#     with the typed overload_shed answer carrying retry_after_ms --
+#     never served late, never the hot-retry backpressure response --
+#     and the shed shows up in the shutdown table.
+start_daemon "overload.clock=return-error(1000)" \
+    --overload-target-ms 5
+if "$PAQOCC" --connect "$SOCK" --topology 2x2 --json "$QASM" \
+    > /dev/null 2> "$WORK/shed.err"; then
+    fail "request was served by a daemon pinned at ShedAll"
+fi
+grep -q "overload_shed" "$WORK/shed.err" \
+    || fail "shed answer is not typed: $(cat "$WORK/shed.err")"
+grep -q "retry after" "$WORK/shed.err" \
+    || fail "shed answer carries no back-off: $(cat "$WORK/shed.err")"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || fail "shedding daemon exited non-zero"
+DAEMON_PID=
+SCHED_LINE=$(grep "paqocd: scheduler:" "$WORK/daemon.log" | tail -1)
+case "$SCHED_LINE" in
+*"shed 0,"*|"")
+    fail "overload shed never counted: '$SCHED_LINE'" ;;
+esac
+
 echo "PASS"

@@ -462,6 +462,66 @@ TEST(FleetFairShare, SchedulerDispatchesInWeightedStrideOrder)
     EXPECT_EQ(tenants[1].second.completed, 12u);
 }
 
+TEST(FleetFairShare, SweepExpiredPurgesBackloggedTenantsInPlace)
+{
+    // Fair-share mode: expired jobs buried in a tenant's queue are
+    // purged by the sweep -- admission slots and per-tenant queued
+    // counters settle immediately, without a worker popping them.
+    ThreadPool pool(1);
+    SessionScheduler scheduler(64, &pool);
+    scheduler.enableFairShare({{"slow", 1}, {"live", 1}}, 1);
+
+    Mutex mutex;
+    CondVar cv;
+    bool gate_open = false;
+    scheduler.submit("warmup", [&]() {
+        MutexLock lock(mutex);
+        while (!gate_open)
+            cv.wait(mutex);
+    });
+
+    std::atomic<int> worked{0};
+    std::atomic<int> expired_cb{0};
+    const auto past = SessionScheduler::Clock::now()
+        - std::chrono::milliseconds(5);
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(scheduler.submit(
+                      "slow", [&]() { worked.fetch_add(1); }, past,
+                      [&]() { expired_cb.fetch_add(1); }),
+                  SessionScheduler::Admit::Accepted);
+        ASSERT_EQ(scheduler.submit("live",
+                                   [&]() { worked.fetch_add(1); }),
+                  SessionScheduler::Admit::Accepted);
+    }
+
+    EXPECT_EQ(scheduler.sweepExpired(), 3u);
+    EXPECT_EQ(expired_cb.load(), 3);
+
+    {
+        MutexLock lock(mutex);
+        gate_open = true;
+        cv.notify_all();
+    }
+    scheduler.drain();
+
+    EXPECT_EQ(worked.load(), 3); // only the live tenant's jobs ran
+    const auto st = scheduler.stats();
+    EXPECT_EQ(st.expired, 3u);
+    EXPECT_EQ(st.completed + st.expired, st.accepted);
+    EXPECT_EQ(st.inFlight, 0u);
+    for (const auto &entry : scheduler.tenantStats()) {
+        if (entry.first == "slow") {
+            EXPECT_EQ(entry.second.expired, 3u);
+            EXPECT_EQ(entry.second.completed, 0u);
+            EXPECT_EQ(entry.second.queued, 0u);
+        } else if (entry.first == "live") {
+            EXPECT_EQ(entry.second.expired, 0u);
+            EXPECT_EQ(entry.second.completed, 3u);
+            EXPECT_EQ(entry.second.queued, 0u);
+        }
+    }
+}
+
 // ---------------------------------------------------------------- //
 // Multi-tenant socket server                                       //
 // ---------------------------------------------------------------- //

@@ -134,6 +134,111 @@ TEST(SchedulerShutdown, RacingSubmittersNeverLoseOrDoubleCount)
     }
 }
 
+TEST(SchedulerShutdown, SweepExpiredPurgesJobsDeepInTheQueue)
+{
+    // One worker, blocked: everything submitted after the blocker
+    // sits queued, where sweepExpired() must find the expired ones
+    // without waiting for a worker to pop them.
+    ThreadPool pool(1);
+    SessionScheduler sched(16, &pool);
+
+    paqoc::Mutex gate;
+    paqoc::CondVar gate_cv;
+    bool open = false;
+    ASSERT_EQ(sched.submit([&] {
+                  paqoc::MutexLock lock(gate);
+                  while (!open)
+                      gate_cv.wait(gate);
+              }),
+              SessionScheduler::Admit::Accepted);
+
+    std::atomic<int> worked{0};
+    std::atomic<int> expired_cb{0};
+    const auto past = SessionScheduler::Clock::now()
+        - std::chrono::milliseconds(5);
+    const auto future = SessionScheduler::Clock::now()
+        + std::chrono::hours(1);
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(sched.submit("late", [&] { worked.fetch_add(1); },
+                               past, [&] { expired_cb.fetch_add(1); }),
+                  SessionScheduler::Admit::Accepted);
+        ASSERT_EQ(sched.submit("fresh", [&] { worked.fetch_add(1); },
+                               future),
+                  SessionScheduler::Admit::Accepted);
+    }
+
+    // The sweep expires the three late jobs in place -- their slots
+    // free now, their callbacks run on this thread -- and leaves the
+    // fresh ones queued.
+    EXPECT_EQ(sched.sweepExpired(), 3u);
+    EXPECT_EQ(expired_cb.load(), 3);
+    EXPECT_EQ(sched.sweepExpired(), 0u); // idempotent
+
+    {
+        paqoc::MutexLock lock(gate);
+        open = true;
+    }
+    gate_cv.notify_all();
+    sched.drain();
+
+    // Swept jobs never ran; fresh ones all did; books balance and the
+    // per-tenant counters attribute the expiries to the late tenant.
+    EXPECT_EQ(worked.load(), 3);
+    const auto st = sched.stats();
+    EXPECT_EQ(st.expired, 3u);
+    EXPECT_EQ(st.completed + st.expired, st.accepted);
+    EXPECT_EQ(st.inFlight, 0u);
+    for (const auto &entry : sched.tenantStats()) {
+        if (entry.first == "late") {
+            EXPECT_EQ(entry.second.expired, 3u);
+            EXPECT_EQ(entry.second.completed, 0u);
+        } else if (entry.first == "fresh") {
+            EXPECT_EQ(entry.second.expired, 0u);
+            EXPECT_EQ(entry.second.completed, 3u);
+        }
+    }
+}
+
+TEST(SchedulerShutdown, SweepLeavesDispatchedJobsAlone)
+{
+    // A job a worker already owns must not be swept: its armed
+    // deadline token stops it cooperatively instead.
+    ThreadPool pool(1);
+    SessionScheduler sched(8, &pool);
+
+    paqoc::Mutex gate;
+    paqoc::CondVar gate_cv;
+    bool open = false;
+    std::atomic<bool> started{false};
+    const auto soon = SessionScheduler::Clock::now()
+        + std::chrono::milliseconds(10);
+    ASSERT_EQ(sched.submit(
+                  [&](const paqoc::CancelToken &) {
+                      started.store(true);
+                      paqoc::MutexLock lock(gate);
+                      while (!open)
+                          gate_cv.wait(gate);
+                  },
+                  soon),
+              SessionScheduler::Admit::Accepted);
+    while (!started.load())
+        std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+
+    // Past its deadline but running: not the sweep's business.
+    EXPECT_EQ(sched.sweepExpired(), 0u);
+
+    {
+        paqoc::MutexLock lock(gate);
+        open = true;
+    }
+    gate_cv.notify_all();
+    sched.drain();
+    const auto st = sched.stats();
+    EXPECT_EQ(st.completed, 1u);
+    EXPECT_EQ(st.expired, 0u);
+}
+
 TEST(SchedulerShutdown, ExpiredJobsStillBalanceTheBooks)
 {
     ThreadPool pool(2);

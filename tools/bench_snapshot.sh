@@ -6,6 +6,7 @@
 #   BENCH_compile.json  -- bench_fig11_compile_time --snapshot
 #   BENCH_fleet.json    -- bench_fleet --snapshot
 #   BENCH_tier.json     -- bench_tier --snapshot
+#   BENCH_overload.json -- bench_overload --snapshot
 #
 # --check re-measures and compares against the committed snapshots
 # instead of overwriting them, exiting 1 on any regression beyond the
@@ -53,7 +54,9 @@ KERNELS_BIN="$BUILD_DIR/bench/bench_micro_kernels"
 COMPILE_BIN="$BUILD_DIR/bench/bench_fig11_compile_time"
 FLEET_BIN="$BUILD_DIR/bench/bench_fleet"
 TIER_BIN="$BUILD_DIR/bench/bench_tier"
-for bin in "$KERNELS_BIN" "$COMPILE_BIN" "$FLEET_BIN" "$TIER_BIN"; do
+OVERLOAD_BIN="$BUILD_DIR/bench/bench_overload"
+for bin in "$KERNELS_BIN" "$COMPILE_BIN" "$FLEET_BIN" "$TIER_BIN" \
+    "$OVERLOAD_BIN"; do
     if [ ! -x "$bin" ]; then
         echo "bench_snapshot: missing $bin -- build first:" >&2
         echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
@@ -81,6 +84,7 @@ run_one "$KERNELS_BIN" BENCH_kernels.json
 run_one "$COMPILE_BIN" BENCH_compile.json
 run_one "$FLEET_BIN" BENCH_fleet.json
 run_one "$TIER_BIN" BENCH_tier.json
+run_one "$OVERLOAD_BIN" BENCH_overload.json
 
 if [ "$STATUS" -ne 0 ]; then
     if [ "$WARN_ONLY" = 1 ]; then

@@ -39,12 +39,18 @@
  *     --quiet                    only the summary line
  */
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
+
+#include <unistd.h>
 
 #include "circuit/qasm.h"
 #include "common/error.h"
@@ -132,7 +138,11 @@ usage(int code)
         "  3 daemon unreachable (connect/transport failure)\n"
         "  4 daemon error response (the request itself was refused)\n"
         "  5 tenant budget exhausted (retryable; retry_after_ms is "
-        "printed to stderr)\n");
+        "printed to stderr)\n"
+        "  6 cancelled (SIGINT during a remote compile; a cancel op "
+        "was sent\n"
+        "    for the in-flight request so the daemon stops working "
+        "on it)\n");
     std::exit(code);
 }
 
@@ -156,6 +166,68 @@ class BudgetExhaustedError : public RemoteServerError
     }
     double retryAfterMs = 0.0;
 };
+
+// SIGINT -> wire-level cancel (DESIGN.md §15). The handler only
+// writes one byte to a self-pipe (async-signal-safe); a detached
+// watcher thread dials a *fresh* connection -- the main thread owns
+// the original one -- aims a cancel op at the in-flight request id,
+// and exits 6. The daemon stops the derivation at its next poll and
+// keeps its checkpoint, so a re-run resumes instead of restarting.
+int g_cancel_pipe[2] = {-1, -1};
+
+extern "C" void
+onInterrupt(int)
+{
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(g_cancel_pipe[1], &byte, 1);
+}
+
+/** The fixed id paqocc stamps on its single compile request. */
+const int kRequestId = 1;
+
+void
+armCancelOnInterrupt(const std::string &target)
+{
+    if (::pipe(g_cancel_pipe) != 0)
+        return; // no pipe, no cancel-on-SIGINT; SIGINT just kills us
+    std::signal(SIGINT, onInterrupt);
+    std::thread([target]() {
+        char byte = 0;
+        while (::read(g_cancel_pipe[0], &byte, 1) < 0
+               && errno == EINTR) {
+        }
+        if (byte == 0)
+            return; // EOF: the request finished normally
+        try {
+            ClientOptions copts;
+            copts.timeoutMs = 2000.0;
+            ServiceClient cancel_client(target, copts);
+            Json cancel = Json::object();
+            cancel.set("op", Json("cancel"));
+            cancel.set("target_id", Json(kRequestId));
+            cancel_client.request(cancel);
+            std::fprintf(stderr,
+                         "paqocc: interrupted; cancelled the "
+                         "in-flight request\n");
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "paqocc: interrupted; cancel failed: %s\n",
+                         e.what());
+        }
+        ::_exit(6);
+    }).detach();
+}
+
+/** Normal completion: restore SIGINT and retire the watcher. */
+void
+disarmCancelOnInterrupt()
+{
+    if (g_cancel_pipe[1] < 0)
+        return;
+    std::signal(SIGINT, SIG_DFL);
+    ::close(g_cancel_pipe[1]); // watcher reads EOF and returns
+    g_cancel_pipe[1] = -1;
+}
 
 CliOptions
 parseArgs(int argc, char **argv)
@@ -315,7 +387,12 @@ runRemote(const CliOptions &opts, const CompileJob &job)
                     Json(opts.maxResidentPulses));
     if (opts.degradeOnQuota)
         request.set("degrade_on_quota", Json(true));
+    // A known id makes the request cancellable from another
+    // connection: SIGINT dials fresh and aims a cancel op at it.
+    request.set("id", Json(kRequestId));
+    armCancelOnInterrupt(opts.connectSocket);
     const Json response = client.request(request);
+    disarmCancelOnInterrupt();
     if (!response.get("ok", Json(false)).asBool()) {
         const std::string message =
             response.get("error", Json("(no message)")).asString();

@@ -45,6 +45,11 @@
  *     --tier-queue N       write-behind queue cap (default 256)
  *     --tier-cooldown-ms N breaker cooldown before a probe
  *                          (default 1000)
+ *     --overload-target-ms N  queue-delay target of the adaptive
+ *                          overload controller (0 = off); sustained
+ *                          delay over it browns out, then sheds
+ *     --no-cancel-on-disconnect  keep computing for vanished clients
+ *                          (disconnect cancellation is on by default)
  *
  * SIGINT/SIGTERM shut down gracefully: in-flight requests finish, the
  * library is compacted into a snapshot, then the process exits. Under
@@ -108,6 +113,8 @@ struct DaemonOptions
     double tierHedgeMs = 30.0;
     std::size_t tierQueue = 256;
     double tierCooldownMs = 1000.0;
+    double overloadTargetMs = 0.0;
+    bool cancelOnDisconnect = true;
 };
 
 [[noreturn]] void
@@ -151,7 +158,11 @@ usage(int code)
         "(default 30)\n"
         "  --tier-queue N       write-behind queue cap (default 256)\n"
         "  --tier-cooldown-ms N breaker cooldown before a probe "
-        "(default 1000)\n");
+        "(default 1000)\n"
+        "  --overload-target-ms N  queue-delay target of the "
+        "overload controller (0 = off)\n"
+        "  --no-cancel-on-disconnect  keep computing for vanished "
+        "clients\n");
     std::exit(code);
 }
 
@@ -252,6 +263,12 @@ parseArgs(int argc, char **argv)
                 static_cast<std::size_t>(std::stoul(next()));
         else if (arg == "--tier-cooldown-ms")
             opts.tierCooldownMs = std::stod(next());
+        else if (arg == "--overload-target-ms")
+            opts.overloadTargetMs = std::stod(next());
+        else if (arg == "--cancel-on-disconnect")
+            opts.cancelOnDisconnect = true;
+        else if (arg == "--no-cancel-on-disconnect")
+            opts.cancelOnDisconnect = false;
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else
@@ -442,6 +459,8 @@ serve(const DaemonOptions &opts, const WorkerContext &ctx,
     server_opts.fairShare = opts.fairShare;
     server_opts.tenantWeights = opts.tenantWeights;
     server_opts.tenantBudget = opts.budget;
+    server_opts.overloadTargetMs = opts.overloadTargetMs;
+    server_opts.cancelOnDisconnect = opts.cancelOnDisconnect;
     SocketServer server(service, server_opts);
 
     PAQOC_FATAL_IF(::pipe(g_signal_pipe) != 0,
@@ -517,12 +536,24 @@ serve(const DaemonOptions &opts, const WorkerContext &ctx,
         for (const auto &entry : tenants)
             std::printf("paqocd: tenant %s: admitted %zu, "
                         "completed %zu, expired %zu, "
-                        "budget_exhausted %zu, degraded %zu\n",
+                        "budget_exhausted %zu, degraded %zu, "
+                        "cancelled %zu, shed %zu, brownout %zu\n",
                         entry.first.c_str(), entry.second.admitted,
                         entry.second.completed, entry.second.expired,
                         entry.second.budgetExhausted,
-                        entry.second.degraded);
+                        entry.second.degraded,
+                        entry.second.cancelled, entry.second.shed,
+                        entry.second.brownout);
     }
+    // Cancellation / overload totals (DESIGN.md §15), shown only once
+    // any of them fired so a quiet daemon's shutdown log is unchanged
+    // (the chaos client-kill and overload-storm scenarios grep these).
+    const SessionScheduler::Stats sched = server.scheduler().stats();
+    if (sched.cancelled > 0 || sched.shed > 0 || sched.brownout > 0)
+        std::printf("paqocd: scheduler: cancelled %zu, "
+                    "expired_running %zu, shed %zu, brownout %zu\n",
+                    sched.cancelled, sched.expiredRunning, sched.shed,
+                    sched.brownout);
     std::printf("paqocd: shut down cleanly\n");
     return 0;
 }
